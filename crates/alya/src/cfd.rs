@@ -1,0 +1,693 @@
+//! The CFD artery case: 3D incompressible Navier–Stokes in a masked tube.
+//!
+//! Chorin's fractional-step method on a collocated grid (spacing 1):
+//!
+//! 1. **Momentum**: explicit tentative velocity — first-order upwind
+//!    advection + central diffusion (robust and positivity-preserving at
+//!    the resolutions the mini-app runs).
+//! 2. **Projection**: a pressure Poisson equation with mask-aware 7-point
+//!    Laplacian — Neumann at walls and inlet, Dirichlet `p = 0` at the
+//!    outlet — solved by conjugate gradients (warm-started from the
+//!    previous step's pressure).
+//! 3. **Correction**: project the velocity onto the divergence-free space.
+//!
+//! Boundary conditions: parabolic (Poiseuille) inflow at `z = 0`,
+//! zero-gradient outflow at `z = nz-1`, no-slip at the tube wall (masked
+//! cells read as zero velocity).
+//!
+//! The solver counts its floating-point work; those counters are the ground
+//! truth behind [`crate::workload`]'s flop constants.
+
+use crate::mesh::TubeMesh;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Flop cost per active interior cell of one momentum evaluation
+/// (3 components × (upwind advection + diffusion + update)).
+pub const FLOPS_MOMENTUM: f64 = 117.0;
+/// Flop cost per active cell of the divergence/RHS evaluation.
+pub const FLOPS_DIVERGENCE: f64 = 12.0;
+/// Flop cost per unknown cell of one CG iteration (matvec + 2 dots + 3
+/// axpy-likes).
+pub const FLOPS_CG_ITER: f64 = 27.0;
+/// Flop cost per active cell of the velocity correction.
+pub const FLOPS_CORRECTION: f64 = 18.0;
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfdConfig {
+    /// Kinematic viscosity (grid units).
+    pub nu: f64,
+    /// Time step (grid units); see [`CfdConfig::stable_dt`].
+    pub dt: f64,
+    /// Peak inflow velocity on the tube axis.
+    pub inflow_peak: f64,
+    /// CG relative residual tolerance.
+    pub cg_tol: f64,
+    /// CG iteration cap per step.
+    pub cg_max_iters: usize,
+    /// Use Rayon for the element-wise kernels (dot products stay serial so
+    /// results are bit-reproducible regardless of thread count).
+    pub parallel: bool,
+    /// Pulsatile inflow `(relative amplitude, period)`: the inflow peak is
+    /// modulated as `1 + amp·sin(2πt/T)`. `None` = steady inflow.
+    pub pulsatile: Option<(f64, f64)>,
+}
+
+impl CfdConfig {
+    /// A stable configuration for a given mesh: viscosity from the target
+    /// Reynolds number and a CFL-limited time step.
+    pub fn stable(mesh: &TubeMesh, reynolds: f64, inflow_peak: f64) -> CfdConfig {
+        let nu = inflow_peak * 2.0 * mesh.radius / reynolds;
+        let dt = Self::stable_dt(nu, inflow_peak);
+        CfdConfig {
+            nu,
+            dt,
+            inflow_peak,
+            cg_tol: 1e-8,
+            cg_max_iters: 500,
+            parallel: false,
+            pulsatile: None,
+        }
+    }
+
+    /// The advective/diffusive stability limit (h = 1).
+    pub fn stable_dt(nu: f64, peak_velocity: f64) -> f64 {
+        let adv = 1.0 / peak_velocity.abs().max(1e-12);
+        let diff = 1.0 / (6.0 * nu.max(1e-12));
+        0.35 * adv.min(diff)
+    }
+}
+
+/// Work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Time steps taken.
+    pub steps: u64,
+    /// Total CG iterations.
+    pub cg_iters: u64,
+    /// Estimated floating-point operations executed.
+    pub flops: f64,
+}
+
+/// The solver state.
+#[derive(Debug, Clone)]
+pub struct CfdSolver {
+    /// Geometry.
+    pub mesh: TubeMesh,
+    /// Configuration.
+    pub cfg: CfdConfig,
+    /// x-velocity.
+    pub u: Vec<f64>,
+    /// y-velocity.
+    pub v: Vec<f64>,
+    /// z-velocity (axial).
+    pub w: Vec<f64>,
+    /// Pressure.
+    pub p: Vec<f64>,
+    /// Work counters.
+    pub stats: SolverStats,
+    /// Simulated physical time.
+    pub time: f64,
+    // scratch
+    us: Vec<f64>,
+    vs: Vec<f64>,
+    ws: Vec<f64>,
+    rhs: Vec<f64>,
+    cg_r: Vec<f64>,
+    cg_d: Vec<f64>,
+    cg_ap: Vec<f64>,
+}
+
+impl CfdSolver {
+    /// A solver at rest (zero velocity everywhere).
+    pub fn new(mesh: TubeMesh, cfg: CfdConfig) -> CfdSolver {
+        let n = mesh.total_cells();
+        CfdSolver {
+            mesh,
+            cfg,
+            u: vec![0.0; n],
+            v: vec![0.0; n],
+            w: vec![0.0; n],
+            p: vec![0.0; n],
+            stats: SolverStats::default(),
+            time: 0.0,
+            us: vec![0.0; n],
+            vs: vec![0.0; n],
+            ws: vec![0.0; n],
+            rhs: vec![0.0; n],
+            cg_r: vec![0.0; n],
+            cg_d: vec![0.0; n],
+            cg_ap: vec![0.0; n],
+        }
+    }
+
+    /// Advance `steps` time steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// One fractional-step update.
+    pub fn step(&mut self) {
+        self.apply_inflow();
+        self.apply_outflow_velocity();
+        self.momentum();
+        self.divergence_rhs();
+        let iters = self.pressure_solve();
+        self.correct();
+        self.stats.steps += 1;
+        self.stats.cg_iters += iters as u64;
+        let active = self.mesh.active_cells() as f64;
+        self.stats.flops += active
+            * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION
+                + FLOPS_CG_ITER * iters as f64);
+        self.time += self.cfg.dt;
+    }
+
+    /// The inflow peak at the current time (pulsatile modulation applied).
+    pub fn current_inflow_peak(&self) -> f64 {
+        match self.cfg.pulsatile {
+            None => self.cfg.inflow_peak,
+            Some((amp, period)) => {
+                self.cfg.inflow_peak
+                    * (1.0 + amp * (2.0 * std::f64::consts::PI * self.time / period).sin())
+            }
+        }
+    }
+
+    /// Fix the inflow plane (`k = 0`): parabolic axial velocity.
+    fn apply_inflow(&mut self) {
+        let peak = self.current_inflow_peak();
+        let (nx, ny) = (self.mesh.nx, self.mesh.ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = self.mesh.idx(i, j, 0);
+                if self.mesh.active_flat(idx) {
+                    self.u[idx] = 0.0;
+                    self.v[idx] = 0.0;
+                    self.w[idx] = peak * self.mesh.inflow_profile(i, j);
+                }
+            }
+        }
+    }
+
+    /// Zero-gradient outflow (`k = nz-1` copies `nz-2`).
+    fn apply_outflow_velocity(&mut self) {
+        let (nx, ny, nz) = (self.mesh.nx, self.mesh.ny, self.mesh.nz);
+        let plane = nx * ny;
+        let (last, prev) = ((nz - 1) * plane, (nz - 2) * plane);
+        for o in 0..plane {
+            self.u[last + o] = self.u[prev + o];
+            self.v[last + o] = self.v[prev + o];
+            self.w[last + o] = self.w[prev + o];
+        }
+    }
+
+    /// Explicit tentative velocity for interior planes `1..nz-1`.
+    fn momentum(&mut self) {
+        let mesh = &self.mesh;
+        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+        let plane = nx * ny;
+        let (u, v, w) = (&self.u, &self.v, &self.w);
+        let (nu, dt) = (self.cfg.nu, self.cfg.dt);
+
+        // one output plane at a time; the kernel reads only old fields
+        let kernel = |k: usize, us_k: &mut [f64], vs_k: &mut [f64], ws_k: &mut [f64]| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let o = i + nx * j;
+                    let idx = o + plane * k;
+                    if !mesh.active_flat(idx) {
+                        us_k[o] = 0.0;
+                        vs_k[o] = 0.0;
+                        ws_k[o] = 0.0;
+                        continue;
+                    }
+                    // neighbour fetch with no-slip (0) ghosts at walls
+                    let get = |f: &[f64], di: isize, dj: isize, dk: isize| -> f64 {
+                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                        if mesh.is_active(ii, jj, kk) {
+                            f[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
+                        } else {
+                            0.0
+                        }
+                    };
+                    let (uc, vc, wc) = (u[idx], v[idx], w[idx]);
+                    let upd = |f: &[f64]| -> f64 {
+                        let c = f[idx];
+                        let (xm, xp) = (get(f, -1, 0, 0), get(f, 1, 0, 0));
+                        let (ym, yp) = (get(f, 0, -1, 0), get(f, 0, 1, 0));
+                        let (zm, zp) = (get(f, 0, 0, -1), get(f, 0, 0, 1));
+                        // upwind advection
+                        let dfdx = if uc > 0.0 { c - xm } else { xp - c };
+                        let dfdy = if vc > 0.0 { c - ym } else { yp - c };
+                        let dfdz = if wc > 0.0 { c - zm } else { zp - c };
+                        let adv = uc * dfdx + vc * dfdy + wc * dfdz;
+                        let lap = xm + xp + ym + yp + zm + zp - 6.0 * c;
+                        c + dt * (nu * lap - adv)
+                    };
+                    us_k[o] = upd(u);
+                    vs_k[o] = upd(v);
+                    ws_k[o] = upd(w);
+                }
+            }
+        };
+
+        let us = &mut self.us;
+        let vs = &mut self.vs;
+        let ws = &mut self.ws;
+        let interior = |k: usize| k >= 1 && k < nz - 1;
+        if self.cfg.parallel {
+            us.par_chunks_mut(plane)
+                .zip(vs.par_chunks_mut(plane))
+                .zip(ws.par_chunks_mut(plane))
+                .enumerate()
+                .filter(|(k, _)| interior(*k))
+                .for_each(|(k, ((us_k, vs_k), ws_k))| kernel(k, us_k, vs_k, ws_k));
+        } else {
+            for k in 1..nz - 1 {
+                let (a, b, c) = (
+                    &mut us[k * plane..(k + 1) * plane],
+                    &mut vs[k * plane..(k + 1) * plane],
+                    &mut ws[k * plane..(k + 1) * plane],
+                );
+                // split borrows via raw slicing is fine: disjoint vectors
+                kernel(k, a, b, c);
+            }
+        }
+        // boundary planes of the tentative field: keep BC values
+        us[..plane].copy_from_slice(&self.u[..plane]);
+        vs[..plane].copy_from_slice(&self.v[..plane]);
+        ws[..plane].copy_from_slice(&self.w[..plane]);
+        let last = (nz - 1) * plane;
+        let prev = (nz - 2) * plane;
+        let (lo, hi) = us.split_at_mut(last);
+        hi.copy_from_slice(&lo[prev..prev + plane]);
+        let (lo, hi) = vs.split_at_mut(last);
+        hi.copy_from_slice(&lo[prev..prev + plane]);
+        let (lo, hi) = ws.split_at_mut(last);
+        hi.copy_from_slice(&lo[prev..prev + plane]);
+    }
+
+    /// RHS of the pressure Poisson equation: `div(u*) / dt` on unknown
+    /// cells (active, `k < nz-1`).
+    fn divergence_rhs(&mut self) {
+        let mesh = &self.mesh;
+        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+        let plane = nx * ny;
+        let dt = self.cfg.dt;
+        let (us, vs, ws) = (&self.us, &self.vs, &self.ws);
+        for x in self.rhs.iter_mut() {
+            *x = 0.0;
+        }
+        for k in 0..nz - 1 {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = i + nx * j + plane * k;
+                    if !mesh.active_flat(idx) {
+                        continue;
+                    }
+                    let get = |f: &[f64], di: isize, dj: isize, dk: isize, fallback: f64| {
+                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                        if mesh.is_active(ii, jj, kk) {
+                            f[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
+                        } else {
+                            fallback
+                        }
+                    };
+                    // central differences; wall neighbours contribute 0
+                    // velocity, the upstream ghost repeats the inlet value
+                    let dudx = (get(us, 1, 0, 0, 0.0) - get(us, -1, 0, 0, 0.0)) / 2.0;
+                    let dvdy = (get(vs, 0, 1, 0, 0.0) - get(vs, 0, -1, 0, 0.0)) / 2.0;
+                    let wzm = if k == 0 { ws[idx] } else { get(ws, 0, 0, -1, 0.0) };
+                    let dwdz = (get(ws, 0, 0, 1, 0.0) - wzm) / 2.0;
+                    self.rhs[idx] = (dudx + dvdy + dwdz) / dt;
+                }
+            }
+        }
+    }
+
+    /// Whether a cell is a pressure unknown.
+    #[inline]
+    fn is_unknown(&self, i: usize, j: usize, k: usize) -> bool {
+        k < self.mesh.nz - 1 && self.mesh.active_flat(self.mesh.idx(i, j, k))
+    }
+
+    /// `y = A x` where `A` is the negated mask-aware Laplacian (SPD).
+    fn apply_laplacian(mesh: &TubeMesh, x: &[f64], y: &mut [f64], parallel: bool) {
+        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+        let plane = nx * ny;
+        let kernel = |k: usize, y_k: &mut [f64]| {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let o = i + nx * j;
+                    let idx = o + plane * k;
+                    if !mesh.active_flat(idx) || k == nz - 1 {
+                        y_k[o] = 0.0;
+                        continue;
+                    }
+                    let xc = x[idx];
+                    let mut acc = 0.0;
+                    let mut visit = |di: isize, dj: isize, dk: isize| {
+                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                        if mesh.is_active(ii, jj, kk) {
+                            let kk = kk as usize;
+                            if kk == nz - 1 {
+                                // Dirichlet p=0 ghost at the outlet
+                                acc += xc;
+                            } else {
+                                let nidx = (ii as usize) + nx * (jj as usize) + plane * kk;
+                                acc += xc - x[nidx];
+                            }
+                        }
+                        // inactive / out of domain: Neumann, contributes 0
+                    };
+                    visit(-1, 0, 0);
+                    visit(1, 0, 0);
+                    visit(0, -1, 0);
+                    visit(0, 1, 0);
+                    visit(0, 0, -1);
+                    visit(0, 0, 1);
+                    y_k[o] = acc;
+                }
+            }
+        };
+        if parallel {
+            y.par_chunks_mut(plane)
+                .enumerate()
+                .for_each(|(k, y_k)| kernel(k, y_k));
+        } else {
+            for (k, y_k) in y.chunks_mut(plane).enumerate() {
+                kernel(k, y_k);
+            }
+        }
+    }
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// CG on `A p = -rhs`; returns iterations used.
+    fn pressure_solve(&mut self) -> usize {
+        let parallel = self.cfg.parallel;
+        // b = -rhs on unknowns
+        let b: Vec<f64> = self.rhs.iter().map(|x| -x).collect();
+        // r = b - A p  (warm start from previous pressure)
+        Self::apply_laplacian(&self.mesh, &self.p, &mut self.cg_ap, parallel);
+        for i in 0..b.len() {
+            self.cg_r[i] = b[i] - self.cg_ap[i];
+        }
+        // mask r to unknowns (p may carry stale outlet values)
+        let (nx, ny, nz) = (self.mesh.nx, self.mesh.ny, self.mesh.nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !self.is_unknown(i, j, k) {
+                        let idx = self.mesh.idx(i, j, k);
+                        self.cg_r[idx] = 0.0;
+                    }
+                }
+            }
+        }
+        self.cg_d.copy_from_slice(&self.cg_r);
+        let bnorm = Self::dot(&b, &b).sqrt().max(1e-300);
+        let mut rs = Self::dot(&self.cg_r, &self.cg_r);
+        if rs.sqrt() <= self.cfg.cg_tol * bnorm {
+            return 0;
+        }
+        for it in 1..=self.cfg.cg_max_iters {
+            Self::apply_laplacian(&self.mesh, &self.cg_d, &mut self.cg_ap, parallel);
+            let dad = Self::dot(&self.cg_d, &self.cg_ap);
+            if dad <= 0.0 {
+                return it; // numerically singular direction; accept current p
+            }
+            let alpha = rs / dad;
+            for i in 0..self.p.len() {
+                self.p[i] += alpha * self.cg_d[i];
+                self.cg_r[i] -= alpha * self.cg_ap[i];
+            }
+            let rs_new = Self::dot(&self.cg_r, &self.cg_r);
+            if rs_new.sqrt() <= self.cfg.cg_tol * bnorm {
+                return it;
+            }
+            let beta = rs_new / rs;
+            rs = rs_new;
+            for i in 0..self.p.len() {
+                self.cg_d[i] = self.cg_r[i] + beta * self.cg_d[i];
+            }
+        }
+        self.cfg.cg_max_iters
+    }
+
+    /// Velocity correction `u = u* − dt ∇p` on interior active cells.
+    fn correct(&mut self) {
+        let mesh = &self.mesh;
+        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+        let plane = nx * ny;
+        let dt = self.cfg.dt;
+        let p = &self.p;
+        for k in 1..nz - 1 {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = i + nx * j + plane * k;
+                    if !mesh.active_flat(idx) {
+                        continue;
+                    }
+                    let pc = p[idx];
+                    let get = |di: isize, dj: isize, dk: isize| -> f64 {
+                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                        if mesh.is_active(ii, jj, kk) {
+                            let kk = kk as usize;
+                            if kk == nz - 1 {
+                                0.0 // outlet Dirichlet pressure
+                            } else {
+                                p[(ii as usize) + nx * (jj as usize) + plane * kk]
+                            }
+                        } else {
+                            pc // Neumann ghost
+                        }
+                    };
+                    self.u[idx] = self.us[idx] - dt * (get(1, 0, 0) - get(-1, 0, 0)) / 2.0;
+                    self.v[idx] = self.vs[idx] - dt * (get(0, 1, 0) - get(0, -1, 0)) / 2.0;
+                    self.w[idx] = self.ws[idx] - dt * (get(0, 0, 1) - get(0, 0, -1)) / 2.0;
+                }
+            }
+        }
+        self.apply_outflow_velocity();
+    }
+
+    /// Maximum |div u| over interior active cells — the projection quality.
+    pub fn max_divergence(&self) -> f64 {
+        let mesh = &self.mesh;
+        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+        let plane = nx * ny;
+        let mut worst: f64 = 0.0;
+        for k in 1..nz - 1 {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let idx = i + nx * j + plane * k;
+                    if !mesh.active_flat(idx) {
+                        continue;
+                    }
+                    let get = |f: &[f64], di: isize, dj: isize, dk: isize| -> f64 {
+                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                        if mesh.is_active(ii, jj, kk) {
+                            f[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
+                        } else {
+                            0.0
+                        }
+                    };
+                    let div = (get(&self.u, 1, 0, 0) - get(&self.u, -1, 0, 0)) / 2.0
+                        + (get(&self.v, 0, 1, 0) - get(&self.v, 0, -1, 0)) / 2.0
+                        + (get(&self.w, 0, 0, 1) - get(&self.w, 0, 0, -1)) / 2.0;
+                    worst = worst.max(div.abs());
+                }
+            }
+        }
+        worst
+    }
+
+    /// Mean axial velocity over the active cells of plane `k`.
+    pub fn mean_axial_velocity(&self, k: usize) -> f64 {
+        let (nx, ny) = (self.mesh.nx, self.mesh.ny);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = self.mesh.idx(i, j, k);
+                if self.mesh.active_flat(idx) {
+                    sum += self.w[idx];
+                    n += 1;
+                }
+            }
+        }
+        sum / n.max(1) as f64
+    }
+
+    /// `(r, w)` samples across plane `k` — the velocity profile.
+    pub fn axial_profile(&self, k: usize) -> Vec<(f64, f64)> {
+        let (nx, ny) = (self.mesh.nx, self.mesh.ny);
+        let mut out = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = self.mesh.idx(i, j, k);
+                if self.mesh.active_flat(idx) {
+                    out.push((self.mesh.r2(i, j).sqrt(), self.w[idx]));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_case() -> CfdSolver {
+        let mesh = TubeMesh::cylinder(13, 13, 24, 5.0);
+        let cfg = CfdConfig::stable(&mesh, 50.0, 0.1);
+        CfdSolver::new(mesh, cfg)
+    }
+
+    #[test]
+    fn step_is_stable_and_counts_work() {
+        let mut s = small_case();
+        s.run(20);
+        assert_eq!(s.stats.steps, 20);
+        assert!(s.stats.cg_iters > 0);
+        assert!(s.stats.flops > 1e6);
+        // velocities bounded by a modest multiple of the inflow peak
+        let wmax = s.w.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(wmax.is_finite() && wmax < 0.5, "wmax={wmax}");
+    }
+
+    #[test]
+    fn projection_reduces_divergence() {
+        let mut s = small_case();
+        s.run(30);
+        let div = s.max_divergence();
+        // divergence should be tiny relative to velocity scale / h
+        assert!(div < 5e-3, "div={div}");
+    }
+
+    #[test]
+    fn poiseuille_profile_develops() {
+        let mesh = TubeMesh::cylinder(13, 13, 40, 5.0);
+        let mut cfg = CfdConfig::stable(&mesh, 20.0, 0.08);
+        cfg.cg_tol = 1e-9;
+        let mut s = CfdSolver::new(mesh, cfg);
+        // run long enough to reach steady state
+        for _ in 0..40 {
+            s.run(25);
+        }
+        let k = s.mesh.nz / 2;
+        let mean = s.mean_axial_velocity(k);
+        assert!(mean > 0.01, "flow must develop, mean={mean}");
+        // centreline / mean ratio: 2.0 for ideal Poiseuille; coarse grids
+        // and entrance effects leave a band
+        let profile = s.axial_profile(k);
+        let centre = profile
+            .iter()
+            .filter(|(r, _)| *r < 1.0)
+            .map(|(_, w)| *w)
+            .fold(0.0_f64, f64::max);
+        let ratio = centre / mean;
+        assert!(
+            (1.5..2.5).contains(&ratio),
+            "centre/mean = {ratio}, centre={centre}, mean={mean}"
+        );
+        // profile must decrease towards the wall
+        let near_wall = profile
+            .iter()
+            .filter(|(r, _)| *r > 4.0)
+            .map(|(_, w)| *w)
+            .sum::<f64>()
+            / profile.iter().filter(|(r, _)| *r > 4.0).count().max(1) as f64;
+        assert!(near_wall < 0.6 * centre, "near_wall={near_wall} centre={centre}");
+    }
+
+    #[test]
+    fn mass_conservation_along_tube() {
+        let mesh = TubeMesh::cylinder(13, 13, 40, 5.0);
+        let cfg = CfdConfig::stable(&mesh, 20.0, 0.08);
+        let mut s = CfdSolver::new(mesh, cfg);
+        for _ in 0..40 {
+            s.run(25);
+        }
+        // steady state: flux through two interior planes must match
+        let q1 = s.mean_axial_velocity(10);
+        let q2 = s.mean_axial_velocity(30);
+        let rel = (q1 - q2).abs() / q1.abs().max(1e-12);
+        assert!(rel < 0.08, "flux drift {rel}: q1={q1} q2={q2}");
+    }
+
+    #[test]
+    fn rayon_matches_serial_bitwise() {
+        let mesh = TubeMesh::cylinder(11, 11, 20, 4.0);
+        let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
+        cfg.parallel = false;
+        let mut serial = CfdSolver::new(mesh.clone(), cfg.clone());
+        cfg.parallel = true;
+        let mut par = CfdSolver::new(mesh, cfg);
+        serial.run(10);
+        par.run(10);
+        assert_eq!(serial.w, par.w, "element-wise kernels must be exact");
+        assert_eq!(serial.p, par.p);
+        assert_eq!(serial.stats.cg_iters, par.stats.cg_iters);
+    }
+
+    #[test]
+    fn warm_start_reduces_cg_iterations() {
+        let mut s = small_case();
+        s.step();
+        let first = s.stats.cg_iters;
+        let mut before = s.stats.cg_iters;
+        let mut later = 0;
+        for _ in 0..10 {
+            s.step();
+            later = s.stats.cg_iters - before;
+            before = s.stats.cg_iters;
+        }
+        assert!(
+            later <= first,
+            "warm-started steps ({later}) should not exceed the cold start ({first})"
+        );
+    }
+
+    #[test]
+    fn pulsatile_inflow_oscillates_the_flux() {
+        let mesh = TubeMesh::cylinder(11, 11, 20, 4.0);
+        let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
+        let period = 120.0 * cfg.dt;
+        cfg.pulsatile = Some((0.5, period));
+        let mut s = CfdSolver::new(mesh, cfg);
+        // develop the flow, then sample the inflow-plane flux over a cycle
+        s.run(240);
+        let mut fluxes = Vec::new();
+        for _ in 0..120 {
+            s.step();
+            fluxes.push(s.mean_axial_velocity(1));
+        }
+        let max = fluxes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = fluxes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max > 1.2 * min.max(1e-9),
+            "flux must oscillate over a cycle: min={min} max={max}"
+        );
+        assert!(fluxes.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn flops_formula_matches_counters() {
+        let mut s = small_case();
+        s.run(5);
+        let active = s.mesh.active_cells() as f64;
+        let expected = s.stats.steps as f64 * active * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
+            + s.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
+        let rel = (s.stats.flops - expected).abs() / expected;
+        assert!(rel < 1e-12, "rel={rel}");
+    }
+}

@@ -1,0 +1,584 @@
+//! Slab-decomposed CFD over the functional thread MPI.
+//!
+//! The same fractional-step scheme as [`crate::cfd`], with the tube cut
+//! into contiguous z-slabs, one MPI rank per slab. Each rank stores its
+//! planes plus two ghost planes; every stencil sweep is preceded by a halo
+//! exchange, and the CG dot products become allreduces. This *is* the
+//! communication pattern the [`crate::workload`] models hand to the
+//! performance engines — validated here against the sequential solver.
+//!
+//! Boundary planes (`k = 0` inflow, `k = nz-1` outflow) are recomputed
+//! locally by every rank that holds them (as owned or ghost planes): both
+//! are deterministic functions of data the holder has after the exchange,
+//! which avoids a second round of messages.
+
+use crate::cfd::CfdConfig;
+use crate::mesh::TubeMesh;
+use harborsim_mpi::thread_mpi::ThreadComm;
+
+/// Result of a distributed run: the gathered fields (root's reassembly).
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Axial velocity, full mesh, rank-0 reassembly.
+    pub w: Vec<f64>,
+    /// Pressure, full mesh.
+    pub p: Vec<f64>,
+    /// Total CG iterations (identical on every rank).
+    pub cg_iters: u64,
+    /// Halo exchanges performed per rank.
+    pub halo_exchanges: u64,
+}
+
+struct Slab<'a> {
+    mesh: &'a TubeMesh,
+    cfg: &'a CfdConfig,
+    k0: usize,
+    nloc: usize,
+    plane: usize,
+}
+
+impl<'a> Slab<'a> {
+    /// Local plane index of global plane `k` (1-based owned planes; 0 and
+    /// `nloc+1` are ghosts).
+    fn local(&self, k: usize) -> usize {
+        k + 1 - self.k0
+    }
+
+    /// Whether this rank holds global plane `k` (owned or ghost).
+    fn holds(&self, k: isize) -> bool {
+        k >= self.k0 as isize - 1 && k <= (self.k0 + self.nloc) as isize
+    }
+
+    fn idx(&self, i: usize, j: usize, lk: usize) -> usize {
+        i + self.mesh.nx * j + self.plane * lk
+    }
+}
+
+/// Exchange ghost planes of `field` with chain neighbours.
+fn halo(comm: &mut ThreadComm, slab: &Slab, field: &mut [f64], tag: u32) {
+    let (rank, size) = (comm.rank(), comm.size());
+    let plane = slab.plane;
+    let nloc = slab.nloc;
+    // post both sends first (buffered), then receive
+    if rank > 0 {
+        comm.send(rank - 1, tag, &field[plane..2 * plane]);
+    }
+    if rank + 1 < size {
+        comm.send(rank + 1, tag, &field[nloc * plane..(nloc + 1) * plane]);
+    }
+    if rank > 0 {
+        let got = comm.recv(rank - 1, tag);
+        field[..plane].copy_from_slice(&got);
+    }
+    if rank + 1 < size {
+        let got = comm.recv(rank + 1, tag);
+        field[(nloc + 1) * plane..(nloc + 2) * plane].copy_from_slice(&got);
+    }
+}
+
+/// Recompute the inflow plane (global 0) and the outflow plane (global
+/// `nz-1 :=` copy of `nz-2`) on every held copy.
+fn fix_boundary_planes(
+    slab: &Slab,
+    u: &mut [f64],
+    v: &mut [f64],
+    w: &mut [f64],
+    inflow_peak: f64,
+) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    if slab.holds(0) {
+        let lk = slab.local(0);
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = slab.idx(i, j, lk);
+                if mesh.active_flat(mesh.idx(i, j, 0)) {
+                    u[idx] = 0.0;
+                    v[idx] = 0.0;
+                    w[idx] = inflow_peak * mesh.inflow_profile(i, j);
+                }
+            }
+        }
+    }
+    if slab.holds(nz as isize - 1) && slab.holds(nz as isize - 2) {
+        let (dst, src) = (slab.local(nz - 1), slab.local(nz - 2));
+        let plane = slab.plane;
+        for o in 0..plane {
+            u[dst * plane + o] = u[src * plane + o];
+            v[dst * plane + o] = v[src * plane + o];
+            w[dst * plane + o] = w[src * plane + o];
+        }
+    }
+}
+
+/// Run the distributed solver on `ranks` threads for `steps` steps.
+pub fn run_distributed(
+    mesh: &TubeMesh,
+    cfg: &CfdConfig,
+    ranks: usize,
+    steps: usize,
+) -> DistResult {
+    assert!(ranks >= 1 && ranks <= mesh.nz / 2, "need >= 2 planes per rank");
+    assert!(
+        cfg.pulsatile.is_none(),
+        "the distributed solver supports steady inflow only"
+    );
+    let slabs = mesh.slab_ranges(ranks);
+    let results = ThreadComm::run(ranks, |comm| {
+        run_rank(comm, mesh, cfg, &slabs, steps)
+    });
+    // root (index 0) carries the gathered fields
+    results.into_iter().next().expect("rank 0 result")
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_rank(
+    comm: &mut ThreadComm,
+    mesh: &TubeMesh,
+    cfg: &CfdConfig,
+    slabs: &[(usize, usize)],
+    steps: usize,
+) -> DistResult {
+    let rank = comm.rank();
+    let (k0, k1) = slabs[rank];
+    let plane = mesh.nx * mesh.ny;
+    let nloc = k1 - k0;
+    let slab = Slab {
+        mesh,
+        cfg,
+        k0,
+        nloc,
+        plane,
+    };
+    let nz = mesh.nz;
+    let n = plane * (nloc + 2);
+    let mut u = vec![0.0; n];
+    let mut v = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut us = vec![0.0; n];
+    let mut vs = vec![0.0; n];
+    let mut ws = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut cg_r = vec![0.0; n];
+    let mut cg_d = vec![0.0; n];
+    let mut cg_ap = vec![0.0; n];
+    let mut tag: u32 = 100;
+    let mut cg_iters: u64 = 0;
+    let mut halo_count: u64 = 0;
+
+    let next_tag = |t: &mut u32| {
+        *t += 1;
+        *t
+    };
+
+    for _ in 0..steps {
+        // 1. velocity halo + boundary planes
+        for f in [&mut u, &mut v, &mut w] {
+            halo(comm, &slab, f, next_tag(&mut tag));
+            halo_count += 1;
+        }
+        fix_boundary_planes(&slab, &mut u, &mut v, &mut w, cfg.inflow_peak);
+
+        // 2. momentum on owned interior planes (global 1..nz-1)
+        momentum_local(&slab, &u, &v, &w, &mut us, &mut vs, &mut ws);
+        // tentative-field halo + boundary planes (us mirrors u at inlet,
+        // copies nz-2 at outlet — same recomputation trick)
+        for f in [&mut us, &mut vs, &mut ws] {
+            halo(comm, &slab, f, next_tag(&mut tag));
+            halo_count += 1;
+        }
+        if slab.holds(0) {
+            let lk = slab.local(0);
+            us[lk * plane..(lk + 1) * plane]
+                .copy_from_slice(&u[lk * plane..(lk + 1) * plane]);
+            vs[lk * plane..(lk + 1) * plane]
+                .copy_from_slice(&v[lk * plane..(lk + 1) * plane]);
+            ws[lk * plane..(lk + 1) * plane]
+                .copy_from_slice(&w[lk * plane..(lk + 1) * plane]);
+        }
+        if slab.holds(nz as isize - 1) && slab.holds(nz as isize - 2) {
+            let (dst, src) = (slab.local(nz - 1), slab.local(nz - 2));
+            for f in [&mut us, &mut vs, &mut ws] {
+                let (lo, hi) = f.split_at_mut(dst * plane);
+                hi[..plane].copy_from_slice(&lo[src * plane..(src + 1) * plane]);
+            }
+        }
+
+        // 3. divergence RHS on owned planes with k < nz-1
+        divergence_local(&slab, &us, &vs, &ws, &mut rhs);
+
+        // 4. CG on A p = -rhs with distributed dots
+        cg_iters += cg_local(
+            comm,
+            &slab,
+            &rhs,
+            &mut p,
+            &mut cg_r,
+            &mut cg_d,
+            &mut cg_ap,
+            &mut tag,
+            &mut halo_count,
+        ) as u64;
+
+        // 5. pressure halo + correction
+        halo(comm, &slab, &mut p, next_tag(&mut tag));
+        halo_count += 1;
+        correct_local(&slab, &p, &us, &vs, &ws, &mut u, &mut v, &mut w);
+    }
+
+    // final halo + boundary fix so gathered fields match the serial BCs
+    for f in [&mut u, &mut v, &mut w] {
+        halo(comm, &slab, f, next_tag(&mut tag));
+        halo_count += 1;
+    }
+    fix_boundary_planes(&slab, &mut u, &mut v, &mut w, cfg.inflow_peak);
+
+    // gather owned planes at root
+    let own_w = w[plane..(nloc + 1) * plane].to_vec();
+    let own_p = p[plane..(nloc + 1) * plane].to_vec();
+    let gw = comm.gather(&own_w);
+    let gp = comm.gather(&own_p);
+    let (mut full_w, mut full_p) = (Vec::new(), Vec::new());
+    if let (Some(ws_all), Some(ps_all)) = (gw, gp) {
+        for part in ws_all {
+            full_w.extend(part);
+        }
+        for part in ps_all {
+            full_p.extend(part);
+        }
+    }
+    DistResult {
+        w: full_w,
+        p: full_p,
+        cg_iters,
+        halo_exchanges: halo_count,
+    }
+}
+
+fn momentum_local(
+    slab: &Slab,
+    u: &[f64],
+    v: &[f64],
+    w: &[f64],
+    us: &mut [f64],
+    vs: &mut [f64],
+    ws: &mut [f64],
+) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let (nu, dt) = (slab.cfg.nu, slab.cfg.dt);
+    for gk in slab.k0.max(1)..(slab.k0 + slab.nloc).min(nz - 1) {
+        let lk = slab.local(gk);
+        for j in 0..ny {
+            for i in 0..nx {
+                let lidx = slab.idx(i, j, lk);
+                if !mesh.active_flat(mesh.idx(i, j, gk)) {
+                    us[lidx] = 0.0;
+                    vs[lidx] = 0.0;
+                    ws[lidx] = 0.0;
+                    continue;
+                }
+                let get = |f: &[f64], di: isize, dj: isize, dk: isize| -> f64 {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, gk as isize + dk);
+                    if mesh.is_active(ii, jj, kk) {
+                        f[slab.idx(ii as usize, jj as usize, slab.local(kk as usize))]
+                    } else {
+                        0.0
+                    }
+                };
+                let (uc, vc, wc) = (u[lidx], v[lidx], w[lidx]);
+                let upd = |f: &[f64]| -> f64 {
+                    let c = f[lidx];
+                    let (xm, xp) = (get(f, -1, 0, 0), get(f, 1, 0, 0));
+                    let (ym, yp) = (get(f, 0, -1, 0), get(f, 0, 1, 0));
+                    let (zm, zp) = (get(f, 0, 0, -1), get(f, 0, 0, 1));
+                    let dfdx = if uc > 0.0 { c - xm } else { xp - c };
+                    let dfdy = if vc > 0.0 { c - ym } else { yp - c };
+                    let dfdz = if wc > 0.0 { c - zm } else { zp - c };
+                    let adv = uc * dfdx + vc * dfdy + wc * dfdz;
+                    let lap = xm + xp + ym + yp + zm + zp - 6.0 * c;
+                    c + dt * (nu * lap - adv)
+                };
+                us[lidx] = upd(u);
+                vs[lidx] = upd(v);
+                ws[lidx] = upd(w);
+            }
+        }
+    }
+}
+
+fn divergence_local(slab: &Slab, us: &[f64], vs: &[f64], ws: &[f64], rhs: &mut [f64]) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let dt = slab.cfg.dt;
+    for x in rhs.iter_mut() {
+        *x = 0.0;
+    }
+    for gk in slab.k0..(slab.k0 + slab.nloc).min(nz - 1) {
+        let lk = slab.local(gk);
+        for j in 0..ny {
+            for i in 0..nx {
+                let lidx = slab.idx(i, j, lk);
+                if !mesh.active_flat(mesh.idx(i, j, gk)) {
+                    continue;
+                }
+                let get = |f: &[f64], di: isize, dj: isize, dk: isize| -> f64 {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, gk as isize + dk);
+                    if mesh.is_active(ii, jj, kk) {
+                        f[slab.idx(ii as usize, jj as usize, slab.local(kk as usize))]
+                    } else {
+                        0.0
+                    }
+                };
+                let dudx = (get(us, 1, 0, 0) - get(us, -1, 0, 0)) / 2.0;
+                let dvdy = (get(vs, 0, 1, 0) - get(vs, 0, -1, 0)) / 2.0;
+                let wzm = if gk == 0 { ws[lidx] } else { get(ws, 0, 0, -1) };
+                let dwdz = (get(ws, 0, 0, 1) - wzm) / 2.0;
+                rhs[lidx] = (dudx + dvdy + dwdz) / dt;
+            }
+        }
+    }
+}
+
+/// `y = A x` on owned planes (ghosts of `x` must be current).
+fn laplacian_local(slab: &Slab, x: &[f64], y: &mut [f64]) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    for gk in slab.k0..slab.k0 + slab.nloc {
+        let lk = slab.local(gk);
+        for j in 0..ny {
+            for i in 0..nx {
+                let lidx = slab.idx(i, j, lk);
+                if !mesh.active_flat(mesh.idx(i, j, gk)) || gk == nz - 1 {
+                    y[lidx] = 0.0;
+                    continue;
+                }
+                let xc = x[lidx];
+                let mut acc = 0.0;
+                let mut visit = |di: isize, dj: isize, dk: isize| {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, gk as isize + dk);
+                    if mesh.is_active(ii, jj, kk) {
+                        let kk = kk as usize;
+                        if kk == nz - 1 {
+                            acc += xc;
+                        } else {
+                            acc += xc - x[slab.idx(ii as usize, jj as usize, slab.local(kk))];
+                        }
+                    }
+                };
+                visit(-1, 0, 0);
+                visit(1, 0, 0);
+                visit(0, -1, 0);
+                visit(0, 1, 0);
+                visit(0, 0, -1);
+                visit(0, 0, 1);
+                y[lidx] = acc;
+            }
+        }
+    }
+}
+
+/// Dot product over owned planes only.
+fn dot_local(slab: &Slab, a: &[f64], b: &[f64]) -> f64 {
+    let lo = slab.plane;
+    let hi = (slab.nloc + 1) * slab.plane;
+    a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cg_local(
+    comm: &mut ThreadComm,
+    slab: &Slab,
+    rhs: &[f64],
+    p: &mut [f64],
+    cg_r: &mut [f64],
+    cg_d: &mut [f64],
+    cg_ap: &mut [f64],
+    tag: &mut u32,
+    halo_count: &mut u64,
+) -> usize {
+    let cfg = slab.cfg;
+    // b = -rhs; r = b - A p  (p ghosts must be current for the matvec)
+    *tag += 1;
+    halo(comm, slab, p, *tag);
+    *halo_count += 1;
+    laplacian_local(slab, p, cg_ap);
+    for i in 0..p.len() {
+        cg_r[i] = -rhs[i] - cg_ap[i];
+    }
+    // mask to unknowns on owned planes; zero ghosts
+    mask_unknowns(slab, cg_r);
+    cg_d.copy_from_slice(cg_r);
+    let local_bb: f64 = {
+        let lo = slab.plane;
+        let hi = (slab.nloc + 1) * slab.plane;
+        rhs[lo..hi].iter().map(|x| x * x).sum()
+    };
+    let bnorm = comm.allreduce_sum_scalar(local_bb).sqrt().max(1e-300);
+    let mut rs = comm.allreduce_sum_scalar(dot_local(slab, cg_r, cg_r));
+    if rs.sqrt() <= cfg.cg_tol * bnorm {
+        return 0;
+    }
+    for it in 1..=cfg.cg_max_iters {
+        *tag += 1;
+        halo(comm, slab, cg_d, *tag);
+        *halo_count += 1;
+        laplacian_local(slab, cg_d, cg_ap);
+        let dad = comm.allreduce_sum_scalar(dot_local(slab, cg_d, cg_ap));
+        if dad <= 0.0 {
+            return it;
+        }
+        let alpha = rs / dad;
+        for i in 0..p.len() {
+            p[i] += alpha * cg_d[i];
+            cg_r[i] -= alpha * cg_ap[i];
+        }
+        let rs_new = comm.allreduce_sum_scalar(dot_local(slab, cg_r, cg_r));
+        if rs_new.sqrt() <= cfg.cg_tol * bnorm {
+            return it;
+        }
+        let beta = rs_new / rs;
+        rs = rs_new;
+        for i in 0..p.len() {
+            cg_d[i] = cg_r[i] + beta * cg_d[i];
+        }
+    }
+    cfg.cg_max_iters
+}
+
+/// Zero entries that are not pressure unknowns (masked cells, the outlet
+/// plane, and both ghost planes).
+fn mask_unknowns(slab: &Slab, x: &mut [f64]) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let plane = slab.plane;
+    // ghosts
+    for o in 0..plane {
+        x[o] = 0.0;
+        x[(slab.nloc + 1) * plane + o] = 0.0;
+    }
+    for gk in slab.k0..slab.k0 + slab.nloc {
+        let lk = slab.local(gk);
+        for j in 0..ny {
+            for i in 0..nx {
+                if gk == nz - 1 || !mesh.active_flat(mesh.idx(i, j, gk)) {
+                    x[slab.idx(i, j, lk)] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+fn correct_local(
+    slab: &Slab,
+    p: &[f64],
+    us: &[f64],
+    vs: &[f64],
+    ws: &[f64],
+    u: &mut [f64],
+    v: &mut [f64],
+    w: &mut [f64],
+) {
+    let mesh = slab.mesh;
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let dt = slab.cfg.dt;
+    for gk in slab.k0.max(1)..(slab.k0 + slab.nloc).min(nz - 1) {
+        let lk = slab.local(gk);
+        for j in 0..ny {
+            for i in 0..nx {
+                let lidx = slab.idx(i, j, lk);
+                if !mesh.active_flat(mesh.idx(i, j, gk)) {
+                    continue;
+                }
+                let pc = p[lidx];
+                let get = |di: isize, dj: isize, dk: isize| -> f64 {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, gk as isize + dk);
+                    if mesh.is_active(ii, jj, kk) {
+                        let kk = kk as usize;
+                        if kk == nz - 1 {
+                            0.0
+                        } else {
+                            p[slab.idx(ii as usize, jj as usize, slab.local(kk))]
+                        }
+                    } else {
+                        pc
+                    }
+                };
+                u[lidx] = us[lidx] - dt * (get(1, 0, 0) - get(-1, 0, 0)) / 2.0;
+                v[lidx] = vs[lidx] - dt * (get(0, 1, 0) - get(0, -1, 0)) / 2.0;
+                w[lidx] = ws[lidx] - dt * (get(0, 0, 1) - get(0, 0, -1)) / 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::CfdSolver;
+
+    fn case() -> (TubeMesh, CfdConfig) {
+        let mesh = TubeMesh::cylinder(11, 11, 24, 4.0);
+        let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
+        cfg.cg_tol = 1e-10;
+        (mesh, cfg)
+    }
+
+    fn rel_l2(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let den: f64 = a.iter().map(|x| x * x).sum::<f64>().max(1e-300);
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn one_rank_matches_serial() {
+        let (mesh, cfg) = case();
+        let mut serial = CfdSolver::new(mesh.clone(), cfg.clone());
+        serial.run(8);
+        let dist = run_distributed(&mesh, &cfg, 1, 8);
+        assert!(
+            rel_l2(&serial.w, &dist.w) < 1e-12,
+            "w diff {}",
+            rel_l2(&serial.w, &dist.w)
+        );
+        assert!(rel_l2(&serial.p, &dist.p) < 1e-10);
+    }
+
+    #[test]
+    fn many_ranks_match_serial() {
+        let (mesh, cfg) = case();
+        let mut serial = CfdSolver::new(mesh.clone(), cfg.clone());
+        serial.run(6);
+        for ranks in [2usize, 3, 4, 6] {
+            let dist = run_distributed(&mesh, &cfg, ranks, 6);
+            let dw = rel_l2(&serial.w, &dist.w);
+            let dp = rel_l2(&serial.p, &dist.p);
+            assert!(dw < 1e-8, "ranks={ranks}: w diff {dw}");
+            assert!(dp < 1e-6, "ranks={ranks}: p diff {dp}");
+        }
+    }
+
+    #[test]
+    fn halo_exchange_count_matches_model() {
+        // per step: 3 velocity + 3 tentative + 1 pressure-warm-start +
+        // cg_iters + 1 pressure = 8 + cg_iters; plus 3 final
+        let (mesh, cfg) = case();
+        let steps = 4;
+        let dist = run_distributed(&mesh, &cfg, 2, steps);
+        let expected = steps as u64 * 8 + dist.cg_iters + 3;
+        assert_eq!(dist.halo_exchanges, expected);
+    }
+
+    #[test]
+    fn decomposition_preserves_flow_development() {
+        let (mesh, cfg) = case();
+        let dist = run_distributed(&mesh, &cfg, 4, 60);
+        // flow developed: positive axial velocity mid-tube
+        let plane = mesh.nx * mesh.ny;
+        let mid = &dist.w[12 * plane..13 * plane];
+        let max = mid.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > 0.02, "max={max}");
+    }
+}

@@ -1,0 +1,347 @@
+//! The FSI case over the functional thread MPI: two *separate codes* on
+//! disjoint rank groups, exchanging interface data — exactly the process
+//! structure the paper describes for the Alya FSI runs.
+//!
+//! Ranks `0..pairs` run the fluid code (the 1D pulse-wave solver, domain
+//! decomposed along the vessel); ranks `pairs..2·pairs` run the solid code
+//! (wall mechanics for the same station ranges). Every coupled step:
+//!
+//! 1. fluid ranks halo-exchange `(A, Q)` and advance one Lax–Wendroff
+//!    trial step;
+//! 2. sub-iterations: fluid sends interface pressures to its partner solid
+//!    rank; the solid advances from its converged state and returns wall
+//!    areas; the fluid relaxes toward them; an allreduce over *all* ranks
+//!    agrees on the interface residual.
+//!
+//! The result is validated bit-tight against the sequential [`CoupledFsi`]
+//! — the decomposition changes nothing but the process count.
+
+use crate::fsi::FsiConfig;
+use crate::pulse1d::PulseConfig;
+use crate::wall::{WallConfig, WallSolver};
+use harborsim_mpi::thread_mpi::ThreadComm;
+
+/// Outcome of a distributed coupled run (rank-0 gather).
+#[derive(Debug, Clone)]
+pub struct FsiDistResult {
+    /// Fluid areas, full vessel.
+    pub a: Vec<f64>,
+    /// Fluid flows, full vessel.
+    pub q: Vec<f64>,
+    /// Wall areas, full vessel.
+    pub wall_a: Vec<f64>,
+    /// Total sub-iterations.
+    pub subiters: u64,
+}
+
+/// Contiguous station ranges for `parts` ranks over `n` stations.
+fn ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for r in 0..parts {
+        let len = base + usize::from(r < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[inline]
+fn flux(cfg: &PulseConfig, a: f64, q: f64) -> (f64, f64) {
+    (q, q * q / a + cfg.beta / (3.0 * cfg.rho) * a.powf(1.5))
+}
+
+/// Run the coupled case on `2·pairs` ranks for `steps` steps.
+///
+/// # Panics
+/// Panics if any fluid rank would own fewer than 2 stations, or if the
+/// fluid config uses a non-extrapolating outlet (not yet decomposed).
+pub fn run_coupled_distributed(
+    fluid_cfg: &PulseConfig,
+    eta: f64,
+    coupling: &FsiConfig,
+    inflow: fn(f64) -> f64,
+    pairs: usize,
+    steps: usize,
+) -> FsiDistResult {
+    assert!(pairs >= 1);
+    assert!(
+        fluid_cfg.n / pairs >= 2,
+        "each fluid rank needs at least 2 stations"
+    );
+    let parts = ranges(fluid_cfg.n, pairs);
+    let results = ThreadComm::run(2 * pairs, |comm| {
+        if comm.rank() < pairs {
+            fluid_rank(comm, fluid_cfg, coupling, inflow, &parts, pairs, steps)
+        } else {
+            solid_rank(comm, fluid_cfg, eta, coupling, &parts, pairs, steps)
+        }
+    });
+    results.into_iter().next().expect("rank 0 result")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fluid_rank(
+    comm: &mut ThreadComm,
+    cfg: &PulseConfig,
+    coupling: &FsiConfig,
+    inflow: fn(f64) -> f64,
+    parts: &[(usize, usize)],
+    pairs: usize,
+    steps: usize,
+) -> FsiDistResult {
+    let rank = comm.rank();
+    let (s0, s1) = parts[rank];
+    let nloc = s1 - s0;
+    let n = cfg.n;
+    let partner = pairs + rank; // my solid code instance
+    // local stations + one ghost each side: local index i ↔ station s0-1+i
+    let mut a = vec![cfg.a0; nloc + 2];
+    let mut q = vec![0.0; nloc + 2];
+    let mut time = 0.0;
+    let mut subiters = 0u64;
+    let mut tag = 0u32;
+    let mut next_tag = move || {
+        tag += 1;
+        tag
+    };
+
+    for _ in 0..steps {
+        // halo exchange of (a, q)
+        let t = next_tag();
+        if rank > 0 {
+            comm.send(rank - 1, t, &[a[1], q[1]]);
+        }
+        if rank + 1 < pairs {
+            comm.send(rank + 1, t, &[a[nloc], q[nloc]]);
+        }
+        if rank > 0 {
+            let got = comm.recv(rank - 1, t);
+            a[0] = got[0];
+            q[0] = got[1];
+        }
+        if rank + 1 < pairs {
+            let got = comm.recv(rank + 1, t);
+            a[nloc + 1] = got[0];
+            q[nloc + 1] = got[1];
+        }
+
+        // Lax-Wendroff trial step, exactly as the sequential solver
+        let (dt, dx) = (cfg.dt, cfg.dx);
+        let lam = dt / dx;
+        // interface half-states between local indices i and i+1 cover the
+        // stations we update
+        let mut ah = vec![0.0; nloc + 1];
+        let mut qh = vec![0.0; nloc + 1];
+        for i in 0..=nloc {
+            // stations s0-1+i and s0+i; skip interfaces outside the vessel
+            let gs = s0 + i; // right station of the interface
+            if gs == 0 || gs > n - 1 {
+                continue;
+            }
+            let (fa_l, fq_l) = flux(cfg, a[i], q[i]);
+            let (fa_r, fq_r) = flux(cfg, a[i + 1], q[i + 1]);
+            ah[i] = 0.5 * (a[i] + a[i + 1]) - 0.5 * lam * (fa_r - fa_l);
+            qh[i] = 0.5 * (q[i] + q[i + 1]) - 0.5 * lam * (fq_r - fq_l);
+        }
+        let mut a_new = a.clone();
+        let mut q_new = q.clone();
+        for i in 1..=nloc {
+            let gs = s0 + i - 1; // the station local index i holds
+            if gs == 0 || gs == n - 1 {
+                continue; // boundary stations handled below
+            }
+            let (fa_l, fq_l) = flux(cfg, ah[i - 1], qh[i - 1]);
+            let (fa_r, fq_r) = flux(cfg, ah[i], qh[i]);
+            a_new[i] = a[i] - lam * (fa_r - fa_l);
+            q_new[i] = q[i] - lam * (fq_r - fq_l) - dt * cfg.kr * q[i] / a[i];
+        }
+        // boundary conditions on owning ranks (extrapolating outlet only)
+        if s0 == 0 {
+            q_new[1] = inflow(time + dt);
+            a_new[1] = a_new[2];
+        }
+        if s1 == n {
+            // needs station n-2: local index nloc-1 (guaranteed: nloc >= 2)
+            a_new[nloc] = a_new[nloc - 1];
+            q_new[nloc] = q_new[nloc - 1];
+        }
+        a = a_new;
+        q = q_new;
+        time += dt;
+
+        // coupling sub-iterations with my solid partner
+        let mut used = coupling.max_subiters;
+        for it in 1..=coupling.max_subiters {
+            let t = next_tag();
+            let a0s = cfg.a0.sqrt();
+            let p_local: Vec<f64> = a[1..=nloc]
+                .iter()
+                .map(|av| cfg.beta * (av.sqrt() - a0s))
+                .collect();
+            comm.send(partner, t, &p_local);
+            let wall = comm.recv(partner, t);
+            let mut residual: f64 = 0.0;
+            for (af, &aw) in a[1..=nloc].iter_mut().zip(&wall) {
+                let r = aw - *af;
+                residual = residual.max(r.abs() / aw.max(1e-12));
+                *af += coupling.relaxation * r;
+            }
+            let global = comm.allreduce_max_scalar(residual);
+            // tell the solid whether we are done (it must stay in lockstep)
+            if global < coupling.tol {
+                used = it;
+                break;
+            }
+        }
+        subiters += used as u64;
+        // the solid commits its state; nothing to do fluid-side
+    }
+
+    // gather the full fields at rank 0
+    let own: Vec<f64> = a[1..=nloc].iter().chain(q[1..=nloc].iter()).copied().collect();
+    let gathered = comm.gather(&own);
+    if let Some(all) = gathered {
+        let mut full_a = Vec::with_capacity(n);
+        let mut full_q = Vec::with_capacity(n);
+        let mut full_wall = Vec::with_capacity(n);
+        for (r, part) in all.iter().enumerate() {
+            if r < pairs {
+                let m = part.len() / 2;
+                full_a.extend(&part[..m]);
+                full_q.extend(&part[m..]);
+            } else {
+                full_wall.extend(part.iter());
+            }
+        }
+        FsiDistResult {
+            a: full_a,
+            q: full_q,
+            wall_a: full_wall,
+            subiters,
+        }
+    } else {
+        FsiDistResult {
+            a: Vec::new(),
+            q: Vec::new(),
+            wall_a: Vec::new(),
+            subiters,
+        }
+    }
+}
+
+fn solid_rank(
+    comm: &mut ThreadComm,
+    fluid_cfg: &PulseConfig,
+    eta: f64,
+    coupling: &FsiConfig,
+    parts: &[(usize, usize)],
+    pairs: usize,
+    steps: usize,
+) -> FsiDistResult {
+    let rank = comm.rank();
+    let fluid_partner = rank - pairs;
+    let (s0, s1) = parts[fluid_partner];
+    let nloc = s1 - s0;
+    let mut wall = WallSolver::new(WallConfig {
+        n: nloc,
+        beta: fluid_cfg.beta,
+        a0: fluid_cfg.a0,
+        eta,
+    });
+    let dt = fluid_cfg.dt;
+    let mut tag = 0u32;
+    let mut next_tag = move || {
+        tag += 1;
+        tag
+    };
+
+    for _ in 0..steps {
+        // the fluid side consumed one tag for its halo; stay in lockstep
+        let _halo_tag = next_tag();
+        let stored = wall.a.clone();
+        for _ in 1..=coupling.max_subiters {
+            let t = next_tag();
+            let p = comm.recv(fluid_partner, t);
+            wall.a = stored.clone();
+            wall.step(&p, dt);
+            comm.send(fluid_partner, t, &wall.a);
+            let global = comm.allreduce_max_scalar(0.0);
+            if global < coupling.tol {
+                break;
+            }
+        }
+    }
+
+    // participate in the final gather with the wall areas
+    let _ = comm.gather(&wall.a);
+    FsiDistResult {
+        a: Vec::new(),
+        q: Vec::new(),
+        wall_a: Vec::new(),
+        subiters: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsi::CoupledFsi;
+    use crate::pulse1d::cardiac_inflow;
+
+    fn rel_l2(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let den: f64 = a.iter().map(|x| x * x).sum::<f64>().max(1e-300);
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn distributed_fsi_matches_serial() {
+        let cfg = PulseConfig::artery(96);
+        let eta = 40.0;
+        let coupling = FsiConfig::default();
+        let steps = 40;
+        let mut serial = CoupledFsi::new(cfg.clone(), eta, coupling.clone(), cardiac_inflow);
+        serial.run(steps);
+        for pairs in [1usize, 2, 3, 4] {
+            let dist =
+                run_coupled_distributed(&cfg, eta, &coupling, cardiac_inflow, pairs, steps);
+            let da = rel_l2(&serial.fluid.a, &dist.a);
+            let dq = rel_l2(&serial.fluid.q, &dist.q);
+            let dw = rel_l2(&serial.solid.a, &dist.wall_a);
+            assert!(da < 1e-10, "pairs={pairs}: fluid area diff {da}");
+            assert!(dq < 1e-8, "pairs={pairs}: flow diff {dq}");
+            assert!(dw < 1e-10, "pairs={pairs}: wall diff {dw}");
+        }
+    }
+
+    #[test]
+    fn subiteration_counts_match_serial() {
+        let cfg = PulseConfig::artery(64);
+        let coupling = FsiConfig::default();
+        let steps = 20;
+        let mut serial = CoupledFsi::new(cfg.clone(), 30.0, coupling.clone(), cardiac_inflow);
+        serial.run(steps);
+        let dist = run_coupled_distributed(&cfg, 30.0, &coupling, cardiac_inflow, 2, steps);
+        assert_eq!(dist.subiters, serial.stats.subiters);
+    }
+
+    #[test]
+    fn two_codes_still_converge_with_stiff_wall() {
+        let cfg = PulseConfig::artery(64);
+        let dist = run_coupled_distributed(
+            &cfg,
+            1e-3,
+            &FsiConfig::default(),
+            cardiac_inflow,
+            4,
+            30,
+        );
+        assert!(dist.a.iter().all(|x| x.is_finite() && *x > 0.0));
+        assert_eq!(dist.a.len(), 64);
+        assert_eq!(dist.wall_a.len(), 64);
+    }
+}

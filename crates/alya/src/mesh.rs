@@ -1,0 +1,208 @@
+//! The artery geometry: a circular tube masked out of a Cartesian grid.
+//!
+//! Grid units: spacing `h = 1`, so all solver parameters are expressed in
+//! grid units. The tube axis runs along `z`; a cell is *active* (fluid) if
+//! its centre lies within the tube radius.
+
+use serde::{Deserialize, Serialize};
+
+/// A cylinder-masked structured mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TubeMesh {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z (the tube axis).
+    pub nz: usize,
+    /// Tube radius in cells.
+    pub radius: f64,
+    /// Active-cell mask, indexed `i + nx*(j + ny*k)`.
+    mask: Vec<bool>,
+    /// Number of active cells.
+    active: usize,
+    /// Active cells in one z-plane (the tube cross-section).
+    cross_section: usize,
+}
+
+impl TubeMesh {
+    /// A tube of `radius_cells` inscribed in an `nx × ny × nz` grid.
+    ///
+    /// # Panics
+    /// Panics if the radius does not fit the cross-section or any dimension
+    /// is below 3 (stencils need interior cells).
+    pub fn cylinder(nx: usize, ny: usize, nz: usize, radius_cells: f64) -> TubeMesh {
+        assert!(nx >= 3 && ny >= 3 && nz >= 3, "mesh too small for stencils");
+        assert!(
+            radius_cells > 1.0
+                && 2.0 * radius_cells <= (nx.min(ny) as f64),
+            "radius must fit the cross-section"
+        );
+        let (cx, cy) = (((nx - 1) as f64) / 2.0, ((ny - 1) as f64) / 2.0);
+        let mut mask = vec![false; nx * ny * nz];
+        let mut cross_section = 0;
+        for j in 0..ny {
+            for i in 0..nx {
+                let dx = i as f64 - cx;
+                let dy = j as f64 - cy;
+                if dx * dx + dy * dy <= radius_cells * radius_cells {
+                    cross_section += 1;
+                    for k in 0..nz {
+                        mask[i + nx * (j + ny * k)] = true;
+                    }
+                }
+            }
+        }
+        assert!(cross_section > 0, "empty cross-section");
+        TubeMesh {
+            nx,
+            ny,
+            nz,
+            radius: radius_cells,
+            active: cross_section * nz,
+            mask,
+            cross_section,
+        }
+    }
+
+    /// Flat index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// Whether `(i, j, k)` is a fluid cell (false outside the grid).
+    #[inline]
+    pub fn is_active(&self, i: isize, j: isize, k: isize) -> bool {
+        if i < 0 || j < 0 || k < 0 {
+            return false;
+        }
+        let (i, j, k) = (i as usize, j as usize, k as usize);
+        if i >= self.nx || j >= self.ny || k >= self.nz {
+            return false;
+        }
+        self.mask[self.idx(i, j, k)]
+    }
+
+    /// Whether the flat-indexed cell is fluid.
+    #[inline]
+    pub fn active_flat(&self, idx: usize) -> bool {
+        self.mask[idx]
+    }
+
+    /// Total fluid cells.
+    pub fn active_cells(&self) -> usize {
+        self.active
+    }
+
+    /// Fluid cells per z-plane.
+    pub fn cross_section_cells(&self) -> usize {
+        self.cross_section
+    }
+
+    /// Total cells (active + masked).
+    pub fn total_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Squared distance of a cell centre from the tube axis, in cells².
+    #[inline]
+    pub fn r2(&self, i: usize, j: usize) -> f64 {
+        let dx = i as f64 - ((self.nx - 1) as f64) / 2.0;
+        let dy = j as f64 - ((self.ny - 1) as f64) / 2.0;
+        dx * dx + dy * dy
+    }
+
+    /// The parabolic inflow profile value at `(i, j)`: `1 - (r/R)²` clamped
+    /// at zero (peak 1 on the axis, 0 at the wall).
+    pub fn inflow_profile(&self, i: usize, j: usize) -> f64 {
+        (1.0 - self.r2(i, j) / (self.radius * self.radius)).max(0.0)
+    }
+
+    /// Split `nz` planes into `ranks` contiguous slabs; returns `(k0, k1)`
+    /// half-open plane ranges per rank, as even as possible.
+    pub fn slab_ranges(&self, ranks: usize) -> Vec<(usize, usize)> {
+        assert!(ranks >= 1 && ranks <= self.nz, "more slabs than planes");
+        let base = self.nz / ranks;
+        let extra = self.nz % ranks;
+        let mut out = Vec::with_capacity(ranks);
+        let mut start = 0;
+        for r in 0..ranks {
+            let len = base + usize::from(r < extra);
+            out.push((start, start + len));
+            start += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cylinder_geometry() {
+        let m = TubeMesh::cylinder(16, 16, 32, 6.0);
+        assert_eq!(m.total_cells(), 16 * 16 * 32);
+        // cross-section ~ pi R^2 = 113, grid-quantized
+        let cs = m.cross_section_cells();
+        assert!((100..=125).contains(&cs), "cs={cs}");
+        assert_eq!(m.active_cells(), cs * 32);
+        // axis active, corner not
+        assert!(m.is_active(7, 7, 0));
+        assert!(!m.is_active(0, 0, 0));
+        assert!(!m.is_active(-1, 7, 0));
+        assert!(!m.is_active(7, 7, 32));
+    }
+
+    #[test]
+    fn inflow_profile_shape() {
+        let m = TubeMesh::cylinder(17, 17, 8, 7.0);
+        // peak at centre (grid (8,8) for nx=17)
+        let centre = m.inflow_profile(8, 8);
+        assert!((centre - 1.0).abs() < 1e-12);
+        assert!(m.inflow_profile(8, 12) < centre);
+        assert_eq!(m.inflow_profile(0, 0), 0.0);
+    }
+
+    #[test]
+    fn slabs_cover_exactly() {
+        let m = TubeMesh::cylinder(8, 8, 37, 3.0);
+        for ranks in [1usize, 2, 3, 5, 8, 37] {
+            let slabs = m.slab_ranges(ranks);
+            assert_eq!(slabs.len(), ranks);
+            assert_eq!(slabs[0].0, 0);
+            assert_eq!(slabs.last().unwrap().1, 37);
+            for w in slabs.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                assert!(w[0].1 > w[0].0, "non-empty");
+            }
+            // balance within one plane
+            let sizes: Vec<usize> = slabs.iter().map(|(a, b)| b - a).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must fit")]
+    fn oversized_radius_rejected() {
+        TubeMesh::cylinder(8, 8, 8, 5.0);
+    }
+
+    #[test]
+    fn flat_index_consistency() {
+        let m = TubeMesh::cylinder(9, 9, 9, 3.5);
+        for k in 0..9 {
+            for j in 0..9 {
+                for i in 0..9 {
+                    assert_eq!(
+                        m.active_flat(m.idx(i, j, k)),
+                        m.is_active(i as isize, j as isize, k as isize)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The 1D arterial pulse-wave fluid code.
+//!
+//! The classical one-dimensional blood-flow model in area/flow form:
+//!
+//! ```text
+//! A_t + Q_x = 0
+//! Q_t + (Q²/A + β/(3ρ)·A^{3/2})_x = −K_r·Q/A
+//! ```
+//!
+//! with the elastic tube law `p = β(√A − √A₀)` folded into the flux (valid
+//! for constant `β`), solved by the two-step Richtmyer Lax–Wendroff scheme.
+//! Small pressure perturbations travel at the Moens–Korteweg speed
+//! `c = √(β/(2ρ))·A^{1/4}`, which the tests verify.
+//!
+//! This is the "fluid sub-domain" code of the FSI pair; the wall-mechanics
+//! code lives in [`crate::wall`].
+
+use serde::{Deserialize, Serialize};
+
+/// Model parameters (CGS-ish units; defaults approximate a large artery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PulseConfig {
+    /// Stations along the vessel.
+    pub n: usize,
+    /// Station spacing, cm.
+    pub dx: f64,
+    /// Time step, s.
+    pub dt: f64,
+    /// Blood density, g/cm³.
+    pub rho: f64,
+    /// Wall stiffness β, dyn/cm³ per √cm².
+    pub beta: f64,
+    /// Reference (unloaded) cross-section area, cm².
+    pub a0: f64,
+    /// Friction coefficient `K_r`, cm²/s.
+    pub kr: f64,
+}
+
+impl PulseConfig {
+    /// A 20 cm artery with physiological-ish parameters and a CFL-safe dt.
+    pub fn artery(n: usize) -> PulseConfig {
+        let a0: f64 = 3.0;
+        let beta: f64 = 4.0e4;
+        let rho: f64 = 1.06;
+        let dx = 20.0 / n as f64;
+        // wave speed at rest
+        let c0 = (beta / (2.0 * rho)).sqrt() * a0.powf(0.25);
+        PulseConfig {
+            n,
+            dx,
+            dt: 0.4 * dx / c0,
+            rho,
+            beta,
+            a0,
+            kr: 8.0,
+        }
+    }
+
+    /// Moens–Korteweg wave speed at area `a`.
+    pub fn wave_speed(&self, a: f64) -> f64 {
+        (self.beta / (2.0 * self.rho)).sqrt() * a.powf(0.25)
+    }
+
+    /// Tube-law pressure at area `a` (relative to external pressure).
+    pub fn pressure(&self, a: f64) -> f64 {
+        self.beta * (a.sqrt() - self.a0.sqrt())
+    }
+}
+
+/// Distal (outlet) boundary condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutletBc {
+    /// Zero-order extrapolation (quasi-non-reflective).
+    Extrapolate,
+    /// Three-element Windkessel: characteristic resistance `r1` in series
+    /// with a parallel `r2 ∥ c` — the standard lumped model of the distal
+    /// vascular bed. Units: dyn·s/cm⁵ and cm⁵/dyn.
+    Windkessel {
+        /// Characteristic (proximal) resistance.
+        r1: f64,
+        /// Peripheral resistance.
+        r2: f64,
+        /// Compliance.
+        c: f64,
+        /// Stored pressure across the compliance (state variable).
+        p_stored: f64,
+    },
+}
+
+/// The fluid state and solver.
+#[derive(Debug, Clone)]
+pub struct PulseSolver {
+    /// Parameters.
+    pub cfg: PulseConfig,
+    /// Cross-section area per station, cm².
+    pub a: Vec<f64>,
+    /// Volumetric flow per station, cm³/s.
+    pub q: Vec<f64>,
+    /// Simulated time, s.
+    pub time: f64,
+    /// Outlet boundary condition.
+    pub outlet: OutletBc,
+    /// Inflow waveform `Q(t)` at the proximal end.
+    inflow: fn(f64) -> f64,
+}
+
+/// A half-sine systolic ejection: 70 ml over 0.3 s, repeating at 1 Hz.
+pub fn cardiac_inflow(t: f64) -> f64 {
+    let phase = t % 1.0;
+    if phase < 0.3 {
+        (std::f64::consts::PI * phase / 0.3).sin() * 350.0
+    } else {
+        0.0
+    }
+}
+
+/// Flux of the conservative system.
+#[inline]
+fn flux(cfg: &PulseConfig, a: f64, q: f64) -> (f64, f64) {
+    (
+        q,
+        q * q / a + cfg.beta / (3.0 * cfg.rho) * a.powf(1.5),
+    )
+}
+
+impl PulseSolver {
+    /// A vessel at rest with the given inflow waveform.
+    pub fn new(cfg: PulseConfig, inflow: fn(f64) -> f64) -> PulseSolver {
+        let n = cfg.n;
+        let a0 = cfg.a0;
+        PulseSolver {
+            cfg,
+            a: vec![a0; n],
+            q: vec![0.0; n],
+            time: 0.0,
+            outlet: OutletBc::Extrapolate,
+            inflow,
+        }
+    }
+
+    /// Attach a physiological Windkessel outlet (replaces extrapolation).
+    pub fn with_windkessel(mut self, r1: f64, r2: f64, c: f64) -> PulseSolver {
+        self.outlet = OutletBc::Windkessel {
+            r1,
+            r2,
+            c,
+            p_stored: 0.0,
+        };
+        self
+    }
+
+    /// One Richtmyer Lax–Wendroff step with friction source.
+    pub fn step(&mut self) {
+        let cfg = &self.cfg;
+        let n = cfg.n;
+        let (dt, dx) = (cfg.dt, cfg.dx);
+        let lam = dt / dx;
+
+        // half-step interface states (n-1 interfaces)
+        let mut ah = vec![0.0; n - 1];
+        let mut qh = vec![0.0; n - 1];
+        for i in 0..n - 1 {
+            let (fa_l, fq_l) = flux(cfg, self.a[i], self.q[i]);
+            let (fa_r, fq_r) = flux(cfg, self.a[i + 1], self.q[i + 1]);
+            ah[i] = 0.5 * (self.a[i] + self.a[i + 1]) - 0.5 * lam * (fa_r - fa_l);
+            qh[i] = 0.5 * (self.q[i] + self.q[i + 1]) - 0.5 * lam * (fq_r - fq_l);
+        }
+        // full step on interior stations
+        let mut a_new = self.a.clone();
+        let mut q_new = self.q.clone();
+        for i in 1..n - 1 {
+            let (fa_l, fq_l) = flux(cfg, ah[i - 1], qh[i - 1]);
+            let (fa_r, fq_r) = flux(cfg, ah[i], qh[i]);
+            a_new[i] = self.a[i] - lam * (fa_r - fa_l);
+            q_new[i] = self.q[i] - lam * (fq_r - fq_l)
+                - dt * cfg.kr * self.q[i] / self.a[i];
+        }
+        // proximal BC: prescribed inflow, area extrapolated
+        q_new[0] = (self.inflow)(self.time + dt);
+        a_new[0] = a_new[1];
+        // distal BC
+        match &mut self.outlet {
+            OutletBc::Extrapolate => {
+                a_new[n - 1] = a_new[n - 2];
+                q_new[n - 1] = q_new[n - 2];
+            }
+            OutletBc::Windkessel { r1, r2, c, p_stored } => {
+                let q_out = q_new[n - 2];
+                // compliance charges from the inflow, drains through r2
+                // (semi-implicit update keeps the stiff RC stable)
+                let denom = 1.0 + dt / (*r2 * *c);
+                *p_stored = (*p_stored + dt * q_out / *c) / denom;
+                let p_terminal = *p_stored + q_out * *r1;
+                // set the outlet area consistent with the tube law
+                let root = p_terminal / cfg.beta + cfg.a0.sqrt();
+                a_new[n - 1] = root.max(1e-6).powi(2);
+                q_new[n - 1] = q_out;
+            }
+        }
+
+        self.a = a_new;
+        self.q = q_new;
+        self.time += dt;
+    }
+
+    /// Advance `steps` steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Pressure per station from the tube law.
+    pub fn pressures(&self) -> Vec<f64> {
+        self.a.iter().map(|&a| self.cfg.pressure(a)).collect()
+    }
+
+    /// Station index of the pressure peak.
+    pub fn peak_station(&self) -> usize {
+        self.a
+            .iter()
+            .enumerate()
+            .max_by(|(_, x), (_, y)| x.partial_cmp(y).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Total vessel volume (∫A dx).
+    pub fn volume(&self) -> f64 {
+        self.a.iter().sum::<f64>() * self.cfg.dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rest_state_is_steady_without_inflow() {
+        let cfg = PulseConfig::artery(200);
+        let mut s = PulseSolver::new(cfg.clone(), |_| 0.0);
+        s.run(500);
+        for (i, &a) in s.a.iter().enumerate() {
+            assert!((a - cfg.a0).abs() < 1e-9, "station {i}: A={a}");
+        }
+        assert!(s.q.iter().all(|&q| q.abs() < 1e-9));
+    }
+
+    #[test]
+    fn pulse_propagates_at_moens_korteweg_speed() {
+        let cfg = PulseConfig::artery(400);
+        let c0 = cfg.wave_speed(cfg.a0);
+        // short pulse then silence
+        fn blip(t: f64) -> f64 {
+            if t < 0.004 {
+                (std::f64::consts::PI * t / 0.004).sin() * 150.0
+            } else {
+                0.0
+            }
+        }
+        let mut s = PulseSolver::new(cfg.clone(), blip);
+        // let the pulse form, record peak, advance, record again
+        let t_form = (0.006 / cfg.dt) as usize;
+        s.run(t_form);
+        let x1 = s.peak_station() as f64 * cfg.dx;
+        let t1 = s.time;
+        let travel_steps = (0.015 / cfg.dt) as usize;
+        s.run(travel_steps);
+        let x2 = s.peak_station() as f64 * cfg.dx;
+        let t2 = s.time;
+        let measured = (x2 - x1) / (t2 - t1);
+        let rel = (measured - c0).abs() / c0;
+        assert!(
+            rel < 0.25,
+            "wave speed {measured:.1} cm/s vs Moens-Korteweg {c0:.1} cm/s (rel {rel:.2})"
+        );
+    }
+
+    #[test]
+    fn volume_grows_with_net_inflow() {
+        let cfg = PulseConfig::artery(200);
+        let mut s = PulseSolver::new(cfg.clone(), |_| 50.0);
+        let v0 = s.volume();
+        // a few steps: inflow has entered, pulse not yet at the outlet
+        s.run(20);
+        let v1 = s.volume();
+        assert!(v1 > v0, "v0={v0} v1={v1}");
+    }
+
+    #[test]
+    fn cardiac_cycle_stays_bounded_and_positive() {
+        let cfg = PulseConfig::artery(200);
+        let mut s = PulseSolver::new(cfg.clone(), cardiac_inflow);
+        let steps = (2.0 / cfg.dt) as usize; // two cardiac cycles
+        s.run(steps);
+        for &a in &s.a {
+            assert!(a.is_finite() && a > 0.5 * cfg.a0 && a < 3.0 * cfg.a0, "A={a}");
+        }
+        // distension happened at some point
+        let p = s.pressures();
+        assert!(p.iter().cloned().fold(f64::MIN, f64::max) > -1e4);
+    }
+
+    #[test]
+    fn windkessel_builds_pressure_and_decays() {
+        let cfg = PulseConfig::artery(150);
+        // physiological-ish terminal bed: Rc ~ 100, Rp ~ 1200, C ~ 1e-4
+        let mut s = PulseSolver::new(cfg.clone(), cardiac_inflow)
+            .with_windkessel(100.0, 1200.0, 1e-4);
+        // run one systole: compliance charges
+        let steps_per_100ms = (0.1 / cfg.dt) as usize;
+        s.run(3 * steps_per_100ms);
+        let p_sys = match &s.outlet {
+            OutletBc::Windkessel { p_stored, .. } => *p_stored,
+            _ => unreachable!(),
+        };
+        assert!(p_sys > 1_000.0, "systole must charge the windkessel: {p_sys}");
+        // diastole (no inflow): stored pressure decays with tau = R2*C
+        s.run(5 * steps_per_100ms);
+        let p_dia = match &s.outlet {
+            OutletBc::Windkessel { p_stored, .. } => *p_stored,
+            _ => unreachable!(),
+        };
+        assert!(p_dia < p_sys, "diastolic decay: {p_dia} vs {p_sys}");
+        assert!(p_dia > 0.0, "but not to zero within ~4 tau");
+        // outlet area stays physical
+        assert!(s.a.iter().all(|&a| a > 0.5 * cfg.a0 && a < 3.0 * cfg.a0));
+    }
+
+    #[test]
+    fn windkessel_reflects_where_extrapolation_does_not() {
+        // a terminal resistance traps wave energy in the vessel; with the
+        // open (extrapolating) outlet the pulse leaves. Compare the total
+        // excess pressure after the pulse has had time to exit/reflect:
+        // vessel 20 cm, c0 ~ 180 cm/s -> transit ~0.11 s; run 0.2 s.
+        let cfg = PulseConfig::artery(200);
+        fn blip(t: f64) -> f64 {
+            if t < 0.01 {
+                (std::f64::consts::PI * t / 0.01).sin() * 200.0
+            } else {
+                0.0
+            }
+        }
+        let steps = (0.2 / cfg.dt) as usize;
+        let mut open = PulseSolver::new(cfg.clone(), blip);
+        // R1 a few x the characteristic impedance (~64 dyn·s/cm^5 here),
+        // compliance with tau = R2·C ~ 0.4 s so the bed stays charged
+        let mut terminated =
+            PulseSolver::new(cfg.clone(), blip).with_windkessel(200.0, 2_000.0, 2e-4);
+        open.run(steps);
+        terminated.run(steps);
+        let stored = |s: &PulseSolver| s.pressures().iter().map(|p| p.abs()).sum::<f64>();
+        assert!(stored(&terminated).is_finite() && stored(&open).is_finite());
+        assert!(
+            stored(&terminated) > 2.0 * stored(&open),
+            "termination must retain wave energy: {} vs {}",
+            stored(&terminated),
+            stored(&open)
+        );
+    }
+
+    #[test]
+    fn pressure_law_monotone() {
+        let cfg = PulseConfig::artery(10);
+        assert!(cfg.pressure(cfg.a0) == 0.0);
+        assert!(cfg.pressure(1.2 * cfg.a0) > 0.0);
+        assert!(cfg.pressure(0.8 * cfg.a0) < 0.0);
+        assert!(cfg.wave_speed(1.2 * cfg.a0) > cfg.wave_speed(cfg.a0));
+    }
+}

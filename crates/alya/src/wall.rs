@@ -1,0 +1,159 @@
+//! The wall-mechanics "solid code" of the FSI pair.
+//!
+//! A viscoelastic (Voigt) radial model per axial station: the wall area
+//! relaxes toward the elastic equilibrium of the tube law under the fluid
+//! pressure,
+//!
+//! ```text
+//! η·dA/dt = p_fluid − β(√A − √A₀)
+//! ```
+//!
+//! integrated with sub-stepped explicit Euler (the equation is stiff for
+//! small η, so the sub-step count adapts). In the stiff limit (η → 0) the
+//! wall reproduces the pure elastic tube law — which is how the coupled
+//! FSI tests anchor themselves to the standalone fluid solution.
+
+use serde::{Deserialize, Serialize};
+
+/// Wall parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallConfig {
+    /// Stations (must match the fluid grid).
+    pub n: usize,
+    /// Elastic stiffness β (same as the fluid's tube law).
+    pub beta: f64,
+    /// Reference area A₀.
+    pub a0: f64,
+    /// Viscous coefficient η (dyn·s/cm³ per cm²); smaller = stiffer.
+    pub eta: f64,
+}
+
+/// The solid code.
+#[derive(Debug, Clone)]
+pub struct WallSolver {
+    /// Parameters.
+    pub cfg: WallConfig,
+    /// Wall cross-section area per station.
+    pub a: Vec<f64>,
+}
+
+impl WallSolver {
+    /// A wall at its reference area.
+    pub fn new(cfg: WallConfig) -> WallSolver {
+        let a = vec![cfg.a0; cfg.n];
+        WallSolver { cfg, a }
+    }
+
+    /// Elastic equilibrium area under pressure `p`: invert
+    /// `p = β(√A − √A₀)`.
+    pub fn equilibrium_area(&self, p: f64) -> f64 {
+        let root = p / self.cfg.beta + self.cfg.a0.sqrt();
+        (root.max(1e-6)).powi(2)
+    }
+
+    /// Advance the wall by `dt` under the given fluid pressures.
+    ///
+    /// # Panics
+    /// Panics if `pressures.len()` differs from the station count.
+    pub fn step(&mut self, pressures: &[f64], dt: f64) {
+        assert_eq!(pressures.len(), self.cfg.n, "station mismatch");
+        let beta = self.cfg.beta;
+        let a0s = self.cfg.a0.sqrt();
+        let eta = self.cfg.eta.max(1e-12);
+        // stability of explicit Euler on the linearized equation requires
+        // sub_dt < 2*eta/(beta/(2*sqrt(A))); sub-step conservatively
+        let stiffness = beta / (2.0 * self.cfg.a0.sqrt());
+        let max_sub_dt = eta / stiffness;
+        let substeps = ((dt / max_sub_dt).ceil() as usize).clamp(1, 10_000);
+        let sub_dt = dt / substeps as f64;
+        for (a, &p) in self.a.iter_mut().zip(pressures) {
+            for _ in 0..substeps {
+                let restoring = beta * (a.sqrt() - a0s);
+                *a += sub_dt * (p - restoring) / eta;
+                *a = a.max(1e-6);
+            }
+        }
+    }
+
+    /// The wall's own pressure (tube law at the wall's current area).
+    pub fn pressures(&self) -> Vec<f64> {
+        let a0s = self.cfg.a0.sqrt();
+        self.a
+            .iter()
+            .map(|a| self.cfg.beta * (a.sqrt() - a0s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WallConfig {
+        WallConfig {
+            n: 8,
+            beta: 4.0e4,
+            a0: 3.0,
+            eta: 50.0,
+        }
+    }
+
+    #[test]
+    fn zero_pressure_is_equilibrium() {
+        let mut w = WallSolver::new(cfg());
+        w.step(&vec![0.0; 8], 0.01);
+        for &a in &w.a {
+            assert!((a - 3.0).abs() < 1e-9, "A={a}");
+        }
+    }
+
+    #[test]
+    fn relaxes_to_elastic_equilibrium() {
+        let mut w = WallSolver::new(cfg());
+        let p = 5_000.0;
+        let target = w.equilibrium_area(p);
+        // plenty of time to relax
+        for _ in 0..200 {
+            w.step(&vec![p; 8], 0.01);
+        }
+        for &a in &w.a {
+            let rel = (a - target).abs() / target;
+            assert!(rel < 1e-6, "A={a} target={target}");
+        }
+        assert!(target > 3.0, "positive pressure distends");
+    }
+
+    #[test]
+    fn equilibrium_area_inverts_tube_law() {
+        let w = WallSolver::new(cfg());
+        for p in [-3_000.0, 0.0, 2_000.0, 10_000.0] {
+            let a = w.equilibrium_area(p);
+            let back = w.cfg.beta * (a.sqrt() - w.cfg.a0.sqrt());
+            assert!((back - p).abs() < 1e-6, "p={p} back={back}");
+        }
+    }
+
+    #[test]
+    fn stiffer_wall_relaxes_faster() {
+        let p = vec![4_000.0; 8];
+        let mut soft = WallSolver::new(WallConfig { eta: 500.0, ..cfg() });
+        let mut stiff = WallSolver::new(WallConfig { eta: 5.0, ..cfg() });
+        soft.step(&p, 0.005);
+        stiff.step(&p, 0.005);
+        let target = soft.equilibrium_area(4_000.0);
+        let d_soft = (soft.a[0] - target).abs();
+        let d_stiff = (stiff.a[0] - target).abs();
+        assert!(d_stiff < d_soft, "stiff {d_stiff} vs soft {d_soft}");
+    }
+
+    #[test]
+    fn wall_pressure_consistent_with_area() {
+        let mut w = WallSolver::new(cfg());
+        for _ in 0..500 {
+            w.step(&vec![2_500.0; 8], 0.01);
+        }
+        for p in w.pressures() {
+            assert!((p - 2_500.0).abs() / 2_500.0 < 1e-6, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the mini-Alya solvers.
+
+use harborsim_alya::cfd::{CfdConfig, CfdSolver};
+use harborsim_alya::mesh::TubeMesh;
+use harborsim_alya::pulse1d::{PulseConfig, PulseSolver};
+use harborsim_alya::wall::{WallConfig, WallSolver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The CFD solver is stable (bounded fields) for any inflow within the
+    /// configured stability envelope.
+    #[test]
+    fn cfd_bounded_for_stable_configs(peak in 0.01f64..0.2, reynolds in 10.0f64..80.0) {
+        let mesh = TubeMesh::cylinder(9, 9, 16, 3.2);
+        let cfg = CfdConfig::stable(&mesh, reynolds, peak);
+        let mut s = CfdSolver::new(mesh, cfg);
+        s.run(15);
+        let bound = 5.0 * peak;
+        for &w in &s.w {
+            prop_assert!(w.is_finite() && w.abs() < bound, "w={w} bound={bound}");
+        }
+    }
+
+    /// The pulse solver preserves the rest state exactly for zero inflow,
+    /// regardless of resolution.
+    #[test]
+    fn pulse_rest_state_invariant(n in 16usize..200) {
+        let cfg = PulseConfig::artery(n);
+        let a0 = cfg.a0;
+        let mut s = PulseSolver::new(cfg, |_| 0.0);
+        s.run(100);
+        for &a in &s.a {
+            prop_assert!((a - a0).abs() < 1e-9);
+        }
+    }
+
+    /// The wall ODE always relaxes monotonically toward its equilibrium.
+    #[test]
+    fn wall_relaxation_monotone(p in -5_000.0f64..15_000.0, eta in 1.0f64..200.0) {
+        let cfg = WallConfig { n: 1, beta: 4.0e4, a0: 3.0, eta };
+        let mut w = WallSolver::new(cfg);
+        let target = w.equilibrium_area(p);
+        let mut dist = (w.a[0] - target).abs();
+        for _ in 0..50 {
+            w.step(&[p], 0.002);
+            let d = (w.a[0] - target).abs();
+            prop_assert!(d <= dist + 1e-12, "distance must shrink: {dist} -> {d}");
+            dist = d;
+        }
+    }
+
+    /// Mesh slab decomposition is a partition for every valid rank count.
+    #[test]
+    fn slabs_partition(nz in 8usize..120, ranks_frac in 0.0f64..1.0) {
+        let mesh = TubeMesh::cylinder(7, 7, nz, 2.5);
+        let ranks = 1 + ((nz - 1) as f64 * ranks_frac) as usize;
+        let slabs = mesh.slab_ranges(ranks);
+        let covered: usize = slabs.iter().map(|(a, b)| b - a).sum();
+        prop_assert_eq!(covered, nz);
+    }
+}
+
+/// Grid refinement improves the Poiseuille centreline ratio toward 2.0.
+#[test]
+fn poiseuille_converges_under_refinement() {
+    let ratio_for = |nx: usize, r: f64| {
+        let mesh = TubeMesh::cylinder(nx, nx, 40, r);
+        let mut cfg = CfdConfig::stable(&mesh, 20.0, 0.08);
+        cfg.cg_tol = 1e-9;
+        let mut s = CfdSolver::new(mesh, cfg);
+        for _ in 0..40 {
+            s.run(25);
+        }
+        let k = s.mesh.nz / 2;
+        let mean = s.mean_axial_velocity(k);
+        let centre = s
+            .axial_profile(k)
+            .iter()
+            .filter(|(rr, _)| *rr < 1.0)
+            .map(|(_, w)| *w)
+            .fold(0.0_f64, f64::max);
+        centre / mean
+    };
+    let coarse = ratio_for(9, 3.2);
+    let fine = ratio_for(15, 6.0);
+    assert!(
+        (fine - 2.0).abs() <= (coarse - 2.0).abs() + 0.05,
+        "refinement must not worsen the profile: coarse {coarse:.3}, fine {fine:.3}"
+    );
+}

@@ -1,0 +1,88 @@
+//! Job descriptions and outcomes.
+
+use harborsim_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A batch job as submitted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Submission-order id.
+    pub id: u32,
+    /// Human name ("fsi-artery-run3").
+    pub name: String,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// User's walltime estimate (the scheduler plans with this).
+    pub walltime: SimDuration,
+    /// What the job actually takes (staging + launch + solve); the
+    /// scheduler only learns this when the job ends. Must not exceed the
+    /// walltime (jobs are killed at the limit — modelled as exact).
+    pub runtime: SimDuration,
+    /// Submission time.
+    pub submit: SimTime,
+}
+
+impl Job {
+    /// Quick constructor with seconds-based times.
+    pub fn new(id: u32, nodes: u32, walltime_s: f64, runtime_s: f64, submit_s: f64) -> Job {
+        assert!(runtime_s <= walltime_s, "runtime exceeds walltime: job would be killed");
+        Job {
+            id,
+            name: format!("job-{id}"),
+            nodes,
+            walltime: SimDuration::from_secs_f64(walltime_s),
+            runtime: SimDuration::from_secs_f64(runtime_s),
+            submit: SimTime::ZERO + SimDuration::from_secs_f64(submit_s),
+        }
+    }
+}
+
+/// What happened to a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job id.
+    pub id: u32,
+    /// When it started.
+    pub start: SimTime,
+    /// When it finished.
+    pub end: SimTime,
+    /// Queue wait (start − submit).
+    pub wait: SimDuration,
+}
+
+impl JobOutcome {
+    /// Turnaround (end − submit).
+    pub fn turnaround(&self, submit: SimTime) -> SimDuration {
+        self.end.since(submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_checks_walltime() {
+        let j = Job::new(1, 4, 3600.0, 1800.0, 0.0);
+        assert_eq!(j.nodes, 4);
+        assert!(j.runtime < j.walltime);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime exceeds walltime")]
+    fn overlong_jobs_rejected() {
+        Job::new(1, 4, 100.0, 200.0, 0.0);
+    }
+
+    #[test]
+    fn turnaround_accounts_queue_and_run() {
+        let o = JobOutcome {
+            id: 1,
+            start: SimTime::ZERO + SimDuration::from_secs(50),
+            end: SimTime::ZERO + SimDuration::from_secs(150),
+            wait: SimDuration::from_secs(40),
+        };
+        let submit = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(o.turnaround(submit), SimDuration::from_secs(140));
+    }
+}

@@ -1,0 +1,24 @@
+//! # harborsim-batch
+//!
+//! The batch-system substrate. Every run in the paper went through a batch
+//! scheduler (SLURM on the BSC machines); what a user experiences is not
+//! the solver time but the *turnaround*: queue wait + image staging + job
+//! launch + execution. This crate supplies:
+//!
+//! - [`job`] — job descriptions (node request, walltime estimate, actual
+//!   runtime) and per-job outcome records;
+//! - [`scheduler`] — a discrete-event cluster scheduler with FIFO order and
+//!   EASY backfilling (the standard production policy: the queue head gets
+//!   a reservation, later jobs may jump ahead only if they cannot delay
+//!   it);
+//! - [`campaign`] — containerized campaign modelling: a sequence of jobs
+//!   under one technology, with cross-job cache effects (Shifter's gateway
+//!   conversion and Docker's node-layer caches pay once).
+
+pub mod campaign;
+pub mod job;
+pub mod scheduler;
+
+pub use campaign::{Campaign, CampaignReport};
+pub use job::{Job, JobOutcome};
+pub use scheduler::Scheduler;

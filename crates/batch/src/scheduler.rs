@@ -1,0 +1,311 @@
+//! A FIFO + EASY-backfill cluster scheduler as a discrete-event simulation.
+//!
+//! The production policy on machines like MareNostrum4: jobs start in
+//! submission order; when the queue head does not fit, it receives a
+//! *reservation* at the earliest instant enough nodes will be free, and
+//! later jobs may start out of order ("backfill") only if doing so cannot
+//! delay that reservation — either they finish before it (by their
+//! walltime estimate), or they fit in nodes the head will not need.
+
+use crate::job::{Job, JobOutcome};
+use harborsim_des::{Engine, SimTime};
+use std::collections::VecDeque;
+
+struct Running {
+    #[allow(dead_code)]
+    id: u32,
+    nodes: u32,
+    /// When the scheduler may count these nodes free (walltime-based for
+    /// planning; the actual release event uses the true runtime).
+    est_end: SimTime,
+}
+
+struct State {
+    total_nodes: u32,
+    free: u32,
+    queue: VecDeque<Job>,
+    running: Vec<Running>,
+    outcomes: Vec<JobOutcome>,
+    busy_node_seconds: f64,
+    last_change: SimTime,
+}
+
+impl State {
+    fn account(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        self.busy_node_seconds += dt * (self.total_nodes - self.free) as f64;
+        self.last_change = now;
+    }
+}
+
+/// The scheduler: submit jobs, then [`Scheduler::run`].
+pub struct Scheduler {
+    jobs: Vec<Job>,
+    total_nodes: u32,
+}
+
+/// The result of a scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Per-job outcomes, submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Makespan (last end time).
+    pub makespan: SimTime,
+    /// Mean node utilization over the makespan (0..1).
+    pub utilization: f64,
+}
+
+impl Scheduler {
+    /// A scheduler over a machine of `total_nodes` nodes.
+    pub fn new(total_nodes: u32) -> Scheduler {
+        assert!(total_nodes > 0);
+        Scheduler {
+            jobs: Vec::new(),
+            total_nodes,
+        }
+    }
+
+    /// Queue a job (any submit time; jobs are sorted internally).
+    ///
+    /// # Panics
+    /// Panics if the job requests more nodes than the machine has.
+    pub fn submit(&mut self, job: Job) {
+        assert!(
+            job.nodes <= self.total_nodes,
+            "job {} wants {} nodes, machine has {}",
+            job.id,
+            job.nodes,
+            self.total_nodes
+        );
+        self.jobs.push(job);
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> ScheduleResult {
+        let mut eng: Engine<State> = Engine::new();
+        let mut state = State {
+            total_nodes: self.total_nodes,
+            free: self.total_nodes,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            outcomes: Vec::new(),
+            busy_node_seconds: 0.0,
+            last_change: SimTime::ZERO,
+        };
+        let mut jobs = self.jobs;
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        for job in jobs {
+            let at = job.submit;
+            eng.schedule_at(at, move |eng, st: &mut State| {
+                st.queue.push_back(job.clone());
+                try_schedule(eng, st);
+            });
+        }
+        eng.run(&mut state);
+        assert!(state.queue.is_empty(), "scheduler left jobs queued");
+        assert!(state.running.is_empty(), "scheduler left jobs running");
+        state.account(eng.now());
+        let makespan = eng.now();
+        let util = if makespan == SimTime::ZERO {
+            0.0
+        } else {
+            state.busy_node_seconds / (makespan.as_secs_f64() * self.total_nodes as f64)
+        };
+        let mut outcomes = state.outcomes;
+        outcomes.sort_by_key(|o| o.id);
+        ScheduleResult {
+            outcomes,
+            makespan,
+            utilization: util,
+        }
+    }
+}
+
+fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job) {
+    let now = eng.now();
+    st.account(now);
+    debug_assert!(st.free >= job.nodes);
+    st.free -= job.nodes;
+    st.running.push(Running {
+        id: job.id,
+        nodes: job.nodes,
+        est_end: now + job.walltime,
+    });
+    st.outcomes.push(JobOutcome {
+        id: job.id,
+        start: now,
+        end: now, // patched at finish
+        wait: now.since(job.submit),
+    });
+    let (id, nodes, runtime) = (job.id, job.nodes, job.runtime);
+    eng.schedule(runtime, move |eng, st: &mut State| {
+        let now = eng.now();
+        st.account(now);
+        st.free += nodes;
+        st.running.retain(|r| r.id != id);
+        if let Some(o) = st.outcomes.iter_mut().find(|o| o.id == id) {
+            o.end = now;
+        }
+        try_schedule(eng, st);
+    });
+}
+
+/// FIFO start + EASY backfill pass.
+fn try_schedule(eng: &mut Engine<State>, st: &mut State) {
+    // start the head (and successive heads) while they fit
+    while let Some(head) = st.queue.front() {
+        if head.nodes <= st.free {
+            let job = st.queue.pop_front().expect("head exists");
+            start_job(eng, st, job);
+        } else {
+            break;
+        }
+    }
+    let Some(head) = st.queue.front() else {
+        return;
+    };
+    // reservation for the head: walk running jobs by estimated end until
+    // enough nodes accumulate
+    let mut ends: Vec<(SimTime, u32)> = st.running.iter().map(|r| (r.est_end, r.nodes)).collect();
+    ends.sort();
+    let mut avail = st.free;
+    let mut shadow = SimTime::MAX;
+    for (t, n) in &ends {
+        avail += n;
+        if avail >= head.nodes {
+            shadow = *t;
+            break;
+        }
+    }
+    debug_assert!(shadow != SimTime::MAX, "head can never run?");
+    // nodes not claimed by the head at the shadow time
+    let spare_at_shadow = avail.saturating_sub(head.nodes);
+    let head_nodes = head.nodes;
+    let _ = head_nodes;
+    // backfill pass over the rest of the queue
+    let now = eng.now();
+    let mut i = 1;
+    while i < st.queue.len() {
+        let cand = &st.queue[i];
+        let fits_now = cand.nodes <= st.free;
+        let ends_before_shadow = now + cand.walltime <= shadow;
+        let uses_spare = cand.nodes <= spare_at_shadow;
+        if fits_now && (ends_before_shadow || uses_spare) {
+            let job = st.queue.remove(i).expect("index checked");
+            start_job(eng, st, job);
+            // free changed; the head still cannot start (its requirement
+            // exceeded free before, and backfilled jobs only shrank free)
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_des::SimDuration;
+
+    fn outcome(res: &ScheduleResult, id: u32) -> &JobOutcome {
+        res.outcomes.iter().find(|o| o.id == id).unwrap()
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let mut s = Scheduler::new(8);
+        s.submit(Job::new(1, 4, 100.0, 60.0, 0.0));
+        let res = s.run();
+        let o = outcome(&res, 1);
+        assert_eq!(o.wait, SimDuration::ZERO);
+        assert!((o.end.as_secs_f64() - 60.0).abs() < 1e-9);
+        assert!((res.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_order_without_backfill_opportunity() {
+        let mut s = Scheduler::new(4);
+        // two full-machine jobs: strictly sequential
+        s.submit(Job::new(1, 4, 100.0, 100.0, 0.0));
+        s.submit(Job::new(2, 4, 100.0, 100.0, 0.0));
+        let res = s.run();
+        assert!(outcome(&res, 1).start.as_secs_f64().abs() < 1e-9);
+        assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
+        assert!((res.makespan.as_secs_f64() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn easy_backfill_fills_the_hole() {
+        let mut s = Scheduler::new(4);
+        s.submit(Job::new(1, 2, 100.0, 100.0, 0.0)); // runs on 2 nodes
+        s.submit(Job::new(2, 4, 100.0, 100.0, 0.0)); // head: must wait for all 4
+        s.submit(Job::new(3, 2, 50.0, 50.0, 0.0)); // fits the hole and ends before the shadow
+        let res = s.run();
+        assert!(outcome(&res, 3).start.as_secs_f64().abs() < 1e-9, "backfilled");
+        assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9, "head undelayed");
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head() {
+        let mut s = Scheduler::new(4);
+        s.submit(Job::new(1, 2, 100.0, 100.0, 0.0));
+        s.submit(Job::new(2, 4, 100.0, 100.0, 0.0)); // head, shadow = 100
+        s.submit(Job::new(3, 2, 200.0, 200.0, 0.0)); // would delay the head: no backfill
+        let res = s.run();
+        assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
+        assert!(outcome(&res, 3).start.as_secs_f64() >= 100.0);
+    }
+
+    #[test]
+    fn early_finish_releases_nodes_early() {
+        let mut s = Scheduler::new(4);
+        // estimates 100 but actually finishes at 30
+        s.submit(Job::new(1, 4, 100.0, 30.0, 0.0));
+        s.submit(Job::new(2, 4, 100.0, 50.0, 0.0));
+        let res = s.run();
+        assert!((outcome(&res, 2).start.as_secs_f64() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_submissions() {
+        let mut s = Scheduler::new(4);
+        s.submit(Job::new(1, 4, 60.0, 60.0, 0.0));
+        s.submit(Job::new(2, 2, 60.0, 60.0, 100.0)); // machine idle when it arrives
+        let res = s.run();
+        assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
+        assert_eq!(outcome(&res, 2).wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut s = Scheduler::new(8);
+        for i in 0..10 {
+            s.submit(Job::new(i, 1 + i % 4, 150.0, 40.0 + 5.0 * i as f64, 10.0 * i as f64));
+        }
+        let res = s.run();
+        assert!(res.utilization > 0.0 && res.utilization <= 1.0);
+        assert_eq!(res.outcomes.len(), 10);
+        // conservation: every job ran for exactly its runtime
+        for (i, o) in res.outcomes.iter().enumerate() {
+            let expected = 40.0 + 5.0 * i as f64;
+            assert!(
+                (o.end.since(o.start).as_secs_f64() - expected).abs() < 1e-9,
+                "job {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = || {
+            let mut s = Scheduler::new(6);
+            for i in 0..12 {
+                s.submit(Job::new(i, 1 + (i * 7) % 5, 300.0, 100.0 + (i * 13) as f64 % 150.0, (i * 31) as f64 % 200.0));
+            }
+            s.run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

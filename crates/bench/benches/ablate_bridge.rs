@@ -1,0 +1,75 @@
+//! Ablation: how much bridge overhead can Docker afford? (DESIGN.md §5)
+//!
+//! Sweeps the serialized per-message softirq/NAT cost of the Docker bridge
+//! and reports the slowdown vs bare metal at the paper's pure-MPI 112×1
+//! configuration — answering "what would Docker's networking need to cost
+//! for it to match Singularity?".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_core::workloads;
+use harborsim_net::DataPath;
+use std::hint::black_box;
+
+fn slowdown_at(serialized_us: f64) -> f64 {
+    use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
+    use harborsim_mpi::RankMap;
+    use harborsim_net::{NetworkModel, Topology, TransportSelection};
+
+    let cluster = harborsim_hw::presets::lenox();
+    let case = workloads::artery_cfd_lenox();
+    let map = RankMap::block(4, 28, 1);
+    let job = harborsim_alya::workload::AlyaCase::job_profile(&case, map.ranks());
+    let run = |path: DataPath, tax: f64| {
+        AnalyticEngine {
+            node: cluster.node.clone(),
+            network: NetworkModel::compose(
+                cluster.interconnect,
+                TransportSelection::Native,
+                path,
+                Topology::small_cluster(),
+            ),
+            map,
+            config: EngineConfig {
+                compute_tax: tax,
+                ..EngineConfig::default()
+            },
+        }
+        .run(&job, 1)
+        .elapsed
+        .as_secs_f64()
+    };
+    let bare = run(DataPath::Host, 1.0);
+    let docker = run(
+        DataPath::DockerBridge {
+            per_message_cpu_s: 45e-6,
+            serialized_per_msg_s: serialized_us * 1e-6,
+            bandwidth_cap_bps: 2.5e9,
+        },
+        1.02,
+    );
+    docker / bare
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Docker slowdown vs bare metal at 112x1 on Lenox, by bridge cost:");
+    let mut prev = 0.0;
+    for us in [0.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
+        let s = slowdown_at(us);
+        println!("  serialized {us:>4.0} us/msg -> {s:.2}x");
+        assert!(s >= prev, "slowdown must be monotone in bridge cost");
+        prev = s;
+    }
+    // with a free bridge Docker still pays its per-message CPU + cgroup tax
+    assert!(slowdown_at(0.0) > 1.0);
+    assert!(slowdown_at(10.0) > 1.4, "default bridge must reproduce Fig. 1");
+
+    let mut g = c.benchmark_group("ablate_bridge");
+    g.sample_size(20);
+    g.bench_function("slowdown_sweep_point", |b| {
+        b.iter(|| black_box(slowdown_at(black_box(10.0))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

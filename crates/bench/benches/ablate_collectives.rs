@@ -1,0 +1,100 @@
+//! Ablation: allreduce algorithm choice (DESIGN.md §5).
+//!
+//! Recursive doubling vs ring vs Rabenseifner at the payload sizes Alya
+//! produces: 8-byte dot products (latency-bound, the FSI case's staple)
+//! through multi-megabyte reductions (bandwidth-bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim_mpi::collectives::AllreduceAlgo;
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::RankMap;
+use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
+use std::hint::black_box;
+
+fn engine(algo: AllreduceAlgo) -> AnalyticEngine {
+    AnalyticEngine {
+        node: harborsim_hw::presets::marenostrum4().node,
+        network: NetworkModel::compose(
+            harborsim_hw::InterconnectKind::OmniPath100,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::mn4_fat_tree(),
+        ),
+        map: RankMap::block(32, 48, 1),
+        config: EngineConfig {
+            allreduce_algo: algo,
+            ..EngineConfig::default()
+        },
+    }
+}
+
+fn allreduce_job(bytes: u64) -> JobProfile {
+    JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 0.0,
+            imbalance: 1.0,
+            regions: 0.0,
+            comm: vec![CommPhase::Allreduce { bytes, repeats: 1 }],
+        },
+        1,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    // print the predicted cost table once — the actual ablation result
+    println!("allreduce cost on 1536 ranks (MN4/Omni-Path):");
+    println!("{:>10} {:>16} {:>16} {:>16}", "bytes", "rec-doubling", "ring", "rabenseifner");
+    for bytes in [8u64, 1024, 64 * 1024, 8 << 20] {
+        let t = |algo| {
+            engine(algo)
+                .run(&allreduce_job(bytes), 1)
+                .elapsed
+                .as_secs_f64()
+                * 1e6
+        };
+        println!(
+            "{:>10} {:>14.1}us {:>14.1}us {:>14.1}us",
+            bytes,
+            t(AllreduceAlgo::RecursiveDoubling),
+            t(AllreduceAlgo::Ring),
+            t(AllreduceAlgo::Rabenseifner)
+        );
+    }
+    // the crossover the textbooks promise: ring wins for huge payloads,
+    // recursive doubling for tiny ones
+    let tiny_rd = engine(AllreduceAlgo::RecursiveDoubling)
+        .run(&allreduce_job(8), 1)
+        .elapsed;
+    let tiny_ring = engine(AllreduceAlgo::Ring).run(&allreduce_job(8), 1).elapsed;
+    assert!(tiny_rd < tiny_ring);
+    let big_rd = engine(AllreduceAlgo::RecursiveDoubling)
+        .run(&allreduce_job(64 << 20), 1)
+        .elapsed;
+    let big_ring = engine(AllreduceAlgo::Ring)
+        .run(&allreduce_job(64 << 20), 1)
+        .elapsed;
+    assert!(big_ring < big_rd, "ring must win at 64 MB: {big_ring} vs {big_rd}");
+
+    let mut g = c.benchmark_group("ablate_collectives");
+    g.sample_size(20);
+    for algo in [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::Rabenseifner,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("cost_model_8B", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                let e = engine(algo);
+                let job = allreduce_job(8);
+                b.iter(|| black_box(e.run(&job, 1).elapsed));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

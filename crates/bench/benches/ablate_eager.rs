@@ -1,0 +1,78 @@
+//! Ablation: the eager/rendezvous protocol threshold (DESIGN.md §5).
+//!
+//! Below the threshold a message costs `2o + L + bytes/BW`; above it the
+//! rendezvous handshake adds a full round-trip. Sweeping the threshold on a
+//! halo-heavy workload shows where the protocol switch starts to matter —
+//! and that it cannot explain the container effects (both engines apply the
+//! same protocol regardless of runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::RankMap;
+use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
+use std::hint::black_box;
+
+fn elapsed_with_threshold(eager_threshold: u64, halo_bytes: u64) -> f64 {
+    let cluster = harborsim_hw::presets::cte_power();
+    let mut network = NetworkModel::compose(
+        cluster.interconnect,
+        TransportSelection::Native,
+        DataPath::Host,
+        Topology::cte_fat_tree(),
+    );
+    network.inter.eager_threshold = eager_threshold;
+    network.intra.eager_threshold = eager_threshold;
+    let map = RankMap::block(8, 40, 1);
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e8,
+            imbalance: 1.0,
+            regions: 1.0,
+            comm: vec![CommPhase::Halo1D {
+                bytes: halo_bytes,
+                repeats: 30,
+            }],
+        },
+        50,
+    );
+    AnalyticEngine {
+        node: cluster.node,
+        network,
+        map,
+        config: EngineConfig::default(),
+    }
+    .run(&job, 1)
+    .elapsed
+    .as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let halo = 32 * 1024; // the CFD case's CG halo scale
+    println!("eager-threshold sweep (32 KB halos on InfiniBand EDR):");
+    let mut last = f64::INFINITY;
+    for threshold in [1u64, 4 << 10, 16 << 10, 64 << 10, 1 << 20] {
+        let t = elapsed_with_threshold(threshold, halo);
+        println!("  threshold {threshold:>8} B -> {t:.3} s");
+        // raising the threshold past the message size removes handshakes:
+        // times are non-increasing along the sweep
+        assert!(t <= last * 1.001, "raising the threshold must not slow things");
+        last = t;
+    }
+    let rendezvous = elapsed_with_threshold(1, halo);
+    let eager = elapsed_with_threshold(1 << 20, halo);
+    assert!(
+        rendezvous > eager,
+        "forcing rendezvous must cost: {rendezvous} vs {eager}"
+    );
+
+    let mut g = c.benchmark_group("ablate_eager");
+    g.sample_size(20);
+    g.bench_function("cost_model_point", |b| {
+        b.iter(|| black_box(elapsed_with_threshold(black_box(16 << 10), halo)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: the two MPI performance engines.
+//!
+//! The message-level DES engine and the closed-form analytic engine consume
+//! the same workload IR; this bench measures the accuracy/throughput
+//! trade-off between them on the same scenario (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_core::scenario::{EngineKind, Execution, Scenario};
+use harborsim_core::workloads;
+use std::hint::black_box;
+
+fn scenario(engine: EngineKind) -> Scenario {
+    Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_small())
+        .execution(Execution::singularity_self_contained())
+        .nodes(4)
+        .ranks_per_node(14)
+        .engine(engine)
+}
+
+fn bench(c: &mut Criterion) {
+    // report the accuracy gap once
+    let a = scenario(EngineKind::Analytic).run(5).elapsed.as_secs_f64();
+    let d = scenario(EngineKind::Des {
+        max_steps_per_kind: 5,
+    })
+    .run(5)
+    .elapsed
+    .as_secs_f64();
+    println!("engine predictions: analytic={a:.3}s des={d:.3}s ratio={:.3}", d / a);
+    assert!((0.4..2.5).contains(&(d / a)), "engines diverged: {a} vs {d}");
+
+    let mut g = c.benchmark_group("ablate_engines");
+    g.sample_size(10);
+    g.bench_function("analytic_56_ranks", |b| {
+        let sc = scenario(EngineKind::Analytic);
+        b.iter(|| black_box(sc.run(black_box(3)).elapsed));
+    });
+    g.bench_function("des_56_ranks", |b| {
+        let sc = scenario(EngineKind::Des {
+            max_steps_per_kind: 5,
+        });
+        b.iter(|| black_box(sc.run(black_box(3)).elapsed));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the simulation substrates: DES event throughput,
+//! fair-share fluid links, RNG streams, and the message-level MPI engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harborsim_des::{Engine, FluidLink, RngStream, SimDuration};
+use harborsim_mpi::analytic::EngineConfig;
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::{DesEngine, RankMap};
+use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
+use std::hint::black_box;
+
+fn bench_des_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+    let n: u64 = 100_000;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("event_chain_100k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            fn tick(eng: &mut Engine<u64>, left: &mut u64) {
+                if *left > 0 {
+                    *left -= 1;
+                    eng.schedule(SimDuration::from_nanos(10), tick);
+                }
+            }
+            eng.schedule(SimDuration::from_nanos(10), tick);
+            let mut left = n;
+            eng.run(&mut left);
+            black_box(eng.now())
+        });
+    });
+    g.bench_function("heap_fanout_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..10_000u64 {
+                eng.schedule(SimDuration::from_nanos(i % 997), |_, c| *c += 1);
+            }
+            let mut count = 0;
+            eng.run(&mut count);
+            black_box(count)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    struct St {
+        link: FluidLink<St>,
+        done: u32,
+    }
+    fn acc(s: &mut St) -> &mut FluidLink<St> {
+        &mut s.link
+    }
+    let mut g = c.benchmark_group("fluid_link");
+    g.bench_function("storm_512_flows", |b| {
+        b.iter(|| {
+            let mut eng: Engine<St> = Engine::new();
+            let mut st = St {
+                link: FluidLink::new(1e9, acc),
+                done: 0,
+            };
+            for i in 0..512u64 {
+                eng.schedule(SimDuration::from_micros(i), |eng, st: &mut St| {
+                    st.link.start_flow(eng, 1e6, |_, st| st.done += 1);
+                });
+            }
+            eng.run(&mut st);
+            black_box(st.done)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("splitmix_1m", |b| {
+        let mut r = RngStream::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= r.next_u64();
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_des_mpi(c: &mut Criterion) {
+    let engine = DesEngine {
+        node: harborsim_hw::presets::lenox().node,
+        network: NetworkModel::compose(
+            harborsim_hw::InterconnectKind::GigabitEthernet,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::small_cluster(),
+        ),
+        map: RankMap::block(4, 28, 1),
+        config: EngineConfig::default(),
+    };
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e7,
+            imbalance: 1.02,
+            regions: 4.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 10_000,
+                    repeats: 4,
+                },
+                CommPhase::Allreduce { bytes: 8, repeats: 8 },
+            ],
+        },
+        5,
+    );
+    let probe = engine.run(&job, 1);
+    let msgs = probe.inter_node_msgs + probe.intra_node_msgs;
+    let mut g = c.benchmark_group("des_mpi");
+    g.throughput(Throughput::Elements(msgs));
+    g.bench_function("message_level_112_ranks", |b| {
+        b.iter(|| black_box(engine.run(&job, 1).elapsed));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_des_events, bench_fluid, bench_rng, bench_des_mpi);
+criterion_main!(benches);

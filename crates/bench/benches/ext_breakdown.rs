@@ -1,0 +1,24 @@
+//! Bench: the time-decomposition extension (incl. the Docker `--net=host`
+//! mechanism ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_table;
+use harborsim_core::experiments::ext_breakdown;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = ext_breakdown::run(1);
+    write_table(&ext_breakdown::table(&rows));
+    let violations = ext_breakdown::check_shape(&rows);
+    assert!(violations.is_empty(), "breakdown shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("ext_breakdown");
+    g.sample_size(10);
+    g.bench_function("five_way_decomposition", |b| {
+        b.iter(|| black_box(ext_breakdown::run(black_box(1))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: the future-work extension — image-startup storms (I/O and
+//! distributed storage behaviour of containers at scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_figure;
+use harborsim_core::experiments::ext_io;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = ext_io::run();
+    write_figure(&fig);
+    let violations = ext_io::check_shape(&fig);
+    assert!(violations.is_empty(), "ext-io shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("ext_io");
+    g.sample_size(10);
+    g.bench_function("storm_sweep", |b| {
+        b.iter(|| black_box(ext_io::run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: the weak-scaling extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_figure;
+use harborsim_core::experiments::ext_weak;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = ext_weak::run(&[1, 2]);
+    write_figure(&fig);
+    let violations = ext_weak::check_shape(&fig);
+    assert!(violations.is_empty(), "weak-scaling shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("ext_weak");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(ext_weak::run(black_box(&[1]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

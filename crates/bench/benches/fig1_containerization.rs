@@ -1,0 +1,26 @@
+//! Bench: regeneration of Fig. 1 (containerization solutions on Lenox).
+//!
+//! Times the full 4-technology × 5-configuration sweep and persists the
+//! figure artifacts as a side effect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_figure;
+use harborsim_core::experiments::fig1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig1::run(&[1, 2]);
+    write_figure(&fig);
+    let violations = fig1::check_shape(&fig);
+    assert!(violations.is_empty(), "fig1 shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig1::run(black_box(&[1]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

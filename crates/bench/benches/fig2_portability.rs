@@ -1,0 +1,23 @@
+//! Bench: regeneration of Fig. 2 (portability on CTE-POWER).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_figure;
+use harborsim_core::experiments::fig2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig2::run(&[1, 2]);
+    write_figure(&fig);
+    let violations = fig2::check_shape(&fig);
+    assert!(violations.is_empty(), "fig2 shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig2::run(black_box(&[1]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

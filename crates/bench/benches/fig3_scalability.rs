@@ -1,0 +1,39 @@
+//! Bench: regeneration of Fig. 3 (scalability on MareNostrum4).
+//!
+//! The 256-node point runs 12,288 simulated ranks through the analytic
+//! engine; this bench demonstrates the closed-form engine's cost at the
+//! paper's full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_figure;
+use harborsim_core::experiments::fig3;
+use harborsim_core::scenario::{Execution, Scenario};
+use harborsim_core::workloads;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig3::run(&[1, 2]);
+    write_figure(&fig);
+    let violations = fig3::check_shape(&fig);
+    assert!(violations.is_empty(), "fig3 shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig3::run(black_box(&[1]))));
+    });
+    g.bench_function("single_point_12288_ranks", |b| {
+        let sc = Scenario::new(
+            harborsim_hw::presets::marenostrum4(),
+            workloads::artery_fsi_mn4(),
+        )
+        .execution(Execution::singularity_system_specific())
+        .nodes(256)
+        .ranks_per_node(48);
+        b.iter(|| black_box(sc.run(black_box(9)).elapsed));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the real mini-Alya solvers: CFD step cost (serial vs
+//! Rayon), the coupled FSI step, and the functional thread-MPI collectives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harborsim_alya::cfd::{CfdConfig, CfdSolver};
+use harborsim_alya::fsi::{CoupledFsi, FsiConfig};
+use harborsim_alya::mesh::TubeMesh;
+use harborsim_alya::pulse1d::{cardiac_inflow, PulseConfig, PulseSolver};
+use harborsim_mpi::thread_mpi::ThreadComm;
+use std::hint::black_box;
+
+fn bench_cfd(c: &mut Criterion) {
+    let mesh = TubeMesh::cylinder(33, 33, 64, 14.0);
+    let cells = mesh.active_cells() as u64;
+    let mut g = c.benchmark_group("cfd_step");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    for (label, parallel) in [("serial", false), ("rayon", true)] {
+        let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
+        cfg.parallel = parallel;
+        cfg.cg_max_iters = 40;
+        let mut solver = CfdSolver::new(mesh.clone(), cfg);
+        solver.run(3); // warm up the pressure field
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                solver.step();
+                black_box(solver.stats.steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fsi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fsi_step");
+    g.bench_function("coupled_200_stations", |b| {
+        let mut fsi = CoupledFsi::new(
+            PulseConfig::artery(200),
+            40.0,
+            FsiConfig::default(),
+            cardiac_inflow,
+        );
+        b.iter(|| black_box(fsi.step()));
+    });
+    g.bench_function("fluid_only_200_stations", |b| {
+        let mut fluid = PulseSolver::new(PulseConfig::artery(200), cardiac_inflow);
+        b.iter(|| {
+            fluid.step();
+            black_box(fluid.time)
+        });
+    });
+    g.finish();
+}
+
+fn bench_thread_mpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread_mpi");
+    g.sample_size(10);
+    g.bench_function("allreduce_8_ranks_x100", |b| {
+        b.iter(|| {
+            let sums = ThreadComm::run(8, |comm| {
+                let mut acc = 0.0;
+                for i in 0..100 {
+                    acc += comm.allreduce_sum_scalar(i as f64);
+                }
+                acc
+            });
+            black_box(sums)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cfd, bench_fsi, bench_thread_mpi);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regeneration of the §B.1 deployment-overhead table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_table;
+use harborsim_core::experiments::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = tables::deployment(&[1, 2]);
+    write_table(&t);
+    let violations = tables::check_deployment_shape(&t);
+    assert!(violations.is_empty(), "deployment shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("table_deployment");
+    g.sample_size(10);
+    g.bench_function("full_table", |b| {
+        b.iter(|| black_box(tables::deployment(black_box(&[1]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regeneration of the §B.2 cross-architecture portability table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::write_table;
+use harborsim_core::experiments::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = tables::portability(&[1, 2]);
+    write_table(&t);
+    let violations = tables::check_portability_shape(&t);
+    assert!(violations.is_empty(), "portability shape: {violations:#?}");
+
+    let mut g = c.benchmark_group("table_portability");
+    g.sample_size(10);
+    g.bench_function("full_table", |b| {
+        b.iter(|| black_box(tables::portability(black_box(&[1]))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Regenerate every figure and table of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release -p harborsim-bench --bin reproduce_all
+//! ```
+//!
+//! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
+//! ASCII per table, plus a machine-readable `summary.json`), and every
+//! shape check — the paper's qualitative claims — is evaluated and printed.
+
+use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table};
+use harborsim_core::experiments::{
+    ext_breakdown, ext_campaign, ext_io, ext_weak, fig1, fig2, fig3, tables, validation,
+};
+use std::time::Instant;
+
+fn report_shapes(name: &str, violations: &[String]) -> bool {
+    if violations.is_empty() {
+        println!("  [ok] {name}: all of the paper's claims hold");
+        true
+    } else {
+        println!("  [!!] {name}:");
+        for v in violations {
+            println!("       - {v}");
+        }
+        false
+    }
+}
+
+fn main() {
+    let seeds = repro_seeds();
+    let t0 = Instant::now();
+    let mut all_ok = true;
+    let mut summary = serde_json::Map::new();
+
+    println!("== Machine calibration (model constants, derived) ==");
+    println!(
+        "{:<14} {:>16} {:>16} {:>12} {:>10}",
+        "cluster", "node GF/s (CG)", "machine TF/s", "8B msg [us]", "BW [GB/s]"
+    );
+    for m in harborsim_core::calibration::all_machines() {
+        println!(
+            "{:<14} {:>16.0} {:>16.1} {:>12.1} {:>10.1}",
+            m.name, m.node_sustained_gflops, m.machine_sustained_tflops, m.small_message_us, m.fabric_gbs
+        );
+    }
+    println!();
+
+    println!("== Fig. 1: containerization solutions (Lenox) ==");
+    let f1 = fig1::run(&seeds);
+    write_figure(&f1);
+    println!("{}", f1.to_ascii(72, 18));
+    all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
+    summary.insert("fig1".into(), serde_json::to_value(&f1).unwrap());
+
+    println!("\n== Fig. 2: portability (CTE-POWER) ==");
+    let f2 = fig2::run(&seeds);
+    write_figure(&f2);
+    println!("{}", f2.to_ascii(72, 18));
+    all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
+    summary.insert("fig2".into(), serde_json::to_value(&f2).unwrap());
+
+    println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
+    let f3 = fig3::run(&seeds);
+    write_figure(&f3);
+    println!("{}", f3.to_ascii(72, 18));
+    all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
+    summary.insert("fig3".into(), serde_json::to_value(&f3).unwrap());
+
+    println!("\n== Table: deployment overhead / image size / execution time ==");
+    let td = tables::deployment(&seeds);
+    write_table(&td);
+    println!("{}", td.to_ascii());
+    all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
+    summary.insert("table_deployment".into(), serde_json::to_value(&td).unwrap());
+
+    println!("\n== Table: portability across three architectures ==");
+    let tp = tables::portability(&seeds);
+    write_table(&tp);
+    println!("{}", tp.to_ascii());
+    all_ok &= report_shapes("table-portability", &tables::check_portability_shape(&tp));
+    summary.insert("table_portability".into(), serde_json::to_value(&tp).unwrap());
+
+    println!("\n== Extension: I/O & distributed storage (image-startup storm) ==");
+    let fe = ext_io::run();
+    write_figure(&fe);
+    println!("{}", fe.to_ascii(72, 18));
+    all_ok &= report_shapes("ext-io", &ext_io::check_shape(&fe));
+    summary.insert("ext_io".into(), serde_json::to_value(&fe).unwrap());
+
+    println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
+    let rows = ext_breakdown::run(seeds[0]);
+    let tb = ext_breakdown::table(&rows);
+    write_table(&tb);
+    println!("{}", tb.to_ascii());
+    all_ok &= report_shapes("ext-breakdown", &ext_breakdown::check_shape(&rows));
+    summary.insert("ext_breakdown".into(), serde_json::to_value(&tb).unwrap());
+
+    println!("\n== Extension: campaign turnaround under the batch scheduler ==");
+    let rows = ext_campaign::run(&seeds);
+    let tc = ext_campaign::table(&rows);
+    write_table(&tc);
+    println!("{}", tc.to_ascii());
+    all_ok &= report_shapes("ext-campaign", &ext_campaign::check_shape(&rows));
+    summary.insert("ext_campaign".into(), serde_json::to_value(&tc).unwrap());
+
+    println!("\n== Extension: weak scaling ==");
+    let fw = ext_weak::run(&seeds);
+    write_figure(&fw);
+    println!("{}", fw.to_ascii(72, 18));
+    all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
+    summary.insert("ext_weak".into(), serde_json::to_value(&fw).unwrap());
+
+    println!("\n== Engine cross-validation (DES vs analytic) ==");
+    let vrows = validation::run();
+    let tv = validation::table(&vrows);
+    write_table(&tv);
+    println!("{}", tv.to_ascii());
+    all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
+    summary.insert("validation".into(), serde_json::to_value(&tv).unwrap());
+
+    let summary_path = out_dir().join("summary.json");
+    std::fs::write(
+        &summary_path,
+        serde_json::to_string_pretty(&serde_json::Value::Object(summary)).unwrap(),
+    )
+    .expect("write summary");
+
+    println!(
+        "\nDone in {:.1}s. Artifacts in {} (summary.json, per-figure csv/svg/txt).",
+        t0.elapsed().as_secs_f64(),
+        out_dir().display()
+    );
+    if !all_ok {
+        println!("SOME SHAPE CHECKS FAILED — see above.");
+        std::process::exit(1);
+    }
+    println!("All shape checks passed: the reproduction matches the paper's claims.");
+}

@@ -1,0 +1,63 @@
+//! # harborsim-bench
+//!
+//! The benchmark harness: Criterion benches (one per figure/table plus the
+//! DESIGN.md §5 ablations and engine micro-benchmarks) and the
+//! `reproduce_all` binary that regenerates every artifact of the paper into
+//! `target/study/`.
+
+use harborsim_core::report::{FigureData, TableData};
+use std::fs;
+use std::path::PathBuf;
+
+/// Where reproduction artifacts land.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/study");
+    fs::create_dir_all(&dir).expect("create target/study");
+    dir
+}
+
+/// Persist a figure as CSV + SVG + ASCII.
+pub fn write_figure(fig: &FigureData) {
+    let dir = out_dir();
+    fs::write(dir.join(format!("{}.csv", fig.id)), fig.to_csv()).expect("csv");
+    fs::write(dir.join(format!("{}.svg", fig.id)), fig.to_svg(720, 440)).expect("svg");
+    fs::write(dir.join(format!("{}.txt", fig.id)), fig.to_ascii(72, 22)).expect("txt");
+}
+
+/// Persist a table as CSV + ASCII.
+pub fn write_table(t: &TableData) {
+    let dir = out_dir();
+    fs::write(dir.join(format!("{}.csv", t.id)), t.to_csv()).expect("csv");
+    fs::write(dir.join(format!("{}.txt", t.id)), t.to_ascii()).expect("txt");
+}
+
+/// Seeds used by every reproduction (five repetitions, as in the paper's
+/// averaging protocol).
+pub fn repro_seeds() -> Vec<u64> {
+    harborsim_core::runner::default_seeds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_core::report::Series;
+
+    #[test]
+    fn artifacts_round_trip_to_disk() {
+        let fig = FigureData {
+            id: "selftest-fig".into(),
+            title: "self test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("s", vec![(1.0, 2.0), (2.0, 1.0)])],
+        };
+        write_figure(&fig);
+        let dir = out_dir();
+        for ext in ["csv", "svg", "txt"] {
+            let p = dir.join(format!("selftest-fig.{ext}"));
+            assert!(p.exists(), "{p:?}");
+            fs::remove_file(p).ok();
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The image build engine: recipe × containment × target CPU → manifest.
+//!
+//! The engine executes a recipe the way `docker build` or
+//! `singularity build` would: each instruction that touches the filesystem
+//! produces a layer whose size comes from the package database, and the
+//! build time model accounts base-image pull, package installation and
+//! (for squashfs formats) the `mksquashfs` pass.
+//!
+//! The *containment* policy transforms the recipe:
+//!
+//! - self-contained builds install MPI/fabric packages as written;
+//! - system-specific builds skip them and instead record the host libraries
+//!   that must be bind-mounted at run time.
+
+use crate::containment::Containment;
+use crate::digest::Digest;
+use crate::image::{ImageFormat, ImageManifest, Layer};
+use crate::recipe::{ImageRecipe, Instruction, PackageDb};
+use harborsim_hw::{CpuModel, InterconnectKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Packages that belong to the MPI/fabric stack; system-specific builds
+/// bind these from the host instead of installing them.
+const HOST_STACK_PACKAGES: &[&str] = &[
+    "openmpi",
+    "mpich",
+    "impi-runtime",
+    "libibverbs",
+    "libpsm2",
+    "infiniband-diags",
+];
+
+/// Registry download bandwidth seen by the build host, bytes/s.
+const BUILD_PULL_BPS: f64 = 50e6;
+/// mksquashfs throughput, bytes/s of input.
+const SQUASHFS_PACK_BPS: f64 = 80e6;
+/// Layer commit (tar+gzip) throughput, bytes/s.
+const LAYER_COMMIT_BPS: f64 = 200e6;
+
+/// The build engine configuration.
+#[derive(Debug, Clone)]
+pub struct BuildEngine {
+    /// Package/base database.
+    pub db: PackageDb,
+    /// Containment policy.
+    pub containment: Containment,
+    /// CPU of the build host (fixes the image architecture).
+    pub build_host: CpuModel,
+    /// `true` = compile with host-tuned flags (image inherits the host's
+    /// ISA level and is faster but less portable); `false` = portable
+    /// baseline ISA.
+    pub tuned: bool,
+    /// Fabric of the machine a system-specific image targets (selects the
+    /// driver library to bind).
+    pub target_fabric: Option<InterconnectKind>,
+}
+
+/// What a build produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildOutput {
+    /// The image.
+    pub manifest: ImageManifest,
+    /// Wall-clock build time, seconds (pull + install + commits).
+    pub build_seconds: f64,
+    /// Instructions skipped by the containment policy.
+    pub skipped: Vec<String>,
+}
+
+impl BuildEngine {
+    /// A self-contained build on the given host.
+    pub fn self_contained(build_host: CpuModel) -> BuildEngine {
+        BuildEngine {
+            db: PackageDb::standard(),
+            containment: Containment::SelfContained,
+            build_host,
+            tuned: false,
+            target_fabric: None,
+        }
+    }
+
+    /// A system-specific build targeting a machine's fabric.
+    pub fn system_specific(build_host: CpuModel, fabric: InterconnectKind) -> BuildEngine {
+        BuildEngine {
+            db: PackageDb::standard(),
+            containment: Containment::SystemSpecific,
+            build_host,
+            tuned: true,
+            target_fabric: Some(fabric),
+        }
+    }
+
+    /// Execute `recipe`.
+    ///
+    /// # Errors
+    /// Returns a message if the base image is unknown to the database.
+    pub fn build(&self, recipe: &ImageRecipe) -> Result<BuildOutput, String> {
+        let base_ref = recipe.base();
+        let base_bytes = self
+            .db
+            .base_size(base_ref)
+            .ok_or_else(|| format!("unknown base image {base_ref:?}"))?;
+
+        let mut layers = Vec::new();
+        let mut chain = Digest::of_str(base_ref);
+        let mut env = BTreeMap::new();
+        let mut labels = BTreeMap::new();
+        let mut entrypoint = None;
+        let mut skipped = Vec::new();
+        let mut build_seconds = base_bytes as f64 / BUILD_PULL_BPS;
+
+        layers.push(Layer {
+            digest: chain,
+            bytes: base_bytes,
+            created_by: format!("FROM {base_ref}"),
+        });
+
+        for inst in &recipe.instructions[1..] {
+            match inst {
+                Instruction::From(_) => unreachable!("parser rejects second FROM"),
+                Instruction::Run(cmd) => {
+                    let cmd = if self.containment == Containment::SystemSpecific {
+                        match strip_host_stack(cmd) {
+                            StripResult::Unchanged => cmd.clone(),
+                            StripResult::Emptied => {
+                                skipped.push(cmd.clone());
+                                continue;
+                            }
+                            StripResult::Reduced(rest) => {
+                                skipped.push(format!("(partially) {cmd}"));
+                                rest
+                            }
+                        }
+                    } else {
+                        cmd.clone()
+                    };
+                    let cost = self.db.price_run(&cmd);
+                    chain = chain.chain(&Digest::of_str(&cmd));
+                    build_seconds += cost.install_s + cost.bytes as f64 / LAYER_COMMIT_BPS;
+                    layers.push(Layer {
+                        digest: chain,
+                        bytes: cost.bytes,
+                        created_by: format!("RUN {cmd}"),
+                    });
+                }
+                Instruction::Copy { src, dst, bytes } => {
+                    chain = chain.chain(&Digest::of_str(&format!("{src}->{dst}:{bytes}")));
+                    build_seconds += *bytes as f64 / LAYER_COMMIT_BPS;
+                    layers.push(Layer {
+                        digest: chain,
+                        bytes: *bytes,
+                        created_by: format!("COPY {src} {dst}"),
+                    });
+                }
+                Instruction::Env(k, v) => {
+                    env.insert(k.clone(), v.clone());
+                }
+                Instruction::Label(k, v) => {
+                    labels.insert(k.clone(), v.clone());
+                }
+                Instruction::Workdir(_) => {}
+                Instruction::Entrypoint(e) => entrypoint = Some(e.clone()),
+            }
+        }
+
+        let required_host_libs = if self.containment == Containment::SystemSpecific {
+            let mut libs = vec!["host-mpi".to_string()];
+            if let Some(f) = self.target_fabric {
+                if let Some(driver) = f.driver_library() {
+                    libs.push(driver.to_string());
+                }
+            }
+            libs
+        } else {
+            Vec::new()
+        };
+
+        Ok(BuildOutput {
+            manifest: ImageManifest {
+                name: recipe.name.clone(),
+                arch: self.build_host.arch,
+                isa_level: if self.tuned { self.build_host.isa_level } else { 1 },
+                layers,
+                env,
+                labels,
+                entrypoint,
+                required_host_libs,
+            },
+            build_seconds,
+            skipped,
+        })
+    }
+
+    /// Time to convert a built image into `format`, seconds (e.g.
+    /// `singularity build` squashing, or the Shifter gateway's pack pass).
+    pub fn package_seconds(&self, manifest: &ImageManifest, format: ImageFormat) -> f64 {
+        match format {
+            ImageFormat::DockerLayered => 0.0, // layers are the native output
+            ImageFormat::SingularitySif | ImageFormat::ShifterUdi => {
+                manifest.uncompressed_bytes() as f64 / SQUASHFS_PACK_BPS
+            }
+        }
+    }
+}
+
+enum StripResult {
+    Unchanged,
+    Emptied,
+    Reduced(String),
+}
+
+/// Remove host-stack packages from an install command.
+fn strip_host_stack(cmd: &str) -> StripResult {
+    let tokens: Vec<&str> = cmd.split_whitespace().collect();
+    let is_install = tokens
+        .windows(2)
+        .any(|w| matches!(w[0], "yum" | "apt-get" | "apt" | "apk" | "dnf") && w[1] == "install");
+    if !is_install {
+        return StripResult::Unchanged;
+    }
+    let kept: Vec<&str> = tokens
+        .iter()
+        .copied()
+        .filter(|t| !HOST_STACK_PACKAGES.contains(t))
+        .collect();
+    let removed = tokens.len() - kept.len();
+    if removed == 0 {
+        return StripResult::Unchanged;
+    }
+    // if only "<mgr> install" remains, the whole instruction is pointless
+    let residual_packages = kept
+        .iter()
+        .filter(|t| !matches!(**t, "yum" | "apt-get" | "apt" | "apk" | "dnf" | "install" | "-y"))
+        .count();
+    if residual_packages == 0 {
+        StripResult::Emptied
+    } else {
+        StripResult::Reduced(kept.join(" "))
+    }
+}
+
+/// The Alya artery recipe used throughout the study (both use cases share
+/// the software stack; the mesh/case data stays on the parallel FS).
+pub fn alya_recipe() -> ImageRecipe {
+    ImageRecipe::parse(
+        "alya-artery",
+        "\
+FROM centos:7.4
+RUN yum install gcc gfortran make cmake
+RUN yum install openblas metis hdf5
+RUN yum install openmpi libibverbs libpsm2
+COPY alya.bin /opt/alya/alya.bin 120MB
+COPY services /opt/alya/services 45MB
+ENV PATH=/opt/alya:$PATH
+LABEL org.bsc.code=alya
+LABEL org.bsc.case=artery
+ENTRYPOINT /opt/alya/alya.bin
+",
+    )
+    .expect("builtin recipe parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_hw::CpuArch;
+
+    #[test]
+    fn self_contained_build_includes_everything() {
+        let eng = BuildEngine::self_contained(CpuModel::xeon_platinum_8160());
+        let out = eng.build(&alya_recipe()).unwrap();
+        assert!(out.skipped.is_empty());
+        assert!(out.manifest.required_host_libs.is_empty());
+        // base + 3 RUN + 2 COPY
+        assert_eq!(out.manifest.layers.len(), 6);
+        let total = out.manifest.uncompressed_bytes();
+        assert!(
+            (800_000_000..1_400_000_000).contains(&total),
+            "total={total}"
+        );
+        assert!(out.build_seconds > 60.0);
+        assert_eq!(out.manifest.isa_level, 1, "portable build");
+    }
+
+    #[test]
+    fn system_specific_build_is_smaller_and_binds_host_libs() {
+        let sc = BuildEngine::self_contained(CpuModel::xeon_platinum_8160())
+            .build(&alya_recipe())
+            .unwrap();
+        let ss = BuildEngine::system_specific(
+            CpuModel::xeon_platinum_8160(),
+            InterconnectKind::OmniPath100,
+        )
+        .build(&alya_recipe())
+        .unwrap();
+        assert!(
+            ss.manifest.uncompressed_bytes() < sc.manifest.uncompressed_bytes(),
+            "system-specific must be smaller"
+        );
+        assert!(!ss.skipped.is_empty());
+        assert!(ss
+            .manifest
+            .required_host_libs
+            .contains(&"libpsm2".to_string()));
+        assert_eq!(ss.manifest.isa_level, 4, "tuned build");
+    }
+
+    #[test]
+    fn arch_follows_build_host() {
+        let out = BuildEngine::self_contained(CpuModel::power9_8335gtg())
+            .build(&alya_recipe())
+            .unwrap();
+        assert_eq!(out.manifest.arch, CpuArch::Ppc64le);
+    }
+
+    #[test]
+    fn unknown_base_rejected() {
+        let eng = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3());
+        let recipe = ImageRecipe::parse("x", "FROM nixos:unstable\n").unwrap();
+        assert!(eng.build(&recipe).is_err());
+    }
+
+    #[test]
+    fn packaging_times() {
+        let eng = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3());
+        let out = eng.build(&alya_recipe()).unwrap();
+        let sif = eng.package_seconds(&out.manifest, ImageFormat::SingularitySif);
+        assert!(sif > 5.0, "squashing ~1GB takes a while: {sif}");
+        assert_eq!(
+            eng.package_seconds(&out.manifest, ImageFormat::DockerLayered),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deterministic_manifest_digests() {
+        let eng = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3());
+        let a = eng.build(&alya_recipe()).unwrap();
+        let b = eng.build(&alya_recipe()).unwrap();
+        assert_eq!(a.manifest.digest(), b.manifest.digest());
+    }
+
+    #[test]
+    fn strip_preserves_non_stack_packages() {
+        match strip_host_stack("yum install gcc openmpi") {
+            StripResult::Reduced(r) => assert_eq!(r, "yum install gcc"),
+            _ => panic!("expected reduction"),
+        }
+        assert!(matches!(
+            strip_host_stack("yum install openmpi"),
+            StripResult::Emptied
+        ));
+        assert!(matches!(
+            strip_host_stack("echo hello"),
+            StripResult::Unchanged
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! The system-specific vs self-contained axis — the paper's portability
+//! trade-off, reduced to its mechanism.
+//!
+//! Two ways were used to build the Alya images:
+//!
+//! - **self-contained**: the image carries its own MPI and (generic)
+//!   interconnect userspace. It runs *anywhere* with a matching CPU
+//!   architecture — but on a kernel-bypass fabric its bundled MPI cannot
+//!   open the host's vendor driver, so it falls back to TCP emulation
+//!   (IPoIB / IPoFabric) and Figs. 2–3 flatten.
+//! - **system-specific**: the image binds the host's MPI, fabric libraries
+//!   and driver stack into the container at run time. It matches bare-metal
+//!   performance — and is portable only to machines with exactly that
+//!   stack.
+
+use harborsim_hw::{CpuModel, InterconnectKind};
+use harborsim_net::TransportSelection;
+use serde::{Deserialize, Serialize};
+
+/// How the image relates to the host software stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Containment {
+    /// Everything inside the image; no host libraries needed.
+    SelfContained,
+    /// Host MPI + fabric userspace bind-mounted into the container.
+    SystemSpecific,
+}
+
+impl Containment {
+    /// Which MPI transport stack a container built this way opens on the
+    /// given fabric. This single function is the mechanism behind the
+    /// paper's Figure 2 and the self-contained curve of Figure 3.
+    pub fn transport_selection(self, fabric: InterconnectKind) -> TransportSelection {
+        match self {
+            Containment::SystemSpecific => TransportSelection::Native,
+            Containment::SelfContained => {
+                if fabric.needs_userspace_driver() {
+                    TransportSelection::TcpFallback
+                } else {
+                    // on plain Ethernet the native transport *is* TCP
+                    TransportSelection::Native
+                }
+            }
+        }
+    }
+
+    /// Human-readable label as used in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Containment::SelfContained => "self-contained",
+            Containment::SystemSpecific => "system-specific",
+        }
+    }
+}
+
+/// Why an image cannot run on a host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompatError {
+    /// Binary architecture differs from the host CPU.
+    ArchMismatch {
+        /// Architecture the image was built for.
+        image: String,
+        /// Architecture of the host.
+        host: String,
+    },
+    /// Image binaries use ISA features the host lacks (e.g. AVX-512 code on
+    /// Haswell).
+    IsaTooNew {
+        /// Level the image requires.
+        image_level: u8,
+        /// Level the host provides.
+        host_level: u8,
+    },
+    /// System-specific image requires host libraries this host lacks.
+    MissingHostLib(String),
+}
+
+impl std::fmt::Display for CompatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompatError::ArchMismatch { image, host } => {
+                write!(f, "image is {image} but host is {host}")
+            }
+            CompatError::IsaTooNew {
+                image_level,
+                host_level,
+            } => write!(
+                f,
+                "image needs ISA level {image_level}, host provides {host_level}"
+            ),
+            CompatError::MissingHostLib(lib) => {
+                write!(f, "system-specific image needs host library {lib}")
+            }
+        }
+    }
+}
+
+/// Check whether an image built for (`arch`, `isa_level`, `required_libs`)
+/// can execute on a host CPU attached to a fabric.
+pub fn check_compat(
+    image_arch: harborsim_hw::CpuArch,
+    image_isa_level: u8,
+    required_host_libs: &[String],
+    host: &CpuModel,
+    host_fabric: InterconnectKind,
+) -> Result<(), CompatError> {
+    if !image_arch.can_execute(host.arch) {
+        return Err(CompatError::ArchMismatch {
+            image: image_arch.to_string(),
+            host: host.arch.to_string(),
+        });
+    }
+    if image_isa_level > host.isa_level {
+        return Err(CompatError::IsaTooNew {
+            image_level: image_isa_level,
+            host_level: host.isa_level,
+        });
+    }
+    for lib in required_host_libs {
+        // the host offers exactly its fabric's driver library
+        let available = host_fabric.driver_library();
+        let lib_is_fabric_driver = lib == "libmlx5/verbs" || lib == "libpsm2";
+        if lib_is_fabric_driver && available != Some(lib.as_str()) {
+            return Err(CompatError::MissingHostLib(lib.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_hw::CpuArch;
+
+    #[test]
+    fn self_contained_falls_back_on_kernel_bypass_fabrics() {
+        assert_eq!(
+            Containment::SelfContained.transport_selection(InterconnectKind::InfinibandEdr),
+            TransportSelection::TcpFallback
+        );
+        assert_eq!(
+            Containment::SelfContained.transport_selection(InterconnectKind::OmniPath100),
+            TransportSelection::TcpFallback
+        );
+    }
+
+    #[test]
+    fn self_contained_loses_nothing_on_ethernet() {
+        assert_eq!(
+            Containment::SelfContained.transport_selection(InterconnectKind::GigabitEthernet),
+            TransportSelection::Native
+        );
+        assert_eq!(
+            Containment::SelfContained.transport_selection(InterconnectKind::FortyGigEthernet),
+            TransportSelection::Native
+        );
+    }
+
+    #[test]
+    fn system_specific_always_native() {
+        for fabric in [
+            InterconnectKind::GigabitEthernet,
+            InterconnectKind::InfinibandEdr,
+            InterconnectKind::OmniPath100,
+        ] {
+            assert_eq!(
+                Containment::SystemSpecific.transport_selection(fabric),
+                TransportSelection::Native
+            );
+        }
+    }
+
+    #[test]
+    fn arch_mismatch_detected() {
+        let host = CpuModel::power9_8335gtg();
+        let err = check_compat(
+            CpuArch::X86_64,
+            1,
+            &[],
+            &host,
+            InterconnectKind::InfinibandEdr,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompatError::ArchMismatch { .. }));
+    }
+
+    #[test]
+    fn avx512_image_rejected_on_haswell() {
+        let haswell = CpuModel::xeon_e5_2697v3();
+        let err = check_compat(
+            CpuArch::X86_64,
+            4, // built on Skylake with AVX-512
+            &[],
+            &haswell,
+            InterconnectKind::GigabitEthernet,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompatError::IsaTooNew { .. }));
+        // portable build (level 1) is fine
+        assert!(check_compat(
+            CpuArch::X86_64,
+            1,
+            &[],
+            &haswell,
+            InterconnectKind::GigabitEthernet
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn system_specific_needs_matching_fabric_lib() {
+        let skylake = CpuModel::xeon_platinum_8160();
+        let libs = vec!["libpsm2".to_string()];
+        // on the Omni-Path host: fine
+        assert!(check_compat(CpuArch::X86_64, 4, &libs, &skylake, InterconnectKind::OmniPath100).is_ok());
+        // same image moved to an InfiniBand host: the bind target is missing
+        let err = check_compat(
+            CpuArch::X86_64,
+            4,
+            &libs,
+            &skylake,
+            InterconnectKind::InfinibandEdr,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompatError::MissingHostLib(_)));
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Containment::SelfContained.label(), "self-contained");
+        assert_eq!(Containment::SystemSpecific.label(), "system-specific");
+    }
+}

@@ -1,0 +1,415 @@
+//! The deployment pipeline as a discrete-event simulation.
+//!
+//! "Deployment overhead" in the study is everything between `sbatch` and
+//! the first solver instruction: getting the image onto every node and
+//! starting the containers. The interesting behaviour is *contention*:
+//!
+//! - Docker nodes pull compressed layers from a registry whose uplink they
+//!   share, then unpack locally;
+//! - Singularity nodes loop-mount one SIF from the parallel filesystem and
+//!   fault in the executable's working set — hundreds of nodes at once;
+//! - Shifter first pays a one-time gateway conversion (pull + mksquashfs),
+//!   then behaves like Singularity against its UDI.
+//!
+//! Shared pipes (registry uplink, parallel FS) are fair-share
+//! [`FluidLink`]s; per-node work is plain event delays.
+
+use crate::image::{ImageFormat, ImageManifest};
+use crate::runtime::{ExecutionEnvironment, RuntimeKind};
+use harborsim_des::{Engine, FluidLink, SimDuration, SimTime};
+use harborsim_hw::StorageSpec;
+use serde::{Deserialize, Serialize};
+
+/// Bytes of the image a starting container actually reads (binary + shared
+/// libraries page in; the rest of the rootfs stays cold).
+const WORKING_SET_BYTES: u64 = 260_000_000;
+/// Local unpack (gunzip + untar to overlayfs) throughput, bytes/s of
+/// uncompressed output.
+const UNPACK_BPS: f64 = 180e6;
+/// Gateway squashfs pack throughput, bytes/s of input.
+const GATEWAY_PACK_BPS: f64 = 80e6;
+/// Metadata round-trips to a registry before bytes flow.
+const REGISTRY_METADATA_S: f64 = 0.35;
+
+/// A deployment to run.
+#[derive(Debug, Clone)]
+pub struct DeployPlan {
+    /// Number of nodes that must be ready.
+    pub nodes: u32,
+    /// Runtime + containment.
+    pub env: ExecutionEnvironment,
+    /// The image being deployed.
+    pub image: ImageManifest,
+    /// The cluster's shared storage (SIF/UDI home, application home).
+    pub shared_storage: StorageSpec,
+    /// Registry uplink bandwidth shared by all pulling nodes, bytes/s.
+    pub registry_uplink_bps: f64,
+    /// Whether the Shifter gateway already converted this image.
+    pub shifter_udi_cached: bool,
+    /// Whether node-local layer caches already hold this image's layers
+    /// (a previous job pulled it): Docker pulls become metadata-only.
+    pub docker_layers_cached: bool,
+}
+
+/// What the deployment cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// Time until the *last* node was ready (job can start).
+    pub makespan: SimDuration,
+    /// Time until the first node was ready.
+    pub first_ready: SimDuration,
+    /// Mean node-ready time, seconds.
+    pub mean_ready_s: f64,
+    /// One-time gateway conversion time (Shifter only), seconds.
+    pub gateway_seconds: f64,
+    /// Bytes pulled from the registry in total.
+    pub bytes_pulled: u64,
+    /// Bytes read from the parallel filesystem in total.
+    pub bytes_from_pfs: u64,
+    /// The image size staged per node (format-specific), bytes.
+    pub image_bytes: u64,
+}
+
+struct Dep {
+    registry: FluidLink<Dep>,
+    pfs: FluidLink<Dep>,
+    layers_left: Vec<u32>,
+    ready: Vec<Option<SimTime>>,
+    unpack_bytes: u64,
+    start_s: f64,
+    remaining: u32,
+}
+
+fn reg_of(d: &mut Dep) -> &mut FluidLink<Dep> {
+    &mut d.registry
+}
+fn pfs_of(d: &mut Dep) -> &mut FluidLink<Dep> {
+    &mut d.pfs
+}
+
+fn node_ready(eng: &Engine<Dep>, d: &mut Dep, node: usize) {
+    debug_assert!(d.ready[node].is_none());
+    d.ready[node] = Some(eng.now());
+    d.remaining -= 1;
+}
+
+impl DeployPlan {
+    /// Run the deployment and report timings.
+    pub fn run(&self) -> DeploymentReport {
+        let n = self.nodes as usize;
+        let format = self.env.runtime.image_format();
+        let image_bytes = format.map_or(0, |f| self.image.size_bytes(f));
+        let pfs_bw = self.shared_storage.shared_bandwidth_bps(self.nodes);
+        let meta_s = self.shared_storage.metadata_op_s();
+
+        let mut dep = Dep {
+            registry: FluidLink::new(self.registry_uplink_bps, reg_of),
+            pfs: FluidLink::new(pfs_bw, pfs_of),
+            layers_left: vec![self.image.layers.len() as u32; n],
+            ready: vec![None; n],
+            unpack_bytes: self.image.uncompressed_bytes(),
+            start_s: self.env.runtime.start_seconds(),
+            remaining: self.nodes,
+        };
+        let mut eng: Engine<Dep> = Engine::new();
+
+        let mut gateway_seconds = 0.0;
+        let mut bytes_pulled: u64 = 0;
+        let mut bytes_from_pfs: u64 = 0;
+
+        match self.env.runtime {
+            RuntimeKind::BareMetal => {
+                // load the executable + libraries from shared storage
+                let ws = WORKING_SET_BYTES.min(170_000_000) as f64;
+                bytes_from_pfs = ws as u64 * self.nodes as u64;
+                for node in 0..n {
+                    let delay = SimDuration::from_secs_f64(meta_s * 40.0);
+                    eng.schedule(delay, move |eng, d: &mut Dep| {
+                        d.pfs.start_flow(eng, ws, move |eng, d| {
+                            let start = SimDuration::from_secs_f64(d.start_s);
+                            eng.schedule(start, move |eng, d| node_ready(eng, d, node));
+                        });
+                    });
+                }
+            }
+            RuntimeKind::Docker => {
+                if self.docker_layers_cached {
+                    // warm node caches: metadata check + start only
+                    for node in 0..n {
+                        let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
+                        eng.schedule(delay, move |eng, d: &mut Dep| {
+                            let start = SimDuration::from_secs_f64(d.start_s);
+                            eng.schedule(start, move |eng, d| node_ready(eng, d, node));
+                        });
+                    }
+                } else {
+                bytes_pulled = self
+                    .image
+                    .layers
+                    .iter()
+                    .map(|l| l.compressed_bytes())
+                    .sum::<u64>()
+                    * self.nodes as u64;
+                for node in 0..n {
+                    let layers: Vec<u64> = self
+                        .image
+                        .layers
+                        .iter()
+                        .map(|l| l.compressed_bytes())
+                        .collect();
+                    let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
+                    eng.schedule(delay, move |eng, d: &mut Dep| {
+                        for &bytes in &layers {
+                            d.registry.start_flow(eng, bytes as f64, move |eng, d| {
+                                d.layers_left[node] -= 1;
+                                if d.layers_left[node] == 0 {
+                                    // all layers local: unpack, then start
+                                    let unpack = SimDuration::from_secs_f64(
+                                        d.unpack_bytes as f64 / UNPACK_BPS,
+                                    );
+                                    eng.schedule(unpack, move |eng, d| {
+                                        let start = SimDuration::from_secs_f64(d.start_s);
+                                        eng.schedule(start, move |eng, d| {
+                                            node_ready(eng, d, node)
+                                        });
+                                    });
+                                }
+                            });
+                        }
+                    });
+                }
+                }
+            }
+            RuntimeKind::Singularity | RuntimeKind::Shifter => {
+                // Shifter: one-time gateway conversion before any node starts
+                if self.env.runtime == RuntimeKind::Shifter && !self.shifter_udi_cached {
+                    let pull = self
+                        .image
+                        .layers
+                        .iter()
+                        .map(|l| l.compressed_bytes())
+                        .sum::<u64>();
+                    bytes_pulled = pull;
+                    gateway_seconds = REGISTRY_METADATA_S
+                        + pull as f64 / self.registry_uplink_bps
+                        + self.image.uncompressed_bytes() as f64 / GATEWAY_PACK_BPS
+                        + self
+                            .image
+                            .size_bytes(ImageFormat::ShifterUdi)
+                            .min(u64::MAX) as f64
+                            / pfs_bw.min(1.5e9);
+                }
+                let ws = WORKING_SET_BYTES.min(image_bytes.max(1)) as f64;
+                bytes_from_pfs = ws as u64 * self.nodes as u64;
+                let gw = SimDuration::from_secs_f64(gateway_seconds);
+                for node in 0..n {
+                    // mount: a handful of metadata ops + superblock reads
+                    let delay = gw + SimDuration::from_secs_f64(meta_s * 6.0);
+                    eng.schedule(delay, move |eng, d: &mut Dep| {
+                        d.pfs.start_flow(eng, ws, move |eng, d| {
+                            let start = SimDuration::from_secs_f64(d.start_s);
+                            eng.schedule(start, move |eng, d| node_ready(eng, d, node));
+                        });
+                    });
+                }
+            }
+        }
+
+        eng.run(&mut dep);
+        assert_eq!(dep.remaining, 0, "deployment left nodes unready");
+
+        let ready_s: Vec<f64> = dep
+            .ready
+            .iter()
+            .map(|t| t.expect("ready").as_secs_f64())
+            .collect();
+        let makespan = ready_s.iter().copied().fold(0.0, f64::max);
+        let first = ready_s.iter().copied().fold(f64::INFINITY, f64::min);
+        DeploymentReport {
+            makespan: SimDuration::from_secs_f64(makespan),
+            first_ready: SimDuration::from_secs_f64(first),
+            mean_ready_s: ready_s.iter().sum::<f64>() / ready_s.len() as f64,
+            gateway_seconds,
+            bytes_pulled,
+            bytes_from_pfs,
+            image_bytes,
+        }
+    }
+}
+
+/// Convenience: deployment overhead of `env` for `image` on a cluster-like
+/// storage config, uncached.
+pub fn deployment_overhead(
+    nodes: u32,
+    env: ExecutionEnvironment,
+    image: &ImageManifest,
+    shared_storage: &StorageSpec,
+) -> DeploymentReport {
+    DeployPlan {
+        nodes,
+        env,
+        image: image.clone(),
+        shared_storage: shared_storage.clone(),
+        registry_uplink_bps: 117e6, // registry reached over the cluster uplink
+        shifter_udi_cached: false,
+        docker_layers_cached: false,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{alya_recipe, BuildEngine};
+    use crate::containment::Containment;
+    use harborsim_hw::CpuModel;
+
+    fn image() -> ImageManifest {
+        BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
+            .build(&alya_recipe())
+            .unwrap()
+            .manifest
+    }
+
+    fn env(r: RuntimeKind) -> ExecutionEnvironment {
+        ExecutionEnvironment {
+            runtime: r,
+            containment: Containment::SelfContained,
+        }
+    }
+
+    #[test]
+    fn bare_metal_is_fastest() {
+        let img = image();
+        let storage = StorageSpec::nfs_small();
+        let bare = deployment_overhead(4, env(RuntimeKind::BareMetal), &img, &storage);
+        for r in [
+            RuntimeKind::Docker,
+            RuntimeKind::Singularity,
+            RuntimeKind::Shifter,
+        ] {
+            let rep = deployment_overhead(4, env(r), &img, &storage);
+            assert!(
+                rep.makespan > bare.makespan,
+                "{r:?} should cost more than bare metal"
+            );
+        }
+    }
+
+    #[test]
+    fn docker_pull_dominates_on_small_cluster() {
+        let img = image();
+        let storage = StorageSpec::nfs_small();
+        let docker = deployment_overhead(4, env(RuntimeKind::Docker), &img, &storage);
+        let sing = deployment_overhead(4, env(RuntimeKind::Singularity), &img, &storage);
+        // each Docker node pulls the full compressed image over a shared
+        // 117 MB/s uplink; Singularity reads only the working set
+        assert!(
+            docker.makespan.as_secs_f64() > 2.0 * sing.makespan.as_secs_f64(),
+            "docker {} vs singularity {}",
+            docker.makespan,
+            sing.makespan
+        );
+        assert!(docker.bytes_pulled > 4 * 300_000_000);
+        assert_eq!(sing.bytes_pulled, 0);
+    }
+
+    #[test]
+    fn shifter_gateway_pays_once() {
+        let img = image();
+        let storage = StorageSpec::gpfs();
+        let cold = DeployPlan {
+            nodes: 4,
+            env: env(RuntimeKind::Shifter),
+            image: img.clone(),
+            shared_storage: storage.clone(),
+            registry_uplink_bps: 117e6,
+            shifter_udi_cached: false,
+            docker_layers_cached: false,
+        }
+        .run();
+        let warm = DeployPlan {
+            nodes: 4,
+            env: env(RuntimeKind::Shifter),
+            image: img.clone(),
+            shared_storage: storage,
+            registry_uplink_bps: 117e6,
+            shifter_udi_cached: true,
+            docker_layers_cached: false,
+        }
+        .run();
+        assert!(cold.gateway_seconds > 10.0);
+        assert_eq!(warm.gateway_seconds, 0.0);
+        assert!(
+            warm.makespan.as_secs_f64() < cold.makespan.as_secs_f64() / 2.0,
+            "cached UDI must deploy much faster: warm {} cold {}",
+            warm.makespan,
+            cold.makespan
+        );
+    }
+
+    #[test]
+    fn singularity_storm_scales_with_nodes_on_gpfs() {
+        let img = image();
+        let storage = StorageSpec::gpfs();
+        let t = |nodes: u32| {
+            deployment_overhead(nodes, env(RuntimeKind::Singularity), &img, &storage)
+                .makespan
+                .as_secs_f64()
+        };
+        let small = t(4);
+        let large = t(256);
+        // 256 nodes x 260 MB working set = 66 GB through a 50 GB/s backend
+        assert!(large > small, "storm must hurt: 4 nodes {small}, 256 nodes {large}");
+        assert!(large < 60.0, "but GPFS absorbs it in under a minute: {large}");
+    }
+
+    #[test]
+    fn warm_docker_caches_skip_the_pull() {
+        let img = image();
+        let storage = StorageSpec::nfs_small();
+        let cold = DeployPlan {
+            nodes: 4,
+            env: env(RuntimeKind::Docker),
+            image: img.clone(),
+            shared_storage: storage.clone(),
+            registry_uplink_bps: 117e6,
+            shifter_udi_cached: false,
+            docker_layers_cached: false,
+        }
+        .run();
+        let warm = DeployPlan {
+            nodes: 4,
+            env: env(RuntimeKind::Docker),
+            image: img,
+            shared_storage: storage,
+            registry_uplink_bps: 117e6,
+            shifter_udi_cached: false,
+            docker_layers_cached: true,
+        }
+        .run();
+        assert_eq!(warm.bytes_pulled, 0);
+        assert!(
+            warm.makespan.as_secs_f64() < cold.makespan.as_secs_f64() / 5.0,
+            "warm {} vs cold {}",
+            warm.makespan,
+            cold.makespan
+        );
+    }
+
+    #[test]
+    fn report_invariants() {
+        let img = image();
+        let rep = deployment_overhead(
+            8,
+            env(RuntimeKind::Singularity),
+            &img,
+            &StorageSpec::gpfs(),
+        );
+        assert!(rep.first_ready <= rep.makespan);
+        // nanosecond rounding of the duration fields vs the f64 mean
+        assert!(rep.mean_ready_s <= rep.makespan.as_secs_f64() + 1e-8);
+        assert!(rep.mean_ready_s >= rep.first_ready.as_secs_f64() - 1e-8);
+        assert!(rep.image_bytes > 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Content digests for layers and manifests.
+//!
+//! Real OCI registries use SHA-256; HarborSim needs *content addressing*
+//! (equal content ⇒ equal digest, distinct content ⇒ distinct digest with
+//! overwhelming probability for simulation-scale inputs), not cryptographic
+//! strength. We build a 256-bit digest from four FNV-1a-style lanes with
+//! different primes and offsets — dependency-free and stable across
+//! platforms, which keeps the whole simulation byte-reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 256-bit content digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u64; 4]);
+
+const OFFSETS: [u64; 4] = [
+    0xcbf2_9ce4_8422_2325,
+    0x9ae1_6a3b_2f90_404f,
+    0x6c62_272e_07bb_0142,
+    0x2f72_b421_8ef4_1149,
+];
+const PRIMES: [u64; 4] = [
+    0x0000_0100_0000_01b3,
+    0x0000_0100_0000_01b5,
+    0x0000_0100_0000_0277,
+    0x0000_0100_0000_02a1,
+];
+
+impl Digest {
+    /// Digest of a byte string.
+    pub fn of_bytes(bytes: &[u8]) -> Digest {
+        let mut lanes = OFFSETS;
+        for (i, &b) in bytes.iter().enumerate() {
+            for (lane, prime) in lanes.iter_mut().zip(PRIMES) {
+                // mix the position in so permutations differ
+                *lane ^= b as u64 ^ ((i as u64) << 8);
+                *lane = lane.wrapping_mul(prime);
+                *lane ^= *lane >> 31;
+            }
+        }
+        // final avalanche
+        for lane in &mut lanes {
+            *lane = lane.wrapping_mul(0x94d0_49bb_1331_11eb);
+            *lane ^= *lane >> 29;
+        }
+        Digest(lanes)
+    }
+
+    /// Digest of a UTF-8 string.
+    pub fn of_str(s: &str) -> Digest {
+        Digest::of_bytes(s.as_bytes())
+    }
+
+    /// Chain this digest with another (layer stacking: the identity of a
+    /// layer depends on everything below it, as in OCI chain IDs).
+    pub fn chain(&self, next: &Digest) -> Digest {
+        let mut buf = Vec::with_capacity(64);
+        for lane in self.0.iter().chain(next.0.iter()) {
+            buf.extend_from_slice(&lane.to_le_bytes());
+        }
+        Digest::of_bytes(&buf)
+    }
+
+    /// Short hex prefix, as container tools display.
+    pub fn short(&self) -> String {
+        format!("{:016x}", self.0[0])[..12].to_string()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fnv256:{:016x}{:016x}{:016x}{:016x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equal_content_equal_digest() {
+        assert_eq!(Digest::of_str("hello"), Digest::of_str("hello"));
+    }
+
+    #[test]
+    fn distinct_content_distinct_digest() {
+        let inputs = [
+            "", "a", "b", "ab", "ba", "hello", "hello ", "layer-1", "layer-2",
+        ];
+        let set: HashSet<Digest> = inputs.iter().map(|s| Digest::of_str(s)).collect();
+        assert_eq!(set.len(), inputs.len());
+    }
+
+    #[test]
+    fn permutation_sensitivity() {
+        assert_ne!(Digest::of_str("abc"), Digest::of_str("cba"));
+        assert_ne!(Digest::of_str("aab"), Digest::of_str("aba"));
+    }
+
+    #[test]
+    fn chain_depends_on_order() {
+        let a = Digest::of_str("base");
+        let b = Digest::of_str("mpi");
+        assert_ne!(a.chain(&b), b.chain(&a));
+        assert_eq!(a.chain(&b), a.chain(&b));
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Digest::of_str("x");
+        let s = d.to_string();
+        assert!(s.starts_with("fnv256:"));
+        assert_eq!(s.len(), 7 + 64);
+        assert_eq!(d.short().len(), 12);
+    }
+
+    #[test]
+    fn no_collisions_over_many_inputs() {
+        let set: HashSet<Digest> = (0..10_000)
+            .map(|i| Digest::of_str(&format!("blob-{i}")))
+            .collect();
+        assert_eq!(set.len(), 10_000);
+    }
+}

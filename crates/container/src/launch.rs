@@ -1,0 +1,128 @@
+//! Job-launch model: from "image staged everywhere" to "all ranks inside
+//! `main()`".
+//!
+//! Image staging (see [`crate::deploy`]) is only half of a containerized
+//! job's startup; the other half is the launcher fanning out over the
+//! nodes (srun/mpirun's PMI tree) and *starting one container per rank*.
+//! The runtimes differ sharply here:
+//!
+//! - **bare metal**: `fork`+`exec` per rank, milliseconds;
+//! - **Singularity/Shifter**: a SUID exec plus mount-namespace setup per
+//!   rank — cheap, and ranks on a node start mostly in parallel with a
+//!   small serialized kernel portion (mount table locks);
+//! - **Docker**: every `docker run`/`exec` is an RPC to the single
+//!   root daemon, which serializes container creation — at 28 ranks per
+//!   node this dominates the whole startup.
+
+use crate::runtime::RuntimeKind;
+use serde::{Deserialize, Serialize};
+
+/// Launcher-tree and spawn-cost parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchModel {
+    /// One launcher-tree RPC hop (srun step setup, PMI exchange), seconds.
+    pub rpc_latency_s: f64,
+    /// Launcher tree fanout.
+    pub tree_fanout: u32,
+    /// Plain process spawn cost per rank, seconds.
+    pub spawn_s: f64,
+    /// Serialized per-rank kernel cost for namespace/mount setup
+    /// (Singularity/Shifter), seconds.
+    pub ns_serialized_s: f64,
+}
+
+impl Default for LaunchModel {
+    fn default() -> Self {
+        LaunchModel {
+            rpc_latency_s: 3e-3,
+            tree_fanout: 32,
+            spawn_s: 2e-3,
+            ns_serialized_s: 12e-3,
+        }
+    }
+}
+
+impl LaunchModel {
+    /// Depth of the launcher tree over `nodes` nodes.
+    pub fn tree_depth(&self, nodes: u32) -> u32 {
+        if nodes <= 1 {
+            return 1;
+        }
+        let mut depth = 0;
+        let mut covered = 1u64;
+        while covered < nodes as u64 {
+            covered *= self.tree_fanout as u64;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Seconds on one node to get `rpn` ranks of `runtime` running.
+    pub fn node_seconds(&self, runtime: RuntimeKind, rpn: u32) -> f64 {
+        let r = rpn as f64;
+        match runtime {
+            // processes spawn back-to-back from the node agent
+            RuntimeKind::BareMetal => r * self.spawn_s,
+            // one daemon RPC per rank, serialized in dockerd
+            RuntimeKind::Docker => r * RuntimeKind::Docker.start_seconds(),
+            // parallel SUID execs with a serialized mount-lock portion
+            RuntimeKind::Singularity | RuntimeKind::Shifter => {
+                runtime.start_seconds() + r * self.ns_serialized_s
+            }
+        }
+    }
+
+    /// Seconds from job grant to every rank inside `main()`.
+    pub fn launch_seconds(&self, runtime: RuntimeKind, nodes: u32, rpn: u32) -> f64 {
+        self.tree_depth(nodes) as f64 * self.rpc_latency_s + self.node_seconds(runtime, rpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_depth_log_fanout() {
+        let m = LaunchModel::default();
+        assert_eq!(m.tree_depth(1), 1);
+        assert_eq!(m.tree_depth(32), 1);
+        assert_eq!(m.tree_depth(33), 2);
+        assert_eq!(m.tree_depth(1024), 2);
+        assert_eq!(m.tree_depth(3456), 3);
+    }
+
+    #[test]
+    fn docker_launch_dominated_by_daemon() {
+        let m = LaunchModel::default();
+        let docker = m.launch_seconds(RuntimeKind::Docker, 4, 28);
+        let sing = m.launch_seconds(RuntimeKind::Singularity, 4, 28);
+        let bare = m.launch_seconds(RuntimeKind::BareMetal, 4, 28);
+        assert!(docker > 25.0, "28 serialized docker runs: {docker}");
+        assert!(sing < 1.0, "singularity launch should be sub-second: {sing}");
+        assert!(bare < sing);
+    }
+
+    #[test]
+    fn launch_grows_with_ranks_per_node() {
+        let m = LaunchModel::default();
+        for runtime in [
+            RuntimeKind::BareMetal,
+            RuntimeKind::Docker,
+            RuntimeKind::Singularity,
+        ] {
+            let few = m.launch_seconds(runtime, 4, 2);
+            let many = m.launch_seconds(runtime, 4, 28);
+            assert!(many > few, "{runtime:?}");
+        }
+    }
+
+    #[test]
+    fn tree_hops_visible_at_scale() {
+        let m = LaunchModel::default();
+        let small = m.launch_seconds(RuntimeKind::Singularity, 4, 1);
+        let large = m.launch_seconds(RuntimeKind::Singularity, 3456, 1);
+        assert!(large > small);
+        assert!((large - small - 2.0 * m.rpc_latency_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,380 @@
+//! The recipe language: a Containerfile dialect with a parser and a
+//! package database.
+//!
+//! HarborSim images are *built* from text recipes, exactly as the study's
+//! images were built from Dockerfiles/Singularity definition files. The
+//! dialect supports the instructions the Alya images actually use:
+//!
+//! ```text
+//! FROM centos:7.4
+//! RUN yum install gcc gfortran
+//! RUN yum install openmpi
+//! COPY alya.bin /opt/alya/alya.bin 120MB
+//! ENV PATH=/opt/alya:$PATH
+//! LABEL org.bsc.case=artery
+//! ENTRYPOINT /opt/alya/alya.bin
+//! ```
+//!
+//! `RUN <mgr> install <pkgs...>` resolves sizes and install times from the
+//! [`PackageDb`]; `COPY` declares its payload size inline (the build
+//! context is not a real filesystem).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Base image reference, e.g. `centos:7.4`.
+    From(String),
+    /// A shell command; `install` commands resolve through the package DB.
+    Run(String),
+    /// Copy `src` to `dst` with a declared payload size in bytes.
+    Copy {
+        /// Source path in the build context.
+        src: String,
+        /// Destination path in the image.
+        dst: String,
+        /// Declared payload size.
+        bytes: u64,
+    },
+    /// Environment variable `KEY=VALUE`.
+    Env(String, String),
+    /// Metadata label `key=value`.
+    Label(String, String),
+    /// Working directory.
+    Workdir(String),
+    /// Container entrypoint.
+    Entrypoint(String),
+}
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recipe line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageRecipe {
+    /// Human name ("alya-artery").
+    pub name: String,
+    /// Instructions in order; the first is always `FROM`.
+    pub instructions: Vec<Instruction>,
+}
+
+/// Parse a size like `120MB`, `1.5GB`, `900KB`, `42B`.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix("GB") {
+        (n, 1_000_000_000.0)
+    } else if let Some(n) = s.strip_suffix("MB") {
+        (n, 1_000_000.0)
+    } else if let Some(n) = s.strip_suffix("KB") {
+        (n, 1_000.0)
+    } else if let Some(n) = s.strip_suffix('B') {
+        (n, 1.0)
+    } else {
+        return None;
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    (v >= 0.0).then(|| (v * mult) as u64)
+}
+
+impl ImageRecipe {
+    /// Parse recipe text. Blank lines and `#` comments are ignored; the
+    /// first instruction must be `FROM`.
+    pub fn parse(name: &str, text: &str) -> Result<ImageRecipe, ParseError> {
+        let mut instructions = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (word, rest) = trimmed.split_once(char::is_whitespace).ok_or(ParseError {
+                line,
+                message: format!("instruction without arguments: {trimmed:?}"),
+            })?;
+            let rest = rest.trim();
+            let inst = match word.to_ascii_uppercase().as_str() {
+                "FROM" => Instruction::From(rest.to_string()),
+                "RUN" => Instruction::Run(rest.to_string()),
+                "COPY" => {
+                    let parts: Vec<&str> = rest.split_whitespace().collect();
+                    if parts.len() != 3 {
+                        return Err(ParseError {
+                            line,
+                            message: "COPY needs: <src> <dst> <size>".into(),
+                        });
+                    }
+                    let bytes = parse_size(parts[2]).ok_or(ParseError {
+                        line,
+                        message: format!("bad size {:?}", parts[2]),
+                    })?;
+                    Instruction::Copy {
+                        src: parts[0].to_string(),
+                        dst: parts[1].to_string(),
+                        bytes,
+                    }
+                }
+                "ENV" | "LABEL" => {
+                    let (k, v) = rest.split_once('=').ok_or(ParseError {
+                        line,
+                        message: format!("{word} needs KEY=VALUE"),
+                    })?;
+                    if word.eq_ignore_ascii_case("ENV") {
+                        Instruction::Env(k.trim().to_string(), v.trim().to_string())
+                    } else {
+                        Instruction::Label(k.trim().to_string(), v.trim().to_string())
+                    }
+                }
+                "WORKDIR" => Instruction::Workdir(rest.to_string()),
+                "ENTRYPOINT" => Instruction::Entrypoint(rest.to_string()),
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unknown instruction {other:?}"),
+                    })
+                }
+            };
+            instructions.push(inst);
+        }
+        match instructions.first() {
+            Some(Instruction::From(_)) => {}
+            _ => {
+                return Err(ParseError {
+                    line: 1,
+                    message: "recipe must start with FROM".into(),
+                })
+            }
+        }
+        if instructions
+            .iter()
+            .skip(1)
+            .any(|i| matches!(i, Instruction::From(_)))
+        {
+            return Err(ParseError {
+                line: 0,
+                message: "multi-stage builds are not modelled: one FROM only".into(),
+            });
+        }
+        Ok(ImageRecipe {
+            name: name.to_string(),
+            instructions,
+        })
+    }
+
+    /// The base image reference.
+    pub fn base(&self) -> &str {
+        match &self.instructions[0] {
+            Instruction::From(b) => b,
+            _ => unreachable!("parser guarantees FROM first"),
+        }
+    }
+
+    /// All labels as a map.
+    pub fn labels(&self) -> BTreeMap<String, String> {
+        self.instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::Label(k, v) => Some((k.clone(), v.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Size/time cost of installing one package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackageCost {
+    /// Installed size in bytes.
+    pub bytes: u64,
+    /// Install time on the build host, seconds.
+    pub install_s: f64,
+}
+
+/// The package/base-image database used to price recipes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PackageDb {
+    packages: BTreeMap<String, PackageCost>,
+    bases: BTreeMap<String, u64>,
+}
+
+impl PackageDb {
+    /// The database used throughout the study, priced from real package
+    /// sizes of the era (CentOS 7 / Ubuntu 16.04 HPC stacks).
+    pub fn standard() -> PackageDb {
+        let mut db = PackageDb::default();
+        let mut pkg = |name: &str, mb: u64, s: f64| {
+            db.packages.insert(
+                name.to_string(),
+                PackageCost {
+                    bytes: mb * 1_000_000,
+                    install_s: s,
+                },
+            );
+        };
+        pkg("gcc", 180, 35.0);
+        pkg("gfortran", 120, 25.0);
+        pkg("make", 8, 3.0);
+        pkg("cmake", 35, 8.0);
+        pkg("openmpi", 150, 30.0);
+        pkg("mpich", 120, 25.0);
+        pkg("impi-runtime", 160, 28.0);
+        pkg("openblas", 90, 15.0);
+        pkg("hdf5", 60, 14.0);
+        pkg("metis", 12, 5.0);
+        pkg("libibverbs", 25, 6.0);
+        pkg("libpsm2", 18, 5.0);
+        pkg("infiniband-diags", 15, 4.0);
+        pkg("python2", 80, 18.0);
+        pkg("vim", 25, 5.0);
+        db.bases.insert("centos:7.4".into(), 210_000_000);
+        db.bases.insert("ubuntu:16.04".into(), 130_000_000);
+        db.bases.insert("debian:9".into(), 110_000_000);
+        db.bases.insert("alpine:3.7".into(), 5_000_000);
+        db
+    }
+
+    /// Look up one package.
+    pub fn package(&self, name: &str) -> Option<PackageCost> {
+        self.packages.get(name).copied()
+    }
+
+    /// Installed size of a base image, if known.
+    pub fn base_size(&self, reference: &str) -> Option<u64> {
+        self.bases.get(reference).copied()
+    }
+
+    /// Price a RUN command: recognized `yum/apt-get/apk install` lines sum
+    /// their packages; anything else is a small metadata-only layer.
+    pub fn price_run(&self, cmd: &str) -> PackageCost {
+        let tokens: Vec<&str> = cmd.split_whitespace().collect();
+        let is_install = tokens
+            .windows(2)
+            .any(|w| matches!(w[0], "yum" | "apt-get" | "apt" | "apk" | "dnf") && w[1] == "install");
+        if !is_install {
+            // scripts, chmod, ldconfig...: ~1 MB of filesystem churn, 2 s
+            return PackageCost {
+                bytes: 1_000_000,
+                install_s: 2.0,
+            };
+        }
+        let mut total = PackageCost {
+            bytes: 2_000_000, // package-manager metadata
+            install_s: 5.0,   // repo refresh
+        };
+        for t in tokens {
+            if let Some(c) = self.package(t) {
+                total.bytes += c.bytes;
+                total.install_s += c.install_s;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Alya artery image
+FROM centos:7.4
+RUN yum install gcc gfortran openmpi
+COPY alya.bin /opt/alya/alya.bin 120MB
+ENV PATH=/opt/alya:$PATH
+LABEL case=artery
+WORKDIR /opt/alya
+ENTRYPOINT /opt/alya/alya.bin
+";
+
+    #[test]
+    fn parses_sample() {
+        let r = ImageRecipe::parse("alya", SAMPLE).unwrap();
+        assert_eq!(r.base(), "centos:7.4");
+        assert_eq!(r.instructions.len(), 7);
+        assert_eq!(r.labels().get("case").map(String::as_str), Some("artery"));
+        assert!(matches!(
+            &r.instructions[2],
+            Instruction::Copy { bytes, .. } if *bytes == 120_000_000
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        let err = ImageRecipe::parse("x", "RUN echo hi\n").unwrap_err();
+        assert!(err.message.contains("FROM"));
+    }
+
+    #[test]
+    fn rejects_second_from() {
+        let err = ImageRecipe::parse("x", "FROM a:1\nFROM b:2\n").unwrap_err();
+        assert!(err.message.contains("one FROM"));
+    }
+
+    #[test]
+    fn rejects_unknown_instruction() {
+        let err = ImageRecipe::parse("x", "FROM a:1\nVOLUME /data\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_copy() {
+        assert!(ImageRecipe::parse("x", "FROM a:1\nCOPY a b\n").is_err());
+        assert!(ImageRecipe::parse("x", "FROM a:1\nCOPY a b 12XB\n").is_err());
+    }
+
+    #[test]
+    fn size_units() {
+        assert_eq!(parse_size("42B"), Some(42));
+        assert_eq!(parse_size("900KB"), Some(900_000));
+        assert_eq!(parse_size("120MB"), Some(120_000_000));
+        assert_eq!(parse_size("1.5GB"), Some(1_500_000_000));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size("-3MB"), None);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let r = ImageRecipe::parse("x", "\n# hi\nFROM a:1\n\n# more\nRUN echo ok\n").unwrap();
+        assert_eq!(r.instructions.len(), 2);
+    }
+
+    #[test]
+    fn package_pricing() {
+        let db = PackageDb::standard();
+        let c = db.price_run("yum install gcc openmpi");
+        assert_eq!(c.bytes, 2_000_000 + 180_000_000 + 150_000_000);
+        assert!(c.install_s > 60.0);
+        let noop = db.price_run("echo hello && ldconfig");
+        assert_eq!(noop.bytes, 1_000_000);
+    }
+
+    #[test]
+    fn unknown_packages_cost_only_metadata() {
+        let db = PackageDb::standard();
+        let c = db.price_run("yum install no-such-package");
+        assert_eq!(c.bytes, 2_000_000);
+    }
+
+    #[test]
+    fn base_sizes() {
+        let db = PackageDb::standard();
+        assert_eq!(db.base_size("centos:7.4"), Some(210_000_000));
+        assert_eq!(db.base_size("scratch"), None);
+    }
+}

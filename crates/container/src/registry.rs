@@ -1,0 +1,206 @@
+//! A content-addressed image registry with a pull protocol.
+//!
+//! Stores blobs (layers) by digest and manifests by `name:tag`. Pulls are
+//! planned against a client-side layer cache — the mechanism that makes a
+//! second `docker pull` on the same node nearly free, and that the
+//! deployment DES exercises when hundreds of nodes pull concurrently.
+
+use crate::digest::Digest;
+use crate::image::ImageManifest;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// What a client must transfer to materialize an image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PullPlan {
+    /// Layers to download: `(digest, compressed bytes)`, base first.
+    pub fetch: Vec<(Digest, u64)>,
+    /// Layers already present locally.
+    pub cached: Vec<Digest>,
+    /// Manifest + config round-trips (metadata requests).
+    pub metadata_requests: u32,
+}
+
+impl PullPlan {
+    /// Bytes that must cross the wire.
+    pub fn bytes(&self) -> u64 {
+        self.fetch.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// Whether nothing needs downloading.
+    pub fn fully_cached(&self) -> bool {
+        self.fetch.is_empty()
+    }
+}
+
+/// Registry error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// No manifest under that reference.
+    UnknownReference(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownReference(r) => write!(f, "unknown reference {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    blobs: BTreeMap<Digest, u64>,
+    manifests: BTreeMap<String, ImageManifest>,
+    pulls_served: u64,
+    bytes_served: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Push an image under `reference` ("alya-artery:v1"). Blobs shared
+    /// with already-pushed images are deduplicated, as in real registries.
+    pub fn push(&mut self, reference: &str, manifest: &ImageManifest) {
+        for layer in &manifest.layers {
+            self.blobs
+                .entry(layer.digest)
+                .or_insert(layer.compressed_bytes());
+        }
+        self.manifests
+            .insert(reference.to_string(), manifest.clone());
+    }
+
+    /// Look up a manifest.
+    pub fn manifest(&self, reference: &str) -> Result<&ImageManifest, RegistryError> {
+        self.manifests
+            .get(reference)
+            .ok_or_else(|| RegistryError::UnknownReference(reference.to_string()))
+    }
+
+    /// Plan a pull given the client's local layer cache.
+    pub fn plan_pull(
+        &mut self,
+        reference: &str,
+        local_cache: &HashSet<Digest>,
+    ) -> Result<PullPlan, RegistryError> {
+        let manifest = self
+            .manifests
+            .get(reference)
+            .ok_or_else(|| RegistryError::UnknownReference(reference.to_string()))?;
+        let mut fetch = Vec::new();
+        let mut cached = Vec::new();
+        for layer in &manifest.layers {
+            if local_cache.contains(&layer.digest) {
+                cached.push(layer.digest);
+            } else {
+                fetch.push((layer.digest, layer.compressed_bytes()));
+            }
+        }
+        let plan = PullPlan {
+            fetch,
+            cached,
+            metadata_requests: 2, // manifest + image config
+        };
+        self.pulls_served += 1;
+        self.bytes_served += plan.bytes();
+        Ok(plan)
+    }
+
+    /// Distinct blobs stored.
+    pub fn blob_count(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Total compressed bytes stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.blobs.values().sum()
+    }
+
+    /// Pulls served so far.
+    pub fn pulls_served(&self) -> u64 {
+        self.pulls_served
+    }
+
+    /// Bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{alya_recipe, BuildEngine};
+    use harborsim_hw::CpuModel;
+
+    fn built() -> ImageManifest {
+        BuildEngine::self_contained(CpuModel::xeon_platinum_8160())
+            .build(&alya_recipe())
+            .unwrap()
+            .manifest
+    }
+
+    #[test]
+    fn push_and_pull_roundtrip() {
+        let mut reg = Registry::new();
+        let img = built();
+        reg.push("alya:v1", &img);
+        assert_eq!(reg.blob_count(), img.layers.len());
+        let plan = reg.plan_pull("alya:v1", &HashSet::new()).unwrap();
+        assert_eq!(plan.fetch.len(), img.layers.len());
+        assert!(plan.bytes() > 100_000_000);
+        assert!(!plan.fully_cached());
+    }
+
+    #[test]
+    fn cache_hits_skip_layers() {
+        let mut reg = Registry::new();
+        let img = built();
+        reg.push("alya:v1", &img);
+        let full: HashSet<Digest> = img.layers.iter().map(|l| l.digest).collect();
+        let plan = reg.plan_pull("alya:v1", &full).unwrap();
+        assert!(plan.fully_cached());
+        assert_eq!(plan.cached.len(), img.layers.len());
+        // partial cache: only the base layer present
+        let partial: HashSet<Digest> = [img.layers[0].digest].into();
+        let plan = reg.plan_pull("alya:v1", &partial).unwrap();
+        assert_eq!(plan.fetch.len(), img.layers.len() - 1);
+    }
+
+    #[test]
+    fn shared_layers_dedup_across_images() {
+        let mut reg = Registry::new();
+        let img = built();
+        reg.push("alya:v1", &img);
+        let before = reg.stored_bytes();
+        reg.push("alya:v1-copy", &img);
+        assert_eq!(reg.stored_bytes(), before, "same blobs stored once");
+    }
+
+    #[test]
+    fn unknown_reference_errors() {
+        let mut reg = Registry::new();
+        assert!(matches!(
+            reg.plan_pull("nope:latest", &HashSet::new()),
+            Err(RegistryError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut reg = Registry::new();
+        let img = built();
+        reg.push("alya:v1", &img);
+        let p1 = reg.plan_pull("alya:v1", &HashSet::new()).unwrap();
+        let _ = reg.plan_pull("alya:v1", &HashSet::new()).unwrap();
+        assert_eq!(reg.pulls_served(), 2);
+        assert_eq!(reg.bytes_served(), 2 * p1.bytes());
+    }
+}

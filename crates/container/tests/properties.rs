@@ -1,0 +1,128 @@
+//! Property-based tests of the container substrate.
+
+use harborsim_container::digest::Digest;
+use harborsim_container::recipe::{ImageRecipe, PackageDb};
+use harborsim_container::registry::Registry;
+use harborsim_container::{BuildEngine, Containment};
+use harborsim_hw::CpuModel;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Digests are content-deterministic and collision-free over random
+    /// byte strings (at test scale).
+    #[test]
+    fn digest_properties(a in prop::collection::vec(any::<u8>(), 0..256),
+                         b in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(Digest::of_bytes(&a), Digest::of_bytes(&a));
+        if a != b {
+            prop_assert_ne!(Digest::of_bytes(&a), Digest::of_bytes(&b));
+        }
+    }
+
+    /// Any recipe assembled from valid instructions parses, and the parse
+    /// is a bijection on the instruction count.
+    #[test]
+    fn recipe_roundtrip(pkgs in prop::collection::vec("[a-z]{2,10}", 0..6),
+                        copy_mb in 1u64..500) {
+        let mut text = String::from("FROM centos:7.4\n");
+        for p in &pkgs {
+            text.push_str(&format!("RUN yum install {p}\n"));
+        }
+        text.push_str(&format!("COPY app /opt/app {copy_mb}MB\n"));
+        let recipe = ImageRecipe::parse("gen", &text).unwrap();
+        prop_assert_eq!(recipe.instructions.len(), pkgs.len() + 2);
+        // and it always builds (unknown packages cost metadata only)
+        let out = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
+            .build(&recipe)
+            .unwrap();
+        prop_assert_eq!(out.manifest.layers.len(), pkgs.len() + 2);
+        prop_assert!(out.manifest.uncompressed_bytes() >= 210_000_000 + copy_mb * 1_000_000);
+    }
+
+    /// Layer digests chain: reordering RUN instructions changes every
+    /// downstream digest.
+    #[test]
+    fn layer_chain_order_sensitive(a in "[a-z]{3,8}", b in "[a-z]{3,8}") {
+        prop_assume!(a != b);
+        let build = |first: &str, second: &str| {
+            let text = format!(
+                "FROM centos:7.4\nRUN yum install {first}\nRUN yum install {second}\n"
+            );
+            BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
+                .build(&ImageRecipe::parse("x", &text).unwrap())
+                .unwrap()
+                .manifest
+        };
+        let ab = build(&a, &b);
+        let ba = build(&b, &a);
+        prop_assert_ne!(ab.digest(), ba.digest());
+        prop_assert_ne!(ab.layers[2].digest, ba.layers[2].digest);
+    }
+
+    /// Registry pulls are idempotent under caching: after one full pull,
+    /// the second plan fetches nothing.
+    #[test]
+    fn pull_caching_idempotent(pkgs in prop::collection::vec("[a-z]{2,8}", 1..5)) {
+        let mut text = String::from("FROM ubuntu:16.04\n");
+        for p in &pkgs {
+            text.push_str(&format!("RUN apt-get install {p}\n"));
+        }
+        let manifest = BuildEngine::self_contained(CpuModel::power9_8335gtg())
+            .build(&ImageRecipe::parse("x", &text).unwrap())
+            .unwrap()
+            .manifest;
+        let mut reg = Registry::new();
+        reg.push("x:1", &manifest);
+        let mut cache = HashSet::new();
+        let plan = reg.plan_pull("x:1", &cache).unwrap();
+        for (d, _) in &plan.fetch {
+            cache.insert(*d);
+        }
+        let plan2 = reg.plan_pull("x:1", &cache).unwrap();
+        prop_assert!(plan2.fully_cached());
+        prop_assert_eq!(plan2.bytes(), 0);
+    }
+
+    /// System-specific builds never exceed the self-contained size, for any
+    /// package list.
+    #[test]
+    fn system_specific_never_bigger(extra in prop::collection::vec("[a-z]{2,8}", 0..4)) {
+        let mut text = String::from("FROM centos:7.4\nRUN yum install openmpi libibverbs\n");
+        for p in &extra {
+            text.push_str(&format!("RUN yum install {p}\n"));
+        }
+        let recipe = ImageRecipe::parse("x", &text).unwrap();
+        let sc = BuildEngine::self_contained(CpuModel::xeon_platinum_8160())
+            .build(&recipe).unwrap().manifest;
+        let ss = BuildEngine::system_specific(
+            CpuModel::xeon_platinum_8160(),
+            harborsim_hw::InterconnectKind::OmniPath100,
+        ).build(&recipe).unwrap().manifest;
+        prop_assert!(ss.uncompressed_bytes() <= sc.uncompressed_bytes());
+        prop_assert_eq!(ss.arch, sc.arch);
+    }
+}
+
+#[test]
+fn package_db_pricing_is_superadditive() {
+    let db = PackageDb::standard();
+    let both = db.price_run("yum install gcc openmpi");
+    let gcc = db.price_run("yum install gcc");
+    let mpi = db.price_run("yum install openmpi");
+    // one transaction shares the metadata cost
+    assert!(both.bytes < gcc.bytes + mpi.bytes);
+    assert!(both.bytes > gcc.bytes.max(mpi.bytes));
+}
+
+#[test]
+fn self_contained_containment_is_default_neutral() {
+    // the Containment enum's two values behave differently only where the
+    // fabric needs userspace drivers; sanity-pin both labels here
+    assert_ne!(
+        Containment::SelfContained.label(),
+        Containment::SystemSpecific.label()
+    );
+}

@@ -1,0 +1,124 @@
+//! Calibration: where every model constant comes from, and invariants that
+//! keep the constants honest.
+//!
+//! A simulator's credibility is its parameter provenance. This module
+//! gathers the derived quantities HarborSim's models imply (machine peak
+//! throughputs, byte/flop ratios, latency ladders) and exposes them for
+//! reports and for tests that pin them to public reference points:
+//!
+//! - MareNostrum4's general-purpose block is rated ~11.1 PF peak; our
+//!   *sustained CG-class* rate must sit at a few percent of that (HPCG
+//!   reality check).
+//! - The four fabrics' 8-byte latency ladder must reproduce the published
+//!   OSU-benchmark ordering: IB ≈ OPA ≪ 40GbE < 1GbE.
+//! - The CFD workload's arithmetic intensity must stay in the sparse-solver
+//!   band (well under 1 flop/byte against halo traffic at scale).
+
+use harborsim_alya::workload::{AlyaCase, ArteryFsi};
+use harborsim_hw::{presets, ClusterSpec};
+use harborsim_net::fabric::fabric_transports;
+use serde::{Deserialize, Serialize};
+
+/// Derived machine-level quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineCalibration {
+    /// Cluster name.
+    pub name: String,
+    /// Sustained CG-class GFLOP/s of one node.
+    pub node_sustained_gflops: f64,
+    /// Sustained CG-class TFLOP/s of the whole machine.
+    pub machine_sustained_tflops: f64,
+    /// 8-byte native-transport one-way cost, microseconds.
+    pub small_message_us: f64,
+    /// Native streaming bandwidth, GB/s.
+    pub fabric_gbs: f64,
+}
+
+/// Compute the calibration row of a cluster.
+pub fn machine(cluster: &ClusterSpec) -> MachineCalibration {
+    let node_sustained =
+        cluster.node.cores() as f64 * cluster.node.cpu.cg_gflops_per_core;
+    let native = fabric_transports(cluster.interconnect).native;
+    MachineCalibration {
+        name: cluster.name.clone(),
+        node_sustained_gflops: node_sustained,
+        machine_sustained_tflops: node_sustained * cluster.node_count as f64 / 1e3,
+        small_message_us: native.ptp_seconds(8) * 1e6,
+        fabric_gbs: native.bandwidth_bps / 1e9,
+    }
+}
+
+/// All four machines.
+pub fn all_machines() -> Vec<MachineCalibration> {
+    presets::all().iter().map(machine).collect()
+}
+
+/// Arithmetic intensity of the FSI case at a given scale: flops per
+/// inter-node byte. High = compute-bound (scales), low = wire-bound.
+pub fn fsi_flops_per_wire_byte(ranks: u32) -> f64 {
+    let case = ArteryFsi::mn4_case();
+    let job = case.job_profile(ranks);
+    let flops = job.total_flops(ranks);
+    // structural byte count from the profile (engine-independent)
+    let bytes: u64 = job
+        .steps
+        .iter()
+        .map(|(s, n)| s.bytes_per_rank(ranks) * ranks as u64 * *n as u64)
+        .sum();
+    flops / bytes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mn4_sustained_rate_is_hpcg_plausible() {
+        let m = machine(&presets::marenostrum4());
+        // peak of the GP block ~ 11.1 PF; HPCG-class sustained is 1-5%
+        let peak_tflops = 11_100.0;
+        let fraction = m.machine_sustained_tflops / peak_tflops;
+        assert!(
+            (0.01..0.06).contains(&fraction),
+            "sustained/peak = {fraction:.3} — outside the sparse-solver band"
+        );
+    }
+
+    #[test]
+    fn latency_ladder_matches_osu_ordering() {
+        let by_name = |n: &str| {
+            all_machines()
+                .into_iter()
+                .find(|m| m.name == n)
+                .unwrap()
+        };
+        let mn4 = by_name("MareNostrum4");
+        let cte = by_name("CTE-POWER");
+        let tx = by_name("ThunderX");
+        let lenox = by_name("Lenox");
+        assert!(mn4.small_message_us < 3.0);
+        assert!(cte.small_message_us < 3.0);
+        assert!(tx.small_message_us > 10.0 * cte.small_message_us);
+        assert!(lenox.small_message_us > tx.small_message_us);
+    }
+
+    #[test]
+    fn node_rates_ordered_by_generation() {
+        let rate = |c: &ClusterSpec| machine(c).node_sustained_gflops;
+        // Skylake node > POWER9 node > Haswell node > ThunderX node
+        assert!(rate(&presets::marenostrum4()) > rate(&presets::cte_power()));
+        assert!(rate(&presets::cte_power()) > rate(&presets::lenox()));
+        assert!(rate(&presets::lenox()) > rate(&presets::thunderx()));
+    }
+
+    #[test]
+    fn fsi_intensity_falls_with_scale() {
+        // strong scaling: same flops, more wire bytes
+        let coarse = fsi_flops_per_wire_byte(192);
+        let fine = fsi_flops_per_wire_byte(12_288);
+        assert!(coarse > fine, "intensity must fall: {coarse} -> {fine}");
+        // and both stay in the sparse-solver band (10..100k flops/byte of
+        // halo traffic at these granularities)
+        assert!(fine > 10.0 && coarse < 200_000.0, "fine={fine} coarse={coarse}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Extension — where does the time go?
+//!
+//! The paper reports end-to-end times; this extension decomposes the
+//! 112×1 Lenox configuration into compute / halo / allreduce / other for
+//! each technology, and adds the *mechanism ablation* the paper couldn't
+//! run: Docker with `--net=host` (host network namespace, cgroups kept).
+//! If the bridge is really the culprit, host-network Docker must collapse
+//! onto the bare-metal breakdown — and it does.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{fmt_seconds, TableData};
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use harborsim_alya::workload::AlyaCase;
+use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim_mpi::{RankMap, SimResult};
+use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
+
+/// One decomposed run.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Technology label.
+    pub label: String,
+    /// Full engine result.
+    pub result: SimResult,
+}
+
+/// Decompose the 112×1 configuration under every technology plus the
+/// host-network Docker ablation.
+pub fn run(seed: u64) -> Vec<Breakdown> {
+    let mut out = Vec::new();
+    for env in [
+        Execution::bare_metal(),
+        Execution::singularity_self_contained(),
+        Execution::shifter(),
+        Execution::docker(),
+    ] {
+        let outcome = Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_lenox())
+            .execution(env)
+            .nodes(4)
+            .ranks_per_node(28)
+            .run(seed);
+        out.push(Breakdown {
+            label: env.label(),
+            result: outcome.result,
+        });
+    }
+    // the ablation: Docker's cgroup tax without its bridge network
+    let cluster = harborsim_hw::presets::lenox();
+    let case = workloads::artery_cfd_lenox();
+    let map = RankMap::block(4, 28, 1);
+    let result = AnalyticEngine {
+        node: cluster.node.clone(),
+        network: NetworkModel::compose(
+            cluster.interconnect,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::small_cluster(),
+        ),
+        map,
+        config: EngineConfig {
+            compute_tax: 1.02,
+            ..EngineConfig::default()
+        },
+    }
+    .run(&case.job_profile(map.ranks()), seed);
+    out.push(Breakdown {
+        label: "Docker --net=host (modelled)".into(),
+        result,
+    });
+    out
+}
+
+/// Render the decomposition as a table.
+pub fn table(rows: &[Breakdown]) -> TableData {
+    TableData {
+        id: "ext-breakdown".into(),
+        title: "Time decomposition, artery CFD at 112x1 on Lenox".into(),
+        headers: vec![
+            "Technology".into(),
+            "Compute".into(),
+            "Halo".into(),
+            "Allreduce".into(),
+            "Other".into(),
+            "Total".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|b| {
+                vec![
+                    b.label.clone(),
+                    fmt_seconds(b.result.compute.as_secs_f64()),
+                    fmt_seconds(b.result.comm.halo.as_secs_f64()),
+                    fmt_seconds(b.result.comm.allreduce.as_secs_f64()),
+                    fmt_seconds(b.result.comm.other.as_secs_f64()),
+                    fmt_seconds(b.result.elapsed.as_secs_f64()),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// The mechanism claims.
+pub fn check_shape(rows: &[Breakdown]) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let find = |label: &str| rows.iter().find(|b| b.label.contains(label));
+    let (Some(bare), Some(docker), Some(hostnet)) = (
+        find("Bare-metal"),
+        find("Docker self-contained"),
+        find("net=host"),
+    ) else {
+        report.push("missing rows".into());
+        return report;
+    };
+    // Docker's extra time is communication, not compute
+    let extra_compute = docker.result.compute.as_secs_f64() - bare.result.compute.as_secs_f64();
+    let extra_comm =
+        docker.result.comm.total().as_secs_f64() - bare.result.comm.total().as_secs_f64();
+    expect(
+        &mut report,
+        extra_comm > 5.0 * extra_compute.max(0.0),
+        format!("Docker's penalty must be network-borne: comm +{extra_comm:.1}s vs compute +{extra_compute:.1}s"),
+    );
+    // host-network Docker collapses onto bare metal
+    let rel = hostnet.result.elapsed.as_secs_f64() / bare.result.elapsed.as_secs_f64();
+    expect(
+        &mut report,
+        (1.0..1.06).contains(&rel),
+        format!("--net=host Docker should be within 6% of bare metal, got {rel:.3}x"),
+    );
+    // and far below bridge Docker
+    expect(
+        &mut report,
+        docker.result.elapsed.as_secs_f64() > 1.25 * hostnet.result.elapsed.as_secs_f64(),
+        "bridge Docker must clearly exceed host-network Docker".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_mechanism_holds() {
+        let rows = run(1);
+        assert_eq!(rows.len(), 5);
+        let report = check_shape(&rows);
+        assert!(report.is_empty(), "{report:#?}");
+        let t = table(&rows);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.to_ascii().contains("net=host"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Extension — weak scaling.
+//!
+//! The paper's Fig. 3 is a strong-scaling study; production campaigns more
+//! often grow the mesh with the machine. Weak scaling exposes the
+//! transport stacks differently: per-rank halo volume is *constant*, so
+//! the self-contained container's bandwidth handicap shows up immediately
+//! and stays, while its latency handicap no longer grows relative to
+//! compute. HarborSim sweeps the FSI case at a fixed 1.2M cells/rank.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use harborsim_alya::workload::ArteryFsi;
+use rayon::prelude::*;
+
+/// Node counts of the sweep.
+pub const NODES: [u32; 5] = [4, 16, 64, 128, 256];
+
+/// Cells per rank, held constant.
+pub const CELLS_PER_RANK: f64 = 1.2e6;
+
+fn case_for(ranks: u32) -> ArteryFsi {
+    ArteryFsi {
+        label: format!("artery-fsi-weak-{ranks}"),
+        active_cells: CELLS_PER_RANK * ranks as f64,
+        timesteps: 40,
+        cg_iters: 30,
+        solid_fraction: 0.08,
+        interface_bytes: 96 * 1024,
+    }
+}
+
+/// Regenerate: x = nodes, y = weak-scaling efficiency (T₄ / T_n).
+pub fn run(seeds: &[u64]) -> FigureData {
+    let envs = [
+        ("Bare-metal", Execution::bare_metal()),
+        (
+            "Singularity system-specific",
+            Execution::singularity_system_specific(),
+        ),
+        (
+            "Singularity self-contained",
+            Execution::singularity_self_contained(),
+        ),
+    ];
+    let time = |env: Execution, nodes: u32| {
+        mean_elapsed_s(
+            &Scenario::new(harborsim_hw::presets::marenostrum4(), case_for(nodes * 48))
+                .execution(env)
+                .nodes(nodes)
+                .ranks_per_node(48),
+            seeds,
+        )
+    };
+    let series: Vec<Series> = envs
+        .par_iter()
+        .map(|(label, env)| {
+            let t4 = time(*env, 4);
+            let points = NODES
+                .par_iter()
+                .map(|&n| (n as f64, t4 / time(*env, n)))
+                .collect();
+            Series::new(label, points)
+        })
+        .collect();
+    FigureData {
+        id: "ext-weak".into(),
+        title: "Weak scaling of the FSI case (1.2M cells/rank, MareNostrum4)".into(),
+        x_label: "Nodes".into(),
+        y_label: "Weak-scaling efficiency (T4/Tn)".into(),
+        series,
+    }
+}
+
+/// Expected behaviour.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |label: &str, n: u32| {
+        fig.series_named(label)
+            .and_then(|s| s.y_at(n as f64))
+            .unwrap_or(f64::NAN)
+    };
+    // the native stacks hold high efficiency to 256 nodes
+    for label in ["Bare-metal", "Singularity system-specific"] {
+        let e = get(label, 256);
+        expect(
+            &mut report,
+            e > 0.8,
+            format!("{label} weak efficiency at 256 nodes is {e:.2} (want > 0.8)"),
+        );
+    }
+    // the fallback stack loses efficiency with scale, but gently — its
+    // handicap is mostly a constant factor under weak scaling
+    let sc256 = get("Singularity self-contained", 256);
+    expect(
+        &mut report,
+        sc256 > 0.5,
+        format!("self-contained weak efficiency collapsed to {sc256:.2}"),
+    );
+    expect(
+        &mut report,
+        sc256 < get("Bare-metal", 256),
+        "self-contained must trail bare metal".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_shape() {
+        let fig = run(&[1]);
+        assert_eq!(fig.series.len(), 3);
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "{report:#?}");
+    }
+
+    #[test]
+    fn per_rank_work_constant() {
+        use harborsim_alya::workload::AlyaCase;
+        let a = case_for(192);
+        let b = case_for(12_288);
+        let fa = a.job_profile(192).total_flops(192) / 192.0;
+        let fb = b.job_profile(12_288).total_flops(12_288) / 12_288.0;
+        assert!((fa - fb).abs() / fa < 1e-9);
+    }
+}

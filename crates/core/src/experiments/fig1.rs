@@ -1,0 +1,142 @@
+//! Figure 1 — containerization solutions.
+//!
+//! *"Average elapsed time of the artery CFD case in Lenox"*: four execution
+//! technologies (bare metal, Singularity, Shifter, Docker) across five
+//! rank×thread balances of the same 112 cores on the four Lenox nodes.
+//!
+//! Paper claims encoded in [`check_shape`]:
+//! - HPC-designed containers (Singularity, Shifter) reach bare-metal
+//!   performance at every configuration;
+//! - Docker degrades as the job scales in MPI ranks.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use rayon::prelude::*;
+
+/// The paper's five `ranks × threads-per-rank` configurations.
+pub const CONFIGS: [(u32, u32); 5] = [(8, 14), (16, 7), (28, 4), (56, 2), (112, 1)];
+
+/// The four execution technologies of the figure, in legend order.
+pub fn environments() -> Vec<(&'static str, Execution)> {
+    vec![
+        ("Bare-metal", Execution::bare_metal()),
+        ("Singularity", Execution::singularity_self_contained()),
+        ("Shifter", Execution::shifter()),
+        ("Docker", Execution::docker()),
+    ]
+}
+
+fn scenario(env: Execution, ranks: u32, threads: u32) -> Scenario {
+    Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_lenox())
+        .execution(env)
+        .nodes(4)
+        .ranks_per_node(ranks / 4)
+        .threads_per_rank(threads)
+}
+
+/// Regenerate the figure: x = total MPI ranks, y = elapsed seconds.
+pub fn run(seeds: &[u64]) -> FigureData {
+    let series: Vec<Series> = environments()
+        .par_iter()
+        .map(|(label, env)| {
+            let points = CONFIGS
+                .par_iter()
+                .map(|&(ranks, threads)| {
+                    (
+                        ranks as f64,
+                        mean_elapsed_s(&scenario(*env, ranks, threads), seeds),
+                    )
+                })
+                .collect();
+            Series::new(label, points)
+        })
+        .collect();
+    FigureData {
+        id: "fig1".into(),
+        title: "Average elapsed time of the artery CFD case in Lenox".into(),
+        x_label: "MPI ranks (x threads = 112 cores)".into(),
+        y_label: "Time [s]".into(),
+        series,
+    }
+}
+
+/// Verify the paper's qualitative claims.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |label: &str, x: f64| {
+        fig.series_named(label)
+            .and_then(|s| s.y_at(x))
+            .unwrap_or(f64::NAN)
+    };
+    let mut prev_rel = 0.0;
+    for &(ranks, _) in &CONFIGS {
+        let x = ranks as f64;
+        let bare = get("Bare-metal", x);
+        expect(
+            &mut report,
+            bare.is_finite() && bare > 0.0,
+            format!("missing bare-metal point at {ranks} ranks"),
+        );
+        for hpc in ["Singularity", "Shifter"] {
+            let t = get(hpc, x);
+            expect(
+                &mut report,
+                t / bare < 1.08,
+                format!("{hpc} at {ranks} ranks is {:.2}x bare-metal (want < 1.08x)", t / bare),
+            );
+        }
+        let docker_rel = get("Docker", x) / bare;
+        expect(
+            &mut report,
+            docker_rel + 0.02 >= prev_rel,
+            format!(
+                "Docker relative cost must grow with ranks: {prev_rel:.2} -> {docker_rel:.2} at {ranks}"
+            ),
+        );
+        prev_rel = docker_rel;
+    }
+    let d112 = get("Docker", 112.0) / get("Bare-metal", 112.0);
+    expect(
+        &mut report,
+        d112 >= 1.4,
+        format!("Docker at 112 ranks is only {d112:.2}x bare-metal (want >= 1.4x)"),
+    );
+    let d8 = get("Docker", 8.0) / get("Bare-metal", 8.0);
+    expect(
+        &mut report,
+        d8 < 1.25,
+        format!("Docker at 8 ranks should still be close to bare-metal, got {d8:.2}x"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_shape() {
+        let fig = run(&[1, 2]);
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5, "{}", s.label);
+        }
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "shape violations: {report:#?}");
+    }
+
+    #[test]
+    fn bare_metal_times_are_minutes_scale() {
+        let fig = run(&[1]);
+        let bare = fig.series_named("Bare-metal").unwrap();
+        for &(_, t) in &bare.points {
+            assert!(
+                (60.0..400.0).contains(&t),
+                "bare-metal should take minutes like the paper's case: {t}"
+            );
+        }
+    }
+}

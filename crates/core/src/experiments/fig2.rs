@@ -1,0 +1,150 @@
+//! Figure 2 — portability (CTE-POWER).
+//!
+//! *"Average elapsed time of artery CFD case in CTE-POWER"*: bare metal vs
+//! Singularity with the two image-building techniques, 2–16 nodes on the
+//! POWER9 + InfiniBand EDR machine.
+//!
+//! Paper claims encoded in [`check_shape`]:
+//! - the host-integrated (*system-specific*) container equals bare-metal
+//!   performance;
+//! - the *self-contained* container cannot use the Mellanox EDR network
+//!   (it falls back to IPoIB) and falls behind, increasingly with scale.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use rayon::prelude::*;
+
+/// Node counts of the figure (the paper samples every integer 2..16).
+pub fn node_counts() -> Vec<u32> {
+    (2..=16).collect()
+}
+
+/// The three curves, in legend order.
+pub fn environments() -> Vec<(&'static str, Execution)> {
+    vec![
+        ("Bare-metal", Execution::bare_metal()),
+        (
+            "Singularity system-specific",
+            Execution::singularity_system_specific(),
+        ),
+        (
+            "Singularity self-contained",
+            Execution::singularity_self_contained(),
+        ),
+    ]
+}
+
+fn scenario(env: Execution, nodes: u32) -> Scenario {
+    Scenario::new(harborsim_hw::presets::cte_power(), workloads::artery_cfd_cte())
+        .execution(env)
+        .nodes(nodes)
+        .ranks_per_node(40)
+}
+
+/// Regenerate the figure: x = nodes, y = elapsed seconds.
+pub fn run(seeds: &[u64]) -> FigureData {
+    let series: Vec<Series> = environments()
+        .par_iter()
+        .map(|(label, env)| {
+            let points = node_counts()
+                .par_iter()
+                .map(|&n| (n as f64, mean_elapsed_s(&scenario(*env, n), seeds)))
+                .collect();
+            Series::new(label, points)
+        })
+        .collect();
+    FigureData {
+        id: "fig2".into(),
+        title: "Average elapsed time of the artery CFD case in CTE-POWER".into(),
+        x_label: "Nodes".into(),
+        y_label: "Time [s]".into(),
+        series,
+    }
+}
+
+/// Verify the paper's qualitative claims.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |label: &str, x: u32| {
+        fig.series_named(label)
+            .and_then(|s| s.y_at(x as f64))
+            .unwrap_or(f64::NAN)
+    };
+    for n in node_counts() {
+        let bare = get("Bare-metal", n);
+        let ss = get("Singularity system-specific", n);
+        expect(
+            &mut report,
+            ss / bare < 1.05,
+            format!("system-specific at {n} nodes is {:.2}x bare-metal (want < 1.05x)", ss / bare),
+        );
+    }
+    // every curve strong-scales (monotone decreasing in nodes). The
+    // fallback curve is granted more local slack: its halo cost tracks the
+    // partition's cut quality, which jumps at awkward rank counts (e.g.
+    // 13x40 ranks factor far worse than 12x40) — on the real machine the
+    // same jumps hide inside run-to-run noise.
+    for s in &fig.series {
+        let slack = if s.label.contains("self-contained") {
+            1.12
+        } else {
+            1.03
+        };
+        for w in s.points.windows(2) {
+            expect(
+                &mut report,
+                w[1].1 < w[0].1 * slack,
+                format!("{}: time rose {:.1} -> {:.1} at {} nodes", s.label, w[0].1, w[1].1, w[1].0),
+            );
+        }
+    }
+    // self-contained loses badly at scale and flattens
+    let sc16 = get("Singularity self-contained", 16);
+    let bare16 = get("Bare-metal", 16);
+    expect(
+        &mut report,
+        sc16 / bare16 >= 2.0,
+        format!("self-contained at 16 nodes only {:.2}x bare-metal (want >= 2x)", sc16 / bare16),
+    );
+    let sc2 = get("Singularity self-contained", 2);
+    let speedup_sc = sc2 / sc16;
+    expect(
+        &mut report,
+        speedup_sc < 0.62 * 8.0,
+        format!("self-contained 2->16 node speedup {speedup_sc:.1} should flatten (< 5.0)"),
+    );
+    let speedup_bare = get("Bare-metal", 2) / bare16;
+    expect(
+        &mut report,
+        speedup_bare > 5.5,
+        format!("bare-metal 2->16 node speedup {speedup_bare:.1} should stay near-linear (> 5.5)"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reproduces_paper_shape() {
+        let fig = run(&[1, 2]);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 15, "{}", s.label);
+        }
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "shape violations: {report:#?}");
+    }
+
+    #[test]
+    fn two_node_time_matches_paper_scale() {
+        // the paper's 2-node point sits near 90 s
+        let fig = run(&[1]);
+        let t2 = fig.series_named("Bare-metal").unwrap().y_at(2.0).unwrap();
+        assert!((40.0..150.0).contains(&t2), "t2={t2}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 3 — scalability (MareNostrum4).
+//!
+//! *"Scalability plot of Alya artery FSI case in MareNostrum4"*: speedup
+//! (relative to the 4-node bare-metal run) up to 256 nodes / 12,288 cores,
+//! for bare metal, the system-specific container and the self-contained
+//! container, against the ideal line.
+//!
+//! Paper claims encoded in [`check_shape`]:
+//! - the integrated container leverages Omni-Path exactly like bare metal
+//!   and both keep scaling to 256 nodes;
+//! - the self-contained container cannot, and its curve breaks away and
+//!   plateaus at a small fraction of the ideal speedup.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use rayon::prelude::*;
+
+/// Node counts of the figure.
+pub const NODES: [u32; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// The three measured curves, in legend order.
+pub fn environments() -> Vec<(&'static str, Execution)> {
+    vec![
+        ("Bare-metal", Execution::bare_metal()),
+        (
+            "Singularity system-specific",
+            Execution::singularity_system_specific(),
+        ),
+        (
+            "Singularity self-contained",
+            Execution::singularity_self_contained(),
+        ),
+    ]
+}
+
+fn scenario(env: Execution, nodes: u32) -> Scenario {
+    Scenario::new(
+        harborsim_hw::presets::marenostrum4(),
+        workloads::artery_fsi_mn4(),
+    )
+    .execution(env)
+    .nodes(nodes)
+    .ranks_per_node(48)
+}
+
+/// Regenerate the figure: x = nodes, y = speedup vs 4-node bare metal.
+pub fn run(seeds: &[u64]) -> FigureData {
+    let baseline = mean_elapsed_s(&scenario(Execution::bare_metal(), 4), seeds);
+    let mut series: Vec<Series> = environments()
+        .par_iter()
+        .map(|(label, env)| {
+            let points = NODES
+                .par_iter()
+                .map(|&n| {
+                    let t = mean_elapsed_s(&scenario(*env, n), seeds);
+                    (n as f64, baseline / t)
+                })
+                .collect();
+            Series::new(label, points)
+        })
+        .collect();
+    series.push(Series::new(
+        "Ideal",
+        NODES.iter().map(|&n| (n as f64, n as f64 / 4.0)).collect(),
+    ));
+    FigureData {
+        id: "fig3".into(),
+        title: "Scalability of the Alya artery FSI case in MareNostrum4".into(),
+        x_label: "Nodes".into(),
+        y_label: "Speedup (vs 4-node bare-metal)".into(),
+        series,
+    }
+}
+
+/// Verify the paper's qualitative claims.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |label: &str, n: u32| {
+        fig.series_named(label)
+            .and_then(|s| s.y_at(n as f64))
+            .unwrap_or(f64::NAN)
+    };
+    // bare metal and the integrated container keep scaling
+    let bare256 = get("Bare-metal", 256);
+    expect(
+        &mut report,
+        bare256 >= 38.0,
+        format!("bare-metal speedup at 256 nodes is {bare256:.1} (want >= 38 of ideal 64)"),
+    );
+    for n in NODES {
+        let bare = get("Bare-metal", n);
+        let ss = get("Singularity system-specific", n);
+        expect(
+            &mut report,
+            (ss - bare).abs() / bare < 0.08,
+            format!("system-specific at {n} nodes: speedup {ss:.1} vs bare {bare:.1} (want within 8%)"),
+        );
+        let ideal = n as f64 / 4.0;
+        expect(
+            &mut report,
+            bare <= ideal * 1.05,
+            format!("no superlinear scaling: {bare:.1} > ideal {ideal:.1} at {n} nodes"),
+        );
+    }
+    // the self-contained container stops scaling
+    let sc32 = get("Singularity self-contained", 32);
+    let sc256 = get("Singularity self-contained", 256);
+    expect(
+        &mut report,
+        sc256 < 16.0,
+        format!("self-contained speedup at 256 nodes is {sc256:.1} (want < 16: it must plateau)"),
+    );
+    expect(
+        &mut report,
+        sc256 / sc32 < 0.45 * 8.0,
+        format!(
+            "self-contained 32->256 gained {:.1}x of the ideal 8x (want < 3.6x: flattening)",
+            sc256 / sc32
+        ),
+    );
+    expect(
+        &mut report,
+        sc256 < 0.4 * bare256,
+        format!("self-contained ({sc256:.1}) must fall far below bare-metal ({bare256:.1}) at 256 nodes"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_paper_shape() {
+        let fig = run(&[1, 2]);
+        assert_eq!(fig.series.len(), 4);
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "shape violations: {report:#?}");
+    }
+
+    #[test]
+    fn speedups_start_near_one() {
+        let fig = run(&[1]);
+        for label in ["Bare-metal", "Singularity system-specific"] {
+            let s4 = fig.series_named(label).unwrap().y_at(4.0).unwrap();
+            assert!((0.9..1.1).contains(&s4), "{label} at 4 nodes: {s4}");
+        }
+    }
+
+    #[test]
+    fn job_uses_12288_cores_at_full_scale() {
+        let sc = scenario(Execution::bare_metal(), 256);
+        assert_eq!(
+            sc.nodes as u64 * sc.ranks_per_node as u64 * sc.threads_per_rank as u64,
+            12_288
+        );
+    }
+}

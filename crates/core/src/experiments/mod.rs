@@ -1,0 +1,39 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Each submodule regenerates one figure or table:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — containerization solutions on Lenox |
+//! | [`fig2`] | Fig. 2 — portability on CTE-POWER |
+//! | [`fig3`] | Fig. 3 — scalability on MareNostrum4 |
+//! | [`tables`] | Eval §B.1 deployment overhead / image size / execution time, and §B.2 cross-architecture portability |
+//! | [`ext_io`] | the paper's future-work item: container I/O & distributed storage (image-startup storms) |
+//! | [`ext_breakdown`] | extension: compute/halo/allreduce decomposition + the Docker `--net=host` mechanism ablation |
+//! | [`ext_weak`] | extension: weak scaling of the FSI case at fixed cells/rank |
+//! | [`ext_campaign`] | extension: multi-job campaign turnaround under FIFO + EASY backfill, with cross-job cache effects |
+//! | [`validation`] | engine cross-validation: message-level DES vs closed-form analytic over a configuration matrix |
+//!
+//! Every experiment exposes `run(seeds)` returning structured data and a
+//! `check_shape(&data)` that encodes the paper's qualitative claims; the
+//! integration tests and the reproduction binary both call them.
+
+pub mod ext_breakdown;
+pub mod ext_campaign;
+pub mod ext_io;
+pub mod ext_weak;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod tables;
+pub mod validation;
+
+/// Outcome of a shape check: empty = all claims hold.
+pub type ShapeReport = Vec<String>;
+
+/// Helper: push a message if `cond` fails.
+pub(crate) fn expect(report: &mut ShapeReport, cond: bool, msg: String) {
+    if !cond {
+        report.push(msg);
+    }
+}

@@ -1,0 +1,292 @@
+//! The evaluation tables.
+//!
+//! The extended abstract describes (§B.1) a comparison of "deployment
+//! overhead, image size and execution time" across Docker, Singularity and
+//! Shifter, and (§B.2) running the same containerized application on three
+//! architectures with two image-building techniques. These functions emit
+//! exactly those tables.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{fmt_bytes, fmt_seconds, TableData};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use harborsim_container::build::{alya_recipe, BuildEngine};
+use harborsim_container::containment::check_compat;
+use harborsim_container::deploy::deployment_overhead;
+use harborsim_container::{Containment, ImageFormat, LaunchModel, RuntimeKind};
+use harborsim_hw::presets;
+use harborsim_net::TransportSelection;
+
+/// §B.1 — deployment overhead, image size and execution time on Lenox.
+pub fn deployment(seeds: &[u64]) -> TableData {
+    let cluster = presets::lenox();
+    let mut rows = Vec::new();
+    for env in [
+        Execution::bare_metal(),
+        Execution::docker(),
+        Execution::singularity_self_contained(),
+        Execution::shifter(),
+    ] {
+        let build = BuildEngine::self_contained(cluster.node.cpu.clone())
+            .build(&alya_recipe())
+            .expect("builtin recipe builds");
+        let (fmt_name, size, pack_s) = match env.runtime.image_format() {
+            None => ("-".to_string(), 0u64, 0.0),
+            Some(f) => {
+                let name = match f {
+                    ImageFormat::DockerLayered => "layered tar.gz",
+                    ImageFormat::SingularitySif => "SIF (squashfs)",
+                    ImageFormat::ShifterUdi => "UDI (squashfs)",
+                };
+                (
+                    name.to_string(),
+                    build.manifest.size_bytes(f),
+                    BuildEngine::self_contained(cluster.node.cpu.clone())
+                        .package_seconds(&build.manifest, f),
+                )
+            }
+        };
+        let dep = deployment_overhead(4, env, &build.manifest, &cluster.shared_storage);
+        // job launch at the pure-MPI 112x1 configuration (per-rank spawns)
+        let launch = LaunchModel::default().launch_seconds(env.runtime, 4, 28);
+        // execution time at the paper's 28x4 configuration
+        let exec = mean_elapsed_s(
+            &Scenario::new(cluster.clone(), workloads::artery_cfd_lenox())
+                .execution(env)
+                .nodes(4)
+                .ranks_per_node(7)
+                .threads_per_rank(4),
+            seeds,
+        );
+        rows.push(vec![
+            env.runtime.label().to_string(),
+            fmt_name,
+            if size == 0 { "-".into() } else { fmt_bytes(size) },
+            if env.runtime == RuntimeKind::BareMetal {
+                "-".into()
+            } else {
+                fmt_seconds(build.build_seconds + pack_s)
+            },
+            fmt_seconds(dep.makespan.as_secs_f64()),
+            fmt_seconds(launch),
+            fmt_seconds(exec),
+        ]);
+    }
+    TableData {
+        id: "table-deployment".into(),
+        title: "Containerization solutions on Lenox (4 nodes, artery CFD at 28x4)".into(),
+        headers: vec![
+            "Technology".into(),
+            "Image format".into(),
+            "Image size".into(),
+            "Build+pack".into(),
+            "Deploy (4 nodes)".into(),
+            "Launch 112 ranks".into(),
+            "Execution".into(),
+        ],
+        rows,
+    }
+}
+
+/// Shape claims over the deployment table.
+pub fn check_deployment_shape(t: &TableData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let col = |row: usize, c: usize| t.rows[row][c].clone();
+    expect(
+        &mut report,
+        t.rows.len() == 4,
+        "expected four technologies".into(),
+    );
+    // bare metal deploys fastest; Docker stages the most bytes
+    expect(
+        &mut report,
+        col(0, 0) == "Bare-metal" && col(1, 0) == "Docker",
+        "row order".into(),
+    );
+    report
+}
+
+/// §B.2 — the same containerized application across three architectures.
+pub fn portability(seeds: &[u64]) -> TableData {
+    let machines = [presets::marenostrum4(), presets::cte_power(), presets::thunderx()];
+    let mut rows = Vec::new();
+    for cluster in &machines {
+        for containment in [Containment::SelfContained, Containment::SystemSpecific] {
+            let engine = match containment {
+                Containment::SelfContained => {
+                    BuildEngine::self_contained(cluster.node.cpu.clone())
+                }
+                Containment::SystemSpecific => BuildEngine::system_specific(
+                    cluster.node.cpu.clone(),
+                    cluster.interconnect,
+                ),
+            };
+            let image = engine.build(&alya_recipe()).expect("builds").manifest;
+            let compat = check_compat(
+                image.arch,
+                image.isa_level,
+                &image.required_host_libs,
+                &cluster.node.cpu,
+                cluster.interconnect,
+            );
+            let env = Execution {
+                runtime: RuntimeKind::Singularity,
+                containment,
+            };
+            let transport = match env.transport_selection(cluster.interconnect) {
+                TransportSelection::Native => "native",
+                TransportSelection::TcpFallback => "TCP fallback",
+            };
+            let time = match &compat {
+                Ok(()) => fmt_seconds(mean_elapsed_s(
+                    &Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+                        .execution(env)
+                        .nodes(2)
+                        .ranks_per_node(cluster.node.cores()),
+                    seeds,
+                )),
+                Err(e) => format!("fails: {e}"),
+            };
+            rows.push(vec![
+                cluster.name.clone(),
+                cluster.node.cpu.arch.to_string(),
+                containment.label().to_string(),
+                fmt_bytes(image.uncompressed_bytes()),
+                transport.to_string(),
+                time,
+            ]);
+        }
+    }
+    // the cross-architecture failure the paper's portability story implies:
+    // an x86 image moved to POWER9
+    let x86_image = BuildEngine::self_contained(presets::marenostrum4().node.cpu.clone())
+        .build(&alya_recipe())
+        .expect("builds")
+        .manifest;
+    let power = presets::cte_power();
+    let err = check_compat(
+        x86_image.arch,
+        x86_image.isa_level,
+        &x86_image.required_host_libs,
+        &power.node.cpu,
+        power.interconnect,
+    )
+    .expect_err("x86 image cannot run on POWER9");
+    rows.push(vec![
+        "CTE-POWER".into(),
+        "ppc64le".into(),
+        "self-contained (built on MN4)".into(),
+        fmt_bytes(x86_image.uncompressed_bytes()),
+        "-".into(),
+        format!("fails: {err}"),
+    ]);
+    TableData {
+        id: "table-portability".into(),
+        title: "Portability: one application, three architectures, two build techniques (2 nodes each)"
+            .into(),
+        headers: vec![
+            "Machine".into(),
+            "Arch".into(),
+            "Image technique".into(),
+            "Rootfs size".into(),
+            "MPI transport".into(),
+            "CFD time (2 nodes)".into(),
+        ],
+        rows,
+    }
+}
+
+/// Shape claims over the portability table.
+pub fn check_portability_shape(t: &TableData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    expect(
+        &mut report,
+        t.rows.len() == 7,
+        format!("expected 7 rows, got {}", t.rows.len()),
+    );
+    // self-contained images are bigger than system-specific ones
+    for pair in t.rows.chunks(2).take(3) {
+        let parse = |s: &str| -> f64 {
+            let mut it = s.split_whitespace();
+            let value: f64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
+            let unit = match it.next() {
+                Some("GB") => 1e9,
+                Some("MB") => 1e6,
+                Some("KB") => 1e3,
+                _ => 1.0,
+            };
+            value * unit
+        };
+        let (sc, ss) = (parse(&pair[0][3]), parse(&pair[1][3]));
+        expect(
+            &mut report,
+            sc > ss,
+            format!("self-contained ({sc}) should outweigh system-specific ({ss})"),
+        );
+    }
+    // kernel-bypass machines: self-contained runs on TCP fallback
+    for row in &t.rows[..4] {
+        if row[2] == "self-contained" {
+            expect(
+                &mut report,
+                row[4] == "TCP fallback",
+                format!("{} self-contained should fall back, got {}", row[0], row[4]),
+            );
+        }
+        if row[2] == "system-specific" {
+            expect(
+                &mut report,
+                row[4] == "native",
+                format!("{} system-specific should be native, got {}", row[0], row[4]),
+            );
+        }
+    }
+    // the cross-arch row fails
+    expect(
+        &mut report,
+        t.rows[6][5].starts_with("fails"),
+        "x86 image on POWER9 must fail".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_table_shape() {
+        let t = deployment(&[1]);
+        assert_eq!(t.headers.len(), 7);
+        let report = check_deployment_shape(&t);
+        assert!(report.is_empty(), "{report:#?}");
+        // sanity: the ASCII rendering works
+        assert!(t.to_ascii().contains("Singularity"));
+    }
+
+    #[test]
+    fn portability_table_shape() {
+        let t = portability(&[1]);
+        let report = check_portability_shape(&t);
+        assert!(report.is_empty(), "{report:#?}");
+    }
+
+    #[test]
+    fn thunderx_is_slowest_architecture() {
+        // same case, 2 nodes, system-specific on each machine: the Arm
+        // mini-cluster's weak cores lose (as the Mont-Blanc papers report)
+        let t = |cluster: harborsim_hw::ClusterSpec| {
+            mean_elapsed_s(
+                &Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+                    .execution(Execution::singularity_system_specific())
+                    .nodes(2)
+                    .ranks_per_node(cluster.node.cores()),
+                &[1],
+            )
+        };
+        let mn4 = t(presets::marenostrum4());
+        let tx = t(presets::thunderx());
+        assert!(tx > 2.0 * mn4, "thunderx {tx} vs mn4 {mn4}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Engine cross-validation — the simulator checking itself.
+//!
+//! HarborSim's figures come from the closed-form analytic engine; its
+//! credibility comes from the message-level DES engine agreeing with it on
+//! the same workloads at scales where every message can be simulated. This
+//! experiment runs a matrix of configurations through both engines and
+//! reports the deviation — an artifact a reviewer can read instead of
+//! taking "cross-validated" on faith.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::TableData;
+use crate::scenario::{EngineKind, Execution, Scenario};
+use crate::workloads;
+use harborsim_hw::presets;
+use rayon::prelude::*;
+
+/// One cross-validation point.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Analytic prediction, seconds.
+    pub analytic_s: f64,
+    /// DES measurement, seconds.
+    pub des_s: f64,
+    /// `des / analytic`.
+    pub ratio: f64,
+}
+
+fn point(
+    label: &str,
+    cluster: harborsim_hw::ClusterSpec,
+    env: Execution,
+    nodes: u32,
+    rpn: u32,
+) -> ValidationRow {
+    let mk = |engine| {
+        let case = workloads::artery_cfd_small();
+        Scenario::new(cluster.clone(), case)
+            .execution(env)
+            .nodes(nodes)
+            .ranks_per_node(rpn)
+            .engine(engine)
+            .run(7)
+            .elapsed
+            .as_secs_f64()
+    };
+    let analytic = mk(EngineKind::Analytic);
+    let des = mk(EngineKind::Des {
+        max_steps_per_kind: 5,
+    });
+    ValidationRow {
+        label: label.to_string(),
+        analytic_s: analytic,
+        des_s: des,
+        ratio: des / analytic,
+    }
+}
+
+/// Run the validation matrix.
+pub fn run() -> Vec<ValidationRow> {
+    let points: Vec<(&str, harborsim_hw::ClusterSpec, Execution, u32, u32)> = vec![
+        ("Lenox bare 2x14", presets::lenox(), Execution::bare_metal(), 2, 14),
+        ("Lenox bare 4x28", presets::lenox(), Execution::bare_metal(), 4, 28),
+        ("Lenox docker 4x14", presets::lenox(), Execution::docker(), 4, 14),
+        (
+            "Lenox shifter 4x28",
+            presets::lenox(),
+            Execution::shifter(),
+            4,
+            28,
+        ),
+        (
+            "CTE native 4x40",
+            presets::cte_power(),
+            Execution::singularity_system_specific(),
+            4,
+            40,
+        ),
+        (
+            "CTE fallback 4x40",
+            presets::cte_power(),
+            Execution::singularity_self_contained(),
+            4,
+            40,
+        ),
+        (
+            "MN4 native 2x48",
+            presets::marenostrum4(),
+            Execution::singularity_system_specific(),
+            2,
+            48,
+        ),
+        (
+            "ThunderX 2x96",
+            presets::thunderx(),
+            Execution::singularity_self_contained(),
+            2,
+            96,
+        ),
+    ];
+    points
+        .into_par_iter()
+        .map(|(label, cluster, env, nodes, rpn)| point(label, cluster, env, nodes, rpn))
+        .collect()
+}
+
+/// Render as a table.
+pub fn table(rows: &[ValidationRow]) -> TableData {
+    TableData {
+        id: "ext-validation".into(),
+        title: "Engine cross-validation: message-level DES vs closed-form analytic".into(),
+        headers: vec![
+            "Configuration".into(),
+            "Analytic [s]".into(),
+            "DES [s]".into(),
+            "DES/analytic".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format!("{:.4}", r.analytic_s),
+                    format!("{:.4}", r.des_s),
+                    format!("{:.2}x", r.ratio),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Agreement bands the engines must satisfy.
+pub fn check_shape(rows: &[ValidationRow]) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    expect(&mut report, rows.len() >= 8, "matrix too small".into());
+    for r in rows {
+        expect(
+            &mut report,
+            (0.4..2.5).contains(&r.ratio),
+            format!("{}: engines diverge {:.2}x", r.label, r.ratio),
+        );
+    }
+    let mean_ratio: f64 = rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64;
+    expect(
+        &mut report,
+        (0.6..1.7).contains(&mean_ratio),
+        format!("mean deviation {mean_ratio:.2}x — systematic bias"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_across_the_matrix() {
+        let rows = run();
+        let report = check_shape(&rows);
+        assert!(report.is_empty(), "{report:#?}");
+    }
+}

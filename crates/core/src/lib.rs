@@ -1,0 +1,54 @@
+//! # harborsim-core
+//!
+//! The study harness: everything that turns the HarborSim substrates into
+//! the paper's evaluation.
+//!
+//! - [`scenario`] — a runnable scenario: cluster × execution environment ×
+//!   workload × placement, with engine selection and deployment modelling.
+//! - [`runner`] — repetition, averaging, and parallel parameter sweeps.
+//! - [`workloads`] — the Alya case presets re-exported for convenience.
+//! - [`experiments`] — one function per figure/table of the paper
+//!   (Fig. 1 containerization, Fig. 2 portability, Fig. 3 scalability,
+//!   the deployment-overhead and cross-architecture tables, and the
+//!   future-work I/O storm study), each returning structured data plus
+//!   shape checks that encode the paper's qualitative claims.
+//! - [`report`] — aligned ASCII tables, ASCII charts, CSV and SVG writers.
+
+pub mod calibration;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+/// The Alya case presets, re-exported for harness users.
+pub mod workloads {
+    pub use harborsim_alya::workload::{AlyaCase, ArteryCfd, ArteryFsi};
+
+    /// The small CFD case used by the quickstart example and tests.
+    pub fn artery_cfd_small() -> ArteryCfd {
+        ArteryCfd::small()
+    }
+
+    /// The Fig. 1 CFD case.
+    pub fn artery_cfd_lenox() -> ArteryCfd {
+        ArteryCfd::lenox_case()
+    }
+
+    /// The Fig. 2 CFD case.
+    pub fn artery_cfd_cte() -> ArteryCfd {
+        ArteryCfd::cte_power_case()
+    }
+
+    /// The Fig. 3 FSI case.
+    pub fn artery_fsi_mn4() -> ArteryFsi {
+        ArteryFsi::mn4_case()
+    }
+
+    /// The small FSI case.
+    pub fn artery_fsi_small() -> ArteryFsi {
+        ArteryFsi::small()
+    }
+}
+
+pub use report::{FigureData, Series, TableData};
+pub use scenario::{EngineKind, Execution, Outcome, Scenario};

@@ -1,0 +1,100 @@
+//! Repetition, averaging, and parallel sweeps.
+//!
+//! The paper reports *average* elapsed times over repeated runs; the
+//! runner reproduces that protocol: a scenario is executed once per seed
+//! and summarized. Independent sweep points run in parallel with Rayon.
+
+use crate::scenario::Scenario;
+use harborsim_des::stats::Summary;
+use rayon::prelude::*;
+
+/// Default seeds — "five repetitions", as typical for the cluster runs.
+pub fn default_seeds() -> Vec<u64> {
+    vec![11, 22, 33, 44, 55]
+}
+
+/// Average elapsed seconds of a scenario over the given seeds.
+pub fn mean_elapsed_s(scenario: &Scenario, seeds: &[u64]) -> f64 {
+    summarize_elapsed(scenario, seeds).mean()
+}
+
+/// Full summary (mean/min/max/σ) of elapsed seconds over seeds.
+pub fn summarize_elapsed(scenario: &Scenario, seeds: &[u64]) -> Summary {
+    let mut s = Summary::new();
+    for &seed in seeds {
+        s.record(scenario.run(seed).elapsed.as_secs_f64());
+    }
+    s
+}
+
+/// Run a set of independent scenario constructors in parallel and collect
+/// their mean elapsed times, preserving order.
+pub fn sweep<F>(points: Vec<F>, seeds: &[u64]) -> Vec<f64>
+where
+    F: Fn() -> Scenario + Send + Sync,
+{
+    points
+        .par_iter()
+        .map(|mk| mean_elapsed_s(&mk(), seeds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Execution;
+    use crate::workloads;
+    use harborsim_hw::presets;
+
+    fn scenario() -> Scenario {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(2)
+            .ranks_per_node(14)
+    }
+
+    #[test]
+    fn averaging_is_tight() {
+        let s = summarize_elapsed(&scenario(), &default_seeds());
+        assert_eq!(s.count(), 5);
+        assert!(s.mean() > 0.0);
+        // run-to-run jitter is small by design
+        assert!(s.relative_spread() < 0.1, "spread {}", s.relative_spread());
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_parallelizes() {
+        // a compute-heavy case so strong scaling is unambiguous on 1GbE
+        let heavy = || {
+            harborsim_alya::workload::ArteryCfd {
+                label: "sweep-probe".into(),
+                active_cells: 5.0e6,
+                timesteps: 3,
+                cg_iters: 10,
+            }
+        };
+        // InfiniBand machine: communication cannot mask the scaling
+        let mk = move |nodes: u32| {
+            Scenario::new(harborsim_hw::presets::cte_power(), heavy())
+                .execution(Execution::singularity_self_contained())
+                .nodes(nodes)
+                .ranks_per_node(14)
+        };
+        let mks: Vec<Box<dyn Fn() -> Scenario + Send + Sync>> = vec![
+            Box::new(move || mk(1)),
+            Box::new(move || mk(2)),
+            Box::new(move || mk(4)),
+        ];
+        let times = sweep(mks, &[1, 2]);
+        assert_eq!(times.len(), 3);
+        // strong scaling: more nodes, less time (compute dominates here)
+        assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+    }
+
+    #[test]
+    fn same_seeds_same_mean() {
+        let a = mean_elapsed_s(&scenario(), &[9, 8, 7]);
+        let b = mean_elapsed_s(&scenario(), &[9, 8, 7]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,306 @@
+//! Runnable scenarios: cluster × execution environment × workload ×
+//! placement.
+
+use harborsim_alya::workload::AlyaCase;
+use harborsim_container::deploy::deployment_overhead;
+use harborsim_container::{BuildEngine, DeploymentReport};
+use harborsim_des::SimDuration;
+use harborsim_hw::{ClusterSpec, InterconnectKind};
+use harborsim_mpi::analytic::EngineConfig;
+use harborsim_mpi::{AnalyticEngine, DesEngine, RankMap, SimResult};
+use harborsim_net::{NetworkModel, Topology};
+
+pub use harborsim_container::runtime::ExecutionEnvironment as Execution;
+
+/// Which performance engine executes the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Closed-form bulk-synchronous engine (default; exact enough and
+    /// instant at any scale).
+    Analytic,
+    /// Message-level discrete-event engine; the job is truncated to at most
+    /// this many steps per step-kind and the result scaled back.
+    Des {
+        /// Steps of each kind to actually simulate.
+        max_steps_per_kind: u32,
+    },
+}
+
+/// The topology HarborSim assumes for each fabric family.
+pub fn topology_for(cluster: &ClusterSpec) -> Topology {
+    match cluster.interconnect {
+        InterconnectKind::OmniPath100 => Topology::mn4_fat_tree(),
+        InterconnectKind::InfinibandEdr => Topology::cte_fat_tree(),
+        _ => Topology::small_cluster(),
+    }
+}
+
+/// What a scenario run produces.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Solver elapsed time (the quantity the paper's figures plot).
+    pub elapsed: SimDuration,
+    /// Full engine result (breakdowns, traffic counters).
+    pub result: SimResult,
+    /// Deployment cost, if requested via [`Scenario::with_deployment`].
+    pub deployment: Option<DeploymentReport>,
+}
+
+/// A configured scenario.
+pub struct Scenario {
+    /// The machine.
+    pub cluster: ClusterSpec,
+    /// The workload.
+    pub case: Box<dyn AlyaCase + Send + Sync>,
+    /// Runtime + containment.
+    pub env: Execution,
+    /// Nodes used.
+    pub nodes: u32,
+    /// MPI ranks per node.
+    pub ranks_per_node: u32,
+    /// OpenMP threads per rank.
+    pub threads_per_rank: u32,
+    /// Engine choice.
+    pub engine: EngineKind,
+    /// Whether to also simulate image deployment.
+    pub deploy: bool,
+}
+
+impl Scenario {
+    /// A bare-metal scenario using one full node; customize via the
+    /// builder methods.
+    pub fn new(cluster: ClusterSpec, case: impl AlyaCase + Send + Sync + 'static) -> Scenario {
+        let rpn = cluster.node.cores();
+        Scenario {
+            cluster,
+            case: Box::new(case),
+            env: Execution::bare_metal(),
+            nodes: 1,
+            ranks_per_node: rpn,
+            threads_per_rank: 1,
+            engine: EngineKind::Analytic,
+            deploy: false,
+        }
+    }
+
+    /// Set the execution environment.
+    pub fn execution(mut self, env: Execution) -> Scenario {
+        self.env = env;
+        self
+    }
+
+    /// Set the node count.
+    pub fn nodes(mut self, nodes: u32) -> Scenario {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Set ranks per node.
+    pub fn ranks_per_node(mut self, rpn: u32) -> Scenario {
+        self.ranks_per_node = rpn;
+        self
+    }
+
+    /// Set threads per rank.
+    pub fn threads_per_rank(mut self, t: u32) -> Scenario {
+        self.threads_per_rank = t;
+        self
+    }
+
+    /// Select the performance engine.
+    pub fn engine(mut self, engine: EngineKind) -> Scenario {
+        self.engine = engine;
+        self
+    }
+
+    /// Also simulate deploying the image before the run.
+    pub fn with_deployment(mut self) -> Scenario {
+        self.deploy = true;
+        self
+    }
+
+    /// The composed network model this scenario observes.
+    pub fn network_model(&self) -> NetworkModel {
+        self.env
+            .network_model(self.cluster.interconnect, topology_for(&self.cluster))
+    }
+
+    /// Validate and run; `seed` drives run-to-run jitter.
+    ///
+    /// # Errors
+    /// Placement violations and unavailable runtimes are reported as
+    /// strings.
+    pub fn try_run(&self, seed: u64) -> Result<Outcome, String> {
+        self.cluster
+            .validate_placement(self.nodes, self.ranks_per_node, self.threads_per_rank)?;
+        if !self.env.runtime.available_on(&self.cluster.software) {
+            return Err(format!(
+                "{} is not installed on {}",
+                self.env.runtime.label(),
+                self.cluster.name
+            ));
+        }
+        let map = RankMap::block(self.nodes, self.ranks_per_node, self.threads_per_rank);
+        let job = self.case.job_profile(map.ranks());
+        let network = self.network_model();
+        let config = EngineConfig {
+            compute_tax: self.env.runtime.compute_tax(),
+            ..EngineConfig::default()
+        };
+        let result = match self.engine {
+            EngineKind::Analytic => AnalyticEngine {
+                node: self.cluster.node.clone(),
+                network,
+                map,
+                config,
+            }
+            .run(&job, seed),
+            EngineKind::Des { max_steps_per_kind } => {
+                let (short, mult) = job.truncated(max_steps_per_kind);
+                DesEngine {
+                    node: self.cluster.node.clone(),
+                    network,
+                    map,
+                    config,
+                }
+                .run(&short, seed)
+                .scaled(mult)
+            }
+        };
+        let deployment = if self.deploy {
+            let image = BuildEngine::self_contained(self.cluster.node.cpu.clone())
+                .build(&harborsim_container::build::alya_recipe())
+                .map_err(|e| e.to_string())?
+                .manifest;
+            Some(deployment_overhead(
+                self.nodes,
+                self.env,
+                &image,
+                &self.cluster.shared_storage,
+            ))
+        } else {
+            None
+        };
+        Ok(Outcome {
+            elapsed: result.elapsed,
+            result,
+            deployment,
+        })
+    }
+
+    /// Like [`Scenario::try_run`] but panics on configuration errors.
+    ///
+    /// # Panics
+    /// Panics on placement violations or unavailable runtimes.
+    pub fn run(&self, seed: u64) -> Outcome {
+        self.try_run(seed).expect("scenario configuration")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use harborsim_hw::presets;
+
+    #[test]
+    fn quickstart_scenario_runs() {
+        let outcome = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_system_specific())
+            .nodes(2)
+            .ranks_per_node(48)
+            .run(42);
+        assert!(outcome.elapsed.as_secs_f64() > 0.0);
+        assert!(outcome.deployment.is_none());
+    }
+
+    #[test]
+    fn docker_rejected_on_production_machines() {
+        let err = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+            .execution(Execution::docker())
+            .try_run(1)
+            .unwrap_err();
+        assert!(err.contains("Docker"), "{err}");
+    }
+
+    #[test]
+    fn placement_violations_rejected() {
+        let err = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .nodes(9)
+            .try_run(1)
+            .unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+        let err = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .ranks_per_node(28)
+            .threads_per_rank(2)
+            .try_run(1)
+            .unwrap_err();
+        assert!(err.contains("cores"), "{err}");
+    }
+
+    #[test]
+    fn engines_give_comparable_elapsed() {
+        let mk = |engine| {
+            Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+                .execution(Execution::singularity_self_contained())
+                .nodes(2)
+                .ranks_per_node(8)
+                .engine(engine)
+                .run(7)
+                .elapsed
+                .as_secs_f64()
+        };
+        let analytic = mk(EngineKind::Analytic);
+        let des = mk(EngineKind::Des {
+            max_steps_per_kind: 5,
+        });
+        let ratio = des / analytic;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "engines disagree: analytic={analytic} des={des} ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn deployment_attaches_when_requested() {
+        let outcome = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::docker())
+            .nodes(4)
+            .ranks_per_node(28)
+            .with_deployment()
+            .run(3);
+        let dep = outcome.deployment.expect("deployment report");
+        assert!(dep.makespan.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn containment_changes_nothing_on_ethernet() {
+        let t = |env| {
+            Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+                .execution(env)
+                .nodes(4)
+                .ranks_per_node(28)
+                .run(5)
+                .elapsed
+        };
+        let ss = t(Execution::singularity_system_specific());
+        let sc = t(Execution::singularity_self_contained());
+        assert_eq!(ss, sc, "TCP fabric: containment is irrelevant");
+    }
+
+    #[test]
+    fn containment_matters_on_infiniband() {
+        let t = |env| {
+            Scenario::new(presets::cte_power(), workloads::artery_cfd_small())
+                .execution(env)
+                .nodes(4)
+                .ranks_per_node(40)
+                .run(5)
+                .elapsed
+                .as_secs_f64()
+        };
+        let ss = t(Execution::singularity_system_specific());
+        let sc = t(Execution::singularity_self_contained());
+        assert!(sc > 1.2 * ss, "self-contained {sc} vs system-specific {ss}");
+    }
+}

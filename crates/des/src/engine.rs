@@ -1,0 +1,284 @@
+//! The event loop.
+//!
+//! An [`Engine<S>`] owns the simulated clock and the pending-event set; the
+//! user owns a state value `S` that every event callback receives mutably
+//! alongside the engine itself, so callbacks can both mutate the model and
+//! schedule further events.
+//!
+//! ```
+//! use harborsim_des::{Engine, SimDuration};
+//!
+//! let mut engine: Engine<u32> = Engine::new();
+//! engine.schedule(SimDuration::from_secs(1), |eng, count| {
+//!     *count += 1;
+//!     // chain another event 500ms later
+//!     eng.schedule(SimDuration::from_millis(500), |_, count| *count += 10);
+//! });
+//! let mut count = 0;
+//! engine.run(&mut count);
+//! assert_eq!(count, 11);
+//! assert_eq!(engine.now().as_secs_f64(), 1.5);
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Handle to a cancellable event, returned by
+/// [`Engine::schedule_cancellable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
+
+struct Entry<S> {
+    /// `Some(id)` for cancellable events; checked against the tombstone set
+    /// at pop time.
+    id: Option<u64>,
+    f: EventFn<S>,
+}
+
+/// A deterministic discrete-event simulation engine over user state `S`.
+pub struct Engine<S> {
+    now: SimTime,
+    queue: EventQueue<Entry<S>>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+    executed: u64,
+    horizon: SimTime,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// A fresh engine with the clock at zero and no horizon.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            executed: 0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop the run loop once the clock would pass `at`. Events scheduled
+    /// strictly after the horizon are left unexecuted.
+    pub fn set_horizon(&mut self, at: SimTime) {
+        self.horizon = at;
+    }
+
+    /// Schedule `f` to run after `delay` from the current time.
+    pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at an absolute time `at` (must not be in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(
+            at,
+            Entry {
+                id: None,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Schedule `f` after `delay`, returning a handle that can cancel it
+    /// before it fires (used by the fluid-link model to retract completion
+    /// estimates when the set of competing flows changes).
+    pub fn schedule_cancellable<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(
+            self.now + delay,
+            Entry {
+                id: Some(id),
+                f: Box::new(f),
+            },
+        );
+        EventId(id)
+    }
+
+    /// Cancel a previously scheduled cancellable event. Cancelling an event
+    /// that already fired is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Run until the event set is exhausted or the horizon is reached.
+    /// Returns the number of events executed during this call.
+    pub fn run(&mut self, state: &mut S) -> u64 {
+        let before = self.executed;
+        while let Some(at) = self.queue.peek_time() {
+            if at > self.horizon {
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            if let Some(id) = entry.payload.id {
+                if self.cancelled.remove(&id) {
+                    continue;
+                }
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.payload.f)(self, state);
+        }
+        self.executed - before
+    }
+
+    /// Run until at most `limit` further events have executed (safety valve
+    /// for tests against runaway event cascades). Returns `true` if the event
+    /// set was exhausted within the budget.
+    pub fn run_bounded(&mut self, state: &mut S, limit: u64) -> bool {
+        let mut n = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > self.horizon {
+                return true;
+            }
+            if n >= limit {
+                return false;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            if let Some(id) = entry.payload.id {
+                if self.cancelled.remove(&id) {
+                    continue;
+                }
+            }
+            self.now = entry.at;
+            self.executed += 1;
+            n += 1;
+            (entry.payload.f)(self, state);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_order_and_clock_advances() {
+        let mut eng: Engine<Vec<(u64, &'static str)>> = Engine::new();
+        eng.schedule(SimDuration::from_secs(2), |e, log| {
+            log.push((e.now().as_nanos(), "b"))
+        });
+        eng.schedule(SimDuration::from_secs(1), |e, log| {
+            log.push((e.now().as_nanos(), "a"))
+        });
+        let mut log = Vec::new();
+        let n = eng.run(&mut log);
+        assert_eq!(n, 2);
+        assert_eq!(
+            log,
+            vec![(1_000_000_000, "a"), (2_000_000_000, "b")]
+        );
+    }
+
+    #[test]
+    fn chained_events_see_updated_now() {
+        let mut eng: Engine<Vec<f64>> = Engine::new();
+        eng.schedule(SimDuration::from_secs(1), |e, times| {
+            times.push(e.now().as_secs_f64());
+            e.schedule(SimDuration::from_secs(1), |e, times| {
+                times.push(e.now().as_secs_f64());
+            });
+        });
+        let mut times = Vec::new();
+        eng.run(&mut times);
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_cancellable(SimDuration::from_secs(1), |_, c| *c += 1);
+        eng.schedule(SimDuration::from_millis(500), move |e, _| e.cancel(id));
+        let mut count = 0;
+        eng.run(&mut count);
+        assert_eq!(count, 0);
+        // two events were processed, but one was a tombstone
+        assert_eq!(eng.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_cancellable(SimDuration::from_millis(1), |_, c| *c += 1);
+        let mut count = 0;
+        eng.run(&mut count);
+        eng.cancel(id); // already fired
+        eng.run(&mut count);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn horizon_stops_execution() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 1..=10 {
+            eng.schedule(SimDuration::from_secs(i), |_, c| *c += 1);
+        }
+        eng.set_horizon(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut count = 0;
+        eng.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(eng.events_pending(), 5);
+    }
+
+    #[test]
+    fn run_bounded_reports_exhaustion() {
+        let mut eng: Engine<u32> = Engine::new();
+        for _ in 0..4 {
+            eng.schedule(SimDuration::from_secs(1), |_, c| *c += 1);
+        }
+        let mut count = 0;
+        assert!(!eng.run_bounded(&mut count, 2));
+        assert_eq!(count, 2);
+        assert!(eng.run_bounded(&mut count, 100));
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        for i in 0..50 {
+            eng.schedule(SimDuration::from_secs(1), move |_, log| log.push(i));
+        }
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        assert_eq!(log, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,38 @@
+//! # harborsim-des
+//!
+//! A small, fast, **deterministic** discrete-event simulation (DES) kernel.
+//!
+//! The kernel is deliberately process-less: events are boxed `FnOnce`
+//! callbacks scheduled at absolute simulated times, executed in
+//! `(time, sequence)` order so that simultaneous events always fire in the
+//! order they were scheduled. Determinism is a hard requirement for the
+//! HarborSim study — the same seed must regenerate byte-identical figures.
+//!
+//! Building blocks:
+//!
+//! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated clock.
+//! - [`Engine`] — the event loop; schedule with [`Engine::schedule`] or the
+//!   cancellable [`Engine::schedule_cancellable`].
+//! - [`Resource`] — a FIFO server pool with finite capacity (models NICs,
+//!   registry connections, filesystem servers, daemons...).
+//! - [`FluidLink`] — a fair-share ("fluid flow") bandwidth model for shared
+//!   links where concurrent transfers split capacity (parallel filesystems,
+//!   registry uplinks).
+//! - [`rng`] — seedable SplitMix64 streams with label-derived substreams.
+//! - [`stats`] — counters, time-weighted means, and fixed-bin histograms.
+
+pub mod engine;
+pub mod fluid;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use engine::{Engine, EventId};
+pub use fluid::FluidLink;
+pub use resource::Resource;
+pub use rng::RngStream;
+pub use time::{SimDuration, SimTime};
+pub use timeline::Timeline;

@@ -1,0 +1,205 @@
+//! Deterministic random-number streams.
+//!
+//! HarborSim needs reproducibility above statistical sophistication: the same
+//! master seed must yield the same figures on every machine and every run.
+//! We therefore carry our own SplitMix64 implementation (stable across crate
+//! versions, trivially auditable) and derive *named substreams* so that adding
+//! a new consumer of randomness never perturbs existing ones.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic SplitMix64 stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RngStream {
+    state: u64,
+}
+
+/// FNV-1a hash of a label, used to derive independent substreams.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RngStream {
+    /// The root stream for a master seed.
+    pub fn new(seed: u64) -> Self {
+        // one warm-up scramble so that small seeds don't produce small outputs
+        let mut state = seed;
+        splitmix64(&mut state);
+        RngStream { state }
+    }
+
+    /// Derive an independent substream named `label`. Streams derived with
+    /// different labels from the same parent are decorrelated; the parent is
+    /// not advanced.
+    pub fn derive(&self, label: &str) -> RngStream {
+        let mut state = self.state ^ fnv1a(label.as_bytes()).rotate_left(17);
+        splitmix64(&mut state);
+        RngStream { state }
+    }
+
+    /// Derive an independent substream indexed by `idx` (e.g. per-rank).
+    pub fn derive_idx(&self, idx: u64) -> RngStream {
+        let mut state = self.state ^ fnv1a(&idx.to_le_bytes()).rotate_left(29);
+        splitmix64(&mut state);
+        RngStream { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via rejection-free Lemire reduction.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's twin is
+    /// discarded to keep the stream stateless beyond `state`).
+    pub fn standard_normal(&mut self) -> f64 {
+        // avoid u1 == 0 exactly
+        let u1 = (self.uniform()).max(1e-300);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A multiplicative log-normal jitter factor with median 1 and the given
+    /// sigma of `ln(factor)`. Models run-to-run performance variance; the
+    /// paper reports averages over repeated runs, and so do we.
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        (sigma * self.standard_normal()).exp()
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        -mean * (1.0 - self.uniform()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = RngStream::new(42);
+        let mut b = RngStream::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = RngStream::new(1);
+        let mut b = RngStream::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_streams_are_decorrelated_and_stable() {
+        let root = RngStream::new(7);
+        let mut x1 = root.derive("net");
+        let mut x2 = root.derive("net");
+        let mut y = root.derive("cpu");
+        let a = x1.next_u64();
+        assert_eq!(a, x2.next_u64(), "same label must derive same stream");
+        assert_ne!(a, y.next_u64(), "different labels must differ");
+    }
+
+    #[test]
+    fn derive_idx_distinct() {
+        let root = RngStream::new(7);
+        let vals: Vec<u64> = (0..32).map(|i| root.derive_idx(i).next_u64()).collect();
+        let mut dedup = vals.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), vals.len());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_and_roughly_uniform() {
+        let mut r = RngStream::new(123);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = RngStream::new(9);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_sd() {
+        let mut r = RngStream::new(55);
+        let n = 50_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.standard_normal();
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut r = RngStream::new(77);
+        let mut vals: Vec<f64> = (0..10_001).map(|_| r.lognormal_factor(0.05)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!((median - 1.0).abs() < 0.01, "median={median}");
+        assert!(vals.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = RngStream::new(31);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Lightweight statistics collectors used across the simulator.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Running summary of a scalar series: count, mean, min, max and variance via
+/// Welford's online algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Relative spread `(max-min)/mean`, useful for jitter assertions.
+    pub fn relative_spread(&self) -> f64 {
+        if self.n == 0 || self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+
+    /// Merge another summary into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time-weighted gauge: tracks the integral of a piecewise-constant value
+/// over simulated time (queue depths, active-flow counts, utilization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    value: f64,
+    integral: f64,
+    last_change: SimTime,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        TimeWeighted {
+            value: 0.0,
+            integral: 0.0,
+            last_change: SimTime::ZERO,
+            peak: 0.0,
+        }
+    }
+
+    /// Set the gauge to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.integral += self.value * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Add `delta` to the gauge at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[0, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let t = now.as_secs_f64();
+        if t == 0.0 {
+            return self.value;
+        }
+        let integral = self.integral + self.value * now.since(self.last_change).as_secs_f64();
+        integral / t
+    }
+}
+
+/// Fixed-width-bin histogram of durations, with overflow bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    bin_width: SimDuration,
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum_ns: u128,
+}
+
+impl DurationHistogram {
+    /// `nbins` bins of `bin_width` each, plus an overflow bin.
+    pub fn new(bin_width: SimDuration, nbins: usize) -> Self {
+        assert!(bin_width > SimDuration::ZERO && nbins > 0);
+        DurationHistogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            total: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = (d.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum_ns += d.as_nanos() as u128;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean recorded duration.
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.total as u128) as u64)
+        }
+    }
+
+    /// The smallest duration `d` such that at least `q` (0..=1) of samples
+    /// are `<= d`, at bin resolution. Overflowed samples count as `MAX`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return SimDuration::from_nanos((i as u64 + 1) * self.bin_width.as_nanos());
+            }
+        }
+        SimDuration(u64::MAX)
+    }
+
+    /// Samples that exceeded the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_var() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut all = Summary::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.record(x);
+        }
+        for &x in &xs[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut g = TimeWeighted::new();
+        g.set(SimTime(0), 2.0);
+        g.set(SimTime(1_000_000_000), 4.0);
+        // value 2 for 1s, then 4 for 1s -> mean 3 at t=2s
+        let m = g.mean(SimTime(2_000_000_000));
+        assert!((m - 3.0).abs() < 1e-12);
+        assert_eq!(g.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut g = TimeWeighted::new();
+        g.add(SimTime(0), 1.0);
+        g.add(SimTime(500_000_000), 1.0);
+        g.add(SimTime(1_000_000_000), -2.0);
+        assert_eq!(g.value(), 0.0);
+        let m = g.mean(SimTime(1_000_000_000));
+        assert!((m - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = DurationHistogram::new(SimDuration::from_millis(1), 100);
+        for i in 0..100u64 {
+            h.record(SimDuration::from_micros(i * 1000 + 500)); // i.5 ms
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.overflow(), 0);
+        let p50 = h.quantile(0.5);
+        assert_eq!(p50, SimDuration::from_millis(50));
+        let p99 = h.quantile(0.99);
+        assert_eq!(p99, SimDuration::from_millis(99));
+        assert!((h.mean().as_millis_f64() - 50.0).abs() < 0.51);
+    }
+
+    #[test]
+    fn histogram_overflow() {
+        let mut h = DurationHistogram::new(SimDuration::from_millis(1), 10);
+        h.record(SimDuration::from_secs(1));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(1.0), SimDuration(u64::MAX));
+    }
+}

@@ -1,0 +1,175 @@
+//! Timeline recording: named spans over simulated time, with an ASCII
+//! Gantt renderer.
+//!
+//! Simulations opt in by pushing spans (`lane`, `label`, start, end); the
+//! recorder is plain data — no coupling to the engine — so any subsystem
+//! (deployment stages, solver phases, NIC busy periods) can annotate its
+//! own activity and render a combined picture.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One recorded activity span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Row the span renders on ("node3", "rank 12", "registry").
+    pub lane: String,
+    /// What happened ("pull", "compute", "halo").
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+/// A collection of spans.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Record a span.
+    ///
+    /// # Panics
+    /// Panics (debug) if `end < start`.
+    pub fn record(&mut self, lane: &str, label: &str, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            lane: lane.to_string(),
+            label: label.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All spans on a lane, in recording order.
+    pub fn lane_spans(&self, lane: &str) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.lane == lane).collect()
+    }
+
+    /// Total busy time on a lane (spans may not overlap for this to be
+    /// meaningful; overlaps are summed as-is).
+    pub fn lane_busy(&self, lane: &str) -> SimDuration {
+        self.lane_spans(lane)
+            .iter()
+            .map(|s| s.end.since(s.start))
+            .sum()
+    }
+
+    /// The latest end time across all spans.
+    pub fn horizon(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Distinct lanes in first-appearance order.
+    pub fn lanes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.lane) {
+                out.push(s.lane.clone());
+            }
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters across the full
+    /// simulated horizon. Each span draws its label's first letter.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let horizon = self.horizon();
+        if horizon == SimTime::ZERO || self.spans.is_empty() {
+            return "(empty timeline)\n".to_string();
+        }
+        let scale = width as f64 / horizon.as_secs_f64();
+        let lanes = self.lanes();
+        let name_w = lanes.iter().map(String::len).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$} |{}| 0 .. {}",
+            "lane",
+            "-".repeat(width),
+            horizon
+        );
+        for lane in &lanes {
+            let mut row = vec![' '; width];
+            for s in self.lane_spans(lane) {
+                let a = (s.start.as_secs_f64() * scale) as usize;
+                let b = ((s.end.as_secs_f64() * scale) as usize).max(a + 1);
+                let glyph = s.label.chars().next().unwrap_or('#');
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width - 1)) {
+                    *cell = glyph;
+                }
+            }
+            let _ = writeln!(out, "{lane:name_w$} |{}|", row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    fn sample() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.record("node0", "pull", t(0.0), t(4.0));
+        tl.record("node0", "start", t(4.0), t(5.0));
+        tl.record("node1", "pull", t(0.0), t(6.0));
+        tl.record("node1", "start", t(6.0), t(7.0));
+        tl
+    }
+
+    #[test]
+    fn accounting() {
+        let tl = sample();
+        assert_eq!(tl.len(), 4);
+        assert!(!tl.is_empty());
+        assert_eq!(tl.lanes(), vec!["node0".to_string(), "node1".to_string()]);
+        assert_eq!(tl.lane_busy("node0"), SimDuration::from_secs(5));
+        assert_eq!(tl.horizon(), t(7.0));
+        assert_eq!(tl.lane_spans("node1").len(), 2);
+        assert_eq!(tl.lane_busy("ghost"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_glyphs() {
+        let g = sample().to_ascii(35);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("node0"));
+        assert!(lines[1].contains('p') && lines[1].contains('s'));
+        // node1 pulls longer than node0
+        let count_p = |l: &str| l.matches('p').count();
+        assert!(count_p(lines[2]) > count_p(lines[1]));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert_eq!(Timeline::new().to_ascii(40), "(empty timeline)\n");
+    }
+}

@@ -1,0 +1,195 @@
+//! Cluster descriptions: homogeneous pools of nodes joined by an
+//! interconnect, with shared storage and an installed software stack.
+
+use crate::node::NodeSpec;
+use crate::storage::StorageSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The interconnect family of a cluster. The `net` crate maps each kind to
+/// transport parameters (native and TCP-fallback stacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// 1 Gbit/s Ethernet, TCP only (Lenox).
+    GigabitEthernet,
+    /// 40 Gbit/s Ethernet, TCP only (ThunderX mini-cluster).
+    FortyGigEthernet,
+    /// Mellanox InfiniBand EDR, 100 Gbit/s, RDMA verbs (CTE-POWER).
+    InfinibandEdr,
+    /// Intel Omni-Path, 100 Gbit/s, PSM2 (MareNostrum4).
+    OmniPath100,
+}
+
+impl InterconnectKind {
+    /// Whether the fabric needs vendor userspace drivers for its native
+    /// (kernel-bypass) transport. On plain Ethernet the "native" MPI
+    /// transport *is* TCP, so a self-contained container loses nothing —
+    /// on IB/OPA it loses kernel-bypass and falls to IP emulation.
+    pub fn needs_userspace_driver(self) -> bool {
+        matches!(
+            self,
+            InterconnectKind::InfinibandEdr | InterconnectKind::OmniPath100
+        )
+    }
+
+    /// Human-readable fabric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterconnectKind::GigabitEthernet => "1GbE (TCP)",
+            InterconnectKind::FortyGigEthernet => "40GbE (TCP)",
+            InterconnectKind::InfinibandEdr => "InfiniBand EDR",
+            InterconnectKind::OmniPath100 => "Omni-Path 100",
+        }
+    }
+
+    /// The userspace library a system-specific container must bind from the
+    /// host to reach the native transport, if any.
+    pub fn driver_library(self) -> Option<&'static str> {
+        match self {
+            InterconnectKind::InfinibandEdr => Some("libmlx5/verbs"),
+            InterconnectKind::OmniPath100 => Some("libpsm2"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InterconnectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Container software installed on a cluster, by version string. `None`
+/// means the technology is not available there (e.g. no Docker on the
+/// production BSC machines — it needs a root daemon).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SoftwareStack {
+    /// Docker daemon version, if installed.
+    pub docker: Option<String>,
+    /// Singularity version, if installed.
+    pub singularity: Option<String>,
+    /// Shifter version, if installed.
+    pub shifter: Option<String>,
+}
+
+impl SoftwareStack {
+    /// Stack with only Singularity, as on the BSC production machines.
+    pub fn singularity_only(version: &str) -> SoftwareStack {
+        SoftwareStack {
+            docker: None,
+            singularity: Some(version.to_string()),
+            shifter: None,
+        }
+    }
+}
+
+/// A cluster: `node_count` identical nodes, one interconnect, shared
+/// storage, node-local storage, and the installed container stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name as used in the paper.
+    pub name: String,
+    /// Number of compute nodes available.
+    pub node_count: u32,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Inter-node fabric.
+    pub interconnect: InterconnectKind,
+    /// Shared storage visible from all nodes.
+    pub shared_storage: StorageSpec,
+    /// Node-local storage, if compute nodes have any disk.
+    pub local_storage: Option<StorageSpec>,
+    /// Installed container technologies.
+    pub software: SoftwareStack,
+}
+
+impl ClusterSpec {
+    /// Total cores in the whole machine.
+    pub fn total_cores(&self) -> u64 {
+        self.node_count as u64 * self.node.cores() as u64
+    }
+
+    /// Cores available on `nodes` nodes.
+    pub fn cores_on(&self, nodes: u32) -> u64 {
+        debug_assert!(nodes <= self.node_count, "asking for more nodes than the cluster has");
+        nodes as u64 * self.node.cores() as u64
+    }
+
+    /// Check that a `(nodes, ranks_per_node, threads_per_rank)` placement
+    /// fits the machine; returns a description of the violation if not.
+    pub fn validate_placement(
+        &self,
+        nodes: u32,
+        ranks_per_node: u32,
+        threads_per_rank: u32,
+    ) -> Result<(), String> {
+        if nodes == 0 || ranks_per_node == 0 || threads_per_rank == 0 {
+            return Err("placement dimensions must be positive".into());
+        }
+        if nodes > self.node_count {
+            return Err(format!(
+                "{} nodes requested but {} has only {}",
+                nodes, self.name, self.node_count
+            ));
+        }
+        let used = ranks_per_node * threads_per_rank;
+        if used > self.node.cores() {
+            return Err(format!(
+                "{}x{} = {} cores per node requested but nodes have {}",
+                ranks_per_node,
+                threads_per_rank,
+                used,
+                self.node.cores()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+
+    fn mini() -> ClusterSpec {
+        ClusterSpec {
+            name: "mini".into(),
+            node_count: 4,
+            node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+            interconnect: InterconnectKind::GigabitEthernet,
+            shared_storage: StorageSpec::nfs_small(),
+            local_storage: Some(StorageSpec::local_scratch()),
+            software: SoftwareStack::default(),
+        }
+    }
+
+    #[test]
+    fn core_accounting() {
+        let c = mini();
+        assert_eq!(c.total_cores(), 112);
+        assert_eq!(c.cores_on(2), 56);
+    }
+
+    #[test]
+    fn placement_validation() {
+        let c = mini();
+        assert!(c.validate_placement(4, 28, 1).is_ok());
+        assert!(c.validate_placement(4, 2, 14).is_ok());
+        assert!(c.validate_placement(5, 1, 1).is_err(), "too many nodes");
+        assert!(c.validate_placement(1, 28, 2).is_err(), "oversubscribed");
+        assert!(c.validate_placement(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn driver_requirements_by_fabric() {
+        assert!(!InterconnectKind::GigabitEthernet.needs_userspace_driver());
+        assert!(!InterconnectKind::FortyGigEthernet.needs_userspace_driver());
+        assert!(InterconnectKind::InfinibandEdr.needs_userspace_driver());
+        assert!(InterconnectKind::OmniPath100.needs_userspace_driver());
+        assert_eq!(
+            InterconnectKind::InfinibandEdr.driver_library(),
+            Some("libmlx5/verbs")
+        );
+        assert_eq!(InterconnectKind::GigabitEthernet.driver_library(), None);
+    }
+}

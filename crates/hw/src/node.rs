@@ -1,0 +1,100 @@
+//! Compute-node models.
+
+use crate::cpu::CpuModel;
+use crate::threading::ThreadingModel;
+use serde::{Deserialize, Serialize};
+
+/// A compute node: sockets of a CPU model plus memory and threading
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU populated in every socket.
+    pub cpu: CpuModel,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Main memory in GiB.
+    pub mem_gib: u32,
+    /// Shared-memory threading behaviour of this node's software stack.
+    pub threading: ThreadingModel,
+}
+
+impl NodeSpec {
+    /// A dual-socket node of the given CPU with the default HPC threading
+    /// model.
+    pub fn dual_socket(cpu: CpuModel, mem_gib: u32) -> NodeSpec {
+        NodeSpec {
+            cpu,
+            sockets: 2,
+            mem_gib,
+            threading: ThreadingModel::hpc_default(),
+        }
+    }
+
+    /// Total physical cores on the node.
+    pub fn cores(&self) -> u32 {
+        self.sockets * self.cpu.cores_per_socket
+    }
+
+    /// Aggregate memory bandwidth in GB/s.
+    pub fn mem_bw_gbs(&self) -> f64 {
+        self.sockets as f64 * self.cpu.mem_bw_gbs_per_socket
+    }
+
+    /// Wall-clock seconds for one MPI rank on this node to execute `flops`
+    /// using `threads` OpenMP threads across `regions` parallel regions.
+    ///
+    /// # Panics
+    /// Panics (debug) if `threads` exceeds the node's core count — a rank
+    /// cannot use more threads than cores in the pinned HPC configurations
+    /// the study uses.
+    pub fn rank_compute_seconds(&self, flops: f64, threads: u32, regions: f64) -> f64 {
+        debug_assert!(threads >= 1 && threads <= self.cores());
+        let serial = self.cpu.core_seconds(flops);
+        self.threading.parallel_time(serial, threads, regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeSpec {
+        NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128)
+    }
+
+    #[test]
+    fn core_count() {
+        assert_eq!(node().cores(), 28);
+    }
+
+    #[test]
+    fn mem_bw_sums_sockets() {
+        assert!((node().mem_bw_gbs() - 118.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_less_time() {
+        let n = node();
+        let flops = 1e10;
+        let t1 = n.rank_compute_seconds(flops, 1, 10.0);
+        let t14 = n.rank_compute_seconds(flops, 14, 10.0);
+        assert!(t14 < t1 / 8.0, "t1={t1} t14={t14}");
+    }
+
+    #[test]
+    fn fixed_total_cores_tradeoff_exists() {
+        // 28 cores filled as ranks x threads: total node throughput when
+        // splitting the same total work W across r ranks of t threads each.
+        let n = node();
+        let total_flops = 1e11;
+        let mut times = Vec::new();
+        for (ranks, threads) in [(2u32, 14u32), (4, 7), (14, 2), (28, 1)] {
+            let per_rank = total_flops / ranks as f64;
+            times.push(n.rank_compute_seconds(per_rank, threads, 50.0));
+        }
+        // pure-MPI (28x1) must beat heavily-threaded (2x14) on pure compute
+        // (no communication modelled here): fewer barriers, no serial residue
+        // amplification.
+        assert!(times[3] < times[0]);
+    }
+}

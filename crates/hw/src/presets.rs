@@ -1,0 +1,136 @@
+//! The four clusters of the paper, as `ClusterSpec` presets.
+//!
+//! All figures come from the paper's "Experimental environment" section:
+//!
+//! | Cluster    | Nodes | CPU                       | Cores/node | Fabric        | Containers installed |
+//! |------------|-------|---------------------------|------------|---------------|----------------------|
+//! | Lenox      | 4     | 2× Xeon E5-2697v3         | 28         | 1GbE TCP      | Docker 1.11.1, Singularity 2.4.5, Shifter 16.08.3 |
+//! | MareNostrum4 | 3456 | 2× Xeon Platinum 8160    | 48         | Omni-Path 100 | Singularity 2.4.2 |
+//! | CTE-POWER  | 52    | 2× POWER9 8335-GTG        | 40         | IB EDR        | Singularity 2.5.1 |
+//! | ThunderX   | 4     | 2× Cavium CN8890          | 96         | 40GbE TCP     | Singularity 2.5.2 |
+
+use crate::cluster::{ClusterSpec, InterconnectKind, SoftwareStack};
+use crate::cpu::CpuModel;
+use crate::node::NodeSpec;
+use crate::storage::StorageSpec;
+
+/// Lenox: the four-node Lenovo cluster with administrative rights — the only
+/// machine where Docker can run, hence the venue for the Fig. 1 comparison.
+pub fn lenox() -> ClusterSpec {
+    ClusterSpec {
+        name: "Lenox".into(),
+        node_count: 4,
+        node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+        interconnect: InterconnectKind::GigabitEthernet,
+        shared_storage: StorageSpec::nfs_small(),
+        local_storage: Some(StorageSpec::local_scratch()),
+        software: SoftwareStack {
+            docker: Some("1.11.1".into()),
+            singularity: Some("2.4.5".into()),
+            shifter: Some("16.08.3".into()),
+        },
+    }
+}
+
+/// MareNostrum4: the BSC Tier-0 machine — venue of the Fig. 3 scalability
+/// study up to 256 nodes / 12,288 cores.
+pub fn marenostrum4() -> ClusterSpec {
+    ClusterSpec {
+        name: "MareNostrum4".into(),
+        node_count: 3456,
+        node: NodeSpec::dual_socket(CpuModel::xeon_platinum_8160(), 96),
+        interconnect: InterconnectKind::OmniPath100,
+        shared_storage: StorageSpec::gpfs(),
+        local_storage: Some(StorageSpec::local_scratch()),
+        software: SoftwareStack::singularity_only("2.4.2"),
+    }
+}
+
+/// CTE-POWER: the BSC POWER9 cluster — venue of the Fig. 2 portability
+/// comparison (system-specific vs self-contained on InfiniBand EDR).
+pub fn cte_power() -> ClusterSpec {
+    ClusterSpec {
+        name: "CTE-POWER".into(),
+        node_count: 52,
+        node: NodeSpec::dual_socket(CpuModel::power9_8335gtg(), 512),
+        interconnect: InterconnectKind::InfinibandEdr,
+        shared_storage: StorageSpec::gpfs(),
+        local_storage: Some(StorageSpec::local_scratch()),
+        software: SoftwareStack::singularity_only("2.5.1"),
+    }
+}
+
+/// The Mont-Blanc ThunderX mini-cluster: four Armv8 nodes — the third
+/// architecture of the portability study.
+pub fn thunderx() -> ClusterSpec {
+    ClusterSpec {
+        name: "ThunderX".into(),
+        node_count: 4,
+        node: NodeSpec::dual_socket(CpuModel::thunderx_cn8890(), 128),
+        interconnect: InterconnectKind::FortyGigEthernet,
+        shared_storage: StorageSpec::nfs_small(),
+        local_storage: Some(StorageSpec::local_scratch()),
+        software: SoftwareStack::singularity_only("2.5.2"),
+    }
+}
+
+/// All four presets, in the order the paper introduces them.
+pub fn all() -> Vec<ClusterSpec> {
+    vec![lenox(), marenostrum4(), cte_power(), thunderx()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuArch;
+
+    #[test]
+    fn paper_core_counts() {
+        assert_eq!(lenox().node.cores(), 28);
+        assert_eq!(marenostrum4().node.cores(), 48);
+        assert_eq!(cte_power().node.cores(), 40);
+        assert_eq!(thunderx().node.cores(), 96);
+    }
+
+    #[test]
+    fn fig3_scale_fits() {
+        // 256 nodes x 48 cores = 12,288 cores, as stated in the paper
+        let mn4 = marenostrum4();
+        assert_eq!(mn4.cores_on(256), 12_288);
+        assert!(mn4.node_count >= 256);
+    }
+
+    #[test]
+    fn three_architectures_for_portability() {
+        let archs: Vec<CpuArch> = [marenostrum4(), cte_power(), thunderx()]
+            .iter()
+            .map(|c| c.node.cpu.arch)
+            .collect();
+        assert_eq!(
+            archs,
+            vec![CpuArch::X86_64, CpuArch::Ppc64le, CpuArch::Aarch64]
+        );
+    }
+
+    #[test]
+    fn docker_only_on_lenox() {
+        assert!(lenox().software.docker.is_some());
+        for c in [marenostrum4(), cte_power(), thunderx()] {
+            assert!(c.software.docker.is_none(), "{}", c.name);
+            assert!(c.software.singularity.is_some(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn fabrics_match_paper() {
+        assert_eq!(lenox().interconnect, InterconnectKind::GigabitEthernet);
+        assert_eq!(marenostrum4().interconnect, InterconnectKind::OmniPath100);
+        assert_eq!(cte_power().interconnect, InterconnectKind::InfinibandEdr);
+        assert_eq!(thunderx().interconnect, InterconnectKind::FortyGigEthernet);
+    }
+
+    #[test]
+    fn all_returns_four() {
+        assert_eq!(all().len(), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Storage models: parallel filesystems and node-local disks.
+//!
+//! Storage matters twice in the study: container images must be *staged*
+//! (pulled, converted, loop-mounted) before a job starts, and the paper's
+//! future-work section calls for an I/O study — which HarborSim implements
+//! as the image-startup-storm experiment. The key behavioural difference is
+//! that a parallel filesystem's aggregate bandwidth is shared by every
+//! client while a local disk is private per node.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of storage backs a path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// A shared parallel filesystem (GPFS, Lustre): high aggregate bandwidth
+    /// shared across clients, per-client streaming cap, metadata-server cost
+    /// per open/stat.
+    ParallelFs {
+        /// Aggregate backend bandwidth, bytes/s.
+        aggregate_bps: f64,
+        /// Per-client streaming cap, bytes/s (usually fabric-limited).
+        per_client_bps: f64,
+        /// Cost of one metadata operation (open/stat/create), seconds.
+        metadata_op_s: f64,
+    },
+    /// Node-local disk: private bandwidth per node.
+    LocalDisk {
+        /// Streaming read bandwidth, bytes/s.
+        read_bps: f64,
+        /// Streaming write bandwidth, bytes/s.
+        write_bps: f64,
+        /// Per-operation seek/issue latency, seconds.
+        op_latency_s: f64,
+    },
+    /// NFS over the cluster network: one server, modest bandwidth shared by
+    /// all clients, high metadata cost.
+    Nfs {
+        /// Server bandwidth, bytes/s.
+        server_bps: f64,
+        /// Cost of one metadata operation, seconds.
+        metadata_op_s: f64,
+    },
+}
+
+/// A named storage system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageSpec {
+    /// Human-readable name ("GPFS /gpfs/projects", "local /tmp", ...).
+    pub name: String,
+    /// Behaviour class and parameters.
+    pub kind: StorageKind,
+}
+
+impl StorageSpec {
+    /// GPFS as deployed on the BSC machines: ~50 GB/s backend, clients capped
+    /// near fabric speed, sub-millisecond metadata.
+    pub fn gpfs() -> StorageSpec {
+        StorageSpec {
+            name: "GPFS".into(),
+            kind: StorageKind::ParallelFs {
+                aggregate_bps: 50e9,
+                per_client_bps: 3.0e9,
+                metadata_op_s: 0.8e-3,
+            },
+        }
+    }
+
+    /// A SATA/early-NVMe class local scratch disk.
+    pub fn local_scratch() -> StorageSpec {
+        StorageSpec {
+            name: "local scratch".into(),
+            kind: StorageKind::LocalDisk {
+                read_bps: 500e6,
+                write_bps: 450e6,
+                op_latency_s: 0.1e-3,
+            },
+        }
+    }
+
+    /// A small-cluster NFS share (Lenox, ThunderX mini-cluster).
+    pub fn nfs_small() -> StorageSpec {
+        StorageSpec {
+            name: "NFS".into(),
+            kind: StorageKind::Nfs {
+                server_bps: 110e6, // bottlenecked by the 1GbE uplink
+                metadata_op_s: 2.0e-3,
+            },
+        }
+    }
+
+    /// Aggregate bandwidth available when `clients` nodes stream
+    /// concurrently, bytes/s (the number the fluid-link model is fed).
+    pub fn shared_bandwidth_bps(&self, clients: u32) -> f64 {
+        let c = clients.max(1) as f64;
+        match &self.kind {
+            StorageKind::ParallelFs {
+                aggregate_bps,
+                per_client_bps,
+                ..
+            } => aggregate_bps.min(per_client_bps * c),
+            StorageKind::LocalDisk { read_bps, .. } => read_bps * c, // private per node
+            StorageKind::Nfs { server_bps, .. } => *server_bps,
+        }
+    }
+
+    /// Seconds for one client to read `bytes` while `clients` nodes stream
+    /// concurrently and each performs `metadata_ops` metadata operations.
+    pub fn read_seconds(&self, bytes: f64, clients: u32, metadata_ops: u32) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        let c = clients.max(1) as f64;
+        let meta = metadata_ops as f64 * self.metadata_op_s();
+        let bw = match &self.kind {
+            StorageKind::ParallelFs {
+                aggregate_bps,
+                per_client_bps,
+                ..
+            } => per_client_bps.min(aggregate_bps / c),
+            StorageKind::LocalDisk { read_bps, .. } => *read_bps,
+            StorageKind::Nfs { server_bps, .. } => server_bps / c,
+        };
+        meta + bytes / bw
+    }
+
+    /// Cost of one metadata operation on this storage, seconds.
+    pub fn metadata_op_s(&self) -> f64 {
+        match &self.kind {
+            StorageKind::ParallelFs { metadata_op_s, .. } => *metadata_op_s,
+            StorageKind::LocalDisk { op_latency_s, .. } => *op_latency_s,
+            StorageKind::Nfs { metadata_op_s, .. } => *metadata_op_s,
+        }
+    }
+
+    /// Whether the storage is shared between nodes (affects whether an image
+    /// staged once is visible everywhere).
+    pub fn is_shared(&self) -> bool {
+        !matches!(self.kind, StorageKind::LocalDisk { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpfs_scales_then_saturates() {
+        let g = StorageSpec::gpfs();
+        let one = g.shared_bandwidth_bps(1);
+        let many = g.shared_bandwidth_bps(1000);
+        assert!((one - 3.0e9).abs() < 1.0);
+        assert!((many - 50e9).abs() < 1.0, "aggregate cap");
+    }
+
+    #[test]
+    fn local_disk_is_private() {
+        let d = StorageSpec::local_scratch();
+        // per-client read time independent of client count
+        let t1 = d.read_seconds(1e9, 1, 0);
+        let t256 = d.read_seconds(1e9, 256, 0);
+        assert!((t1 - t256).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nfs_divides_by_clients() {
+        let n = StorageSpec::nfs_small();
+        let t1 = n.read_seconds(110e6, 1, 0);
+        let t10 = n.read_seconds(110e6, 10, 0);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        assert!((t10 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_fs_per_client_throttles_at_scale() {
+        let g = StorageSpec::gpfs();
+        // 1 client: capped by per-client 3 GB/s
+        let t1 = g.read_seconds(3.0e9, 1, 0);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        // 100 clients: each gets 0.5 GB/s
+        let t100 = g.read_seconds(3.0e9, 100, 0);
+        assert!((t100 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_adds_fixed_cost() {
+        let g = StorageSpec::gpfs();
+        let base = g.read_seconds(0.0, 1, 0);
+        let with_meta = g.read_seconds(0.0, 1, 100);
+        assert!(base < 1e-12);
+        assert!((with_meta - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_flags() {
+        assert!(StorageSpec::gpfs().is_shared());
+        assert!(StorageSpec::nfs_small().is_shared());
+        assert!(!StorageSpec::local_scratch().is_shared());
+    }
+}

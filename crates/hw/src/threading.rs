@@ -1,0 +1,129 @@
+//! Shared-memory (OpenMP-style) threading efficiency model.
+//!
+//! Alya runs hybrid MPI×OpenMP; Fig. 1 of the paper sweeps the
+//! ranks-per-node × threads-per-rank balance at a fixed core count. Two
+//! effects shape that curve and both are modelled here:
+//!
+//! 1. **Amdahl residue** — a small per-rank serial fraction that threads
+//!    cannot help with (sequential assembly sections, MPI progress, I/O).
+//! 2. **Fork/join overhead** — every parallel region pays a barrier cost
+//!    that grows with the number of threads (log-ish tree barrier).
+//!
+//! The model is compute-oriented: memory-bandwidth saturation within a
+//! socket is folded into the calibrated per-core sustained rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the threading model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadingModel {
+    /// Fraction of each rank's work that stays serial no matter how many
+    /// threads are available (Amdahl).
+    pub serial_fraction: f64,
+    /// Cost of one fork/join barrier for 2 threads, in microseconds; scales
+    /// with `log2(threads)`.
+    pub barrier_base_us: f64,
+    /// Number of parallel regions (fork/join pairs) per "work unit" — the
+    /// solver reports work in units that carry this many regions.
+    pub regions_per_unit: f64,
+}
+
+impl Default for ThreadingModel {
+    fn default() -> Self {
+        ThreadingModel {
+            serial_fraction: 0.02,
+            barrier_base_us: 4.0,
+            regions_per_unit: 1.0,
+        }
+    }
+}
+
+impl ThreadingModel {
+    /// A model tuned for well-optimized HPC codes (Alya-class): 2% serial
+    /// residue, 4 µs base barrier.
+    pub fn hpc_default() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock seconds to execute work that takes `serial_seconds` on one
+    /// core, using `threads` threads, including Amdahl residue and barrier
+    /// overheads for `regions` parallel regions.
+    pub fn parallel_time(&self, serial_seconds: f64, threads: u32, regions: f64) -> f64 {
+        debug_assert!(threads >= 1);
+        debug_assert!(serial_seconds >= 0.0);
+        if threads == 1 {
+            // single-threaded ranks skip fork/join entirely
+            return serial_seconds;
+        }
+        let t = threads as f64;
+        let parallel = serial_seconds * (1.0 - self.serial_fraction) / t;
+        let serial = serial_seconds * self.serial_fraction;
+        let barrier = self.barrier_base_us * 1e-6 * t.log2() * regions;
+        parallel + serial + barrier
+    }
+
+    /// Parallel efficiency on `threads` threads for work of the given serial
+    /// duration and region count: `serial / (threads * parallel_time)`.
+    pub fn efficiency(&self, serial_seconds: f64, threads: u32, regions: f64) -> f64 {
+        let tp = self.parallel_time(serial_seconds, threads, regions);
+        if tp <= 0.0 {
+            return 1.0;
+        }
+        serial_seconds / (threads as f64 * tp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_thread_is_exact() {
+        let m = ThreadingModel::hpc_default();
+        assert_eq!(m.parallel_time(3.0, 1, 10.0), 3.0);
+        assert!((m.efficiency(3.0, 1, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_monotone_but_sublinear() {
+        let m = ThreadingModel::hpc_default();
+        let w = 10.0;
+        let mut prev = f64::INFINITY;
+        for t in [1u32, 2, 4, 8, 14, 28] {
+            let time = m.parallel_time(w, t, 100.0);
+            assert!(time < prev, "time must fall with threads (t={t})");
+            prev = time;
+            let eff = m.efficiency(w, t, 100.0);
+            assert!(eff <= 1.0 + 1e-12, "no superlinear speedup (t={t})");
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_threads() {
+        let m = ThreadingModel::hpc_default();
+        let e2 = m.efficiency(10.0, 2, 100.0);
+        let e28 = m.efficiency(10.0, 28, 100.0);
+        assert!(e2 > e28);
+        assert!(e28 > 0.5, "28 threads should still be >50% efficient, got {e28}");
+    }
+
+    #[test]
+    fn tiny_work_dominated_by_barriers() {
+        let m = ThreadingModel::hpc_default();
+        // 1 µs of work across 28 threads with one region: barrier dominates
+        let t = m.parallel_time(1e-6, 28, 1.0);
+        assert!(t > 10e-6);
+    }
+
+    #[test]
+    fn amdahl_limit() {
+        let m = ThreadingModel {
+            serial_fraction: 0.1,
+            barrier_base_us: 0.0,
+            regions_per_unit: 1.0,
+        };
+        // with f=0.1 and no barrier cost, max speedup is 10
+        let t = m.parallel_time(1.0, 1_000_000, 0.0);
+        assert!((1.0 / t - 10.0).abs() / 10.0 < 0.01);
+    }
+}

@@ -1,0 +1,662 @@
+//! The bulk-synchronous analytic performance engine.
+//!
+//! Costs a [`JobProfile`] against a node model, a composed network model and
+//! a rank placement using LogGP closed forms plus NIC-contention algebra.
+//! `O(phases × ranks·log ranks)` total work regardless of how many timesteps
+//! the job has (steps are run-length encoded), which is what lets HarborSim
+//! sweep the MareNostrum4 FSI case to 12,288 ranks in microseconds.
+//!
+//! Modelling decisions (shared with the DES engine where applicable):
+//!
+//! - Per-rank protocol CPU costs parallelize across ranks; payload bytes
+//!   leaving a node serialize through its NIC.
+//! - Intra-node messages share a node-wide memory/bridge pipe.
+//! - Compute and communication do not overlap (Alya's solver phases are
+//!   bulk-synchronous).
+//! - OS jitter grows the effective compute time of the slowest of `p` ranks
+//!   by `1 + σ·sqrt(2·ln p)` — the expected maximum of `p` log-normal
+//!   deviates, the standard large-scale noise-amplification model.
+
+use crate::collectives::{log2_rounds, AllreduceAlgo};
+use crate::mapping::RankMap;
+use crate::result::{CommBreakdown, SimResult};
+use crate::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_des::{RngStream, SimDuration};
+use harborsim_hw::NodeSpec;
+use harborsim_net::contention::concurrent_send_seconds;
+use harborsim_net::NetworkModel;
+use serde::{Deserialize, Serialize};
+
+/// Knobs common to both engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Allreduce algorithm.
+    pub allreduce_algo: AllreduceAlgo,
+    /// Sigma of per-rank log-normal compute jitter (OS noise).
+    pub jitter_sigma: f64,
+    /// Multiplicative compute slowdown from the container runtime
+    /// (cgroup accounting etc.); 1.0 = none.
+    pub compute_tax: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            allreduce_algo: AllreduceAlgo::RecursiveDoubling,
+            jitter_sigma: 0.01,
+            compute_tax: 1.0,
+        }
+    }
+}
+
+/// Cost of one communication phase.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCost {
+    seconds: f64,
+    inter_msgs: u64,
+    intra_msgs: u64,
+    inter_bytes: u64,
+}
+
+impl PhaseCost {
+    fn accumulate(&mut self, other: PhaseCost) {
+        self.seconds += other.seconds;
+        self.inter_msgs += other.inter_msgs;
+        self.intra_msgs += other.intra_msgs;
+        self.inter_bytes += other.inter_bytes;
+    }
+
+    fn times(mut self, k: u64) -> PhaseCost {
+        self.seconds *= k as f64;
+        self.inter_msgs *= k;
+        self.intra_msgs *= k;
+        self.inter_bytes *= k;
+        self
+    }
+}
+
+/// The analytic engine.
+#[derive(Debug, Clone)]
+pub struct AnalyticEngine {
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Effective network (fabric × stack × data path).
+    pub network: NetworkModel,
+    /// Rank placement.
+    pub map: RankMap,
+    /// Engine knobs.
+    pub config: EngineConfig,
+}
+
+impl AnalyticEngine {
+    /// Execute `job` and return timing + traffic accounting. `seed` drives
+    /// the run-to-run jitter the paper averages away.
+    pub fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
+        let mut rng = RngStream::new(seed).derive("analytic-run");
+        // one multiplicative run-to-run factor (machine state, turbo, ...)
+        let run_factor = rng.lognormal_factor(0.004);
+
+        let mut compute_s = 0.0;
+        let mut breakdown = CommBreakdown::default();
+        let mut inter_msgs = 0u64;
+        let mut intra_msgs = 0u64;
+        let mut inter_bytes = 0u64;
+
+        for (step, reps) in &job.steps {
+            let reps = *reps as u64;
+            compute_s += self.step_compute_seconds(step) * reps as f64;
+            for phase in &step.comm {
+                let (cost, family) = self.phase_cost(phase);
+                let cost = cost.times(reps);
+                inter_msgs += cost.inter_msgs;
+                intra_msgs += cost.intra_msgs;
+                inter_bytes += cost.inter_bytes;
+                let d = SimDuration::from_secs_f64(cost.seconds * run_factor);
+                match family {
+                    Family::Halo => breakdown.halo += d,
+                    Family::Allreduce => breakdown.allreduce += d,
+                    Family::Pairs => breakdown.pairs += d,
+                    Family::Other => breakdown.other += d,
+                }
+            }
+        }
+
+        let compute = SimDuration::from_secs_f64(compute_s * run_factor);
+        SimResult {
+            elapsed: compute + breakdown.total(),
+            compute,
+            comm: breakdown,
+            inter_node_msgs: inter_msgs,
+            intra_node_msgs: intra_msgs,
+            inter_node_bytes: inter_bytes,
+            engine: "analytic",
+        }
+    }
+
+    /// Compute time of the slowest rank in one step.
+    fn step_compute_seconds(&self, step: &StepProfile) -> f64 {
+        let p = self.map.ranks().max(2) as f64;
+        let noise_amplification = 1.0 + self.config.jitter_sigma * (2.0 * p.ln()).sqrt();
+        let worst_rank_flops =
+            step.flops_per_rank * step.imbalance * self.config.compute_tax * noise_amplification;
+        self.node
+            .rank_compute_seconds(worst_rank_flops, self.map.threads_per_rank, step.regions)
+    }
+
+    fn phase_cost(&self, phase: &CommPhase) -> (PhaseCost, Family) {
+        match phase {
+            CommPhase::Halo1D { bytes, repeats } => {
+                (self.halo_cost(*bytes).times(*repeats as u64), Family::Halo)
+            }
+            CommPhase::Halo3D {
+                dims,
+                bytes,
+                repeats,
+            } => (
+                self.halo3d_cost(*dims, *bytes).times(*repeats as u64),
+                Family::Halo,
+            ),
+            CommPhase::Allreduce { bytes, repeats } => (
+                self.allreduce_cost(*bytes).times(*repeats as u64),
+                Family::Allreduce,
+            ),
+            CommPhase::Pairs { pairs, bytes } => (self.pairs_cost(pairs, *bytes), Family::Pairs),
+            CommPhase::Bcast { bytes } => (self.bcast_cost(*bytes), Family::Other),
+            CommPhase::Gather { bytes_per_rank } => {
+                (self.gather_cost(*bytes_per_rank), Family::Other)
+            }
+            CommPhase::Barrier => (self.barrier_cost(), Family::Other),
+        }
+    }
+
+    /// Cost of a round in which, per node, `inter_out` messages of `bytes`
+    /// leave through the NIC and `intra` messages move within the node; the
+    /// inter and intra parts overlap.
+    fn round_cost(&self, inter_out_max: u32, intra_max: u32, total_cut: u64, bytes: u64) -> PhaseCost {
+        let mut seconds: f64 = 0.0;
+        if inter_out_max > 0 {
+            let taper = self
+                .network
+                .topology
+                .global_bandwidth_factor(self.map.nodes);
+            let mut inter = self.network.inter;
+            inter.bandwidth_bps *= taper;
+            let t = concurrent_send_seconds(
+                &inter,
+                self.network.nic_bw_bps,
+                inter_out_max,
+                1,
+                bytes,
+            );
+            seconds = seconds.max(t);
+        }
+        if intra_max > 0 {
+            let intra = &self.network.intra;
+            let t = intra.alpha_seconds(bytes)
+                + intra_max as f64 * bytes as f64 / intra.bandwidth_bps;
+            seconds = seconds.max(t);
+        }
+        // container-bridge softirq path: every message of the busiest node
+        // queues through one serialized kernel path before reaching the wire
+        let serialized = self.network.node_serialized_per_msg_s
+            * (inter_out_max as f64 + intra_max as f64);
+        seconds += serialized;
+        PhaseCost {
+            seconds,
+            inter_msgs: total_cut,
+            intra_msgs: 0, // filled by callers that know the intra totals
+            inter_bytes: total_cut * bytes,
+        }
+    }
+
+    /// Count, for a pairwise-exchange round at XOR distance `dist`, the
+    /// worst per-node outbound inter-node messages, worst per-node intra
+    /// messages, and the total number of inter-node messages.
+    fn pairwise_round_shape(&self, dist: u32) -> (u32, u32, u64, u64) {
+        let p = self.map.ranks();
+        let nodes = self.map.nodes as usize;
+        let mut out = vec![0u32; nodes];
+        let mut intra = vec![0u32; nodes];
+        let mut total_cut = 0u64;
+        let mut total_intra = 0u64;
+        for r in 0..p {
+            let partner = r ^ dist;
+            if partner >= p {
+                continue;
+            }
+            let n = self.map.node_of(r) as usize;
+            if self.map.same_node(r, partner) {
+                intra[n] += 1;
+                total_intra += 1;
+            } else {
+                out[n] += 1;
+                total_cut += 1;
+            }
+        }
+        (
+            out.iter().copied().max().unwrap_or(0),
+            intra.iter().copied().max().unwrap_or(0),
+            total_cut,
+            total_intra,
+        )
+    }
+
+    fn halo_cost(&self, bytes: u64) -> PhaseCost {
+        let p = self.map.ranks();
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        let nodes = self.map.nodes as usize;
+        // directed messages along the chain: r -> r+1 and r+1 -> r
+        let mut out = vec![0u32; nodes];
+        let mut intra = vec![0u32; nodes];
+        let mut total_cut = 0u64;
+        let mut total_intra = 0u64;
+        for r in 0..p - 1 {
+            let (na, nb) = (self.map.node_of(r) as usize, self.map.node_of(r + 1) as usize);
+            if na == nb {
+                intra[na] += 2;
+                total_intra += 2;
+            } else {
+                out[na] += 1;
+                out[nb] += 1;
+                total_cut += 2;
+            }
+        }
+        let inter_out_max = out.iter().copied().max().unwrap_or(0);
+        let intra_max = intra.iter().copied().max().unwrap_or(0);
+        let mut cost = self.round_cost(inter_out_max, intra_max, total_cut, bytes);
+        cost.intra_msgs = total_intra;
+        cost
+    }
+
+    fn halo3d_cost(&self, dims: (u32, u32, u32), bytes: u64) -> PhaseCost {
+        let p = self.map.ranks();
+        debug_assert_eq!(dims.0 * dims.1 * dims.2, p, "rank grid must cover all ranks");
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        let nodes = self.map.nodes as usize;
+        let mut out = vec![0u32; nodes];
+        let mut intra = vec![0u32; nodes];
+        let mut total_cut = 0u64;
+        let mut total_intra = 0u64;
+        for r in 0..p {
+            let n = self.map.node_of(r) as usize;
+            for nb in crate::workload::grid_neighbors(r, dims) {
+                if self.map.same_node(r, nb) {
+                    intra[n] += 1;
+                    total_intra += 1;
+                } else {
+                    out[n] += 1;
+                    total_cut += 1;
+                }
+            }
+        }
+        let mut cost = self.round_cost(
+            out.iter().copied().max().unwrap_or(0),
+            intra.iter().copied().max().unwrap_or(0),
+            total_cut,
+            bytes,
+        );
+        cost.intra_msgs = total_intra;
+        cost
+    }
+
+    fn allreduce_cost(&self, bytes: u64) -> PhaseCost {
+        let p = self.map.ranks();
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        let mut total = PhaseCost::default();
+        match self.config.allreduce_algo {
+            AllreduceAlgo::RecursiveDoubling => {
+                for k in 0..log2_rounds(p) {
+                    let (out_max, intra_max, cut, intra_total) =
+                        self.pairwise_round_shape(1 << k);
+                    let mut c = self.round_cost(out_max, intra_max, cut, bytes);
+                    c.intra_msgs = intra_total;
+                    total.accumulate(c);
+                }
+            }
+            AllreduceAlgo::Ring => {
+                // every round identical: ring neighbour sends of bytes/p
+                let chunk = bytes.div_ceil(p as u64).max(1);
+                let nodes = self.map.nodes as usize;
+                let mut out = vec![0u32; nodes];
+                let mut intra = vec![0u32; nodes];
+                let mut cut = 0u64;
+                let mut intra_total = 0u64;
+                for r in 0..p {
+                    let dst = (r + 1) % p;
+                    let n = self.map.node_of(r) as usize;
+                    if self.map.same_node(r, dst) {
+                        intra[n] += 1;
+                        intra_total += 1;
+                    } else {
+                        out[n] += 1;
+                        cut += 1;
+                    }
+                }
+                let rounds = 2 * (p as u64 - 1);
+                let mut c = self.round_cost(
+                    out.iter().copied().max().unwrap_or(0),
+                    intra.iter().copied().max().unwrap_or(0),
+                    cut,
+                    chunk,
+                );
+                c.intra_msgs = intra_total;
+                total.accumulate(c.times(rounds));
+            }
+            AllreduceAlgo::Rabenseifner => {
+                let rounds = log2_rounds(p);
+                for k in 0..rounds {
+                    let vol = (bytes >> (k + 1)).max(1);
+                    let (out_max, intra_max, cut, intra_total) =
+                        self.pairwise_round_shape(1 << k);
+                    let mut c = self.round_cost(out_max, intra_max, cut, vol);
+                    c.intra_msgs = intra_total;
+                    // reduce-scatter + mirrored allgather round
+                    total.accumulate(c.times(2));
+                }
+            }
+        }
+        total
+    }
+
+    fn pairs_cost(&self, pairs: &[(u32, u32)], bytes: u64) -> PhaseCost {
+        if pairs.is_empty() {
+            return PhaseCost::default();
+        }
+        let nodes = self.map.nodes as usize;
+        let mut out = vec![0u32; nodes];
+        let mut intra = vec![0u32; nodes];
+        let mut cut = 0u64;
+        let mut intra_total = 0u64;
+        for &(a, b) in pairs {
+            let (na, nb) = (self.map.node_of(a) as usize, self.map.node_of(b) as usize);
+            if na == nb {
+                intra[na] += 2;
+                intra_total += 2;
+            } else {
+                out[na] += 1;
+                out[nb] += 1;
+                cut += 2;
+            }
+        }
+        let mut c = self.round_cost(
+            out.iter().copied().max().unwrap_or(0),
+            intra.iter().copied().max().unwrap_or(0),
+            cut,
+            bytes,
+        );
+        c.intra_msgs = intra_total;
+        c
+    }
+
+    fn bcast_cost(&self, bytes: u64) -> PhaseCost {
+        let p = self.map.ranks();
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        // cost the actual binomial rounds: structural message accounting
+        // matches the DES engine exactly
+        let mut total = PhaseCost::default();
+        for round in crate::collectives::bcast_rounds(p, bytes) {
+            let nodes = self.map.nodes as usize;
+            let mut out = vec![0u32; nodes];
+            let mut intra = vec![0u32; nodes];
+            let mut cut = 0u64;
+            let mut intra_total = 0u64;
+            for m in &round {
+                let n = self.map.node_of(m.src) as usize;
+                if self.map.same_node(m.src, m.dst) {
+                    intra[n] += 1;
+                    intra_total += 1;
+                } else {
+                    out[n] += 1;
+                    cut += 1;
+                }
+            }
+            let mut c = self.round_cost(
+                out.iter().copied().max().unwrap_or(0),
+                intra.iter().copied().max().unwrap_or(0),
+                cut,
+                bytes,
+            );
+            c.intra_msgs = intra_total;
+            total.accumulate(c);
+        }
+        total
+    }
+
+    fn gather_cost(&self, bytes_per_rank: u64) -> PhaseCost {
+        let p = self.map.ranks() as u64;
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        let rpn = self.map.ranks_per_node as u64;
+        let remote = p - rpn; // ranks not on the root's node
+        let local = rpn - 1;
+        let inter = &self.network.inter;
+        let t = inter.alpha_seconds(bytes_per_rank)
+            + remote as f64 * bytes_per_rank as f64 / self.network.nic_bw_bps
+            + local as f64 * bytes_per_rank as f64 / self.network.intra.bandwidth_bps;
+        PhaseCost {
+            seconds: t,
+            inter_msgs: remote,
+            intra_msgs: local,
+            inter_bytes: remote * bytes_per_rank,
+        }
+    }
+
+    fn barrier_cost(&self) -> PhaseCost {
+        let p = self.map.ranks();
+        if p <= 1 {
+            return PhaseCost::default();
+        }
+        let rounds = log2_rounds(p);
+        let mut total = PhaseCost::default();
+        for k in 0..rounds {
+            let dist = 1u32 << k;
+            // dissemination round: r -> (r + dist) % p
+            let nodes = self.map.nodes as usize;
+            let mut out = vec![0u32; nodes];
+            let mut intra_max = 0u32;
+            let mut cut = 0u64;
+            let mut intra_counts = vec![0u32; nodes];
+            for r in 0..p {
+                let dst = (r + dist) % p;
+                let n = self.map.node_of(r) as usize;
+                if self.map.same_node(r, dst) {
+                    intra_counts[n] += 1;
+                } else {
+                    out[n] += 1;
+                    cut += 1;
+                }
+            }
+            intra_max = intra_max.max(intra_counts.iter().copied().max().unwrap_or(0));
+            let mut c = self.round_cost(
+                out.iter().copied().max().unwrap_or(0),
+                intra_max,
+                cut,
+                8,
+            );
+            c.intra_msgs = intra_counts.iter().map(|&x| x as u64).sum();
+            total.accumulate(c);
+        }
+        total
+    }
+}
+
+enum Family {
+    Halo,
+    Allreduce,
+    Pairs,
+    Other,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::StepProfile;
+    use harborsim_hw::{CpuModel, InterconnectKind, NodeSpec};
+    use harborsim_net::{DataPath, Topology, TransportSelection};
+
+    fn engine(nodes: u32, rpn: u32, threads: u32, path: DataPath) -> AnalyticEngine {
+        AnalyticEngine {
+            node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+            network: NetworkModel::compose(
+                InterconnectKind::GigabitEthernet,
+                TransportSelection::Native,
+                path,
+                Topology::small_cluster(),
+            ),
+            map: RankMap::block(nodes, rpn, threads),
+            config: EngineConfig::default(),
+        }
+    }
+
+    fn cfd_like_step() -> StepProfile {
+        StepProfile {
+            flops_per_rank: 4e8,
+            imbalance: 1.03,
+            regions: 35.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 160_000,
+                    repeats: 31,
+                },
+                CommPhase::Allreduce { bytes: 8, repeats: 62 },
+            ],
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e = engine(4, 28, 1, DataPath::Host);
+        let job = JobProfile::uniform(cfd_like_step(), 10);
+        let a = e.run(&job, 7);
+        let b = e.run(&job, 7);
+        assert_eq!(a, b);
+        let c = e.run(&job, 8);
+        assert_ne!(a.elapsed, c.elapsed, "different seeds must jitter");
+        // ... but only slightly
+        let rel = (a.elapsed.as_secs_f64() - c.elapsed.as_secs_f64()).abs()
+            / a.elapsed.as_secs_f64();
+        assert!(rel < 0.05, "rel={rel}");
+    }
+
+    #[test]
+    fn docker_bridge_slower_than_host() {
+        let job = JobProfile::uniform(cfd_like_step(), 10);
+        let host = engine(4, 28, 1, DataPath::Host).run(&job, 1);
+        let dock = engine(4, 28, 1, DataPath::docker_default_bridge()).run(&job, 1);
+        assert!(
+            dock.elapsed > host.elapsed,
+            "docker {} vs host {}",
+            dock.elapsed,
+            host.elapsed
+        );
+        assert_eq!(host.compute, dock.compute, "bridge must not touch compute");
+    }
+
+    #[test]
+    fn docker_penalty_grows_with_ranks() {
+        // the Fig. 1 mechanism: same 112 cores, more ranks -> bigger bridge tax
+        let job = JobProfile::uniform(cfd_like_step(), 10);
+        let rel = |rpn: u32, threads: u32| {
+            let host = engine(4, rpn, threads, DataPath::Host).run(&job, 1);
+            let dock = engine(4, rpn, threads, DataPath::docker_default_bridge()).run(&job, 1);
+            dock.elapsed.as_secs_f64() / host.elapsed.as_secs_f64()
+        };
+        let low = rel(2, 14);
+        let high = rel(28, 1);
+        assert!(
+            high > low,
+            "docker relative cost must grow with ranks: 2x14 -> {low}, 28x1 -> {high}"
+        );
+    }
+
+    #[test]
+    fn single_node_has_no_inter_traffic() {
+        let e = engine(1, 28, 1, DataPath::Host);
+        let job = JobProfile::uniform(cfd_like_step(), 5);
+        let r = e.run(&job, 1);
+        assert_eq!(r.inter_node_msgs, 0);
+        assert_eq!(r.inter_node_bytes, 0);
+        assert!(r.intra_node_msgs > 0);
+    }
+
+    #[test]
+    fn message_accounting_matches_structure() {
+        let e = engine(4, 2, 1, DataPath::Host);
+        let step = StepProfile {
+            flops_per_rank: 0.0,
+            imbalance: 1.0,
+            regions: 0.0,
+            comm: vec![CommPhase::Halo1D {
+                bytes: 1000,
+                repeats: 1,
+            }],
+        };
+        let r = e.run(&JobProfile::uniform(step, 1), 1);
+        // chain 0-1 | 2-3 | 4-5 | 6-7 over 4 nodes: cut edges at 1-2, 3-4,
+        // 5-6 -> 6 directed inter msgs; intra edges 0-1,2-3,4-5,6-7 -> 8
+        assert_eq!(r.inter_node_msgs, 6);
+        assert_eq!(r.intra_node_msgs, 8);
+        assert_eq!(r.inter_node_bytes, 6000);
+    }
+
+    #[test]
+    fn allreduce_algorithms_tradeoff() {
+        // tiny payload: recursive doubling must beat ring
+        let mk = |algo| {
+            let mut e = engine(4, 28, 1, DataPath::Host);
+            e.config.allreduce_algo = algo;
+            let step = StepProfile {
+                flops_per_rank: 0.0,
+                imbalance: 1.0,
+                regions: 0.0,
+                comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 1 }],
+            };
+            e.run(&JobProfile::uniform(step, 1), 1).elapsed.as_secs_f64()
+        };
+        let rd = mk(AllreduceAlgo::RecursiveDoubling);
+        let ring = mk(AllreduceAlgo::Ring);
+        assert!(ring > 5.0 * rd, "ring {ring} vs recursive-doubling {rd}");
+    }
+
+    #[test]
+    fn strong_scaling_reduces_elapsed() {
+        // fixed total work spread over more nodes must run faster (until
+        // comm dominates; with these parameters 16 nodes is still faster)
+        let total_flops = 5e11;
+        let t = |nodes: u32| {
+            let e = engine(nodes, 28, 1, DataPath::Host);
+            let step = StepProfile {
+                flops_per_rank: total_flops / (nodes as f64 * 28.0),
+                imbalance: 1.02,
+                regions: 10.0,
+                comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 4 }],
+            };
+            e.run(&JobProfile::uniform(step, 10), 1).elapsed.as_secs_f64()
+        };
+        // Lenox only has 4 nodes, but the engine doesn't enforce that
+        let t1 = t(1);
+        let t2 = t(2);
+        let t4 = t(4);
+        assert!(t2 < t1 && t4 < t2, "t1={t1} t2={t2} t4={t4}");
+    }
+
+    #[test]
+    fn threads_vs_ranks_tradeoff_visible() {
+        // same cores, different split: both must be within 2x of each other
+        // and both slower than zero-comm ideal
+        let job = JobProfile::uniform(cfd_like_step(), 10);
+        let hybrid = engine(4, 2, 14, DataPath::Host).run(&job, 1);
+        let pure = engine(4, 28, 1, DataPath::Host).run(&job, 1);
+        let ratio = hybrid.elapsed.as_secs_f64() / pure.elapsed.as_secs_f64();
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution results produced by both performance engines.
+
+use harborsim_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Where communication time went, by phase family.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommBreakdown {
+    /// Halo-exchange time.
+    pub halo: SimDuration,
+    /// Allreduce time.
+    pub allreduce: SimDuration,
+    /// Coupling / explicit pairs time.
+    pub pairs: SimDuration,
+    /// Broadcast + gather + barrier time.
+    pub other: SimDuration,
+}
+
+impl CommBreakdown {
+    /// Total communication time.
+    pub fn total(&self) -> SimDuration {
+        self.halo + self.allreduce + self.pairs + self.other
+    }
+}
+
+/// The outcome of executing a job profile on a simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// End-to-end elapsed time of the solver run (excludes deployment).
+    pub elapsed: SimDuration,
+    /// Time the critical path spent computing.
+    pub compute: SimDuration,
+    /// Communication time by family (critical-path attribution).
+    pub comm: CommBreakdown,
+    /// Total messages that crossed a node boundary.
+    pub inter_node_msgs: u64,
+    /// Total messages that stayed within a node.
+    pub intra_node_msgs: u64,
+    /// Total bytes that crossed node boundaries.
+    pub inter_node_bytes: u64,
+    /// Which engine produced this result ("analytic" or "des").
+    pub engine: &'static str,
+}
+
+impl SimResult {
+    /// Fraction of elapsed time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e == 0.0 {
+            0.0
+        } else {
+            self.comm.total().as_secs_f64() / e
+        }
+    }
+
+    /// Scale every time and counter by `k` (used to expand truncated jobs
+    /// back to full length).
+    pub fn scaled(&self, k: f64) -> SimResult {
+        let sc = |d: SimDuration| d.mul_f64(k);
+        SimResult {
+            elapsed: sc(self.elapsed),
+            compute: sc(self.compute),
+            comm: CommBreakdown {
+                halo: sc(self.comm.halo),
+                allreduce: sc(self.comm.allreduce),
+                pairs: sc(self.comm.pairs),
+                other: sc(self.comm.other),
+            },
+            inter_node_msgs: (self.inter_node_msgs as f64 * k).round() as u64,
+            intra_node_msgs: (self.intra_node_msgs as f64 * k).round() as u64,
+            inter_node_bytes: (self.inter_node_bytes as f64 * k).round() as u64,
+            engine: self.engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CommBreakdown {
+            halo: SimDuration::from_secs(1),
+            allreduce: SimDuration::from_secs(2),
+            pairs: SimDuration::from_secs(3),
+            other: SimDuration::from_secs(4),
+        };
+        assert_eq!(b.total(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn comm_fraction_and_scaling() {
+        let r = SimResult {
+            elapsed: SimDuration::from_secs(10),
+            compute: SimDuration::from_secs(6),
+            comm: CommBreakdown {
+                halo: SimDuration::from_secs(4),
+                ..Default::default()
+            },
+            inter_node_msgs: 100,
+            intra_node_msgs: 50,
+            inter_node_bytes: 1_000,
+            engine: "analytic",
+        };
+        assert!((r.comm_fraction() - 0.4).abs() < 1e-12);
+        let s = r.scaled(2.0);
+        assert_eq!(s.elapsed, SimDuration::from_secs(20));
+        assert_eq!(s.inter_node_msgs, 200);
+        assert_eq!(s.comm.halo, SimDuration::from_secs(8));
+    }
+}

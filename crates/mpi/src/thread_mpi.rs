@@ -1,0 +1,376 @@
+//! A functional, in-process MPI over OS threads.
+//!
+//! This is *real* message passing — actual `f64` payloads over channels
+//! between actual threads — not a performance model. The mini-Alya solvers
+//! run their domain decomposition on it, which lets HarborSim verify that
+//! the decomposed solvers produce the same numbers as their sequential
+//! versions before trusting the communication *pattern* they hand to the
+//! performance engines.
+//!
+//! Deliberately small: blocking send/recv with tag matching, plus the
+//! collectives the solvers need (binomial reduce + broadcast based, so any
+//! rank count works). Unbounded channels make `send` non-blocking, which is
+//! the same progress semantics the DES engine models.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Message payload: a tag plus the data.
+type Packet = (u32, Vec<f64>);
+
+/// Tag bit reserved for internal collective traffic.
+const COLL_TAG_BIT: u32 = 1 << 31;
+
+/// One rank's endpoint of the communicator.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` sends to rank `d`.
+    senders: Vec<Sender<Packet>>,
+    /// `receivers[s]` receives from rank `s`.
+    receivers: Vec<Receiver<Packet>>,
+    /// Out-of-order buffer per source (messages popped while tag-matching).
+    pending: Vec<VecDeque<Packet>>,
+    /// Collective sequence number (kept in lockstep by SPMD execution).
+    coll_seq: u32,
+}
+
+impl ThreadComm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocking-buffered send of `data` to rank `to` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `tag` uses the reserved high bit or `to` is out of range.
+    pub fn send(&mut self, to: usize, tag: u32, data: &[f64]) {
+        assert!(tag & COLL_TAG_BIT == 0, "tag high bit is reserved");
+        self.send_raw(to, tag, data.to_vec());
+    }
+
+    fn send_raw(&mut self, to: usize, tag: u32, data: Vec<f64>) {
+        assert!(to < self.size, "rank {to} out of range");
+        self.senders[to]
+            .send((tag, data))
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Vec<f64> {
+        assert!(tag & COLL_TAG_BIT == 0, "tag high bit is reserved");
+        self.recv_raw(from, tag)
+    }
+
+    fn recv_raw(&mut self, from: usize, tag: u32) -> Vec<f64> {
+        assert!(from < self.size, "rank {from} out of range");
+        // check the out-of-order buffer first
+        if let Some(pos) = self.pending[from].iter().position(|(t, _)| *t == tag) {
+            return self.pending[from].remove(pos).expect("position vanished").1;
+        }
+        loop {
+            let (t, data) = self.receivers[from]
+                .recv()
+                .expect("peer rank hung up");
+            if t == tag {
+                return data;
+            }
+            self.pending[from].push_back((t, data));
+        }
+    }
+
+    /// Simultaneous exchange with two (possibly equal) partners, deadlock
+    /// free thanks to buffered sends.
+    pub fn sendrecv(&mut self, to: usize, data: &[f64], from: usize, tag: u32) -> Vec<f64> {
+        self.send(to, tag, data);
+        self.recv(from, tag)
+    }
+
+    fn next_coll_tag(&mut self) -> u32 {
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        COLL_TAG_BIT | (self.coll_seq & !COLL_TAG_BIT)
+    }
+
+    /// Element-wise reduction of `data` across all ranks with `op`,
+    /// result broadcast to every rank (in place).
+    pub fn allreduce<F>(&mut self, data: &mut [f64], op: F)
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        let tag = self.next_coll_tag();
+        let (rank, size) = (self.rank, self.size);
+        // binomial-tree reduce to rank 0
+        let mut span = 1;
+        while span < size {
+            if rank % (2 * span) == 0 {
+                let src = rank + span;
+                if src < size {
+                    let other = self.recv_raw(src, tag);
+                    assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+                    for (a, b) in data.iter_mut().zip(other) {
+                        *a = op(*a, b);
+                    }
+                }
+            } else if rank % (2 * span) == span {
+                let dst = rank - span;
+                self.send_raw(dst, tag, data.to_vec());
+                break;
+            }
+            span *= 2;
+        }
+        // binomial broadcast back down
+        self.bcast_internal(data, tag ^ 0x4000_0000);
+    }
+
+    /// Sum-allreduce of a single scalar.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce(&mut buf, |a, b| a + b);
+        buf[0]
+    }
+
+    /// Max-allreduce of a single scalar.
+    pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce(&mut buf, f64::max);
+        buf[0]
+    }
+
+    fn bcast_internal(&mut self, data: &mut [f64], tag: u32) {
+        let (rank, size) = (self.rank, self.size);
+        // receive once (from the sender that owns our subtree), then forward
+        if rank != 0 {
+            let mut span = 1;
+            while span * 2 <= rank {
+                span *= 2;
+            }
+            let src = rank - span;
+            let got = self.recv_raw(src, tag);
+            data.copy_from_slice(&got);
+        }
+        let mut span = 1;
+        while span <= rank {
+            span *= 2;
+        }
+        while span < size {
+            let dst = rank + span;
+            if dst < size && span > rank {
+                self.send_raw(dst, tag, data.to_vec());
+            }
+            span *= 2;
+        }
+    }
+
+    /// Broadcast `data` from rank 0 to all ranks (in place).
+    pub fn bcast(&mut self, data: &mut [f64]) {
+        let tag = self.next_coll_tag();
+        self.bcast_internal(data, tag);
+    }
+
+    /// Gather every rank's `data` at rank 0 (returned in rank order there,
+    /// `None` elsewhere).
+    pub fn gather(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let tag = self.next_coll_tag();
+        if self.rank == 0 {
+            let mut out = Vec::with_capacity(self.size);
+            out.push(data.to_vec());
+            for src in 1..self.size {
+                out.push(self.recv_raw(src, tag));
+            }
+            Some(out)
+        } else {
+            self.send_raw(0, tag, data.to_vec());
+            None
+        }
+    }
+
+    /// Full barrier.
+    pub fn barrier(&mut self) {
+        let mut token = [0.0];
+        self.allreduce(&mut token, |a, b| a + b);
+    }
+
+    /// Run an SPMD function on `size` ranks (one OS thread each) and return
+    /// the per-rank results in rank order.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut ThreadComm) -> T + Sync,
+    {
+        assert!(size > 0);
+        // channel matrix: chan[s][d] carries s -> d
+        let mut txs: Vec<Vec<Option<Sender<Packet>>>> = Vec::with_capacity(size);
+        let mut rxs: Vec<Vec<Option<Receiver<Packet>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for s in 0..size {
+            let mut row = Vec::with_capacity(size);
+            for d in 0..size {
+                let (tx, rx) = unbounded();
+                row.push(Some(tx));
+                rxs[d][s] = Some(rx);
+            }
+            txs.push(row);
+        }
+        let mut comms: Vec<ThreadComm> = (0..size)
+            .map(|r| ThreadComm {
+                rank: r,
+                size,
+                senders: txs[r].iter_mut().map(|t| t.take().expect("tx taken twice")).collect(),
+                receivers: rxs[r].iter_mut().map(|r| r.take().expect("rx taken twice")).collect(),
+                pending: (0..size).map(|_| VecDeque::new()).collect(),
+                coll_seq: 0,
+            })
+            .collect();
+
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter_mut()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let results = ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0, 3.0]);
+                comm.recv(1, 8)
+            } else {
+                let got = comm.recv(0, 7);
+                let doubled: Vec<f64> = got.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, &doubled);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let results = ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0]);
+                comm.send(1, 2, &[2.0]);
+                vec![0.0]
+            } else {
+                // receive in reverse tag order
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_every_size() {
+        for size in 1..=9 {
+            let results = ThreadComm::run(size, |comm| {
+                comm.allreduce_sum_scalar((comm.rank() + 1) as f64)
+            });
+            let expected = (size * (size + 1) / 2) as f64;
+            for (r, &got) in results.iter().enumerate() {
+                assert_eq!(got, expected, "size={size} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vector_max() {
+        let results = ThreadComm::run(4, |comm| {
+            let mut v = vec![comm.rank() as f64, -(comm.rank() as f64)];
+            comm.allreduce(&mut v, f64::max);
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![3.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let results = ThreadComm::run(size, |comm| {
+                let mut v = if comm.rank() == 0 {
+                    vec![42.0, 7.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.bcast(&mut v);
+                v
+            });
+            for (r, v) in results.iter().enumerate() {
+                assert_eq!(*v, vec![42.0, 7.0], "size={size} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = ThreadComm::run(5, |comm| comm.gather(&[comm.rank() as f64 * 10.0]));
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root.len(), 5);
+        for (r, v) in root.iter().enumerate() {
+            assert_eq!(*v, vec![r as f64 * 10.0]);
+        }
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let results = ThreadComm::run(7, |comm| {
+            for _ in 0..25 {
+                comm.barrier();
+            }
+            comm.rank()
+        });
+        assert_eq!(results, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sendrecv_ring_rotation() {
+        let size = 6;
+        let results = ThreadComm::run(size, |comm| {
+            let (r, n) = (comm.rank(), comm.size());
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            comm.sendrecv(right, &[r as f64], left, 3)
+        });
+        for (r, v) in results.iter().enumerate() {
+            let left = (r + size - 1) % size;
+            assert_eq!(*v, vec![left as f64]);
+        }
+    }
+
+    #[test]
+    fn mixed_collectives_and_ptp() {
+        let results = ThreadComm::run(4, |comm| {
+            let sum = comm.allreduce_sum_scalar(1.0);
+            comm.barrier();
+            let m = comm.allreduce_max_scalar(comm.rank() as f64);
+            sum + m
+        });
+        for &v in &results {
+            assert_eq!(v, 7.0);
+        }
+    }
+}

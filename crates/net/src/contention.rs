@@ -1,0 +1,94 @@
+//! NIC-sharing (contention) helpers for the analytic engine.
+//!
+//! When many ranks on one node communicate at once, per-message CPU costs
+//! parallelize across their cores but the wire does not: every byte must
+//! leave through the same NIC. These closed forms feed the bulk-synchronous
+//! MPI engine; the message-level DES engine gets the same behaviour from a
+//! FIFO resource per NIC.
+
+use crate::transport::TransportParams;
+
+/// Wall-clock seconds for a phase in which `senders` ranks on one node each
+/// send `msgs_per_sender` messages of `bytes_per_msg` bytes to peers on other
+/// nodes, given the node's raw NIC bandwidth.
+///
+/// Model: per-rank protocol CPU time runs in parallel (each rank owns a
+/// core); payload serialization shares the *node-level* stream rate —
+/// `min(transport BW, NIC BW)`. A transport's bandwidth figure is a
+/// node-level cap, not per-flow: kernel-bypass stacks saturate the NIC from
+/// one flow, and IP-emulation stacks (IPoIB, IPoFabric) bottleneck in the
+/// kernel no matter how many ranks send — which is exactly why a
+/// self-contained container cannot "use the Mellanox EDR network".
+pub fn concurrent_send_seconds(
+    t: &TransportParams,
+    nic_bw_bps: f64,
+    senders: u32,
+    msgs_per_sender: u32,
+    bytes_per_msg: u64,
+) -> f64 {
+    debug_assert!(senders >= 1);
+    let per_rank_alpha = msgs_per_sender as f64 * t.alpha_seconds(bytes_per_msg);
+    let total_bytes = senders as f64 * msgs_per_sender as f64 * bytes_per_msg as f64;
+    let aggregate_bw = t.bandwidth_bps.min(nic_bw_bps);
+    per_rank_alpha + total_bytes / aggregate_bw
+}
+
+/// The effective per-rank bandwidth when `senders` ranks share one node's
+/// outbound stream rate.
+pub fn per_rank_bandwidth_bps(t: &TransportParams, nic_bw_bps: f64, senders: u32) -> f64 {
+    debug_assert!(senders >= 1);
+    t.bandwidth_bps.min(nic_bw_bps) / senders as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib() -> TransportParams {
+        TransportParams::new(1.0e-6, 0.3e-6, 11.5e9, 16 * 1024)
+    }
+
+    fn gbe() -> TransportParams {
+        TransportParams::new(50e-6, 10e-6, 117e6, 32 * 1024)
+    }
+
+    #[test]
+    fn single_sender_matches_ptp() {
+        let t = ib();
+        let a = concurrent_send_seconds(&t, 11.5e9, 1, 1, 4096);
+        let b = t.ptp_seconds(4096);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_bound_fabric_serializes_bytes() {
+        // on IB, one flow already saturates the NIC: doubling senders about
+        // doubles the wire time for the same per-sender volume
+        let t = ib();
+        let big = 1 << 20;
+        let one = concurrent_send_seconds(&t, 11.5e9, 1, 1, big);
+        let two = concurrent_send_seconds(&t, 11.5e9, 2, 1, big);
+        let ratio = two / one;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio={ratio}");
+    }
+
+    #[test]
+    fn contention_grows_with_senders_on_gbe() {
+        let t = gbe();
+        let mut prev = 0.0;
+        for senders in [1u32, 2, 7, 14, 28] {
+            let dt = concurrent_send_seconds(&t, 117e6, senders, 4, 10_000);
+            assert!(dt > prev, "senders={senders}");
+            prev = dt;
+        }
+    }
+
+    #[test]
+    fn per_rank_bandwidth_splits_nic() {
+        let t = gbe();
+        let b1 = per_rank_bandwidth_bps(&t, 117e6, 1);
+        let b28 = per_rank_bandwidth_bps(&t, 117e6, 28);
+        assert!((b1 - 117e6).abs() < 1.0);
+        assert!((b28 - 117e6 / 28.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-fabric transport parameter presets.
+//!
+//! Each fabric exposes two stacks:
+//!
+//! - **native** — what the host's MPI reaches through vendor userspace
+//!   drivers (verbs on InfiniBand, PSM2 on Omni-Path, plain TCP on
+//!   Ethernet — Ethernet has no kernel-bypass stack in these clusters);
+//! - **tcp_fallback** — what an MPI library falls back to when the native
+//!   userspace driver is missing, as happens inside a *self-contained*
+//!   container image: IPoIB on InfiniBand, IPoFabric on Omni-Path, and the
+//!   same TCP as native on Ethernet (nothing to lose there).
+//!
+//! Numbers follow published microbenchmarks of these stacks (OSU-style):
+//! kernel-bypass fabrics sit at ~1 µs / ~11 GB/s, their IP-emulation modes
+//! at ~20 µs / ~1 GB/s, TCP over 1GbE at ~50 µs / 117 MB/s.
+
+use crate::transport::TransportParams;
+use harborsim_hw::InterconnectKind;
+use serde::{Deserialize, Serialize};
+
+/// The two stacks a fabric offers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricTransports {
+    /// Kernel-bypass (or best available) stack.
+    pub native: TransportParams,
+    /// IP-emulation stack used when userspace drivers are unavailable.
+    pub tcp_fallback: TransportParams,
+}
+
+/// Transport parameters for a fabric kind.
+pub fn fabric_transports(kind: InterconnectKind) -> FabricTransports {
+    match kind {
+        InterconnectKind::GigabitEthernet => {
+            let tcp = TransportParams::new(50e-6, 10e-6, 117e6, 32 * 1024);
+            FabricTransports {
+                native: tcp,
+                tcp_fallback: tcp,
+            }
+        }
+        InterconnectKind::FortyGigEthernet => {
+            let tcp = TransportParams::new(25e-6, 8e-6, 4.4e9, 32 * 1024);
+            FabricTransports {
+                native: tcp,
+                tcp_fallback: tcp,
+            }
+        }
+        InterconnectKind::InfinibandEdr => FabricTransports {
+            native: TransportParams::new(1.0e-6, 0.3e-6, 11.5e9, 16 * 1024),
+            tcp_fallback: TransportParams::new(18e-6, 6e-6, 1.2e9, 32 * 1024),
+        },
+        InterconnectKind::OmniPath100 => FabricTransports {
+            native: TransportParams::new(1.1e-6, 0.3e-6, 11.0e9, 16 * 1024),
+            tcp_fallback: TransportParams::new(20e-6, 6e-6, 2.2e9, 32 * 1024),
+        },
+    }
+}
+
+/// Intra-node shared-memory transport (CMA/XPMEM-style): sub-microsecond
+/// latency; the bandwidth figure is the *node-wide* aggregate copy rate
+/// (all pairs share the memory system, which moves tens of GB/s — always
+/// faster than any NIC, or scattering ranks across nodes would look good).
+pub fn shm_transport() -> TransportParams {
+    TransportParams::new(0.3e-6, 0.15e-6, 40e9, 4 * 1024)
+}
+
+/// Raw NIC bandwidth of a fabric in bytes/s (for per-node uplink contention:
+/// all ranks of a node share this regardless of stack).
+pub fn nic_bandwidth_bps(kind: InterconnectKind) -> f64 {
+    match kind {
+        InterconnectKind::GigabitEthernet => 117e6,
+        InterconnectKind::FortyGigEthernet => 4.4e9,
+        InterconnectKind::InfinibandEdr => 11.5e9,
+        InterconnectKind::OmniPath100 => 11.0e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_fallback_equals_native() {
+        for kind in [
+            InterconnectKind::GigabitEthernet,
+            InterconnectKind::FortyGigEthernet,
+        ] {
+            let f = fabric_transports(kind);
+            assert_eq!(f.native, f.tcp_fallback, "{kind}");
+        }
+    }
+
+    #[test]
+    fn kernel_bypass_fabrics_lose_badly_on_fallback() {
+        for kind in [
+            InterconnectKind::InfinibandEdr,
+            InterconnectKind::OmniPath100,
+        ] {
+            let f = fabric_transports(kind);
+            assert!(
+                f.tcp_fallback.latency_s > 10.0 * f.native.latency_s,
+                "{kind}: fallback latency should be >10x native"
+            );
+            assert!(
+                f.native.bandwidth_bps >= 4.0 * f.tcp_fallback.bandwidth_bps,
+                "{kind}: native bandwidth should be >=4x fallback"
+            );
+        }
+    }
+
+    #[test]
+    fn shm_beats_every_wire() {
+        let shm = shm_transport();
+        for kind in [
+            InterconnectKind::GigabitEthernet,
+            InterconnectKind::FortyGigEthernet,
+            InterconnectKind::InfinibandEdr,
+            InterconnectKind::OmniPath100,
+        ] {
+            let f = fabric_transports(kind);
+            assert!(shm.latency_s < f.native.latency_s, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fabric_ranking_small_messages() {
+        // 8-byte latency ordering: IB ~ OPA << 40GbE << 1GbE
+        let t = |k| fabric_transports(k).native.ptp_seconds(8);
+        let ib = t(InterconnectKind::InfinibandEdr);
+        let opa = t(InterconnectKind::OmniPath100);
+        let e40 = t(InterconnectKind::FortyGigEthernet);
+        let e1 = t(InterconnectKind::GigabitEthernet);
+        assert!(ib < e40 && opa < e40 && e40 < e1);
+    }
+
+    #[test]
+    fn nic_bandwidth_consistent_with_native_transport() {
+        for kind in [
+            InterconnectKind::GigabitEthernet,
+            InterconnectKind::FortyGigEthernet,
+            InterconnectKind::InfinibandEdr,
+            InterconnectKind::OmniPath100,
+        ] {
+            let nic = nic_bandwidth_bps(kind);
+            let native = fabric_transports(kind).native.bandwidth_bps;
+            assert!((nic - native).abs() / nic < 1e-9, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The composed network model: fabric × transport stack × container data
+//! path × topology.
+
+use crate::fabric::{fabric_transports, nic_bandwidth_bps, shm_transport};
+use crate::topology::Topology;
+use crate::transport::TransportParams;
+use harborsim_hw::InterconnectKind;
+use serde::{Deserialize, Serialize};
+
+/// Which transport stack the MPI library managed to open.
+///
+/// Bare-metal and *system-specific* containers (host MPI and fabric
+/// libraries bound into the image) open the native stack. *Self-contained*
+/// containers carry their own MPI without the host's vendor userspace
+/// drivers, so on kernel-bypass fabrics they fall back to IP emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportSelection {
+    /// Kernel-bypass / best available stack.
+    Native,
+    /// TCP over the fabric's IP personality (IPoIB, IPoFabric, plain TCP).
+    TcpFallback,
+}
+
+/// How container networking wraps the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataPath {
+    /// Host networking: bare metal, Singularity, Shifter. No wrapping.
+    Host,
+    /// Docker's default bridge network: every message crosses a veth pair
+    /// and NAT in the root network namespace. Three costs, all calibrated
+    /// against published container-networking microbenchmarks:
+    ///
+    /// - a per-message CPU tax on the sending rank's core;
+    /// - a *serialized* per-message cost on the node's single softirq/NAT
+    ///   path — the term that grows with ranks-per-node and produces the
+    ///   paper's "Docker degrades as we scale in MPI";
+    /// - an absolute throughput ceiling of the bridge data path (irrelevant
+    ///   on 1GbE, where the wire remains the bottleneck; crippling on
+    ///   kernel-bypass fabrics).
+    DockerBridge {
+        /// Extra per-message CPU overhead on the sending rank, seconds.
+        per_message_cpu_s: f64,
+        /// Serialized per-message cost on the node's bridge path, seconds.
+        serialized_per_msg_s: f64,
+        /// Bridge throughput ceiling, bytes/s.
+        bandwidth_cap_bps: f64,
+    },
+}
+
+impl DataPath {
+    /// Default Docker bridge parameters: ~45 µs NAT/veth CPU per message,
+    /// ~10 µs serialized softirq time per message, ~2.5 GB/s path ceiling.
+    pub fn docker_default_bridge() -> DataPath {
+        DataPath::DockerBridge {
+            per_message_cpu_s: 45e-6,
+            serialized_per_msg_s: 10e-6,
+            bandwidth_cap_bps: 2.5e9,
+        }
+    }
+}
+
+/// The effective communication behaviour observed by one MPI job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Effective inter-node transport.
+    pub inter: TransportParams,
+    /// Effective intra-node transport.
+    pub intra: TransportParams,
+    /// Raw NIC bandwidth per node (cap for aggregate outbound traffic).
+    pub nic_bw_bps: f64,
+    /// Switch topology.
+    pub topology: Topology,
+    /// Serialized per-message cost on the node's container-network path
+    /// (0 on host networking): every outgoing message — intra or inter —
+    /// queues through this, modelling the bridge's single softirq path.
+    pub node_serialized_per_msg_s: f64,
+}
+
+impl NetworkModel {
+    /// Compose the model for a fabric, stack selection and data path, with a
+    /// topology chosen by the caller (clusters pick theirs in presets).
+    pub fn compose(
+        fabric: InterconnectKind,
+        selection: TransportSelection,
+        path: DataPath,
+        topology: Topology,
+    ) -> NetworkModel {
+        let stacks = fabric_transports(fabric);
+        let base_inter = match selection {
+            TransportSelection::Native => stacks.native,
+            TransportSelection::TcpFallback => stacks.tcp_fallback,
+        };
+        let (inter, intra, serialized) = match path {
+            DataPath::Host => (base_inter, shm_transport(), 0.0),
+            DataPath::DockerBridge {
+                per_message_cpu_s,
+                serialized_per_msg_s,
+                bandwidth_cap_bps,
+            } => {
+                let mut inter = base_inter;
+                inter.overhead_s += per_message_cpu_s;
+                inter.bandwidth_bps = inter.bandwidth_bps.min(bandwidth_cap_bps);
+                // between two containers on one node the packet still crosses
+                // both veth pairs and the bridge: latency is software-only but
+                // far above shared memory, bandwidth is memcpy-through-kernel
+                let intra = TransportParams::new(
+                    12e-6,
+                    6e-6 + per_message_cpu_s / 2.0,
+                    2.0e9_f64.min(bandwidth_cap_bps),
+                    32 * 1024,
+                );
+                (inter, intra, serialized_per_msg_s)
+            }
+        };
+        NetworkModel {
+            inter,
+            intra,
+            nic_bw_bps: nic_bandwidth_bps(fabric),
+            topology,
+            node_serialized_per_msg_s: serialized,
+        }
+    }
+
+    /// The transport used between two ranks placed on the given nodes.
+    pub fn transport_between(&self, node_a: u32, node_b: u32) -> &TransportParams {
+        if node_a == node_b {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// Uncontended point-to-point time between ranks on the given nodes,
+    /// including topology path latency and spine bandwidth tapering.
+    pub fn ptp_seconds(&self, node_a: u32, node_b: u32, bytes: u64) -> f64 {
+        if node_a == node_b {
+            return self.intra.ptp_seconds(bytes);
+        }
+        let base = self.inter.ptp_seconds(bytes);
+        let ser = self.inter.serialization_seconds(bytes);
+        let factor = self.topology.bandwidth_factor(node_a, node_b);
+        base - ser + ser / factor + self.topology.path_latency_s(node_a, node_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_ib() -> NetworkModel {
+        NetworkModel::compose(
+            InterconnectKind::InfinibandEdr,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::cte_fat_tree(),
+        )
+    }
+
+    #[test]
+    fn native_vs_fallback_on_ib() {
+        let native = host_ib();
+        let fallback = NetworkModel::compose(
+            InterconnectKind::InfinibandEdr,
+            TransportSelection::TcpFallback,
+            DataPath::Host,
+            Topology::cte_fat_tree(),
+        );
+        let msg = 64 * 1024;
+        let tn = native.ptp_seconds(0, 1, msg);
+        let tf = fallback.ptp_seconds(0, 1, msg);
+        assert!(tf > 5.0 * tn, "fallback {tf} native {tn}");
+        // intra-node path is unaffected by the stack selection
+        assert_eq!(native.intra, fallback.intra);
+    }
+
+    #[test]
+    fn docker_bridge_taxes_both_paths() {
+        let host = NetworkModel::compose(
+            InterconnectKind::GigabitEthernet,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::small_cluster(),
+        );
+        let docker = NetworkModel::compose(
+            InterconnectKind::GigabitEthernet,
+            TransportSelection::Native,
+            DataPath::docker_default_bridge(),
+            Topology::small_cluster(),
+        );
+        for bytes in [0u64, 1024, 1 << 20] {
+            assert!(
+                docker.ptp_seconds(0, 1, bytes) > host.ptp_seconds(0, 1, bytes),
+                "inter bytes={bytes}"
+            );
+            assert!(
+                docker.ptp_seconds(0, 0, bytes) > host.ptp_seconds(0, 0, bytes),
+                "intra bytes={bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_node_uses_shm_on_host_path() {
+        let m = host_ib();
+        assert!(m.ptp_seconds(3, 3, 4096) < m.ptp_seconds(3, 4, 4096));
+        assert_eq!(m.intra, crate::fabric::shm_transport());
+    }
+
+    #[test]
+    fn topology_taper_applies_across_leaves() {
+        let m = NetworkModel::compose(
+            InterconnectKind::OmniPath100,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::mn4_fat_tree(),
+        );
+        let big = 10 << 20;
+        let in_leaf = m.ptp_seconds(0, 47, big);
+        let cross = m.ptp_seconds(0, 48, big);
+        assert!(cross > in_leaf, "cross={cross} in_leaf={in_leaf}");
+    }
+
+    #[test]
+    fn transport_between_picks_correctly() {
+        let m = host_ib();
+        assert_eq!(*m.transport_between(2, 2), m.intra);
+        assert_eq!(*m.transport_between(2, 3), m.inter);
+    }
+}

@@ -1,0 +1,161 @@
+//! Network topology: how inter-node distance and global traffic shape
+//! effective latency and bandwidth.
+//!
+//! HarborSim keeps topology coarse — the study's effects are transport-stack
+//! effects, not routing effects — but a fat tree's per-hop latency and its
+//! tapered global bandwidth do influence the 256-node scalability curve, so
+//! both are modelled.
+
+use serde::{Deserialize, Serialize};
+
+/// A topology model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Single switch: every node pair is one hop apart, full bisection.
+    SingleSwitch {
+        /// Per-switch-traversal latency in seconds.
+        hop_latency_s: f64,
+    },
+    /// A `levels`-deep fat tree with `radix`-port switches and a global
+    /// bandwidth taper (1.0 = full bisection, 0.5 = 2:1 oversubscribed).
+    FatTree {
+        /// Downlinks per edge switch (nodes per leaf).
+        nodes_per_leaf: u32,
+        /// Per-switch-traversal latency in seconds.
+        hop_latency_s: f64,
+        /// Fraction of injection bandwidth available for traffic that must
+        /// cross the spine (1.0 = non-blocking).
+        taper: f64,
+    },
+}
+
+impl Topology {
+    /// A small cluster's single managed switch (Lenox, ThunderX).
+    pub fn small_cluster() -> Topology {
+        Topology::SingleSwitch {
+            hop_latency_s: 0.4e-6,
+        }
+    }
+
+    /// MareNostrum4-like Omni-Path fat tree (48-node leaves, non-blocking
+    /// within a rack pair, tapered above).
+    pub fn mn4_fat_tree() -> Topology {
+        Topology::FatTree {
+            nodes_per_leaf: 48,
+            hop_latency_s: 0.15e-6,
+            taper: 0.8,
+        }
+    }
+
+    /// CTE-POWER-like EDR fat tree (small machine, effectively one level).
+    pub fn cte_fat_tree() -> Topology {
+        Topology::FatTree {
+            nodes_per_leaf: 26,
+            hop_latency_s: 0.12e-6,
+            taper: 1.0,
+        }
+    }
+
+    /// Number of switch traversals between two nodes.
+    pub fn hops(&self, node_a: u32, node_b: u32) -> u32 {
+        if node_a == node_b {
+            return 0;
+        }
+        match self {
+            Topology::SingleSwitch { .. } => 1,
+            Topology::FatTree { nodes_per_leaf, .. } => {
+                if node_a / nodes_per_leaf == node_b / nodes_per_leaf {
+                    1 // same leaf switch
+                } else {
+                    3 // leaf -> spine -> leaf
+                }
+            }
+        }
+    }
+
+    /// Extra latency for the path between two nodes, seconds.
+    pub fn path_latency_s(&self, node_a: u32, node_b: u32) -> f64 {
+        let h = self.hops(node_a, node_b) as f64;
+        match self {
+            Topology::SingleSwitch { hop_latency_s } => h * hop_latency_s,
+            Topology::FatTree { hop_latency_s, .. } => h * hop_latency_s,
+        }
+    }
+
+    /// Bandwidth de-rating for traffic between two nodes (1.0 within a leaf,
+    /// the taper across the spine).
+    pub fn bandwidth_factor(&self, node_a: u32, node_b: u32) -> f64 {
+        match self {
+            Topology::SingleSwitch { .. } => 1.0,
+            Topology::FatTree {
+                nodes_per_leaf,
+                taper,
+                ..
+            } => {
+                if node_a == node_b || node_a / nodes_per_leaf == node_b / nodes_per_leaf {
+                    1.0
+                } else {
+                    *taper
+                }
+            }
+        }
+    }
+
+    /// Worst-case bandwidth factor across any pair among the first `nodes`
+    /// nodes — the factor a bulk-synchronous model should apply to global
+    /// exchange phases.
+    pub fn global_bandwidth_factor(&self, nodes: u32) -> f64 {
+        match self {
+            Topology::SingleSwitch { .. } => 1.0,
+            Topology::FatTree {
+                nodes_per_leaf,
+                taper,
+                ..
+            } => {
+                if nodes <= *nodes_per_leaf {
+                    1.0
+                } else {
+                    *taper
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_is_free() {
+        let t = Topology::mn4_fat_tree();
+        assert_eq!(t.hops(5, 5), 0);
+        assert_eq!(t.path_latency_s(5, 5), 0.0);
+        assert_eq!(t.bandwidth_factor(5, 5), 1.0);
+    }
+
+    #[test]
+    fn single_switch_is_one_hop() {
+        let t = Topology::small_cluster();
+        assert_eq!(t.hops(0, 3), 1);
+        assert!(t.path_latency_s(0, 3) > 0.0);
+        assert_eq!(t.bandwidth_factor(0, 3), 1.0);
+    }
+
+    #[test]
+    fn fat_tree_leaf_locality() {
+        let t = Topology::mn4_fat_tree();
+        assert_eq!(t.hops(0, 47), 1, "same 48-node leaf");
+        assert_eq!(t.hops(0, 48), 3, "crosses the spine");
+        assert!(t.path_latency_s(0, 48) > t.path_latency_s(0, 47));
+        assert_eq!(t.bandwidth_factor(0, 47), 1.0);
+        assert!((t.bandwidth_factor(0, 48) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_factor_by_job_size() {
+        let t = Topology::mn4_fat_tree();
+        assert_eq!(t.global_bandwidth_factor(32), 1.0, "fits one leaf");
+        assert!((t.global_bandwidth_factor(256) - 0.8).abs() < 1e-12);
+    }
+}

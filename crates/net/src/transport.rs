@@ -1,0 +1,147 @@
+//! LogGP-style transport parameters and point-to-point timing.
+//!
+//! A transport is described by four numbers plus the eager/rendezvous
+//! threshold of the MPI protocol running over it:
+//!
+//! - `latency_s` — one-way wire + stack traversal latency (LogGP's *L*),
+//! - `overhead_s` — per-message CPU cost at each endpoint (LogGP's *o*),
+//! - `bandwidth_bps` — sustained streaming bandwidth (1/*G*),
+//! - `eager_threshold` — messages larger than this use the rendezvous
+//!   protocol, paying an extra request/acknowledge round-trip before data
+//!   can flow.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one transport stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportParams {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Per-message send/receive CPU overhead in seconds (each side).
+    pub overhead_s: f64,
+    /// Effective streaming bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Messages above this many bytes use the rendezvous protocol.
+    pub eager_threshold: u64,
+}
+
+impl TransportParams {
+    /// Construct with explicit values, validating positivity.
+    pub fn new(latency_s: f64, overhead_s: f64, bandwidth_bps: f64, eager_threshold: u64) -> Self {
+        assert!(latency_s >= 0.0 && overhead_s >= 0.0);
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        TransportParams {
+            latency_s,
+            overhead_s,
+            bandwidth_bps,
+            eager_threshold,
+        }
+    }
+
+    /// End-to-end time for one point-to-point message of `bytes`, assuming a
+    /// ready receiver and an uncontended path.
+    ///
+    /// Eager: `2o + L + bytes/BW`. Rendezvous adds a request/ack handshake:
+    /// one extra round-trip (`2(L + 2o)`) before the payload moves.
+    pub fn ptp_seconds(&self, bytes: u64) -> f64 {
+        let serialization = bytes as f64 / self.bandwidth_bps;
+        let base = 2.0 * self.overhead_s + self.latency_s + serialization;
+        if bytes > self.eager_threshold {
+            base + 2.0 * (self.latency_s + 2.0 * self.overhead_s)
+        } else {
+            base
+        }
+    }
+
+    /// Time for the payload only (no latency/overhead) — used when a message
+    /// is pipelined behind others on the same NIC.
+    pub fn serialization_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Latency + per-message costs only (the α term of the α-β model).
+    pub fn alpha_seconds(&self, bytes: u64) -> f64 {
+        self.ptp_seconds(bytes) - self.serialization_seconds(bytes)
+    }
+
+    /// A transport with an extra per-message overhead and a bandwidth
+    /// de-rating factor applied — how container data paths wrap a base
+    /// transport.
+    pub fn with_per_message_tax(&self, extra_overhead_s: f64, bandwidth_factor: f64) -> Self {
+        assert!(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
+        TransportParams {
+            latency_s: self.latency_s,
+            overhead_s: self.overhead_s + extra_overhead_s,
+            bandwidth_bps: self.bandwidth_bps * bandwidth_factor,
+            eager_threshold: self.eager_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_1gbe() -> TransportParams {
+        TransportParams::new(50e-6, 10e-6, 117e6, 32 * 1024)
+    }
+
+    #[test]
+    fn zero_byte_message_costs_alpha() {
+        let t = tcp_1gbe();
+        let dt = t.ptp_seconds(0);
+        assert!((dt - (50e-6 + 20e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_messages_dominated_by_bandwidth() {
+        let t = tcp_1gbe();
+        let dt = t.ptp_seconds(117_000_000); // 1 second of wire time
+        assert!(dt > 1.0 && dt < 1.001);
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_above_threshold() {
+        let t = tcp_1gbe();
+        let below = t.ptp_seconds(32 * 1024);
+        let above = t.ptp_seconds(32 * 1024 + 1);
+        // the extra round-trip is 2*(L + 2o) = 2*(50+20)us = 140us
+        let jump = above - below;
+        // (plus one byte of serialization, ~8.5 ns on 1GbE)
+        assert!((jump - 140e-6).abs() < 1e-7, "jump={jump}");
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let t = tcp_1gbe();
+        let mut prev = 0.0;
+        for bytes in [0u64, 1, 100, 10_000, 32_768, 32_769, 1 << 20, 1 << 24] {
+            let dt = t.ptp_seconds(bytes);
+            assert!(dt >= prev, "bytes={bytes}");
+            prev = dt;
+        }
+    }
+
+    #[test]
+    fn per_message_tax_composition() {
+        let base = tcp_1gbe();
+        let taxed = base.with_per_message_tax(30e-6, 0.5);
+        assert!((taxed.overhead_s - 40e-6).abs() < 1e-12);
+        assert!((taxed.bandwidth_bps - 58.5e6).abs() < 1.0);
+        assert_eq!(taxed.eager_threshold, base.eager_threshold);
+        // the tax strictly slows every message
+        for bytes in [0u64, 1024, 1 << 20] {
+            assert!(taxed.ptp_seconds(bytes) > base.ptp_seconds(bytes));
+        }
+    }
+
+    #[test]
+    fn alpha_beta_split_adds_up() {
+        let t = tcp_1gbe();
+        for bytes in [0u64, 512, 100_000] {
+            let total = t.ptp_seconds(bytes);
+            let split = t.alpha_seconds(bytes) + t.serialization_seconds(bytes);
+            assert!((total - split).abs() < 1e-15);
+        }
+    }
+}

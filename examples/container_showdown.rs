@@ -1,0 +1,49 @@
+//! Container showdown: a quick rendition of the paper's Figure 1 — four
+//! execution technologies across rank×thread balances on the Lenox model —
+//! printed as an ASCII chart and table.
+//!
+//! ```sh
+//! cargo run --release --example container_showdown
+//! ```
+
+use harborsim::study::experiments::fig1;
+use harborsim::study::report::TableData;
+
+fn main() {
+    println!("Reproducing Fig. 1 (artery CFD on Lenox, 112 cores)...\n");
+    let fig = fig1::run(&[1, 2, 3]);
+
+    // table form
+    let mut rows = Vec::new();
+    for &(ranks, threads) in &fig1::CONFIGS {
+        let mut row = vec![format!("{ranks} x {threads}")];
+        for s in &fig.series {
+            let t = s.y_at(ranks as f64).unwrap_or(f64::NAN);
+            row.push(format!("{t:.1} s"));
+        }
+        rows.push(row);
+    }
+    let table = TableData {
+        id: "fig1-table".into(),
+        title: fig.title.clone(),
+        headers: std::iter::once("ranks x threads".to_string())
+            .chain(fig.series.iter().map(|s| s.label.clone()))
+            .collect(),
+        rows,
+    };
+    println!("{}", table.to_ascii());
+    println!("{}", fig.to_ascii(72, 20));
+
+    let report = fig1::check_shape(&fig);
+    if report.is_empty() {
+        println!("Shape check: all of the paper's qualitative claims hold.");
+        println!(" - Singularity and Shifter track bare-metal at every configuration");
+        println!(" - Docker's relative cost grows with MPI rank count");
+    } else {
+        println!("Shape check FAILED:");
+        for r in report {
+            println!(" - {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Custom cluster: HarborSim as a *what-if* tool — define your own machine,
+//! then ask which fabric and which container strategy your workload needs.
+//!
+//! Here: a hypothetical 64-node EPYC-class cluster; we sweep the fabric
+//! from 1GbE to InfiniBand EDR and compare container strategies on each.
+//!
+//! ```sh
+//! cargo run --release --example custom_cluster
+//! ```
+
+use harborsim::hw::{ClusterSpec, CpuArch, CpuModel, InterconnectKind, NodeSpec, SoftwareStack, StorageSpec};
+use harborsim::study::report::fmt_seconds;
+use harborsim::study::scenario::{Execution, Scenario};
+use harborsim::study::workloads;
+
+fn my_cluster(fabric: InterconnectKind) -> ClusterSpec {
+    let cpu = CpuModel {
+        name: "Hypothetical EPYC 7452".into(),
+        arch: CpuArch::X86_64,
+        uarch: "Zen2".into(),
+        clock_ghz: 2.35,
+        cores_per_socket: 32,
+        cg_gflops_per_core: 2.4,
+        mem_bw_gbs_per_socket: 170.0,
+        isa_level: 3,
+    };
+    ClusterSpec {
+        name: format!("what-if ({fabric})"),
+        node_count: 64,
+        node: NodeSpec::dual_socket(cpu, 256),
+        interconnect: fabric,
+        shared_storage: StorageSpec::gpfs(),
+        local_storage: Some(StorageSpec::local_scratch()),
+        software: SoftwareStack::singularity_only("2.6.0"),
+    }
+}
+
+fn main() {
+    let case = workloads::artery_cfd_cte();
+    println!("Workload: {} on 16 nodes x 64 ranks\n", harborsim::alya::workload::AlyaCase::name(&case));
+    println!(
+        "{:<22} {:>14} {:>18} {:>18} {:>8}",
+        "Fabric", "bare-metal", "system-specific", "self-contained", "penalty"
+    );
+    for fabric in [
+        InterconnectKind::GigabitEthernet,
+        InterconnectKind::FortyGigEthernet,
+        InterconnectKind::InfinibandEdr,
+        InterconnectKind::OmniPath100,
+    ] {
+        let run = |env: Execution| {
+            Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
+                .execution(env)
+                .nodes(16)
+                .ranks_per_node(64)
+                .run(7)
+                .elapsed
+                .as_secs_f64()
+        };
+        let bare = run(Execution::bare_metal());
+        let ss = run(Execution::singularity_system_specific());
+        let sc = run(Execution::singularity_self_contained());
+        println!(
+            "{:<22} {:>14} {:>18} {:>18} {:>7.2}x",
+            fabric.to_string(),
+            fmt_seconds(bare),
+            fmt_seconds(ss),
+            fmt_seconds(sc),
+            sc / bare
+        );
+    }
+    println!(
+        "\nReading: on plain Ethernet a portable (self-contained) image costs\n\
+         nothing — the native transport *is* TCP. On kernel-bypass fabrics the\n\
+         same image falls back to IP emulation; bind the host MPI stack\n\
+         (system-specific) to recover bare-metal speed, at the price of\n\
+         portability. This is the paper's conclusion, as a decision table."
+    );
+}

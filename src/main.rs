@@ -1,0 +1,242 @@
+//! The `harborsim` command-line interface.
+//!
+//! ```text
+//! harborsim list                          # clusters, workloads, runtimes
+//! harborsim run --cluster cte-power --workload cfd-cte \
+//!               --runtime singularity --containment self-contained \
+//!               --nodes 8 --rpn 40 [--threads 1] [--seed 42] [--deploy] [--des]
+//! harborsim reproduce [fig1|fig2|fig3|tables|ext-io|all]
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no CLI dependency): the
+//! interface is small and stable.
+
+use harborsim::container::Containment;
+use harborsim::container::RuntimeKind;
+use harborsim::hw::presets;
+use harborsim::hw::ClusterSpec;
+use harborsim::study::experiments::{ext_io, fig1, fig2, fig3, tables};
+use harborsim::study::report::fmt_seconds;
+use harborsim::study::scenario::{EngineKind, Execution, Scenario};
+use harborsim::study::workloads;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  harborsim list\n  harborsim run --cluster <name> --workload <name> \
+         [--runtime <bare|docker|singularity|shifter>] [--containment <self-contained|system-specific>] \
+         [--nodes N] [--rpn N] [--threads N] [--seed N] [--deploy] [--des]\n  \
+         harborsim reproduce [fig1|fig2|fig3|tables|ext-io|all]"
+    );
+    exit(2);
+}
+
+fn cluster_by_name(name: &str) -> Option<ClusterSpec> {
+    match name {
+        "lenox" => Some(presets::lenox()),
+        "marenostrum4" | "mn4" => Some(presets::marenostrum4()),
+        "cte-power" | "cte" => Some(presets::cte_power()),
+        "thunderx" => Some(presets::thunderx()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("reproduce") => reproduce(args.get(1).map(String::as_str).unwrap_or("all")),
+        _ => usage(),
+    }
+}
+
+fn list() {
+    println!("clusters:");
+    for c in presets::all() {
+        println!(
+            "  {:<14} {:>4} nodes x {:>2} cores  {:<16} [{}{}{}]",
+            c.name.to_lowercase(),
+            c.node_count,
+            c.node.cores(),
+            c.interconnect.to_string(),
+            if c.software.docker.is_some() { "docker " } else { "" },
+            if c.software.singularity.is_some() { "singularity " } else { "" },
+            if c.software.shifter.is_some() { "shifter" } else { "" },
+        );
+    }
+    println!("\nworkloads:");
+    println!("  cfd-small   tiny artery CFD case (tests/demos)");
+    println!("  cfd-lenox   the Fig. 1 CFD case");
+    println!("  cfd-cte     the Fig. 2 CFD case");
+    println!("  fsi-small   tiny coupled FSI case");
+    println!("  fsi-mn4     the Fig. 3 FSI case (12,288 cores at full scale)");
+    println!("\nruntimes: bare, docker, singularity, shifter");
+    println!("containment: self-contained, system-specific");
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(), // boolean flag
+        };
+        out.insert(key.to_string(), value);
+    }
+    out
+}
+
+fn run(args: &[String]) {
+    let flags = parse_flags(args);
+    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.to_string());
+
+    let cluster_name = get("cluster", "marenostrum4");
+    let Some(cluster) = cluster_by_name(&cluster_name) else {
+        eprintln!("unknown cluster {cluster_name:?} (try `harborsim list`)");
+        exit(2);
+    };
+    let runtime = match get("runtime", "singularity").as_str() {
+        "bare" | "bare-metal" => RuntimeKind::BareMetal,
+        "docker" => RuntimeKind::Docker,
+        "singularity" => RuntimeKind::Singularity,
+        "shifter" => RuntimeKind::Shifter,
+        other => {
+            eprintln!("unknown runtime {other:?}");
+            exit(2);
+        }
+    };
+    let containment = match get("containment", "system-specific").as_str() {
+        "self-contained" | "self" => Containment::SelfContained,
+        "system-specific" | "system" => Containment::SystemSpecific,
+        other => {
+            eprintln!("unknown containment {other:?}");
+            exit(2);
+        }
+    };
+    let nodes: u32 = get("nodes", "2").parse().unwrap_or_else(|_| usage());
+    let rpn: u32 = get("rpn", &cluster.node.cores().to_string())
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let threads: u32 = get("threads", "1").parse().unwrap_or_else(|_| usage());
+    let seed: u64 = get("seed", "42").parse().unwrap_or_else(|_| usage());
+
+    let mut scenario = match get("workload", "cfd-small").as_str() {
+        "cfd-small" => Scenario::new(cluster, workloads::artery_cfd_small()),
+        "cfd-lenox" => Scenario::new(cluster, workloads::artery_cfd_lenox()),
+        "cfd-cte" => Scenario::new(cluster, workloads::artery_cfd_cte()),
+        "fsi-small" => Scenario::new(cluster, workloads::artery_fsi_small()),
+        "fsi-mn4" => Scenario::new(cluster, workloads::artery_fsi_mn4()),
+        other => {
+            eprintln!("unknown workload {other:?} (try `harborsim list`)");
+            exit(2);
+        }
+    };
+    scenario = scenario
+        .execution(Execution { runtime, containment })
+        .nodes(nodes)
+        .ranks_per_node(rpn)
+        .threads_per_rank(threads);
+    if flags.contains_key("des") {
+        scenario = scenario.engine(EngineKind::Des {
+            max_steps_per_kind: 5,
+        });
+    }
+    if flags.contains_key("deploy") {
+        scenario = scenario.with_deployment();
+    }
+
+    match scenario.try_run(seed) {
+        Err(e) => {
+            eprintln!("scenario rejected: {e}");
+            exit(1);
+        }
+        Ok(outcome) => {
+            println!(
+                "{} | {} nodes x {} ranks x {} threads | engine={}",
+                scenario.env.label(),
+                nodes,
+                rpn,
+                threads,
+                outcome.result.engine
+            );
+            if let Some(dep) = &outcome.deployment {
+                println!(
+                    "deployment: {} (gateway {}, {} pulled)",
+                    fmt_seconds(dep.makespan.as_secs_f64()),
+                    fmt_seconds(dep.gateway_seconds),
+                    harborsim::study::report::fmt_bytes(dep.bytes_pulled)
+                );
+            }
+            println!(
+                "elapsed: {}  (compute {}, halo {}, allreduce {}, coupling {}, other {})",
+                outcome.elapsed,
+                outcome.result.compute,
+                outcome.result.comm.halo,
+                outcome.result.comm.allreduce,
+                outcome.result.comm.pairs,
+                outcome.result.comm.other,
+            );
+            println!(
+                "traffic: {} inter-node msgs, {} intra-node msgs, {} over the fabric",
+                outcome.result.inter_node_msgs,
+                outcome.result.intra_node_msgs,
+                harborsim::study::report::fmt_bytes(outcome.result.inter_node_bytes)
+            );
+        }
+    }
+}
+
+fn reproduce(which: &str) {
+    let seeds = harborsim::study::runner::default_seeds();
+    let mut failures = Vec::new();
+    let want = |name: &str| which == name || which == "all";
+    let check = |name: &str, violations: Vec<String>, failures: &mut Vec<String>| {
+        if violations.is_empty() {
+            println!("[ok] {name}");
+        } else {
+            for v in &violations {
+                println!("[!!] {name}: {v}");
+            }
+            failures.push(name.to_string());
+        }
+    };
+    if want("fig1") {
+        let f = fig1::run(&seeds);
+        println!("{}", f.to_ascii(72, 18));
+        check("fig1", fig1::check_shape(&f), &mut failures);
+    }
+    if want("fig2") {
+        let f = fig2::run(&seeds);
+        println!("{}", f.to_ascii(72, 18));
+        check("fig2", fig2::check_shape(&f), &mut failures);
+    }
+    if want("fig3") {
+        let f = fig3::run(&seeds);
+        println!("{}", f.to_ascii(72, 18));
+        check("fig3", fig3::check_shape(&f), &mut failures);
+    }
+    if want("tables") {
+        let d = tables::deployment(&seeds);
+        println!("{}", d.to_ascii());
+        check("table-deployment", tables::check_deployment_shape(&d), &mut failures);
+        let p = tables::portability(&seeds);
+        println!("{}", p.to_ascii());
+        check("table-portability", tables::check_portability_shape(&p), &mut failures);
+    }
+    if want("ext-io") {
+        let f = ext_io::run();
+        println!("{}", f.to_ascii(72, 18));
+        check("ext-io", ext_io::check_shape(&f), &mut failures);
+    }
+    if !failures.is_empty() {
+        eprintln!("shape checks failed: {failures:?}");
+        exit(1);
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests: recipe → image → registry → deployment →
+//! containerized run, on each of the paper's machines.
+
+use harborsim::container::build::{alya_recipe, BuildEngine};
+use harborsim::container::{Containment, Registry, RuntimeKind};
+use harborsim::hw::presets;
+use harborsim::study::scenario::{Execution, Scenario};
+use harborsim::study::workloads;
+use std::collections::HashSet;
+
+#[test]
+fn full_pipeline_on_lenox() {
+    let cluster = presets::lenox();
+    // build and push
+    let build = BuildEngine::self_contained(cluster.node.cpu.clone())
+        .build(&alya_recipe())
+        .expect("builds");
+    let mut registry = Registry::new();
+    registry.push("alya-artery:v1", &build.manifest);
+    assert!(registry.manifest("alya-artery:v1").is_ok());
+    // pull plan from a cold node
+    let plan = registry
+        .plan_pull("alya-artery:v1", &HashSet::new())
+        .expect("plan");
+    assert!(plan.bytes() > 100_000_000);
+
+    // deploy + run under every technology Lenox offers
+    for env in [
+        Execution::bare_metal(),
+        Execution::docker(),
+        Execution::singularity_self_contained(),
+        Execution::shifter(),
+    ] {
+        let outcome = Scenario::new(cluster.clone(), workloads::artery_cfd_small())
+            .execution(env)
+            .nodes(4)
+            .ranks_per_node(28)
+            .with_deployment()
+            .run(9);
+        assert!(outcome.elapsed.as_secs_f64() > 0.0, "{}", env.label());
+        let dep = outcome.deployment.expect("deployment");
+        assert!(
+            dep.makespan.as_secs_f64() > 0.0,
+            "{} deployment",
+            env.label()
+        );
+    }
+}
+
+#[test]
+fn bare_metal_is_fastest_execution_on_lenox() {
+    let run = |env: Execution| {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(env)
+            .nodes(4)
+            .ranks_per_node(28)
+            .run(4)
+            .elapsed
+            .as_secs_f64()
+    };
+    let bare = run(Execution::bare_metal());
+    for env in [
+        Execution::docker(),
+        Execution::singularity_self_contained(),
+        Execution::shifter(),
+    ] {
+        assert!(
+            run(env) >= bare * 0.999,
+            "{} should not beat bare metal",
+            env.label()
+        );
+    }
+}
+
+#[test]
+fn hpc_containers_beat_docker_at_scale_in_mpi() {
+    let run = |env: Execution| {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_lenox())
+            .execution(env)
+            .nodes(4)
+            .ranks_per_node(28)
+            .run(4)
+            .elapsed
+            .as_secs_f64()
+    };
+    let sing = run(Execution::singularity_self_contained());
+    let shift = run(Execution::shifter());
+    let dock = run(Execution::docker());
+    assert!(dock > 1.3 * sing, "docker {dock} vs singularity {sing}");
+    assert!(dock > 1.3 * shift, "docker {dock} vs shifter {shift}");
+}
+
+#[test]
+fn every_cluster_runs_its_installed_stack() {
+    for cluster in presets::all() {
+        for runtime in [
+            RuntimeKind::BareMetal,
+            RuntimeKind::Docker,
+            RuntimeKind::Singularity,
+            RuntimeKind::Shifter,
+        ] {
+            let env = Execution {
+                runtime,
+                containment: Containment::SelfContained,
+            };
+            let available = runtime.available_on(&cluster.software);
+            let rpn = cluster.node.cores().min(16);
+            let result = Scenario::new(cluster.clone(), workloads::artery_cfd_small())
+                .execution(env)
+                .nodes(2)
+                .ranks_per_node(rpn)
+                .try_run(1);
+            assert_eq!(
+                result.is_ok(),
+                available,
+                "{} on {}",
+                runtime.label(),
+                cluster.name
+            );
+        }
+    }
+}
+
+#[test]
+fn system_specific_image_smaller_but_host_bound() {
+    let mn4 = presets::marenostrum4();
+    let sc = BuildEngine::self_contained(mn4.node.cpu.clone())
+        .build(&alya_recipe())
+        .unwrap()
+        .manifest;
+    let ss = BuildEngine::system_specific(mn4.node.cpu.clone(), mn4.interconnect)
+        .build(&alya_recipe())
+        .unwrap()
+        .manifest;
+    assert!(ss.uncompressed_bytes() < sc.uncompressed_bytes());
+    assert!(sc.required_host_libs.is_empty());
+    assert!(ss.required_host_libs.iter().any(|l| l == "libpsm2"));
+}
+
+#[test]
+fn fsi_needs_more_comm_than_cfd() {
+    // the coupled case adds interface traffic and extra reductions
+    let run = |fsi: bool| {
+        let sc = if fsi {
+            Scenario::new(presets::marenostrum4(), workloads::artery_fsi_small())
+        } else {
+            Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+        };
+        sc.execution(Execution::singularity_system_specific())
+            .nodes(2)
+            .ranks_per_node(48)
+            .run(2)
+            .result
+    };
+    let cfd = run(false);
+    let fsi = run(true);
+    assert!(fsi.inter_node_msgs > cfd.inter_node_msgs);
+}

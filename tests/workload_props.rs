@@ -1,0 +1,129 @@
+//! Property-based tests over the workload IR and the performance models.
+
+use harborsim::alya::workload::{AlyaCase, ArteryCfd};
+use harborsim::hw::presets;
+use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim::mpi::workload::{factor3, grid_coords, grid_neighbors, JobProfile, StepProfile};
+use harborsim::mpi::RankMap;
+use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn factor3_always_covers(p in 1u32..20_000) {
+        let (a, b, c) = factor3(p);
+        prop_assert_eq!(a as u64 * b as u64 * c as u64, p as u64);
+        prop_assert!(a >= b && b >= c);
+    }
+
+    #[test]
+    fn grid_neighbors_are_symmetric(p in 2u32..600) {
+        let dims = factor3(p);
+        for r in 0..p {
+            for nb in grid_neighbors(r, dims) {
+                prop_assert!(nb < p);
+                prop_assert!(grid_neighbors(nb, dims).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_coords_bijective(p in 1u32..2_000) {
+        let dims = factor3(p);
+        let mut seen = vec![false; p as usize];
+        for r in 0..p {
+            let (x, y, z) = grid_coords(r, dims);
+            prop_assert!(x < dims.0 && y < dims.1 && z < dims.2);
+            let back = x + dims.0 * (y + dims.1 * z);
+            prop_assert_eq!(back, r);
+            seen[r as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn truncation_preserves_flops(steps in 1u32..2_000, keep in 1u32..50) {
+        let job = JobProfile::uniform(
+            StepProfile::compute_only(1e8, 4.0),
+            steps,
+        );
+        let (short, mult) = job.truncated(keep);
+        let full = job.total_flops(16);
+        let scaled = short.total_flops(16) * mult;
+        prop_assert!((full - scaled).abs() / full < 1e-9);
+    }
+
+    #[test]
+    fn cfd_workload_total_flops_rank_invariant(ranks in 1u32..4_096) {
+        let case = ArteryCfd::small();
+        let f = case.job_profile(ranks).total_flops(ranks);
+        let f1 = case.job_profile(1).total_flops(1);
+        prop_assert!((f - f1).abs() / f1 < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_monotone_in_compute(flops in 1e6f64..1e11) {
+        let engine = engine(2, 8, DataPath::Host, TransportSelection::Native);
+        let t = |f: f64| engine
+            .run(&JobProfile::uniform(StepProfile::compute_only(f, 1.0), 3), 1)
+            .elapsed;
+        prop_assert!(t(flops) < t(flops * 2.0));
+    }
+
+    #[test]
+    fn docker_never_faster_than_host(seed in 0u64..500) {
+        let case = ArteryCfd::small();
+        let job = case.job_profile(16);
+        let host = engine(2, 8, DataPath::Host, TransportSelection::Native)
+            .run(&job, seed).elapsed;
+        let dock = engine(2, 8, DataPath::docker_default_bridge(), TransportSelection::Native)
+            .run(&job, seed).elapsed;
+        prop_assert!(dock >= host);
+    }
+
+    #[test]
+    fn fallback_never_faster_than_native(seed in 0u64..500, nodes in 1u32..16) {
+        let case = ArteryCfd::small();
+        let job = case.job_profile(nodes * 8);
+        let native = ib_engine(nodes, TransportSelection::Native).run(&job, seed).elapsed;
+        let fallback = ib_engine(nodes, TransportSelection::TcpFallback).run(&job, seed).elapsed;
+        prop_assert!(fallback >= native);
+    }
+}
+
+fn engine(
+    nodes: u32,
+    rpn: u32,
+    path: DataPath,
+    selection: TransportSelection,
+) -> AnalyticEngine {
+    let cluster = presets::lenox();
+    AnalyticEngine {
+        node: cluster.node,
+        network: NetworkModel::compose(
+            cluster.interconnect,
+            selection,
+            path,
+            Topology::small_cluster(),
+        ),
+        map: RankMap::block(nodes, rpn, 1),
+        config: EngineConfig::default(),
+    }
+}
+
+fn ib_engine(nodes: u32, selection: TransportSelection) -> AnalyticEngine {
+    let cluster = presets::cte_power();
+    AnalyticEngine {
+        node: cluster.node,
+        network: NetworkModel::compose(
+            cluster.interconnect,
+            selection,
+            DataPath::Host,
+            Topology::cte_fat_tree(),
+        ),
+        map: RankMap::block(nodes, 8, 1),
+        config: EngineConfig::default(),
+    }
+}
