@@ -19,8 +19,7 @@
 //! truth behind [`crate::workload`]'s flop constants.
 
 use crate::mesh::TubeMesh;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use harborsim_par::prelude::*;
 
 /// Flop cost per active interior cell of one momentum evaluation
 /// (3 components × (upwind advection + diffusion + update)).
@@ -34,7 +33,7 @@ pub const FLOPS_CG_ITER: f64 = 27.0;
 pub const FLOPS_CORRECTION: f64 = 18.0;
 
 /// Solver configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CfdConfig {
     /// Kinematic viscosity (grid units).
     pub nu: f64,
@@ -80,7 +79,7 @@ impl CfdConfig {
 }
 
 /// Work counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolverStats {
     /// Time steps taken.
     pub steps: u64,
@@ -161,8 +160,7 @@ impl CfdSolver {
         self.stats.cg_iters += iters as u64;
         let active = self.mesh.active_cells() as f64;
         self.stats.flops += active
-            * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION
-                + FLOPS_CG_ITER * iters as f64);
+            * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION + FLOPS_CG_ITER * iters as f64);
         self.time += self.cfg.dt;
     }
 
@@ -321,7 +319,11 @@ impl CfdSolver {
                     // velocity, the upstream ghost repeats the inlet value
                     let dudx = (get(us, 1, 0, 0, 0.0) - get(us, -1, 0, 0, 0.0)) / 2.0;
                     let dvdy = (get(vs, 0, 1, 0, 0.0) - get(vs, 0, -1, 0, 0.0)) / 2.0;
-                    let wzm = if k == 0 { ws[idx] } else { get(ws, 0, 0, -1, 0.0) };
+                    let wzm = if k == 0 {
+                        ws[idx]
+                    } else {
+                        get(ws, 0, 0, -1, 0.0)
+                    };
                     let dwdz = (get(ws, 0, 0, 1, 0.0) - wzm) / 2.0;
                     self.rhs[idx] = (dudx + dvdy + dwdz) / dt;
                 }
@@ -396,8 +398,8 @@ impl CfdSolver {
         let b: Vec<f64> = self.rhs.iter().map(|x| -x).collect();
         // r = b - A p  (warm start from previous pressure)
         Self::apply_laplacian(&self.mesh, &self.p, &mut self.cg_ap, parallel);
-        for i in 0..b.len() {
-            self.cg_r[i] = b[i] - self.cg_ap[i];
+        for (i, bi) in b.iter().enumerate() {
+            self.cg_r[i] = bi - self.cg_ap[i];
         }
         // mask r to unknowns (p may carry stale outlet values)
         let (nx, ny, nz) = (self.mesh.nx, self.mesh.ny, self.mesh.nz);
@@ -606,7 +608,10 @@ mod tests {
             .map(|(_, w)| *w)
             .sum::<f64>()
             / profile.iter().filter(|(r, _)| *r > 4.0).count().max(1) as f64;
-        assert!(near_wall < 0.6 * centre, "near_wall={near_wall} centre={centre}");
+        assert!(
+            near_wall < 0.6 * centre,
+            "near_wall={near_wall} centre={centre}"
+        );
     }
 
     #[test]
@@ -625,7 +630,7 @@ mod tests {
     }
 
     #[test]
-    fn rayon_matches_serial_bitwise() {
+    fn threaded_matches_serial_bitwise() {
         let mesh = TubeMesh::cylinder(11, 11, 20, 4.0);
         let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
         cfg.parallel = false;
@@ -685,8 +690,9 @@ mod tests {
         let mut s = small_case();
         s.run(5);
         let active = s.mesh.active_cells() as f64;
-        let expected = s.stats.steps as f64 * active * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
-            + s.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
+        let expected =
+            s.stats.steps as f64 * active * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
+                + s.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
         let rel = (s.stats.flops - expected).abs() / expected;
         assert!(rel < 1e-12, "rel={rel}");
     }

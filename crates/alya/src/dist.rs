@@ -78,13 +78,7 @@ fn halo(comm: &mut ThreadComm, slab: &Slab, field: &mut [f64], tag: u32) {
 
 /// Recompute the inflow plane (global 0) and the outflow plane (global
 /// `nz-1 :=` copy of `nz-2`) on every held copy.
-fn fix_boundary_planes(
-    slab: &Slab,
-    u: &mut [f64],
-    v: &mut [f64],
-    w: &mut [f64],
-    inflow_peak: f64,
-) {
+fn fix_boundary_planes(slab: &Slab, u: &mut [f64], v: &mut [f64], w: &mut [f64], inflow_peak: f64) {
     let mesh = slab.mesh;
     let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
     if slab.holds(0) {
@@ -112,21 +106,17 @@ fn fix_boundary_planes(
 }
 
 /// Run the distributed solver on `ranks` threads for `steps` steps.
-pub fn run_distributed(
-    mesh: &TubeMesh,
-    cfg: &CfdConfig,
-    ranks: usize,
-    steps: usize,
-) -> DistResult {
-    assert!(ranks >= 1 && ranks <= mesh.nz / 2, "need >= 2 planes per rank");
+pub fn run_distributed(mesh: &TubeMesh, cfg: &CfdConfig, ranks: usize, steps: usize) -> DistResult {
+    assert!(
+        ranks >= 1 && ranks <= mesh.nz / 2,
+        "need >= 2 planes per rank"
+    );
     assert!(
         cfg.pulsatile.is_none(),
         "the distributed solver supports steady inflow only"
     );
     let slabs = mesh.slab_ranges(ranks);
-    let results = ThreadComm::run(ranks, |comm| {
-        run_rank(comm, mesh, cfg, &slabs, steps)
-    });
+    let results = ThreadComm::run(ranks, |comm| run_rank(comm, mesh, cfg, &slabs, steps));
     // root (index 0) carries the gathered fields
     results.into_iter().next().expect("rank 0 result")
 }
@@ -190,12 +180,9 @@ fn run_rank(
         }
         if slab.holds(0) {
             let lk = slab.local(0);
-            us[lk * plane..(lk + 1) * plane]
-                .copy_from_slice(&u[lk * plane..(lk + 1) * plane]);
-            vs[lk * plane..(lk + 1) * plane]
-                .copy_from_slice(&v[lk * plane..(lk + 1) * plane]);
-            ws[lk * plane..(lk + 1) * plane]
-                .copy_from_slice(&w[lk * plane..(lk + 1) * plane]);
+            us[lk * plane..(lk + 1) * plane].copy_from_slice(&u[lk * plane..(lk + 1) * plane]);
+            vs[lk * plane..(lk + 1) * plane].copy_from_slice(&v[lk * plane..(lk + 1) * plane]);
+            ws[lk * plane..(lk + 1) * plane].copy_from_slice(&w[lk * plane..(lk + 1) * plane]);
         }
         if slab.holds(nz as isize - 1) && slab.holds(nz as isize - 2) {
             let (dst, src) = (slab.local(nz - 1), slab.local(nz - 2));
@@ -470,6 +457,7 @@ fn mask_unknowns(slab: &Slab, x: &mut [f64]) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn correct_local(
     slab: &Slab,
     p: &[f64],

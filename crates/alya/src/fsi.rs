@@ -16,10 +16,9 @@
 
 use crate::pulse1d::{PulseConfig, PulseSolver};
 use crate::wall::{WallConfig, WallSolver};
-use serde::{Deserialize, Serialize};
 
 /// Coupling parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsiConfig {
     /// Under-relaxation factor ω ∈ (0, 1].
     pub relaxation: f64,
@@ -40,7 +39,7 @@ impl Default for FsiConfig {
 }
 
 /// Coupling statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FsiStats {
     /// Time steps taken.
     pub steps: u64,
@@ -166,7 +165,7 @@ mod tests {
         fsi.run(200);
         assert_eq!(fsi.stats.non_converged, 0, "no step may hit the cap");
         let mean = fsi.mean_subiters();
-        assert!(mean >= 1.0 && mean < 25.0, "mean subiters {mean}");
+        assert!((1.0..25.0).contains(&mean), "mean subiters {mean}");
     }
 
     #[test]
@@ -198,13 +197,7 @@ mod tests {
         let mut soft = CoupledFsi::new(cfg.clone(), 200.0, FsiConfig::default(), short_blip);
         stiff.run(steps);
         soft.run(steps);
-        let peak = |s: &CoupledFsi| {
-            s.fluid
-                .a
-                .iter()
-                .cloned()
-                .fold(f64::MIN, f64::max)
-        };
+        let peak = |s: &CoupledFsi| s.fluid.a.iter().cloned().fold(f64::MIN, f64::max);
         let (ps, pf) = (peak(&stiff), peak(&soft));
         assert!(
             pf - cfg.a0 < ps - cfg.a0,

@@ -97,7 +97,7 @@ fn fluid_rank(
     let nloc = s1 - s0;
     let n = cfg.n;
     let partner = pairs + rank; // my solid code instance
-    // local stations + one ghost each side: local index i ↔ station s0-1+i
+                                // local stations + one ghost each side: local index i ↔ station s0-1+i
     let mut a = vec![cfg.a0; nloc + 2];
     let mut q = vec![0.0; nloc + 2];
     let mut time = 0.0;
@@ -201,7 +201,11 @@ fn fluid_rank(
     }
 
     // gather the full fields at rank 0
-    let own: Vec<f64> = a[1..=nloc].iter().chain(q[1..=nloc].iter()).copied().collect();
+    let own: Vec<f64> = a[1..=nloc]
+        .iter()
+        .chain(q[1..=nloc].iter())
+        .copied()
+        .collect();
     let gathered = comm.gather(&own);
     if let Some(all) = gathered {
         let mut full_a = Vec::with_capacity(n);
@@ -307,8 +311,7 @@ mod tests {
         let mut serial = CoupledFsi::new(cfg.clone(), eta, coupling.clone(), cardiac_inflow);
         serial.run(steps);
         for pairs in [1usize, 2, 3, 4] {
-            let dist =
-                run_coupled_distributed(&cfg, eta, &coupling, cardiac_inflow, pairs, steps);
+            let dist = run_coupled_distributed(&cfg, eta, &coupling, cardiac_inflow, pairs, steps);
             let da = rel_l2(&serial.fluid.a, &dist.a);
             let dq = rel_l2(&serial.fluid.q, &dist.q);
             let dw = rel_l2(&serial.solid.a, &dist.wall_a);
@@ -332,14 +335,8 @@ mod tests {
     #[test]
     fn two_codes_still_converge_with_stiff_wall() {
         let cfg = PulseConfig::artery(64);
-        let dist = run_coupled_distributed(
-            &cfg,
-            1e-3,
-            &FsiConfig::default(),
-            cardiac_inflow,
-            4,
-            30,
-        );
+        let dist =
+            run_coupled_distributed(&cfg, 1e-3, &FsiConfig::default(), cardiac_inflow, 4, 30);
         assert!(dist.a.iter().all(|x| x.is_finite() && *x > 0.0));
         assert_eq!(dist.a.len(), 64);
         assert_eq!(dist.wall_a.len(), 64);

@@ -1,0 +1,101 @@
+//! A process-wide memo cache for [`AlyaCase::job_profile`].
+//!
+//! Building a [`JobProfile`] is cheap for one scenario, but the sweep
+//! layer compiles the same case at the same rank count once per execution
+//! environment and once per seed batch — at Fig. 3 scale that repeats an
+//! identical profile construction hundreds of times. Cases that implement
+//! [`AlyaCase::memo_key`] get their profiles cached here, keyed by
+//! `(case parameters, ranks)`.
+//!
+//! The cache is value-based and append-only: a key must encode *every*
+//! parameter that influences the profile (the built-in cases serialize all
+//! their fields, floats by bit pattern), so a hit is always semantically
+//! identical to a rebuild. Lookups never hold the lock while a profile is
+//! being built; a lost race costs one redundant build, not a deadlock.
+
+use crate::workload::AlyaCase;
+use harborsim_mpi::workload::JobProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+type Cache = Mutex<HashMap<(String, u32), JobProfile>>;
+
+static CACHE: OnceLock<Cache> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Cache {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The job profile of `case` at `ranks`, served from the process-wide
+/// cache when the case opts in via [`AlyaCase::memo_key`].
+pub fn job_profile_cached(case: &dyn AlyaCase, ranks: u32) -> JobProfile {
+    let Some(key) = case.memo_key() else {
+        return case.job_profile(ranks);
+    };
+    let key = (key, ranks);
+    if let Some(hit) = cache().lock().unwrap().get(&key).cloned() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let profile = case.job_profile(ranks);
+    cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| profile.clone());
+    profile
+}
+
+/// `(hits, misses)` counters of the profile cache, process-wide.
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArteryCfd, ArteryFsi};
+
+    #[test]
+    fn cached_profile_identical_to_direct() {
+        let case = ArteryCfd::small();
+        assert_eq!(job_profile_cached(&case, 12), case.job_profile(12));
+        let fsi = ArteryFsi::small();
+        assert_eq!(job_profile_cached(&fsi, 24), fsi.job_profile(24));
+    }
+
+    #[test]
+    fn repeat_lookup_hits() {
+        let case = ArteryCfd {
+            label: "memo-probe".into(),
+            active_cells: 7.5e5,
+            timesteps: 11,
+            cg_iters: 9,
+        };
+        let _ = job_profile_cached(&case, 96);
+        let (h0, _) = cache_stats();
+        let again = job_profile_cached(&case, 96);
+        let (h1, _) = cache_stats();
+        assert!(h1 > h0, "second lookup must hit the cache");
+        assert_eq!(again, case.job_profile(96));
+    }
+
+    #[test]
+    fn parameter_change_changes_key() {
+        let a = ArteryCfd {
+            label: "memo-collide".into(),
+            active_cells: 1.0e5,
+            timesteps: 4,
+            cg_iters: 10,
+        };
+        let mut b = a.clone();
+        b.cg_iters = 20;
+        assert_ne!(a.memo_key(), b.memo_key());
+        // same label, different params: cache must not cross-serve
+        assert_ne!(job_profile_cached(&a, 8), job_profile_cached(&b, 8));
+    }
+}

@@ -4,10 +4,8 @@
 //! grid units. The tube axis runs along `z`; a cell is *active* (fluid) if
 //! its centre lies within the tube radius.
 
-use serde::{Deserialize, Serialize};
-
 /// A cylinder-masked structured mesh.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TubeMesh {
     /// Cells along x.
     pub nx: usize,
@@ -34,8 +32,7 @@ impl TubeMesh {
     pub fn cylinder(nx: usize, ny: usize, nz: usize, radius_cells: f64) -> TubeMesh {
         assert!(nx >= 3 && ny >= 3 && nz >= 3, "mesh too small for stencils");
         assert!(
-            radius_cells > 1.0
-                && 2.0 * radius_cells <= (nx.min(ny) as f64),
+            radius_cells > 1.0 && 2.0 * radius_cells <= (nx.min(ny) as f64),
             "radius must fit the cross-section"
         );
         let (cx, cy) = (((nx - 1) as f64) / 2.0, ((ny - 1) as f64) / 2.0);

@@ -15,10 +15,8 @@
 //! This is the "fluid sub-domain" code of the FSI pair; the wall-mechanics
 //! code lives in [`crate::wall`].
 
-use serde::{Deserialize, Serialize};
-
 /// Model parameters (CGS-ish units; defaults approximate a large artery).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PulseConfig {
     /// Stations along the vessel.
     pub n: usize,
@@ -68,7 +66,7 @@ impl PulseConfig {
 }
 
 /// Distal (outlet) boundary condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OutletBc {
     /// Zero-order extrapolation (quasi-non-reflective).
     Extrapolate,
@@ -117,10 +115,7 @@ pub fn cardiac_inflow(t: f64) -> f64 {
 /// Flux of the conservative system.
 #[inline]
 fn flux(cfg: &PulseConfig, a: f64, q: f64) -> (f64, f64) {
-    (
-        q,
-        q * q / a + cfg.beta / (3.0 * cfg.rho) * a.powf(1.5),
-    )
+    (q, q * q / a + cfg.beta / (3.0 * cfg.rho) * a.powf(1.5))
 }
 
 impl PulseSolver {
@@ -172,8 +167,7 @@ impl PulseSolver {
             let (fa_l, fq_l) = flux(cfg, ah[i - 1], qh[i - 1]);
             let (fa_r, fq_r) = flux(cfg, ah[i], qh[i]);
             a_new[i] = self.a[i] - lam * (fa_r - fa_l);
-            q_new[i] = self.q[i] - lam * (fq_r - fq_l)
-                - dt * cfg.kr * self.q[i] / self.a[i];
+            q_new[i] = self.q[i] - lam * (fq_r - fq_l) - dt * cfg.kr * self.q[i] / self.a[i];
         }
         // proximal BC: prescribed inflow, area extrapolated
         q_new[0] = (self.inflow)(self.time + dt);
@@ -184,7 +178,12 @@ impl PulseSolver {
                 a_new[n - 1] = a_new[n - 2];
                 q_new[n - 1] = q_new[n - 2];
             }
-            OutletBc::Windkessel { r1, r2, c, p_stored } => {
+            OutletBc::Windkessel {
+                r1,
+                r2,
+                c,
+                p_stored,
+            } => {
                 let q_out = q_new[n - 2];
                 // compliance charges from the inflow, drains through r2
                 // (semi-implicit update keeps the stiff RC stable)
@@ -294,7 +293,10 @@ mod tests {
         let steps = (2.0 / cfg.dt) as usize; // two cardiac cycles
         s.run(steps);
         for &a in &s.a {
-            assert!(a.is_finite() && a > 0.5 * cfg.a0 && a < 3.0 * cfg.a0, "A={a}");
+            assert!(
+                a.is_finite() && a > 0.5 * cfg.a0 && a < 3.0 * cfg.a0,
+                "A={a}"
+            );
         }
         // distension happened at some point
         let p = s.pressures();
@@ -305,8 +307,8 @@ mod tests {
     fn windkessel_builds_pressure_and_decays() {
         let cfg = PulseConfig::artery(150);
         // physiological-ish terminal bed: Rc ~ 100, Rp ~ 1200, C ~ 1e-4
-        let mut s = PulseSolver::new(cfg.clone(), cardiac_inflow)
-            .with_windkessel(100.0, 1200.0, 1e-4);
+        let mut s =
+            PulseSolver::new(cfg.clone(), cardiac_inflow).with_windkessel(100.0, 1200.0, 1e-4);
         // run one systole: compliance charges
         let steps_per_100ms = (0.1 / cfg.dt) as usize;
         s.run(3 * steps_per_100ms);
@@ -314,7 +316,10 @@ mod tests {
             OutletBc::Windkessel { p_stored, .. } => *p_stored,
             _ => unreachable!(),
         };
-        assert!(p_sys > 1_000.0, "systole must charge the windkessel: {p_sys}");
+        assert!(
+            p_sys > 1_000.0,
+            "systole must charge the windkessel: {p_sys}"
+        );
         // diastole (no inflow): stored pressure decays with tau = R2*C
         s.run(5 * steps_per_100ms);
         let p_dia = match &s.outlet {

@@ -13,10 +13,8 @@
 //! wall reproduces the pure elastic tube law — which is how the coupled
 //! FSI tests anchor themselves to the standalone fluid solution.
 
-use serde::{Deserialize, Serialize};
-
 /// Wall parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WallConfig {
     /// Stations (must match the fluid grid).
     pub n: usize,
@@ -101,7 +99,7 @@ mod tests {
     #[test]
     fn zero_pressure_is_equilibrium() {
         let mut w = WallSolver::new(cfg());
-        w.step(&vec![0.0; 8], 0.01);
+        w.step(&[0.0; 8], 0.01);
         for &a in &w.a {
             assert!((a - 3.0).abs() < 1e-9, "A={a}");
         }
@@ -114,7 +112,7 @@ mod tests {
         let target = w.equilibrium_area(p);
         // plenty of time to relax
         for _ in 0..200 {
-            w.step(&vec![p; 8], 0.01);
+            w.step(&[p; 8], 0.01);
         }
         for &a in &w.a {
             let rel = (a - target).abs() / target;
@@ -136,7 +134,10 @@ mod tests {
     #[test]
     fn stiffer_wall_relaxes_faster() {
         let p = vec![4_000.0; 8];
-        let mut soft = WallSolver::new(WallConfig { eta: 500.0, ..cfg() });
+        let mut soft = WallSolver::new(WallConfig {
+            eta: 500.0,
+            ..cfg()
+        });
         let mut stiff = WallSolver::new(WallConfig { eta: 5.0, ..cfg() });
         soft.step(&p, 0.005);
         stiff.step(&p, 0.005);
@@ -150,7 +151,7 @@ mod tests {
     fn wall_pressure_consistent_with_area() {
         let mut w = WallSolver::new(cfg());
         for _ in 0..500 {
-            w.step(&vec![2_500.0; 8], 0.01);
+            w.step(&[2_500.0; 8], 0.01);
         }
         for p in w.pressures() {
             assert!((p - 2_500.0).abs() / 2_500.0 < 1e-6, "p={p}");

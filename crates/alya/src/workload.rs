@@ -9,7 +9,6 @@
 
 use crate::cfd::{FLOPS_CG_ITER, FLOPS_CORRECTION, FLOPS_DIVERGENCE, FLOPS_MOMENTUM};
 use harborsim_mpi::workload::{factor3, CommPhase, JobProfile, StepProfile};
-use serde::{Deserialize, Serialize};
 
 /// A runnable Alya case: something that can describe itself to the engines.
 pub trait AlyaCase {
@@ -17,6 +16,14 @@ pub trait AlyaCase {
     fn name(&self) -> &str;
     /// The job profile at `ranks` MPI ranks.
     fn job_profile(&self, ranks: u32) -> JobProfile;
+    /// A string uniquely identifying every parameter that influences
+    /// [`AlyaCase::job_profile`], enabling the process-wide cache in
+    /// [`crate::memo`]. The default (`None`) opts out of caching; cases
+    /// that opt in must include *all* profile-relevant state (floats by
+    /// bit pattern) or the cache will serve stale profiles.
+    fn memo_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Surface cells of a near-cubic subdomain of `cells` cells.
@@ -25,7 +32,7 @@ fn surface_cells(cells: f64) -> f64 {
 }
 
 /// The CFD artery case: single-physics Navier–Stokes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArteryCfd {
     /// Case label.
     pub label: String,
@@ -72,16 +79,23 @@ impl ArteryCfd {
 
     /// Flops per active cell per timestep, from the instrumented solver.
     pub fn flops_per_cell_step(&self) -> f64 {
-        FLOPS_MOMENTUM
-            + FLOPS_DIVERGENCE
-            + FLOPS_CORRECTION
-            + self.cg_iters as f64 * FLOPS_CG_ITER
+        FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION + self.cg_iters as f64 * FLOPS_CG_ITER
     }
 }
 
 impl AlyaCase for ArteryCfd {
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        Some(format!(
+            "cfd:{}:{:x}:{}:{}",
+            self.label,
+            self.active_cells.to_bits(),
+            self.timesteps,
+            self.cg_iters
+        ))
     }
 
     fn job_profile(&self, ranks: u32) -> JobProfile {
@@ -121,7 +135,7 @@ impl AlyaCase for ArteryCfd {
 }
 
 /// The FSI artery case: fluid + wall codes, partitioned coupling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArteryFsi {
     /// Case label.
     pub label: String,
@@ -193,6 +207,18 @@ impl AlyaCase for ArteryFsi {
         &self.label
     }
 
+    fn memo_key(&self) -> Option<String> {
+        Some(format!(
+            "fsi:{}:{:x}:{}:{}:{:x}:{}",
+            self.label,
+            self.active_cells.to_bits(),
+            self.timesteps,
+            self.cg_iters,
+            self.solid_fraction.to_bits(),
+            self.interface_bytes
+        ))
+    }
+
     fn job_profile(&self, ranks: u32) -> JobProfile {
         assert!(ranks >= 1);
         let solid = self.solid_ranks(ranks);
@@ -201,10 +227,8 @@ impl AlyaCase for ArteryFsi {
         let cells_per_fluid_rank = self.active_cells / fluid as f64;
         let halo_bytes = (surface_cells(cells_per_fluid_rank) * 8.0) as u64;
         let cg = self.cg_iters;
-        let flops_per_cell = FLOPS_MOMENTUM
-            + FLOPS_DIVERGENCE
-            + FLOPS_CORRECTION
-            + cg as f64 * FLOPS_CG_ITER;
+        let flops_per_cell =
+            FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION + cg as f64 * FLOPS_CG_ITER;
         // mean over all ranks; solid work is negligible, so the max/mean
         // imbalance is the fluid/mean ratio
         let total_flops = self.active_cells * flops_per_cell;

@@ -1,64 +1,86 @@
-//! Property-based tests of the mini-Alya solvers.
+//! Property-style tests of the mini-Alya solvers, driven by deterministic
+//! [`RngStream`] case generation.
 
 use harborsim_alya::cfd::{CfdConfig, CfdSolver};
 use harborsim_alya::mesh::TubeMesh;
 use harborsim_alya::pulse1d::{PulseConfig, PulseSolver};
 use harborsim_alya::wall::{WallConfig, WallSolver};
-use proptest::prelude::*;
+use harborsim_des::RngStream;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
+    let root = RngStream::new(0xA17A_0003).derive(label);
+    (0..n).map(move |i| root.derive_idx(i))
+}
 
-    /// The CFD solver is stable (bounded fields) for any inflow within the
-    /// configured stability envelope.
-    #[test]
-    fn cfd_bounded_for_stable_configs(peak in 0.01f64..0.2, reynolds in 10.0f64..80.0) {
+/// The CFD solver is stable (bounded fields) for any inflow within the
+/// configured stability envelope.
+#[test]
+fn cfd_bounded_for_stable_configs() {
+    for mut rng in cases("cfd-bounded", 16) {
+        let peak = rng.uniform_range(0.01, 0.2);
+        let reynolds = rng.uniform_range(10.0, 80.0);
         let mesh = TubeMesh::cylinder(9, 9, 16, 3.2);
         let cfg = CfdConfig::stable(&mesh, reynolds, peak);
         let mut s = CfdSolver::new(mesh, cfg);
         s.run(15);
         let bound = 5.0 * peak;
         for &w in &s.w {
-            prop_assert!(w.is_finite() && w.abs() < bound, "w={w} bound={bound}");
+            assert!(w.is_finite() && w.abs() < bound, "w={w} bound={bound}");
         }
     }
+}
 
-    /// The pulse solver preserves the rest state exactly for zero inflow,
-    /// regardless of resolution.
-    #[test]
-    fn pulse_rest_state_invariant(n in 16usize..200) {
+/// The pulse solver preserves the rest state exactly for zero inflow,
+/// regardless of resolution.
+#[test]
+fn pulse_rest_state_invariant() {
+    for mut rng in cases("pulse-rest", 16) {
+        let n = 16 + rng.below(184) as usize;
         let cfg = PulseConfig::artery(n);
         let a0 = cfg.a0;
         let mut s = PulseSolver::new(cfg, |_| 0.0);
         s.run(100);
         for &a in &s.a {
-            prop_assert!((a - a0).abs() < 1e-9);
+            assert!((a - a0).abs() < 1e-9);
         }
     }
+}
 
-    /// The wall ODE always relaxes monotonically toward its equilibrium.
-    #[test]
-    fn wall_relaxation_monotone(p in -5_000.0f64..15_000.0, eta in 1.0f64..200.0) {
-        let cfg = WallConfig { n: 1, beta: 4.0e4, a0: 3.0, eta };
+/// The wall ODE always relaxes monotonically toward its equilibrium.
+#[test]
+fn wall_relaxation_monotone() {
+    for mut rng in cases("wall-monotone", 16) {
+        let p = rng.uniform_range(-5_000.0, 15_000.0);
+        let eta = rng.uniform_range(1.0, 200.0);
+        let cfg = WallConfig {
+            n: 1,
+            beta: 4.0e4,
+            a0: 3.0,
+            eta,
+        };
         let mut w = WallSolver::new(cfg);
         let target = w.equilibrium_area(p);
         let mut dist = (w.a[0] - target).abs();
         for _ in 0..50 {
             w.step(&[p], 0.002);
             let d = (w.a[0] - target).abs();
-            prop_assert!(d <= dist + 1e-12, "distance must shrink: {dist} -> {d}");
+            assert!(d <= dist + 1e-12, "distance must shrink: {dist} -> {d}");
             dist = d;
         }
     }
+}
 
-    /// Mesh slab decomposition is a partition for every valid rank count.
-    #[test]
-    fn slabs_partition(nz in 8usize..120, ranks_frac in 0.0f64..1.0) {
+/// Mesh slab decomposition is a partition for every valid rank count.
+#[test]
+fn slabs_partition() {
+    for mut rng in cases("slabs", 16) {
+        let nz = 8 + rng.below(112) as usize;
+        let ranks_frac = rng.uniform();
         let mesh = TubeMesh::cylinder(7, 7, nz, 2.5);
         let ranks = 1 + ((nz - 1) as f64 * ranks_frac) as usize;
         let slabs = mesh.slab_ranges(ranks);
         let covered: usize = slabs.iter().map(|(a, b)| b - a).sum();
-        prop_assert_eq!(covered, nz);
+        assert_eq!(covered, nz);
     }
 }
 

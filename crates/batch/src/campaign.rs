@@ -19,7 +19,6 @@ use harborsim_container::runtime::{ExecutionEnvironment, RuntimeKind};
 use harborsim_container::ImageManifest;
 use harborsim_des::SimDuration;
 use harborsim_hw::ClusterSpec;
-use serde::{Deserialize, Serialize};
 
 /// A campaign of identical jobs under one technology.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ pub struct Campaign {
 }
 
 /// Campaign outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     /// Per-job staging (deploy + launch) seconds, submission order.
     pub staging_s: Vec<f64>,
@@ -145,8 +144,11 @@ mod tests {
     #[test]
     fn shifter_amortizes_the_gateway() {
         let rep = campaign(RuntimeKind::Shifter, 4).run();
-        assert!(rep.staging_s[0] > 3.0 * rep.staging_s[1],
-            "first job pays the conversion: {:?}", rep.staging_s);
+        assert!(
+            rep.staging_s[0] > 3.0 * rep.staging_s[1],
+            "first job pays the conversion: {:?}",
+            rep.staging_s
+        );
         assert!((rep.staging_s[1] - rep.staging_s[3]).abs() < 1e-6);
     }
 
@@ -179,7 +181,11 @@ mod tests {
         let rep7 = campaign(RuntimeKind::Singularity, 7).run();
         let max = rep7.turnaround_s.iter().cloned().fold(0.0, f64::max);
         let min = rep7.turnaround_s.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > 1.5 * min, "one job must wait: {:?}", rep7.turnaround_s);
+        assert!(
+            max > 1.5 * min,
+            "one job must wait: {:?}",
+            rep7.turnaround_s
+        );
     }
 
     #[test]

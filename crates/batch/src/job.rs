@@ -1,10 +1,9 @@
 //! Job descriptions and outcomes.
 
 use harborsim_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A batch job as submitted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Submission-order id.
     pub id: u32,
@@ -25,7 +24,10 @@ pub struct Job {
 impl Job {
     /// Quick constructor with seconds-based times.
     pub fn new(id: u32, nodes: u32, walltime_s: f64, runtime_s: f64, submit_s: f64) -> Job {
-        assert!(runtime_s <= walltime_s, "runtime exceeds walltime: job would be killed");
+        assert!(
+            runtime_s <= walltime_s,
+            "runtime exceeds walltime: job would be killed"
+        );
         Job {
             id,
             name: format!("job-{id}"),
@@ -38,7 +40,7 @@ impl Job {
 }
 
 /// What happened to a job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// The job id.
     pub id: u32,

@@ -240,8 +240,14 @@ mod tests {
         s.submit(Job::new(2, 4, 100.0, 100.0, 0.0)); // head: must wait for all 4
         s.submit(Job::new(3, 2, 50.0, 50.0, 0.0)); // fits the hole and ends before the shadow
         let res = s.run();
-        assert!(outcome(&res, 3).start.as_secs_f64().abs() < 1e-9, "backfilled");
-        assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9, "head undelayed");
+        assert!(
+            outcome(&res, 3).start.as_secs_f64().abs() < 1e-9,
+            "backfilled"
+        );
+        assert!(
+            (outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9,
+            "head undelayed"
+        );
     }
 
     #[test]
@@ -279,7 +285,13 @@ mod tests {
     fn utilization_bounded() {
         let mut s = Scheduler::new(8);
         for i in 0..10 {
-            s.submit(Job::new(i, 1 + i % 4, 150.0, 40.0 + 5.0 * i as f64, 10.0 * i as f64));
+            s.submit(Job::new(
+                i,
+                1 + i % 4,
+                150.0,
+                40.0 + 5.0 * i as f64,
+                10.0 * i as f64,
+            ));
         }
         let res = s.run();
         assert!(res.utilization > 0.0 && res.utilization <= 1.0);
@@ -299,7 +311,13 @@ mod tests {
         let build = || {
             let mut s = Scheduler::new(6);
             for i in 0..12 {
-                s.submit(Job::new(i, 1 + (i * 7) % 5, 300.0, 100.0 + (i * 13) as f64 % 150.0, (i * 31) as f64 % 200.0));
+                s.submit(Job::new(
+                    i,
+                    1 + (i * 7) % 5,
+                    300.0,
+                    100.0 + (i * 13) as f64 % 150.0,
+                    (i * 31) as f64 % 200.0,
+                ));
             }
             s.run()
         };

@@ -5,7 +5,7 @@
 //! configuration — answering "what would Docker's networking need to cost
 //! for it to match Singularity?".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_core::workloads;
 use harborsim_net::DataPath;
 use std::hint::black_box;
@@ -61,7 +61,10 @@ fn bench(c: &mut Criterion) {
     }
     // with a free bridge Docker still pays its per-message CPU + cgroup tax
     assert!(slowdown_at(0.0) > 1.0);
-    assert!(slowdown_at(10.0) > 1.4, "default bridge must reproduce Fig. 1");
+    assert!(
+        slowdown_at(10.0) > 1.4,
+        "default bridge must reproduce Fig. 1"
+    );
 
     let mut g = c.benchmark_group("ablate_bridge");
     g.sample_size(20);

@@ -4,7 +4,7 @@
 //! produces: 8-byte dot products (latency-bound, the FSI case's staple)
 //! through multi-megabyte reductions (bandwidth-bound).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim_mpi::collectives::AllreduceAlgo;
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
@@ -44,7 +44,10 @@ fn allreduce_job(bytes: u64) -> JobProfile {
 fn bench(c: &mut Criterion) {
     // print the predicted cost table once — the actual ablation result
     println!("allreduce cost on 1536 ranks (MN4/Omni-Path):");
-    println!("{:>10} {:>16} {:>16} {:>16}", "bytes", "rec-doubling", "ring", "rabenseifner");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "bytes", "rec-doubling", "ring", "rabenseifner"
+    );
     for bytes in [8u64, 1024, 64 * 1024, 8 << 20] {
         let t = |algo| {
             engine(algo)
@@ -66,7 +69,9 @@ fn bench(c: &mut Criterion) {
     let tiny_rd = engine(AllreduceAlgo::RecursiveDoubling)
         .run(&allreduce_job(8), 1)
         .elapsed;
-    let tiny_ring = engine(AllreduceAlgo::Ring).run(&allreduce_job(8), 1).elapsed;
+    let tiny_ring = engine(AllreduceAlgo::Ring)
+        .run(&allreduce_job(8), 1)
+        .elapsed;
     assert!(tiny_rd < tiny_ring);
     let big_rd = engine(AllreduceAlgo::RecursiveDoubling)
         .run(&allreduce_job(64 << 20), 1)
@@ -74,7 +79,10 @@ fn bench(c: &mut Criterion) {
     let big_ring = engine(AllreduceAlgo::Ring)
         .run(&allreduce_job(64 << 20), 1)
         .elapsed;
-    assert!(big_ring < big_rd, "ring must win at 64 MB: {big_ring} vs {big_rd}");
+    assert!(
+        big_ring < big_rd,
+        "ring must win at 64 MB: {big_ring} vs {big_rd}"
+    );
 
     let mut g = c.benchmark_group("ablate_collectives");
     g.sample_size(20);

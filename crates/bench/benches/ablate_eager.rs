@@ -6,7 +6,7 @@
 //! and that it cannot explain the container effects (both engines apply the
 //! same protocol regardless of runtime).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
 use harborsim_mpi::RankMap;
@@ -56,7 +56,10 @@ fn bench(c: &mut Criterion) {
         println!("  threshold {threshold:>8} B -> {t:.3} s");
         // raising the threshold past the message size removes handshakes:
         // times are non-increasing along the sweep
-        assert!(t <= last * 1.001, "raising the threshold must not slow things");
+        assert!(
+            t <= last * 1.001,
+            "raising the threshold must not slow things"
+        );
         last = t;
     }
     let rendezvous = elapsed_with_threshold(1, halo);

@@ -4,17 +4,20 @@
 //! the same workload IR; this bench measures the accuracy/throughput
 //! trade-off between them on the same scenario (DESIGN.md §5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_core::scenario::{EngineKind, Execution, Scenario};
 use harborsim_core::workloads;
 use std::hint::black_box;
 
 fn scenario(engine: EngineKind) -> Scenario {
-    Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_small())
-        .execution(Execution::singularity_self_contained())
-        .nodes(4)
-        .ranks_per_node(14)
-        .engine(engine)
+    Scenario::new(
+        harborsim_hw::presets::lenox(),
+        workloads::artery_cfd_small(),
+    )
+    .execution(Execution::singularity_self_contained())
+    .nodes(4)
+    .ranks_per_node(14)
+    .engine(engine)
 }
 
 fn bench(c: &mut Criterion) {
@@ -26,8 +29,14 @@ fn bench(c: &mut Criterion) {
     .run(5)
     .elapsed
     .as_secs_f64();
-    println!("engine predictions: analytic={a:.3}s des={d:.3}s ratio={:.3}", d / a);
-    assert!((0.4..2.5).contains(&(d / a)), "engines diverged: {a} vs {d}");
+    println!(
+        "engine predictions: analytic={a:.3}s des={d:.3}s ratio={:.3}",
+        d / a
+    );
+    assert!(
+        (0.4..2.5).contains(&(d / a)),
+        "engines diverged: {a} vs {d}"
+    );
 
     let mut g = c.benchmark_group("ablate_engines");
     g.sample_size(10);

@@ -4,8 +4,8 @@
 //! round-robin scatters them so every halo edge crosses the wire. The gap
 //! between the two quantifies how much of the scaling story is placement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use harborsim_alya::workload::AlyaCase;
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_core::workloads;
 use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim_mpi::mapping::{Placement, RankMap};
@@ -84,7 +84,10 @@ fn bench(c: &mut Criterion) {
     for nodes in [4u32, 8, 16] {
         let block = elapsed(Placement::Block, nodes);
         let rr = elapsed(Placement::RoundRobin, nodes);
-        println!("  {nodes:>3} nodes: block {block:.1}s  round-robin {rr:.1}s  ({:.2}x)", rr / block);
+        println!(
+            "  {nodes:>3} nodes: block {block:.1}s  round-robin {rr:.1}s  ({:.2}x)",
+            rr / block
+        );
         assert!(
             rr >= 0.95 * block,
             "even with stride aliasing, scattering should not clearly win: {rr} < {block}"
@@ -96,7 +99,10 @@ fn bench(c: &mut Criterion) {
     for nodes in [4u32, 8, 16] {
         let block = chain_elapsed(Placement::Block, nodes);
         let rr = chain_elapsed(Placement::RoundRobin, nodes);
-        println!("  {nodes:>3} nodes: block {block:.1}s  round-robin {rr:.1}s  ({:.2}x)", rr / block);
+        println!(
+            "  {nodes:>3} nodes: block {block:.1}s  round-robin {rr:.1}s  ({:.2}x)",
+            rr / block
+        );
         assert!(
             rr > 1.25 * block,
             "cutting every chain edge must hurt: {rr} vs {block}"

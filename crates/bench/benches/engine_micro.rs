@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the simulation substrates: DES event throughput,
 //! fair-share fluid links, RNG streams, and the message-level MPI engine.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use harborsim_des::{Engine, FluidLink, RngStream, SimDuration};
 use harborsim_mpi::analytic::EngineConfig;
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
@@ -108,7 +108,10 @@ fn bench_des_mpi(c: &mut Criterion) {
                     bytes: 10_000,
                     repeats: 4,
                 },
-                CommPhase::Allreduce { bytes: 8, repeats: 8 },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 8,
+                },
             ],
         },
         5,
@@ -123,5 +126,11 @@ fn bench_des_mpi(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_des_events, bench_fluid, bench_rng, bench_des_mpi);
+criterion_group!(
+    benches,
+    bench_des_events,
+    bench_fluid,
+    bench_rng,
+    bench_des_mpi
+);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Bench: the time-decomposition extension (incl. the Docker `--net=host`
 //! mechanism ablation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::ext_breakdown;
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Bench: the campaign-turnaround extension (batch scheduler + cross-job
 //! cache effects).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::ext_campaign;
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Bench: the future-work extension — image-startup storms (I/O and
 //! distributed storage behaviour of containers at scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::ext_io;
 use std::hint::black_box;

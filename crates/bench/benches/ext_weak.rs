@@ -1,6 +1,6 @@
 //! Bench: the weak-scaling extension.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::ext_weak;
 use std::hint::black_box;

@@ -3,7 +3,7 @@
 //! Times the full 4-technology × 5-configuration sweep and persists the
 //! figure artifacts as a side effect.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig1;
 use std::hint::black_box;

@@ -1,6 +1,6 @@
 //! Bench: regeneration of Fig. 2 (portability on CTE-POWER).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig2;
 use std::hint::black_box;

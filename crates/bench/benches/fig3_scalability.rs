@@ -4,7 +4,7 @@
 //! engine; this bench demonstrates the closed-form engine's cost at the
 //! paper's full scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig3;
 use harborsim_core::scenario::{Execution, Scenario};

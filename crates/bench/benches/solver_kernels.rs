@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the real mini-Alya solvers: CFD step cost (serial vs
 //! Rayon), the coupled FSI step, and the functional thread-MPI collectives.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use harborsim_alya::cfd::{CfdConfig, CfdSolver};
 use harborsim_alya::fsi::{CoupledFsi, FsiConfig};
 use harborsim_alya::mesh::TubeMesh;
 use harborsim_alya::pulse1d::{cardiac_inflow, PulseConfig, PulseSolver};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use harborsim_mpi::thread_mpi::ThreadComm;
 use std::hint::black_box;
 
@@ -15,7 +15,7 @@ fn bench_cfd(c: &mut Criterion) {
     let mut g = c.benchmark_group("cfd_step");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cells));
-    for (label, parallel) in [("serial", false), ("rayon", true)] {
+    for (label, parallel) in [("serial", false), ("threaded", true)] {
         let mut cfg = CfdConfig::stable(&mesh, 30.0, 0.1);
         cfg.parallel = parallel;
         cfg.cg_max_iters = 40;

@@ -1,6 +1,6 @@
 //! Bench: regeneration of the §B.1 deployment-overhead table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::tables;
 use std::hint::black_box;

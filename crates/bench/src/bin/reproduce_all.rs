@@ -31,7 +31,7 @@ fn main() {
     let seeds = repro_seeds();
     let t0 = Instant::now();
     let mut all_ok = true;
-    let mut summary = serde_json::Map::new();
+    let mut summary: Vec<(&str, String)> = Vec::new();
 
     println!("== Machine calibration (model constants, derived) ==");
     println!(
@@ -41,52 +41,56 @@ fn main() {
     for m in harborsim_core::calibration::all_machines() {
         println!(
             "{:<14} {:>16.0} {:>16.1} {:>12.1} {:>10.1}",
-            m.name, m.node_sustained_gflops, m.machine_sustained_tflops, m.small_message_us, m.fabric_gbs
+            m.name,
+            m.node_sustained_gflops,
+            m.machine_sustained_tflops,
+            m.small_message_us,
+            m.fabric_gbs
         );
     }
     println!();
 
     println!("== Fig. 1: containerization solutions (Lenox) ==");
-    let f1 = fig1::run(&seeds);
+    let f1 = fig1::run(seeds);
     write_figure(&f1);
     println!("{}", f1.to_ascii(72, 18));
     all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
-    summary.insert("fig1".into(), serde_json::to_value(&f1).unwrap());
+    summary.push(("fig1", f1.to_json()));
 
     println!("\n== Fig. 2: portability (CTE-POWER) ==");
-    let f2 = fig2::run(&seeds);
+    let f2 = fig2::run(seeds);
     write_figure(&f2);
     println!("{}", f2.to_ascii(72, 18));
     all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
-    summary.insert("fig2".into(), serde_json::to_value(&f2).unwrap());
+    summary.push(("fig2", f2.to_json()));
 
     println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
-    let f3 = fig3::run(&seeds);
+    let f3 = fig3::run(seeds);
     write_figure(&f3);
     println!("{}", f3.to_ascii(72, 18));
     all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
-    summary.insert("fig3".into(), serde_json::to_value(&f3).unwrap());
+    summary.push(("fig3", f3.to_json()));
 
     println!("\n== Table: deployment overhead / image size / execution time ==");
-    let td = tables::deployment(&seeds);
+    let td = tables::deployment(seeds);
     write_table(&td);
     println!("{}", td.to_ascii());
     all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
-    summary.insert("table_deployment".into(), serde_json::to_value(&td).unwrap());
+    summary.push(("table_deployment", td.to_json()));
 
     println!("\n== Table: portability across three architectures ==");
-    let tp = tables::portability(&seeds);
+    let tp = tables::portability(seeds);
     write_table(&tp);
     println!("{}", tp.to_ascii());
     all_ok &= report_shapes("table-portability", &tables::check_portability_shape(&tp));
-    summary.insert("table_portability".into(), serde_json::to_value(&tp).unwrap());
+    summary.push(("table_portability", tp.to_json()));
 
     println!("\n== Extension: I/O & distributed storage (image-startup storm) ==");
     let fe = ext_io::run();
     write_figure(&fe);
     println!("{}", fe.to_ascii(72, 18));
     all_ok &= report_shapes("ext-io", &ext_io::check_shape(&fe));
-    summary.insert("ext_io".into(), serde_json::to_value(&fe).unwrap());
+    summary.push(("ext_io", fe.to_json()));
 
     println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
     let rows = ext_breakdown::run(seeds[0]);
@@ -94,22 +98,22 @@ fn main() {
     write_table(&tb);
     println!("{}", tb.to_ascii());
     all_ok &= report_shapes("ext-breakdown", &ext_breakdown::check_shape(&rows));
-    summary.insert("ext_breakdown".into(), serde_json::to_value(&tb).unwrap());
+    summary.push(("ext_breakdown", tb.to_json()));
 
     println!("\n== Extension: campaign turnaround under the batch scheduler ==");
-    let rows = ext_campaign::run(&seeds);
+    let rows = ext_campaign::run(seeds);
     let tc = ext_campaign::table(&rows);
     write_table(&tc);
     println!("{}", tc.to_ascii());
     all_ok &= report_shapes("ext-campaign", &ext_campaign::check_shape(&rows));
-    summary.insert("ext_campaign".into(), serde_json::to_value(&tc).unwrap());
+    summary.push(("ext_campaign", tc.to_json()));
 
     println!("\n== Extension: weak scaling ==");
-    let fw = ext_weak::run(&seeds);
+    let fw = ext_weak::run(seeds);
     write_figure(&fw);
     println!("{}", fw.to_ascii(72, 18));
     all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
-    summary.insert("ext_weak".into(), serde_json::to_value(&fw).unwrap());
+    summary.push(("ext_weak", fw.to_json()));
 
     println!("\n== Engine cross-validation (DES vs analytic) ==");
     let vrows = validation::run();
@@ -117,14 +121,15 @@ fn main() {
     write_table(&tv);
     println!("{}", tv.to_ascii());
     all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
-    summary.insert("validation".into(), serde_json::to_value(&tv).unwrap());
+    summary.push(("validation", tv.to_json()));
 
+    let body: Vec<String> = summary
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
     let summary_path = out_dir().join("summary.json");
-    std::fs::write(
-        &summary_path,
-        serde_json::to_string_pretty(&serde_json::Value::Object(summary)).unwrap(),
-    )
-    .expect("write summary");
+    std::fs::write(&summary_path, format!("{{\n{}\n}}\n", body.join(",\n")))
+        .expect("write summary");
 
     println!(
         "\nDone in {:.1}s. Artifacts in {} (summary.json, per-figure csv/svg/txt).",

@@ -1,0 +1,207 @@
+//! A self-contained micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The benches only need a tiny slice of Criterion: named groups, a
+//! per-group sample size, element throughput, and `Bencher::iter`. This
+//! module provides exactly that over `std::time::Instant`, so the bench
+//! targets build and run with no external crates. Each benchmark runs a
+//! warm-up pass and then samples under a wall-clock budget, printing
+//! `ns/iter` (and elements/s when a throughput was declared).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark function.
+const BENCH_BUDGET: Duration = Duration::from_millis(300);
+
+/// Entry point state; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label composed of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.into() }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Cap the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            max_samples: self.sample_size as u64,
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Time a benchmark function against an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API parity; reporting is per-function).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, name: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("bench {}/{name}: no samples", self.name);
+            return;
+        }
+        let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * b.iters as f64 / b.total.as_secs_f64();
+                println!(
+                    "bench {}/{name}: {ns_per_iter:.0} ns/iter ({} samples, {rate:.3e} elem/s)",
+                    self.name, b.iters
+                );
+            }
+            None => {
+                println!(
+                    "bench {}/{name}: {ns_per_iter:.0} ns/iter ({} samples)",
+                    self.name, b.iters
+                );
+            }
+        }
+    }
+}
+
+/// Passed to each benchmark closure; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    max_samples: u64,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then repeatedly under the sample cap and
+    /// wall-clock budget, accumulating timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= self.max_samples || started.elapsed() >= BENCH_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        g.finish();
+        // one warm-up + at most three samples
+        assert!((2..=4).contains(&runs), "runs={runs}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("cost_model", "Ring");
+        assert_eq!(id.name, "cost_model/Ring");
+    }
+}

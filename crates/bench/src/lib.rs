@@ -5,14 +5,15 @@
 //! `reproduce_all` binary that regenerates every artifact of the paper into
 //! `target/study/`.
 
+pub mod harness;
+
 use harborsim_core::report::{FigureData, TableData};
 use std::fs;
 use std::path::PathBuf;
 
 /// Where reproduction artifacts land.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/study");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/study");
     fs::create_dir_all(&dir).expect("create target/study");
     dir
 }
@@ -34,7 +35,7 @@ pub fn write_table(t: &TableData) {
 
 /// Seeds used by every reproduction (five repetitions, as in the paper's
 /// averaging protocol).
-pub fn repro_seeds() -> Vec<u64> {
+pub fn repro_seeds() -> &'static [u64] {
     harborsim_core::runner::default_seeds()
 }
 

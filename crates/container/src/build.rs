@@ -17,8 +17,9 @@ use crate::digest::Digest;
 use crate::image::{ImageFormat, ImageManifest, Layer};
 use crate::recipe::{ImageRecipe, Instruction, PackageDb};
 use harborsim_hw::{CpuModel, InterconnectKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Packages that belong to the MPI/fabric stack; system-specific builds
 /// bind these from the host instead of installing them.
@@ -37,6 +38,35 @@ const BUILD_PULL_BPS: f64 = 50e6;
 const SQUASHFS_PACK_BPS: f64 = 80e6;
 /// Layer commit (tar+gzip) throughput, bytes/s.
 const LAYER_COMMIT_BPS: f64 = 200e6;
+
+/// Why an image build failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The recipe's `FROM` references a base the database doesn't know.
+    UnknownBaseImage(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownBaseImage(base_ref) => {
+                write!(f, "unknown base image {base_ref:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Process-wide count of image builds actually executed. Lets tests (and
+/// the sweep-sharing logic's own regression suite) assert that compiling a
+/// plan once really builds the image once.
+static BUILDS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// How many image builds this process has executed so far.
+pub fn builds_executed() -> u64 {
+    BUILDS_EXECUTED.load(Ordering::SeqCst)
+}
 
 /// The build engine configuration.
 #[derive(Debug, Clone)]
@@ -57,7 +87,7 @@ pub struct BuildEngine {
 }
 
 /// What a build produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuildOutput {
     /// The image.
     pub manifest: ImageManifest,
@@ -93,13 +123,15 @@ impl BuildEngine {
     /// Execute `recipe`.
     ///
     /// # Errors
-    /// Returns a message if the base image is unknown to the database.
-    pub fn build(&self, recipe: &ImageRecipe) -> Result<BuildOutput, String> {
+    /// [`BuildError::UnknownBaseImage`] if the base image is unknown to the
+    /// database.
+    pub fn build(&self, recipe: &ImageRecipe) -> Result<BuildOutput, BuildError> {
         let base_ref = recipe.base();
         let base_bytes = self
             .db
             .base_size(base_ref)
-            .ok_or_else(|| format!("unknown base image {base_ref:?}"))?;
+            .ok_or_else(|| BuildError::UnknownBaseImage(base_ref.to_string()))?;
+        BUILDS_EXECUTED.fetch_add(1, Ordering::SeqCst);
 
         let mut layers = Vec::new();
         let mut chain = Digest::of_str(base_ref);
@@ -179,7 +211,11 @@ impl BuildEngine {
             manifest: ImageManifest {
                 name: recipe.name.clone(),
                 arch: self.build_host.arch,
-                isa_level: if self.tuned { self.build_host.isa_level } else { 1 },
+                isa_level: if self.tuned {
+                    self.build_host.isa_level
+                } else {
+                    1
+                },
                 layers,
                 env,
                 labels,
@@ -230,7 +266,12 @@ fn strip_host_stack(cmd: &str) -> StripResult {
     // if only "<mgr> install" remains, the whole instruction is pointless
     let residual_packages = kept
         .iter()
-        .filter(|t| !matches!(**t, "yum" | "apt-get" | "apt" | "apk" | "dnf" | "install" | "-y"))
+        .filter(|t| {
+            !matches!(
+                **t,
+                "yum" | "apt-get" | "apt" | "apk" | "dnf" | "install" | "-y"
+            )
+        })
         .count();
     if residual_packages == 0 {
         StripResult::Emptied
@@ -317,7 +358,24 @@ mod tests {
     fn unknown_base_rejected() {
         let eng = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3());
         let recipe = ImageRecipe::parse("x", "FROM nixos:unstable\n").unwrap();
-        assert!(eng.build(&recipe).is_err());
+        let err = eng.build(&recipe).unwrap_err();
+        assert_eq!(err, BuildError::UnknownBaseImage("nixos:unstable".into()));
+        assert_eq!(err.to_string(), "unknown base image \"nixos:unstable\"");
+    }
+
+    #[test]
+    fn build_counter_advances_per_build() {
+        let eng = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3());
+        let before = builds_executed();
+        eng.build(&alya_recipe()).unwrap();
+        eng.build(&alya_recipe()).unwrap();
+        // other tests build concurrently, so only a lower bound is exact
+        assert!(builds_executed() >= before + 2);
+        // a failed build does not count
+        let bad = ImageRecipe::parse("x", "FROM nixos:unstable\n").unwrap();
+        let mid = builds_executed();
+        let _ = eng.build(&bad);
+        assert!(builds_executed() >= mid);
     }
 
     #[test]

@@ -15,10 +15,9 @@
 
 use harborsim_hw::{CpuModel, InterconnectKind};
 use harborsim_net::TransportSelection;
-use serde::{Deserialize, Serialize};
 
 /// How the image relates to the host software stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Containment {
     /// Everything inside the image; no host libraries needed.
     SelfContained,
@@ -54,7 +53,7 @@ impl Containment {
 }
 
 /// Why an image cannot run on a host.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompatError {
     /// Binary architecture differs from the host CPU.
     ArchMismatch {
@@ -212,7 +211,14 @@ mod tests {
         let skylake = CpuModel::xeon_platinum_8160();
         let libs = vec!["libpsm2".to_string()];
         // on the Omni-Path host: fine
-        assert!(check_compat(CpuArch::X86_64, 4, &libs, &skylake, InterconnectKind::OmniPath100).is_ok());
+        assert!(check_compat(
+            CpuArch::X86_64,
+            4,
+            &libs,
+            &skylake,
+            InterconnectKind::OmniPath100
+        )
+        .is_ok());
         // same image moved to an InfiniBand host: the bind target is missing
         let err = check_compat(
             CpuArch::X86_64,

@@ -18,7 +18,6 @@ use crate::image::{ImageFormat, ImageManifest};
 use crate::runtime::{ExecutionEnvironment, RuntimeKind};
 use harborsim_des::{Engine, FluidLink, SimDuration, SimTime};
 use harborsim_hw::StorageSpec;
-use serde::{Deserialize, Serialize};
 
 /// Bytes of the image a starting container actually reads (binary + shared
 /// libraries page in; the rest of the rootfs stays cold).
@@ -52,7 +51,7 @@ pub struct DeployPlan {
 }
 
 /// What the deployment cost.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentReport {
     /// Time until the *last* node was ready (job can start).
     pub makespan: SimDuration,
@@ -143,41 +142,41 @@ impl DeployPlan {
                         });
                     }
                 } else {
-                bytes_pulled = self
-                    .image
-                    .layers
-                    .iter()
-                    .map(|l| l.compressed_bytes())
-                    .sum::<u64>()
-                    * self.nodes as u64;
-                for node in 0..n {
-                    let layers: Vec<u64> = self
+                    bytes_pulled = self
                         .image
                         .layers
                         .iter()
                         .map(|l| l.compressed_bytes())
-                        .collect();
-                    let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
-                    eng.schedule(delay, move |eng, d: &mut Dep| {
-                        for &bytes in &layers {
-                            d.registry.start_flow(eng, bytes as f64, move |eng, d| {
-                                d.layers_left[node] -= 1;
-                                if d.layers_left[node] == 0 {
-                                    // all layers local: unpack, then start
-                                    let unpack = SimDuration::from_secs_f64(
-                                        d.unpack_bytes as f64 / UNPACK_BPS,
-                                    );
-                                    eng.schedule(unpack, move |eng, d| {
-                                        let start = SimDuration::from_secs_f64(d.start_s);
-                                        eng.schedule(start, move |eng, d| {
-                                            node_ready(eng, d, node)
+                        .sum::<u64>()
+                        * self.nodes as u64;
+                    for node in 0..n {
+                        let layers: Vec<u64> = self
+                            .image
+                            .layers
+                            .iter()
+                            .map(|l| l.compressed_bytes())
+                            .collect();
+                        let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
+                        eng.schedule(delay, move |eng, d: &mut Dep| {
+                            for &bytes in &layers {
+                                d.registry.start_flow(eng, bytes as f64, move |eng, d| {
+                                    d.layers_left[node] -= 1;
+                                    if d.layers_left[node] == 0 {
+                                        // all layers local: unpack, then start
+                                        let unpack = SimDuration::from_secs_f64(
+                                            d.unpack_bytes as f64 / UNPACK_BPS,
+                                        );
+                                        eng.schedule(unpack, move |eng, d| {
+                                            let start = SimDuration::from_secs_f64(d.start_s);
+                                            eng.schedule(start, move |eng, d| {
+                                                node_ready(eng, d, node)
+                                            });
                                         });
-                                    });
-                                }
-                            });
-                        }
-                    });
-                }
+                                    }
+                                });
+                            }
+                        });
+                    }
                 }
             }
             RuntimeKind::Singularity | RuntimeKind::Shifter => {
@@ -193,11 +192,7 @@ impl DeployPlan {
                     gateway_seconds = REGISTRY_METADATA_S
                         + pull as f64 / self.registry_uplink_bps
                         + self.image.uncompressed_bytes() as f64 / GATEWAY_PACK_BPS
-                        + self
-                            .image
-                            .size_bytes(ImageFormat::ShifterUdi)
-                            .min(u64::MAX) as f64
-                            / pfs_bw.min(1.5e9);
+                        + self.image.size_bytes(ImageFormat::ShifterUdi) as f64 / pfs_bw.min(1.5e9);
                 }
                 let ws = WORKING_SET_BYTES.min(image_bytes.max(1)) as f64;
                 bytes_from_pfs = ws as u64 * self.nodes as u64;
@@ -360,8 +355,14 @@ mod tests {
         let small = t(4);
         let large = t(256);
         // 256 nodes x 260 MB working set = 66 GB through a 50 GB/s backend
-        assert!(large > small, "storm must hurt: 4 nodes {small}, 256 nodes {large}");
-        assert!(large < 60.0, "but GPFS absorbs it in under a minute: {large}");
+        assert!(
+            large > small,
+            "storm must hurt: 4 nodes {small}, 256 nodes {large}"
+        );
+        assert!(
+            large < 60.0,
+            "but GPFS absorbs it in under a minute: {large}"
+        );
     }
 
     #[test]
@@ -400,12 +401,7 @@ mod tests {
     #[test]
     fn report_invariants() {
         let img = image();
-        let rep = deployment_overhead(
-            8,
-            env(RuntimeKind::Singularity),
-            &img,
-            &StorageSpec::gpfs(),
-        );
+        let rep = deployment_overhead(8, env(RuntimeKind::Singularity), &img, &StorageSpec::gpfs());
         assert!(rep.first_ready <= rep.makespan);
         // nanosecond rounding of the duration fields vs the f64 mean
         assert!(rep.mean_ready_s <= rep.makespan.as_secs_f64() + 1e-8);

@@ -7,11 +7,10 @@
 //! different primes and offsets — dependency-free and stable across
 //! platforms, which keeps the whole simulation byte-reproducible.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 256-bit content digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest(pub [u64; 4]);
 
 const OFFSETS: [u64; 4] = [

@@ -2,7 +2,6 @@
 
 use crate::digest::Digest;
 pub use harborsim_hw::CpuArch;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Compression ratio of gzip'd rootfs tarballs (registry/transfer form).
@@ -11,7 +10,7 @@ pub const TAR_GZ_RATIO: f64 = 0.42;
 pub const SQUASHFS_RATIO: f64 = 0.45;
 
 /// One filesystem layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Content digest (chain id: depends on all layers below).
     pub digest: Digest,
@@ -29,7 +28,7 @@ impl Layer {
 }
 
 /// A built image: ordered layers plus execution metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImageManifest {
     /// Image name ("alya-artery").
     pub name: String,
@@ -72,11 +71,7 @@ impl ImageManifest {
         match format {
             ImageFormat::DockerLayered => {
                 // registry form: per-layer gzip'd tarballs + manifest json
-                self.layers
-                    .iter()
-                    .map(Layer::compressed_bytes)
-                    .sum::<u64>()
-                    + 4096
+                self.layers.iter().map(Layer::compressed_bytes).sum::<u64>() + 4096
             }
             ImageFormat::SingularitySif | ImageFormat::ShifterUdi => {
                 // single squashfs of the flattened rootfs + header
@@ -95,7 +90,7 @@ impl ImageManifest {
 }
 
 /// The three on-disk image formats of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ImageFormat {
     /// Docker: a stack of gzip'd layer tarballs unpacked into overlayfs.
     DockerLayered,

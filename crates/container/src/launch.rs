@@ -15,10 +15,9 @@
 //!   node this dominates the whole startup.
 
 use crate::runtime::RuntimeKind;
-use serde::{Deserialize, Serialize};
 
 /// Launcher-tree and spawn-cost parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchModel {
     /// One launcher-tree RPC hop (srun step setup, PMI exchange), seconds.
     pub rpc_latency_s: f64,
@@ -99,7 +98,10 @@ mod tests {
         let sing = m.launch_seconds(RuntimeKind::Singularity, 4, 28);
         let bare = m.launch_seconds(RuntimeKind::BareMetal, 4, 28);
         assert!(docker > 25.0, "28 serialized docker runs: {docker}");
-        assert!(sing < 1.0, "singularity launch should be sub-second: {sing}");
+        assert!(
+            sing < 1.0,
+            "singularity launch should be sub-second: {sing}"
+        );
         assert!(bare < sing);
     }
 

@@ -39,7 +39,7 @@ pub mod recipe;
 pub mod registry;
 pub mod runtime;
 
-pub use build::{BuildEngine, BuildOutput};
+pub use build::{builds_executed, BuildEngine, BuildError, BuildOutput};
 pub use containment::Containment;
 pub use deploy::{DeployPlan, DeploymentReport};
 pub use digest::Digest;

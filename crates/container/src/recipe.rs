@@ -19,12 +19,11 @@
 //! [`PackageDb`]; `COPY` declares its payload size inline (the build
 //! context is not a real filesystem).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One parsed instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// Base image reference, e.g. `centos:7.4`.
     From(String),
@@ -67,7 +66,7 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// A parsed recipe.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImageRecipe {
     /// Human name ("alya-artery").
     pub name: String,
@@ -90,7 +89,7 @@ fn parse_size(s: &str) -> Option<u64> {
         return None;
     };
     let v: f64 = num.trim().parse().ok()?;
-    (v >= 0.0).then(|| (v * mult) as u64)
+    (v >= 0.0).then_some((v * mult) as u64)
 }
 
 impl ImageRecipe {
@@ -198,7 +197,7 @@ impl ImageRecipe {
 }
 
 /// Size/time cost of installing one package.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackageCost {
     /// Installed size in bytes.
     pub bytes: u64,
@@ -207,7 +206,7 @@ pub struct PackageCost {
 }
 
 /// The package/base-image database used to price recipes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PackageDb {
     packages: BTreeMap<String, PackageCost>,
     bases: BTreeMap<String, u64>,
@@ -263,9 +262,9 @@ impl PackageDb {
     /// their packages; anything else is a small metadata-only layer.
     pub fn price_run(&self, cmd: &str) -> PackageCost {
         let tokens: Vec<&str> = cmd.split_whitespace().collect();
-        let is_install = tokens
-            .windows(2)
-            .any(|w| matches!(w[0], "yum" | "apt-get" | "apt" | "apk" | "dnf") && w[1] == "install");
+        let is_install = tokens.windows(2).any(|w| {
+            matches!(w[0], "yum" | "apt-get" | "apt" | "apk" | "dnf") && w[1] == "install"
+        });
         if !is_install {
             // scripts, chmod, ldconfig...: ~1 MB of filesystem churn, 2 s
             return PackageCost {

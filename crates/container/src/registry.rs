@@ -7,11 +7,10 @@
 
 use crate::digest::Digest;
 use crate::image::ImageManifest;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// What a client must transfer to materialize an image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PullPlan {
     /// Layers to download: `(digest, compressed bytes)`, base first.
     pub fetch: Vec<(Digest, u64)>,

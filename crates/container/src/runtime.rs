@@ -17,10 +17,9 @@ use crate::containment::Containment;
 use crate::image::ImageFormat;
 use harborsim_hw::{InterconnectKind, SoftwareStack};
 use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
-use serde::{Deserialize, Serialize};
 
 /// Linux namespaces a runtime unshares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Namespace {
     /// Filesystem mounts.
     Mount,
@@ -39,7 +38,7 @@ pub enum Namespace {
 }
 
 /// The execution technologies compared in the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {
     /// No container: the control every figure compares against.
     BareMetal,
@@ -74,9 +73,7 @@ impl RuntimeKind {
                 Namespace::Uts,
                 Namespace::Cgroup,
             ],
-            RuntimeKind::Singularity | RuntimeKind::Shifter => {
-                &[Namespace::Mount, Namespace::Pid]
-            }
+            RuntimeKind::Singularity | RuntimeKind::Shifter => &[Namespace::Mount, Namespace::Pid],
         }
     }
 
@@ -117,10 +114,10 @@ impl RuntimeKind {
     /// (daemon RPC + namespace/cgroup setup vs a SUID exec).
     pub fn start_seconds(self) -> f64 {
         match self {
-            RuntimeKind::BareMetal => 0.05, // exec + loader
-            RuntimeKind::Docker => 1.1,     // dockerd create/start, netns, cgroups
+            RuntimeKind::BareMetal => 0.05,   // exec + loader
+            RuntimeKind::Docker => 1.1,       // dockerd create/start, netns, cgroups
             RuntimeKind::Singularity => 0.35, // SUID exec + loop mount
-            RuntimeKind::Shifter => 0.55,   // slurm plugin + loop mount
+            RuntimeKind::Shifter => 0.55,     // slurm plugin + loop mount
         }
     }
 
@@ -136,7 +133,7 @@ impl RuntimeKind {
 }
 
 /// A complete execution choice: runtime plus image containment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecutionEnvironment {
     /// The runtime technology.
     pub runtime: RuntimeKind,
@@ -285,8 +282,7 @@ mod tests {
         );
         // bare metal ignores containment
         assert_eq!(
-            ExecutionEnvironment::bare_metal()
-                .transport_selection(InterconnectKind::OmniPath100),
+            ExecutionEnvironment::bare_metal().transport_selection(InterconnectKind::OmniPath100),
             TransportSelection::Native
         );
     }

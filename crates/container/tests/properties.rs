@@ -1,56 +1,83 @@
-//! Property-based tests of the container substrate.
+//! Property-style tests of the container substrate, driven by
+//! deterministic [`RngStream`] case generation.
 
 use harborsim_container::digest::Digest;
 use harborsim_container::recipe::{ImageRecipe, PackageDb};
 use harborsim_container::registry::Registry;
 use harborsim_container::{BuildEngine, Containment};
+use harborsim_des::RngStream;
 use harborsim_hw::CpuModel;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
+    let root = RngStream::new(0xC0_47A1_0004).derive(label);
+    (0..n).map(move |i| root.derive_idx(i))
+}
 
-    /// Digests are content-deterministic and collision-free over random
-    /// byte strings (at test scale).
-    #[test]
-    fn digest_properties(a in prop::collection::vec(any::<u8>(), 0..256),
-                         b in prop::collection::vec(any::<u8>(), 0..256)) {
-        prop_assert_eq!(Digest::of_bytes(&a), Digest::of_bytes(&a));
+fn random_bytes(rng: &mut RngStream, max_len: u64) -> Vec<u8> {
+    let len = rng.below(max_len);
+    (0..len).map(|_| rng.below(256) as u8).collect()
+}
+
+fn random_word(rng: &mut RngStream, min_len: u64, max_len: u64) -> String {
+    let len = min_len + rng.below(max_len - min_len + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+/// Digests are content-deterministic and collision-free over random
+/// byte strings (at test scale).
+#[test]
+fn digest_properties() {
+    for mut rng in cases("digest", 64) {
+        let a = random_bytes(&mut rng, 256);
+        let b = random_bytes(&mut rng, 256);
+        assert_eq!(Digest::of_bytes(&a), Digest::of_bytes(&a));
         if a != b {
-            prop_assert_ne!(Digest::of_bytes(&a), Digest::of_bytes(&b));
+            assert_ne!(Digest::of_bytes(&a), Digest::of_bytes(&b));
         }
     }
+}
 
-    /// Any recipe assembled from valid instructions parses, and the parse
-    /// is a bijection on the instruction count.
-    #[test]
-    fn recipe_roundtrip(pkgs in prop::collection::vec("[a-z]{2,10}", 0..6),
-                        copy_mb in 1u64..500) {
+/// Any recipe assembled from valid instructions parses, and the parse
+/// is a bijection on the instruction count.
+#[test]
+fn recipe_roundtrip() {
+    for mut rng in cases("roundtrip", 64) {
+        let pkgs: Vec<String> = (0..rng.below(6))
+            .map(|_| random_word(&mut rng, 2, 10))
+            .collect();
+        let copy_mb = 1 + rng.below(499);
         let mut text = String::from("FROM centos:7.4\n");
         for p in &pkgs {
             text.push_str(&format!("RUN yum install {p}\n"));
         }
         text.push_str(&format!("COPY app /opt/app {copy_mb}MB\n"));
         let recipe = ImageRecipe::parse("gen", &text).unwrap();
-        prop_assert_eq!(recipe.instructions.len(), pkgs.len() + 2);
+        assert_eq!(recipe.instructions.len(), pkgs.len() + 2);
         // and it always builds (unknown packages cost metadata only)
         let out = BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
             .build(&recipe)
             .unwrap();
-        prop_assert_eq!(out.manifest.layers.len(), pkgs.len() + 2);
-        prop_assert!(out.manifest.uncompressed_bytes() >= 210_000_000 + copy_mb * 1_000_000);
+        assert_eq!(out.manifest.layers.len(), pkgs.len() + 2);
+        assert!(out.manifest.uncompressed_bytes() >= 210_000_000 + copy_mb * 1_000_000);
     }
+}
 
-    /// Layer digests chain: reordering RUN instructions changes every
-    /// downstream digest.
-    #[test]
-    fn layer_chain_order_sensitive(a in "[a-z]{3,8}", b in "[a-z]{3,8}") {
-        prop_assume!(a != b);
+/// Layer digests chain: reordering RUN instructions changes every
+/// downstream digest.
+#[test]
+fn layer_chain_order_sensitive() {
+    for mut rng in cases("layer-chain", 64) {
+        let a = random_word(&mut rng, 3, 8);
+        let b = random_word(&mut rng, 3, 8);
+        if a == b {
+            continue;
+        }
         let build = |first: &str, second: &str| {
-            let text = format!(
-                "FROM centos:7.4\nRUN yum install {first}\nRUN yum install {second}\n"
-            );
+            let text =
+                format!("FROM centos:7.4\nRUN yum install {first}\nRUN yum install {second}\n");
             BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
                 .build(&ImageRecipe::parse("x", &text).unwrap())
                 .unwrap()
@@ -58,14 +85,19 @@ proptest! {
         };
         let ab = build(&a, &b);
         let ba = build(&b, &a);
-        prop_assert_ne!(ab.digest(), ba.digest());
-        prop_assert_ne!(ab.layers[2].digest, ba.layers[2].digest);
+        assert_ne!(ab.digest(), ba.digest());
+        assert_ne!(ab.layers[2].digest, ba.layers[2].digest);
     }
+}
 
-    /// Registry pulls are idempotent under caching: after one full pull,
-    /// the second plan fetches nothing.
-    #[test]
-    fn pull_caching_idempotent(pkgs in prop::collection::vec("[a-z]{2,8}", 1..5)) {
+/// Registry pulls are idempotent under caching: after one full pull,
+/// the second plan fetches nothing.
+#[test]
+fn pull_caching_idempotent() {
+    for mut rng in cases("pull-cache", 64) {
+        let pkgs: Vec<String> = (0..1 + rng.below(4))
+            .map(|_| random_word(&mut rng, 2, 8))
+            .collect();
         let mut text = String::from("FROM ubuntu:16.04\n");
         for p in &pkgs {
             text.push_str(&format!("RUN apt-get install {p}\n"));
@@ -82,27 +114,37 @@ proptest! {
             cache.insert(*d);
         }
         let plan2 = reg.plan_pull("x:1", &cache).unwrap();
-        prop_assert!(plan2.fully_cached());
-        prop_assert_eq!(plan2.bytes(), 0);
+        assert!(plan2.fully_cached());
+        assert_eq!(plan2.bytes(), 0);
     }
+}
 
-    /// System-specific builds never exceed the self-contained size, for any
-    /// package list.
-    #[test]
-    fn system_specific_never_bigger(extra in prop::collection::vec("[a-z]{2,8}", 0..4)) {
+/// System-specific builds never exceed the self-contained size, for any
+/// package list.
+#[test]
+fn system_specific_never_bigger() {
+    for mut rng in cases("sys-specific", 64) {
+        let extra: Vec<String> = (0..rng.below(4))
+            .map(|_| random_word(&mut rng, 2, 8))
+            .collect();
         let mut text = String::from("FROM centos:7.4\nRUN yum install openmpi libibverbs\n");
         for p in &extra {
             text.push_str(&format!("RUN yum install {p}\n"));
         }
         let recipe = ImageRecipe::parse("x", &text).unwrap();
         let sc = BuildEngine::self_contained(CpuModel::xeon_platinum_8160())
-            .build(&recipe).unwrap().manifest;
+            .build(&recipe)
+            .unwrap()
+            .manifest;
         let ss = BuildEngine::system_specific(
             CpuModel::xeon_platinum_8160(),
             harborsim_hw::InterconnectKind::OmniPath100,
-        ).build(&recipe).unwrap().manifest;
-        prop_assert!(ss.uncompressed_bytes() <= sc.uncompressed_bytes());
-        prop_assert_eq!(ss.arch, sc.arch);
+        )
+        .build(&recipe)
+        .unwrap()
+        .manifest;
+        assert!(ss.uncompressed_bytes() <= sc.uncompressed_bytes());
+        assert_eq!(ss.arch, sc.arch);
     }
 }
 

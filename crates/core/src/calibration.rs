@@ -17,10 +17,9 @@
 use harborsim_alya::workload::{AlyaCase, ArteryFsi};
 use harborsim_hw::{presets, ClusterSpec};
 use harborsim_net::fabric::fabric_transports;
-use serde::{Deserialize, Serialize};
 
 /// Derived machine-level quantities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineCalibration {
     /// Cluster name.
     pub name: String,
@@ -36,8 +35,7 @@ pub struct MachineCalibration {
 
 /// Compute the calibration row of a cluster.
 pub fn machine(cluster: &ClusterSpec) -> MachineCalibration {
-    let node_sustained =
-        cluster.node.cores() as f64 * cluster.node.cpu.cg_gflops_per_core;
+    let node_sustained = cluster.node.cores() as f64 * cluster.node.cpu.cg_gflops_per_core;
     let native = fabric_transports(cluster.interconnect).native;
     MachineCalibration {
         name: cluster.name.clone(),
@@ -86,12 +84,7 @@ mod tests {
 
     #[test]
     fn latency_ladder_matches_osu_ordering() {
-        let by_name = |n: &str| {
-            all_machines()
-                .into_iter()
-                .find(|m| m.name == n)
-                .unwrap()
-        };
+        let by_name = |n: &str| all_machines().into_iter().find(|m| m.name == n).unwrap();
         let mn4 = by_name("MareNostrum4");
         let cte = by_name("CTE-POWER");
         let tx = by_name("ThunderX");
@@ -119,6 +112,9 @@ mod tests {
         assert!(coarse > fine, "intensity must fall: {coarse} -> {fine}");
         // and both stay in the sparse-solver band (10..100k flops/byte of
         // halo traffic at these granularities)
-        assert!(fine > 10.0 && coarse < 200_000.0, "fine={fine} coarse={coarse}");
+        assert!(
+            fine > 10.0 && coarse < 200_000.0,
+            "fine={fine} coarse={coarse}"
+        );
     }
 }

@@ -1,0 +1,94 @@
+//! The study-level error type.
+//!
+//! [`HarborError`] is what [`Scenario::compile`](crate::scenario::Scenario::compile)
+//! and everything above it returns: a closed set of the ways a scenario can
+//! be unrunnable, wrapping the substrate errors ([`PlacementError`] from
+//! `harborsim-hw`, [`BuildError`] from `harborsim-container`) without
+//! flattening them to strings, so callers can match on the cause while
+//! `Display` still renders the familiar one-line diagnostics.
+
+use harborsim_container::BuildError;
+use harborsim_hw::PlacementError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a scenario cannot be compiled into a runnable plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarborError {
+    /// The placement does not fit the cluster.
+    Placement(PlacementError),
+    /// The requested container runtime is not installed on the cluster.
+    RuntimeUnavailable {
+        /// Runtime label ("Docker", "Singularity", ...).
+        runtime: String,
+        /// Cluster name.
+        cluster: String,
+    },
+    /// Deployment was requested and the image build failed.
+    Build(BuildError),
+}
+
+impl fmt::Display for HarborError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarborError::Placement(e) => e.fmt(f),
+            HarborError::RuntimeUnavailable { runtime, cluster } => {
+                write!(f, "{runtime} is not installed on {cluster}")
+            }
+            HarborError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for HarborError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarborError::Placement(e) => Some(e),
+            HarborError::Build(e) => Some(e),
+            HarborError::RuntimeUnavailable { .. } => None,
+        }
+    }
+}
+
+impl From<PlacementError> for HarborError {
+    fn from(e: PlacementError) -> HarborError {
+        HarborError::Placement(e)
+    }
+}
+
+impl From<BuildError> for HarborError {
+    fn from(e: BuildError) -> HarborError {
+        HarborError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_match_the_legacy_strings() {
+        let e = HarborError::RuntimeUnavailable {
+            runtime: "Docker".into(),
+            cluster: "MareNostrum4".into(),
+        };
+        assert_eq!(e.to_string(), "Docker is not installed on MareNostrum4");
+        let e: HarborError = PlacementError::ZeroDimension.into();
+        assert_eq!(e.to_string(), "placement dimensions must be positive");
+        let e: HarborError = BuildError::UnknownBaseImage("a:1".into()).into();
+        assert_eq!(e.to_string(), "unknown base image \"a:1\"");
+    }
+
+    #[test]
+    fn sources_expose_the_cause() {
+        let e: HarborError = PlacementError::ZeroDimension.into();
+        assert!(e.source().unwrap().is::<PlacementError>());
+        let e: HarborError = BuildError::UnknownBaseImage("a:1".into()).into();
+        assert!(e.source().unwrap().is::<BuildError>());
+        let e = HarborError::RuntimeUnavailable {
+            runtime: "Docker".into(),
+            cluster: "x".into(),
+        };
+        assert!(e.source().is_none());
+    }
+}

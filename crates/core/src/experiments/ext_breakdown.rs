@@ -35,11 +35,14 @@ pub fn run(seed: u64) -> Vec<Breakdown> {
         Execution::shifter(),
         Execution::docker(),
     ] {
-        let outcome = Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_lenox())
-            .execution(env)
-            .nodes(4)
-            .ranks_per_node(28)
-            .run(seed);
+        let outcome = Scenario::new(
+            harborsim_hw::presets::lenox(),
+            workloads::artery_cfd_lenox(),
+        )
+        .execution(env)
+        .nodes(4)
+        .ranks_per_node(28)
+        .run(seed);
         out.push(Breakdown {
             label: env.label(),
             result: outcome.result,

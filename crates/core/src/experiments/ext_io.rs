@@ -13,7 +13,7 @@ use crate::scenario::Execution;
 use harborsim_container::build::{alya_recipe, BuildEngine};
 use harborsim_container::deploy::DeployPlan;
 use harborsim_hw::{presets, StorageSpec};
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// Node counts of the storm sweep.
 pub const NODES: [u32; 5] = [4, 16, 64, 128, 256];
@@ -131,7 +131,9 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
     expect(
         &mut report,
         warm256 < 3.0 && warm256 < docker256 / 20.0,
-        format!("warm Docker caches should deploy in seconds: {warm256:.1}s vs cold {docker256:.1}s"),
+        format!(
+            "warm Docker caches should deploy in seconds: {warm256:.1}s vs cold {docker256:.1}s"
+        ),
     );
     report
 }

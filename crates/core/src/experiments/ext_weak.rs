@@ -12,7 +12,7 @@ use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use harborsim_alya::workload::ArteryFsi;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// Node counts of the sweep.
 pub const NODES: [u32; 5] = [4, 16, 64, 128, 256];

@@ -14,7 +14,7 @@ use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// The paper's five `ranks × threads-per-rank` configurations.
 pub const CONFIGS: [(u32, u32); 5] = [(8, 14), (16, 7), (28, 4), (56, 2), (112, 1)];
@@ -30,11 +30,14 @@ pub fn environments() -> Vec<(&'static str, Execution)> {
 }
 
 fn scenario(env: Execution, ranks: u32, threads: u32) -> Scenario {
-    Scenario::new(harborsim_hw::presets::lenox(), workloads::artery_cfd_lenox())
-        .execution(env)
-        .nodes(4)
-        .ranks_per_node(ranks / 4)
-        .threads_per_rank(threads)
+    Scenario::new(
+        harborsim_hw::presets::lenox(),
+        workloads::artery_cfd_lenox(),
+    )
+    .execution(env)
+    .nodes(4)
+    .ranks_per_node(ranks / 4)
+    .threads_per_rank(threads)
 }
 
 /// Regenerate the figure: x = total MPI ranks, y = elapsed seconds.
@@ -85,7 +88,10 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
             expect(
                 &mut report,
                 t / bare < 1.08,
-                format!("{hpc} at {ranks} ranks is {:.2}x bare-metal (want < 1.08x)", t / bare),
+                format!(
+                    "{hpc} at {ranks} ranks is {:.2}x bare-metal (want < 1.08x)",
+                    t / bare
+                ),
             );
         }
         let docker_rel = get("Docker", x) / bare;

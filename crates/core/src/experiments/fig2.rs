@@ -15,7 +15,7 @@ use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// Node counts of the figure (the paper samples every integer 2..16).
 pub fn node_counts() -> Vec<u32> {
@@ -38,10 +38,13 @@ pub fn environments() -> Vec<(&'static str, Execution)> {
 }
 
 fn scenario(env: Execution, nodes: u32) -> Scenario {
-    Scenario::new(harborsim_hw::presets::cte_power(), workloads::artery_cfd_cte())
-        .execution(env)
-        .nodes(nodes)
-        .ranks_per_node(40)
+    Scenario::new(
+        harborsim_hw::presets::cte_power(),
+        workloads::artery_cfd_cte(),
+    )
+    .execution(env)
+    .nodes(nodes)
+    .ranks_per_node(40)
 }
 
 /// Regenerate the figure: x = nodes, y = elapsed seconds.
@@ -79,7 +82,10 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
         expect(
             &mut report,
             ss / bare < 1.05,
-            format!("system-specific at {n} nodes is {:.2}x bare-metal (want < 1.05x)", ss / bare),
+            format!(
+                "system-specific at {n} nodes is {:.2}x bare-metal (want < 1.05x)",
+                ss / bare
+            ),
         );
     }
     // every curve strong-scales (monotone decreasing in nodes). The
@@ -97,7 +103,10 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
             expect(
                 &mut report,
                 w[1].1 < w[0].1 * slack,
-                format!("{}: time rose {:.1} -> {:.1} at {} nodes", s.label, w[0].1, w[1].1, w[1].0),
+                format!(
+                    "{}: time rose {:.1} -> {:.1} at {} nodes",
+                    s.label, w[0].1, w[1].1, w[1].0
+                ),
             );
         }
     }
@@ -107,7 +116,10 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
     expect(
         &mut report,
         sc16 / bare16 >= 2.0,
-        format!("self-contained at 16 nodes only {:.2}x bare-metal (want >= 2x)", sc16 / bare16),
+        format!(
+            "self-contained at 16 nodes only {:.2}x bare-metal (want >= 2x)",
+            sc16 / bare16
+        ),
     );
     let sc2 = get("Singularity self-contained", 2);
     let speedup_sc = sc2 / sc16;

@@ -16,7 +16,7 @@ use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// Node counts of the figure.
 pub const NODES: [u32; 7] = [4, 8, 16, 32, 64, 128, 256];
@@ -96,7 +96,9 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
         expect(
             &mut report,
             (ss - bare).abs() / bare < 0.08,
-            format!("system-specific at {n} nodes: speedup {ss:.1} vs bare {bare:.1} (want within 8%)"),
+            format!(
+                "system-specific at {n} nodes: speedup {ss:.1} vs bare {bare:.1} (want within 8%)"
+            ),
         );
         let ideal = n as f64 / 4.0;
         expect(

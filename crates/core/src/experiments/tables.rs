@@ -22,15 +22,18 @@ use harborsim_net::TransportSelection;
 pub fn deployment(seeds: &[u64]) -> TableData {
     let cluster = presets::lenox();
     let mut rows = Vec::new();
+    // all four technologies deploy the same self-contained image: build it
+    // once and only re-*package* it per runtime format
+    let builder = BuildEngine::self_contained(cluster.node.cpu.clone());
+    let build = builder
+        .build(&alya_recipe())
+        .expect("builtin recipe builds");
     for env in [
         Execution::bare_metal(),
         Execution::docker(),
         Execution::singularity_self_contained(),
         Execution::shifter(),
     ] {
-        let build = BuildEngine::self_contained(cluster.node.cpu.clone())
-            .build(&alya_recipe())
-            .expect("builtin recipe builds");
         let (fmt_name, size, pack_s) = match env.runtime.image_format() {
             None => ("-".to_string(), 0u64, 0.0),
             Some(f) => {
@@ -42,8 +45,7 @@ pub fn deployment(seeds: &[u64]) -> TableData {
                 (
                     name.to_string(),
                     build.manifest.size_bytes(f),
-                    BuildEngine::self_contained(cluster.node.cpu.clone())
-                        .package_seconds(&build.manifest, f),
+                    builder.package_seconds(&build.manifest, f),
                 )
             }
         };
@@ -62,7 +64,11 @@ pub fn deployment(seeds: &[u64]) -> TableData {
         rows.push(vec![
             env.runtime.label().to_string(),
             fmt_name,
-            if size == 0 { "-".into() } else { fmt_bytes(size) },
+            if size == 0 {
+                "-".into()
+            } else {
+                fmt_bytes(size)
+            },
             if env.runtime == RuntimeKind::BareMetal {
                 "-".into()
             } else {
@@ -109,18 +115,19 @@ pub fn check_deployment_shape(t: &TableData) -> ShapeReport {
 
 /// §B.2 — the same containerized application across three architectures.
 pub fn portability(seeds: &[u64]) -> TableData {
-    let machines = [presets::marenostrum4(), presets::cte_power(), presets::thunderx()];
+    let machines = [
+        presets::marenostrum4(),
+        presets::cte_power(),
+        presets::thunderx(),
+    ];
     let mut rows = Vec::new();
     for cluster in &machines {
         for containment in [Containment::SelfContained, Containment::SystemSpecific] {
             let engine = match containment {
-                Containment::SelfContained => {
-                    BuildEngine::self_contained(cluster.node.cpu.clone())
+                Containment::SelfContained => BuildEngine::self_contained(cluster.node.cpu.clone()),
+                Containment::SystemSpecific => {
+                    BuildEngine::system_specific(cluster.node.cpu.clone(), cluster.interconnect)
                 }
-                Containment::SystemSpecific => BuildEngine::system_specific(
-                    cluster.node.cpu.clone(),
-                    cluster.interconnect,
-                ),
             };
             let image = engine.build(&alya_recipe()).expect("builds").manifest;
             let compat = check_compat(
@@ -183,8 +190,9 @@ pub fn portability(seeds: &[u64]) -> TableData {
     ]);
     TableData {
         id: "table-portability".into(),
-        title: "Portability: one application, three architectures, two build techniques (2 nodes each)"
-            .into(),
+        title:
+            "Portability: one application, three architectures, two build techniques (2 nodes each)"
+                .into(),
         headers: vec![
             "Machine".into(),
             "Arch".into(),
@@ -238,7 +246,10 @@ pub fn check_portability_shape(t: &TableData) -> ShapeReport {
             expect(
                 &mut report,
                 row[4] == "native",
-                format!("{} system-specific should be native, got {}", row[0], row[4]),
+                format!(
+                    "{} system-specific should be native, got {}",
+                    row[0], row[4]
+                ),
             );
         }
     }

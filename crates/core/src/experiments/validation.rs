@@ -12,7 +12,7 @@ use crate::report::TableData;
 use crate::scenario::{EngineKind, Execution, Scenario};
 use crate::workloads;
 use harborsim_hw::presets;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// One cross-validation point.
 #[derive(Debug, Clone)]
@@ -60,9 +60,27 @@ fn point(
 /// Run the validation matrix.
 pub fn run() -> Vec<ValidationRow> {
     let points: Vec<(&str, harborsim_hw::ClusterSpec, Execution, u32, u32)> = vec![
-        ("Lenox bare 2x14", presets::lenox(), Execution::bare_metal(), 2, 14),
-        ("Lenox bare 4x28", presets::lenox(), Execution::bare_metal(), 4, 28),
-        ("Lenox docker 4x14", presets::lenox(), Execution::docker(), 4, 14),
+        (
+            "Lenox bare 2x14",
+            presets::lenox(),
+            Execution::bare_metal(),
+            2,
+            14,
+        ),
+        (
+            "Lenox bare 4x28",
+            presets::lenox(),
+            Execution::bare_metal(),
+            4,
+            28,
+        ),
+        (
+            "Lenox docker 4x14",
+            presets::lenox(),
+            Execution::docker(),
+            4,
+            14,
+        ),
         (
             "Lenox shifter 4x28",
             presets::lenox(),

@@ -5,7 +5,12 @@
 //!
 //! - [`scenario`] — a runnable scenario: cluster × execution environment ×
 //!   workload × placement, with engine selection and deployment modelling.
-//! - [`runner`] — repetition, averaging, and parallel parameter sweeps.
+//!   Scenarios *compile* into a [`scenario::ScenarioPlan`] (validate once,
+//!   execute many seeds).
+//! - [`error`] — [`HarborError`], the typed study-level error wrapping the
+//!   substrate errors.
+//! - [`runner`] — repetition, averaging, and parallel parameter sweeps,
+//!   built on compile-once plans.
 //! - [`workloads`] — the Alya case presets re-exported for convenience.
 //! - [`experiments`] — one function per figure/table of the paper
 //!   (Fig. 1 containerization, Fig. 2 portability, Fig. 3 scalability,
@@ -15,6 +20,7 @@
 //! - [`report`] — aligned ASCII tables, ASCII charts, CSV and SVG writers.
 
 pub mod calibration;
+pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod runner;
@@ -50,5 +56,6 @@ pub mod workloads {
     }
 }
 
+pub use error::HarborError;
 pub use report::{FigureData, Series, TableData};
-pub use scenario::{EngineKind, Execution, Outcome, Scenario};
+pub use scenario::{EngineKind, Execution, Outcome, Scenario, ScenarioPlan};

@@ -4,11 +4,10 @@
 //! Everything is dependency-free and deterministic: the same data renders
 //! to byte-identical artifacts, which lets EXPERIMENTS.md pin outputs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One plotted series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -35,7 +34,7 @@ impl Series {
 }
 
 /// A figure: several series over a shared axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Identifier ("fig1").
     pub id: String,
@@ -97,12 +96,8 @@ impl FigureData {
         if all.is_empty() {
             return format!("{} (no data)\n", self.title);
         }
-        let (mut x0, mut x1, mut y0, mut y1) = (
-            f64::INFINITY,
-            f64::NEG_INFINITY,
-            0.0_f64,
-            f64::NEG_INFINITY,
-        );
+        let (mut x0, mut x1, mut y0, mut y1) =
+            (f64::INFINITY, f64::NEG_INFINITY, 0.0_f64, f64::NEG_INFINITY);
         for &(x, y) in &all {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -153,12 +148,8 @@ impl FigureData {
             .iter()
             .flat_map(|s| s.points.iter().copied())
             .collect();
-        let (mut x0, mut x1, mut y0, mut y1) = (
-            f64::INFINITY,
-            f64::NEG_INFINITY,
-            0.0_f64,
-            f64::NEG_INFINITY,
-        );
+        let (mut x0, mut x1, mut y0, mut y1) =
+            (f64::INFINITY, f64::NEG_INFINITY, 0.0_f64, f64::NEG_INFINITY);
         for &(x, y) in &all {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -281,11 +272,71 @@ impl FigureData {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON number (`null` for non-finite values).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl FigureData {
+    /// Machine-readable JSON rendering (used by `summary.json`).
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let pts: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("[{},{}]", json_num(x), json_num(y)))
+                    .collect();
+                format!(
+                    r#"{{"label":"{}","points":[{}]}}"#,
+                    json_escape(&s.label),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"id":"{}","title":"{}","x_label":"{}","y_label":"{}","series":[{}]}}"#,
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.x_label),
+            json_escape(&self.y_label),
+            series.join(",")
+        )
+    }
 }
 
 /// A table: headers plus string rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableData {
     /// Identifier ("table-deployment").
     pub id: String,
@@ -343,12 +394,33 @@ impl TableData {
             .join(",");
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","),
-            );
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
+    }
+
+    /// Machine-readable JSON rendering (used by `summary.json`).
+    pub fn to_json(&self) -> String {
+        let strings = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("[{}]", strings(r)))
+            .collect();
+        format!(
+            r#"{{"id":"{}","title":"{}","headers":[{}],"rows":[{}]}}"#,
+            json_escape(&self.id),
+            json_escape(&self.title),
+            strings(&self.headers),
+            rows.join(",")
+        )
     }
 }
 
@@ -400,7 +472,11 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "Nodes,a,b");
         assert_eq!(lines.len(), 4);
-        assert!(lines[3].ends_with(','), "series b missing at x=4: {}", lines[3]);
+        assert!(
+            lines[3].ends_with(','),
+            "series b missing at x=4: {}",
+            lines[3]
+        );
     }
 
     #[test]
@@ -448,6 +524,23 @@ mod tests {
         assert_eq!(fmt_bytes(999), "999 B");
         assert_eq!(fmt_bytes(450_000_000), "450 MB");
         assert_eq!(fmt_bytes(2_300_000_000), "2.30 GB");
+    }
+
+    #[test]
+    fn json_renderings_are_well_formed() {
+        let j = fig().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""id":"figT""#));
+        assert!(j.contains("[1,10]"));
+        let t = TableData {
+            id: "t".into(),
+            title: "quo\"ted".into(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["b,c".into()]],
+        };
+        let j = t.to_json();
+        assert!(j.contains(r#""title":"quo\"ted""#));
+        assert!(j.contains(r#"[["b,c"]]"#));
     }
 
     #[test]

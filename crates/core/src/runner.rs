@@ -1,16 +1,19 @@
 //! Repetition, averaging, and parallel sweeps.
 //!
 //! The paper reports *average* elapsed times over repeated runs; the
-//! runner reproduces that protocol: a scenario is executed once per seed
-//! and summarized. Independent sweep points run in parallel with Rayon.
+//! runner reproduces that protocol on top of the compile-once API: each
+//! scenario is compiled into a [`ScenarioPlan`] exactly once, then the
+//! plan executes every seed — validation, job-profile construction and
+//! (for deployment scenarios) the image build are never repeated per
+//! seed. Independent sweep points run in parallel.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioPlan};
 use harborsim_des::stats::Summary;
-use rayon::prelude::*;
+use harborsim_par::prelude::*;
 
 /// Default seeds — "five repetitions", as typical for the cluster runs.
-pub fn default_seeds() -> Vec<u64> {
-    vec![11, 22, 33, 44, 55]
+pub fn default_seeds() -> &'static [u64] {
+    &[11, 22, 33, 44, 55]
 }
 
 /// Average elapsed seconds of a scenario over the given seeds.
@@ -18,23 +21,37 @@ pub fn mean_elapsed_s(scenario: &Scenario, seeds: &[u64]) -> f64 {
     summarize_elapsed(scenario, seeds).mean()
 }
 
-/// Full summary (mean/min/max/σ) of elapsed seconds over seeds.
+/// Full summary (mean/min/max/σ) of elapsed seconds over seeds. The
+/// scenario is compiled once; each seed only executes the plan.
 pub fn summarize_elapsed(scenario: &Scenario, seeds: &[u64]) -> Summary {
+    let plan = match scenario.compile() {
+        Ok(plan) => plan,
+        Err(e) => panic!("scenario configuration: {e}"),
+    };
+    summarize_plan(&plan, seeds)
+}
+
+/// Summary of elapsed seconds of an already-compiled plan over seeds.
+pub fn summarize_plan(plan: &ScenarioPlan, seeds: &[u64]) -> Summary {
     let mut s = Summary::new();
     for &seed in seeds {
-        s.record(scenario.run(seed).elapsed.as_secs_f64());
+        s.record(plan.execute(seed).elapsed.as_secs_f64());
     }
     s
 }
 
 /// Run a set of independent scenario constructors in parallel and collect
-/// their mean elapsed times, preserving order.
-pub fn sweep<F>(points: Vec<F>, seeds: &[u64]) -> Vec<f64>
+/// their mean elapsed times, preserving order. Accepts any iterable of
+/// closures — a `Vec`, an array, `iter::map` output — without boxing.
+pub fn sweep<C, F>(points: C, seeds: &[u64]) -> Vec<f64>
 where
+    C: IntoIterator<Item = F>,
     F: Fn() -> Scenario + Send + Sync,
 {
     points
-        .par_iter()
+        .into_iter()
+        .collect::<Vec<F>>()
+        .into_par_iter()
         .map(|mk| mean_elapsed_s(&mk(), seeds))
         .collect()
 }
@@ -55,7 +72,7 @@ mod tests {
 
     #[test]
     fn averaging_is_tight() {
-        let s = summarize_elapsed(&scenario(), &default_seeds());
+        let s = summarize_elapsed(&scenario(), default_seeds());
         assert_eq!(s.count(), 5);
         assert!(s.mean() > 0.0);
         // run-to-run jitter is small by design
@@ -65,13 +82,11 @@ mod tests {
     #[test]
     fn sweep_preserves_order_and_parallelizes() {
         // a compute-heavy case so strong scaling is unambiguous on 1GbE
-        let heavy = || {
-            harborsim_alya::workload::ArteryCfd {
-                label: "sweep-probe".into(),
-                active_cells: 5.0e6,
-                timesteps: 3,
-                cg_iters: 10,
-            }
+        let heavy = || harborsim_alya::workload::ArteryCfd {
+            label: "sweep-probe".into(),
+            active_cells: 5.0e6,
+            timesteps: 3,
+            cg_iters: 10,
         };
         // InfiniBand machine: communication cannot mask the scaling
         let mk = move |nodes: u32| {
@@ -80,15 +95,20 @@ mod tests {
                 .nodes(nodes)
                 .ranks_per_node(14)
         };
-        let mks: Vec<Box<dyn Fn() -> Scenario + Send + Sync>> = vec![
-            Box::new(move || mk(1)),
-            Box::new(move || mk(2)),
-            Box::new(move || mk(4)),
-        ];
-        let times = sweep(mks, &[1, 2]);
+        // an unboxed array of distinct-but-unifiable closures via map
+        let times = sweep([1u32, 2, 4].map(|n| move || mk(n)), &[1, 2]);
         assert_eq!(times.len(), 3);
         // strong scaling: more nodes, less time (compute dominates here)
         assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+    }
+
+    #[test]
+    fn sweep_accepts_boxed_closures_too() {
+        let mks: Vec<Box<dyn Fn() -> Scenario + Send + Sync>> =
+            vec![Box::new(scenario), Box::new(|| scenario().nodes(4))];
+        let times = sweep(mks, &[3]);
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|t| *t > 0.0));
     }
 
     #[test]
@@ -96,5 +116,16 @@ mod tests {
         let a = mean_elapsed_s(&scenario(), &[9, 8, 7]);
         let b = mean_elapsed_s(&scenario(), &[9, 8, 7]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_reuse_matches_per_seed_compiles() {
+        let sc = scenario();
+        let plan = sc.compile().unwrap();
+        let via_plan = summarize_plan(&plan, default_seeds());
+        let via_scenario = summarize_elapsed(&sc, default_seeds());
+        assert_eq!(via_plan.mean(), via_scenario.mean());
+        assert_eq!(via_plan.min(), via_scenario.min());
+        assert_eq!(via_plan.max(), via_scenario.max());
     }
 }

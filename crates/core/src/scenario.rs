@@ -1,14 +1,27 @@
 //! Runnable scenarios: cluster × execution environment × workload ×
 //! placement.
+//!
+//! A [`Scenario`] is the builder; [`Scenario::compile`] validates it once
+//! and produces a [`ScenarioPlan`] — placement, job profile, composed
+//! network, engine, and (if requested) the built image and deployment
+//! model, all resolved up front. [`ScenarioPlan::execute`] then costs one
+//! seed with no validation, no profile rebuild and no image rebuild, which
+//! is what the repetition-and-sweep layer in [`crate::runner`] leans on.
 
+use crate::error::HarborError;
+use harborsim_alya::memo::job_profile_cached;
 use harborsim_alya::workload::AlyaCase;
 use harborsim_container::deploy::deployment_overhead;
-use harborsim_container::{BuildEngine, DeploymentReport};
+use harborsim_container::image::ImageManifest;
+use harborsim_container::{BuildEngine, BuildError, DeploymentReport};
 use harborsim_des::SimDuration;
-use harborsim_hw::{ClusterSpec, InterconnectKind};
+use harborsim_hw::{ClusterSpec, CpuModel, InterconnectKind};
 use harborsim_mpi::analytic::EngineConfig;
-use harborsim_mpi::{AnalyticEngine, DesEngine, RankMap, SimResult};
+use harborsim_mpi::workload::JobProfile;
+use harborsim_mpi::{AnalyticEngine, DesEngine, PerfEngine, RankMap, SimResult, TruncatingDes};
 use harborsim_net::{NetworkModel, Topology};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 pub use harborsim_container::runtime::ExecutionEnvironment as Execution;
 
@@ -125,53 +138,50 @@ impl Scenario {
             .network_model(self.cluster.interconnect, topology_for(&self.cluster))
     }
 
-    /// Validate and run; `seed` drives run-to-run jitter.
+    /// Validate the scenario and resolve everything seed-independent into
+    /// a [`ScenarioPlan`]: placement, job profile, network, engine, and
+    /// (if requested) the built image and its deployment model.
     ///
     /// # Errors
-    /// Placement violations and unavailable runtimes are reported as
-    /// strings.
-    pub fn try_run(&self, seed: u64) -> Result<Outcome, String> {
+    /// [`HarborError::Placement`] if the placement doesn't fit the machine,
+    /// [`HarborError::RuntimeUnavailable`] if the container runtime is not
+    /// installed there, [`HarborError::Build`] if deployment was requested
+    /// and the image build fails.
+    pub fn compile(&self) -> Result<ScenarioPlan, HarborError> {
         self.cluster
             .validate_placement(self.nodes, self.ranks_per_node, self.threads_per_rank)?;
         if !self.env.runtime.available_on(&self.cluster.software) {
-            return Err(format!(
-                "{} is not installed on {}",
-                self.env.runtime.label(),
-                self.cluster.name
-            ));
+            return Err(HarborError::RuntimeUnavailable {
+                runtime: self.env.runtime.label().to_string(),
+                cluster: self.cluster.name.clone(),
+            });
         }
         let map = RankMap::block(self.nodes, self.ranks_per_node, self.threads_per_rank);
-        let job = self.case.job_profile(map.ranks());
+        let job = job_profile_cached(self.case.as_ref(), map.ranks());
         let network = self.network_model();
         let config = EngineConfig {
             compute_tax: self.env.runtime.compute_tax(),
             ..EngineConfig::default()
         };
-        let result = match self.engine {
-            EngineKind::Analytic => AnalyticEngine {
+        let engine: Box<dyn PerfEngine + Send + Sync> = match self.engine {
+            EngineKind::Analytic => Box::new(AnalyticEngine {
                 node: self.cluster.node.clone(),
                 network,
                 map,
                 config,
-            }
-            .run(&job, seed),
-            EngineKind::Des { max_steps_per_kind } => {
-                let (short, mult) = job.truncated(max_steps_per_kind);
-                DesEngine {
+            }),
+            EngineKind::Des { max_steps_per_kind } => Box::new(TruncatingDes {
+                inner: DesEngine {
                     node: self.cluster.node.clone(),
                     network,
                     map,
                     config,
-                }
-                .run(&short, seed)
-                .scaled(mult)
-            }
+                },
+                max_steps_per_kind,
+            }),
         };
         let deployment = if self.deploy {
-            let image = BuildEngine::self_contained(self.cluster.node.cpu.clone())
-                .build(&harborsim_container::build::alya_recipe())
-                .map_err(|e| e.to_string())?
-                .manifest;
+            let image = shared_alya_image(&self.cluster.node.cpu)?;
             Some(deployment_overhead(
                 self.nodes,
                 self.env,
@@ -181,11 +191,22 @@ impl Scenario {
         } else {
             None
         };
-        Ok(Outcome {
-            elapsed: result.elapsed,
-            result,
+        Ok(ScenarioPlan {
+            map,
+            job,
+            engine,
             deployment,
         })
+    }
+
+    /// Validate and run; `seed` drives run-to-run jitter. One-shot
+    /// convenience for [`Scenario::compile`] + [`ScenarioPlan::execute`] —
+    /// callers running many seeds should compile once and reuse the plan.
+    ///
+    /// # Errors
+    /// See [`Scenario::compile`].
+    pub fn try_run(&self, seed: u64) -> Result<Outcome, HarborError> {
+        Ok(self.compile()?.execute(seed))
     }
 
     /// Like [`Scenario::try_run`] but panics on configuration errors.
@@ -193,8 +214,75 @@ impl Scenario {
     /// # Panics
     /// Panics on placement violations or unavailable runtimes.
     pub fn run(&self, seed: u64) -> Outcome {
-        self.try_run(seed).expect("scenario configuration")
+        match self.try_run(seed) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("scenario configuration: {e}"),
+        }
     }
+}
+
+/// A compiled scenario: everything seed-independent resolved, ready to
+/// execute any number of seeds.
+pub struct ScenarioPlan {
+    map: RankMap,
+    job: JobProfile,
+    engine: Box<dyn PerfEngine + Send + Sync>,
+    deployment: Option<DeploymentReport>,
+}
+
+impl ScenarioPlan {
+    /// Execute one seed. Deterministic: the same plan and seed always
+    /// produce the same [`Outcome`].
+    pub fn execute(&self, seed: u64) -> Outcome {
+        let result = self.engine.run(&self.job, seed);
+        Outcome {
+            elapsed: result.elapsed,
+            result,
+            deployment: self.deployment.clone(),
+        }
+    }
+
+    /// The validated rank placement.
+    pub fn rank_map(&self) -> RankMap {
+        self.map
+    }
+
+    /// The compiled workload IR.
+    pub fn job(&self) -> &JobProfile {
+        &self.job
+    }
+
+    /// Short name of the selected engine ("analytic", "des").
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// The deployment model, if the scenario requested one.
+    pub fn deployment(&self) -> Option<&DeploymentReport> {
+        self.deployment.as_ref()
+    }
+}
+
+/// The study's Alya image, built at most once per build-host CPU for the
+/// whole process. Every scenario on the same cluster deploys the identical
+/// image, so sweeps (any number of points × seeds) share a single
+/// [`BuildEngine`] run.
+fn shared_alya_image(cpu: &CpuModel) -> Result<ImageManifest, BuildError> {
+    static IMAGES: OnceLock<Mutex<HashMap<String, ImageManifest>>> = OnceLock::new();
+    let images = IMAGES.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = format!("{cpu:?}");
+    if let Some(hit) = images.lock().unwrap().get(&key).cloned() {
+        return Ok(hit);
+    }
+    let manifest = BuildEngine::self_contained(cpu.clone())
+        .build(&harborsim_container::build::alya_recipe())?
+        .manifest;
+    images
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| manifest.clone());
+    Ok(manifest)
 }
 
 #[cfg(test)]
@@ -220,7 +308,11 @@ mod tests {
             .execution(Execution::docker())
             .try_run(1)
             .unwrap_err();
-        assert!(err.contains("Docker"), "{err}");
+        assert!(
+            matches!(err, HarborError::RuntimeUnavailable { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("Docker"), "{err}");
     }
 
     #[test]
@@ -229,13 +321,42 @@ mod tests {
             .nodes(9)
             .try_run(1)
             .unwrap_err();
-        assert!(err.contains("nodes"), "{err}");
+        assert!(matches!(err, HarborError::Placement(_)), "{err:?}");
+        assert!(err.to_string().contains("nodes"), "{err}");
         let err = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
             .ranks_per_node(28)
             .threads_per_rank(2)
             .try_run(1)
             .unwrap_err();
-        assert!(err.contains("cores"), "{err}");
+        assert!(err.to_string().contains("cores"), "{err}");
+    }
+
+    #[test]
+    fn plan_execute_matches_try_run() {
+        let scenario = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(2)
+            .ranks_per_node(8);
+        let plan = scenario.compile().expect("compiles");
+        for seed in [1u64, 7, 42] {
+            let a = plan.execute(seed);
+            let b = scenario.try_run(seed).unwrap();
+            assert_eq!(a.elapsed, b.elapsed, "seed {seed}");
+            assert_eq!(a.result.compute, b.result.compute);
+        }
+    }
+
+    #[test]
+    fn plan_exposes_compiled_state() {
+        let plan = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .nodes(2)
+            .ranks_per_node(14)
+            .compile()
+            .unwrap();
+        assert_eq!(plan.rank_map().ranks(), 28);
+        assert_eq!(plan.engine_name(), "analytic");
+        assert!(plan.job().total_steps() > 0);
+        assert!(plan.deployment().is_none());
     }
 
     #[test]

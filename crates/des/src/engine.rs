@@ -202,10 +202,7 @@ mod tests {
         let mut log = Vec::new();
         let n = eng.run(&mut log);
         assert_eq!(n, 2);
-        assert_eq!(
-            log,
-            vec![(1_000_000_000, "a"), (2_000_000_000, "b")]
-        );
+        assert_eq!(log, vec![(1_000_000_000, "a"), (2_000_000_000, "b")]);
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl<S: 'static> FluidLink<S> {
     where
         F: FnOnce(&mut Engine<S>, &mut S) + 'static,
     {
-        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be non-negative"
+        );
         self.advance(eng.now());
         let size = bytes.max(DONE_EPS_BYTES);
         self.flows.push(Flow {

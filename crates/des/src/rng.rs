@@ -6,10 +6,8 @@
 //! versions, trivially auditable) and derive *named substreams* so that adding
 //! a new consumer of randomness never perturbs existing ones.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic SplitMix64 stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RngStream {
     state: u64,
 }

@@ -1,11 +1,10 @@
 //! Lightweight statistics collectors used across the simulator.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Running summary of a scalar series: count, mean, min, max and variance via
 /// Welford's online algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -106,7 +105,7 @@ impl Summary {
 
 /// A time-weighted gauge: tracks the integral of a piecewise-constant value
 /// over simulated time (queue depths, active-flow counts, utilization).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     value: f64,
     integral: f64,
@@ -167,7 +166,7 @@ impl TimeWeighted {
 }
 
 /// Fixed-width-bin histogram of durations, with overflow bin.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DurationHistogram {
     bin_width: SimDuration,
     bins: Vec<u64>,

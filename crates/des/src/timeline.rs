@@ -7,11 +7,10 @@
 //! own activity and render a combined picture.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One recorded activity span.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
     /// Row the span renders on ("node3", "rank 12", "registry").
     pub lane: String,
@@ -24,7 +23,7 @@ pub struct Span {
 }
 
 /// A collection of spans.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     spans: Vec<Span>,
 }

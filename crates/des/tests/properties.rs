@@ -1,39 +1,62 @@
-//! Property-based tests of the DES kernel.
+//! Property-style tests of the DES kernel, driven by deterministic
+//! [`RngStream`] case generation (seeded, reproducible, dependency-free).
 
 use harborsim_des::{Engine, FluidLink, Resource, RngStream, SimDuration};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic replacement for proptest case generation.
+fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
+    let root = RngStream::new(0xDE5_0001).derive(label);
+    (0..n).map(move |i| root.derive_idx(i))
+}
 
-    /// Events always execute in (time, schedule-order) sequence, whatever
-    /// order they were submitted in.
-    #[test]
-    fn event_order_is_time_then_fifo(delays in prop::collection::vec(0u64..1_000, 1..200)) {
+fn random_vec(rng: &mut RngStream, max_len: u64, max_val: u64) -> Vec<u64> {
+    let len = 1 + rng.below(max_len);
+    (0..len).map(|_| rng.below(max_val)).collect()
+}
+
+/// Events always execute in (time, schedule-order) sequence, whatever
+/// order they were submitted in.
+#[test]
+fn event_order_is_time_then_fifo() {
+    for mut rng in cases("event-order", 64) {
+        let delays = random_vec(&mut rng, 200, 1_000);
         let mut eng: Engine<Vec<(u64, usize)>> = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
-            eng.schedule(SimDuration::from_nanos(d), move |eng, log: &mut Vec<(u64, usize)>| {
-                log.push((eng.now().as_nanos(), i));
-            });
+            eng.schedule(
+                SimDuration::from_nanos(d),
+                move |eng, log: &mut Vec<(u64, usize)>| {
+                    log.push((eng.now().as_nanos(), i));
+                },
+            );
         }
         let mut log = Vec::new();
         eng.run(&mut log);
-        prop_assert_eq!(log.len(), delays.len());
+        assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time must be monotone");
+            assert!(w[0].0 <= w[1].0, "time must be monotone");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "ties break by schedule order");
+                assert!(w[0].1 < w[1].1, "ties break by schedule order");
             }
         }
     }
+}
 
-    /// A FIFO resource of capacity c serving n unit jobs of duration d
-    /// finishes at exactly ceil(n/c)*d.
-    #[test]
-    fn resource_makespan_exact(jobs in 1u32..60, capacity in 1u32..8) {
-        struct St { res: Resource<St>, done: u32 }
+/// A FIFO resource of capacity c serving n unit jobs of duration d
+/// finishes at exactly ceil(n/c)*d.
+#[test]
+fn resource_makespan_exact() {
+    for mut rng in cases("resource-makespan", 64) {
+        let jobs = 1 + rng.below(59) as u32;
+        let capacity = 1 + rng.below(7) as u32;
+        struct St {
+            res: Resource<St>,
+            done: u32,
+        }
         let mut eng: Engine<St> = Engine::new();
-        let mut st = St { res: Resource::new(capacity), done: 0 };
+        let mut st = St {
+            res: Resource::new(capacity),
+            done: 0,
+        };
         let hold = SimDuration::from_millis(10);
         for _ in 0..jobs {
             eng.schedule(SimDuration::ZERO, move |eng, st: &mut St| {
@@ -46,36 +69,58 @@ proptest! {
             });
         }
         eng.run(&mut st);
-        prop_assert_eq!(st.done, jobs);
+        assert_eq!(st.done, jobs);
         let waves = jobs.div_ceil(capacity) as u64;
-        prop_assert_eq!(eng.now().as_nanos(), waves * 10_000_000);
+        assert_eq!(eng.now().as_nanos(), waves * 10_000_000);
     }
+}
 
-    /// Fair-share links conserve bytes and never exceed capacity.
-    #[test]
-    fn fluid_link_conserves(sizes in prop::collection::vec(1.0f64..1e6, 1..40)) {
-        struct St { link: FluidLink<St>, done: usize }
-        fn acc(s: &mut St) -> &mut FluidLink<St> { &mut s.link }
+/// Fair-share links conserve bytes and never exceed capacity.
+#[test]
+fn fluid_link_conserves() {
+    for mut rng in cases("fluid-conserves", 64) {
+        let n = 1 + rng.below(39);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.uniform_range(1.0, 1e6)).collect();
+        struct St {
+            link: FluidLink<St>,
+            done: usize,
+        }
+        fn acc(s: &mut St) -> &mut FluidLink<St> {
+            &mut s.link
+        }
         let mut eng: Engine<St> = Engine::new();
-        let mut st = St { link: FluidLink::new(1e6, acc), done: 0 };
+        let mut st = St {
+            link: FluidLink::new(1e6, acc),
+            done: 0,
+        };
         for (i, &bytes) in sizes.iter().enumerate() {
-            eng.schedule(SimDuration::from_micros(i as u64 * 37), move |eng, st: &mut St| {
-                st.link.start_flow(eng, bytes, |_, st| st.done += 1);
-            });
+            eng.schedule(
+                SimDuration::from_micros(i as u64 * 37),
+                move |eng, st: &mut St| {
+                    st.link.start_flow(eng, bytes, |_, st| st.done += 1);
+                },
+            );
         }
         eng.run(&mut st);
-        prop_assert_eq!(st.done, sizes.len());
+        assert_eq!(st.done, sizes.len());
         let total: f64 = sizes.iter().sum();
-        prop_assert!((st.link.bytes_completed() - total).abs() / total < 1e-6);
+        assert!((st.link.bytes_completed() - total).abs() / total < 1e-6);
         // aggregate throughput bounded by capacity
         let makespan = eng.now().as_secs_f64();
-        prop_assert!(total / makespan <= 1e6 * (1.0 + 1e-9));
+        assert!(total / makespan <= 1e6 * (1.0 + 1e-9));
     }
+}
 
-    /// RNG streams are reproducible and label-derivations independent of
-    /// consumption order.
-    #[test]
-    fn rng_substreams_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+/// RNG streams are reproducible and label-derivations independent of
+/// consumption order.
+#[test]
+fn rng_substreams_stable() {
+    for mut rng in cases("substreams", 64) {
+        let seed = rng.next_u64();
+        let len = 1 + rng.below(12) as usize;
+        let label: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
         let root = RngStream::new(seed);
         let mut a = root.derive(&label);
         // consuming the parent's siblings must not perturb `a`
@@ -83,13 +128,16 @@ proptest! {
         let _ = noise.next_u64();
         let mut b = root.derive(&label);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    /// Engine determinism: identical schedules produce identical histories.
-    #[test]
-    fn engine_is_deterministic(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+/// Engine determinism: identical schedules produce identical histories.
+#[test]
+fn engine_is_deterministic() {
+    for mut rng in cases("determinism", 64) {
+        let delays = random_vec(&mut rng, 100, 10_000);
         let run = |delays: &[u64]| -> (u64, u64) {
             let mut eng: Engine<u64> = Engine::new();
             for &d in delays {
@@ -101,6 +149,6 @@ proptest! {
             eng.run(&mut acc);
             (acc, eng.now().as_nanos())
         };
-        prop_assert_eq!(run(&delays), run(&delays));
+        assert_eq!(run(&delays), run(&delays));
     }
 }

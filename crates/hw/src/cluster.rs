@@ -3,12 +3,11 @@
 
 use crate::node::NodeSpec;
 use crate::storage::StorageSpec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The interconnect family of a cluster. The `net` crate maps each kind to
 /// transport parameters (native and TCP-fallback stacks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InterconnectKind {
     /// 1 Gbit/s Ethernet, TCP only (Lenox).
     GigabitEthernet,
@@ -62,7 +61,7 @@ impl fmt::Display for InterconnectKind {
 /// Container software installed on a cluster, by version string. `None`
 /// means the technology is not available there (e.g. no Docker on the
 /// production BSC machines — it needs a root daemon).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SoftwareStack {
     /// Docker daemon version, if installed.
     pub docker: Option<String>,
@@ -83,9 +82,64 @@ impl SoftwareStack {
     }
 }
 
+/// Why a `(nodes, ranks_per_node, threads_per_rank)` placement cannot run
+/// on a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Some placement dimension is zero.
+    ZeroDimension,
+    /// More nodes requested than the cluster has.
+    TooManyNodes {
+        /// Cluster name.
+        cluster: String,
+        /// Nodes requested.
+        requested: u32,
+        /// Nodes the cluster has.
+        available: u32,
+    },
+    /// `ranks_per_node × threads_per_rank` exceeds the cores of a node.
+    Oversubscribed {
+        /// Ranks per node requested.
+        ranks_per_node: u32,
+        /// Threads per rank requested.
+        threads_per_rank: u32,
+        /// Cores each node actually has.
+        cores_per_node: u32,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::ZeroDimension => {
+                f.write_str("placement dimensions must be positive")
+            }
+            PlacementError::TooManyNodes {
+                cluster,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{requested} nodes requested but {cluster} has only {available}"
+            ),
+            PlacementError::Oversubscribed {
+                ranks_per_node,
+                threads_per_rank,
+                cores_per_node,
+            } => write!(
+                f,
+                "{ranks_per_node}x{threads_per_rank} = {} cores per node requested but nodes have {cores_per_node}",
+                ranks_per_node * threads_per_rank
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// A cluster: `node_count` identical nodes, one interconnect, shared
 /// storage, node-local storage, and the installed container stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Cluster name as used in the paper.
     pub name: String,
@@ -111,36 +165,40 @@ impl ClusterSpec {
 
     /// Cores available on `nodes` nodes.
     pub fn cores_on(&self, nodes: u32) -> u64 {
-        debug_assert!(nodes <= self.node_count, "asking for more nodes than the cluster has");
+        debug_assert!(
+            nodes <= self.node_count,
+            "asking for more nodes than the cluster has"
+        );
         nodes as u64 * self.node.cores() as u64
     }
 
     /// Check that a `(nodes, ranks_per_node, threads_per_rank)` placement
-    /// fits the machine; returns a description of the violation if not.
+    /// fits the machine.
+    ///
+    /// # Errors
+    /// Returns the specific [`PlacementError`] violated.
     pub fn validate_placement(
         &self,
         nodes: u32,
         ranks_per_node: u32,
         threads_per_rank: u32,
-    ) -> Result<(), String> {
+    ) -> Result<(), PlacementError> {
         if nodes == 0 || ranks_per_node == 0 || threads_per_rank == 0 {
-            return Err("placement dimensions must be positive".into());
+            return Err(PlacementError::ZeroDimension);
         }
         if nodes > self.node_count {
-            return Err(format!(
-                "{} nodes requested but {} has only {}",
-                nodes, self.name, self.node_count
-            ));
+            return Err(PlacementError::TooManyNodes {
+                cluster: self.name.clone(),
+                requested: nodes,
+                available: self.node_count,
+            });
         }
-        let used = ranks_per_node * threads_per_rank;
-        if used > self.node.cores() {
-            return Err(format!(
-                "{}x{} = {} cores per node requested but nodes have {}",
+        if ranks_per_node * threads_per_rank > self.node.cores() {
+            return Err(PlacementError::Oversubscribed {
                 ranks_per_node,
                 threads_per_rank,
-                used,
-                self.node.cores()
-            ));
+                cores_per_node: self.node.cores(),
+            });
         }
         Ok(())
     }
@@ -175,9 +233,44 @@ mod tests {
         let c = mini();
         assert!(c.validate_placement(4, 28, 1).is_ok());
         assert!(c.validate_placement(4, 2, 14).is_ok());
-        assert!(c.validate_placement(5, 1, 1).is_err(), "too many nodes");
-        assert!(c.validate_placement(1, 28, 2).is_err(), "oversubscribed");
-        assert!(c.validate_placement(0, 1, 1).is_err());
+        assert!(
+            matches!(
+                c.validate_placement(5, 1, 1),
+                Err(PlacementError::TooManyNodes {
+                    requested: 5,
+                    available: 4,
+                    ..
+                })
+            ),
+            "too many nodes"
+        );
+        assert!(
+            matches!(
+                c.validate_placement(1, 28, 2),
+                Err(PlacementError::Oversubscribed {
+                    cores_per_node: 28,
+                    ..
+                })
+            ),
+            "oversubscribed"
+        );
+        assert_eq!(
+            c.validate_placement(0, 1, 1),
+            Err(PlacementError::ZeroDimension)
+        );
+    }
+
+    #[test]
+    fn placement_error_messages() {
+        let c = mini();
+        let e = c.validate_placement(5, 1, 1).unwrap_err();
+        assert_eq!(e.to_string(), "5 nodes requested but mini has only 4");
+        let e = c.validate_placement(1, 28, 2).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "28x2 = 56 cores per node requested but nodes have 28"
+        );
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

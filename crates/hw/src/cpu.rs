@@ -1,7 +1,6 @@
 //! CPU models: instruction-set architecture plus sustained-throughput
 //! parameters for solver-class kernels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Instruction-set architecture of a CPU.
@@ -10,7 +9,7 @@ use std::fmt;
 /// container image built for one ISA cannot run on another, and an image
 /// built with ISA-specific compiler flags (e.g. AVX-512) may be slower or
 /// fail on older implementations of the same ISA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuArch {
     /// x86-64 (Intel/AMD).
     X86_64,
@@ -50,7 +49,7 @@ impl fmt::Display for CpuArch {
 /// conjugate-gradient-class kernels (sparse/stencil, memory-bound) — the
 /// regime Alya's solvers live in. These sit at 4–8% of nominal peak, which is
 /// what published HPCG-style measurements show for each of these chips.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuModel {
     /// Marketing name, e.g. "Intel Xeon Platinum 8160".
     pub name: String,

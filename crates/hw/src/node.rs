@@ -2,11 +2,10 @@
 
 use crate::cpu::CpuModel;
 use crate::threading::ThreadingModel;
-use serde::{Deserialize, Serialize};
 
 /// A compute node: sockets of a CPU model plus memory and threading
 /// parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// CPU populated in every socket.
     pub cpu: CpuModel,

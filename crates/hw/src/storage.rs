@@ -7,10 +7,8 @@
 //! that a parallel filesystem's aggregate bandwidth is shared by every
 //! client while a local disk is private per node.
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of storage backs a path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StorageKind {
     /// A shared parallel filesystem (GPFS, Lustre): high aggregate bandwidth
     /// shared across clients, per-client streaming cap, metadata-server cost
@@ -43,7 +41,7 @@ pub enum StorageKind {
 }
 
 /// A named storage system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageSpec {
     /// Human-readable name ("GPFS /gpfs/projects", "local /tmp", ...).
     pub name: String,

@@ -12,10 +12,8 @@
 //! The model is compute-oriented: memory-bandwidth saturation within a
 //! socket is folded into the calibrated per-core sustained rate.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the threading model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadingModel {
     /// Fraction of each rank's work that stays serial no matter how many
     /// threads are available (Amdahl).
@@ -104,7 +102,10 @@ mod tests {
         let e2 = m.efficiency(10.0, 2, 100.0);
         let e28 = m.efficiency(10.0, 28, 100.0);
         assert!(e2 > e28);
-        assert!(e28 > 0.5, "28 threads should still be >50% efficient, got {e28}");
+        assert!(
+            e28 > 0.5,
+            "28 threads should still be >50% efficient, got {e28}"
+        );
     }
 
     #[test]

@@ -25,10 +25,9 @@ use harborsim_des::{RngStream, SimDuration};
 use harborsim_hw::NodeSpec;
 use harborsim_net::contention::concurrent_send_seconds;
 use harborsim_net::NetworkModel;
-use serde::{Deserialize, Serialize};
 
 /// Knobs common to both engines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Allreduce algorithm.
     pub allreduce_algo: AllreduceAlgo,
@@ -172,7 +171,13 @@ impl AnalyticEngine {
     /// Cost of a round in which, per node, `inter_out` messages of `bytes`
     /// leave through the NIC and `intra` messages move within the node; the
     /// inter and intra parts overlap.
-    fn round_cost(&self, inter_out_max: u32, intra_max: u32, total_cut: u64, bytes: u64) -> PhaseCost {
+    fn round_cost(
+        &self,
+        inter_out_max: u32,
+        intra_max: u32,
+        total_cut: u64,
+        bytes: u64,
+    ) -> PhaseCost {
         let mut seconds: f64 = 0.0;
         if inter_out_max > 0 {
             let taper = self
@@ -181,25 +186,20 @@ impl AnalyticEngine {
                 .global_bandwidth_factor(self.map.nodes);
             let mut inter = self.network.inter;
             inter.bandwidth_bps *= taper;
-            let t = concurrent_send_seconds(
-                &inter,
-                self.network.nic_bw_bps,
-                inter_out_max,
-                1,
-                bytes,
-            );
+            let t =
+                concurrent_send_seconds(&inter, self.network.nic_bw_bps, inter_out_max, 1, bytes);
             seconds = seconds.max(t);
         }
         if intra_max > 0 {
             let intra = &self.network.intra;
-            let t = intra.alpha_seconds(bytes)
-                + intra_max as f64 * bytes as f64 / intra.bandwidth_bps;
+            let t =
+                intra.alpha_seconds(bytes) + intra_max as f64 * bytes as f64 / intra.bandwidth_bps;
             seconds = seconds.max(t);
         }
         // container-bridge softirq path: every message of the busiest node
         // queues through one serialized kernel path before reaching the wire
-        let serialized = self.network.node_serialized_per_msg_s
-            * (inter_out_max as f64 + intra_max as f64);
+        let serialized =
+            self.network.node_serialized_per_msg_s * (inter_out_max as f64 + intra_max as f64);
         seconds += serialized;
         PhaseCost {
             seconds,
@@ -253,7 +253,10 @@ impl AnalyticEngine {
         let mut total_cut = 0u64;
         let mut total_intra = 0u64;
         for r in 0..p - 1 {
-            let (na, nb) = (self.map.node_of(r) as usize, self.map.node_of(r + 1) as usize);
+            let (na, nb) = (
+                self.map.node_of(r) as usize,
+                self.map.node_of(r + 1) as usize,
+            );
             if na == nb {
                 intra[na] += 2;
                 total_intra += 2;
@@ -272,7 +275,11 @@ impl AnalyticEngine {
 
     fn halo3d_cost(&self, dims: (u32, u32, u32), bytes: u64) -> PhaseCost {
         let p = self.map.ranks();
-        debug_assert_eq!(dims.0 * dims.1 * dims.2, p, "rank grid must cover all ranks");
+        debug_assert_eq!(
+            dims.0 * dims.1 * dims.2,
+            p,
+            "rank grid must cover all ranks"
+        );
         if p <= 1 {
             return PhaseCost::default();
         }
@@ -312,8 +319,7 @@ impl AnalyticEngine {
         match self.config.allreduce_algo {
             AllreduceAlgo::RecursiveDoubling => {
                 for k in 0..log2_rounds(p) {
-                    let (out_max, intra_max, cut, intra_total) =
-                        self.pairwise_round_shape(1 << k);
+                    let (out_max, intra_max, cut, intra_total) = self.pairwise_round_shape(1 << k);
                     let mut c = self.round_cost(out_max, intra_max, cut, bytes);
                     c.intra_msgs = intra_total;
                     total.accumulate(c);
@@ -352,8 +358,7 @@ impl AnalyticEngine {
                 let rounds = log2_rounds(p);
                 for k in 0..rounds {
                     let vol = (bytes >> (k + 1)).max(1);
-                    let (out_max, intra_max, cut, intra_total) =
-                        self.pairwise_round_shape(1 << k);
+                    let (out_max, intra_max, cut, intra_total) = self.pairwise_round_shape(1 << k);
                     let mut c = self.round_cost(out_max, intra_max, cut, vol);
                     c.intra_msgs = intra_total;
                     // reduce-scatter + mirrored allgather round
@@ -476,12 +481,7 @@ impl AnalyticEngine {
                 }
             }
             intra_max = intra_max.max(intra_counts.iter().copied().max().unwrap_or(0));
-            let mut c = self.round_cost(
-                out.iter().copied().max().unwrap_or(0),
-                intra_max,
-                cut,
-                8,
-            );
+            let mut c = self.round_cost(out.iter().copied().max().unwrap_or(0), intra_max, cut, 8);
             c.intra_msgs = intra_counts.iter().map(|&x| x as u64).sum();
             total.accumulate(c);
         }
@@ -527,7 +527,10 @@ mod tests {
                     bytes: 160_000,
                     repeats: 31,
                 },
-                CommPhase::Allreduce { bytes: 8, repeats: 62 },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 62,
+                },
             ],
         }
     }
@@ -542,8 +545,8 @@ mod tests {
         let c = e.run(&job, 8);
         assert_ne!(a.elapsed, c.elapsed, "different seeds must jitter");
         // ... but only slightly
-        let rel = (a.elapsed.as_secs_f64() - c.elapsed.as_secs_f64()).abs()
-            / a.elapsed.as_secs_f64();
+        let rel =
+            (a.elapsed.as_secs_f64() - c.elapsed.as_secs_f64()).abs() / a.elapsed.as_secs_f64();
         assert!(rel < 0.05, "rel={rel}");
     }
 
@@ -618,9 +621,14 @@ mod tests {
                 flops_per_rank: 0.0,
                 imbalance: 1.0,
                 regions: 0.0,
-                comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 1 }],
+                comm: vec![CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 1,
+                }],
             };
-            e.run(&JobProfile::uniform(step, 1), 1).elapsed.as_secs_f64()
+            e.run(&JobProfile::uniform(step, 1), 1)
+                .elapsed
+                .as_secs_f64()
         };
         let rd = mk(AllreduceAlgo::RecursiveDoubling);
         let ring = mk(AllreduceAlgo::Ring);
@@ -638,9 +646,14 @@ mod tests {
                 flops_per_rank: total_flops / (nodes as f64 * 28.0),
                 imbalance: 1.02,
                 regions: 10.0,
-                comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 4 }],
+                comm: vec![CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 4,
+                }],
             };
-            e.run(&JobProfile::uniform(step, 10), 1).elapsed.as_secs_f64()
+            e.run(&JobProfile::uniform(step, 10), 1)
+                .elapsed
+                .as_secs_f64()
         };
         // Lenox only has 4 nodes, but the engine doesn't enforce that
         let t1 = t(1);

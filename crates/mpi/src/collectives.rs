@@ -6,10 +6,8 @@
 //! round with a closed form. Keeping one source of truth for the round
 //! structure is what makes the two engines cross-validate.
 
-use serde::{Deserialize, Serialize};
-
 /// A directed message within a collective round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundMsg {
     /// Sending rank.
     pub src: u32,
@@ -23,7 +21,7 @@ pub struct RoundMsg {
 pub type Round = Vec<RoundMsg>;
 
 /// Allreduce algorithm choice (the ablation of DESIGN.md §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllreduceAlgo {
     /// Recursive doubling: `ceil(log2 p)` rounds of full-size pairwise
     /// exchanges. Optimal for small payloads (latency-bound) — MPI
@@ -239,7 +237,11 @@ mod tests {
                         "p={p}: rank {} sends before it has the data",
                         m.src
                     );
-                    assert!(reached.insert(m.dst), "p={p}: duplicate delivery to {}", m.dst);
+                    assert!(
+                        reached.insert(m.dst),
+                        "p={p}: duplicate delivery to {}",
+                        m.dst
+                    );
                 }
             }
             assert_eq!(reached.len() as u32, p, "p={p}");

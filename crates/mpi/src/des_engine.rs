@@ -168,9 +168,15 @@ impl DesEngine {
                     finished: false,
                 })
                 .collect(),
-            nics: (0..self.map.nodes).map(|_| Resource::new(nic_capacity)).collect(),
-            pipes: (0..self.map.nodes).map(|_| Resource::new(nic_capacity)).collect(),
-            bridges: (0..self.map.nodes).map(|_| Resource::new(nic_capacity)).collect(),
+            nics: (0..self.map.nodes)
+                .map(|_| Resource::new(nic_capacity))
+                .collect(),
+            pipes: (0..self.map.nodes)
+                .map(|_| Resource::new(nic_capacity))
+                .collect(),
+            bridges: (0..self.map.nodes)
+                .map(|_| Resource::new(nic_capacity))
+                .collect(),
             msgs: HashMap::new(),
             live_ranks: p,
             inter_msgs: 0,
@@ -185,13 +191,13 @@ impl DesEngine {
             });
         }
         eng.run(&mut sim);
-        assert_eq!(sim.live_ranks, 0, "ranks deadlocked: {} still live", sim.live_ranks);
+        assert_eq!(
+            sim.live_ranks, 0,
+            "ranks deadlocked: {} still live",
+            sim.live_ranks
+        );
 
-        let compute = sim
-            .ranks
-            .iter()
-            .map(|r| r.compute_busy)
-            .fold(0.0, f64::max);
+        let compute = sim.ranks.iter().map(|r| r.compute_busy).fold(0.0, f64::max);
         let mean_wait = |f: Family| {
             let total: f64 = sim.ranks.iter().map(|r| r.wait[f as usize]).sum();
             SimDuration::from_secs_f64(total / p as f64)
@@ -240,10 +246,10 @@ fn refill(sim: &mut Sim, rank: u32) -> bool {
                 let shape = 1.0 + (step.imbalance - 1.0) * rs.rng.uniform();
                 let jitter = rs.rng.lognormal_factor(ctx.config.jitter_sigma);
                 let flops = step.flops_per_rank * shape * ctx.config.compute_tax;
-                let secs = ctx
-                    .node
-                    .rank_compute_seconds(flops, ctx.map.threads_per_rank, step.regions)
-                    * jitter;
+                let secs =
+                    ctx.node
+                        .rank_compute_seconds(flops, ctx.map.threads_per_rank, step.regions)
+                        * jitter;
                 rs.queue.push_back(PrimOp::Compute(secs));
                 return true;
             }
@@ -482,6 +488,7 @@ fn expand_allreduce(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_pairwise(
     r: u32,
     p: u32,
@@ -539,7 +546,11 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                 });
                 return;
             }
-            PrimOp::Recv { src: _, mid, family } => {
+            PrimOp::Recv {
+                src: _,
+                mid,
+                family,
+            } => {
                 let now = eng.now();
                 let m = sim.msgs.entry(mid).or_default();
                 if m.arrived {
@@ -568,7 +579,7 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
     }
 }
 
-fn transport_for<'a>(sim: &'a Sim, src: u32, dst: u32) -> &'a TransportParams {
+fn transport_for(sim: &Sim, src: u32, dst: u32) -> &TransportParams {
     if sim.ctx.map.same_node(src, dst) {
         &sim.ctx.intra
     } else {
@@ -613,7 +624,14 @@ fn start_send(
 /// Queue the payload on the sending node's wire (NIC or intra pipe),
 /// passing first through the node's serialized bridge path if the job
 /// runs under Docker networking.
-fn enqueue_transfer(eng: &mut Engine<Sim>, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
+fn enqueue_transfer(
+    eng: &mut Engine<Sim>,
+    sim: &mut Sim,
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    mid: u64,
+) {
     let serial = sim.ctx.bridge_serial_s;
     if serial > 0.0 {
         let node = sim.ctx.map.node_of(src) as usize;
@@ -630,7 +648,14 @@ fn enqueue_transfer(eng: &mut Engine<Sim>, sim: &mut Sim, src: u32, dst: u32, by
 }
 
 /// Queue the payload directly on the wire.
-fn enqueue_transfer_wire(eng: &mut Engine<Sim>, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
+fn enqueue_transfer_wire(
+    eng: &mut Engine<Sim>,
+    sim: &mut Sim,
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    mid: u64,
+) {
     let same = sim.ctx.map.same_node(src, dst);
     let node = sim.ctx.map.node_of(src) as usize;
     let t = *transport_for(sim, src, dst);
@@ -749,7 +774,10 @@ mod tests {
         for p in [2u32, 3, 5, 7, 12] {
             let e = des(1, p, DataPath::Host);
             let job = JobProfile::uniform(
-                step(vec![CommPhase::Allreduce { bytes: 8, repeats: 3 }]),
+                step(vec![CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 3,
+                }]),
                 2,
             );
             let r = e.run(&job, 1);
@@ -763,10 +791,18 @@ mod tests {
         let job = JobProfile::uniform(
             step(vec![
                 CommPhase::Bcast { bytes: 4096 },
-                CommPhase::Gather { bytes_per_rank: 256 },
+                CommPhase::Gather {
+                    bytes_per_rank: 256,
+                },
                 CommPhase::Barrier,
-                CommPhase::Allreduce { bytes: 16, repeats: 2 },
-                CommPhase::Halo1D { bytes: 1024, repeats: 1 },
+                CommPhase::Allreduce {
+                    bytes: 16,
+                    repeats: 2,
+                },
+                CommPhase::Halo1D {
+                    bytes: 1024,
+                    repeats: 1,
+                },
                 CommPhase::Pairs {
                     pairs: vec![(0, 9), (3, 7)],
                     bytes: 2048,
@@ -806,7 +842,10 @@ mod tests {
                     bytes: 40_000,
                     repeats: 3,
                 },
-                CommPhase::Allreduce { bytes: 8, repeats: 5 },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 5,
+                },
             ]),
             4,
         );
@@ -823,7 +862,10 @@ mod tests {
                     bytes: 40_000,
                     repeats: 5,
                 },
-                CommPhase::Allreduce { bytes: 8, repeats: 10 },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 10,
+                },
             ]),
             3,
         );

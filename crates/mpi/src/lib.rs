@@ -27,6 +27,7 @@
 pub mod analytic;
 pub mod collectives;
 pub mod des_engine;
+pub mod engine;
 pub mod mapping;
 pub mod result;
 pub mod thread_mpi;
@@ -34,6 +35,7 @@ pub mod workload;
 
 pub use analytic::AnalyticEngine;
 pub use des_engine::DesEngine;
+pub use engine::{PerfEngine, TruncatingDes};
 pub use mapping::RankMap;
 pub use result::{CommBreakdown, SimResult};
 pub use workload::{CommPhase, JobProfile, StepProfile};

@@ -1,9 +1,7 @@
 //! Rank-to-node placement.
 
-use serde::{Deserialize, Serialize};
-
 /// How consecutive ranks are laid out on nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Ranks 0..rpn on node 0, the next rpn on node 1, ... (the batch-system
     /// default, and what Alya's 1D slab decomposition wants: neighbouring
@@ -16,7 +14,7 @@ pub enum Placement {
 
 /// A concrete placement of an MPI job: `nodes × ranks_per_node` ranks, each
 /// with `threads_per_rank` OpenMP threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RankMap {
     /// Number of nodes used.
     pub nodes: u32,

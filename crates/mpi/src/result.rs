@@ -1,10 +1,9 @@
 //! Execution results produced by both performance engines.
 
 use harborsim_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Where communication time went, by phase family.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommBreakdown {
     /// Halo-exchange time.
     pub halo: SimDuration,
@@ -24,7 +23,7 @@ impl CommBreakdown {
 }
 
 /// The outcome of executing a job profile on a simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// End-to-end elapsed time of the solver run (excludes deployment).
     pub elapsed: SimDuration,

@@ -12,8 +12,8 @@
 //! rank count works). Unbounded channels make `send` non-blocking, which is
 //! the same progress semantics the DES engine models.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Message payload: a tag plus the data.
 type Packet = (u32, Vec<f64>);
@@ -75,9 +75,7 @@ impl ThreadComm {
             return self.pending[from].remove(pos).expect("position vanished").1;
         }
         loop {
-            let (t, data) = self.receivers[from]
-                .recv()
-                .expect("peer rank hung up");
+            let (t, data) = self.receivers[from].recv().expect("peer rank hung up");
             if t == tag {
                 return data;
             }
@@ -209,10 +207,11 @@ impl ThreadComm {
         let mut rxs: Vec<Vec<Option<Receiver<Packet>>>> = (0..size)
             .map(|_| (0..size).map(|_| None).collect())
             .collect();
+        #[allow(clippy::needless_range_loop)] // s and d jointly index the matrix
         for s in 0..size {
             let mut row = Vec::with_capacity(size);
             for d in 0..size {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 row.push(Some(tx));
                 rxs[d][s] = Some(rx);
             }
@@ -222,8 +221,14 @@ impl ThreadComm {
             .map(|r| ThreadComm {
                 rank: r,
                 size,
-                senders: txs[r].iter_mut().map(|t| t.take().expect("tx taken twice")).collect(),
-                receivers: rxs[r].iter_mut().map(|r| r.take().expect("rx taken twice")).collect(),
+                senders: txs[r]
+                    .iter_mut()
+                    .map(|t| t.take().expect("tx taken twice"))
+                    .collect(),
+                receivers: rxs[r]
+                    .iter_mut()
+                    .map(|r| r.take().expect("rx taken twice"))
+                    .collect(),
                 pending: (0..size).map(|_| VecDeque::new()).collect(),
                 coll_seq: 0,
             })

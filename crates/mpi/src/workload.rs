@@ -13,10 +13,8 @@
 //! Solvers produce a [`JobProfile`] for a given rank count; the profile is
 //! placement-independent (the engines combine it with a [`crate::RankMap`]).
 
-use serde::{Deserialize, Serialize};
-
 /// One communication phase inside a step. Sizes are bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CommPhase {
     /// 1D chain halo exchange: every rank swaps `bytes` with each existing
     /// neighbour (`rank-1`, `rank+1`), `repeats` times back-to-back.
@@ -71,7 +69,7 @@ pub enum CommPhase {
 }
 
 /// One timestep profile: per-rank compute plus ordered communication phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepProfile {
     /// Mean floating-point work per rank in this step.
     pub flops_per_rank: f64,
@@ -146,14 +144,15 @@ pub fn factor3(p: u32) -> (u32, u32, u32) {
     let mut best_score = u64::MAX;
     let mut a = 1u32;
     while a * a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             let rest = p / a;
             let mut b = a;
             while b * b <= rest {
-                if rest % b == 0 {
+                if rest.is_multiple_of(b) {
                     let c = rest / b;
                     // minimize surface ~ ab + bc + ca
-                    let score = (a as u64 * b as u64) + (b as u64 * c as u64) + (c as u64 * a as u64);
+                    let score =
+                        (a as u64 * b as u64) + (b as u64 * c as u64) + (c as u64 * a as u64);
                     if score < best_score {
                         best_score = score;
                         // largest extent first
@@ -204,7 +203,7 @@ pub fn grid_neighbors(rank: u32, dims: (u32, u32, u32)) -> Vec<u32> {
 }
 
 /// A whole job: a run-length-encoded sequence of step profiles.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct JobProfile {
     /// `(step, repetitions)` in execution order.
     pub steps: Vec<(StepProfile, u32)>,
@@ -347,7 +346,7 @@ mod tests {
     #[test]
     fn consecutive_ranks_are_x_neighbors() {
         let dims = factor3(64); // (4,4,4)
-        // ranks 0 and 1 differ only in x -> neighbours (node locality)
+                                // ranks 0 and 1 differ only in x -> neighbours (node locality)
         assert!(grid_neighbors(0, dims).contains(&1));
     }
 

@@ -1,83 +1,102 @@
-//! Property-based tests of the MPI substrate.
+//! Property-style tests of the MPI substrate, driven by deterministic
+//! [`RngStream`] case generation.
 
+use harborsim_des::RngStream;
 use harborsim_mpi::collectives::{
     allreduce_rounds, barrier_rounds, bcast_rounds, gather_rounds, AllreduceAlgo,
 };
 use harborsim_mpi::mapping::RankMap;
 use harborsim_mpi::thread_mpi::ThreadComm;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
+    let root = RngStream::new(0x3314_0002).derive(label);
+    (0..n).map(move |i| root.derive_idx(i))
+}
 
-    /// Recursive-doubling rounds only pair valid ranks, and each rank
-    /// appears at most once per round.
-    #[test]
-    fn pairwise_rounds_are_matchings(p in 2u32..300, bytes in 1u64..1_000_000) {
+/// Recursive-doubling rounds only pair valid ranks, and each rank
+/// appears at most once per round.
+#[test]
+fn pairwise_rounds_are_matchings() {
+    for mut rng in cases("matchings", 48) {
+        let p = 2 + rng.below(298) as u32;
+        let bytes = 1 + rng.below(999_999);
         for round in allreduce_rounds(AllreduceAlgo::RecursiveDoubling, p, bytes) {
             let mut seen_src = HashSet::new();
             let mut seen_dst = HashSet::new();
             for m in &round {
-                prop_assert!(m.src < p && m.dst < p);
-                prop_assert!(seen_src.insert(m.src), "duplicate sender {}", m.src);
-                prop_assert!(seen_dst.insert(m.dst), "duplicate receiver {}", m.dst);
-                prop_assert_eq!(m.bytes, bytes);
+                assert!(m.src < p && m.dst < p);
+                assert!(seen_src.insert(m.src), "duplicate sender {}", m.src);
+                assert!(seen_dst.insert(m.dst), "duplicate receiver {}", m.dst);
+                assert_eq!(m.bytes, bytes);
             }
         }
     }
+}
 
-    /// Binomial broadcast: every rank receives exactly once, from a rank
-    /// that already holds the data.
-    #[test]
-    fn bcast_is_a_spanning_tree(p in 2u32..500) {
+/// Binomial broadcast: every rank receives exactly once, from a rank
+/// that already holds the data.
+#[test]
+fn bcast_is_a_spanning_tree() {
+    for mut rng in cases("spanning-tree", 48) {
+        let p = 2 + rng.below(498) as u32;
         let mut reached: HashSet<u32> = HashSet::from([0]);
         for round in bcast_rounds(p, 8) {
             for m in &round {
-                prop_assert!(reached.contains(&m.src));
-                prop_assert!(reached.insert(m.dst));
+                assert!(reached.contains(&m.src));
+                assert!(reached.insert(m.dst));
             }
         }
-        prop_assert_eq!(reached.len() as u32, p);
+        assert_eq!(reached.len() as u32, p);
     }
+}
 
-    /// Barrier rounds have every rank sending exactly one message.
-    #[test]
-    fn barrier_rounds_full(p in 2u32..300) {
+/// Barrier rounds have every rank sending exactly one message.
+#[test]
+fn barrier_rounds_full() {
+    for mut rng in cases("barrier", 48) {
+        let p = 2 + rng.below(298) as u32;
         for round in barrier_rounds(p) {
-            prop_assert_eq!(round.len() as u32, p);
+            assert_eq!(round.len() as u32, p);
         }
-        prop_assert!(!gather_rounds(p, 8).is_empty());
+        assert!(!gather_rounds(p, 8).is_empty());
     }
+}
 
-    /// Block mapping: ranks-per-node consecutive ranks share a node and
-    /// node ids are within range.
-    #[test]
-    fn block_mapping_partition(nodes in 1u32..64, rpn in 1u32..64) {
+/// Block mapping: ranks-per-node consecutive ranks share a node and
+/// node ids are within range.
+#[test]
+fn block_mapping_partition() {
+    for mut rng in cases("block-mapping", 48) {
+        let nodes = 1 + rng.below(63) as u32;
+        let rpn = 1 + rng.below(63) as u32;
         let m = RankMap::block(nodes, rpn, 1);
         for r in 0..m.ranks() {
             let n = m.node_of(r);
-            prop_assert!(n < nodes);
-            prop_assert_eq!(n, r / rpn);
+            assert!(n < nodes);
+            assert_eq!(n, r / rpn);
         }
     }
+}
 
-    /// Ring allreduce volume ~ 2·bytes·(p-1)/p per rank, independent of p's
-    /// shape.
-    #[test]
-    fn ring_volume_bandwidth_optimal(p in 2u32..200, bytes in 64u64..1_000_000) {
+/// Ring allreduce volume ~ 2·bytes·(p-1)/p per rank, independent of p's
+/// shape.
+#[test]
+fn ring_volume_bandwidth_optimal() {
+    for mut rng in cases("ring-volume", 48) {
+        let p = 2 + rng.below(198) as u32;
+        let bytes = 64 + rng.below(999_936);
         let rounds = allreduce_rounds(AllreduceAlgo::Ring, p, bytes);
         let per_rank_total: u64 = rounds.iter().map(|r| r[0].bytes).sum();
         let optimal = 2 * bytes * (p as u64 - 1) / p as u64;
         // chunking rounds up; allow the ceil slack
-        prop_assert!(per_rank_total >= optimal);
-        prop_assert!(per_rank_total <= optimal + 2 * (p as u64 - 1) + 2 * bytes / p as u64 + 2);
+        assert!(per_rank_total >= optimal);
+        assert!(per_rank_total <= optimal + 2 * (p as u64 - 1) + 2 * bytes / p as u64 + 2);
     }
 }
 
 /// The functional thread MPI satisfies the allreduce contract for random
-/// vectors and rank counts (separate from proptest: threads inside
-/// proptest cases are expensive, so sizes are bounded).
+/// vectors and rank counts (sizes bounded: threads per case are expensive).
 #[test]
 fn thread_mpi_allreduce_matches_reference() {
     let mut seed = 0x1234_5678_u64;
@@ -91,9 +110,7 @@ fn thread_mpi_allreduce_matches_reference() {
         let inputs: Vec<Vec<f64>> = (0..size)
             .map(|_| (0..6).map(|_| (next() % 1000) as f64 / 10.0).collect())
             .collect();
-        let expected: Vec<f64> = (0..6)
-            .map(|i| inputs.iter().map(|v| v[i]).sum())
-            .collect();
+        let expected: Vec<f64> = (0..6).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
         let inputs_ref = &inputs;
         let results = ThreadComm::run(size, move |comm| {
             let mut v = inputs_ref[comm.rank()].clone();

@@ -16,10 +16,9 @@
 
 use crate::transport::TransportParams;
 use harborsim_hw::InterconnectKind;
-use serde::{Deserialize, Serialize};
 
 /// The two stacks a fabric offers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricTransports {
     /// Kernel-bypass (or best available) stack.
     pub native: TransportParams,

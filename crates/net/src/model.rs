@@ -5,7 +5,6 @@ use crate::fabric::{fabric_transports, nic_bandwidth_bps, shm_transport};
 use crate::topology::Topology;
 use crate::transport::TransportParams;
 use harborsim_hw::InterconnectKind;
-use serde::{Deserialize, Serialize};
 
 /// Which transport stack the MPI library managed to open.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// libraries bound into the image) open the native stack. *Self-contained*
 /// containers carry their own MPI without the host's vendor userspace
 /// drivers, so on kernel-bypass fabrics they fall back to IP emulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransportSelection {
     /// Kernel-bypass / best available stack.
     Native,
@@ -22,7 +21,7 @@ pub enum TransportSelection {
 }
 
 /// How container networking wraps the transport.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DataPath {
     /// Host networking: bare metal, Singularity, Shifter. No wrapping.
     Host,
@@ -60,7 +59,7 @@ impl DataPath {
 }
 
 /// The effective communication behaviour observed by one MPI job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
     /// Effective inter-node transport.
     pub inter: TransportParams,

@@ -6,10 +6,8 @@
 //! tapered global bandwidth do influence the 256-node scalability curve, so
 //! both are modelled.
 
-use serde::{Deserialize, Serialize};
-
 /// A topology model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Topology {
     /// Single switch: every node pair is one hop apart, full bisection.
     SingleSwitch {

@@ -10,10 +10,8 @@
 //!   protocol, paying an extra request/acknowledge round-trip before data
 //!   can flow.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one transport stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportParams {
     /// One-way latency in seconds.
     pub latency_s: f64,

@@ -26,7 +26,7 @@ fn main() {
         mesh.cross_section_cells()
     );
     let mut cfg = CfdConfig::stable(&mesh, 25.0, 0.08);
-    cfg.parallel = true; // rayon kernels
+    cfg.parallel = true; // threaded kernels
     let mut solver = CfdSolver::new(mesh.clone(), cfg.clone());
     for block in 1..=6 {
         solver.run(150);
@@ -88,16 +88,16 @@ fn main() {
         fluid_cfg.n,
         fluid_cfg.wave_speed(fluid_cfg.a0)
     );
-    let mut fsi = CoupledFsi::new(fluid_cfg.clone(), 40.0, FsiConfig::default(), cardiac_inflow);
+    let mut fsi = CoupledFsi::new(
+        fluid_cfg.clone(),
+        40.0,
+        FsiConfig::default(),
+        cardiac_inflow,
+    );
     let steps_per_tenth = (0.1 / fluid_cfg.dt) as usize;
     for tenth in 1..=5 {
         fsi.run(steps_per_tenth);
-        let peak = fsi
-            .fluid
-            .a
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let peak = fsi.fluid.a.iter().cloned().fold(f64::MIN, f64::max);
         println!(
             "  t={:.1}s  pulse peak area={:.3} cm^2 at station {}  (mean {:.1} subiters/step)",
             0.1 * tenth as f64,
@@ -112,7 +112,12 @@ fn main() {
     // ---- the same FSI pair as two codes on disjoint MPI rank groups ----
     println!("\n== Distributed FSI: fluid ranks + solid ranks (3 pairs) ==");
     let steps = (0.1 / fluid_cfg.dt) as usize;
-    let mut serial = CoupledFsi::new(fluid_cfg.clone(), 40.0, FsiConfig::default(), cardiac_inflow);
+    let mut serial = CoupledFsi::new(
+        fluid_cfg.clone(),
+        40.0,
+        FsiConfig::default(),
+        cardiac_inflow,
+    );
     serial.run(steps);
     let dist = harborsim::alya::fsi_dist::run_coupled_distributed(
         &fluid_cfg,

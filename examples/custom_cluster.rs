@@ -8,7 +8,9 @@
 //! cargo run --release --example custom_cluster
 //! ```
 
-use harborsim::hw::{ClusterSpec, CpuArch, CpuModel, InterconnectKind, NodeSpec, SoftwareStack, StorageSpec};
+use harborsim::hw::{
+    ClusterSpec, CpuArch, CpuModel, InterconnectKind, NodeSpec, SoftwareStack, StorageSpec,
+};
 use harborsim::study::report::fmt_seconds;
 use harborsim::study::scenario::{Execution, Scenario};
 use harborsim::study::workloads;
@@ -37,7 +39,10 @@ fn my_cluster(fabric: InterconnectKind) -> ClusterSpec {
 
 fn main() {
     let case = workloads::artery_cfd_cte();
-    println!("Workload: {} on 16 nodes x 64 ranks\n", harborsim::alya::workload::AlyaCase::name(&case));
+    println!(
+        "Workload: {} on 16 nodes x 64 ranks\n",
+        harborsim::alya::workload::AlyaCase::name(&case)
+    );
     println!(
         "{:<22} {:>14} {:>18} {:>18} {:>8}",
         "Fabric", "bare-metal", "system-specific", "self-contained", "penalty"
@@ -48,12 +53,16 @@ fn main() {
         InterconnectKind::InfinibandEdr,
         InterconnectKind::OmniPath100,
     ] {
+        // compile each environment's plan once; `execute` is the only
+        // per-seed work
         let run = |env: Execution| {
             Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
                 .execution(env)
                 .nodes(16)
                 .ranks_per_node(64)
-                .run(7)
+                .compile()
+                .expect("valid placement")
+                .execute(7)
                 .elapsed
                 .as_secs_f64()
         };

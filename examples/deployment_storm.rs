@@ -19,8 +19,11 @@ fn main() {
         .expect("builds")
         .manifest;
 
-    println!("Image: {} layers, {} MB uncompressed\n", image.layers.len(),
-        image.uncompressed_bytes() / 1_000_000);
+    println!(
+        "Image: {} layers, {} MB uncompressed\n",
+        image.layers.len(),
+        image.uncompressed_bytes() / 1_000_000
+    );
 
     println!("Shifter cold vs warm gateway at 64 nodes:");
     for cached in [false, true] {

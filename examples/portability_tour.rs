@@ -37,8 +37,15 @@ fn main() {
     }
 
     println!("\n== Where does each image run? ==\n");
-    for cluster in [presets::marenostrum4(), presets::cte_power(), presets::thunderx()] {
-        for (tag, img) in [("self-contained", &sc.manifest), ("system-specific", &ss.manifest)] {
+    for cluster in [
+        presets::marenostrum4(),
+        presets::cte_power(),
+        presets::thunderx(),
+    ] {
+        for (tag, img) in [
+            ("self-contained", &sc.manifest),
+            ("system-specific", &ss.manifest),
+        ] {
             let verdict = match check_compat(
                 img.arch,
                 img.isa_level,
@@ -47,8 +54,8 @@ fn main() {
                 cluster.interconnect,
             ) {
                 Ok(()) => {
-                    let fallback = Containment::SelfContained
-                        .transport_selection(cluster.interconnect);
+                    let fallback =
+                        Containment::SelfContained.transport_selection(cluster.interconnect);
                     if tag == "self-contained"
                         && fallback == harborsim::net::TransportSelection::TcpFallback
                     {

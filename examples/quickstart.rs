@@ -36,13 +36,25 @@ fn main() {
     );
     println!("Manifest digest: {}", build.manifest.digest().short());
 
-    // 2. run the CFD case under Singularity, with deployment simulated
-    let outcome = Scenario::new(cluster, workloads::artery_cfd_small())
+    // 2. compile the scenario once (placement validation, job profile,
+    //    network model, deployment), then execute it under several seeds —
+    //    only the solver run repeats
+    let plan = Scenario::new(cluster, workloads::artery_cfd_small())
         .execution(Execution::singularity_system_specific())
         .nodes(2)
         .ranks_per_node(48)
         .with_deployment()
-        .run(42);
+        .compile()
+        .expect("valid scenario");
+    println!(
+        "\nCompiled plan: {} ranks, engine={}",
+        plan.rank_map().ranks(),
+        plan.engine_name()
+    );
+    for seed in [7, 21] {
+        println!("  seed {seed}: {}", plan.execute(seed).elapsed);
+    }
+    let outcome = plan.execute(42);
 
     let dep = outcome.deployment.expect("deployment requested");
     println!(

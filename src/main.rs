@@ -61,9 +61,21 @@ fn list() {
             c.node_count,
             c.node.cores(),
             c.interconnect.to_string(),
-            if c.software.docker.is_some() { "docker " } else { "" },
-            if c.software.singularity.is_some() { "singularity " } else { "" },
-            if c.software.shifter.is_some() { "shifter" } else { "" },
+            if c.software.docker.is_some() {
+                "docker "
+            } else {
+                ""
+            },
+            if c.software.singularity.is_some() {
+                "singularity "
+            } else {
+                ""
+            },
+            if c.software.shifter.is_some() {
+                "shifter"
+            } else {
+                ""
+            },
         );
     }
     println!("\nworkloads:");
@@ -139,7 +151,10 @@ fn run(args: &[String]) {
         }
     };
     scenario = scenario
-        .execution(Execution { runtime, containment })
+        .execution(Execution {
+            runtime,
+            containment,
+        })
         .nodes(nodes)
         .ranks_per_node(rpn)
         .threads_per_rank(threads);
@@ -208,27 +223,35 @@ fn reproduce(which: &str) {
         }
     };
     if want("fig1") {
-        let f = fig1::run(&seeds);
+        let f = fig1::run(seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig1", fig1::check_shape(&f), &mut failures);
     }
     if want("fig2") {
-        let f = fig2::run(&seeds);
+        let f = fig2::run(seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig2", fig2::check_shape(&f), &mut failures);
     }
     if want("fig3") {
-        let f = fig3::run(&seeds);
+        let f = fig3::run(seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig3", fig3::check_shape(&f), &mut failures);
     }
     if want("tables") {
-        let d = tables::deployment(&seeds);
+        let d = tables::deployment(seeds);
         println!("{}", d.to_ascii());
-        check("table-deployment", tables::check_deployment_shape(&d), &mut failures);
-        let p = tables::portability(&seeds);
+        check(
+            "table-deployment",
+            tables::check_deployment_shape(&d),
+            &mut failures,
+        );
+        let p = tables::portability(seeds);
         println!("{}", p.to_ascii());
-        check("table-portability", tables::check_portability_shape(&p), &mut failures);
+        check(
+            "table-portability",
+            tables::check_portability_shape(&p),
+            &mut failures,
+        );
     }
     if want("ext-io") {
         let f = ext_io::run();

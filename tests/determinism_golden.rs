@@ -1,0 +1,70 @@
+//! Golden determinism tests for the compile-once API: a compiled
+//! [`ScenarioPlan`] must produce bit-identical results to the one-shot
+//! `try_run` path, for both engines, across seeds and repeated executions.
+
+use harborsim::hw::presets;
+use harborsim::study::scenario::{EngineKind, Execution, Scenario};
+use harborsim::study::workloads;
+
+fn scenario(engine: EngineKind) -> Scenario {
+    Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+        .execution(Execution::singularity_system_specific())
+        .nodes(2)
+        .ranks_per_node(24)
+        .threads_per_rank(2)
+        .engine(engine)
+}
+
+#[test]
+fn plan_execution_is_bit_identical_to_try_run() {
+    for engine in [
+        EngineKind::Analytic,
+        EngineKind::Des {
+            max_steps_per_kind: 3,
+        },
+    ] {
+        let sc = scenario(engine);
+        let plan = sc.compile().expect("compiles");
+        for seed in [0u64, 1, 42, 1 << 40, u64::MAX] {
+            let via_plan = plan.execute(seed);
+            let via_run = sc.try_run(seed).expect("runs");
+            assert_eq!(
+                via_plan.elapsed.as_secs_f64().to_bits(),
+                via_run.elapsed.as_secs_f64().to_bits(),
+                "elapsed diverged for seed {seed}"
+            );
+            assert_eq!(
+                via_plan.result.compute.as_secs_f64().to_bits(),
+                via_run.result.compute.as_secs_f64().to_bits(),
+                "compute diverged for seed {seed}"
+            );
+            assert_eq!(
+                via_plan.result.inter_node_msgs,
+                via_run.result.inter_node_msgs
+            );
+            assert_eq!(
+                via_plan.result.inter_node_bytes,
+                via_run.result.inter_node_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_plan_executions_do_not_drift() {
+    let plan = scenario(EngineKind::Analytic).compile().expect("compiles");
+    let first = plan.execute(9).elapsed.as_secs_f64().to_bits();
+    for _ in 0..10 {
+        assert_eq!(plan.execute(9).elapsed.as_secs_f64().to_bits(), first);
+    }
+}
+
+#[test]
+fn distinct_seeds_still_vary() {
+    // determinism must not collapse into seed-independence: the jitter
+    // model has to see the seed
+    let plan = scenario(EngineKind::Analytic).compile().expect("compiles");
+    let a = plan.execute(1).elapsed.as_secs_f64();
+    let b = plan.execute(2).elapsed.as_secs_f64();
+    assert_ne!(a.to_bits(), b.to_bits());
+}

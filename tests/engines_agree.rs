@@ -57,7 +57,10 @@ fn compute_bound_jobs_agree_tightly() {
             flops_per_rank: 1e9,
             imbalance: 1.02,
             regions: 10.0,
-            comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 2 }],
+            comm: vec![CommPhase::Allreduce {
+                bytes: 8,
+                repeats: 2,
+            }],
         },
         5,
     );
@@ -110,7 +113,10 @@ fn allreduce_heavy_jobs_agree() {
             flops_per_rank: 1e7,
             imbalance: 1.0,
             regions: 1.0,
-            comm: vec![CommPhase::Allreduce { bytes: 8, repeats: 60 }],
+            comm: vec![CommPhase::Allreduce {
+                bytes: 8,
+                repeats: 60,
+            }],
         },
         5,
     );
@@ -132,7 +138,10 @@ fn engines_agree_on_the_docker_penalty() {
                     bytes: 60_000,
                     repeats: 8,
                 },
-                CommPhase::Allreduce { bytes: 8, repeats: 16 },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 16,
+                },
             ],
         },
         4,
@@ -146,9 +155,15 @@ fn engines_agree_on_the_docker_penalty() {
         )
     };
     let (ra, rd) = rel(DataPath::docker_default_bridge());
-    assert!(ra > 1.02 && rd > 1.02, "both engines must see a penalty: {ra} {rd}");
+    assert!(
+        ra > 1.02 && rd > 1.02,
+        "both engines must see a penalty: {ra} {rd}"
+    );
     let gap = (ra - rd).abs() / ra;
-    assert!(gap < 0.5, "penalty attribution differs too much: analytic {ra:.2}x vs des {rd:.2}x");
+    assert!(
+        gap < 0.5,
+        "penalty attribution differs too much: analytic {ra:.2}x vs des {rd:.2}x"
+    );
 }
 
 #[test]

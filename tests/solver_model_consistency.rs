@@ -21,10 +21,9 @@ fn solver_flop_counters_match_model_constants() {
     let mut solver = CfdSolver::new(mesh, cfg);
     solver.run(10);
     let active = solver.mesh.active_cells() as f64;
-    let expected = solver.stats.steps as f64
-        * active
-        * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
-        + solver.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
+    let expected =
+        solver.stats.steps as f64 * active * (FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION)
+            + solver.stats.cg_iters as f64 * active * FLOPS_CG_ITER;
     let rel = (solver.stats.flops - expected).abs() / expected;
     assert!(rel < 1e-12, "counter drift {rel}");
 
@@ -34,7 +33,7 @@ fn solver_flop_counters_match_model_constants() {
         active_cells: active,
         timesteps: 1,
         cg_iters: 20,
-        };
+    };
     assert_eq!(
         case.flops_per_cell_step(),
         FLOPS_MOMENTUM + FLOPS_DIVERGENCE + FLOPS_CORRECTION + 20.0 * FLOPS_CG_ITER
@@ -71,9 +70,7 @@ fn distributed_solver_halo_count_matches_model_structure() {
         .comm
         .iter()
         .map(|c| match c {
-            CommPhase::Halo3D { repeats, .. } | CommPhase::Halo1D { repeats, .. } => {
-                *repeats
-            }
+            CommPhase::Halo3D { repeats, .. } | CommPhase::Halo1D { repeats, .. } => *repeats,
             _ => 0,
         })
         .sum();

@@ -1,104 +1,140 @@
-//! Property-based tests over the workload IR and the performance models.
+//! Property-style tests over the workload IR and the performance models,
+//! driven by deterministic `RngStream` case generation.
 
 use harborsim::alya::workload::{AlyaCase, ArteryCfd};
+use harborsim::des::RngStream;
 use harborsim::hw::presets;
 use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim::mpi::workload::{factor3, grid_coords, grid_neighbors, JobProfile, StepProfile};
 use harborsim::mpi::RankMap;
 use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
+    let root = RngStream::new(0x3089_0005).derive(label);
+    (0..n).map(move |i| root.derive_idx(i))
+}
 
-    #[test]
-    fn factor3_always_covers(p in 1u32..20_000) {
+#[test]
+fn factor3_always_covers() {
+    for mut rng in cases("factor3", 64) {
+        let p = 1 + rng.below(19_999) as u32;
         let (a, b, c) = factor3(p);
-        prop_assert_eq!(a as u64 * b as u64 * c as u64, p as u64);
-        prop_assert!(a >= b && b >= c);
+        assert_eq!(a as u64 * b as u64 * c as u64, p as u64);
+        assert!(a >= b && b >= c);
     }
+}
 
-    #[test]
-    fn grid_neighbors_are_symmetric(p in 2u32..600) {
+#[test]
+fn grid_neighbors_are_symmetric() {
+    for mut rng in cases("grid-neighbors", 64) {
+        let p = 2 + rng.below(598) as u32;
         let dims = factor3(p);
         for r in 0..p {
             for nb in grid_neighbors(r, dims) {
-                prop_assert!(nb < p);
-                prop_assert!(grid_neighbors(nb, dims).contains(&r));
+                assert!(nb < p);
+                assert!(grid_neighbors(nb, dims).contains(&r));
             }
         }
     }
+}
 
-    #[test]
-    fn grid_coords_bijective(p in 1u32..2_000) {
+#[test]
+fn grid_coords_bijective() {
+    for mut rng in cases("grid-coords", 64) {
+        let p = 1 + rng.below(1_999) as u32;
         let dims = factor3(p);
         let mut seen = vec![false; p as usize];
         for r in 0..p {
             let (x, y, z) = grid_coords(r, dims);
-            prop_assert!(x < dims.0 && y < dims.1 && z < dims.2);
+            assert!(x < dims.0 && y < dims.1 && z < dims.2);
             let back = x + dims.0 * (y + dims.1 * z);
-            prop_assert_eq!(back, r);
+            assert_eq!(back, r);
             seen[r as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
-
-    #[test]
-    fn truncation_preserves_flops(steps in 1u32..2_000, keep in 1u32..50) {
-        let job = JobProfile::uniform(
-            StepProfile::compute_only(1e8, 4.0),
-            steps,
-        );
-        let (short, mult) = job.truncated(keep);
-        let full = job.total_flops(16);
-        let scaled = short.total_flops(16) * mult;
-        prop_assert!((full - scaled).abs() / full < 1e-9);
-    }
-
-    #[test]
-    fn cfd_workload_total_flops_rank_invariant(ranks in 1u32..4_096) {
-        let case = ArteryCfd::small();
-        let f = case.job_profile(ranks).total_flops(ranks);
-        let f1 = case.job_profile(1).total_flops(1);
-        prop_assert!((f - f1).abs() / f1 < 1e-9);
-    }
-
-    #[test]
-    fn elapsed_monotone_in_compute(flops in 1e6f64..1e11) {
-        let engine = engine(2, 8, DataPath::Host, TransportSelection::Native);
-        let t = |f: f64| engine
-            .run(&JobProfile::uniform(StepProfile::compute_only(f, 1.0), 3), 1)
-            .elapsed;
-        prop_assert!(t(flops) < t(flops * 2.0));
-    }
-
-    #[test]
-    fn docker_never_faster_than_host(seed in 0u64..500) {
-        let case = ArteryCfd::small();
-        let job = case.job_profile(16);
-        let host = engine(2, 8, DataPath::Host, TransportSelection::Native)
-            .run(&job, seed).elapsed;
-        let dock = engine(2, 8, DataPath::docker_default_bridge(), TransportSelection::Native)
-            .run(&job, seed).elapsed;
-        prop_assert!(dock >= host);
-    }
-
-    #[test]
-    fn fallback_never_faster_than_native(seed in 0u64..500, nodes in 1u32..16) {
-        let case = ArteryCfd::small();
-        let job = case.job_profile(nodes * 8);
-        let native = ib_engine(nodes, TransportSelection::Native).run(&job, seed).elapsed;
-        let fallback = ib_engine(nodes, TransportSelection::TcpFallback).run(&job, seed).elapsed;
-        prop_assert!(fallback >= native);
+        assert!(seen.iter().all(|&s| s));
     }
 }
 
-fn engine(
-    nodes: u32,
-    rpn: u32,
-    path: DataPath,
-    selection: TransportSelection,
-) -> AnalyticEngine {
+#[test]
+fn truncation_preserves_flops() {
+    for mut rng in cases("truncation", 64) {
+        let steps = 1 + rng.below(1_999) as u32;
+        let keep = 1 + rng.below(49) as u32;
+        let job = JobProfile::uniform(StepProfile::compute_only(1e8, 4.0), steps);
+        let (short, mult) = job.truncated(keep);
+        let full = job.total_flops(16);
+        let scaled = short.total_flops(16) * mult;
+        assert!((full - scaled).abs() / full < 1e-9);
+    }
+}
+
+#[test]
+fn cfd_workload_total_flops_rank_invariant() {
+    for mut rng in cases("flops-invariant", 64) {
+        let ranks = 1 + rng.below(4_095) as u32;
+        let case = ArteryCfd::small();
+        let f = case.job_profile(ranks).total_flops(ranks);
+        let f1 = case.job_profile(1).total_flops(1);
+        assert!((f - f1).abs() / f1 < 1e-9);
+    }
+}
+
+#[test]
+fn elapsed_monotone_in_compute() {
+    for mut rng in cases("monotone-compute", 64) {
+        let flops = rng.uniform_range(1e6, 1e11);
+        let engine = engine(2, 8, DataPath::Host, TransportSelection::Native);
+        let t = |f: f64| {
+            engine
+                .run(
+                    &JobProfile::uniform(StepProfile::compute_only(f, 1.0), 3),
+                    1,
+                )
+                .elapsed
+        };
+        assert!(t(flops) < t(flops * 2.0));
+    }
+}
+
+#[test]
+fn docker_never_faster_than_host() {
+    for mut rng in cases("docker-vs-host", 64) {
+        let seed = rng.below(500);
+        let case = ArteryCfd::small();
+        let job = case.job_profile(16);
+        let host = engine(2, 8, DataPath::Host, TransportSelection::Native)
+            .run(&job, seed)
+            .elapsed;
+        let dock = engine(
+            2,
+            8,
+            DataPath::docker_default_bridge(),
+            TransportSelection::Native,
+        )
+        .run(&job, seed)
+        .elapsed;
+        assert!(dock >= host);
+    }
+}
+
+#[test]
+fn fallback_never_faster_than_native() {
+    for mut rng in cases("fallback-vs-native", 64) {
+        let seed = rng.below(500);
+        let nodes = 1 + rng.below(15) as u32;
+        let case = ArteryCfd::small();
+        let job = case.job_profile(nodes * 8);
+        let native = ib_engine(nodes, TransportSelection::Native)
+            .run(&job, seed)
+            .elapsed;
+        let fallback = ib_engine(nodes, TransportSelection::TcpFallback)
+            .run(&job, seed)
+            .elapsed;
+        assert!(fallback >= native);
+    }
+}
+
+fn engine(nodes: u32, rpn: u32, path: DataPath, selection: TransportSelection) -> AnalyticEngine {
     let cluster = presets::lenox();
     AnalyticEngine {
         node: cluster.node,
