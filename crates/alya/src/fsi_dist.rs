@@ -13,7 +13,7 @@
 //!    areas; the fluid relaxes toward them; an allreduce over *all* ranks
 //!    agrees on the interface residual.
 //!
-//! The result is validated bit-tight against the sequential [`CoupledFsi`]
+//! The result is validated bit-tight against the sequential [`CoupledFsi`](crate::fsi::CoupledFsi)
 //! — the decomposition changes nothing but the process count.
 
 use crate::fsi::FsiConfig;

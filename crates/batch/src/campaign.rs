@@ -17,6 +17,7 @@ use harborsim_container::deploy::DeployPlan;
 use harborsim_container::launch::LaunchModel;
 use harborsim_container::runtime::{ExecutionEnvironment, RuntimeKind};
 use harborsim_container::ImageManifest;
+use harborsim_des::trace::Recorder;
 use harborsim_des::SimDuration;
 use harborsim_hw::ClusterSpec;
 
@@ -66,6 +67,12 @@ impl CampaignReport {
 impl Campaign {
     /// Execute the campaign.
     pub fn run(&self) -> CampaignReport {
+        self.run_traced(&mut Recorder::off())
+    }
+
+    /// Execute the campaign, forwarding deployment spans (per job) and the
+    /// scheduler's queue/backfill/launch spans through `rec`.
+    pub fn run_traced(&self, rec: &mut Recorder) -> CampaignReport {
         assert!(self.jobs > 0);
         let launch = LaunchModel::default();
         let mut scheduler = Scheduler::new(self.cluster.node_count);
@@ -82,7 +89,7 @@ impl Campaign {
                 shifter_udi_cached: warm && self.env.runtime == RuntimeKind::Shifter,
                 docker_layers_cached: warm && self.env.runtime == RuntimeKind::Docker,
             }
-            .run();
+            .run_traced(rec);
             let stage = deploy.makespan.as_secs_f64()
                 + launch.launch_seconds(self.env.runtime, self.nodes_per_job, self.ranks_per_node);
             let runtime = stage + self.solver_seconds;
@@ -98,7 +105,7 @@ impl Campaign {
                 submit: harborsim_des::SimTime::ZERO + SimDuration::from_secs_f64(submit),
             });
         }
-        let res = scheduler.run();
+        let res = scheduler.run_traced(rec);
         let turnaround_s: Vec<f64> = res
             .outcomes
             .iter()

@@ -8,6 +8,7 @@
 //! walltime estimate), or they fit in nodes the head will not need.
 
 use crate::job::{Job, JobOutcome};
+use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{Engine, SimTime};
 use std::collections::VecDeque;
 
@@ -28,6 +29,7 @@ struct State {
     outcomes: Vec<JobOutcome>,
     busy_node_seconds: f64,
     last_change: SimTime,
+    rec: Recorder,
 }
 
 impl State {
@@ -82,6 +84,12 @@ impl Scheduler {
 
     /// Run to completion.
     pub fn run(self) -> ScheduleResult {
+        self.run_traced(&mut Recorder::off())
+    }
+
+    /// Run to completion, emitting one wait span (queue or backfill) and
+    /// one launch span per job through `rec`, on track `job.id`.
+    pub fn run_traced(self, rec: &mut Recorder) -> ScheduleResult {
         let mut eng: Engine<State> = Engine::new();
         let mut state = State {
             total_nodes: self.total_nodes,
@@ -91,9 +99,13 @@ impl Scheduler {
             outcomes: Vec::new(),
             busy_node_seconds: 0.0,
             last_change: SimTime::ZERO,
+            rec: Recorder::like(rec),
         };
         let mut jobs = self.jobs;
         jobs.sort_by_key(|j| (j.submit, j.id));
+        state
+            .rec
+            .declare_tracks(jobs.iter().map(|j| j.id + 1).max().unwrap_or(0));
         for job in jobs {
             let at = job.submit;
             eng.schedule_at(at, move |eng, st: &mut State| {
@@ -111,6 +123,7 @@ impl Scheduler {
         } else {
             state.busy_node_seconds / (makespan.as_secs_f64() * self.total_nodes as f64)
         };
+        rec.merge(state.rec);
         let mut outcomes = state.outcomes;
         outcomes.sort_by_key(|o| o.id);
         ScheduleResult {
@@ -121,9 +134,22 @@ impl Scheduler {
     }
 }
 
-fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job) {
+fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job, backfilled: bool) {
     let now = eng.now();
     st.account(now);
+    let (cat, name) = if backfilled {
+        (SpanCategory::Backfill, "backfill-wait")
+    } else {
+        (SpanCategory::Queue, "queue-wait")
+    };
+    st.rec.span(cat, name, job.id, job.submit, now);
+    st.rec.span(
+        SpanCategory::Launch,
+        "job-run",
+        job.id,
+        now,
+        now + job.runtime,
+    );
     debug_assert!(st.free >= job.nodes);
     st.free -= job.nodes;
     st.running.push(Running {
@@ -156,7 +182,7 @@ fn try_schedule(eng: &mut Engine<State>, st: &mut State) {
     while let Some(head) = st.queue.front() {
         if head.nodes <= st.free {
             let job = st.queue.pop_front().expect("head exists");
-            start_job(eng, st, job);
+            start_job(eng, st, job, false);
         } else {
             break;
         }
@@ -192,7 +218,7 @@ fn try_schedule(eng: &mut Engine<State>, st: &mut State) {
         let uses_spare = cand.nodes <= spare_at_shadow;
         if fits_now && (ends_before_shadow || uses_spare) {
             let job = st.queue.remove(i).expect("index checked");
-            start_job(eng, st, job);
+            start_job(eng, st, job, true);
             // free changed; the head still cannot start (its requirement
             // exceeded free before, and backfilled jobs only shrank free)
         } else {

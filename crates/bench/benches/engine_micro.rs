@@ -2,6 +2,7 @@
 //! fair-share fluid links, RNG streams, and the message-level MPI engine.
 
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
+use harborsim_des::trace::Recorder;
 use harborsim_des::{Engine, FluidLink, RngStream, SimDuration};
 use harborsim_mpi::analytic::EngineConfig;
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
@@ -86,7 +87,7 @@ fn bench_rng(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_des_mpi(c: &mut Criterion) {
+fn micro_engine_and_job() -> (DesEngine, JobProfile) {
     let engine = DesEngine {
         node: harborsim_hw::presets::lenox().node,
         network: NetworkModel::compose(
@@ -116,6 +117,11 @@ fn bench_des_mpi(c: &mut Criterion) {
         },
         5,
     );
+    (engine, job)
+}
+
+fn bench_des_mpi(c: &mut Criterion) {
+    let (engine, job) = micro_engine_and_job();
     let probe = engine.run(&job, 1);
     let msgs = probe.inter_node_msgs + probe.intra_node_msgs;
     let mut g = c.benchmark_group("des_mpi");
@@ -126,11 +132,73 @@ fn bench_des_mpi(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recorder_modes(c: &mut Criterion) {
+    let (engine, job) = micro_engine_and_job();
+    let mut g = c.benchmark_group("recorder");
+    g.bench_function("des_recorder_off", |b| {
+        b.iter(|| black_box(engine.run_traced(&job, 1, &mut Recorder::off()).elapsed));
+    });
+    g.bench_function("des_recorder_aggregating", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_traced(&job, 1, &mut Recorder::aggregating())
+                    .elapsed,
+            )
+        });
+    });
+    g.bench_function("des_recorder_capturing", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_traced(&job, 1, &mut Recorder::capturing())
+                    .elapsed,
+            )
+        });
+    });
+    g.finish();
+    guard_recorder_overhead(&engine, &job);
+}
+
+/// The no-op recorder must be a true no-op: running the DES engine with
+/// `Recorder::off()` may not cost measurably more than the aggregating
+/// mode, which does strictly more work per span. Min-of-N interleaved
+/// samples with an absolute slack keep the guard robust to scheduler
+/// noise; a failure means the off-mode early return stopped being free.
+fn guard_recorder_overhead(engine: &DesEngine, job: &JobProfile) {
+    const ROUNDS: usize = 7;
+    const RUNS_PER_SAMPLE: u64 = 3;
+    let sample = |mk: fn() -> Recorder| -> f64 {
+        let t0 = std::time::Instant::now();
+        for seed in 0..RUNS_PER_SAMPLE {
+            black_box(engine.run_traced(job, seed, &mut mk()).elapsed);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let (mut off, mut agg) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        off = off.min(sample(Recorder::off));
+        agg = agg.min(sample(Recorder::aggregating));
+    }
+    let slack_s = 500e-6;
+    println!(
+        "recorder overhead guard: off {:.3} ms, aggregating {:.3} ms ({:+.2}%)",
+        off * 1e3,
+        agg * 1e3,
+        (off / agg - 1.0) * 100.0
+    );
+    assert!(
+        off <= agg * 1.02 + slack_s,
+        "no-op recorder slower than the aggregating mode: off {off:.6}s vs aggregating {agg:.6}s"
+    );
+}
+
 criterion_group!(
     benches,
     bench_des_events,
     bench_fluid,
     bench_rng,
-    bench_des_mpi
+    bench_des_mpi,
+    bench_recorder_modes
 );
 criterion_main!(benches);

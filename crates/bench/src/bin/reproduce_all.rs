@@ -1,17 +1,26 @@
 //! Regenerate every figure and table of the paper in one run.
 //!
 //! ```sh
-//! cargo run --release -p harborsim-bench --bin reproduce_all
+//! cargo run --release -p harborsim-bench --bin reproduce_all [-- FLAGS]
 //! ```
+//!
+//! Flags:
+//!
+//! - `--quick` — one seed instead of the paper's five-repetition protocol
+//!   (fast smoke run; numbers shift slightly, shapes must still hold).
+//! - `--trace <dir>` — additionally export one chrome://tracing JSON per
+//!   experiment into `<dir>` (`fig1.trace.json`, …), capturing
+//!   representative configurations through the simulation trace layer.
 //!
 //! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
 //! ASCII per table, plus a machine-readable `summary.json`), and every
 //! shape check — the paper's qualitative claims — is evaluated and printed.
 
-use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table};
+use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table, write_trace};
 use harborsim_core::experiments::{
     ext_breakdown, ext_campaign, ext_io, ext_weak, fig1, fig2, fig3, tables, validation,
 };
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn report_shapes(name: &str, violations: &[String]) -> bool {
@@ -28,7 +37,35 @@ fn report_shapes(name: &str, violations: &[String]) -> bool {
 }
 
 fn main() {
-    let seeds = repro_seeds();
+    let mut quick = false;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                });
+                trace_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown flag {other} (usage: reproduce_all [--quick] [--trace <dir>])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seeds = if quick {
+        &repro_seeds()[..1]
+    } else {
+        repro_seeds()
+    };
+    let trace = |name: &str, parts: &[(String, harborsim_des::trace::TraceBuffer)]| {
+        if let Some(dir) = &trace_dir {
+            write_trace(dir, name, parts);
+        }
+    };
     let t0 = Instant::now();
     let mut all_ok = true;
     let mut summary: Vec<(&str, String)> = Vec::new();
@@ -56,6 +93,7 @@ fn main() {
     println!("{}", f1.to_ascii(72, 18));
     all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
     summary.push(("fig1", f1.to_json()));
+    trace("fig1", &fig1::traces(seeds[0]));
 
     println!("\n== Fig. 2: portability (CTE-POWER) ==");
     let f2 = fig2::run(seeds);
@@ -63,6 +101,7 @@ fn main() {
     println!("{}", f2.to_ascii(72, 18));
     all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
     summary.push(("fig2", f2.to_json()));
+    trace("fig2", &fig2::traces(seeds[0]));
 
     println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
     let f3 = fig3::run(seeds);
@@ -70,6 +109,7 @@ fn main() {
     println!("{}", f3.to_ascii(72, 18));
     all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
     summary.push(("fig3", f3.to_json()));
+    trace("fig3", &fig3::traces(seeds[0]));
 
     println!("\n== Table: deployment overhead / image size / execution time ==");
     let td = tables::deployment(seeds);
@@ -77,6 +117,7 @@ fn main() {
     println!("{}", td.to_ascii());
     all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
     summary.push(("table_deployment", td.to_json()));
+    trace("table-deployment", &tables::deployment_traces());
 
     println!("\n== Table: portability across three architectures ==");
     let tp = tables::portability(seeds);
@@ -91,6 +132,7 @@ fn main() {
     println!("{}", fe.to_ascii(72, 18));
     all_ok &= report_shapes("ext-io", &ext_io::check_shape(&fe));
     summary.push(("ext_io", fe.to_json()));
+    trace("ext-io", &ext_io::traces());
 
     println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
     let rows = ext_breakdown::run(seeds[0]);
@@ -99,6 +141,7 @@ fn main() {
     println!("{}", tb.to_ascii());
     all_ok &= report_shapes("ext-breakdown", &ext_breakdown::check_shape(&rows));
     summary.push(("ext_breakdown", tb.to_json()));
+    trace("ext-breakdown", &ext_breakdown::traces(&rows));
 
     println!("\n== Extension: campaign turnaround under the batch scheduler ==");
     let rows = ext_campaign::run(seeds);
@@ -107,6 +150,7 @@ fn main() {
     println!("{}", tc.to_ascii());
     all_ok &= report_shapes("ext-campaign", &ext_campaign::check_shape(&rows));
     summary.push(("ext_campaign", tc.to_json()));
+    trace("ext-campaign", &ext_campaign::traces());
 
     println!("\n== Extension: weak scaling ==");
     let fw = ext_weak::run(seeds);
@@ -114,6 +158,7 @@ fn main() {
     println!("{}", fw.to_ascii(72, 18));
     all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
     summary.push(("ext_weak", fw.to_json()));
+    trace("ext-weak", &ext_weak::traces(seeds[0]));
 
     println!("\n== Engine cross-validation (DES vs analytic) ==");
     let vrows = validation::run();
@@ -122,6 +167,7 @@ fn main() {
     println!("{}", tv.to_ascii());
     all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
     summary.push(("validation", tv.to_json()));
+    trace("validation", &validation::traces(seeds[0]));
 
     let body: Vec<String> = summary
         .iter()
@@ -136,6 +182,12 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         out_dir().display()
     );
+    if let Some(dir) = &trace_dir {
+        println!(
+            "Traces in {} (one chrome://tracing JSON per experiment).",
+            dir.display()
+        );
+    }
     if !all_ok {
         println!("SOME SHAPE CHECKS FAILED — see above.");
         std::process::exit(1);

@@ -39,6 +39,22 @@ pub fn repro_seeds() -> &'static [u64] {
     harborsim_core::runner::default_seeds()
 }
 
+/// Persist captured traces for one experiment as a chrome://tracing JSON
+/// document (`<dir>/<name>.trace.json`, loadable in `chrome://tracing` or
+/// Perfetto).
+pub fn write_trace(
+    dir: &std::path::Path,
+    name: &str,
+    parts: &[(String, harborsim_des::trace::TraceBuffer)],
+) {
+    fs::create_dir_all(dir).expect("create trace dir");
+    fs::write(
+        dir.join(format!("{name}.trace.json")),
+        harborsim_core::traceviz::chrome_trace_json(parts),
+    )
+    .expect("trace json");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@
 
 use crate::image::{ImageFormat, ImageManifest};
 use crate::runtime::{ExecutionEnvironment, RuntimeKind};
+use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{Engine, FluidLink, SimDuration, SimTime};
 use harborsim_hw::StorageSpec;
 
@@ -73,10 +74,11 @@ struct Dep {
     registry: FluidLink<Dep>,
     pfs: FluidLink<Dep>,
     layers_left: Vec<u32>,
-    ready: Vec<Option<SimTime>>,
     unpack_bytes: u64,
     start_s: f64,
     remaining: u32,
+    /// Always capturing: the report is derived from the recorded spans.
+    rec: Recorder,
 }
 
 fn reg_of(d: &mut Dep) -> &mut FluidLink<Dep> {
@@ -86,15 +88,22 @@ fn pfs_of(d: &mut Dep) -> &mut FluidLink<Dep> {
     &mut d.pfs
 }
 
-fn node_ready(eng: &Engine<Dep>, d: &mut Dep, node: usize) {
-    debug_assert!(d.ready[node].is_none());
-    d.ready[node] = Some(eng.now());
+fn node_ready(_eng: &Engine<Dep>, d: &mut Dep, _node: usize) {
     d.remaining -= 1;
 }
 
 impl DeployPlan {
     /// Run the deployment and report timings.
     pub fn run(&self) -> DeploymentReport {
+        self.run_traced(&mut Recorder::off())
+    }
+
+    /// Run the deployment, emitting pull / convert / unpack / start spans
+    /// through `rec` (one track per node; the Shifter gateway conversion
+    /// on track `nodes`). The report is a *derived view* over the trace:
+    /// per-node ready times are the ends of the `Start` spans, the gateway
+    /// time is the `Convert` span, and the byte totals are trace counters.
+    pub fn run_traced(&self, rec: &mut Recorder) -> DeploymentReport {
         let n = self.nodes as usize;
         let format = self.env.runtime.image_format();
         let image_bytes = format.map_or(0, |f| self.image.size_bytes(f));
@@ -105,11 +114,14 @@ impl DeployPlan {
             registry: FluidLink::new(self.registry_uplink_bps, reg_of),
             pfs: FluidLink::new(pfs_bw, pfs_of),
             layers_left: vec![self.image.layers.len() as u32; n],
-            ready: vec![None; n],
             unpack_bytes: self.image.uncompressed_bytes(),
             start_s: self.env.runtime.start_seconds(),
             remaining: self.nodes,
+            // the local recorder always captures, whatever the caller's
+            // mode: deriving the report needs the span end times
+            rec: Recorder::capturing(),
         };
+        dep.rec.declare_tracks(self.nodes);
         let mut eng: Engine<Dep> = Engine::new();
 
         let mut gateway_seconds = 0.0;
@@ -124,8 +136,19 @@ impl DeployPlan {
                 for node in 0..n {
                     let delay = SimDuration::from_secs_f64(meta_s * 40.0);
                     eng.schedule(delay, move |eng, d: &mut Dep| {
+                        let t0 = eng.now();
                         d.pfs.start_flow(eng, ws, move |eng, d| {
+                            let now = eng.now();
+                            d.rec
+                                .span(SpanCategory::Pull, "pfs-working-set", node as u32, t0, now);
                             let start = SimDuration::from_secs_f64(d.start_s);
+                            d.rec.span(
+                                SpanCategory::Start,
+                                "process-start",
+                                node as u32,
+                                now,
+                                now + start,
+                            );
                             eng.schedule(start, move |eng, d| node_ready(eng, d, node));
                         });
                     });
@@ -137,7 +160,22 @@ impl DeployPlan {
                     for node in 0..n {
                         let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
                         eng.schedule(delay, move |eng, d: &mut Dep| {
+                            let now = eng.now();
+                            d.rec.span(
+                                SpanCategory::Pull,
+                                "registry-metadata",
+                                node as u32,
+                                SimTime::ZERO,
+                                now,
+                            );
                             let start = SimDuration::from_secs_f64(d.start_s);
+                            d.rec.span(
+                                SpanCategory::Start,
+                                "container-start",
+                                node as u32,
+                                now,
+                                now + start,
+                            );
                             eng.schedule(start, move |eng, d| node_ready(eng, d, node));
                         });
                     }
@@ -158,16 +196,40 @@ impl DeployPlan {
                             .collect();
                         let delay = SimDuration::from_secs_f64(REGISTRY_METADATA_S);
                         eng.schedule(delay, move |eng, d: &mut Dep| {
+                            let t0 = eng.now();
                             for &bytes in &layers {
                                 d.registry.start_flow(eng, bytes as f64, move |eng, d| {
+                                    let now = eng.now();
+                                    d.rec.span(
+                                        SpanCategory::Pull,
+                                        "layer-pull",
+                                        node as u32,
+                                        t0,
+                                        now,
+                                    );
                                     d.layers_left[node] -= 1;
                                     if d.layers_left[node] == 0 {
                                         // all layers local: unpack, then start
                                         let unpack = SimDuration::from_secs_f64(
                                             d.unpack_bytes as f64 / UNPACK_BPS,
                                         );
+                                        d.rec.span(
+                                            SpanCategory::Unpack,
+                                            "unpack-layers",
+                                            node as u32,
+                                            now,
+                                            now + unpack,
+                                        );
                                         eng.schedule(unpack, move |eng, d| {
+                                            let now = eng.now();
                                             let start = SimDuration::from_secs_f64(d.start_s);
+                                            d.rec.span(
+                                                SpanCategory::Start,
+                                                "container-start",
+                                                node as u32,
+                                                now,
+                                                now + start,
+                                            );
                                             eng.schedule(start, move |eng, d| {
                                                 node_ready(eng, d, node)
                                             });
@@ -197,12 +259,33 @@ impl DeployPlan {
                 let ws = WORKING_SET_BYTES.min(image_bytes.max(1)) as f64;
                 bytes_from_pfs = ws as u64 * self.nodes as u64;
                 let gw = SimDuration::from_secs_f64(gateway_seconds);
+                if gateway_seconds > 0.0 {
+                    // the one-time gateway conversion, on its own track
+                    dep.rec.span(
+                        SpanCategory::Convert,
+                        "gateway-conversion",
+                        self.nodes,
+                        SimTime::ZERO,
+                        SimTime::ZERO + gw,
+                    );
+                }
                 for node in 0..n {
                     // mount: a handful of metadata ops + superblock reads
                     let delay = gw + SimDuration::from_secs_f64(meta_s * 6.0);
                     eng.schedule(delay, move |eng, d: &mut Dep| {
+                        let t0 = eng.now();
                         d.pfs.start_flow(eng, ws, move |eng, d| {
+                            let now = eng.now();
+                            d.rec
+                                .span(SpanCategory::Pull, "pfs-working-set", node as u32, t0, now);
                             let start = SimDuration::from_secs_f64(d.start_s);
+                            d.rec.span(
+                                SpanCategory::Start,
+                                "container-start",
+                                node as u32,
+                                now,
+                                now + start,
+                            );
                             eng.schedule(start, move |eng, d| node_ready(eng, d, node));
                         });
                     });
@@ -212,23 +295,31 @@ impl DeployPlan {
 
         eng.run(&mut dep);
         assert_eq!(dep.remaining, 0, "deployment left nodes unready");
+        dep.rec.counter("bytes_pulled", bytes_pulled as f64);
+        dep.rec.counter("bytes_from_pfs", bytes_from_pfs as f64);
 
-        let ready_s: Vec<f64> = dep
-            .ready
+        // a node is ready when its Start span ends: exactly one per track
+        let ready_ns: Vec<u64> = dep
+            .rec
+            .buffer()
+            .spans()
             .iter()
-            .map(|t| t.expect("ready").as_secs_f64())
+            .filter(|s| s.category == SpanCategory::Start)
+            .map(|s| s.end.as_nanos())
             .collect();
-        let makespan = ready_s.iter().copied().fold(0.0, f64::max);
-        let first = ready_s.iter().copied().fold(f64::INFINITY, f64::min);
-        DeploymentReport {
-            makespan: SimDuration::from_secs_f64(makespan),
-            first_ready: SimDuration::from_secs_f64(first),
-            mean_ready_s: ready_s.iter().sum::<f64>() / ready_s.len() as f64,
-            gateway_seconds,
-            bytes_pulled,
-            bytes_from_pfs,
+        assert_eq!(ready_ns.len(), n, "every node must record a start span");
+        let rollup = dep.rec.rollup();
+        let report = DeploymentReport {
+            makespan: SimDuration::from_nanos(ready_ns.iter().copied().max().unwrap_or(0)),
+            first_ready: SimDuration::from_nanos(ready_ns.iter().copied().min().unwrap_or(0)),
+            mean_ready_s: ready_ns.iter().map(|&t| t as f64).sum::<f64>() * 1e-9 / n as f64,
+            gateway_seconds: rollup.total(SpanCategory::Convert).as_secs_f64(),
+            bytes_pulled: rollup.counter("bytes_pulled") as u64,
+            bytes_from_pfs: rollup.counter("bytes_from_pfs") as u64,
             image_bytes,
-        }
+        };
+        rec.merge(dep.rec);
+        report
     }
 }
 
@@ -240,6 +331,17 @@ pub fn deployment_overhead(
     image: &ImageManifest,
     shared_storage: &StorageSpec,
 ) -> DeploymentReport {
+    deployment_overhead_traced(nodes, env, image, shared_storage, &mut Recorder::off())
+}
+
+/// [`deployment_overhead`] with a caller-supplied recorder.
+pub fn deployment_overhead_traced(
+    nodes: u32,
+    env: ExecutionEnvironment,
+    image: &ImageManifest,
+    shared_storage: &StorageSpec,
+    rec: &mut Recorder,
+) -> DeploymentReport {
     DeployPlan {
         nodes,
         env,
@@ -249,7 +351,7 @@ pub fn deployment_overhead(
         shifter_udi_cached: false,
         docker_layers_cached: false,
     }
-    .run()
+    .run_traced(rec)
 }
 
 #[cfg(test)]

@@ -6,12 +6,18 @@
 //! run: Docker with `--net=host` (host network namespace, cgroups kept).
 //! If the bridge is really the culprit, host-network Docker must collapse
 //! onto the bare-metal breakdown — and it does.
+//!
+//! Every number in the table is read off the captured trace (the shared
+//! `Recorder` roll-up both engines emit through), not from engine-private
+//! accounting.
 
 use crate::experiments::{expect, ShapeReport};
 use crate::report::{fmt_seconds, TableData};
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
 use harborsim_alya::workload::AlyaCase;
+use harborsim_des::trace::{Recorder, SpanCategory, TraceBuffer};
+use harborsim_des::SimTime;
 use harborsim_mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim_mpi::{RankMap, SimResult};
 use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
@@ -23,6 +29,29 @@ pub struct Breakdown {
     pub label: String,
     /// Full engine result.
     pub result: SimResult,
+    /// The captured trace the decomposition is read from.
+    pub trace: TraceBuffer,
+}
+
+impl Breakdown {
+    /// Seconds the trace recorded under `cat` (single analytic track, so
+    /// totals are exact, not averages).
+    pub fn seconds(&self, cat: SpanCategory) -> f64 {
+        self.trace.total(cat).as_secs_f64()
+    }
+
+    /// End-to-end seconds, read from the top-level run span.
+    pub fn elapsed_s(&self) -> f64 {
+        self.seconds(SpanCategory::Run)
+    }
+
+    /// Total communication seconds across the four phase families.
+    pub fn comm_s(&self) -> f64 {
+        self.seconds(SpanCategory::Halo)
+            + self.seconds(SpanCategory::Allreduce)
+            + self.seconds(SpanCategory::Pairs)
+            + self.seconds(SpanCategory::Other)
+    }
 }
 
 /// Decompose the 112×1 configuration under every technology plus the
@@ -35,23 +64,28 @@ pub fn run(seed: u64) -> Vec<Breakdown> {
         Execution::shifter(),
         Execution::docker(),
     ] {
-        let outcome = Scenario::new(
+        let plan = Scenario::new(
             harborsim_hw::presets::lenox(),
             workloads::artery_cfd_lenox(),
         )
         .execution(env)
         .nodes(4)
         .ranks_per_node(28)
-        .run(seed);
+        .compile()
+        .expect("breakdown scenario compiles");
+        let mut rec = Recorder::capturing();
+        let outcome = plan.execute_traced(seed, &mut rec);
         out.push(Breakdown {
             label: env.label(),
             result: outcome.result,
+            trace: rec.take_buffer(),
         });
     }
     // the ablation: Docker's cgroup tax without its bridge network
     let cluster = harborsim_hw::presets::lenox();
     let case = workloads::artery_cfd_lenox();
     let map = RankMap::block(4, 28, 1);
+    let mut rec = Recorder::capturing();
     let result = AnalyticEngine {
         node: cluster.node.clone(),
         network: NetworkModel::compose(
@@ -66,12 +100,27 @@ pub fn run(seed: u64) -> Vec<Breakdown> {
             ..EngineConfig::default()
         },
     }
-    .run(&case.job_profile(map.ranks()), seed);
+    .run_traced(&case.job_profile(map.ranks()), seed, &mut rec);
+    rec.span(
+        SpanCategory::Run,
+        "scenario-run",
+        0,
+        SimTime::ZERO,
+        SimTime::ZERO + result.elapsed,
+    );
     out.push(Breakdown {
         label: "Docker --net=host (modelled)".into(),
         result,
+        trace: rec.take_buffer(),
     });
     out
+}
+
+/// The rows' captured traces, labelled, for export.
+pub fn traces(rows: &[Breakdown]) -> Vec<(String, TraceBuffer)> {
+    rows.iter()
+        .map(|b| (b.label.clone(), b.trace.clone()))
+        .collect()
 }
 
 /// Render the decomposition as a table.
@@ -92,11 +141,11 @@ pub fn table(rows: &[Breakdown]) -> TableData {
             .map(|b| {
                 vec![
                     b.label.clone(),
-                    fmt_seconds(b.result.compute.as_secs_f64()),
-                    fmt_seconds(b.result.comm.halo.as_secs_f64()),
-                    fmt_seconds(b.result.comm.allreduce.as_secs_f64()),
-                    fmt_seconds(b.result.comm.other.as_secs_f64()),
-                    fmt_seconds(b.result.elapsed.as_secs_f64()),
+                    fmt_seconds(b.seconds(SpanCategory::Compute)),
+                    fmt_seconds(b.seconds(SpanCategory::Halo)),
+                    fmt_seconds(b.seconds(SpanCategory::Allreduce)),
+                    fmt_seconds(b.seconds(SpanCategory::Other)),
+                    fmt_seconds(b.elapsed_s()),
                 ]
             })
             .collect(),
@@ -116,16 +165,15 @@ pub fn check_shape(rows: &[Breakdown]) -> ShapeReport {
         return report;
     };
     // Docker's extra time is communication, not compute
-    let extra_compute = docker.result.compute.as_secs_f64() - bare.result.compute.as_secs_f64();
-    let extra_comm =
-        docker.result.comm.total().as_secs_f64() - bare.result.comm.total().as_secs_f64();
+    let extra_compute = docker.seconds(SpanCategory::Compute) - bare.seconds(SpanCategory::Compute);
+    let extra_comm = docker.comm_s() - bare.comm_s();
     expect(
         &mut report,
         extra_comm > 5.0 * extra_compute.max(0.0),
         format!("Docker's penalty must be network-borne: comm +{extra_comm:.1}s vs compute +{extra_compute:.1}s"),
     );
     // host-network Docker collapses onto bare metal
-    let rel = hostnet.result.elapsed.as_secs_f64() / bare.result.elapsed.as_secs_f64();
+    let rel = hostnet.elapsed_s() / bare.elapsed_s();
     expect(
         &mut report,
         (1.0..1.06).contains(&rel),
@@ -134,7 +182,7 @@ pub fn check_shape(rows: &[Breakdown]) -> ShapeReport {
     // and far below bridge Docker
     expect(
         &mut report,
-        docker.result.elapsed.as_secs_f64() > 1.25 * hostnet.result.elapsed.as_secs_f64(),
+        docker.elapsed_s() > 1.25 * hostnet.elapsed_s(),
         "bridge Docker must clearly exceed host-network Docker".into(),
     );
     report
@@ -153,5 +201,27 @@ mod tests {
         let t = table(&rows);
         assert_eq!(t.rows.len(), 5);
         assert!(t.to_ascii().contains("net=host"));
+    }
+
+    #[test]
+    fn trace_view_agrees_with_engine_result() {
+        // the table is read from the trace; the engine result is a roll-up
+        // of the same spans — single analytic track, so they agree exactly
+        for b in run(2) {
+            assert!(!b.trace.is_empty(), "{}", b.label);
+            assert_eq!(
+                b.seconds(SpanCategory::Compute),
+                b.result.compute.as_secs_f64(),
+                "{}",
+                b.label
+            );
+            assert_eq!(b.elapsed_s(), b.result.elapsed.as_secs_f64(), "{}", b.label);
+            assert_eq!(
+                b.comm_s(),
+                b.result.comm.total().as_secs_f64(),
+                "{}",
+                b.label
+            );
+        }
     }
 }

@@ -102,6 +102,39 @@ pub fn run(seeds: &[u64]) -> Vec<CampaignRow> {
     rows
 }
 
+/// Capture the full campaign trace (deployments + queue/backfill/launch
+/// spans) for two contrasting technologies, with a short solver time so
+/// the scheduler dynamics dominate the picture.
+pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let cluster = presets::cte_power();
+    let image = BuildEngine::self_contained(cluster.node.cpu.clone())
+        .build(&alya_recipe())
+        .expect("builds")
+        .manifest;
+    [
+        Execution::singularity_system_specific(),
+        Execution::docker(),
+    ]
+    .iter()
+    .map(|env| {
+        let mut rec = harborsim_des::trace::Recorder::capturing();
+        Campaign {
+            cluster: cluster.clone(),
+            env: *env,
+            image: image.clone(),
+            jobs: JOBS,
+            nodes_per_job: NODES_PER_JOB,
+            ranks_per_node: 40,
+            solver_seconds: 240.0,
+            submit_interval_s: 30.0,
+            registry_uplink_bps: 117e6,
+        }
+        .run_traced(&mut rec);
+        (env.label(), rec.take_buffer())
+    })
+    .collect()
+}
+
 /// Render as a table.
 pub fn table(rows: &[CampaignRow]) -> TableData {
     TableData {

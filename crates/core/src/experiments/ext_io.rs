@@ -83,6 +83,65 @@ pub fn run() -> FigureData {
     }
 }
 
+/// Capture one 16-node deployment trace per storm series (pull / unpack /
+/// start spans, one track per node).
+pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let cluster = presets::marenostrum4();
+    let image = BuildEngine::self_contained(cluster.node.cpu.clone())
+        .build(&alya_recipe())
+        .expect("builds")
+        .manifest;
+    let cases: [(&str, Execution, StorageSpec, bool); 5] = [
+        (
+            "Singularity SIF on GPFS",
+            Execution::singularity_self_contained(),
+            StorageSpec::gpfs(),
+            false,
+        ),
+        (
+            "Singularity SIF staged node-local",
+            Execution::singularity_self_contained(),
+            StorageSpec::local_scratch(),
+            false,
+        ),
+        (
+            "Docker per-node registry pull",
+            Execution::docker(),
+            StorageSpec::gpfs(),
+            false,
+        ),
+        (
+            "Docker warm layer caches",
+            Execution::docker(),
+            StorageSpec::gpfs(),
+            true,
+        ),
+        (
+            "Shifter (UDI cached on GPFS)",
+            Execution::shifter(),
+            StorageSpec::gpfs(),
+            true,
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, env, storage, cached)| {
+            let mut rec = harborsim_des::trace::Recorder::capturing();
+            DeployPlan {
+                nodes: 16,
+                env,
+                image: image.clone(),
+                shared_storage: storage,
+                registry_uplink_bps: 1.2e9,
+                shifter_udi_cached: cached,
+                docker_layers_cached: cached,
+            }
+            .run_traced(&mut rec);
+            (label.to_string(), rec.take_buffer())
+        })
+        .collect()
+}
+
 /// Claims the extension is expected to demonstrate.
 pub fn check_shape(fig: &FigureData) -> ShapeReport {
     let mut report = ShapeReport::new();

@@ -7,7 +7,7 @@
 //! and stays, while its latency handicap no longer grows relative to
 //! compute. HarborSim sweeps the FSI case at a fixed 1.2M cells/rank.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{capture, expect, ShapeReport};
 use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
@@ -29,6 +29,31 @@ fn case_for(ranks: u32) -> ArteryFsi {
         solid_fraction: 0.08,
         interface_bytes: 96 * 1024,
     }
+}
+
+/// Capture one trace per transport stack at the 4-node point of the weak
+/// sweep.
+pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    [
+        ("Bare-metal", Execution::bare_metal()),
+        (
+            "Singularity system-specific",
+            Execution::singularity_system_specific(),
+        ),
+        (
+            "Singularity self-contained",
+            Execution::singularity_self_contained(),
+        ),
+    ]
+    .iter()
+    .map(|(label, env)| {
+        let scenario = Scenario::new(harborsim_hw::presets::marenostrum4(), case_for(4 * 48))
+            .execution(*env)
+            .nodes(4)
+            .ranks_per_node(48);
+        capture(label, &scenario, seed)
+    })
+    .collect()
 }
 
 /// Regenerate: x = nodes, y = weak-scaling efficiency (T₄ / T_n).

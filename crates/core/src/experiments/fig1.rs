@@ -9,7 +9,7 @@
 //!   performance at every configuration;
 //! - Docker degrades as the job scales in MPI ranks.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{capture, expect, ShapeReport};
 use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
@@ -38,6 +38,16 @@ fn scenario(env: Execution, ranks: u32, threads: u32) -> Scenario {
     .nodes(4)
     .ranks_per_node(ranks / 4)
     .threads_per_rank(threads)
+}
+
+/// Capture one trace per technology at the pure-MPI 112x1 point — the
+/// configuration where the mechanisms differ most (Docker's bridge spans
+/// are emitted for every inter-node message).
+pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    environments()
+        .iter()
+        .map(|(label, env)| capture(label, &scenario(*env, 112, 1), seed))
+        .collect()
 }
 
 /// Regenerate the figure: x = total MPI ranks, y = elapsed seconds.

@@ -10,7 +10,7 @@
 //! - the *self-contained* container cannot use the Mellanox EDR network
 //!   (it falls back to IPoIB) and falls behind, increasingly with scale.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{capture, expect, ShapeReport};
 use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
@@ -45,6 +45,15 @@ fn scenario(env: Execution, nodes: u32) -> Scenario {
     .execution(env)
     .nodes(nodes)
     .ranks_per_node(40)
+}
+
+/// Capture one trace per curve at the 4-node point (the self-contained
+/// image is already on TCP fallback there).
+pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    environments()
+        .iter()
+        .map(|(label, env)| capture(label, &scenario(*env, 4), seed))
+        .collect()
 }
 
 /// Regenerate the figure: x = nodes, y = elapsed seconds.

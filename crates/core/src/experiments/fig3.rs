@@ -11,7 +11,7 @@
 //! - the self-contained container cannot, and its curve breaks away and
 //!   plateaus at a small fraction of the ideal speedup.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{capture, expect, ShapeReport};
 use crate::report::{FigureData, Series};
 use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
@@ -44,6 +44,15 @@ fn scenario(env: Execution, nodes: u32) -> Scenario {
     .execution(env)
     .nodes(nodes)
     .ranks_per_node(48)
+}
+
+/// Capture one trace per curve at the 16-node point, where the
+/// self-contained curve has visibly broken away.
+pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    environments()
+        .iter()
+        .map(|(label, env)| capture(label, &scenario(*env, 16), seed))
+        .collect()
 }
 
 /// Regenerate the figure: x = nodes, y = speedup vs 4-node bare metal.

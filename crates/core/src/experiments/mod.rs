@@ -16,7 +16,11 @@
 //!
 //! Every experiment exposes `run(seeds)` returning structured data and a
 //! `check_shape(&data)` that encodes the paper's qualitative claims; the
-//! integration tests and the reproduction binary both call them.
+//! integration tests and the reproduction binary both call them. Most also
+//! expose a `traces(..)` provider returning captured
+//! [`TraceBuffer`](harborsim_des::trace::TraceBuffer)s for representative
+//! configurations, which `reproduce_all --trace <dir>` exports as
+//! chrome://tracing JSON via [`crate::traceviz`].
 
 pub mod ext_breakdown;
 pub mod ext_campaign;
@@ -36,4 +40,15 @@ pub(crate) fn expect(report: &mut ShapeReport, cond: bool, msg: String) {
     if !cond {
         report.push(msg);
     }
+}
+
+/// Helper for the per-experiment `traces()` providers: compile `scenario`
+/// and capture one seed's full trace under `label`.
+pub(crate) fn capture(
+    label: &str,
+    scenario: &crate::scenario::Scenario,
+    seed: u64,
+) -> (String, harborsim_des::trace::TraceBuffer) {
+    let plan = scenario.compile().expect("trace scenario compiles");
+    (label.to_string(), plan.capture_trace(seed))
 }

@@ -13,7 +13,7 @@ use crate::scenario::{Execution, Scenario};
 use crate::workloads;
 use harborsim_container::build::{alya_recipe, BuildEngine};
 use harborsim_container::containment::check_compat;
-use harborsim_container::deploy::deployment_overhead;
+use harborsim_container::deploy::{deployment_overhead, deployment_overhead_traced};
 use harborsim_container::{Containment, ImageFormat, LaunchModel, RuntimeKind};
 use harborsim_hw::presets;
 use harborsim_net::TransportSelection;
@@ -93,6 +93,29 @@ pub fn deployment(seeds: &[u64]) -> TableData {
         ],
         rows,
     }
+}
+
+/// Capture one 4-node deployment trace per technology (pull / convert /
+/// unpack / start spans on one track per node).
+pub fn deployment_traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let cluster = presets::lenox();
+    let image = BuildEngine::self_contained(cluster.node.cpu.clone())
+        .build(&alya_recipe())
+        .expect("builtin recipe builds")
+        .manifest;
+    [
+        Execution::bare_metal(),
+        Execution::docker(),
+        Execution::singularity_self_contained(),
+        Execution::shifter(),
+    ]
+    .iter()
+    .map(|env| {
+        let mut rec = harborsim_des::trace::Recorder::capturing();
+        deployment_overhead_traced(4, *env, &image, &cluster.shared_storage, &mut rec);
+        (env.runtime.label().to_string(), rec.take_buffer())
+    })
+    .collect()
 }
 
 /// Shape claims over the deployment table.

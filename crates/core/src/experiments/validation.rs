@@ -57,6 +57,29 @@ fn point(
     }
 }
 
+/// Capture the same configuration through both engines: the per-rank DES
+/// trace (compute / protocol / recv-wait spans on `p` tracks) next to the
+/// analytic engine's closed-form phase spans on one track.
+pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let mk = |label: &str, engine| {
+        let scenario = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::bare_metal())
+            .nodes(2)
+            .ranks_per_node(14)
+            .engine(engine);
+        crate::experiments::capture(label, &scenario, seed)
+    };
+    vec![
+        mk("analytic (Lenox bare 2x14)", EngineKind::Analytic),
+        mk(
+            "des (Lenox bare 2x14, 5 steps/kind)",
+            EngineKind::Des {
+                max_steps_per_kind: 5,
+            },
+        ),
+    ]
+}
+
 /// Run the validation matrix.
 pub fn run() -> Vec<ValidationRow> {
     let points: Vec<(&str, harborsim_hw::ClusterSpec, Execution, u32, u32)> = vec![

@@ -18,6 +18,8 @@
 //!   future-work I/O storm study), each returning structured data plus
 //!   shape checks that encode the paper's qualitative claims.
 //! - [`report`] — aligned ASCII tables, ASCII charts, CSV and SVG writers.
+//! - [`traceviz`] — exporters for captured simulation traces:
+//!   chrome://tracing JSON and a per-category summary table.
 
 pub mod calibration;
 pub mod error;
@@ -25,6 +27,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod traceviz;
 
 /// The Alya case presets, re-exported for harness users.
 pub mod workloads {

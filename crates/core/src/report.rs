@@ -278,7 +278,7 @@ fn xml_escape(s: &str) -> String {
 }
 
 /// Escape a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -297,7 +297,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a float as a JSON number (`null` for non-finite values).
-fn json_num(x: f64) -> String {
+pub(crate) fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

@@ -11,10 +11,11 @@
 use crate::error::HarborError;
 use harborsim_alya::memo::job_profile_cached;
 use harborsim_alya::workload::AlyaCase;
-use harborsim_container::deploy::deployment_overhead;
+use harborsim_container::deploy::deployment_overhead_traced;
 use harborsim_container::image::ImageManifest;
 use harborsim_container::{BuildEngine, BuildError, DeploymentReport};
-use harborsim_des::SimDuration;
+use harborsim_des::trace::{AttrValue, Recorder, SpanCategory, TraceBuffer};
+use harborsim_des::{SimDuration, SimTime};
 use harborsim_hw::{ClusterSpec, CpuModel, InterconnectKind};
 use harborsim_mpi::analytic::EngineConfig;
 use harborsim_mpi::workload::JobProfile;
@@ -180,22 +181,42 @@ impl Scenario {
                 max_steps_per_kind,
             }),
         };
-        let deployment = if self.deploy {
+        let (deployment, deployment_trace) = if self.deploy {
             let image = shared_alya_image(&self.cluster.node.cpu)?;
-            Some(deployment_overhead(
+            // capture the deployment spans once at compile time; executes
+            // replay them into any enabled recorder
+            let mut dep_rec = Recorder::capturing();
+            let report = deployment_overhead_traced(
                 self.nodes,
                 self.env,
                 &image,
                 &self.cluster.shared_storage,
-            ))
+                &mut dep_rec,
+            );
+            (Some(report), Some(dep_rec.take_buffer()))
         } else {
-            None
+            (None, None)
         };
+        let attrs = vec![
+            ("cluster", AttrValue::Text(self.cluster.name.clone())),
+            ("env", AttrValue::Text(self.env.label())),
+            ("nodes", AttrValue::Int(u64::from(self.nodes))),
+            (
+                "ranks_per_node",
+                AttrValue::Int(u64::from(self.ranks_per_node)),
+            ),
+            (
+                "threads_per_rank",
+                AttrValue::Int(u64::from(self.threads_per_rank)),
+            ),
+        ];
         Ok(ScenarioPlan {
             map,
             job,
             engine,
             deployment,
+            deployment_trace,
+            attrs,
         })
     }
 
@@ -228,18 +249,55 @@ pub struct ScenarioPlan {
     job: JobProfile,
     engine: Box<dyn PerfEngine + Send + Sync>,
     deployment: Option<DeploymentReport>,
+    /// Deployment spans captured at compile time, replayed per execute.
+    deployment_trace: Option<TraceBuffer>,
+    /// Scenario attributes attached to the top-level run span.
+    attrs: Vec<(&'static str, AttrValue)>,
 }
 
 impl ScenarioPlan {
     /// Execute one seed. Deterministic: the same plan and seed always
     /// produce the same [`Outcome`].
     pub fn execute(&self, seed: u64) -> Outcome {
-        let result = self.engine.run(&self.job, seed);
+        // aggregating, not off: the result's breakdown is a trace roll-up
+        self.execute_traced(seed, &mut Recorder::aggregating())
+    }
+
+    /// Execute one seed, emitting the full trace through `rec`: the
+    /// deployment spans captured at compile time (if any), the engine's
+    /// spans, and a top-level `Run` span carrying the scenario attributes
+    /// and the seed.
+    pub fn execute_traced(&self, seed: u64, rec: &mut Recorder) -> Outcome {
+        if rec.is_enabled() {
+            if let Some(buf) = &self.deployment_trace {
+                rec.absorb(buf);
+            }
+        }
+        let result = self.engine.run_traced(&self.job, seed, rec);
+        let mut attrs = self.attrs.clone();
+        attrs.push(("engine", AttrValue::Text(result.engine.to_string())));
+        attrs.push(("seed", AttrValue::Int(seed)));
+        rec.span_with(
+            SpanCategory::Run,
+            "scenario-run",
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + result.elapsed,
+            attrs,
+        );
         Outcome {
             elapsed: result.elapsed,
             result,
             deployment: self.deployment.clone(),
         }
+    }
+
+    /// Capture one seed's full trace: compile-time deployment spans plus
+    /// the engine's spans plus the top-level run span.
+    pub fn capture_trace(&self, seed: u64) -> TraceBuffer {
+        let mut rec = Recorder::capturing();
+        self.execute_traced(seed, &mut rec);
+        rec.take_buffer()
     }
 
     /// The validated rank placement.

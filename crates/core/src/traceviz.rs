@@ -1,0 +1,147 @@
+//! Trace exporters: chrome://tracing JSON and a summary table.
+//!
+//! The simulation layers emit spans through the shared
+//! [`Recorder`](harborsim_des::trace::Recorder); this module turns captured
+//! [`TraceBuffer`]s into artifacts. [`chrome_trace_json`] renders the
+//! "Trace Event Format" consumed by `chrome://tracing` and Perfetto: one
+//! *process* per named buffer, one *thread* per track (MPI rank, node, or
+//! job id depending on the emitting layer), and complete (`"ph":"X"`)
+//! events with microsecond timestamps. [`summary`] rolls the same buffers
+//! up into an ASCII-renderable table.
+
+use crate::report::{fmt_seconds, json_escape, json_num, TableData};
+use harborsim_des::trace::{AttrValue, SpanCategory, TraceBuffer};
+
+fn json_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Text(s) => format!("\"{}\"", json_escape(s)),
+        AttrValue::Int(i) => format!("{i}"),
+        AttrValue::Num(x) => json_num(*x),
+    }
+}
+
+/// Render named trace buffers as one chrome://tracing JSON document.
+///
+/// Each `(label, buffer)` pair becomes its own process id with a
+/// `process_name` metadata record, so several experiments (or several
+/// technologies of one experiment) can live side by side in one file. Span
+/// categories become the event `cat` field — the tracing UI can filter on
+/// `compute`, `halo`, `bridge`, ….
+pub fn chrome_trace_json(parts: &[(String, TraceBuffer)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (pid, (label, buf)) in parts.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            json_escape(label)
+        ));
+        for s in buf.sorted_spans() {
+            let args = s
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_attr(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{},"args":{{{}}}}}"#,
+                json_escape(s.name),
+                s.category.label(),
+                json_num(s.start.as_nanos() as f64 / 1e3),
+                json_num(s.duration().as_nanos() as f64 / 1e3),
+                s.track,
+                args
+            ));
+        }
+    }
+    format!(r#"{{"traceEvents":[{}]}}"#, events.join(","))
+}
+
+/// Roll named buffers up into a per-category summary table: span count and
+/// total recorded seconds for every category that appears.
+pub fn summary(parts: &[(String, TraceBuffer)]) -> TableData {
+    let mut rows = Vec::new();
+    for (label, buf) in parts {
+        for cat in SpanCategory::ALL {
+            let n = buf.count(cat);
+            if n == 0 {
+                continue;
+            }
+            rows.push(vec![
+                label.clone(),
+                cat.label().to_string(),
+                n.to_string(),
+                fmt_seconds(buf.total(cat).as_secs_f64()),
+            ]);
+        }
+    }
+    TableData {
+        id: "trace-summary".into(),
+        title: "Recorded span time by category".into(),
+        headers: vec![
+            "Trace".into(),
+            "Category".into(),
+            "Spans".into(),
+            "Total".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_des::trace::Recorder;
+    use harborsim_des::{SimDuration, SimTime};
+
+    fn sample() -> TraceBuffer {
+        let mut rec = Recorder::capturing();
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs_f64(1.5);
+        rec.span(SpanCategory::Compute, "solver-compute", 0, t0, t1);
+        rec.span_with(
+            SpanCategory::Halo,
+            "halo3d",
+            1,
+            t1,
+            t1 + SimDuration::from_secs_f64(0.25),
+            vec![
+                ("ranks", AttrValue::Int(4)),
+                ("label", AttrValue::Text("a \"b\"".into())),
+            ],
+        );
+        rec.take_buffer()
+    }
+
+    #[test]
+    fn chrome_json_has_expected_events() {
+        let json = chrome_trace_json(&[("demo".to_string(), sample())]);
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        assert!(json.contains(r#""name":"process_name""#));
+        assert!(json.contains(r#""cat":"compute""#));
+        assert!(json.contains(r#""cat":"halo""#));
+        // 1.5 s compute span = 1.5e6 µs
+        assert!(json.contains(r#""dur":1500000"#), "{json}");
+        // attributes survive, escaped
+        assert!(json.contains(r#""ranks":4"#));
+        assert!(json.contains(r#"a \"b\""#));
+        // crude balance check: a well-formed document closes every brace
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn summary_counts_non_empty_categories_only() {
+        let t = summary(&[("demo".to_string(), sample())]);
+        assert_eq!(t.headers.len(), 4);
+        assert_eq!(t.rows.len(), 2, "{t:?}");
+        assert!(t.to_ascii().contains("compute"));
+        assert!(!t.to_ascii().contains("backfill"));
+    }
+
+    #[test]
+    fn empty_parts_render_empty_but_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, r#"{"traceEvents":[]}"#);
+        assert!(summary(&[]).rows.is_empty());
+    }
+}

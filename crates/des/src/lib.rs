@@ -20,6 +20,8 @@
 //!   registry uplinks).
 //! - [`rng`] — seedable SplitMix64 streams with label-derived substreams.
 //! - [`stats`] — counters, time-weighted means, and fixed-bin histograms.
+//! - [`trace`] — typed spans, counters, and deterministic roll-ups: the
+//!   [`Recorder`] every simulation layer reports through.
 
 pub mod engine;
 pub mod fluid;
@@ -29,6 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 
 pub use engine::{Engine, EventId};
 pub use fluid::FluidLink;
@@ -36,3 +39,4 @@ pub use resource::Resource;
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};
 pub use timeline::Timeline;
+pub use trace::{AttrValue, Recorder, Rollup, Span, SpanCategory, TraceBuffer};

@@ -1,0 +1,620 @@
+//! Trace layer — typed spans, counters, and deterministic roll-ups.
+//!
+//! Every simulation layer in HarborSim (the MPI engines, the deployment
+//! pipeline, the batch scheduler, scenario execution) reports *where time
+//! goes* through one [`Recorder`]. Downstream views — `CommBreakdown`,
+//! deployment-phase numbers, chrome://tracing exports — are derived from
+//! the recorded spans instead of being assembled privately per engine.
+//!
+//! A recorder runs in one of three modes:
+//!
+//! * **off** ([`Recorder::off`], also [`Default`]) — every emission is a
+//!   no-op behind an inlined branch; nothing allocates. Layers that derive
+//!   their results from the trace skip attribution entirely in this mode.
+//! * **aggregating** ([`Recorder::aggregating`]) — spans fold into a
+//!   fixed-size [`Rollup`] (per-category totals, counts, per-track totals)
+//!   without storing the spans themselves. This is what the high-level
+//!   `run()` entry points use: full attribution, O(1) memory.
+//! * **capturing** ([`Recorder::capturing`]) — aggregation plus the full
+//!   span list in a [`TraceBuffer`], ordered by emission and keyed by
+//!   [`SimTime`]. Deterministic: the same seed yields a bit-identical
+//!   buffer.
+//!
+//! Spans carry a [`SpanCategory`], a static name, a `track` (rank, node,
+//! or job id — the "row" in a timeline view), and optional attributes
+//! that are only retained when capturing.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What a span measures. Categories are shared across layers so that the
+/// analytic and DES engines (and the deployment/batch layers) produce
+/// directly comparable traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanCategory {
+    /// Solver compute burst (MPI engines).
+    Compute,
+    /// Halo-exchange communication.
+    Halo,
+    /// Allreduce communication.
+    Allreduce,
+    /// Pairwise / point-to-point phase communication.
+    Pairs,
+    /// Other collectives (bcast, gather, barrier).
+    Other,
+    /// MPI protocol costs: send/recv overhead, rendezvous handshakes.
+    Protocol,
+    /// Virtual-network bridge serialization (containerized data path).
+    Bridge,
+    /// Image bytes moving: registry pulls, parallel-filesystem reads.
+    Pull,
+    /// Image format conversion (e.g. the Shifter gateway).
+    Convert,
+    /// Layer unpacking onto node-local storage.
+    Unpack,
+    /// Runtime/process start on a node.
+    Start,
+    /// Batch job waiting in the FIFO queue.
+    Queue,
+    /// Batch job waiting, then started out of order by EASY backfill.
+    Backfill,
+    /// Batch job occupying its nodes.
+    Launch,
+    /// Top-level scenario run.
+    Run,
+}
+
+impl SpanCategory {
+    /// Number of categories (array dimension for [`Rollup`]).
+    pub const COUNT: usize = 15;
+
+    /// All categories, in declaration order.
+    pub const ALL: [SpanCategory; Self::COUNT] = [
+        SpanCategory::Compute,
+        SpanCategory::Halo,
+        SpanCategory::Allreduce,
+        SpanCategory::Pairs,
+        SpanCategory::Other,
+        SpanCategory::Protocol,
+        SpanCategory::Bridge,
+        SpanCategory::Pull,
+        SpanCategory::Convert,
+        SpanCategory::Unpack,
+        SpanCategory::Start,
+        SpanCategory::Queue,
+        SpanCategory::Backfill,
+        SpanCategory::Launch,
+        SpanCategory::Run,
+    ];
+
+    /// Dense index, usable into `[T; SpanCategory::COUNT]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase label (used as the `cat` field in chrome traces).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanCategory::Compute => "compute",
+            SpanCategory::Halo => "halo",
+            SpanCategory::Allreduce => "allreduce",
+            SpanCategory::Pairs => "pairs",
+            SpanCategory::Other => "other",
+            SpanCategory::Protocol => "protocol",
+            SpanCategory::Bridge => "bridge",
+            SpanCategory::Pull => "pull",
+            SpanCategory::Convert => "convert",
+            SpanCategory::Unpack => "unpack",
+            SpanCategory::Start => "start",
+            SpanCategory::Queue => "queue",
+            SpanCategory::Backfill => "backfill",
+            SpanCategory::Launch => "launch",
+            SpanCategory::Run => "run",
+        }
+    }
+}
+
+/// A span attribute value. Attributes are only retained in capturing mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Free-form text (labels, names).
+    Text(String),
+    /// Integer quantity (ranks, nodes, bytes).
+    Int(u64),
+    /// Floating-point quantity.
+    Num(f64),
+}
+
+/// One recorded interval on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// What kind of time this is.
+    pub category: SpanCategory,
+    /// Human-readable name (static: the hot path never allocates for it).
+    pub name: &'static str,
+    /// Timeline row: MPI rank, node index, or job id depending on layer.
+    pub track: u32,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (`end >= start`).
+    pub end: SimTime,
+    /// Optional attributes (empty unless emitted via `span_with` while
+    /// capturing).
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// The span's extent.
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// An in-memory, deterministic list of spans in emission order.
+///
+/// Emission order is itself deterministic (the DES kernel breaks time ties
+/// by schedule sequence), so two runs with the same seed produce equal
+/// buffers — `PartialEq` makes that checkable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    spans: Vec<Span>,
+}
+
+impl TraceBuffer {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were captured.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All spans, in emission order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans sorted by `(start, end, track)` — the stable order exporters
+    /// use so output does not depend on emission interleaving.
+    pub fn sorted_spans(&self) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().collect();
+        v.sort_by_key(|s| (s.start, s.end, s.track));
+        v
+    }
+
+    /// Total duration across all spans of `cat`.
+    pub fn total(&self, cat: SpanCategory) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Number of spans of `cat`.
+    pub fn count(&self, cat: SpanCategory) -> usize {
+        self.spans.iter().filter(|s| s.category == cat).count()
+    }
+
+    fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+}
+
+/// Aggregated view over emitted spans: per-category totals and counts,
+/// per-track totals, and named scalar counters. Durations accumulate in
+/// integer nanoseconds, so roll-ups are exactly deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rollup {
+    totals: [u64; SpanCategory::COUNT],
+    counts: [u64; SpanCategory::COUNT],
+    per_track: Vec<[u64; SpanCategory::COUNT]>,
+    tracks: u32,
+    counters: Vec<(&'static str, f64)>,
+}
+
+impl Rollup {
+    /// Total duration across all spans of `cat`.
+    pub fn total(&self, cat: SpanCategory) -> SimDuration {
+        SimDuration::from_nanos(self.totals[cat.index()])
+    }
+
+    /// Number of spans of `cat`.
+    pub fn count(&self, cat: SpanCategory) -> u64 {
+        self.counts[cat.index()]
+    }
+
+    /// Number of *declared* tracks (see [`Recorder::declare_tracks`]).
+    /// Emitting on a track does not declare it: auxiliary tracks (e.g. the
+    /// DES engine's per-node bridge tracks above the rank tracks) must not
+    /// widen the [`Rollup::mean_per_track`] denominator.
+    pub fn tracks(&self) -> u32 {
+        self.tracks
+    }
+
+    /// Largest per-track total for `cat` — e.g. the critical-path compute
+    /// time across MPI ranks.
+    pub fn max_track(&self, cat: SpanCategory) -> SimDuration {
+        let i = cat.index();
+        SimDuration::from_nanos(self.per_track.iter().map(|t| t[i]).max().unwrap_or(0))
+    }
+
+    /// Mean per-track total for `cat`, over the *declared* number of
+    /// tracks (tracks that never emitted still count in the denominator;
+    /// undeclared tracks that did emit do not). With one (or no) declared
+    /// track this is exactly [`Rollup::total`].
+    pub fn mean_per_track(&self, cat: SpanCategory) -> SimDuration {
+        let total = self.totals[cat.index()];
+        if self.tracks <= 1 {
+            SimDuration::from_nanos(total)
+        } else {
+            SimDuration::from_secs_f64(total as f64 * 1e-9 / self.tracks as f64)
+        }
+    }
+
+    /// Value of a named counter (0.0 when never bumped).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// All counters, in first-bump order.
+    pub fn counters(&self) -> &[(&'static str, f64)] {
+        &self.counters
+    }
+
+    fn add_span(&mut self, cat: SpanCategory, track: u32, dur_ns: u64) {
+        let i = cat.index();
+        self.totals[i] += dur_ns;
+        self.counts[i] += 1;
+        let t = track as usize;
+        if t >= self.per_track.len() {
+            self.per_track.resize(t + 1, [0; SpanCategory::COUNT]);
+        }
+        self.per_track[t][i] += dur_ns;
+    }
+
+    fn bump(&mut self, name: &'static str, delta: f64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += delta;
+        } else {
+            self.counters.push((name, delta));
+        }
+    }
+
+    fn merge(&mut self, other: &Rollup) {
+        for i in 0..SpanCategory::COUNT {
+            self.totals[i] += other.totals[i];
+            self.counts[i] += other.counts[i];
+        }
+        if self.per_track.len() < other.per_track.len() {
+            self.per_track
+                .resize(other.per_track.len(), [0; SpanCategory::COUNT]);
+        }
+        for (t, row) in other.per_track.iter().enumerate() {
+            for (i, v) in row.iter().enumerate() {
+                self.per_track[t][i] += v;
+            }
+        }
+        self.tracks = self.tracks.max(other.tracks);
+        for (name, v) in &other.counters {
+            self.bump(name, *v);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    #[default]
+    Off,
+    Aggregate,
+    Capture,
+}
+
+/// The instrumentation sink every simulation layer emits through.
+///
+/// The default recorder is **off** — a zero-cost no-op — so layers that do
+/// not care about attribution pay one predictable branch per would-be
+/// span. See the [module docs](self) for the three modes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    mode: Mode,
+    rollup: Rollup,
+    buffer: TraceBuffer,
+}
+
+impl Recorder {
+    /// Disabled recorder: every emission is a no-op. This is [`Default`].
+    pub fn off() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Aggregate spans into a [`Rollup`] without storing them.
+    pub fn aggregating() -> Recorder {
+        Recorder {
+            mode: Mode::Aggregate,
+            ..Recorder::default()
+        }
+    }
+
+    /// Aggregate *and* keep every span in a [`TraceBuffer`].
+    pub fn capturing() -> Recorder {
+        Recorder {
+            mode: Mode::Capture,
+            ..Recorder::default()
+        }
+    }
+
+    /// A fresh recorder in the same mode as `other`. Layers use this to
+    /// build a local, initially-empty recorder, derive their own results
+    /// from its roll-up, then [`merge`](Recorder::merge) it back into the
+    /// caller's.
+    pub fn like(other: &Recorder) -> Recorder {
+        Recorder {
+            mode: other.mode,
+            ..Recorder::default()
+        }
+    }
+
+    #[inline]
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// True unless the recorder is off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode() != Mode::Off
+    }
+
+    /// True when spans are being stored, not just aggregated.
+    #[inline]
+    pub fn is_capturing(&self) -> bool {
+        self.mode() == Mode::Capture
+    }
+
+    /// Declare that tracks `0..n` exist, whether or not they emit. This
+    /// fixes the denominator of [`Rollup::mean_per_track`] — e.g. the DES
+    /// MPI engine declares one track per rank.
+    pub fn declare_tracks(&mut self, n: u32) {
+        if self.is_enabled() {
+            self.rollup.tracks = self.rollup.tracks.max(n);
+        }
+    }
+
+    /// Record a span covering `[start, end]` on `track`.
+    #[inline]
+    pub fn span(
+        &mut self,
+        cat: SpanCategory,
+        name: &'static str,
+        track: u32,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.mode() == Mode::Off {
+            return;
+        }
+        self.emit(cat, name, track, start, end, Vec::new());
+    }
+
+    /// Record a span with attributes. The attributes are retained only
+    /// when capturing; aggregation ignores them.
+    #[inline]
+    pub fn span_with(
+        &mut self,
+        cat: SpanCategory,
+        name: &'static str,
+        track: u32,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        if self.mode() == Mode::Off {
+            return;
+        }
+        self.emit(cat, name, track, start, end, attrs);
+    }
+
+    fn emit(
+        &mut self,
+        cat: SpanCategory,
+        name: &'static str,
+        track: u32,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        debug_assert!(end >= start, "span {name} ends before it starts");
+        self.rollup.add_span(cat, track, (end - start).as_nanos());
+        if self.mode() == Mode::Capture {
+            self.buffer.push(Span {
+                category: cat,
+                name,
+                track,
+                start,
+                end,
+                attrs,
+            });
+        }
+    }
+
+    /// Accumulate `delta` onto the named counter.
+    #[inline]
+    pub fn counter(&mut self, name: &'static str, delta: f64) {
+        if self.mode() == Mode::Off {
+            return;
+        }
+        self.rollup.bump(name, delta);
+    }
+
+    /// The aggregated view of everything recorded so far.
+    pub fn rollup(&self) -> &Rollup {
+        &self.rollup
+    }
+
+    /// The captured spans (empty unless capturing).
+    pub fn buffer(&self) -> &TraceBuffer {
+        &self.buffer
+    }
+
+    /// Take ownership of the captured spans, leaving the buffer empty.
+    pub fn take_buffer(&mut self) -> TraceBuffer {
+        std::mem::take(&mut self.buffer)
+    }
+
+    /// Replay a previously captured buffer into this recorder (respecting
+    /// this recorder's own mode). Used to splice e.g. a compile-time
+    /// deployment trace into a run-time trace.
+    pub fn absorb(&mut self, buf: &TraceBuffer) {
+        if !self.is_enabled() {
+            return;
+        }
+        for s in buf.spans() {
+            self.emit(s.category, s.name, s.track, s.start, s.end, s.attrs.clone());
+        }
+    }
+
+    /// Fold another recorder's roll-up and (when both capture) spans into
+    /// this one. Completes the local-recorder pattern: layers record into
+    /// a [`Recorder::like`] sibling and merge it back when done.
+    pub fn merge(&mut self, other: Recorder) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.rollup.merge(&other.rollup);
+        if self.is_capturing() {
+            self.buffer.spans.extend(other.buffer.spans);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn off_recorder_records_nothing() {
+        let mut r = Recorder::off();
+        r.declare_tracks(4);
+        r.span(SpanCategory::Compute, "c", 0, t(0), t(100));
+        r.counter("bytes", 10.0);
+        assert!(!r.is_enabled());
+        assert_eq!(r.rollup().total(SpanCategory::Compute), SimDuration::ZERO);
+        assert_eq!(r.rollup().counter("bytes"), 0.0);
+        assert!(r.buffer().is_empty());
+        assert_eq!(Recorder::default(), Recorder::off().clone());
+    }
+
+    #[test]
+    fn aggregating_rolls_up_without_storing() {
+        let mut r = Recorder::aggregating();
+        r.declare_tracks(2);
+        r.span(SpanCategory::Halo, "h", 0, t(0), t(100));
+        r.span(SpanCategory::Halo, "h", 1, t(50), t(250));
+        assert!(r.is_enabled() && !r.is_capturing());
+        assert!(r.buffer().is_empty());
+        let ru = r.rollup();
+        assert_eq!(ru.total(SpanCategory::Halo).as_nanos(), 300);
+        assert_eq!(ru.count(SpanCategory::Halo), 2);
+        assert_eq!(ru.max_track(SpanCategory::Halo).as_nanos(), 200);
+        assert_eq!(ru.mean_per_track(SpanCategory::Halo).as_nanos(), 150);
+    }
+
+    #[test]
+    fn single_track_mean_is_exact_total() {
+        let mut r = Recorder::aggregating();
+        r.span(SpanCategory::Compute, "c", 0, t(0), t(7));
+        assert_eq!(
+            r.rollup().mean_per_track(SpanCategory::Compute).as_nanos(),
+            7
+        );
+    }
+
+    #[test]
+    fn capture_stores_spans_in_emission_order() {
+        let mut r = Recorder::capturing();
+        r.span(SpanCategory::Compute, "c", 1, t(100), t(200));
+        r.span_with(
+            SpanCategory::Run,
+            "run",
+            0,
+            t(0),
+            t(300),
+            vec![("cluster", AttrValue::Text("lenox".into()))],
+        );
+        assert_eq!(r.buffer().len(), 2);
+        assert_eq!(r.buffer().spans()[0].name, "c");
+        assert_eq!(r.buffer().spans()[1].attrs.len(), 1);
+        let sorted = r.buffer().sorted_spans();
+        assert_eq!(sorted[0].name, "run");
+        assert_eq!(r.buffer().total(SpanCategory::Run).as_nanos(), 300);
+        assert_eq!(r.buffer().count(SpanCategory::Compute), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_in_order() {
+        let mut r = Recorder::aggregating();
+        r.counter("bytes_pulled", 100.0);
+        r.counter("bytes_from_pfs", 5.0);
+        r.counter("bytes_pulled", 20.0);
+        assert_eq!(r.rollup().counter("bytes_pulled"), 120.0);
+        assert_eq!(r.rollup().counters()[0].0, "bytes_pulled");
+        assert_eq!(r.rollup().counters().len(), 2);
+    }
+
+    #[test]
+    fn merge_folds_rollup_tracks_and_spans() {
+        let mut a = Recorder::capturing();
+        a.span(SpanCategory::Halo, "h", 0, t(0), t(10));
+        let mut b = Recorder::like(&a);
+        assert!(b.is_capturing());
+        b.declare_tracks(8);
+        b.span(SpanCategory::Halo, "h", 2, t(0), t(30));
+        b.counter("msgs", 3.0);
+        a.merge(b);
+        assert_eq!(a.rollup().total(SpanCategory::Halo).as_nanos(), 40);
+        assert_eq!(a.rollup().tracks(), 8);
+        assert_eq!(a.rollup().counter("msgs"), 3.0);
+        assert_eq!(a.buffer().len(), 2);
+    }
+
+    #[test]
+    fn absorb_replays_a_buffer() {
+        let mut src = Recorder::capturing();
+        src.span(SpanCategory::Pull, "layer", 3, t(0), t(50));
+        let buf = src.take_buffer();
+        assert!(src.buffer().is_empty());
+
+        let mut agg = Recorder::aggregating();
+        agg.absorb(&buf);
+        assert_eq!(agg.rollup().total(SpanCategory::Pull).as_nanos(), 50);
+        assert!(agg.buffer().is_empty());
+
+        let mut cap = Recorder::capturing();
+        cap.absorb(&buf);
+        assert_eq!(cap.buffer().len(), 1);
+
+        let mut off = Recorder::off();
+        off.absorb(&buf);
+        assert_eq!(off.rollup().count(SpanCategory::Pull), 0);
+    }
+
+    #[test]
+    fn category_labels_and_indices_are_consistent() {
+        for (i, cat) in SpanCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+            assert!(!cat.label().is_empty());
+        }
+    }
+}

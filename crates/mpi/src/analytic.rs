@@ -21,7 +21,8 @@ use crate::collectives::{log2_rounds, AllreduceAlgo};
 use crate::mapping::RankMap;
 use crate::result::{CommBreakdown, SimResult};
 use crate::workload::{CommPhase, JobProfile, StepProfile};
-use harborsim_des::{RngStream, SimDuration};
+use harborsim_des::trace::{Recorder, SpanCategory};
+use harborsim_des::{RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
 use harborsim_net::contention::concurrent_send_seconds;
 use harborsim_net::NetworkModel;
@@ -52,6 +53,9 @@ impl Default for EngineConfig {
 #[derive(Debug, Clone, Copy, Default)]
 struct PhaseCost {
     seconds: f64,
+    /// Share of `seconds` spent in the serialized container-bridge path
+    /// (already included in `seconds`; recorded as a nested trace span).
+    bridge_s: f64,
     inter_msgs: u64,
     intra_msgs: u64,
     inter_bytes: u64,
@@ -60,6 +64,7 @@ struct PhaseCost {
 impl PhaseCost {
     fn accumulate(&mut self, other: PhaseCost) {
         self.seconds += other.seconds;
+        self.bridge_s += other.bridge_s;
         self.inter_msgs += other.inter_msgs;
         self.intra_msgs += other.intra_msgs;
         self.inter_bytes += other.inter_bytes;
@@ -67,6 +72,7 @@ impl PhaseCost {
 
     fn times(mut self, k: u64) -> PhaseCost {
         self.seconds *= k as f64;
+        self.bridge_s *= k as f64;
         self.inter_msgs *= k;
         self.intra_msgs *= k;
         self.inter_bytes *= k;
@@ -91,45 +97,63 @@ impl AnalyticEngine {
     /// Execute `job` and return timing + traffic accounting. `seed` drives
     /// the run-to-run jitter the paper averages away.
     pub fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
+        self.run_traced(job, seed, &mut Recorder::aggregating())
+    }
+
+    /// Execute `job`, emitting the closed-form timeline as spans through
+    /// `rec` (one track, bulk-synchronous: compute and phase spans strictly
+    /// alternate). The timing and breakdown in the returned [`SimResult`]
+    /// are *derived from* the recorded spans; with a disabled recorder
+    /// `elapsed` and traffic counters are still exact but `compute`/`comm`
+    /// attribution comes out zero.
+    pub fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
         let mut rng = RngStream::new(seed).derive("analytic-run");
         // one multiplicative run-to-run factor (machine state, turbo, ...)
         let run_factor = rng.lognormal_factor(0.004);
 
-        let mut compute_s = 0.0;
-        let mut breakdown = CommBreakdown::default();
+        let mut local = Recorder::like(rec);
+        local.declare_tracks(1);
+        let mut t = SimTime::ZERO;
         let mut inter_msgs = 0u64;
         let mut intra_msgs = 0u64;
         let mut inter_bytes = 0u64;
 
         for (step, reps) in &job.steps {
             let reps = *reps as u64;
-            compute_s += self.step_compute_seconds(step) * reps as f64;
+            let compute_d = SimDuration::from_secs_f64(
+                self.step_compute_seconds(step) * reps as f64 * run_factor,
+            );
+            local.span(SpanCategory::Compute, "solver-compute", 0, t, t + compute_d);
+            t += compute_d;
             for phase in &step.comm {
-                let (cost, family) = self.phase_cost(phase);
+                let (cost, cat, name) = self.phase_cost(phase);
                 let cost = cost.times(reps);
                 inter_msgs += cost.inter_msgs;
                 intra_msgs += cost.intra_msgs;
                 inter_bytes += cost.inter_bytes;
                 let d = SimDuration::from_secs_f64(cost.seconds * run_factor);
-                match family {
-                    Family::Halo => breakdown.halo += d,
-                    Family::Allreduce => breakdown.allreduce += d,
-                    Family::Pairs => breakdown.pairs += d,
-                    Family::Other => breakdown.other += d,
+                local.span(cat, name, 0, t, t + d);
+                if cost.bridge_s > 0.0 {
+                    // nested inside the phase span: the serialized bridge
+                    // share, already part of `d` — informational only
+                    let bd = SimDuration::from_secs_f64(cost.bridge_s * run_factor);
+                    local.span(SpanCategory::Bridge, "bridge-serialization", 0, t, t + bd);
                 }
+                t += d;
             }
         }
 
-        let compute = SimDuration::from_secs_f64(compute_s * run_factor);
-        SimResult {
-            elapsed: compute + breakdown.total(),
-            compute,
-            comm: breakdown,
+        let result = SimResult {
+            elapsed: t - SimTime::ZERO,
+            compute: local.rollup().max_track(SpanCategory::Compute),
+            comm: CommBreakdown::from_trace(local.rollup()),
             inter_node_msgs: inter_msgs,
             intra_node_msgs: intra_msgs,
             inter_node_bytes: inter_bytes,
             engine: "analytic",
-        }
+        };
+        rec.merge(local);
+        result
     }
 
     /// Compute time of the slowest rank in one step.
@@ -142,29 +166,37 @@ impl AnalyticEngine {
             .rank_compute_seconds(worst_rank_flops, self.map.threads_per_rank, step.regions)
     }
 
-    fn phase_cost(&self, phase: &CommPhase) -> (PhaseCost, Family) {
+    fn phase_cost(&self, phase: &CommPhase) -> (PhaseCost, SpanCategory, &'static str) {
         match phase {
-            CommPhase::Halo1D { bytes, repeats } => {
-                (self.halo_cost(*bytes).times(*repeats as u64), Family::Halo)
-            }
+            CommPhase::Halo1D { bytes, repeats } => (
+                self.halo_cost(*bytes).times(*repeats as u64),
+                SpanCategory::Halo,
+                "halo1d",
+            ),
             CommPhase::Halo3D {
                 dims,
                 bytes,
                 repeats,
             } => (
                 self.halo3d_cost(*dims, *bytes).times(*repeats as u64),
-                Family::Halo,
+                SpanCategory::Halo,
+                "halo3d",
             ),
             CommPhase::Allreduce { bytes, repeats } => (
                 self.allreduce_cost(*bytes).times(*repeats as u64),
-                Family::Allreduce,
+                SpanCategory::Allreduce,
+                "allreduce",
             ),
-            CommPhase::Pairs { pairs, bytes } => (self.pairs_cost(pairs, *bytes), Family::Pairs),
-            CommPhase::Bcast { bytes } => (self.bcast_cost(*bytes), Family::Other),
-            CommPhase::Gather { bytes_per_rank } => {
-                (self.gather_cost(*bytes_per_rank), Family::Other)
+            CommPhase::Pairs { pairs, bytes } => {
+                (self.pairs_cost(pairs, *bytes), SpanCategory::Pairs, "pairs")
             }
-            CommPhase::Barrier => (self.barrier_cost(), Family::Other),
+            CommPhase::Bcast { bytes } => (self.bcast_cost(*bytes), SpanCategory::Other, "bcast"),
+            CommPhase::Gather { bytes_per_rank } => (
+                self.gather_cost(*bytes_per_rank),
+                SpanCategory::Other,
+                "gather",
+            ),
+            CommPhase::Barrier => (self.barrier_cost(), SpanCategory::Other, "barrier"),
         }
     }
 
@@ -203,6 +235,7 @@ impl AnalyticEngine {
         seconds += serialized;
         PhaseCost {
             seconds,
+            bridge_s: serialized,
             inter_msgs: total_cut,
             intra_msgs: 0, // filled by callers that know the intra totals
             inter_bytes: total_cut * bytes,
@@ -449,6 +482,7 @@ impl AnalyticEngine {
             + local as f64 * bytes_per_rank as f64 / self.network.intra.bandwidth_bps;
         PhaseCost {
             seconds: t,
+            bridge_s: 0.0,
             inter_msgs: remote,
             intra_msgs: local,
             inter_bytes: remote * bytes_per_rank,
@@ -487,13 +521,6 @@ impl AnalyticEngine {
         }
         total
     }
-}
-
-enum Family {
-    Halo,
-    Allreduce,
-    Pairs,
-    Other,
 }
 
 #[cfg(test)]

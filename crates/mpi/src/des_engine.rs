@@ -23,6 +23,7 @@ use crate::collectives::{log2_rounds, AllreduceAlgo};
 use crate::mapping::RankMap;
 use crate::result::{CommBreakdown, SimResult};
 use crate::workload::{CommPhase, JobProfile};
+use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{Engine, Resource, RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
 use harborsim_net::{NetworkModel, TransportParams};
@@ -32,10 +33,21 @@ use std::sync::Arc;
 /// Communication family, for wait-time attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Family {
-    Halo = 0,
-    Allreduce = 1,
-    Pairs = 2,
-    Other = 3,
+    Halo,
+    Allreduce,
+    Pairs,
+    Other,
+}
+
+impl Family {
+    fn category(self) -> SpanCategory {
+        match self {
+            Family::Halo => SpanCategory::Halo,
+            Family::Allreduce => SpanCategory::Allreduce,
+            Family::Pairs => SpanCategory::Pairs,
+            Family::Other => SpanCategory::Other,
+        }
+    }
 }
 
 /// One primitive instruction of a rank's stream.
@@ -79,8 +91,6 @@ struct RankState {
     queue: VecDeque<PrimOp>,
     cursor: Cursor,
     rng: RngStream,
-    compute_busy: f64,
-    wait: [f64; 4],
     finished: bool,
 }
 
@@ -117,6 +127,8 @@ struct Sim {
     inter_msgs: u64,
     intra_msgs: u64,
     inter_bytes: u64,
+    /// Trace sink; compute/wait attribution is derived from it after the run.
+    rec: Recorder,
 }
 
 /// The message-level engine.
@@ -136,6 +148,16 @@ impl DesEngine {
     /// Execute `job`, simulating every message. `seed` drives compute
     /// jitter. Cost is `O(total messages · log pending-events)`.
     pub fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
+        self.run_traced(job, seed, &mut Recorder::aggregating())
+    }
+
+    /// Execute `job`, emitting per-rank compute / wait / protocol / bridge
+    /// spans through `rec` (one track per rank; bridge spans on tracks
+    /// `ranks..ranks+nodes`). The `compute` and `comm` attribution in the
+    /// returned [`SimResult`] is *derived from* the recorded spans; with a
+    /// disabled recorder `elapsed` and the traffic counters are still exact
+    /// but the attribution comes out zero.
+    pub fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
         let p = self.map.ranks();
         // apply the topology's global taper to the inter-node stream rate,
         // mirroring the analytic engine
@@ -156,6 +178,8 @@ impl DesEngine {
             config: self.config.clone(),
         });
         let nic_capacity = 1; // FIFO wire
+        let mut local = Recorder::like(rec);
+        local.declare_tracks(p);
         let mut sim = Sim {
             ctx: ctx.clone(),
             ranks: (0..p)
@@ -163,8 +187,6 @@ impl DesEngine {
                     queue: VecDeque::new(),
                     cursor: Cursor::default(),
                     rng: root.derive_idx(r as u64),
-                    compute_busy: 0.0,
-                    wait: [0.0; 4],
                     finished: false,
                 })
                 .collect(),
@@ -182,6 +204,7 @@ impl DesEngine {
             inter_msgs: 0,
             intra_msgs: 0,
             inter_bytes: 0,
+            rec: local,
         };
 
         let mut eng: Engine<Sim> = Engine::new();
@@ -197,25 +220,17 @@ impl DesEngine {
             sim.live_ranks
         );
 
-        let compute = sim.ranks.iter().map(|r| r.compute_busy).fold(0.0, f64::max);
-        let mean_wait = |f: Family| {
-            let total: f64 = sim.ranks.iter().map(|r| r.wait[f as usize]).sum();
-            SimDuration::from_secs_f64(total / p as f64)
-        };
-        SimResult {
+        let result = SimResult {
             elapsed: eng.now() - SimTime::ZERO,
-            compute: SimDuration::from_secs_f64(compute),
-            comm: CommBreakdown {
-                halo: mean_wait(Family::Halo),
-                allreduce: mean_wait(Family::Allreduce),
-                pairs: mean_wait(Family::Pairs),
-                other: mean_wait(Family::Other),
-            },
+            compute: sim.rec.rollup().max_track(SpanCategory::Compute),
+            comm: CommBreakdown::from_trace(sim.rec.rollup()),
             inter_node_msgs: sim.inter_msgs,
             intra_node_msgs: sim.intra_msgs,
             inter_node_bytes: sim.inter_bytes,
             engine: "des",
-        }
+        };
+        rec.merge(sim.rec);
+        result
     }
 }
 
@@ -533,15 +548,22 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
         };
         match op {
             PrimOp::Compute(secs) => {
-                sim.ranks[rank as usize].compute_busy += secs;
-                eng.schedule(SimDuration::from_secs_f64(secs), move |eng, sim| {
+                let d = SimDuration::from_secs_f64(secs);
+                let now = eng.now();
+                sim.rec
+                    .span(SpanCategory::Compute, "solver-compute", rank, now, now + d);
+                eng.schedule(d, move |eng, sim| {
                     advance(eng, sim, rank);
                 });
                 return;
             }
             PrimOp::Send { dst, bytes, mid } => {
                 let overhead = start_send(eng, sim, rank, dst, bytes, mid);
-                eng.schedule(SimDuration::from_secs_f64(overhead), move |eng, sim| {
+                let d = SimDuration::from_secs_f64(overhead);
+                let now = eng.now();
+                sim.rec
+                    .span(SpanCategory::Protocol, "send-overhead", rank, now, now + d);
+                eng.schedule(d, move |eng, sim| {
                     advance(eng, sim, rank);
                 });
                 return;
@@ -558,7 +580,10 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                     // same-node vs inter overhead difference is tiny on the
                     // receive side; use the transport the sender used
                     let o = sim.ctx.intra.overhead_s.max(sim.ctx.inter.overhead_s);
-                    eng.schedule(SimDuration::from_secs_f64(o), move |eng, sim| {
+                    let d = SimDuration::from_secs_f64(o);
+                    sim.rec
+                        .span(SpanCategory::Protocol, "recv-overhead", rank, now, now + d);
+                    eng.schedule(d, move |eng, sim| {
                         advance(eng, sim, rank);
                     });
                     return;
@@ -569,7 +594,15 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                     // rendezvous partner was parked: run the handshake now
                     let t = &transport_for(sim, src, dst).clone();
                     let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
-                    eng.schedule(SimDuration::from_secs_f64(handshake), move |eng, sim| {
+                    let hd = SimDuration::from_secs_f64(handshake);
+                    sim.rec.span(
+                        SpanCategory::Protocol,
+                        "rendezvous-handshake",
+                        src,
+                        now,
+                        now + hd,
+                    );
+                    eng.schedule(hd, move |eng, sim| {
                         enqueue_transfer(eng, sim, src, dst, bytes, mid);
                     });
                 }
@@ -609,7 +642,16 @@ fn start_send(
         let m = sim.msgs.entry(mid).or_default();
         if m.recv_posted {
             let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
-            eng.schedule(SimDuration::from_secs_f64(handshake), move |eng, sim| {
+            let hd = SimDuration::from_secs_f64(handshake);
+            let now = eng.now();
+            sim.rec.span(
+                SpanCategory::Protocol,
+                "rendezvous-handshake",
+                src,
+                now,
+                now + hd,
+            );
+            eng.schedule(hd, move |eng, sim| {
                 enqueue_transfer(eng, sim, src, dst, bytes, mid);
             });
         } else {
@@ -636,7 +678,17 @@ fn enqueue_transfer(
     if serial > 0.0 {
         let node = sim.ctx.map.node_of(src) as usize;
         let hold = SimDuration::from_secs_f64(serial);
-        sim.bridges[node].acquire(eng, move |eng, _sim| {
+        sim.bridges[node].acquire(eng, move |eng, sim: &mut Sim| {
+            // bridge tracks sit above the rank tracks: ranks + node
+            let track = sim.ctx.map.ranks() + node as u32;
+            let t0 = eng.now();
+            sim.rec.span(
+                SpanCategory::Bridge,
+                "bridge-serialization",
+                track,
+                t0,
+                t0 + hold,
+            );
             eng.schedule(hold, move |eng, sim| {
                 sim.bridges[node].release(eng);
                 enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
@@ -686,9 +738,12 @@ fn deliver(eng: &mut Engine<Sim>, sim: &mut Sim, mid: u64) {
     if let Some((rank, posted_at, family)) = m.waiting.take() {
         sim.msgs.remove(&mid);
         let o = sim.ctx.intra.overhead_s.max(sim.ctx.inter.overhead_s);
-        let waited = (eng.now() - posted_at).as_secs_f64() + o;
-        sim.ranks[rank as usize].wait[family as usize] += waited;
-        eng.schedule(SimDuration::from_secs_f64(o), move |eng, sim| {
+        let od = SimDuration::from_secs_f64(o);
+        let now = eng.now();
+        // blocked-wait span: from the posted receive to delivery + overhead
+        sim.rec
+            .span(family.category(), "recv-wait", rank, posted_at, now + od);
+        eng.schedule(od, move |eng, sim| {
             advance(eng, sim, rank);
         });
     } else {

@@ -14,21 +14,29 @@ use crate::analytic::AnalyticEngine;
 use crate::des_engine::DesEngine;
 use crate::result::SimResult;
 use crate::workload::JobProfile;
+use harborsim_des::trace::Recorder;
 
 /// A performance engine: executes a workload IR and accounts for time and
 /// traffic. `seed` drives the run-to-run jitter the paper averages away;
 /// implementations must be deterministic given `(job, seed)`.
 pub trait PerfEngine {
-    /// Execute `job` and return timing + traffic accounting.
-    fn run(&self, job: &JobProfile, seed: u64) -> SimResult;
+    /// Execute `job`, emitting spans through `rec` and returning timing +
+    /// traffic accounting derived from them.
+    fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult;
+
+    /// Execute `job` with a private aggregating recorder — full breakdown
+    /// attribution, no span storage.
+    fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
+        self.run_traced(job, seed, &mut Recorder::aggregating())
+    }
 
     /// Short engine name for reports ("analytic", "des").
     fn name(&self) -> &'static str;
 }
 
 impl PerfEngine for AnalyticEngine {
-    fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
-        AnalyticEngine::run(self, job, seed)
+    fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
+        AnalyticEngine::run_traced(self, job, seed, rec)
     }
 
     fn name(&self) -> &'static str {
@@ -37,8 +45,8 @@ impl PerfEngine for AnalyticEngine {
 }
 
 impl PerfEngine for DesEngine {
-    fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
-        DesEngine::run(self, job, seed)
+    fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
+        DesEngine::run_traced(self, job, seed, rec)
     }
 
     fn name(&self) -> &'static str {
@@ -60,9 +68,11 @@ pub struct TruncatingDes {
 }
 
 impl PerfEngine for TruncatingDes {
-    fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
+    /// The trace covers the *truncated* run; only the returned result is
+    /// scaled back to the full job.
+    fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
         let (short, mult) = job.truncated(self.max_steps_per_kind);
-        self.inner.run(&short, seed).scaled(mult)
+        self.inner.run_traced(&short, seed, rec).scaled(mult)
     }
 
     fn name(&self) -> &'static str {

@@ -1,5 +1,6 @@
 //! Execution results produced by both performance engines.
 
+use harborsim_des::trace::{Rollup, SpanCategory};
 use harborsim_des::SimDuration;
 
 /// Where communication time went, by phase family.
@@ -16,6 +17,20 @@ pub struct CommBreakdown {
 }
 
 impl CommBreakdown {
+    /// Derive the breakdown from a trace roll-up: the mean per-track
+    /// (per-rank) blocked time in each communication family. This is the
+    /// single roll-up both engines share — the analytic engine records its
+    /// closed-form phases on one track, the DES engine records measured
+    /// per-rank waits on `p` tracks, and this view makes them comparable.
+    pub fn from_trace(rollup: &Rollup) -> CommBreakdown {
+        CommBreakdown {
+            halo: rollup.mean_per_track(SpanCategory::Halo),
+            allreduce: rollup.mean_per_track(SpanCategory::Allreduce),
+            pairs: rollup.mean_per_track(SpanCategory::Pairs),
+            other: rollup.mean_per_track(SpanCategory::Other),
+        }
+    }
+
     /// Total communication time.
     pub fn total(&self) -> SimDuration {
         self.halo + self.allreduce + self.pairs + self.other
