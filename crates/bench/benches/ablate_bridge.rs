@@ -20,20 +20,20 @@ fn slowdown_at(serialized_us: f64) -> f64 {
     let map = RankMap::block(4, 28, 1);
     let job = harborsim_alya::workload::AlyaCase::job_profile(&case, map.ranks());
     let run = |path: DataPath, tax: f64| {
-        AnalyticEngine {
-            node: cluster.node.clone(),
-            network: NetworkModel::compose(
+        AnalyticEngine::new(
+            cluster.node.clone(),
+            NetworkModel::compose(
                 cluster.interconnect,
                 TransportSelection::Native,
                 path,
                 Topology::small_cluster(),
             ),
             map,
-            config: EngineConfig {
+            EngineConfig {
                 compute_tax: tax,
                 ..EngineConfig::default()
             },
-        }
+        )
         .run(&job, 1)
         .elapsed
         .as_secs_f64()

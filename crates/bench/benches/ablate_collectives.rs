@@ -13,20 +13,20 @@ use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
 use std::hint::black_box;
 
 fn engine(algo: AllreduceAlgo) -> AnalyticEngine {
-    AnalyticEngine {
-        node: harborsim_hw::presets::marenostrum4().node,
-        network: NetworkModel::compose(
+    AnalyticEngine::new(
+        harborsim_hw::presets::marenostrum4().node,
+        NetworkModel::compose(
             harborsim_hw::InterconnectKind::OmniPath100,
             TransportSelection::Native,
             DataPath::Host,
             Topology::mn4_fat_tree(),
         ),
-        map: RankMap::block(32, 48, 1),
-        config: EngineConfig {
+        RankMap::block(32, 48, 1),
+        EngineConfig {
             allreduce_algo: algo,
             ..EngineConfig::default()
         },
-    }
+    )
 }
 
 fn allreduce_job(bytes: u64) -> JobProfile {

@@ -36,15 +36,10 @@ fn elapsed_with_threshold(eager_threshold: u64, halo_bytes: u64) -> f64 {
         },
         50,
     );
-    AnalyticEngine {
-        node: cluster.node,
-        network,
-        map,
-        config: EngineConfig::default(),
-    }
-    .run(&job, 1)
-    .elapsed
-    .as_secs_f64()
+    AnalyticEngine::new(cluster.node, network, map, EngineConfig::default())
+        .run(&job, 1)
+        .elapsed
+        .as_secs_f64()
 }
 
 fn bench(c: &mut Criterion) {

@@ -21,17 +21,17 @@ fn elapsed(placement: Placement, nodes: u32) -> f64 {
         placement,
     };
     let job = workloads::artery_cfd_cte().job_profile(map.ranks());
-    AnalyticEngine {
-        node: cluster.node,
-        network: NetworkModel::compose(
+    AnalyticEngine::new(
+        cluster.node,
+        NetworkModel::compose(
             cluster.interconnect,
             TransportSelection::Native,
             DataPath::Host,
             Topology::cte_fat_tree(),
         ),
         map,
-        config: EngineConfig::default(),
-    }
+        EngineConfig::default(),
+    )
     .run(&job, 1)
     .elapsed
     .as_secs_f64()
@@ -60,17 +60,17 @@ fn chain_elapsed(placement: Placement, nodes: u32) -> f64 {
         },
         50,
     );
-    AnalyticEngine {
-        node: cluster.node,
-        network: NetworkModel::compose(
+    AnalyticEngine::new(
+        cluster.node,
+        NetworkModel::compose(
             cluster.interconnect,
             TransportSelection::Native,
             DataPath::Host,
             Topology::cte_fat_tree(),
         ),
         map,
-        config: EngineConfig::default(),
-    }
+        EngineConfig::default(),
+    )
     .run(&job, 1)
     .elapsed
     .as_secs_f64()

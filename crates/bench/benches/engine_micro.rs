@@ -88,17 +88,17 @@ fn bench_rng(c: &mut Criterion) {
 }
 
 fn micro_engine_and_job() -> (DesEngine, JobProfile) {
-    let engine = DesEngine {
-        node: harborsim_hw::presets::lenox().node,
-        network: NetworkModel::compose(
+    let engine = DesEngine::new(
+        harborsim_hw::presets::lenox().node,
+        NetworkModel::compose(
             harborsim_hw::InterconnectKind::GigabitEthernet,
             TransportSelection::Native,
             DataPath::Host,
             Topology::small_cluster(),
         ),
-        map: RankMap::block(4, 28, 1),
-        config: EngineConfig::default(),
-    };
+        RankMap::block(4, 28, 1),
+        EngineConfig::default(),
+    );
     let job = JobProfile::uniform(
         StepProfile {
             flops_per_rank: 1e7,
@@ -118,6 +118,24 @@ fn micro_engine_and_job() -> (DesEngine, JobProfile) {
         5,
     );
     (engine, job)
+}
+
+fn bench_route_table(c: &mut Criterion) {
+    use harborsim_mpi::route_table;
+    // full-scale Fig. 3 point: 256 MareNostrum4 nodes, 12,288 ranks
+    let network = NetworkModel::compose(
+        harborsim_hw::InterconnectKind::OmniPath100,
+        TransportSelection::Native,
+        DataPath::Host,
+        Topology::mn4_fat_tree(),
+    );
+    let map = RankMap::block(256, 48, 1);
+    let mut g = c.benchmark_group("route_table");
+    g.throughput(Throughput::Elements(u64::from(map.ranks())));
+    g.bench_function("build_256_nodes_12288_ranks", |b| {
+        b.iter(|| black_box(route_table(black_box(&map), &network).ranks()));
+    });
+    g.finish();
 }
 
 fn bench_des_mpi(c: &mut Criterion) {
@@ -198,6 +216,7 @@ criterion_group!(
     bench_des_events,
     bench_fluid,
     bench_rng,
+    bench_route_table,
     bench_des_mpi,
     bench_recorder_modes
 );

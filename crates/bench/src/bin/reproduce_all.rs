@@ -11,6 +11,12 @@
 //! - `--trace <dir>` — additionally export one chrome://tracing JSON per
 //!   experiment into `<dir>` (`fig1.trace.json`, …), capturing
 //!   representative configurations through the simulation trace layer.
+//! - `--ablate-taper` — force every fat-tree fabric non-blocking
+//!   (spine taper 1.0): how much of each figure is spine bandwidth.
+//! - `--oversub <taper>` — force every fat-tree fabric to the given spine
+//!   taper (e.g. `0.5` for 2:1 oversubscription). Mutually exclusive with
+//!   `--ablate-taper`; scenario-pinned tapers (the oversubscription sweep)
+//!   are unaffected.
 //!
 //! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
 //! ASCII per table, plus a machine-readable `summary.json`), and every
@@ -18,8 +24,10 @@
 
 use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table, write_trace};
 use harborsim_core::experiments::{
-    ext_breakdown, ext_campaign, ext_io, ext_weak, fig1, fig2, fig3, tables, validation,
+    ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_oversub, ext_weak, fig1,
+    fig2, fig3, tables, validation,
 };
+use harborsim_core::scenario::set_spine_taper_override;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -39,6 +47,7 @@ fn report_shapes(name: &str, violations: &[String]) -> bool {
 fn main() {
     let mut quick = false;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut taper: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,11 +59,31 @@ fn main() {
                 });
                 trace_dir = Some(PathBuf::from(dir));
             }
+            "--ablate-taper" => taper = Some(1.0),
+            "--oversub" => {
+                let t = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|t| *t > 0.0 && *t <= 1.0);
+                match t {
+                    Some(t) => taper = Some(t),
+                    None => {
+                        eprintln!("--oversub needs a taper in (0, 1]");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown flag {other} (usage: reproduce_all [--quick] [--trace <dir>])");
+                eprintln!(
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--trace <dir>] [--ablate-taper | --oversub <taper>])"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(t) = taper {
+        set_spine_taper_override(Some(t));
+        println!("NOTE: spine taper forced to {t} on every fat-tree fabric for this run.\n");
     }
     let seeds = if quick {
         &repro_seeds()[..1]
@@ -159,6 +188,30 @@ fn main() {
     all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
     summary.push(("ext_weak", fw.to_json()));
     trace("ext-weak", &ext_weak::traces(seeds[0]));
+
+    println!("\n== Extension: spine oversubscription ==");
+    let study = ext_oversub::run(seeds);
+    write_figure(&study.fig);
+    println!("{}", study.fig.to_ascii(72, 18));
+    let tl = ext_oversub::table(&study);
+    write_table(&tl);
+    println!("{}", tl.to_ascii());
+    all_ok &= report_shapes("ext-oversub", &ext_oversub::check_shape(&study));
+    summary.push(("ext_oversub", study.fig.to_json()));
+
+    println!("\n== Extension: degraded-link robustness ==");
+    let fd = ext_degraded::run(seeds);
+    write_figure(&fd);
+    println!("{}", fd.to_ascii(72, 18));
+    all_ok &= report_shapes("ext-degraded", &ext_degraded::check_shape(&fd));
+    summary.push(("ext_degraded", fd.to_json()));
+
+    println!("\n== Extension: placement locality on the fat tree ==");
+    let fl = ext_locality::run(seeds);
+    write_figure(&fl);
+    println!("{}", fl.to_ascii(72, 18));
+    all_ok &= report_shapes("ext-locality", &ext_locality::check_shape(&fl));
+    summary.push(("ext_locality", fl.to_json()));
 
     println!("\n== Engine cross-validation (DES vs analytic) ==");
     let vrows = validation::run();

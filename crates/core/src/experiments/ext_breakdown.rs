@@ -86,20 +86,20 @@ pub fn run(seed: u64) -> Vec<Breakdown> {
     let case = workloads::artery_cfd_lenox();
     let map = RankMap::block(4, 28, 1);
     let mut rec = Recorder::capturing();
-    let result = AnalyticEngine {
-        node: cluster.node.clone(),
-        network: NetworkModel::compose(
+    let result = AnalyticEngine::new(
+        cluster.node.clone(),
+        NetworkModel::compose(
             cluster.interconnect,
             TransportSelection::Native,
             DataPath::Host,
             Topology::small_cluster(),
         ),
         map,
-        config: EngineConfig {
+        EngineConfig {
             compute_tax: 1.02,
             ..EngineConfig::default()
         },
-    }
+    )
     .run_traced(&case.job_profile(map.ranks()), seed, &mut rec);
     rec.span(
         SpanCategory::Run,

@@ -1,0 +1,109 @@
+//! Extension — degraded-link robustness.
+//!
+//! Production fabrics degrade one cable at a time: a port renegotiates
+//! down, a flapping link gets rate-limited. The routed link graph makes
+//! this a first-class experiment — degrade a single node's uplink and
+//! watch the whole bulk-synchronous job slow down, because every
+//! collective round waits for the slowest participant. The sweep runs the
+//! CTE-POWER CFD case at 16 nodes with node 3's uplink at full, half,
+//! quarter and tenth capacity.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use crate::workloads;
+use harborsim_par::prelude::*;
+
+/// Uplink capacity factors of the sweep, healthy first.
+pub const FACTORS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
+
+/// The node whose uplink degrades.
+pub const VICTIM: u32 = 3;
+
+fn scenario(factor: f64) -> Scenario {
+    let base = Scenario::new(
+        harborsim_hw::presets::cte_power(),
+        workloads::artery_cfd_cte(),
+    )
+    .execution(Execution::singularity_system_specific())
+    .nodes(16)
+    .ranks_per_node(40);
+    if factor < 1.0 {
+        base.degrade_node_uplink(VICTIM, factor)
+    } else {
+        base
+    }
+}
+
+/// Regenerate: x = uplink capacity factor, y = slowdown vs healthy.
+pub fn run(seeds: &[u64]) -> FigureData {
+    let times: Vec<(f64, f64)> = FACTORS
+        .par_iter()
+        .map(|&f| (f, mean_elapsed_s(&scenario(f), seeds)))
+        .collect();
+    let healthy = times[0].1;
+    FigureData {
+        id: "ext-degraded".into(),
+        title: "One degraded node uplink, artery CFD at 16 nodes (CTE-POWER)".into(),
+        x_label: "Uplink capacity factor (node 3)".into(),
+        y_label: "Slowdown vs healthy fabric".into(),
+        series: vec![Series::new(
+            "Singularity system-specific",
+            times.iter().map(|&(f, s)| (f, s / healthy)).collect(),
+        )],
+    }
+}
+
+/// The robustness claims.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |factor: f64| {
+        fig.series_named("Singularity system-specific")
+            .and_then(|s| s.y_at(factor))
+            .unwrap_or(f64::NAN)
+    };
+    expect(
+        &mut report,
+        (get(1.0) - 1.0).abs() < 1e-9,
+        "the healthy point is its own baseline".into(),
+    );
+    // losing capacity on one cable can only slow the whole job down
+    for w in FACTORS.windows(2) {
+        let (strong, weak) = (get(w[0]), get(w[1]));
+        expect(
+            &mut report,
+            weak >= strong - 1e-9,
+            format!(
+                "a weaker uplink must not speed the job up: factor {} -> {:.3}x, factor {} -> {:.3}x",
+                w[0], strong, w[1], weak
+            ),
+        );
+    }
+    let worst = get(0.1);
+    expect(
+        &mut report,
+        worst > 1.02,
+        format!("a 10x slower uplink must show end-to-end, got {worst:.3}x"),
+    );
+    expect(
+        &mut report,
+        worst < 10.0,
+        format!(
+            "one bad cable of 16 must not slow the job 10x — only its traffic crawls, got {worst:.3}x"
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_link_shape() {
+        let fig = run(&[1]);
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "{report:#?}");
+    }
+}

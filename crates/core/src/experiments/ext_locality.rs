@@ -1,0 +1,118 @@
+//! Extension — placement locality on the fat tree.
+//!
+//! The batch system's block placement keeps neighbouring subdomains on
+//! the same node (and, on MareNostrum4, under the same 48-node leaf
+//! switch); round-robin scatters them so every halo edge pays for the
+//! wire. With the routed link graph both effects fall out of the same
+//! route table — this extension quantifies them on a bandwidth-heavy
+//! chain-halo job at up to 64 nodes.
+
+use crate::experiments::{expect, ShapeReport};
+use crate::report::{FigureData, Series};
+use crate::runner::mean_elapsed_s;
+use crate::scenario::{Execution, Scenario};
+use harborsim_alya::workload::AlyaCase;
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::Placement;
+use harborsim_par::prelude::*;
+
+/// Node counts of the sweep.
+pub const NODES: [u32; 3] = [16, 32, 64];
+
+/// A 1D chain-halo case with enough bytes per edge that placement decides
+/// how much traffic hits the wire (the 3D CFD partitions can tie under
+/// stride aliasing; see the `ablate_mapping` bench).
+pub struct ChainHaloCase;
+
+impl AlyaCase for ChainHaloCase {
+    fn name(&self) -> &str {
+        "chain-halo-locality"
+    }
+
+    fn job_profile(&self, _ranks: u32) -> JobProfile {
+        JobProfile::uniform(
+            StepProfile {
+                flops_per_rank: 2e8,
+                imbalance: 1.0,
+                regions: 1.0,
+                comm: vec![CommPhase::Halo1D {
+                    bytes: 200_000,
+                    repeats: 20,
+                }],
+            },
+            50,
+        )
+    }
+}
+
+fn scenario(placement: Placement, nodes: u32) -> Scenario {
+    Scenario::new(harborsim_hw::presets::marenostrum4(), ChainHaloCase)
+        .execution(Execution::bare_metal())
+        .nodes(nodes)
+        .ranks_per_node(48)
+        .placement(placement)
+}
+
+/// Regenerate: x = nodes, y = elapsed seconds, one series per placement.
+pub fn run(seeds: &[u64]) -> FigureData {
+    let series: Vec<Series> = [
+        ("Block", Placement::Block),
+        ("Round-robin", Placement::RoundRobin),
+    ]
+    .par_iter()
+    .map(|&(label, placement)| {
+        let points = NODES
+            .par_iter()
+            .map(|&n| (n as f64, mean_elapsed_s(&scenario(placement, n), seeds)))
+            .collect();
+        Series::new(label, points)
+    })
+    .collect();
+    FigureData {
+        id: "ext-locality".into(),
+        title: "Rank placement vs halo locality, chain halos (MareNostrum4)".into(),
+        x_label: "Nodes".into(),
+        y_label: "Elapsed [s]".into(),
+        series,
+    }
+}
+
+/// The locality claims.
+pub fn check_shape(fig: &FigureData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    let get = |label: &str, n: u32| {
+        fig.series_named(label)
+            .and_then(|s| s.y_at(n as f64))
+            .unwrap_or(f64::NAN)
+    };
+    for n in NODES {
+        let (block, rr) = (get("Block", n), get("Round-robin", n));
+        expect(
+            &mut report,
+            rr > block,
+            format!("scattering every halo edge must cost at {n} nodes: block {block:.2}s vs round-robin {rr:.2}s"),
+        );
+    }
+    let (block64, rr64) = (get("Block", 64), get("Round-robin", 64));
+    expect(
+        &mut report,
+        rr64 > 1.15 * block64,
+        format!(
+            "at 64 nodes the placement gap should be pronounced: block {block64:.2}s vs round-robin {rr64:.2}s"
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_shape() {
+        let fig = run(&[1]);
+        assert_eq!(fig.series.len(), 2);
+        let report = check_shape(&fig);
+        assert!(report.is_empty(), "{report:#?}");
+    }
+}

@@ -12,6 +12,9 @@
 //! | [`ext_breakdown`] | extension: compute/halo/allreduce decomposition + the Docker `--net=host` mechanism ablation |
 //! | [`ext_weak`] | extension: weak scaling of the FSI case at fixed cells/rank |
 //! | [`ext_campaign`] | extension: multi-job campaign turnaround under FIFO + EASY backfill, with cross-job cache effects |
+//! | [`ext_oversub`] | extension: spine oversubscription sweep with the per-link utilization table |
+//! | [`ext_degraded`] | extension: one degraded node uplink, end-to-end robustness |
+//! | [`ext_locality`] | extension: block vs round-robin placement against halo locality |
 //! | [`validation`] | engine cross-validation: message-level DES vs closed-form analytic over a configuration matrix |
 //!
 //! Every experiment exposes `run(seeds)` returning structured data and a
@@ -24,7 +27,10 @@
 
 pub mod ext_breakdown;
 pub mod ext_campaign;
+pub mod ext_degraded;
 pub mod ext_io;
+pub mod ext_locality;
+pub mod ext_oversub;
 pub mod ext_weak;
 pub mod fig1;
 pub mod fig2;

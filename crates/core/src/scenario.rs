@@ -16,13 +16,17 @@ use harborsim_container::image::ImageManifest;
 use harborsim_container::{BuildEngine, BuildError, DeploymentReport};
 use harborsim_des::trace::{AttrValue, Recorder, SpanCategory, TraceBuffer};
 use harborsim_des::{SimDuration, SimTime};
-use harborsim_hw::{ClusterSpec, CpuModel, InterconnectKind};
+use harborsim_hw::{ClusterSpec, CpuModel, FabricLayout};
 use harborsim_mpi::analytic::EngineConfig;
 use harborsim_mpi::workload::JobProfile;
-use harborsim_mpi::{AnalyticEngine, DesEngine, PerfEngine, RankMap, SimResult, TruncatingDes};
+use harborsim_mpi::{
+    route_table, AnalyticEngine, DesEngine, PerfEngine, Placement, RankMap, SimResult,
+    TruncatingDes,
+};
 use harborsim_net::{NetworkModel, Topology};
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use harborsim_container::runtime::ExecutionEnvironment as Execution;
 
@@ -40,13 +44,40 @@ pub enum EngineKind {
     },
 }
 
-/// The topology HarborSim assumes for each fabric family.
+/// The topology a cluster's declared [`FabricLayout`] expands to, before
+/// any taper override. Scenarios resolve overrides on top of this via
+/// [`Scenario::network_model`].
 pub fn topology_for(cluster: &ClusterSpec) -> Topology {
-    match cluster.interconnect {
-        InterconnectKind::OmniPath100 => Topology::mn4_fat_tree(),
-        InterconnectKind::InfinibandEdr => Topology::cte_fat_tree(),
-        _ => Topology::small_cluster(),
-    }
+    Topology::from_layout(&cluster.fabric_layout)
+}
+
+/// Process-wide spine-taper override, stored as `f64` bits with
+/// `u64::MAX` (a NaN pattern no caller can set) meaning "no override".
+static TAPER_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Override the spine taper of every fat-tree scenario compiled after this
+/// call (`None` restores the machines' declared layouts). This is the
+/// process-level knob behind `reproduce_all --ablate-taper` / `--oversub`;
+/// a per-scenario [`Scenario::spine_taper`] still wins over it. Flat
+/// single-switch fabrics have no spine and ignore the override.
+pub fn set_spine_taper_override(taper: Option<f64>) {
+    let bits = match taper {
+        Some(t) => {
+            assert!(
+                t > 0.0 && t <= 1.0,
+                "taper is a fraction of injection bandwidth"
+            );
+            t.to_bits()
+        }
+        None => u64::MAX,
+    };
+    TAPER_OVERRIDE.store(bits, Ordering::Relaxed);
+}
+
+/// The current process-wide spine-taper override, if any.
+pub fn spine_taper_override() -> Option<f64> {
+    let bits = TAPER_OVERRIDE.load(Ordering::Relaxed);
+    (bits != u64::MAX).then(|| f64::from_bits(bits))
 }
 
 /// What a scenario run produces.
@@ -78,6 +109,15 @@ pub struct Scenario {
     pub engine: EngineKind,
     /// Whether to also simulate image deployment.
     pub deploy: bool,
+    /// Layout of ranks over nodes.
+    pub placement: Placement,
+    /// Per-scenario spine-taper override (beats the global
+    /// [`set_spine_taper_override`] knob, which beats the machine's
+    /// declared layout).
+    pub spine_taper: Option<f64>,
+    /// Node uplinks to degrade: `(node, factor)` multiplies that node's
+    /// injection capacity by `factor` in the compiled route table.
+    pub degraded_uplinks: Vec<(u32, f64)>,
 }
 
 impl Scenario {
@@ -94,6 +134,9 @@ impl Scenario {
             threads_per_rank: 1,
             engine: EngineKind::Analytic,
             deploy: false,
+            placement: Placement::Block,
+            spine_taper: None,
+            degraded_uplinks: Vec::new(),
         }
     }
 
@@ -133,10 +176,52 @@ impl Scenario {
         self
     }
 
+    /// Choose how ranks are laid out over nodes (default: block).
+    pub fn placement(mut self, placement: Placement) -> Scenario {
+        self.placement = placement;
+        self
+    }
+
+    /// Override the fabric's spine taper for this scenario only (1.0 =
+    /// non-blocking, 0.5 = 2:1 oversubscribed).
+    pub fn spine_taper(mut self, taper: f64) -> Scenario {
+        assert!(
+            taper > 0.0 && taper <= 1.0,
+            "taper is a fraction of injection bandwidth"
+        );
+        self.spine_taper = Some(taper);
+        self
+    }
+
+    /// Degrade one node's uplink to `factor` of its capacity — a flapping
+    /// cable or renegotiated-down port, for the robustness scenarios.
+    pub fn degrade_node_uplink(mut self, node: u32, factor: f64) -> Scenario {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation is a fraction of link capacity"
+        );
+        self.degraded_uplinks.push((node, factor));
+        self
+    }
+
+    /// The fabric layout after taper overrides are resolved: this
+    /// scenario's [`Scenario::spine_taper`] beats the process-wide
+    /// [`set_spine_taper_override`] knob, which beats the machine's
+    /// declared layout.
+    pub fn fabric_layout(&self) -> FabricLayout {
+        let mut layout = self.cluster.fabric_layout;
+        if let Some(t) = self.spine_taper.or_else(spine_taper_override) {
+            layout.spine_taper = t;
+        }
+        layout
+    }
+
     /// The composed network model this scenario observes.
     pub fn network_model(&self) -> NetworkModel {
-        self.env
-            .network_model(self.cluster.interconnect, topology_for(&self.cluster))
+        self.env.network_model(
+            self.cluster.interconnect,
+            Topology::from_layout(&self.fabric_layout()),
+        )
     }
 
     /// Validate the scenario and resolve everything seed-independent into
@@ -157,27 +242,47 @@ impl Scenario {
                 cluster: self.cluster.name.clone(),
             });
         }
-        let map = RankMap::block(self.nodes, self.ranks_per_node, self.threads_per_rank);
+        let map = RankMap {
+            nodes: self.nodes,
+            ranks_per_node: self.ranks_per_node,
+            threads_per_rank: self.threads_per_rank,
+            placement: self.placement,
+        };
         let job = job_profile_cached(self.case.as_ref(), map.ranks());
         let network = self.network_model();
         let config = EngineConfig {
             compute_tax: self.env.runtime.compute_tax(),
             ..EngineConfig::default()
         };
+        // One route table per plan: built here, shared by whichever engine
+        // runs (and degraded before it is frozen behind the Arc).
+        let mut table = route_table(&map, &network);
+        for &(node, factor) in &self.degraded_uplinks {
+            assert!(
+                node < self.nodes,
+                "degraded uplink names node {node}, but the scenario has {} nodes",
+                self.nodes
+            );
+            let id = table.graph().node_up(node);
+            table.graph_mut().degrade(id, factor);
+        }
+        let routes = Arc::new(table);
         let engine: Box<dyn PerfEngine + Send + Sync> = match self.engine {
-            EngineKind::Analytic => Box::new(AnalyticEngine {
-                node: self.cluster.node.clone(),
+            EngineKind::Analytic => Box::new(AnalyticEngine::with_routes(
+                self.cluster.node.clone(),
                 network,
                 map,
                 config,
-            }),
+                routes,
+            )),
             EngineKind::Des { max_steps_per_kind } => Box::new(TruncatingDes {
-                inner: DesEngine {
-                    node: self.cluster.node.clone(),
+                inner: DesEngine::with_routes(
+                    self.cluster.node.clone(),
                     network,
                     map,
                     config,
-                },
+                    routes,
+                ),
                 max_steps_per_kind,
             }),
         };
@@ -208,6 +313,16 @@ impl Scenario {
             (
                 "threads_per_rank",
                 AttrValue::Int(u64::from(self.threads_per_rank)),
+            ),
+            (
+                "placement",
+                AttrValue::Text(
+                    match self.placement {
+                        Placement::Block => "block",
+                        Placement::RoundRobin => "round-robin",
+                    }
+                    .to_string(),
+                ),
             ),
         ];
         Ok(ScenarioPlan {
@@ -437,6 +552,91 @@ mod tests {
         assert!(
             (0.4..2.5).contains(&ratio),
             "engines disagree: analytic={analytic} des={des} ratio={ratio}"
+        );
+    }
+
+    /// A chain-halo case heavy enough that placement decides how many
+    /// bytes hit the wire (the 3D CFD cases can tie under stride aliasing;
+    /// see `ablate_mapping`).
+    struct ChainHalo;
+
+    impl workloads::AlyaCase for ChainHalo {
+        fn name(&self) -> &str {
+            "chain-halo"
+        }
+        fn job_profile(&self, _ranks: u32) -> harborsim_mpi::JobProfile {
+            use harborsim_mpi::{CommPhase, JobProfile, StepProfile};
+            JobProfile::uniform(
+                StepProfile {
+                    flops_per_rank: 1e8,
+                    imbalance: 1.0,
+                    regions: 1.0,
+                    comm: vec![CommPhase::Halo1D {
+                        bytes: 200_000,
+                        repeats: 20,
+                    }],
+                },
+                10,
+            )
+        }
+    }
+
+    #[test]
+    fn round_robin_placement_costs_more_on_halo_workloads() {
+        // 1GbE so halo bandwidth (what scattering multiplies) dominates
+        let t = |placement| {
+            Scenario::new(presets::lenox(), ChainHalo)
+                .execution(Execution::singularity_system_specific())
+                .nodes(4)
+                .ranks_per_node(28)
+                .placement(placement)
+                .run(11)
+                .elapsed
+                .as_secs_f64()
+        };
+        let block = t(Placement::Block);
+        let rr = t(Placement::RoundRobin);
+        assert!(
+            rr > block,
+            "scattering chain neighbours over nodes must cost: block={block} rr={rr}"
+        );
+    }
+
+    #[test]
+    fn scenario_taper_beats_global_override_beats_layout() {
+        let base = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small());
+        let declared = base.fabric_layout().spine_taper;
+        assert!((declared - 0.8).abs() < 1e-12, "mn4 declares 0.8");
+        let pinned = base.spine_taper(0.25);
+        assert!((pinned.fabric_layout().spine_taper - 0.25).abs() < 1e-12);
+        // the per-scenario value survives a global override underneath it,
+        // while a scenario without one picks the override up
+        set_spine_taper_override(Some(0.5));
+        let plain = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small());
+        let seen = (
+            pinned.fabric_layout().spine_taper,
+            plain.fabric_layout().spine_taper,
+        );
+        set_spine_taper_override(None);
+        assert!((seen.0 - 0.25).abs() < 1e-12, "builder beats override");
+        assert!((seen.1 - 0.5).abs() < 1e-12, "override beats layout");
+        assert_eq!(spine_taper_override(), None);
+    }
+
+    #[test]
+    fn degraded_uplink_slows_the_run() {
+        let t = |scenario: Scenario| scenario.run(9).elapsed.as_secs_f64();
+        let mk = || {
+            Scenario::new(presets::cte_power(), workloads::artery_cfd_small())
+                .execution(Execution::singularity_system_specific())
+                .nodes(4)
+                .ranks_per_node(40)
+        };
+        let healthy = t(mk());
+        let degraded = t(mk().degrade_node_uplink(1, 0.1));
+        assert!(
+            degraded > healthy,
+            "a 10x slower uplink must show: healthy={healthy} degraded={degraded}"
         );
     }
 

@@ -11,6 +11,7 @@
 
 use crate::report::{fmt_seconds, json_escape, json_num, TableData};
 use harborsim_des::trace::{AttrValue, SpanCategory, TraceBuffer};
+use harborsim_mpi::SimResult;
 
 fn json_attr(v: &AttrValue) -> String {
     match v {
@@ -86,6 +87,45 @@ pub fn summary(parts: &[(String, TraceBuffer)]) -> TableData {
     }
 }
 
+/// Per-link utilization table for one run, busiest link first.
+///
+/// Utilization is the fluid busy time — payload bytes over link capacity —
+/// divided by the run's elapsed time, so it is comparable between the
+/// analytic engine (which never queues) and the DES engine (whose queueing
+/// shows up as elapsed, not busy). `elapsed_s` should be the same run's
+/// [`SimResult::elapsed`].
+pub fn link_utilization(result: &SimResult) -> TableData {
+    let elapsed_s = result.elapsed.as_secs_f64();
+    let mut rows: Vec<&harborsim_mpi::LinkUsage> = result.links.iter().collect();
+    rows.sort_by(|a, b| b.busy_s.total_cmp(&a.busy_s).then(a.label.cmp(&b.label)));
+    TableData {
+        id: "link-utilization".into(),
+        title: format!("Per-link utilization ({} engine)", result.engine),
+        headers: vec![
+            "Link".into(),
+            "Busy".into(),
+            "Bytes".into(),
+            "Utilization".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|l| {
+                let util = if elapsed_s > 0.0 {
+                    l.busy_s / elapsed_s
+                } else {
+                    0.0
+                };
+                vec![
+                    l.label.clone(),
+                    fmt_seconds(l.busy_s),
+                    l.bytes.to_string(),
+                    format!("{:.1}%", util * 100.0),
+                ]
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +183,27 @@ mod tests {
         let json = chrome_trace_json(&[]);
         assert_eq!(json, r#"{"traceEvents":[]}"#);
         assert!(summary(&[]).rows.is_empty());
+    }
+
+    #[test]
+    fn link_table_sorts_busiest_first() {
+        use crate::scenario::{Execution, Scenario};
+        use crate::workloads;
+        let outcome = Scenario::new(
+            harborsim_hw::presets::lenox(),
+            workloads::artery_cfd_small(),
+        )
+        .execution(Execution::singularity_self_contained())
+        .nodes(4)
+        .ranks_per_node(8)
+        .run(3);
+        let t = link_utilization(&outcome.result);
+        assert!(!t.rows.is_empty());
+        assert!(t.rows[0][0].contains("node") || t.rows[0][0].contains("leaf"));
+        let busy: Vec<f64> = outcome.result.links.iter().map(|l| l.busy_s).collect();
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        // first row is the busiest link
+        assert_eq!(t.rows[0][1], fmt_seconds(max));
+        assert!(t.to_ascii().contains('%'));
     }
 }

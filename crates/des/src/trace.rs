@@ -45,6 +45,8 @@ pub enum SpanCategory {
     Protocol,
     /// Virtual-network bridge serialization (containerized data path).
     Bridge,
+    /// A fabric link busy carrying payload bytes (DES link resources).
+    Link,
     /// Image bytes moving: registry pulls, parallel-filesystem reads.
     Pull,
     /// Image format conversion (e.g. the Shifter gateway).
@@ -65,7 +67,7 @@ pub enum SpanCategory {
 
 impl SpanCategory {
     /// Number of categories (array dimension for [`Rollup`]).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All categories, in declaration order.
     pub const ALL: [SpanCategory; Self::COUNT] = [
@@ -76,6 +78,7 @@ impl SpanCategory {
         SpanCategory::Other,
         SpanCategory::Protocol,
         SpanCategory::Bridge,
+        SpanCategory::Link,
         SpanCategory::Pull,
         SpanCategory::Convert,
         SpanCategory::Unpack,
@@ -102,6 +105,7 @@ impl SpanCategory {
             SpanCategory::Other => "other",
             SpanCategory::Protocol => "protocol",
             SpanCategory::Bridge => "bridge",
+            SpanCategory::Link => "link",
             SpanCategory::Pull => "pull",
             SpanCategory::Convert => "convert",
             SpanCategory::Unpack => "unpack",

@@ -58,6 +58,50 @@ impl fmt::Display for InterconnectKind {
     }
 }
 
+/// Physical layout of a cluster's fabric as a two-level switch hierarchy:
+/// node NICs feed leaf switches, leaf switches feed a spine. The `net`
+/// crate turns this into an explicit link graph (`harborsim_net::link`),
+/// so which traffic stays under one leaf — and how much aggregate
+/// bandwidth the spine offers — is a property of the *machine*, not a
+/// per-engine scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricLayout {
+    /// Downlinks per leaf switch. `None` means one flat switch spans the
+    /// whole machine (small clusters with a single managed switch).
+    pub nodes_per_leaf: Option<u32>,
+    /// Per-switch-traversal latency in seconds.
+    pub hop_latency_s: f64,
+    /// Fraction of a leaf's aggregate injection bandwidth available above
+    /// the leaf layer (1.0 = non-blocking, 0.5 = 2:1 oversubscribed).
+    pub spine_taper: f64,
+}
+
+impl FabricLayout {
+    /// One flat switch spanning every node.
+    pub fn single_switch(hop_latency_s: f64) -> FabricLayout {
+        FabricLayout {
+            nodes_per_leaf: None,
+            hop_latency_s,
+            spine_taper: 1.0,
+        }
+    }
+
+    /// A two-level fat tree: `nodes_per_leaf` downlinks per leaf switch,
+    /// spine capacity tapered to `spine_taper` of leaf injection.
+    pub fn fat_tree(nodes_per_leaf: u32, hop_latency_s: f64, spine_taper: f64) -> FabricLayout {
+        assert!(nodes_per_leaf > 0, "a leaf must have downlinks");
+        assert!(
+            spine_taper > 0.0 && spine_taper <= 1.0,
+            "taper is a fraction of injection bandwidth"
+        );
+        FabricLayout {
+            nodes_per_leaf: Some(nodes_per_leaf),
+            hop_latency_s,
+            spine_taper,
+        }
+    }
+}
+
 /// Container software installed on a cluster, by version string. `None`
 /// means the technology is not available there (e.g. no Docker on the
 /// production BSC machines — it needs a root daemon).
@@ -149,6 +193,8 @@ pub struct ClusterSpec {
     pub node: NodeSpec,
     /// Inter-node fabric.
     pub interconnect: InterconnectKind,
+    /// Switch hierarchy of the fabric (leaf size, hop latency, spine taper).
+    pub fabric_layout: FabricLayout,
     /// Shared storage visible from all nodes.
     pub shared_storage: StorageSpec,
     /// Node-local storage, if compute nodes have any disk.
@@ -215,6 +261,7 @@ mod tests {
             node_count: 4,
             node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
             interconnect: InterconnectKind::GigabitEthernet,
+            fabric_layout: FabricLayout::single_switch(0.4e-6),
             shared_storage: StorageSpec::nfs_small(),
             local_storage: Some(StorageSpec::local_scratch()),
             software: SoftwareStack::default(),
@@ -284,5 +331,15 @@ mod tests {
             Some("libmlx5/verbs")
         );
         assert_eq!(InterconnectKind::GigabitEthernet.driver_library(), None);
+    }
+
+    #[test]
+    fn fabric_layout_constructors() {
+        let flat = FabricLayout::single_switch(0.4e-6);
+        assert_eq!(flat.nodes_per_leaf, None);
+        assert_eq!(flat.spine_taper, 1.0);
+        let tree = FabricLayout::fat_tree(48, 0.15e-6, 0.8);
+        assert_eq!(tree.nodes_per_leaf, Some(48));
+        assert!((tree.spine_taper - 0.8).abs() < 1e-12);
     }
 }

@@ -18,7 +18,7 @@ pub mod presets;
 pub mod storage;
 pub mod threading;
 
-pub use cluster::{ClusterSpec, InterconnectKind, PlacementError, SoftwareStack};
+pub use cluster::{ClusterSpec, FabricLayout, InterconnectKind, PlacementError, SoftwareStack};
 pub use cpu::{CpuArch, CpuModel};
 pub use node::NodeSpec;
 pub use storage::{StorageKind, StorageSpec};

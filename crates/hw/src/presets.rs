@@ -9,7 +9,7 @@
 //! | CTE-POWER  | 52    | 2× POWER9 8335-GTG        | 40         | IB EDR        | Singularity 2.5.1 |
 //! | ThunderX   | 4     | 2× Cavium CN8890          | 96         | 40GbE TCP     | Singularity 2.5.2 |
 
-use crate::cluster::{ClusterSpec, InterconnectKind, SoftwareStack};
+use crate::cluster::{ClusterSpec, FabricLayout, InterconnectKind, SoftwareStack};
 use crate::cpu::CpuModel;
 use crate::node::NodeSpec;
 use crate::storage::StorageSpec;
@@ -22,6 +22,7 @@ pub fn lenox() -> ClusterSpec {
         node_count: 4,
         node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
         interconnect: InterconnectKind::GigabitEthernet,
+        fabric_layout: FabricLayout::single_switch(0.4e-6),
         shared_storage: StorageSpec::nfs_small(),
         local_storage: Some(StorageSpec::local_scratch()),
         software: SoftwareStack {
@@ -40,6 +41,7 @@ pub fn marenostrum4() -> ClusterSpec {
         node_count: 3456,
         node: NodeSpec::dual_socket(CpuModel::xeon_platinum_8160(), 96),
         interconnect: InterconnectKind::OmniPath100,
+        fabric_layout: FabricLayout::fat_tree(48, 0.15e-6, 0.8),
         shared_storage: StorageSpec::gpfs(),
         local_storage: Some(StorageSpec::local_scratch()),
         software: SoftwareStack::singularity_only("2.4.2"),
@@ -54,6 +56,7 @@ pub fn cte_power() -> ClusterSpec {
         node_count: 52,
         node: NodeSpec::dual_socket(CpuModel::power9_8335gtg(), 512),
         interconnect: InterconnectKind::InfinibandEdr,
+        fabric_layout: FabricLayout::fat_tree(26, 0.12e-6, 1.0),
         shared_storage: StorageSpec::gpfs(),
         local_storage: Some(StorageSpec::local_scratch()),
         software: SoftwareStack::singularity_only("2.5.1"),
@@ -68,6 +71,7 @@ pub fn thunderx() -> ClusterSpec {
         node_count: 4,
         node: NodeSpec::dual_socket(CpuModel::thunderx_cn8890(), 128),
         interconnect: InterconnectKind::FortyGigEthernet,
+        fabric_layout: FabricLayout::single_switch(0.4e-6),
         shared_storage: StorageSpec::nfs_small(),
         local_storage: Some(StorageSpec::local_scratch()),
         software: SoftwareStack::singularity_only("2.5.2"),
@@ -132,5 +136,17 @@ mod tests {
     #[test]
     fn all_returns_four() {
         assert_eq!(all().len(), 4);
+    }
+
+    #[test]
+    fn fabric_layouts_match_machines() {
+        // the two mini-clusters sit behind one managed switch; the BSC
+        // machines are fat trees (MN4's spine tapered, CTE's effectively not)
+        assert_eq!(lenox().fabric_layout.nodes_per_leaf, None);
+        assert_eq!(thunderx().fabric_layout.nodes_per_leaf, None);
+        assert_eq!(marenostrum4().fabric_layout.nodes_per_leaf, Some(48));
+        assert!((marenostrum4().fabric_layout.spine_taper - 0.8).abs() < 1e-12);
+        assert_eq!(cte_power().fabric_layout.nodes_per_leaf, Some(26));
+        assert_eq!(cte_power().fabric_layout.spine_taper, 1.0);
     }
 }

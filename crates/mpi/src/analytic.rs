@@ -1,15 +1,19 @@
 //! The bulk-synchronous analytic performance engine.
 //!
 //! Costs a [`JobProfile`] against a node model, a composed network model and
-//! a rank placement using LogGP closed forms plus NIC-contention algebra.
-//! `O(phases × ranks·log ranks)` total work regardless of how many timesteps
-//! the job has (steps are run-length encoded), which is what lets HarborSim
-//! sweep the MareNostrum4 FSI case to 12,288 ranks in microseconds.
+//! a rank placement using LogGP closed forms over the routed link graph
+//! shared with the DES engine ([`harborsim_net::link`]). Each communication
+//! round deposits its messages on their routes in a fluid [`LinkSchedule`];
+//! the round's wire time is the busiest link's drain time. Total work is
+//! `O(phases × ranks·log ranks)` regardless of how many timesteps the job
+//! has (steps are run-length encoded), which is what lets HarborSim sweep
+//! the MareNostrum4 FSI case to 12,288 ranks in microseconds.
 //!
 //! Modelling decisions (shared with the DES engine where applicable):
 //!
 //! - Per-rank protocol CPU costs parallelize across ranks; payload bytes
-//!   leaving a node serialize through its NIC.
+//!   leaving a node serialize through its NIC-fed uplink, and which spine
+//!   link they then cross is a property of the placement, not a scalar.
 //! - Intra-node messages share a node-wide memory/bridge pipe.
 //! - Compute and communication do not overlap (Alya's solver phases are
 //!   bulk-synchronous).
@@ -18,14 +22,14 @@
 //!   deviates, the standard large-scale noise-amplification model.
 
 use crate::collectives::{log2_rounds, AllreduceAlgo};
-use crate::mapping::RankMap;
-use crate::result::{CommBreakdown, SimResult};
+use crate::mapping::{route_table, RankMap};
+use crate::result::{CommBreakdown, LinkUsage, SimResult};
 use crate::workload::{CommPhase, JobProfile, StepProfile};
 use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
-use harborsim_net::contention::concurrent_send_seconds;
-use harborsim_net::NetworkModel;
+use harborsim_net::{LinkId, LinkSchedule, NetworkModel, RouteTable};
+use std::sync::Arc;
 
 /// Knobs common to both engines.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +54,7 @@ impl Default for EngineConfig {
 }
 
 /// Cost of one communication phase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct PhaseCost {
     seconds: f64,
     /// Share of `seconds` spent in the serialized container-bridge path
@@ -59,6 +63,11 @@ struct PhaseCost {
     inter_msgs: u64,
     intra_msgs: u64,
     inter_bytes: u64,
+    /// Per-link busy seconds deposited by this phase (dense by link id;
+    /// empty when the phase put nothing on the fabric).
+    link_busy: Vec<f64>,
+    /// Per-link payload bytes deposited by this phase.
+    link_bytes: Vec<u64>,
 }
 
 impl PhaseCost {
@@ -68,6 +77,16 @@ impl PhaseCost {
         self.inter_msgs += other.inter_msgs;
         self.intra_msgs += other.intra_msgs;
         self.inter_bytes += other.inter_bytes;
+        if self.link_busy.len() < other.link_busy.len() {
+            self.link_busy.resize(other.link_busy.len(), 0.0);
+            self.link_bytes.resize(other.link_bytes.len(), 0);
+        }
+        for (i, b) in other.link_busy.iter().enumerate() {
+            self.link_busy[i] += b;
+        }
+        for (i, b) in other.link_bytes.iter().enumerate() {
+            self.link_bytes[i] += b;
+        }
     }
 
     fn times(mut self, k: u64) -> PhaseCost {
@@ -76,7 +95,50 @@ impl PhaseCost {
         self.inter_msgs *= k;
         self.intra_msgs *= k;
         self.inter_bytes *= k;
+        for b in &mut self.link_busy {
+            *b *= k as f64;
+        }
+        for b in &mut self.link_bytes {
+            *b *= k;
+        }
         self
+    }
+}
+
+/// One communication round being counted: per-node message tallies (for the
+/// bridge/intra terms) plus the fluid link schedule (for the wire term).
+struct RoundAccum<'a> {
+    routes: &'a RouteTable,
+    out: Vec<u32>,
+    intra: Vec<u32>,
+    total_cut: u64,
+    total_intra: u64,
+    sched: LinkSchedule,
+}
+
+impl<'a> RoundAccum<'a> {
+    fn new(routes: &'a RouteTable, nodes: u32) -> RoundAccum<'a> {
+        RoundAccum {
+            routes,
+            out: vec![0; nodes as usize],
+            intra: vec![0; nodes as usize],
+            total_cut: 0,
+            total_intra: 0,
+            sched: LinkSchedule::new(routes.graph().len()),
+        }
+    }
+
+    fn add(&mut self, src: u32, dst: u32, bytes: u64) {
+        let route = self.routes.route(src, dst);
+        let n = self.routes.node_of(src) as usize;
+        if route.is_local() {
+            self.intra[n] += 1;
+            self.total_intra += 1;
+        } else {
+            self.out[n] += 1;
+            self.total_cut += 1;
+            self.sched.add(self.routes.graph(), &route, bytes);
+        }
     }
 }
 
@@ -91,9 +153,51 @@ pub struct AnalyticEngine {
     pub map: RankMap,
     /// Engine knobs.
     pub config: EngineConfig,
+    routes: Arc<RouteTable>,
 }
 
 impl AnalyticEngine {
+    /// Build an engine, deriving the route table from the placement and
+    /// network. Prefer [`AnalyticEngine::with_routes`] when another engine
+    /// shares the same plan — the table is built once per plan, not per
+    /// engine.
+    pub fn new(
+        node: NodeSpec,
+        network: NetworkModel,
+        map: RankMap,
+        config: EngineConfig,
+    ) -> AnalyticEngine {
+        let routes = Arc::new(route_table(&map, &network));
+        AnalyticEngine::with_routes(node, network, map, config, routes)
+    }
+
+    /// Build an engine over an already-built route table.
+    pub fn with_routes(
+        node: NodeSpec,
+        network: NetworkModel,
+        map: RankMap,
+        config: EngineConfig,
+        routes: Arc<RouteTable>,
+    ) -> AnalyticEngine {
+        assert_eq!(
+            routes.ranks(),
+            map.ranks(),
+            "route table must match placement"
+        );
+        AnalyticEngine {
+            node,
+            network,
+            map,
+            config,
+            routes,
+        }
+    }
+
+    /// The route table all inter-node costs derive from.
+    pub fn routes(&self) -> &Arc<RouteTable> {
+        &self.routes
+    }
+
     /// Execute `job` and return timing + traffic accounting. `seed` drives
     /// the run-to-run jitter the paper averages away.
     pub fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
@@ -117,6 +221,10 @@ impl AnalyticEngine {
         let mut inter_msgs = 0u64;
         let mut intra_msgs = 0u64;
         let mut inter_bytes = 0u64;
+        // per-link tallies stay structural (no jitter): they report what the
+        // fabric carried, not when
+        let mut link_busy = vec![0.0f64; self.routes.graph().len()];
+        let mut link_bytes = vec![0u64; self.routes.graph().len()];
 
         for (step, reps) in &job.steps {
             let reps = *reps as u64;
@@ -131,6 +239,12 @@ impl AnalyticEngine {
                 inter_msgs += cost.inter_msgs;
                 intra_msgs += cost.intra_msgs;
                 inter_bytes += cost.inter_bytes;
+                for (i, b) in cost.link_busy.iter().enumerate() {
+                    link_busy[i] += b;
+                }
+                for (i, b) in cost.link_bytes.iter().enumerate() {
+                    link_bytes[i] += b;
+                }
                 let d = SimDuration::from_secs_f64(cost.seconds * run_factor);
                 local.span(cat, name, 0, t, t + d);
                 if cost.bridge_s > 0.0 {
@@ -143,6 +257,18 @@ impl AnalyticEngine {
             }
         }
 
+        let links = if inter_bytes > 0 {
+            let g = self.routes.graph();
+            (0..g.len())
+                .map(|i| LinkUsage {
+                    label: g.label(LinkId(i as u32)),
+                    busy_s: link_busy[i],
+                    bytes: link_bytes[i],
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let result = SimResult {
             elapsed: t - SimTime::ZERO,
             compute: local.rollup().max_track(SpanCategory::Compute),
@@ -150,6 +276,7 @@ impl AnalyticEngine {
             inter_node_msgs: inter_msgs,
             intra_node_msgs: intra_msgs,
             inter_node_bytes: inter_bytes,
+            links,
             engine: "analytic",
         };
         rec.merge(local);
@@ -200,26 +327,24 @@ impl AnalyticEngine {
         }
     }
 
-    /// Cost of a round in which, per node, `inter_out` messages of `bytes`
-    /// leave through the NIC and `intra` messages move within the node; the
-    /// inter and intra parts overlap.
-    fn round_cost(
-        &self,
-        inter_out_max: u32,
-        intra_max: u32,
-        total_cut: u64,
-        bytes: u64,
-    ) -> PhaseCost {
+    fn accum(&self) -> RoundAccum<'_> {
+        RoundAccum::new(&self.routes, self.map.nodes)
+    }
+
+    /// Cost of one counted round of `bytes`-sized messages: the inter-node
+    /// part is LogGP alpha + the schedule's busiest-link drain time + the
+    /// longest route's switch latency; the intra-node part shares the node
+    /// pipe; the two overlap. The serialized container-bridge term (every
+    /// message of the busiest node queuing through one softirq path) does
+    /// not overlap with either.
+    fn round_cost(&self, acc: &RoundAccum<'_>, bytes: u64) -> PhaseCost {
+        let out_max = acc.out.iter().copied().max().unwrap_or(0);
+        let intra_max = acc.intra.iter().copied().max().unwrap_or(0);
         let mut seconds: f64 = 0.0;
-        if inter_out_max > 0 {
-            let taper = self
-                .network
-                .topology
-                .global_bandwidth_factor(self.map.nodes);
-            let mut inter = self.network.inter;
-            inter.bandwidth_bps *= taper;
-            let t =
-                concurrent_send_seconds(&inter, self.network.nic_bw_bps, inter_out_max, 1, bytes);
+        if acc.total_cut > 0 {
+            let t = self.network.inter.alpha_seconds(bytes)
+                + acc.sched.wire_seconds()
+                + acc.sched.max_latency_s();
             seconds = seconds.max(t);
         }
         if intra_max > 0 {
@@ -228,50 +353,18 @@ impl AnalyticEngine {
                 intra.alpha_seconds(bytes) + intra_max as f64 * bytes as f64 / intra.bandwidth_bps;
             seconds = seconds.max(t);
         }
-        // container-bridge softirq path: every message of the busiest node
-        // queues through one serialized kernel path before reaching the wire
         let serialized =
-            self.network.node_serialized_per_msg_s * (inter_out_max as f64 + intra_max as f64);
+            self.network.node_serialized_per_msg_s * (out_max as f64 + intra_max as f64);
         seconds += serialized;
         PhaseCost {
             seconds,
             bridge_s: serialized,
-            inter_msgs: total_cut,
-            intra_msgs: 0, // filled by callers that know the intra totals
-            inter_bytes: total_cut * bytes,
+            inter_msgs: acc.total_cut,
+            intra_msgs: acc.total_intra,
+            inter_bytes: acc.total_cut * bytes,
+            link_busy: acc.sched.busy_s().to_vec(),
+            link_bytes: acc.sched.bytes().to_vec(),
         }
-    }
-
-    /// Count, for a pairwise-exchange round at XOR distance `dist`, the
-    /// worst per-node outbound inter-node messages, worst per-node intra
-    /// messages, and the total number of inter-node messages.
-    fn pairwise_round_shape(&self, dist: u32) -> (u32, u32, u64, u64) {
-        let p = self.map.ranks();
-        let nodes = self.map.nodes as usize;
-        let mut out = vec![0u32; nodes];
-        let mut intra = vec![0u32; nodes];
-        let mut total_cut = 0u64;
-        let mut total_intra = 0u64;
-        for r in 0..p {
-            let partner = r ^ dist;
-            if partner >= p {
-                continue;
-            }
-            let n = self.map.node_of(r) as usize;
-            if self.map.same_node(r, partner) {
-                intra[n] += 1;
-                total_intra += 1;
-            } else {
-                out[n] += 1;
-                total_cut += 1;
-            }
-        }
-        (
-            out.iter().copied().max().unwrap_or(0),
-            intra.iter().copied().max().unwrap_or(0),
-            total_cut,
-            total_intra,
-        )
     }
 
     fn halo_cost(&self, bytes: u64) -> PhaseCost {
@@ -279,31 +372,13 @@ impl AnalyticEngine {
         if p <= 1 {
             return PhaseCost::default();
         }
-        let nodes = self.map.nodes as usize;
         // directed messages along the chain: r -> r+1 and r+1 -> r
-        let mut out = vec![0u32; nodes];
-        let mut intra = vec![0u32; nodes];
-        let mut total_cut = 0u64;
-        let mut total_intra = 0u64;
+        let mut acc = self.accum();
         for r in 0..p - 1 {
-            let (na, nb) = (
-                self.map.node_of(r) as usize,
-                self.map.node_of(r + 1) as usize,
-            );
-            if na == nb {
-                intra[na] += 2;
-                total_intra += 2;
-            } else {
-                out[na] += 1;
-                out[nb] += 1;
-                total_cut += 2;
-            }
+            acc.add(r, r + 1, bytes);
+            acc.add(r + 1, r, bytes);
         }
-        let inter_out_max = out.iter().copied().max().unwrap_or(0);
-        let intra_max = intra.iter().copied().max().unwrap_or(0);
-        let mut cost = self.round_cost(inter_out_max, intra_max, total_cut, bytes);
-        cost.intra_msgs = total_intra;
-        cost
+        self.round_cost(&acc, bytes)
     }
 
     fn halo3d_cost(&self, dims: (u32, u32, u32), bytes: u64) -> PhaseCost {
@@ -316,31 +391,26 @@ impl AnalyticEngine {
         if p <= 1 {
             return PhaseCost::default();
         }
-        let nodes = self.map.nodes as usize;
-        let mut out = vec![0u32; nodes];
-        let mut intra = vec![0u32; nodes];
-        let mut total_cut = 0u64;
-        let mut total_intra = 0u64;
+        let mut acc = self.accum();
         for r in 0..p {
-            let n = self.map.node_of(r) as usize;
             for nb in crate::workload::grid_neighbors(r, dims) {
-                if self.map.same_node(r, nb) {
-                    intra[n] += 1;
-                    total_intra += 1;
-                } else {
-                    out[n] += 1;
-                    total_cut += 1;
-                }
+                acc.add(r, nb, bytes);
             }
         }
-        let mut cost = self.round_cost(
-            out.iter().copied().max().unwrap_or(0),
-            intra.iter().copied().max().unwrap_or(0),
-            total_cut,
-            bytes,
-        );
-        cost.intra_msgs = total_intra;
-        cost
+        self.round_cost(&acc, bytes)
+    }
+
+    /// One pairwise-exchange round at XOR distance `dist`.
+    fn pairwise_round_cost(&self, dist: u32, bytes: u64) -> PhaseCost {
+        let p = self.map.ranks();
+        let mut acc = self.accum();
+        for r in 0..p {
+            let partner = r ^ dist;
+            if partner < p {
+                acc.add(r, partner, bytes);
+            }
+        }
+        self.round_cost(&acc, bytes)
     }
 
     fn allreduce_cost(&self, bytes: u64) -> PhaseCost {
@@ -352,50 +422,24 @@ impl AnalyticEngine {
         match self.config.allreduce_algo {
             AllreduceAlgo::RecursiveDoubling => {
                 for k in 0..log2_rounds(p) {
-                    let (out_max, intra_max, cut, intra_total) = self.pairwise_round_shape(1 << k);
-                    let mut c = self.round_cost(out_max, intra_max, cut, bytes);
-                    c.intra_msgs = intra_total;
-                    total.accumulate(c);
+                    total.accumulate(self.pairwise_round_cost(1 << k, bytes));
                 }
             }
             AllreduceAlgo::Ring => {
                 // every round identical: ring neighbour sends of bytes/p
                 let chunk = bytes.div_ceil(p as u64).max(1);
-                let nodes = self.map.nodes as usize;
-                let mut out = vec![0u32; nodes];
-                let mut intra = vec![0u32; nodes];
-                let mut cut = 0u64;
-                let mut intra_total = 0u64;
+                let mut acc = self.accum();
                 for r in 0..p {
-                    let dst = (r + 1) % p;
-                    let n = self.map.node_of(r) as usize;
-                    if self.map.same_node(r, dst) {
-                        intra[n] += 1;
-                        intra_total += 1;
-                    } else {
-                        out[n] += 1;
-                        cut += 1;
-                    }
+                    acc.add(r, (r + 1) % p, chunk);
                 }
                 let rounds = 2 * (p as u64 - 1);
-                let mut c = self.round_cost(
-                    out.iter().copied().max().unwrap_or(0),
-                    intra.iter().copied().max().unwrap_or(0),
-                    cut,
-                    chunk,
-                );
-                c.intra_msgs = intra_total;
-                total.accumulate(c.times(rounds));
+                total.accumulate(self.round_cost(&acc, chunk).times(rounds));
             }
             AllreduceAlgo::Rabenseifner => {
-                let rounds = log2_rounds(p);
-                for k in 0..rounds {
+                for k in 0..log2_rounds(p) {
                     let vol = (bytes >> (k + 1)).max(1);
-                    let (out_max, intra_max, cut, intra_total) = self.pairwise_round_shape(1 << k);
-                    let mut c = self.round_cost(out_max, intra_max, cut, vol);
-                    c.intra_msgs = intra_total;
                     // reduce-scatter + mirrored allgather round
-                    total.accumulate(c.times(2));
+                    total.accumulate(self.pairwise_round_cost(1 << k, vol).times(2));
                 }
             }
         }
@@ -406,30 +450,12 @@ impl AnalyticEngine {
         if pairs.is_empty() {
             return PhaseCost::default();
         }
-        let nodes = self.map.nodes as usize;
-        let mut out = vec![0u32; nodes];
-        let mut intra = vec![0u32; nodes];
-        let mut cut = 0u64;
-        let mut intra_total = 0u64;
+        let mut acc = self.accum();
         for &(a, b) in pairs {
-            let (na, nb) = (self.map.node_of(a) as usize, self.map.node_of(b) as usize);
-            if na == nb {
-                intra[na] += 2;
-                intra_total += 2;
-            } else {
-                out[na] += 1;
-                out[nb] += 1;
-                cut += 2;
-            }
+            acc.add(a, b, bytes);
+            acc.add(b, a, bytes);
         }
-        let mut c = self.round_cost(
-            out.iter().copied().max().unwrap_or(0),
-            intra.iter().copied().max().unwrap_or(0),
-            cut,
-            bytes,
-        );
-        c.intra_msgs = intra_total;
-        c
+        self.round_cost(&acc, bytes)
     }
 
     fn bcast_cost(&self, bytes: u64) -> PhaseCost {
@@ -441,52 +467,26 @@ impl AnalyticEngine {
         // matches the DES engine exactly
         let mut total = PhaseCost::default();
         for round in crate::collectives::bcast_rounds(p, bytes) {
-            let nodes = self.map.nodes as usize;
-            let mut out = vec![0u32; nodes];
-            let mut intra = vec![0u32; nodes];
-            let mut cut = 0u64;
-            let mut intra_total = 0u64;
+            let mut acc = self.accum();
             for m in &round {
-                let n = self.map.node_of(m.src) as usize;
-                if self.map.same_node(m.src, m.dst) {
-                    intra[n] += 1;
-                    intra_total += 1;
-                } else {
-                    out[n] += 1;
-                    cut += 1;
-                }
+                acc.add(m.src, m.dst, bytes);
             }
-            let mut c = self.round_cost(
-                out.iter().copied().max().unwrap_or(0),
-                intra.iter().copied().max().unwrap_or(0),
-                cut,
-                bytes,
-            );
-            c.intra_msgs = intra_total;
-            total.accumulate(c);
+            total.accumulate(self.round_cost(&acc, bytes));
         }
         total
     }
 
     fn gather_cost(&self, bytes_per_rank: u64) -> PhaseCost {
-        let p = self.map.ranks() as u64;
+        let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
         }
-        let rpn = self.map.ranks_per_node as u64;
-        let remote = p - rpn; // ranks not on the root's node
-        let local = rpn - 1;
-        let inter = &self.network.inter;
-        let t = inter.alpha_seconds(bytes_per_rank)
-            + remote as f64 * bytes_per_rank as f64 / self.network.nic_bw_bps
-            + local as f64 * bytes_per_rank as f64 / self.network.intra.bandwidth_bps;
-        PhaseCost {
-            seconds: t,
-            bridge_s: 0.0,
-            inter_msgs: remote,
-            intra_msgs: local,
-            inter_bytes: remote * bytes_per_rank,
+        // everyone sends to rank 0; the root's downlink serializes the incast
+        let mut acc = self.accum();
+        for r in 1..p {
+            acc.add(r, 0, bytes_per_rank);
         }
+        self.round_cost(&acc, bytes_per_rank)
     }
 
     fn barrier_cost(&self) -> PhaseCost {
@@ -494,30 +494,15 @@ impl AnalyticEngine {
         if p <= 1 {
             return PhaseCost::default();
         }
-        let rounds = log2_rounds(p);
         let mut total = PhaseCost::default();
-        for k in 0..rounds {
+        for k in 0..log2_rounds(p) {
             let dist = 1u32 << k;
             // dissemination round: r -> (r + dist) % p
-            let nodes = self.map.nodes as usize;
-            let mut out = vec![0u32; nodes];
-            let mut intra_max = 0u32;
-            let mut cut = 0u64;
-            let mut intra_counts = vec![0u32; nodes];
+            let mut acc = self.accum();
             for r in 0..p {
-                let dst = (r + dist) % p;
-                let n = self.map.node_of(r) as usize;
-                if self.map.same_node(r, dst) {
-                    intra_counts[n] += 1;
-                } else {
-                    out[n] += 1;
-                    cut += 1;
-                }
+                acc.add(r, (r + dist) % p, 8);
             }
-            intra_max = intra_max.max(intra_counts.iter().copied().max().unwrap_or(0));
-            let mut c = self.round_cost(out.iter().copied().max().unwrap_or(0), intra_max, cut, 8);
-            c.intra_msgs = intra_counts.iter().map(|&x| x as u64).sum();
-            total.accumulate(c);
+            total.accumulate(self.round_cost(&acc, 8));
         }
         total
     }
@@ -531,17 +516,17 @@ mod tests {
     use harborsim_net::{DataPath, Topology, TransportSelection};
 
     fn engine(nodes: u32, rpn: u32, threads: u32, path: DataPath) -> AnalyticEngine {
-        AnalyticEngine {
-            node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
-            network: NetworkModel::compose(
+        AnalyticEngine::new(
+            NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+            NetworkModel::compose(
                 InterconnectKind::GigabitEthernet,
                 TransportSelection::Native,
                 path,
                 Topology::small_cluster(),
             ),
-            map: RankMap::block(nodes, rpn, threads),
-            config: EngineConfig::default(),
-        }
+            RankMap::block(nodes, rpn, threads),
+            EngineConfig::default(),
+        )
     }
 
     fn cfd_like_step() -> StepProfile {
@@ -616,6 +601,7 @@ mod tests {
         assert_eq!(r.inter_node_msgs, 0);
         assert_eq!(r.inter_node_bytes, 0);
         assert!(r.intra_node_msgs > 0);
+        assert!(r.links.is_empty(), "no fabric traffic, no link table");
     }
 
     #[test]
@@ -636,6 +622,14 @@ mod tests {
         assert_eq!(r.inter_node_msgs, 6);
         assert_eq!(r.intra_node_msgs, 8);
         assert_eq!(r.inter_node_bytes, 6000);
+        // every cut byte shows up exactly once on some node uplink
+        let up_bytes: u64 = r
+            .links
+            .iter()
+            .filter(|l| l.label.ends_with(":up") && l.label.starts_with("node"))
+            .map(|l| l.bytes)
+            .sum();
+        assert_eq!(up_bytes, 6000);
     }
 
     #[test]
@@ -698,5 +692,46 @@ mod tests {
         let pure = engine(4, 28, 1, DataPath::Host).run(&job, 1);
         let ratio = hybrid.elapsed.as_secs_f64() / pure.elapsed.as_secs_f64();
         assert!(ratio > 0.3 && ratio < 3.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn oversubscribed_spine_tops_utilization() {
+        // a heavily tapered fat tree under an all-cross-leaf exchange: the
+        // spine links, not any NIC, must be the busiest rows of the table
+        let e = AnalyticEngine::new(
+            NodeSpec::dual_socket(CpuModel::xeon_platinum_8160(), 96),
+            NetworkModel::compose(
+                InterconnectKind::OmniPath100,
+                TransportSelection::Native,
+                DataPath::Host,
+                Topology::FatTree {
+                    nodes_per_leaf: 4,
+                    hop_latency_s: 0.15e-6,
+                    taper: 0.1,
+                },
+            ),
+            RankMap::block(8, 4, 1),
+            EngineConfig::default(),
+        );
+        let step = StepProfile {
+            flops_per_rank: 0.0,
+            imbalance: 1.0,
+            regions: 0.0,
+            comm: vec![CommPhase::Allreduce {
+                bytes: 1 << 20,
+                repeats: 1,
+            }],
+        };
+        let r = e.run(&JobProfile::uniform(step, 1), 1);
+        let busiest = r
+            .links
+            .iter()
+            .max_by(|a, b| a.busy_s.total_cmp(&b.busy_s))
+            .unwrap();
+        assert!(
+            busiest.label.contains("spine"),
+            "busiest link should be a spine link, got {}",
+            busiest.label
+        );
     }
 }

@@ -267,6 +267,59 @@ mod tests {
         assert!(rounds[0].iter().all(|m| m.dst == 0 && m.bytes == 48));
     }
 
+    /// The closed-form per-rank byte total each algorithm promises; the
+    /// round plans must conserve it exactly. Pairwise algorithms exchange
+    /// symmetrically (r sends to `r^2^k` iff that partner exists, which
+    /// also sends back), so sent and received totals coincide per rank.
+    fn closed_form_bytes(algo: AllreduceAlgo, p: u32, r: u32, bytes: u64) -> u64 {
+        let partnered = |k: u32| r ^ (1u32 << k) < p;
+        match algo {
+            AllreduceAlgo::RecursiveDoubling => {
+                bytes * (0..log2_rounds(p)).filter(|&k| partnered(k)).count() as u64
+            }
+            AllreduceAlgo::Ring => 2 * u64::from(p - 1) * bytes.div_ceil(u64::from(p)).max(1),
+            AllreduceAlgo::Rabenseifner => {
+                2 * (0..log2_rounds(p))
+                    .filter(|&k| partnered(k))
+                    .map(|k| (bytes >> (k + 1)).max(1))
+                    .sum::<u64>()
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_byte_totals_match_closed_forms() {
+        for p in 2..=64u32 {
+            for bytes in [8u64, 1000, 1 << 20] {
+                for algo in [
+                    AllreduceAlgo::RecursiveDoubling,
+                    AllreduceAlgo::Ring,
+                    AllreduceAlgo::Rabenseifner,
+                ] {
+                    let mut sent = vec![0u64; p as usize];
+                    let mut recv = vec![0u64; p as usize];
+                    for round in allreduce_rounds(algo, p, bytes) {
+                        for m in round {
+                            sent[m.src as usize] += m.bytes;
+                            recv[m.dst as usize] += m.bytes;
+                        }
+                    }
+                    for r in 0..p {
+                        let want = closed_form_bytes(algo, p, r, bytes);
+                        assert_eq!(
+                            sent[r as usize], want,
+                            "{algo:?} p={p} bytes={bytes} rank {r}: sent"
+                        );
+                        assert_eq!(
+                            recv[r as usize], want,
+                            "{algo:?} p={p} bytes={bytes} rank {r}: received"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn single_rank_collectives_are_free() {
         assert!(allreduce_rounds(AllreduceAlgo::RecursiveDoubling, 1, 8).is_empty());

@@ -6,9 +6,10 @@
 //! - each rank is a little interpreter over its private instruction stream
 //!   (compute / send / recv), generated lazily from the [`JobProfile`];
 //! - sends are *posted* (Isend semantics): the rank pays the per-message CPU
-//!   overhead and moves on, while the payload queues on the node's NIC —
-//!   a FIFO [`Resource`] that serializes outbound bytes exactly like the
-//!   analytic engine's contention algebra;
+//!   overhead and moves on, while the payload claims every link of its
+//!   route — node uplink, spine crossing, receiver downlink — as FIFO
+//!   [`Resource`]s carved into node-stream slots, the same routed graph the
+//!   analytic engine costs with its fluid schedule;
 //! - intra-node messages serialize through a per-node memory/bridge pipe;
 //! - messages above the eager threshold use a rendezvous handshake: the
 //!   payload may only enter the NIC once the receiver has posted the
@@ -20,13 +21,13 @@
 
 use crate::analytic::EngineConfig;
 use crate::collectives::{log2_rounds, AllreduceAlgo};
-use crate::mapping::RankMap;
-use crate::result::{CommBreakdown, SimResult};
+use crate::mapping::{route_table, RankMap};
+use crate::result::{CommBreakdown, LinkUsage, SimResult};
 use crate::workload::{CommPhase, JobProfile};
 use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{Engine, Resource, RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
-use harborsim_net::{NetworkModel, TransportParams};
+use harborsim_net::{LinkId, NetworkModel, Route, RouteTable, TransportParams};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -114,12 +115,16 @@ struct JobCtx {
     /// Serialized per-message bridge cost (Docker), 0 on host networking.
     bridge_serial_s: f64,
     config: EngineConfig,
+    routes: Arc<RouteTable>,
+    /// Per-slot drain rate of each link (bytes/s), dense by link id.
+    link_rate: Vec<f64>,
 }
 
 struct Sim {
     ctx: Arc<JobCtx>,
     ranks: Vec<RankState>,
-    nics: Vec<Resource<Sim>>,
+    /// One FIFO resource per fabric link, `capacity / node-stream` slots each.
+    links: Vec<Resource<Sim>>,
     pipes: Vec<Resource<Sim>>,
     bridges: Vec<Resource<Sim>>,
     msgs: HashMap<u64, MsgState>,
@@ -127,6 +132,10 @@ struct Sim {
     inter_msgs: u64,
     intra_msgs: u64,
     inter_bytes: u64,
+    /// Fluid per-link tallies (`bytes / capacity`), kept engine-comparable
+    /// with the analytic schedule — queueing time is *not* counted here.
+    link_busy: Vec<f64>,
+    link_bytes: Vec<u64>,
     /// Trace sink; compute/wait attribution is derived from it after the run.
     rec: Recorder,
 }
@@ -142,42 +151,95 @@ pub struct DesEngine {
     pub map: RankMap,
     /// Engine knobs (shared type with the analytic engine).
     pub config: EngineConfig,
+    routes: Arc<RouteTable>,
 }
 
 impl DesEngine {
+    /// Build an engine, deriving the route table from the placement and
+    /// network. Prefer [`DesEngine::with_routes`] when another engine shares
+    /// the same plan — the table is built once per plan, not per engine.
+    pub fn new(
+        node: NodeSpec,
+        network: NetworkModel,
+        map: RankMap,
+        config: EngineConfig,
+    ) -> DesEngine {
+        let routes = Arc::new(route_table(&map, &network));
+        DesEngine::with_routes(node, network, map, config, routes)
+    }
+
+    /// Build an engine over an already-built route table.
+    pub fn with_routes(
+        node: NodeSpec,
+        network: NetworkModel,
+        map: RankMap,
+        config: EngineConfig,
+        routes: Arc<RouteTable>,
+    ) -> DesEngine {
+        assert_eq!(
+            routes.ranks(),
+            map.ranks(),
+            "route table must match placement"
+        );
+        DesEngine {
+            node,
+            network,
+            map,
+            config,
+            routes,
+        }
+    }
+
+    /// The route table all inter-node traffic flows over.
+    pub fn routes(&self) -> &Arc<RouteTable> {
+        &self.routes
+    }
+
     /// Execute `job`, simulating every message. `seed` drives compute
     /// jitter. Cost is `O(total messages · log pending-events)`.
     pub fn run(&self, job: &JobProfile, seed: u64) -> SimResult {
         self.run_traced(job, seed, &mut Recorder::aggregating())
     }
 
-    /// Execute `job`, emitting per-rank compute / wait / protocol / bridge
-    /// spans through `rec` (one track per rank; bridge spans on tracks
-    /// `ranks..ranks+nodes`). The `compute` and `comm` attribution in the
-    /// returned [`SimResult`] is *derived from* the recorded spans; with a
-    /// disabled recorder `elapsed` and the traffic counters are still exact
-    /// but the attribution comes out zero.
+    /// Execute `job`, emitting per-rank compute / wait / protocol / bridge /
+    /// link spans through `rec` (one track per rank; bridge tracks at
+    /// `ranks..ranks+nodes`, link tracks above those). The `compute` and
+    /// `comm` attribution in the returned [`SimResult`] is *derived from*
+    /// the recorded spans; with a disabled recorder `elapsed` and the
+    /// traffic counters are still exact but the attribution comes out zero.
     pub fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
         let p = self.map.ranks();
-        // apply the topology's global taper to the inter-node stream rate,
-        // mirroring the analytic engine
-        let mut inter = self.network.inter;
-        inter.bandwidth_bps *= self
+        let graph = self.routes.graph();
+        // each link is carved into slots of the node stream rate: a node
+        // uplink is one slot (one kernel-fed wire), a healthy leaf uplink is
+        // taper × nodes_per_leaf slots — messages serialize only where the
+        // fabric is actually narrower than the offered streams
+        let stream = self
             .network
-            .topology
-            .global_bandwidth_factor(self.map.nodes);
+            .inter
+            .bandwidth_bps
+            .min(self.network.nic_bw_bps);
+        let mut slots = Vec::with_capacity(graph.len());
+        let mut link_rate = Vec::with_capacity(graph.len());
+        for i in 0..graph.len() {
+            let cap = graph.capacity_bps(LinkId(i as u32));
+            let s = ((cap / stream).floor() as u32).max(1);
+            slots.push(s);
+            link_rate.push(cap / s as f64);
+        }
 
         let root = RngStream::new(seed).derive("des-run");
         let ctx = Arc::new(JobCtx {
             job: job.clone(),
             map: self.map,
             node: self.node.clone(),
-            inter,
+            inter: self.network.inter,
             intra: self.network.intra,
             bridge_serial_s: self.network.node_serialized_per_msg_s,
             config: self.config.clone(),
+            routes: self.routes.clone(),
+            link_rate,
         });
-        let nic_capacity = 1; // FIFO wire
         let mut local = Recorder::like(rec);
         local.declare_tracks(p);
         let mut sim = Sim {
@@ -190,20 +252,16 @@ impl DesEngine {
                     finished: false,
                 })
                 .collect(),
-            nics: (0..self.map.nodes)
-                .map(|_| Resource::new(nic_capacity))
-                .collect(),
-            pipes: (0..self.map.nodes)
-                .map(|_| Resource::new(nic_capacity))
-                .collect(),
-            bridges: (0..self.map.nodes)
-                .map(|_| Resource::new(nic_capacity))
-                .collect(),
+            links: slots.iter().map(|&s| Resource::new(s)).collect(),
+            pipes: (0..self.map.nodes).map(|_| Resource::new(1)).collect(),
+            bridges: (0..self.map.nodes).map(|_| Resource::new(1)).collect(),
             msgs: HashMap::new(),
             live_ranks: p,
             inter_msgs: 0,
             intra_msgs: 0,
             inter_bytes: 0,
+            link_busy: vec![0.0; graph.len()],
+            link_bytes: vec![0; graph.len()],
             rec: local,
         };
 
@@ -220,6 +278,18 @@ impl DesEngine {
             sim.live_ranks
         );
 
+        let links = if sim.inter_bytes > 0 {
+            let g = self.routes.graph();
+            (0..g.len())
+                .map(|i| LinkUsage {
+                    label: g.label(LinkId(i as u32)),
+                    busy_s: sim.link_busy[i],
+                    bytes: sim.link_bytes[i],
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let result = SimResult {
             elapsed: eng.now() - SimTime::ZERO,
             compute: sim.rec.rollup().max_track(SpanCategory::Compute),
@@ -227,6 +297,7 @@ impl DesEngine {
             inter_node_msgs: sim.inter_msgs,
             intra_node_msgs: sim.intra_msgs,
             inter_node_bytes: sim.inter_bytes,
+            links,
             engine: "des",
         };
         rec.merge(sim.rec);
@@ -699,7 +770,8 @@ fn enqueue_transfer(
     }
 }
 
-/// Queue the payload directly on the wire.
+/// Queue the payload directly on the wire: the intra-node pipe, or every
+/// link of the message's route.
 fn enqueue_transfer_wire(
     eng: &mut Engine<Sim>,
     sim: &mut Sim,
@@ -708,26 +780,76 @@ fn enqueue_transfer_wire(
     bytes: u64,
     mid: u64,
 ) {
-    let same = sim.ctx.map.same_node(src, dst);
-    let node = sim.ctx.map.node_of(src) as usize;
     let t = *transport_for(sim, src, dst);
-    let ser = SimDuration::from_secs_f64(t.serialization_seconds(bytes));
-    let lat = SimDuration::from_secs_f64(t.latency_s);
-    fn res_of(sim: &mut Sim, same: bool, node: usize) -> &mut Resource<Sim> {
-        if same {
-            &mut sim.pipes[node]
-        } else {
-            &mut sim.nics[node]
-        }
-    }
-    res_of(sim, same, node).acquire(eng, move |eng, _sim| {
-        // hold the wire for the serialization time
-        eng.schedule(ser, move |eng, sim| {
-            res_of(sim, same, node).release(eng);
-            // payload fully on the wire; delivery after the latency
-            eng.schedule(lat, move |eng, sim| {
-                deliver(eng, sim, mid);
+    if sim.ctx.map.same_node(src, dst) {
+        let node = sim.ctx.map.node_of(src) as usize;
+        let ser = SimDuration::from_secs_f64(t.serialization_seconds(bytes));
+        let lat = SimDuration::from_secs_f64(t.latency_s);
+        sim.pipes[node].acquire(eng, move |eng, _sim| {
+            // hold the pipe for the serialization time
+            eng.schedule(ser, move |eng, sim: &mut Sim| {
+                sim.pipes[node].release(eng);
+                // payload fully through; delivery after the latency
+                eng.schedule(lat, move |eng, sim| {
+                    deliver(eng, sim, mid);
+                });
             });
+        });
+        return;
+    }
+    let route = sim.ctx.routes.route(src, dst);
+    // fluid tallies for the utilization table (queueing excluded, so the
+    // numbers stay directly comparable with the analytic schedule)
+    let graph = sim.ctx.routes.graph();
+    let mut rate = f64::INFINITY;
+    for &l in route.links() {
+        sim.link_busy[l.index()] += bytes as f64 / graph.capacity_bps(l);
+        sim.link_bytes[l.index()] += bytes;
+        rate = rate.min(sim.ctx.link_rate[l.index()]);
+    }
+    let ser = SimDuration::from_secs_f64(bytes as f64 / rate);
+    let lat = SimDuration::from_secs_f64(t.latency_s + route.latency_s());
+    acquire_route(eng, sim, route, 0, ser, lat, mid);
+}
+
+/// Claim the route's links one by one in traversal order (node-up, leaf-up,
+/// leaf-down, node-down — a fixed class order, so chained holds cannot
+/// deadlock), then hold them all for the serialization time.
+fn acquire_route(
+    eng: &mut Engine<Sim>,
+    sim: &mut Sim,
+    route: Route,
+    idx: usize,
+    ser: SimDuration,
+    lat: SimDuration,
+    mid: u64,
+) {
+    if let Some(&link) = route.links().get(idx) {
+        sim.links[link.index()].acquire(eng, move |eng, sim: &mut Sim| {
+            acquire_route(eng, sim, route, idx + 1, ser, lat, mid);
+        });
+        return;
+    }
+    // all links held: the payload streams across the whole route at the
+    // narrowest per-slot rate
+    let now = eng.now();
+    let link_track_base = sim.ctx.map.ranks() + sim.ctx.map.nodes;
+    for &l in route.links() {
+        sim.rec.span(
+            SpanCategory::Link,
+            "link-busy",
+            link_track_base + l.0,
+            now,
+            now + ser,
+        );
+    }
+    eng.schedule(ser, move |eng, sim: &mut Sim| {
+        for &l in route.links() {
+            sim.links[l.index()].release(eng);
+        }
+        // payload fully on the wire; delivery after transport + switch latency
+        eng.schedule(lat, move |eng, sim| {
+            deliver(eng, sim, mid);
         });
     });
 }
@@ -759,17 +881,17 @@ mod tests {
     use harborsim_net::{DataPath, Topology, TransportSelection};
 
     fn des(nodes: u32, rpn: u32, path: DataPath) -> DesEngine {
-        DesEngine {
-            node: NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
-            network: NetworkModel::compose(
+        DesEngine::new(
+            NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+            NetworkModel::compose(
                 InterconnectKind::GigabitEthernet,
                 TransportSelection::Native,
                 path,
                 Topology::small_cluster(),
             ),
-            map: RankMap::block(nodes, rpn, 1),
-            config: EngineConfig::default(),
-        }
+            RankMap::block(nodes, rpn, 1),
+            EngineConfig::default(),
+        )
     }
 
     fn step(comm: Vec<CommPhase>) -> StepProfile {

@@ -98,18 +98,16 @@ mod tests {
             Topology::small_cluster(),
         );
         let map = RankMap::block(2, 4, 1);
-        let a = AnalyticEngine {
-            node: node.clone(),
-            network: network.clone(),
-            map,
-            config: EngineConfig::default(),
-        };
-        let d = DesEngine {
+        let a = AnalyticEngine::new(node.clone(), network.clone(), map, EngineConfig::default());
+        // the DES twin shares the analytic engine's table, like a compiled
+        // scenario plan does
+        let d = DesEngine::with_routes(
             node,
             network,
             map,
-            config: EngineConfig::default(),
-        };
+            EngineConfig::default(),
+            a.routes().clone(),
+        );
         (a, d)
     }
 

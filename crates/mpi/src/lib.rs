@@ -36,6 +36,6 @@ pub mod workload;
 pub use analytic::AnalyticEngine;
 pub use des_engine::DesEngine;
 pub use engine::{PerfEngine, TruncatingDes};
-pub use mapping::RankMap;
-pub use result::{CommBreakdown, SimResult};
+pub use mapping::{route_table, Placement, RankMap};
+pub use result::{CommBreakdown, LinkUsage, SimResult};
 pub use workload::{CommPhase, JobProfile, StepProfile};

@@ -1,5 +1,7 @@
 //! Rank-to-node placement.
 
+use harborsim_net::{LinkGraph, NetworkModel, RouteTable};
+
 /// How consecutive ranks are laid out on nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -70,6 +72,20 @@ impl RankMap {
             .filter(|&r| !self.same_node(r, r + 1))
             .count() as u32
     }
+}
+
+/// Build the [`RouteTable`] this placement induces on `network`'s fabric.
+///
+/// The node links carry the effective transport's stream rate — capped by
+/// the NIC, which matters for Docker's bridge path where the transport's
+/// nominal bandwidth can exceed what the NIC admits — while the leaf links
+/// are sized from the raw NIC rate (switch hardware does not degrade when
+/// the endpoints run a kernel-bound stack).
+pub fn route_table(map: &RankMap, network: &NetworkModel) -> RouteTable {
+    let stream = network.inter.bandwidth_bps.min(network.nic_bw_bps);
+    let graph = LinkGraph::build(&network.topology, map.nodes, stream, network.nic_bw_bps);
+    let node_of = (0..map.ranks()).map(|r| map.node_of(r)).collect();
+    RouteTable::build(graph, node_of)
 }
 
 #[cfg(test)]

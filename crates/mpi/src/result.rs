@@ -37,6 +37,20 @@ impl CommBreakdown {
     }
 }
 
+/// How busy one fabric link was over a run. Both engines fill these with
+/// the same fluid accounting — `busy_s += bytes / capacity` per message —
+/// so the utilization table is engine-comparable even though the DES
+/// engine additionally queues messages on the links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Link label from the graph, e.g. `node3:up`, `leaf0:spine-up`.
+    pub label: String,
+    /// Seconds the link spent draining payload bytes at full capacity.
+    pub busy_s: f64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
 /// The outcome of executing a job profile on a simulated machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -52,6 +66,9 @@ pub struct SimResult {
     pub intra_node_msgs: u64,
     /// Total bytes that crossed node boundaries.
     pub inter_node_bytes: u64,
+    /// Per-link utilization, one entry per link of the route table's graph
+    /// (empty for single-node jobs with no inter-node traffic).
+    pub links: Vec<LinkUsage>,
     /// Which engine produced this result ("analytic" or "des").
     pub engine: &'static str,
 }
@@ -83,6 +100,15 @@ impl SimResult {
             inter_node_msgs: (self.inter_node_msgs as f64 * k).round() as u64,
             intra_node_msgs: (self.intra_node_msgs as f64 * k).round() as u64,
             inter_node_bytes: (self.inter_node_bytes as f64 * k).round() as u64,
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkUsage {
+                    label: l.label.clone(),
+                    busy_s: l.busy_s * k,
+                    bytes: (l.bytes as f64 * k).round() as u64,
+                })
+                .collect(),
             engine: self.engine,
         }
     }
@@ -115,6 +141,11 @@ mod tests {
             inter_node_msgs: 100,
             intra_node_msgs: 50,
             inter_node_bytes: 1_000,
+            links: vec![LinkUsage {
+                label: "node0:up".into(),
+                busy_s: 0.5,
+                bytes: 1_000,
+            }],
             engine: "analytic",
         };
         assert!((r.comm_fraction() - 0.4).abs() < 1e-12);
@@ -122,5 +153,7 @@ mod tests {
         assert_eq!(s.elapsed, SimDuration::from_secs(20));
         assert_eq!(s.inter_node_msgs, 200);
         assert_eq!(s.comm.halo, SimDuration::from_secs(8));
+        assert!((s.links[0].busy_s - 1.0).abs() < 1e-12);
+        assert_eq!(s.links[0].bytes, 2_000);
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Interconnect models: fabric transport parameters (LogGP-style), transport
 //! *stacks* (native kernel-bypass vs TCP fallback), container data paths
-//! (host networking vs Docker's bridge/NAT), simple topologies, and NIC
-//! contention helpers.
+//! (host networking vs Docker's bridge/NAT), and the routed link graph —
+//! explicit node→leaf→spine links with capacities, routes, and the fluid
+//! schedule both simulation engines cost communication rounds with.
 //!
 //! The central object is [`NetworkModel`]: the *effective* communication
 //! behaviour an MPI job observes once the fabric, the transport stack the MPI
@@ -19,13 +20,16 @@
 //!   traverses veth + NAT ([`DataPath::DockerBridge`]) — and Fig. 1's
 //!   divergence with rank count follows.
 
-pub mod contention;
 pub mod fabric;
+pub mod link;
 pub mod model;
+pub mod route;
 pub mod topology;
 pub mod transport;
 
 pub use fabric::{fabric_transports, shm_transport, FabricTransports};
+pub use link::{Link, LinkClass, LinkGraph, LinkId};
 pub use model::{DataPath, NetworkModel, TransportSelection};
+pub use route::{route_tables_built, LinkSchedule, Route, RouteTable};
 pub use topology::Topology;
 pub use transport::TransportParams;

@@ -1,0 +1,283 @@
+//! Routes over the link graph, and the fluid schedule that costs them.
+//!
+//! A [`RouteTable`] fixes, once per compiled scenario, which links every
+//! (src rank, dst rank) pair traverses. Routing is deterministic — up to
+//! the leaf, across the spine, down — so the table only needs each rank's
+//! node placement to answer in O(1); nothing is materialized per pair
+//! (a 256-node MareNostrum4 job has 12,288 ranks — 150M pairs).
+//!
+//! [`LinkSchedule`] is the analytic engine's costing device: a fluid
+//! (max-min sharing, no packet granularity) schedule where every message of
+//! a round deposits `bytes / capacity` of busy time on each link it
+//! crosses, and the round's wire time is the busiest link. The DES engine
+//! uses the same routes but materializes the links as FIFO resources, so
+//! both engines disagree only about queueing, never about topology.
+
+use crate::link::{LinkGraph, LinkId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many [`RouteTable`]s have been built, process-wide. Route tables are
+/// per-plan artifacts: sweeps that rebuild them per seed are doing O(seeds)
+/// work that should be O(1), and the regression tests pin that.
+static ROUTE_TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`RouteTable::build`] calls.
+pub fn route_tables_built() -> u64 {
+    ROUTE_TABLES_BUILT.load(Ordering::Relaxed)
+}
+
+/// The ordered links one message traverses, plus the switch latency it pays.
+///
+/// At most four links (node-up, leaf-up, leaf-down, node-down); same-node
+/// traffic traverses none and same-leaf traffic skips the spine pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    links: [LinkId; 4],
+    len: u8,
+    latency_s: f64,
+}
+
+impl Route {
+    const LOCAL: Route = Route {
+        links: [LinkId(0); 4],
+        len: 0,
+        latency_s: 0.0,
+    };
+
+    /// The links in traversal order (which is also the DES lock order).
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+
+    /// True when src and dst share a node: no links, no switch latency.
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total switch-traversal latency along the route, seconds.
+    #[inline]
+    pub fn latency_s(&self) -> f64 {
+        self.latency_s
+    }
+}
+
+/// Per-plan routing: a link graph plus each rank's node placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTable {
+    graph: LinkGraph,
+    node_of_rank: Box<[u32]>,
+}
+
+impl RouteTable {
+    /// Bind a graph to a rank placement. Counted in [`route_tables_built`].
+    pub fn build(graph: LinkGraph, node_of_rank: Vec<u32>) -> RouteTable {
+        assert!(!node_of_rank.is_empty(), "a job has at least one rank");
+        for (r, &n) in node_of_rank.iter().enumerate() {
+            assert!(n < graph.nodes(), "rank {r} placed on absent node {n}");
+        }
+        ROUTE_TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+        RouteTable {
+            graph,
+            node_of_rank: node_of_rank.into_boxed_slice(),
+        }
+    }
+
+    /// The link graph routed over.
+    pub fn graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access, for degrading links before the table is shared.
+    pub fn graph_mut(&mut self) -> &mut LinkGraph {
+        &mut self.graph
+    }
+
+    /// Ranks in the placement.
+    pub fn ranks(&self) -> u32 {
+        self.node_of_rank.len() as u32
+    }
+
+    /// The node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: u32) -> u32 {
+        self.node_of_rank[rank as usize]
+    }
+
+    /// The route from rank `src` to rank `dst`, computed in O(1).
+    #[inline]
+    pub fn route(&self, src: u32, dst: u32) -> Route {
+        self.route_between_nodes(self.node_of(src), self.node_of(dst))
+    }
+
+    /// The route between two nodes.
+    pub fn route_between_nodes(&self, a: u32, b: u32) -> Route {
+        if a == b {
+            return Route::LOCAL;
+        }
+        let g = &self.graph;
+        let (la, lb) = (g.leaf_of(a), g.leaf_of(b));
+        if la == lb {
+            Route {
+                links: [g.node_up(a), g.node_down(b), LinkId(0), LinkId(0)],
+                len: 2,
+                latency_s: g.hop_latency_s(),
+            }
+        } else {
+            Route {
+                links: [g.node_up(a), g.leaf_up(la), g.leaf_down(lb), g.node_down(b)],
+                len: 4,
+                latency_s: 3.0 * g.hop_latency_s(),
+            }
+        }
+    }
+}
+
+/// Fluid costing of one communication round over a [`LinkGraph`].
+///
+/// `add` deposits a message on its route; [`wire_seconds`](Self::wire_seconds)
+/// then reads off the round's serialization time as the busiest link — every
+/// link drains its queued bytes at full capacity, concurrently. The per-link
+/// busy and byte tallies survive for utilization reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSchedule {
+    busy_s: Vec<f64>,
+    bytes: Vec<u64>,
+    max_latency_s: f64,
+}
+
+impl LinkSchedule {
+    /// An empty schedule over `links` links (see [`LinkGraph::len`]).
+    pub fn new(links: usize) -> LinkSchedule {
+        LinkSchedule {
+            busy_s: vec![0.0; links],
+            bytes: vec![0; links],
+            max_latency_s: 0.0,
+        }
+    }
+
+    /// Deposit one `bytes`-sized message on `route`.
+    pub fn add(&mut self, graph: &LinkGraph, route: &Route, bytes: u64) {
+        for &l in route.links() {
+            self.busy_s[l.index()] += bytes as f64 / graph.capacity_bps(l);
+            self.bytes[l.index()] += bytes;
+        }
+        self.max_latency_s = self.max_latency_s.max(route.latency_s());
+    }
+
+    /// The round's wire time: the busiest link's drain time.
+    pub fn wire_seconds(&self) -> f64 {
+        self.busy_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The longest switch latency any message of the round pays.
+    pub fn max_latency_s(&self) -> f64 {
+        self.max_latency_s
+    }
+
+    /// Per-link busy seconds, indexed by [`LinkId::index`].
+    pub fn busy_s(&self) -> &[f64] {
+        &self.busy_s
+    }
+
+    /// Per-link bytes carried, indexed by [`LinkId::index`].
+    pub fn bytes(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// Clear the schedule for the next round, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.busy_s.fill(0.0);
+        self.bytes.fill(0);
+        self.max_latency_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn table() -> RouteTable {
+        // 4 nodes x 2-node leaves, 2 ranks per node, block placement
+        let g = LinkGraph::build(
+            &Topology::FatTree {
+                nodes_per_leaf: 2,
+                hop_latency_s: 1e-6,
+                taper: 0.5,
+            },
+            4,
+            1e9,
+            1e9,
+        );
+        RouteTable::build(g, vec![0, 0, 1, 1, 2, 2, 3, 3])
+    }
+
+    #[test]
+    fn builds_are_counted() {
+        let before = route_tables_built();
+        let _a = table();
+        let _b = table();
+        assert!(route_tables_built() >= before + 2);
+    }
+
+    #[test]
+    fn same_node_routes_nothing() {
+        let t = table();
+        let r = t.route(0, 1);
+        assert!(r.is_local());
+        assert!(r.links().is_empty());
+        assert_eq!(r.latency_s(), 0.0);
+    }
+
+    #[test]
+    fn same_leaf_skips_the_spine() {
+        let t = table();
+        let r = t.route(0, 2); // node 0 -> node 1, both under leaf 0
+        let g = t.graph();
+        assert_eq!(r.links(), &[g.node_up(0), g.node_down(1)]);
+        assert!((r.latency_s() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_leaf_traverses_four_links_in_order() {
+        let t = table();
+        let r = t.route(1, 7); // node 0 (leaf 0) -> node 3 (leaf 1)
+        let g = t.graph();
+        assert_eq!(
+            r.links(),
+            &[g.node_up(0), g.leaf_up(0), g.leaf_down(1), g.node_down(3)]
+        );
+        assert!((r.latency_s() - 3e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn schedule_finds_the_busiest_link() {
+        let t = table();
+        let g = t.graph();
+        let mut s = LinkSchedule::new(g.len());
+        // two cross-leaf flows out of leaf 0 share its spine uplink
+        // (capacity 0.5 * 2 * 1e9 = 1e9): uplink carries 2000 bytes
+        s.add(g, &t.route(0, 4), 1000);
+        s.add(g, &t.route(2, 6), 1000);
+        let up = g.leaf_up(0).index();
+        assert_eq!(s.bytes()[up], 2000);
+        assert!((s.busy_s()[up] - 2000.0 / 1e9).abs() < 1e-18);
+        assert!((s.wire_seconds() - 2000.0 / 1e9).abs() < 1e-18);
+        assert!((s.max_latency_s() - 3e-6).abs() < 1e-15);
+        s.reset();
+        assert_eq!(s.wire_seconds(), 0.0);
+        assert_eq!(s.bytes()[up], 0);
+    }
+
+    #[test]
+    fn local_messages_cost_no_wire_time() {
+        let t = table();
+        let g = t.graph();
+        let mut s = LinkSchedule::new(g.len());
+        s.add(g, &t.route(0, 1), 1_000_000);
+        assert_eq!(s.wire_seconds(), 0.0);
+        assert_eq!(s.max_latency_s(), 0.0);
+    }
+}

@@ -1,10 +1,13 @@
-//! Network topology: how inter-node distance and global traffic shape
-//! effective latency and bandwidth.
+//! Network topology: the switch hierarchy messages traverse.
 //!
-//! HarborSim keeps topology coarse — the study's effects are transport-stack
-//! effects, not routing effects — but a fat tree's per-hop latency and its
-//! tapered global bandwidth do influence the 256-node scalability curve, so
-//! both are modelled.
+//! `Topology` names the shape (single switch, or a two-level fat tree with
+//! a spine taper); [`crate::link::LinkGraph`] expands it into explicit
+//! capacity-carrying links once the node count is known. Point-to-point
+//! helpers ([`Topology::path_latency_s`], [`Topology::bandwidth_factor`])
+//! stay here for single-message estimates; whole-round costs go through
+//! the link graph.
+
+use harborsim_hw::FabricLayout;
 
 /// A topology model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +57,20 @@ impl Topology {
         }
     }
 
+    /// The topology a cluster's declared [`FabricLayout`] describes.
+    pub fn from_layout(layout: &FabricLayout) -> Topology {
+        match layout.nodes_per_leaf {
+            None => Topology::SingleSwitch {
+                hop_latency_s: layout.hop_latency_s,
+            },
+            Some(nodes_per_leaf) => Topology::FatTree {
+                nodes_per_leaf,
+                hop_latency_s: layout.hop_latency_s,
+                taper: layout.spine_taper,
+            },
+        }
+    }
+
     /// Number of switch traversals between two nodes.
     pub fn hops(&self, node_a: u32, node_b: u32) -> u32 {
         if node_a == node_b {
@@ -98,26 +115,6 @@ impl Topology {
             }
         }
     }
-
-    /// Worst-case bandwidth factor across any pair among the first `nodes`
-    /// nodes — the factor a bulk-synchronous model should apply to global
-    /// exchange phases.
-    pub fn global_bandwidth_factor(&self, nodes: u32) -> f64 {
-        match self {
-            Topology::SingleSwitch { .. } => 1.0,
-            Topology::FatTree {
-                nodes_per_leaf,
-                taper,
-                ..
-            } => {
-                if nodes <= *nodes_per_leaf {
-                    1.0
-                } else {
-                    *taper
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -151,9 +148,14 @@ mod tests {
     }
 
     #[test]
-    fn global_factor_by_job_size() {
-        let t = Topology::mn4_fat_tree();
-        assert_eq!(t.global_bandwidth_factor(32), 1.0, "fits one leaf");
-        assert!((t.global_bandwidth_factor(256) - 0.8).abs() < 1e-12);
+    fn layouts_expand_to_topologies() {
+        assert_eq!(
+            Topology::from_layout(&FabricLayout::single_switch(0.4e-6)),
+            Topology::small_cluster()
+        );
+        assert_eq!(
+            Topology::from_layout(&FabricLayout::fat_tree(48, 0.15e-6, 0.8)),
+            Topology::mn4_fat_tree()
+        );
     }
 }

@@ -9,7 +9,8 @@
 //! ```
 
 use harborsim::hw::{
-    ClusterSpec, CpuArch, CpuModel, InterconnectKind, NodeSpec, SoftwareStack, StorageSpec,
+    ClusterSpec, CpuArch, CpuModel, FabricLayout, InterconnectKind, NodeSpec, SoftwareStack,
+    StorageSpec,
 };
 use harborsim::study::report::fmt_seconds;
 use harborsim::study::scenario::{Execution, Scenario};
@@ -31,6 +32,9 @@ fn my_cluster(fabric: InterconnectKind) -> ClusterSpec {
         node_count: 64,
         node: NodeSpec::dual_socket(cpu, 256),
         interconnect: fabric,
+        // 32-node leaves with a 2:1 oversubscribed spine — a common
+        // mid-range procurement choice
+        fabric_layout: FabricLayout::fat_tree(32, 0.2e-6, 0.5),
         shared_storage: StorageSpec::gpfs(),
         local_storage: Some(StorageSpec::local_scratch()),
         software: SoftwareStack::singularity_only("2.6.0"),

@@ -7,9 +7,22 @@
 
 use harborsim::hw::presets;
 use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
+use harborsim::mpi::mapping::Placement;
 use harborsim::mpi::workload::{factor3, CommPhase, JobProfile, StepProfile};
 use harborsim::mpi::{DesEngine, RankMap};
 use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
+
+fn engines_on(
+    map: RankMap,
+    network: NetworkModel,
+    node: harborsim::hw::NodeSpec,
+) -> (AnalyticEngine, DesEngine) {
+    let config = EngineConfig::default();
+    let a = AnalyticEngine::new(node.clone(), network.clone(), map, config.clone());
+    // the engines share one route table, as a compiled scenario plan does
+    let d = DesEngine::with_routes(node, network, map, config, a.routes().clone());
+    (a, d)
+}
 
 fn engines(
     nodes: u32,
@@ -24,22 +37,26 @@ fn engines(
         path,
         Topology::small_cluster(),
     );
-    let map = RankMap::block(nodes, rpn, 1);
-    let config = EngineConfig::default();
-    (
-        AnalyticEngine {
-            node: cluster.node.clone(),
-            network: network.clone(),
-            map,
-            config: config.clone(),
-        },
-        DesEngine {
-            node: cluster.node,
-            network,
-            map,
-            config,
-        },
-    )
+    engines_on(RankMap::block(nodes, rpn, 1), network, cluster.node)
+}
+
+/// MareNostrum4's tapered fat tree at `nodes` (crossing leaf switches
+/// from 49 nodes up), under either placement.
+fn mn4_engines(nodes: u32, rpn: u32, placement: Placement) -> (AnalyticEngine, DesEngine) {
+    let cluster = presets::marenostrum4();
+    let network = NetworkModel::compose(
+        cluster.interconnect,
+        TransportSelection::Native,
+        DataPath::Host,
+        Topology::mn4_fat_tree(),
+    );
+    let map = RankMap {
+        nodes,
+        ranks_per_node: rpn,
+        threads_per_rank: 1,
+        placement,
+    };
+    engines_on(map, network, cluster.node)
 }
 
 fn ratio(job: &JobProfile, nodes: u32, rpn: u32, path: DataPath) -> f64 {
@@ -122,6 +139,50 @@ fn allreduce_heavy_jobs_agree() {
     );
     let r = ratio(&job, 4, 8, DataPath::Host);
     assert!((0.4..2.5).contains(&r), "allreduce ratio {r}");
+}
+
+#[test]
+fn fat_tree_engines_agree_under_both_placements() {
+    // 64 nodes of a 48-node-per-leaf fat tree: traffic crosses the
+    // tapered spine, under both the production placement and the
+    // locality-blind one. Both engines derive costs from the same route
+    // table, so the band holds and the traffic counters match exactly.
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 5e7,
+            imbalance: 1.01,
+            regions: 2.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 50_000,
+                    repeats: 4,
+                },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 8,
+                },
+            ],
+        },
+        3,
+    );
+    for placement in [Placement::Block, Placement::RoundRobin] {
+        let (a, d) = mn4_engines(64, 4, placement);
+        let ra = a.run(&job, 1);
+        let rd = d.run(&job, 1);
+        let r = rd.elapsed.as_secs_f64() / ra.elapsed.as_secs_f64();
+        assert!(
+            (0.4..2.5).contains(&r),
+            "fat-tree {placement:?} ratio {r} (analytic {}, des {})",
+            ra.elapsed.as_secs_f64(),
+            rd.elapsed.as_secs_f64()
+        );
+        assert_eq!(ra.inter_node_msgs, rd.inter_node_msgs, "{placement:?}");
+        assert_eq!(ra.inter_node_bytes, rd.inter_node_bytes, "{placement:?}");
+        // same routes, same fluid accounting: per-link byte counters agree
+        let bytes =
+            |res: &harborsim::mpi::SimResult| res.links.iter().map(|l| l.bytes).collect::<Vec<_>>();
+        assert_eq!(bytes(&ra), bytes(&rd), "{placement:?}");
+    }
 }
 
 #[test]

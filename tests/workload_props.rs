@@ -136,30 +136,30 @@ fn fallback_never_faster_than_native() {
 
 fn engine(nodes: u32, rpn: u32, path: DataPath, selection: TransportSelection) -> AnalyticEngine {
     let cluster = presets::lenox();
-    AnalyticEngine {
-        node: cluster.node,
-        network: NetworkModel::compose(
+    AnalyticEngine::new(
+        cluster.node,
+        NetworkModel::compose(
             cluster.interconnect,
             selection,
             path,
             Topology::small_cluster(),
         ),
-        map: RankMap::block(nodes, rpn, 1),
-        config: EngineConfig::default(),
-    }
+        RankMap::block(nodes, rpn, 1),
+        EngineConfig::default(),
+    )
 }
 
 fn ib_engine(nodes: u32, selection: TransportSelection) -> AnalyticEngine {
     let cluster = presets::cte_power();
-    AnalyticEngine {
-        node: cluster.node,
-        network: NetworkModel::compose(
+    AnalyticEngine::new(
+        cluster.node,
+        NetworkModel::compose(
             cluster.interconnect,
             selection,
             DataPath::Host,
             Topology::cte_fat_tree(),
         ),
-        map: RankMap::block(nodes, 8, 1),
-        config: EngineConfig::default(),
-    }
+        RankMap::block(nodes, 8, 1),
+        EngineConfig::default(),
+    )
 }
