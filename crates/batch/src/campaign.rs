@@ -65,14 +65,10 @@ impl CampaignReport {
 }
 
 impl Campaign {
-    /// Execute the campaign.
-    pub fn run(&self) -> CampaignReport {
-        self.run_traced(&mut Recorder::off())
-    }
-
     /// Execute the campaign, forwarding deployment spans (per job) and the
-    /// scheduler's queue/backfill/launch spans through `rec`.
-    pub fn run_traced(&self, rec: &mut Recorder) -> CampaignReport {
+    /// scheduler's queue/backfill/launch spans through `rec`. Pass
+    /// [`Recorder::off`] for the untraced path.
+    pub fn run(&self, rec: &mut Recorder) -> CampaignReport {
         assert!(self.jobs > 0);
         let launch = LaunchModel::default();
         let mut scheduler = Scheduler::new(self.cluster.node_count);
@@ -89,7 +85,7 @@ impl Campaign {
                 shifter_udi_cached: warm && self.env.runtime == RuntimeKind::Shifter,
                 docker_layers_cached: warm && self.env.runtime == RuntimeKind::Docker,
             }
-            .run_traced(rec);
+            .run(rec);
             let stage = deploy.makespan.as_secs_f64()
                 + launch.launch_seconds(self.env.runtime, self.nodes_per_job, self.ranks_per_node);
             let runtime = stage + self.solver_seconds;
@@ -105,7 +101,7 @@ impl Campaign {
                 submit: harborsim_des::SimTime::ZERO + SimDuration::from_secs_f64(submit),
             });
         }
-        let res = scheduler.run_traced(rec);
+        let res = scheduler.run(rec);
         let turnaround_s: Vec<f64> = res
             .outcomes
             .iter()
@@ -150,7 +146,7 @@ mod tests {
 
     #[test]
     fn shifter_amortizes_the_gateway() {
-        let rep = campaign(RuntimeKind::Shifter, 4).run();
+        let rep = campaign(RuntimeKind::Shifter, 4).run(&mut Recorder::off());
         assert!(
             rep.staging_s[0] > 3.0 * rep.staging_s[1],
             "first job pays the conversion: {:?}",
@@ -161,8 +157,8 @@ mod tests {
 
     #[test]
     fn singularity_campaign_beats_docker_campaign() {
-        let sing = campaign(RuntimeKind::Singularity, 4).run();
-        let dock = campaign(RuntimeKind::Docker, 4).run();
+        let sing = campaign(RuntimeKind::Singularity, 4).run(&mut Recorder::off());
+        let dock = campaign(RuntimeKind::Docker, 4).run(&mut Recorder::off());
         assert!(
             sing.mean_turnaround_s() < dock.mean_turnaround_s(),
             "singularity {} vs docker {}",
@@ -179,13 +175,13 @@ mod tests {
     fn queue_serializes_when_machine_is_small() {
         // 8 nodes/job x 4 jobs on a 52-node machine: 6 fit side by side, so
         // with simultaneous submission all four run concurrently
-        let rep = campaign(RuntimeKind::Singularity, 4).run();
+        let rep = campaign(RuntimeKind::Singularity, 4).run(&mut Recorder::off());
         let first = rep.turnaround_s[0];
         for t in &rep.turnaround_s {
             assert!((t - first).abs() < 2.0, "{:?}", rep.turnaround_s);
         }
         // 7 jobs exceed the machine (7x8=56 > 52): the last must queue
-        let rep7 = campaign(RuntimeKind::Singularity, 7).run();
+        let rep7 = campaign(RuntimeKind::Singularity, 7).run(&mut Recorder::off());
         let max = rep7.turnaround_s.iter().cloned().fold(0.0, f64::max);
         let min = rep7.turnaround_s.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
@@ -197,7 +193,7 @@ mod tests {
 
     #[test]
     fn utilization_sane() {
-        let rep = campaign(RuntimeKind::BareMetal, 3).run();
+        let rep = campaign(RuntimeKind::BareMetal, 3).run(&mut Recorder::off());
         assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
         assert_eq!(rep.turnaround_s.len(), 3);
     }

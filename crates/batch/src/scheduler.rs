@@ -82,14 +82,10 @@ impl Scheduler {
         self.jobs.push(job);
     }
 
-    /// Run to completion.
-    pub fn run(self) -> ScheduleResult {
-        self.run_traced(&mut Recorder::off())
-    }
-
     /// Run to completion, emitting one wait span (queue or backfill) and
-    /// one launch span per job through `rec`, on track `job.id`.
-    pub fn run_traced(self, rec: &mut Recorder) -> ScheduleResult {
+    /// one launch span per job through `rec`, on track `job.id`. Pass
+    /// [`Recorder::off`] for the untraced path.
+    pub fn run(self, rec: &mut Recorder) -> ScheduleResult {
         let mut eng: Engine<State> = Engine::new();
         let mut state = State {
             total_nodes: self.total_nodes,
@@ -240,7 +236,7 @@ mod tests {
     fn single_job_runs_immediately() {
         let mut s = Scheduler::new(8);
         s.submit(Job::new(1, 4, 100.0, 60.0, 0.0));
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         let o = outcome(&res, 1);
         assert_eq!(o.wait, SimDuration::ZERO);
         assert!((o.end.as_secs_f64() - 60.0).abs() < 1e-9);
@@ -253,7 +249,7 @@ mod tests {
         // two full-machine jobs: strictly sequential
         s.submit(Job::new(1, 4, 100.0, 100.0, 0.0));
         s.submit(Job::new(2, 4, 100.0, 100.0, 0.0));
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!(outcome(&res, 1).start.as_secs_f64().abs() < 1e-9);
         assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
         assert!((res.makespan.as_secs_f64() - 200.0).abs() < 1e-9);
@@ -265,7 +261,7 @@ mod tests {
         s.submit(Job::new(1, 2, 100.0, 100.0, 0.0)); // runs on 2 nodes
         s.submit(Job::new(2, 4, 100.0, 100.0, 0.0)); // head: must wait for all 4
         s.submit(Job::new(3, 2, 50.0, 50.0, 0.0)); // fits the hole and ends before the shadow
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!(
             outcome(&res, 3).start.as_secs_f64().abs() < 1e-9,
             "backfilled"
@@ -282,7 +278,7 @@ mod tests {
         s.submit(Job::new(1, 2, 100.0, 100.0, 0.0));
         s.submit(Job::new(2, 4, 100.0, 100.0, 0.0)); // head, shadow = 100
         s.submit(Job::new(3, 2, 200.0, 200.0, 0.0)); // would delay the head: no backfill
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
         assert!(outcome(&res, 3).start.as_secs_f64() >= 100.0);
     }
@@ -293,7 +289,7 @@ mod tests {
         // estimates 100 but actually finishes at 30
         s.submit(Job::new(1, 4, 100.0, 30.0, 0.0));
         s.submit(Job::new(2, 4, 100.0, 50.0, 0.0));
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!((outcome(&res, 2).start.as_secs_f64() - 30.0).abs() < 1e-9);
     }
 
@@ -302,7 +298,7 @@ mod tests {
         let mut s = Scheduler::new(4);
         s.submit(Job::new(1, 4, 60.0, 60.0, 0.0));
         s.submit(Job::new(2, 2, 60.0, 60.0, 100.0)); // machine idle when it arrives
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
         assert_eq!(outcome(&res, 2).wait, SimDuration::ZERO);
     }
@@ -319,7 +315,7 @@ mod tests {
                 10.0 * i as f64,
             ));
         }
-        let res = s.run();
+        let res = s.run(&mut Recorder::off());
         assert!(res.utilization > 0.0 && res.utilization <= 1.0);
         assert_eq!(res.outcomes.len(), 10);
         // conservation: every job ran for exactly its runtime
@@ -345,7 +341,7 @@ mod tests {
                     (i * 31) as f64 % 200.0,
                 ));
             }
-            s.run()
+            s.run(&mut Recorder::off())
         };
         let a = build();
         let b = build();

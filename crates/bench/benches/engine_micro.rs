@@ -1,5 +1,7 @@
 //! Micro-benchmarks of the simulation substrates: DES event throughput,
-//! fair-share fluid links, RNG streams, and the message-level MPI engine.
+//! fair-share fluid links, RNG streams, the message-level MPI engine, the
+//! work-stealing pool against the fixed-chunk baseline, and the lab's
+//! plan-cache hit path.
 
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use harborsim_des::trace::Recorder;
@@ -211,6 +213,67 @@ fn guard_recorder_overhead(engine: &DesEngine, job: &JobProfile) {
     );
 }
 
+/// Work-stealing vs the fixed-chunk baseline on a skewed workload: item 0
+/// costs ~64x the rest, the shape that strands a fixed chunking's first
+/// worker while its siblings idle. Stealing should never lose, and wins
+/// outright once the skew exceeds one chunk's worth of work.
+fn bench_pool_skew(c: &mut Criterion) {
+    const ITEMS: usize = 256;
+    fn spin(iters: u64) -> u64 {
+        let mut acc = 1u64;
+        for i in 0..iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+    let cost = |i: usize| if i == 0 { 2_000_000 } else { 31_250 };
+    let mut g = c.benchmark_group("par_pool");
+    g.throughput(Throughput::Elements(ITEMS as u64));
+    g.bench_function("skewed_work_stealing", |b| {
+        b.iter(|| {
+            let items: Vec<usize> = (0..ITEMS).collect();
+            black_box(harborsim_par::run(items, |i| spin(cost(i))))
+        });
+    });
+    g.bench_function("skewed_fixed_chunk", |b| {
+        b.iter(|| {
+            let items: Vec<usize> = (0..ITEMS).collect();
+            black_box(harborsim_par::run_chunked(items, |i| spin(cost(i))))
+        });
+    });
+    g.finish();
+}
+
+/// The lab's plan-cache hit path: after one compile, every further
+/// resolve of the same scenario is a fingerprint + LRU lookup, orders of
+/// magnitude under a compile (route table, image build, validation).
+fn bench_plan_cache(c: &mut Criterion) {
+    use harborsim_core::lab::QueryEngine;
+    use harborsim_core::scenario::{Execution, Scenario};
+    let mk = || {
+        Scenario::new(
+            harborsim_hw::presets::lenox(),
+            harborsim_core::workloads::artery_cfd_small(),
+        )
+        .execution(Execution::singularity_self_contained())
+        .nodes(2)
+        .ranks_per_node(14)
+    };
+    let mut g = c.benchmark_group("plan_cache");
+    g.bench_function("hit", |b| {
+        let lab = QueryEngine::new();
+        lab.plan(&mk()).expect("compiles");
+        b.iter(|| black_box(lab.plan(&mk()).expect("hits")));
+    });
+    g.bench_function("miss_compile", |b| {
+        b.iter(|| {
+            let lab = QueryEngine::new();
+            black_box(lab.plan(&mk()).expect("compiles"))
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_des_events,
@@ -218,6 +281,8 @@ criterion_group!(
     bench_rng,
     bench_route_table,
     bench_des_mpi,
-    bench_recorder_modes
+    bench_recorder_modes,
+    bench_pool_skew,
+    bench_plan_cache
 );
 criterion_main!(benches);

@@ -4,10 +4,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::ext_breakdown;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let rows = ext_breakdown::run(1);
+    let lab = QueryEngine::new();
+    let rows = ext_breakdown::run(&lab, 1);
     write_table(&ext_breakdown::table(&rows));
     let violations = ext_breakdown::check_shape(&rows);
     assert!(violations.is_empty(), "breakdown shape: {violations:#?}");
@@ -15,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_breakdown");
     g.sample_size(10);
     g.bench_function("five_way_decomposition", |b| {
-        b.iter(|| black_box(ext_breakdown::run(black_box(1))));
+        b.iter(|| black_box(ext_breakdown::run(&lab, black_box(1))));
     });
     g.finish();
 }

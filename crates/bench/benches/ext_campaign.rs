@@ -4,10 +4,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::ext_campaign;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let rows = ext_campaign::run(&[1, 2]);
+    let lab = QueryEngine::new();
+    let rows = ext_campaign::run(&lab, &[1, 2]);
     write_table(&ext_campaign::table(&rows));
     let violations = ext_campaign::check_shape(&rows);
     assert!(violations.is_empty(), "campaign shape: {violations:#?}");
@@ -15,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_campaign");
     g.sample_size(10);
     g.bench_function("five_technology_campaign", |b| {
-        b.iter(|| black_box(ext_campaign::run(black_box(&[1]))));
+        b.iter(|| black_box(ext_campaign::run(&lab, black_box(&[1]))));
     });
     g.finish();
 }

@@ -3,10 +3,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::ext_weak;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let fig = ext_weak::run(&[1, 2]);
+    let lab = QueryEngine::new();
+    let fig = ext_weak::run(&lab, &[1, 2]);
     write_figure(&fig);
     let violations = ext_weak::check_shape(&fig);
     assert!(violations.is_empty(), "weak-scaling shape: {violations:#?}");
@@ -14,7 +16,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_weak");
     g.sample_size(10);
     g.bench_function("full_sweep", |b| {
-        b.iter(|| black_box(ext_weak::run(black_box(&[1]))));
+        b.iter(|| black_box(ext_weak::run(&lab, black_box(&[1]))));
     });
     g.finish();
 }

@@ -6,10 +6,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig1;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let fig = fig1::run(&[1, 2]);
+    let lab = QueryEngine::new();
+    let fig = fig1::run(&lab, &[1, 2]);
     write_figure(&fig);
     let violations = fig1::check_shape(&fig);
     assert!(violations.is_empty(), "fig1 shape: {violations:#?}");
@@ -17,7 +19,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
     g.bench_function("full_sweep", |b| {
-        b.iter(|| black_box(fig1::run(black_box(&[1]))));
+        b.iter(|| black_box(fig1::run(&lab, black_box(&[1]))));
     });
     g.finish();
 }

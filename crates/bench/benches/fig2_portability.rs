@@ -3,10 +3,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig2;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let fig = fig2::run(&[1, 2]);
+    let lab = QueryEngine::new();
+    let fig = fig2::run(&lab, &[1, 2]);
     write_figure(&fig);
     let violations = fig2::check_shape(&fig);
     assert!(violations.is_empty(), "fig2 shape: {violations:#?}");
@@ -14,7 +16,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     g.bench_function("full_sweep", |b| {
-        b.iter(|| black_box(fig2::run(black_box(&[1]))));
+        b.iter(|| black_box(fig2::run(&lab, black_box(&[1]))));
     });
     g.finish();
 }

@@ -7,12 +7,14 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_figure;
 use harborsim_core::experiments::fig3;
+use harborsim_core::lab::QueryEngine;
 use harborsim_core::scenario::{Execution, Scenario};
 use harborsim_core::workloads;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let fig = fig3::run(&[1, 2]);
+    let lab = QueryEngine::new();
+    let fig = fig3::run(&lab, &[1, 2]);
     write_figure(&fig);
     let violations = fig3::check_shape(&fig);
     assert!(violations.is_empty(), "fig3 shape: {violations:#?}");
@@ -20,7 +22,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("full_sweep", |b| {
-        b.iter(|| black_box(fig3::run(black_box(&[1]))));
+        b.iter(|| black_box(fig3::run(&lab, black_box(&[1]))));
     });
     g.bench_function("single_point_12288_ranks", |b| {
         let sc = Scenario::new(

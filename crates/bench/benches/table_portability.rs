@@ -3,10 +3,12 @@
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion};
 use harborsim_bench::write_table;
 use harborsim_core::experiments::tables;
+use harborsim_core::lab::QueryEngine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let t = tables::portability(&[1, 2]);
+    let lab = QueryEngine::new();
+    let t = tables::portability(&lab, &[1, 2]);
     write_table(&t);
     let violations = tables::check_portability_shape(&t);
     assert!(violations.is_empty(), "portability shape: {violations:#?}");
@@ -14,7 +16,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table_portability");
     g.sample_size(10);
     g.bench_function("full_table", |b| {
-        b.iter(|| black_box(tables::portability(black_box(&[1]))));
+        b.iter(|| black_box(tables::portability(&lab, black_box(&[1]))));
     });
     g.finish();
 }

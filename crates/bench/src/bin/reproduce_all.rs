@@ -27,7 +27,7 @@ use harborsim_core::experiments::{
     ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_oversub, ext_weak, fig1,
     fig2, fig3, tables, validation,
 };
-use harborsim_core::scenario::set_spine_taper_override;
+use harborsim_core::lab::QueryEngine;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -81,8 +81,11 @@ fn main() {
             }
         }
     }
+    // The taper override is plumbed explicitly: one engine, one fallback,
+    // shared by every experiment — so cached plans carry the ablation in
+    // their keys instead of reading process-global state.
+    let lab = QueryEngine::new().spine_taper_fallback(taper);
     if let Some(t) = taper {
-        set_spine_taper_override(Some(t));
         println!("NOTE: spine taper forced to {t} on every fat-tree fabric for this run.\n");
     }
     let seeds = if quick {
@@ -117,31 +120,31 @@ fn main() {
     println!();
 
     println!("== Fig. 1: containerization solutions (Lenox) ==");
-    let f1 = fig1::run(seeds);
+    let f1 = fig1::run(&lab, seeds);
     write_figure(&f1);
     println!("{}", f1.to_ascii(72, 18));
     all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
     summary.push(("fig1", f1.to_json()));
-    trace("fig1", &fig1::traces(seeds[0]));
+    trace("fig1", &fig1::traces(&lab, seeds[0]));
 
     println!("\n== Fig. 2: portability (CTE-POWER) ==");
-    let f2 = fig2::run(seeds);
+    let f2 = fig2::run(&lab, seeds);
     write_figure(&f2);
     println!("{}", f2.to_ascii(72, 18));
     all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
     summary.push(("fig2", f2.to_json()));
-    trace("fig2", &fig2::traces(seeds[0]));
+    trace("fig2", &fig2::traces(&lab, seeds[0]));
 
     println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
-    let f3 = fig3::run(seeds);
+    let f3 = fig3::run(&lab, seeds);
     write_figure(&f3);
     println!("{}", f3.to_ascii(72, 18));
     all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
     summary.push(("fig3", f3.to_json()));
-    trace("fig3", &fig3::traces(seeds[0]));
+    trace("fig3", &fig3::traces(&lab, seeds[0]));
 
     println!("\n== Table: deployment overhead / image size / execution time ==");
-    let td = tables::deployment(seeds);
+    let td = tables::deployment(&lab, seeds);
     write_table(&td);
     println!("{}", td.to_ascii());
     all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
@@ -149,7 +152,7 @@ fn main() {
     trace("table-deployment", &tables::deployment_traces());
 
     println!("\n== Table: portability across three architectures ==");
-    let tp = tables::portability(seeds);
+    let tp = tables::portability(&lab, seeds);
     write_table(&tp);
     println!("{}", tp.to_ascii());
     all_ok &= report_shapes("table-portability", &tables::check_portability_shape(&tp));
@@ -164,7 +167,7 @@ fn main() {
     trace("ext-io", &ext_io::traces());
 
     println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
-    let rows = ext_breakdown::run(seeds[0]);
+    let rows = ext_breakdown::run(&lab, seeds[0]);
     let tb = ext_breakdown::table(&rows);
     write_table(&tb);
     println!("{}", tb.to_ascii());
@@ -173,7 +176,7 @@ fn main() {
     trace("ext-breakdown", &ext_breakdown::traces(&rows));
 
     println!("\n== Extension: campaign turnaround under the batch scheduler ==");
-    let rows = ext_campaign::run(seeds);
+    let rows = ext_campaign::run(&lab, seeds);
     let tc = ext_campaign::table(&rows);
     write_table(&tc);
     println!("{}", tc.to_ascii());
@@ -182,15 +185,15 @@ fn main() {
     trace("ext-campaign", &ext_campaign::traces());
 
     println!("\n== Extension: weak scaling ==");
-    let fw = ext_weak::run(seeds);
+    let fw = ext_weak::run(&lab, seeds);
     write_figure(&fw);
     println!("{}", fw.to_ascii(72, 18));
     all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
     summary.push(("ext_weak", fw.to_json()));
-    trace("ext-weak", &ext_weak::traces(seeds[0]));
+    trace("ext-weak", &ext_weak::traces(&lab, seeds[0]));
 
     println!("\n== Extension: spine oversubscription ==");
-    let study = ext_oversub::run(seeds);
+    let study = ext_oversub::run(&lab, seeds);
     write_figure(&study.fig);
     println!("{}", study.fig.to_ascii(72, 18));
     let tl = ext_oversub::table(&study);
@@ -200,27 +203,27 @@ fn main() {
     summary.push(("ext_oversub", study.fig.to_json()));
 
     println!("\n== Extension: degraded-link robustness ==");
-    let fd = ext_degraded::run(seeds);
+    let fd = ext_degraded::run(&lab, seeds);
     write_figure(&fd);
     println!("{}", fd.to_ascii(72, 18));
     all_ok &= report_shapes("ext-degraded", &ext_degraded::check_shape(&fd));
     summary.push(("ext_degraded", fd.to_json()));
 
     println!("\n== Extension: placement locality on the fat tree ==");
-    let fl = ext_locality::run(seeds);
+    let fl = ext_locality::run(&lab, seeds);
     write_figure(&fl);
     println!("{}", fl.to_ascii(72, 18));
     all_ok &= report_shapes("ext-locality", &ext_locality::check_shape(&fl));
     summary.push(("ext_locality", fl.to_json()));
 
     println!("\n== Engine cross-validation (DES vs analytic) ==");
-    let vrows = validation::run();
+    let vrows = validation::run(&lab);
     let tv = validation::table(&vrows);
     write_table(&tv);
     println!("{}", tv.to_ascii());
     all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
     summary.push(("validation", tv.to_json()));
-    trace("validation", &validation::traces(seeds[0]));
+    trace("validation", &validation::traces(&lab, seeds[0]));
 
     let body: Vec<String> = summary
         .iter()
@@ -230,8 +233,9 @@ fn main() {
     std::fs::write(&summary_path, format!("{{\n{}\n}}\n", body.join(",\n")))
         .expect("write summary");
 
+    println!("\n{}", lab.stats().summary_line());
     println!(
-        "\nDone in {:.1}s. Artifacts in {} (summary.json, per-figure csv/svg/txt).",
+        "Done in {:.1}s. Artifacts in {} (summary.json, per-figure csv/svg/txt).",
         t0.elapsed().as_secs_f64(),
         out_dir().display()
     );

@@ -93,17 +93,13 @@ fn node_ready(_eng: &Engine<Dep>, d: &mut Dep, _node: usize) {
 }
 
 impl DeployPlan {
-    /// Run the deployment and report timings.
-    pub fn run(&self) -> DeploymentReport {
-        self.run_traced(&mut Recorder::off())
-    }
-
     /// Run the deployment, emitting pull / convert / unpack / start spans
     /// through `rec` (one track per node; the Shifter gateway conversion
-    /// on track `nodes`). The report is a *derived view* over the trace:
-    /// per-node ready times are the ends of the `Start` spans, the gateway
-    /// time is the `Convert` span, and the byte totals are trace counters.
-    pub fn run_traced(&self, rec: &mut Recorder) -> DeploymentReport {
+    /// on track `nodes`). Pass [`Recorder::off`] for the untraced path.
+    /// The report is a *derived view* over the trace: per-node ready times
+    /// are the ends of the `Start` spans, the gateway time is the
+    /// `Convert` span, and the byte totals are trace counters.
+    pub fn run(&self, rec: &mut Recorder) -> DeploymentReport {
         let n = self.nodes as usize;
         let format = self.env.runtime.image_format();
         let image_bytes = format.map_or(0, |f| self.image.size_bytes(f));
@@ -324,18 +320,8 @@ impl DeployPlan {
 }
 
 /// Convenience: deployment overhead of `env` for `image` on a cluster-like
-/// storage config, uncached.
+/// storage config, uncached. Pass [`Recorder::off`] for the untraced path.
 pub fn deployment_overhead(
-    nodes: u32,
-    env: ExecutionEnvironment,
-    image: &ImageManifest,
-    shared_storage: &StorageSpec,
-) -> DeploymentReport {
-    deployment_overhead_traced(nodes, env, image, shared_storage, &mut Recorder::off())
-}
-
-/// [`deployment_overhead`] with a caller-supplied recorder.
-pub fn deployment_overhead_traced(
     nodes: u32,
     env: ExecutionEnvironment,
     image: &ImageManifest,
@@ -351,7 +337,7 @@ pub fn deployment_overhead_traced(
         shifter_udi_cached: false,
         docker_layers_cached: false,
     }
-    .run_traced(rec)
+    .run(rec)
 }
 
 #[cfg(test)]
@@ -379,13 +365,19 @@ mod tests {
     fn bare_metal_is_fastest() {
         let img = image();
         let storage = StorageSpec::nfs_small();
-        let bare = deployment_overhead(4, env(RuntimeKind::BareMetal), &img, &storage);
+        let bare = deployment_overhead(
+            4,
+            env(RuntimeKind::BareMetal),
+            &img,
+            &storage,
+            &mut Recorder::off(),
+        );
         for r in [
             RuntimeKind::Docker,
             RuntimeKind::Singularity,
             RuntimeKind::Shifter,
         ] {
-            let rep = deployment_overhead(4, env(r), &img, &storage);
+            let rep = deployment_overhead(4, env(r), &img, &storage, &mut Recorder::off());
             assert!(
                 rep.makespan > bare.makespan,
                 "{r:?} should cost more than bare metal"
@@ -397,8 +389,20 @@ mod tests {
     fn docker_pull_dominates_on_small_cluster() {
         let img = image();
         let storage = StorageSpec::nfs_small();
-        let docker = deployment_overhead(4, env(RuntimeKind::Docker), &img, &storage);
-        let sing = deployment_overhead(4, env(RuntimeKind::Singularity), &img, &storage);
+        let docker = deployment_overhead(
+            4,
+            env(RuntimeKind::Docker),
+            &img,
+            &storage,
+            &mut Recorder::off(),
+        );
+        let sing = deployment_overhead(
+            4,
+            env(RuntimeKind::Singularity),
+            &img,
+            &storage,
+            &mut Recorder::off(),
+        );
         // each Docker node pulls the full compressed image over a shared
         // 117 MB/s uplink; Singularity reads only the working set
         assert!(
@@ -424,7 +428,7 @@ mod tests {
             shifter_udi_cached: false,
             docker_layers_cached: false,
         }
-        .run();
+        .run(&mut Recorder::off());
         let warm = DeployPlan {
             nodes: 4,
             env: env(RuntimeKind::Shifter),
@@ -434,7 +438,7 @@ mod tests {
             shifter_udi_cached: true,
             docker_layers_cached: false,
         }
-        .run();
+        .run(&mut Recorder::off());
         assert!(cold.gateway_seconds > 10.0);
         assert_eq!(warm.gateway_seconds, 0.0);
         assert!(
@@ -450,9 +454,15 @@ mod tests {
         let img = image();
         let storage = StorageSpec::gpfs();
         let t = |nodes: u32| {
-            deployment_overhead(nodes, env(RuntimeKind::Singularity), &img, &storage)
-                .makespan
-                .as_secs_f64()
+            deployment_overhead(
+                nodes,
+                env(RuntimeKind::Singularity),
+                &img,
+                &storage,
+                &mut Recorder::off(),
+            )
+            .makespan
+            .as_secs_f64()
         };
         let small = t(4);
         let large = t(256);
@@ -480,7 +490,7 @@ mod tests {
             shifter_udi_cached: false,
             docker_layers_cached: false,
         }
-        .run();
+        .run(&mut Recorder::off());
         let warm = DeployPlan {
             nodes: 4,
             env: env(RuntimeKind::Docker),
@@ -490,7 +500,7 @@ mod tests {
             shifter_udi_cached: false,
             docker_layers_cached: true,
         }
-        .run();
+        .run(&mut Recorder::off());
         assert_eq!(warm.bytes_pulled, 0);
         assert!(
             warm.makespan.as_secs_f64() < cold.makespan.as_secs_f64() / 5.0,
@@ -503,7 +513,13 @@ mod tests {
     #[test]
     fn report_invariants() {
         let img = image();
-        let rep = deployment_overhead(8, env(RuntimeKind::Singularity), &img, &StorageSpec::gpfs());
+        let rep = deployment_overhead(
+            8,
+            env(RuntimeKind::Singularity),
+            &img,
+            &StorageSpec::gpfs(),
+            &mut Recorder::off(),
+        );
         assert!(rep.first_ready <= rep.makespan);
         // nanosecond rounding of the duration fields vs the f64 mean
         assert!(rep.mean_ready_s <= rep.makespan.as_secs_f64() + 1e-8);

@@ -12,6 +12,7 @@
 //! accounting.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{fmt_seconds, TableData};
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
@@ -56,7 +57,7 @@ impl Breakdown {
 
 /// Decompose the 112×1 configuration under every technology plus the
 /// host-network Docker ablation.
-pub fn run(seed: u64) -> Vec<Breakdown> {
+pub fn run(lab: &QueryEngine, seed: u64) -> Vec<Breakdown> {
     let mut out = Vec::new();
     for env in [
         Execution::bare_metal(),
@@ -64,17 +65,19 @@ pub fn run(seed: u64) -> Vec<Breakdown> {
         Execution::shifter(),
         Execution::docker(),
     ] {
-        let plan = Scenario::new(
-            harborsim_hw::presets::lenox(),
-            workloads::artery_cfd_lenox(),
-        )
-        .execution(env)
-        .nodes(4)
-        .ranks_per_node(28)
-        .compile()
-        .expect("breakdown scenario compiles");
+        let plan = lab
+            .plan(
+                &Scenario::new(
+                    harborsim_hw::presets::lenox(),
+                    workloads::artery_cfd_lenox(),
+                )
+                .execution(env)
+                .nodes(4)
+                .ranks_per_node(28),
+            )
+            .expect("breakdown scenario compiles");
         let mut rec = Recorder::capturing();
-        let outcome = plan.execute_traced(seed, &mut rec);
+        let outcome = plan.execute(seed, &mut rec);
         out.push(Breakdown {
             label: env.label(),
             result: outcome.result,
@@ -194,7 +197,7 @@ mod tests {
 
     #[test]
     fn breakdown_mechanism_holds() {
-        let rows = run(1);
+        let rows = run(&QueryEngine::new(), 1);
         assert_eq!(rows.len(), 5);
         let report = check_shape(&rows);
         assert!(report.is_empty(), "{report:#?}");
@@ -207,7 +210,7 @@ mod tests {
     fn trace_view_agrees_with_engine_result() {
         // the table is read from the trace; the engine result is a roll-up
         // of the same spans — single analytic track, so they agree exactly
-        for b in run(2) {
+        for b in run(&QueryEngine::new(), 2) {
             assert!(!b.trace.is_empty(), "{}", b.label);
             assert_eq!(
                 b.seconds(SpanCategory::Compute),

@@ -9,11 +9,12 @@
 //! an every-job cost.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{fmt_seconds, TableData};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use harborsim_batch::Campaign;
 use harborsim_container::build::{alya_recipe, BuildEngine};
+use harborsim_des::trace::Recorder;
 use harborsim_hw::presets;
 
 /// Jobs in the campaign.
@@ -50,7 +51,7 @@ pub struct CampaignRow {
 
 /// Run the campaign under each technology CTE-POWER offers (plus Docker,
 /// modelled as if it were installed, for contrast).
-pub fn run(seeds: &[u64]) -> Vec<CampaignRow> {
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> Vec<CampaignRow> {
     let cluster = presets::cte_power();
     let image = BuildEngine::self_contained(cluster.node.cpu.clone())
         .build(&alya_recipe())
@@ -71,8 +72,8 @@ pub fn run(seeds: &[u64]) -> Vec<CampaignRow> {
             let mut c = cluster.clone();
             c.software.docker = Some("modelled".into());
             c.software.shifter = Some("modelled".into());
-            mean_elapsed_s(
-                &Scenario::new(c, campaign_case())
+            lab.mean_elapsed_s(
+                Scenario::new(c, campaign_case())
                     .execution(env)
                     .nodes(NODES_PER_JOB)
                     .ranks_per_node(40),
@@ -90,7 +91,7 @@ pub fn run(seeds: &[u64]) -> Vec<CampaignRow> {
             submit_interval_s: 30.0,
             registry_uplink_bps: 117e6,
         }
-        .run();
+        .run(&mut Recorder::off());
         rows.push(CampaignRow {
             label: env.label(),
             first_staging_s: report.staging_s[0],
@@ -117,7 +118,7 @@ pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     ]
     .iter()
     .map(|env| {
-        let mut rec = harborsim_des::trace::Recorder::capturing();
+        let mut rec = Recorder::capturing();
         Campaign {
             cluster: cluster.clone(),
             env: *env,
@@ -129,7 +130,7 @@ pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
             submit_interval_s: 30.0,
             registry_uplink_bps: 117e6,
         }
-        .run_traced(&mut rec);
+        .run(&mut rec);
         (env.label(), rec.take_buffer())
     })
     .collect()
@@ -232,7 +233,7 @@ mod tests {
 
     #[test]
     fn campaign_shape_holds() {
-        let rows = run(&[1]);
+        let rows = run(&QueryEngine::new(), &[1]);
         assert_eq!(rows.len(), 5);
         let report = check_shape(&rows);
         assert!(report.is_empty(), "{report:#?}");

@@ -9,11 +9,10 @@
 //! quarter and tenth capacity.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use harborsim_par::prelude::*;
 
 /// Uplink capacity factors of the sweep, healthy first.
 pub const FACTORS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
@@ -37,11 +36,9 @@ fn scenario(factor: f64) -> Scenario {
 }
 
 /// Regenerate: x = uplink capacity factor, y = slowdown vs healthy.
-pub fn run(seeds: &[u64]) -> FigureData {
-    let times: Vec<(f64, f64)> = FACTORS
-        .par_iter()
-        .map(|&f| (f, mean_elapsed_s(&scenario(f), seeds)))
-        .collect();
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
+    let means = lab.means(FACTORS.iter().map(|&f| scenario(f)), seeds);
+    let times: Vec<(f64, f64)> = FACTORS.iter().copied().zip(means).collect();
     let healthy = times[0].1;
     FigureData {
         id: "ext-degraded".into(),
@@ -102,7 +99,7 @@ mod tests {
 
     #[test]
     fn degraded_link_shape() {
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         let report = check_shape(&fig);
         assert!(report.is_empty(), "{report:#?}");
     }

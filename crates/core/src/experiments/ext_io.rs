@@ -12,6 +12,7 @@ use crate::report::{FigureData, Series};
 use crate::scenario::Execution;
 use harborsim_container::build::{alya_recipe, BuildEngine};
 use harborsim_container::deploy::DeployPlan;
+use harborsim_des::trace::Recorder;
 use harborsim_hw::{presets, StorageSpec};
 use harborsim_par::prelude::*;
 
@@ -39,7 +40,7 @@ pub fn run() -> FigureData {
                     shifter_udi_cached: cached,
                     docker_layers_cached: cached,
                 }
-                .run();
+                .run(&mut Recorder::off());
                 (n as f64, rep.makespan.as_secs_f64())
             })
             .collect()
@@ -126,7 +127,7 @@ pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     cases
         .into_iter()
         .map(|(label, env, storage, cached)| {
-            let mut rec = harborsim_des::trace::Recorder::capturing();
+            let mut rec = Recorder::capturing();
             DeployPlan {
                 nodes: 16,
                 env,
@@ -136,7 +137,7 @@ pub fn traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
                 shifter_udi_cached: cached,
                 docker_layers_cached: cached,
             }
-            .run_traced(&mut rec);
+            .run(&mut rec);
             (label.to_string(), rec.take_buffer())
         })
         .collect()

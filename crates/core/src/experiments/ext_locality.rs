@@ -8,13 +8,12 @@
 //! chain-halo job at up to 64 nodes.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use harborsim_alya::workload::AlyaCase;
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
 use harborsim_mpi::Placement;
-use harborsim_par::prelude::*;
 
 /// Node counts of the sweep.
 pub const NODES: [u32; 3] = [16, 32, 64];
@@ -27,6 +26,11 @@ pub struct ChainHaloCase;
 impl AlyaCase for ChainHaloCase {
     fn name(&self) -> &str {
         "chain-halo-locality"
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        // the profile is rank-independent, so a constant key is exact
+        Some("chain-halo-locality".into())
     }
 
     fn job_profile(&self, _ranks: u32) -> JobProfile {
@@ -54,20 +58,25 @@ fn scenario(placement: Placement, nodes: u32) -> Scenario {
 }
 
 /// Regenerate: x = nodes, y = elapsed seconds, one series per placement.
-pub fn run(seeds: &[u64]) -> FigureData {
-    let series: Vec<Series> = [
+/// Both placements' node sweeps run as one lab batch.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
+    let placements = [
         ("Block", Placement::Block),
         ("Round-robin", Placement::RoundRobin),
-    ]
-    .par_iter()
-    .map(|&(label, placement)| {
-        let points = NODES
-            .par_iter()
-            .map(|&n| (n as f64, mean_elapsed_s(&scenario(placement, n), seeds)))
-            .collect();
-        Series::new(label, points)
-    })
-    .collect();
+    ];
+    let scenarios: Vec<Scenario> = placements
+        .iter()
+        .flat_map(|&(_, p)| NODES.iter().map(move |&n| scenario(p, n)))
+        .collect();
+    let means = lab.means(scenarios, seeds);
+    let series: Vec<Series> = placements
+        .iter()
+        .zip(means.chunks(NODES.len()))
+        .map(|(&(label, _), ts)| {
+            let points = NODES.iter().zip(ts).map(|(&n, &t)| (n as f64, t)).collect();
+            Series::new(label, points)
+        })
+        .collect();
     FigureData {
         id: "ext-locality".into(),
         title: "Rank placement vs halo locality, chain halos (MareNostrum4)".into(),
@@ -110,7 +119,7 @@ mod tests {
 
     #[test]
     fn locality_shape() {
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         assert_eq!(fig.series.len(), 2);
         let report = check_shape(&fig);
         assert!(report.is_empty(), "{report:#?}");

@@ -10,14 +10,13 @@
 //! node uplinks.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series, TableData};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
 use harborsim_alya::workload::AlyaCase;
 use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
 use harborsim_mpi::SimResult;
-use harborsim_par::prelude::*;
 
 /// Spine tapers of the sweep, non-blocking first.
 pub const TAPERS: [f64; 4] = [1.0, 0.8, 0.5, 0.25];
@@ -43,6 +42,11 @@ pub struct TransposeCase;
 impl AlyaCase for TransposeCase {
     fn name(&self) -> &str {
         "global-transpose"
+    }
+
+    fn memo_key(&self) -> Option<String> {
+        // the profile is a pure function of the rank count
+        Some("global-transpose".into())
     }
 
     fn job_profile(&self, ranks: u32) -> JobProfile {
@@ -72,11 +76,9 @@ pub struct OversubStudy {
 }
 
 /// Regenerate the sweep.
-pub fn run(seeds: &[u64]) -> OversubStudy {
-    let times: Vec<(f64, f64)> = TAPERS
-        .par_iter()
-        .map(|&t| (t, mean_elapsed_s(&scenario(t), seeds)))
-        .collect();
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> OversubStudy {
+    let means = lab.means(TAPERS.iter().map(|&t| scenario(t)), seeds);
+    let times: Vec<(f64, f64)> = TAPERS.iter().copied().zip(means).collect();
     let t_full = times[0].1;
     let fig = FigureData {
         id: "ext-oversub".into(),
@@ -88,12 +90,15 @@ pub fn run(seeds: &[u64]) -> OversubStudy {
             times.iter().map(|&(t, s)| (t, s / t_full)).collect(),
         )],
     };
-    let worst = Scenario::new(harborsim_hw::presets::marenostrum4(), TransposeCase)
-        .execution(Execution::bare_metal())
-        .nodes(256)
-        .ranks_per_node(48)
-        .spine_taper(*TAPERS.last().unwrap())
-        .run(seeds[0])
+    let worst = lab
+        .outcome(
+            Scenario::new(harborsim_hw::presets::marenostrum4(), TransposeCase)
+                .execution(Execution::bare_metal())
+                .nodes(256)
+                .ranks_per_node(48)
+                .spine_taper(*TAPERS.last().unwrap()),
+            seeds[0],
+        )
         .result;
     OversubStudy { fig, worst }
 }
@@ -164,7 +169,7 @@ mod tests {
 
     #[test]
     fn oversubscription_shape() {
-        let study = run(&[1]);
+        let study = run(&QueryEngine::new(), &[1]);
         let report = check_shape(&study);
         assert!(report.is_empty(), "{report:#?}");
         let t = table(&study);

@@ -8,11 +8,10 @@
 //! compute. HarborSim sweeps the FSI case at a fixed 1.2M cells/rank.
 
 use crate::experiments::{capture, expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use harborsim_alya::workload::ArteryFsi;
-use harborsim_par::prelude::*;
 
 /// Node counts of the sweep.
 pub const NODES: [u32; 5] = [4, 16, 64, 128, 256];
@@ -33,7 +32,7 @@ fn case_for(ranks: u32) -> ArteryFsi {
 
 /// Capture one trace per transport stack at the 4-node point of the weak
 /// sweep.
-pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     [
         ("Bare-metal", Execution::bare_metal()),
         (
@@ -51,13 +50,15 @@ pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
             .execution(*env)
             .nodes(4)
             .ranks_per_node(48);
-        capture(label, &scenario, seed)
+        capture(lab, label, &scenario, seed)
     })
     .collect()
 }
 
-/// Regenerate: x = nodes, y = weak-scaling efficiency (T₄ / T_n).
-pub fn run(seeds: &[u64]) -> FigureData {
+/// Regenerate: x = nodes, y = weak-scaling efficiency (T₄ / T_n). All
+/// (environment × node-count) points run as one lab batch; each series'
+/// 4-node baseline is its own first point.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
     let envs = [
         ("Bare-metal", Execution::bare_metal()),
         (
@@ -69,22 +70,27 @@ pub fn run(seeds: &[u64]) -> FigureData {
             Execution::singularity_self_contained(),
         ),
     ];
-    let time = |env: Execution, nodes: u32| {
-        mean_elapsed_s(
-            &Scenario::new(harborsim_hw::presets::marenostrum4(), case_for(nodes * 48))
-                .execution(env)
-                .nodes(nodes)
-                .ranks_per_node(48),
-            seeds,
-        )
-    };
+    let scenarios: Vec<Scenario> = envs
+        .iter()
+        .flat_map(|&(_, env)| {
+            NODES.iter().map(move |&n| {
+                Scenario::new(harborsim_hw::presets::marenostrum4(), case_for(n * 48))
+                    .execution(env)
+                    .nodes(n)
+                    .ranks_per_node(48)
+            })
+        })
+        .collect();
+    let means = lab.means(scenarios, seeds);
     let series: Vec<Series> = envs
-        .par_iter()
-        .map(|(label, env)| {
-            let t4 = time(*env, 4);
+        .iter()
+        .zip(means.chunks(NODES.len()))
+        .map(|(&(label, _), ts)| {
+            let t4 = ts[0];
             let points = NODES
-                .par_iter()
-                .map(|&n| (n as f64, t4 / time(*env, n)))
+                .iter()
+                .zip(ts)
+                .map(|(&n, &t)| (n as f64, t4 / t))
                 .collect();
             Series::new(label, points)
         })
@@ -137,7 +143,7 @@ mod tests {
 
     #[test]
     fn weak_scaling_shape() {
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         assert_eq!(fig.series.len(), 3);
         let report = check_shape(&fig);
         assert!(report.is_empty(), "{report:#?}");

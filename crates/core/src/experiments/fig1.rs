@@ -10,11 +10,10 @@
 //! - Docker degrades as the job scales in MPI ranks.
 
 use crate::experiments::{capture, expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use harborsim_par::prelude::*;
 
 /// The paper's five `ranks × threads-per-rank` configurations.
 pub const CONFIGS: [(u32, u32); 5] = [(8, 14), (16, 7), (28, 4), (56, 2), (112, 1)];
@@ -43,26 +42,34 @@ fn scenario(env: Execution, ranks: u32, threads: u32) -> Scenario {
 /// Capture one trace per technology at the pure-MPI 112x1 point — the
 /// configuration where the mechanisms differ most (Docker's bridge spans
 /// are emitted for every inter-node message).
-pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     environments()
         .iter()
-        .map(|(label, env)| capture(label, &scenario(*env, 112, 1), seed))
+        .map(|(label, env)| capture(lab, label, &scenario(*env, 112, 1), seed))
         .collect()
 }
 
-/// Regenerate the figure: x = total MPI ranks, y = elapsed seconds.
-pub fn run(seeds: &[u64]) -> FigureData {
-    let series: Vec<Series> = environments()
-        .par_iter()
-        .map(|(label, env)| {
+/// Regenerate the figure: x = total MPI ranks, y = elapsed seconds. All
+/// 20 (environment × configuration) points run as one lab batch.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
+    let envs = environments();
+    let scenarios: Vec<Scenario> = envs
+        .iter()
+        .flat_map(|(_, env)| {
+            CONFIGS
+                .iter()
+                .map(|&(ranks, threads)| scenario(*env, ranks, threads))
+        })
+        .collect();
+    let means = lab.means(scenarios, seeds);
+    let series: Vec<Series> = envs
+        .iter()
+        .zip(means.chunks(CONFIGS.len()))
+        .map(|((label, _), ys)| {
             let points = CONFIGS
-                .par_iter()
-                .map(|&(ranks, threads)| {
-                    (
-                        ranks as f64,
-                        mean_elapsed_s(&scenario(*env, ranks, threads), seeds),
-                    )
-                })
+                .iter()
+                .zip(ys)
+                .map(|(&(ranks, _), &y)| (ranks as f64, y))
                 .collect();
             Series::new(label, points)
         })
@@ -135,7 +142,7 @@ mod tests {
 
     #[test]
     fn fig1_reproduces_paper_shape() {
-        let fig = run(&[1, 2]);
+        let fig = run(&QueryEngine::new(), &[1, 2]);
         assert_eq!(fig.series.len(), 4);
         for s in &fig.series {
             assert_eq!(s.points.len(), 5, "{}", s.label);
@@ -146,7 +153,7 @@ mod tests {
 
     #[test]
     fn bare_metal_times_are_minutes_scale() {
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         let bare = fig.series_named("Bare-metal").unwrap();
         for &(_, t) in &bare.points {
             assert!(

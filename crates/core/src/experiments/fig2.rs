@@ -11,11 +11,10 @@
 //!   (it falls back to IPoIB) and falls behind, increasingly with scale.
 
 use crate::experiments::{capture, expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use harborsim_par::prelude::*;
 
 /// Node counts of the figure (the paper samples every integer 2..16).
 pub fn node_counts() -> Vec<u32> {
@@ -49,22 +48,28 @@ fn scenario(env: Execution, nodes: u32) -> Scenario {
 
 /// Capture one trace per curve at the 4-node point (the self-contained
 /// image is already on TCP fallback there).
-pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     environments()
         .iter()
-        .map(|(label, env)| capture(label, &scenario(*env, 4), seed))
+        .map(|(label, env)| capture(lab, label, &scenario(*env, 4), seed))
         .collect()
 }
 
-/// Regenerate the figure: x = nodes, y = elapsed seconds.
-pub fn run(seeds: &[u64]) -> FigureData {
-    let series: Vec<Series> = environments()
-        .par_iter()
-        .map(|(label, env)| {
-            let points = node_counts()
-                .par_iter()
-                .map(|&n| (n as f64, mean_elapsed_s(&scenario(*env, n), seeds)))
-                .collect();
+/// Regenerate the figure: x = nodes, y = elapsed seconds. All 45
+/// (environment × node-count) points run as one lab batch.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
+    let envs = environments();
+    let nodes = node_counts();
+    let scenarios: Vec<Scenario> = envs
+        .iter()
+        .flat_map(|(_, env)| nodes.iter().map(|&n| scenario(*env, n)))
+        .collect();
+    let means = lab.means(scenarios, seeds);
+    let series: Vec<Series> = envs
+        .iter()
+        .zip(means.chunks(nodes.len()))
+        .map(|((label, _), ys)| {
+            let points = nodes.iter().zip(ys).map(|(&n, &y)| (n as f64, y)).collect();
             Series::new(label, points)
         })
         .collect();
@@ -152,7 +157,7 @@ mod tests {
 
     #[test]
     fn fig2_reproduces_paper_shape() {
-        let fig = run(&[1, 2]);
+        let fig = run(&QueryEngine::new(), &[1, 2]);
         assert_eq!(fig.series.len(), 3);
         for s in &fig.series {
             assert_eq!(s.points.len(), 15, "{}", s.label);
@@ -164,7 +169,7 @@ mod tests {
     #[test]
     fn two_node_time_matches_paper_scale() {
         // the paper's 2-node point sits near 90 s
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         let t2 = fig.series_named("Bare-metal").unwrap().y_at(2.0).unwrap();
         assert!((40.0..150.0).contains(&t2), "t2={t2}");
     }

@@ -12,11 +12,10 @@
 //!   plateaus at a small fraction of the ideal speedup.
 
 use crate::experiments::{capture, expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
-use harborsim_par::prelude::*;
 
 /// Node counts of the figure.
 pub const NODES: [u32; 7] = [4, 8, 16, 32, 64, 128, 256];
@@ -48,25 +47,32 @@ fn scenario(env: Execution, nodes: u32) -> Scenario {
 
 /// Capture one trace per curve at the 16-node point, where the
 /// self-contained curve has visibly broken away.
-pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     environments()
         .iter()
-        .map(|(label, env)| capture(label, &scenario(*env, 16), seed))
+        .map(|(label, env)| capture(lab, label, &scenario(*env, 16), seed))
         .collect()
 }
 
 /// Regenerate the figure: x = nodes, y = speedup vs 4-node bare metal.
-pub fn run(seeds: &[u64]) -> FigureData {
-    let baseline = mean_elapsed_s(&scenario(Execution::bare_metal(), 4), seeds);
-    let mut series: Vec<Series> = environments()
-        .par_iter()
-        .map(|(label, env)| {
+/// All 21 (environment × node-count) points run as one lab batch; the
+/// 4-node bare-metal baseline is a cache hit from inside that batch.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
+    let envs = environments();
+    let scenarios: Vec<Scenario> = envs
+        .iter()
+        .flat_map(|(_, env)| NODES.iter().map(|&n| scenario(*env, n)))
+        .collect();
+    let means = lab.means(scenarios, seeds);
+    let baseline = lab.mean_elapsed_s(scenario(Execution::bare_metal(), 4), seeds);
+    let mut series: Vec<Series> = envs
+        .iter()
+        .zip(means.chunks(NODES.len()))
+        .map(|((label, _), ts)| {
             let points = NODES
-                .par_iter()
-                .map(|&n| {
-                    let t = mean_elapsed_s(&scenario(*env, n), seeds);
-                    (n as f64, baseline / t)
-                })
+                .iter()
+                .zip(ts)
+                .map(|(&n, &t)| (n as f64, baseline / t))
                 .collect();
             Series::new(label, points)
         })
@@ -146,7 +152,7 @@ mod tests {
 
     #[test]
     fn fig3_reproduces_paper_shape() {
-        let fig = run(&[1, 2]);
+        let fig = run(&QueryEngine::new(), &[1, 2]);
         assert_eq!(fig.series.len(), 4);
         let report = check_shape(&fig);
         assert!(report.is_empty(), "shape violations: {report:#?}");
@@ -154,7 +160,7 @@ mod tests {
 
     #[test]
     fn speedups_start_near_one() {
-        let fig = run(&[1]);
+        let fig = run(&QueryEngine::new(), &[1]);
         for label in ["Bare-metal", "Singularity system-specific"] {
             let s4 = fig.series_named(label).unwrap().y_at(4.0).unwrap();
             assert!((0.9..1.1).contains(&s4), "{label} at 4 nodes: {s4}");

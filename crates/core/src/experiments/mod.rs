@@ -17,10 +17,12 @@
 //! | [`ext_locality`] | extension: block vs round-robin placement against halo locality |
 //! | [`validation`] | engine cross-validation: message-level DES vs closed-form analytic over a configuration matrix |
 //!
-//! Every experiment exposes `run(seeds)` returning structured data and a
-//! `check_shape(&data)` that encodes the paper's qualitative claims; the
-//! integration tests and the reproduction binary both call them. Most also
-//! expose a `traces(..)` provider returning captured
+//! Every experiment exposes `run(lab, seeds)` — routed through one shared
+//! [`QueryEngine`](crate::lab::QueryEngine), so repeated configurations
+//! across experiments and trace captures share cached plans — returning
+//! structured data, and a `check_shape(&data)` that encodes the paper's
+//! qualitative claims; the integration tests and the reproduction binary
+//! both call them. Most also expose a `traces(..)` provider returning captured
 //! [`TraceBuffer`](harborsim_des::trace::TraceBuffer)s for representative
 //! configurations, which `reproduce_all --trace <dir>` exports as
 //! chrome://tracing JSON via [`crate::traceviz`].
@@ -48,13 +50,15 @@ pub(crate) fn expect(report: &mut ShapeReport, cond: bool, msg: String) {
     }
 }
 
-/// Helper for the per-experiment `traces()` providers: compile `scenario`
-/// and capture one seed's full trace under `label`.
+/// Helper for the per-experiment `traces()` providers: resolve `scenario`
+/// through the lab (hitting plans the figure sweeps already compiled) and
+/// capture one seed's full trace under `label`.
 pub(crate) fn capture(
+    lab: &crate::lab::QueryEngine,
     label: &str,
     scenario: &crate::scenario::Scenario,
     seed: u64,
 ) -> (String, harborsim_des::trace::TraceBuffer) {
-    let plan = scenario.compile().expect("trace scenario compiles");
+    let plan = lab.plan(scenario).expect("trace scenario compiles");
     (label.to_string(), plan.capture_trace(seed))
 }

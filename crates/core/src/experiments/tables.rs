@@ -7,19 +7,20 @@
 //! exactly those tables.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::{fmt_bytes, fmt_seconds, TableData};
-use crate::runner::mean_elapsed_s;
 use crate::scenario::{Execution, Scenario};
 use crate::workloads;
 use harborsim_container::build::{alya_recipe, BuildEngine};
 use harborsim_container::containment::check_compat;
-use harborsim_container::deploy::{deployment_overhead, deployment_overhead_traced};
+use harborsim_container::deploy::deployment_overhead;
 use harborsim_container::{Containment, ImageFormat, LaunchModel, RuntimeKind};
+use harborsim_des::trace::Recorder;
 use harborsim_hw::presets;
 use harborsim_net::TransportSelection;
 
 /// §B.1 — deployment overhead, image size and execution time on Lenox.
-pub fn deployment(seeds: &[u64]) -> TableData {
+pub fn deployment(lab: &QueryEngine, seeds: &[u64]) -> TableData {
     let cluster = presets::lenox();
     let mut rows = Vec::new();
     // all four technologies deploy the same self-contained image: build it
@@ -49,12 +50,18 @@ pub fn deployment(seeds: &[u64]) -> TableData {
                 )
             }
         };
-        let dep = deployment_overhead(4, env, &build.manifest, &cluster.shared_storage);
+        let dep = deployment_overhead(
+            4,
+            env,
+            &build.manifest,
+            &cluster.shared_storage,
+            &mut Recorder::off(),
+        );
         // job launch at the pure-MPI 112x1 configuration (per-rank spawns)
         let launch = LaunchModel::default().launch_seconds(env.runtime, 4, 28);
         // execution time at the paper's 28x4 configuration
-        let exec = mean_elapsed_s(
-            &Scenario::new(cluster.clone(), workloads::artery_cfd_lenox())
+        let exec = lab.mean_elapsed_s(
+            Scenario::new(cluster.clone(), workloads::artery_cfd_lenox())
                 .execution(env)
                 .nodes(4)
                 .ranks_per_node(7)
@@ -111,8 +118,8 @@ pub fn deployment_traces() -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     ]
     .iter()
     .map(|env| {
-        let mut rec = harborsim_des::trace::Recorder::capturing();
-        deployment_overhead_traced(4, *env, &image, &cluster.shared_storage, &mut rec);
+        let mut rec = Recorder::capturing();
+        deployment_overhead(4, *env, &image, &cluster.shared_storage, &mut rec);
         (env.runtime.label().to_string(), rec.take_buffer())
     })
     .collect()
@@ -137,7 +144,7 @@ pub fn check_deployment_shape(t: &TableData) -> ShapeReport {
 }
 
 /// §B.2 — the same containerized application across three architectures.
-pub fn portability(seeds: &[u64]) -> TableData {
+pub fn portability(lab: &QueryEngine, seeds: &[u64]) -> TableData {
     let machines = [
         presets::marenostrum4(),
         presets::cte_power(),
@@ -169,13 +176,15 @@ pub fn portability(seeds: &[u64]) -> TableData {
                 TransportSelection::TcpFallback => "TCP fallback",
             };
             let time = match &compat {
-                Ok(()) => fmt_seconds(mean_elapsed_s(
-                    &Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
-                        .execution(env)
-                        .nodes(2)
-                        .ranks_per_node(cluster.node.cores()),
-                    seeds,
-                )),
+                Ok(()) => fmt_seconds(
+                    lab.mean_elapsed_s(
+                        Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+                            .execution(env)
+                            .nodes(2)
+                            .ranks_per_node(cluster.node.cores()),
+                        seeds,
+                    ),
+                ),
                 Err(e) => format!("fails: {e}"),
             };
             rows.push(vec![
@@ -291,7 +300,7 @@ mod tests {
 
     #[test]
     fn deployment_table_shape() {
-        let t = deployment(&[1]);
+        let t = deployment(&QueryEngine::new(), &[1]);
         assert_eq!(t.headers.len(), 7);
         let report = check_deployment_shape(&t);
         assert!(report.is_empty(), "{report:#?}");
@@ -301,7 +310,7 @@ mod tests {
 
     #[test]
     fn portability_table_shape() {
-        let t = portability(&[1]);
+        let t = portability(&QueryEngine::new(), &[1]);
         let report = check_portability_shape(&t);
         assert!(report.is_empty(), "{report:#?}");
     }
@@ -310,9 +319,10 @@ mod tests {
     fn thunderx_is_slowest_architecture() {
         // same case, 2 nodes, system-specific on each machine: the Arm
         // mini-cluster's weak cores lose (as the Mont-Blanc papers report)
+        let lab = QueryEngine::new();
         let t = |cluster: harborsim_hw::ClusterSpec| {
-            mean_elapsed_s(
-                &Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+            lab.mean_elapsed_s(
+                Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
                     .execution(Execution::singularity_system_specific())
                     .nodes(2)
                     .ranks_per_node(cluster.node.cores()),

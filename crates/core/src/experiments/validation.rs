@@ -8,11 +8,11 @@
 //! taking "cross-validated" on faith.
 
 use crate::experiments::{expect, ShapeReport};
+use crate::lab::QueryEngine;
 use crate::report::TableData;
 use crate::scenario::{EngineKind, Execution, Scenario};
 use crate::workloads;
 use harborsim_hw::presets;
-use harborsim_par::prelude::*;
 
 /// One cross-validation point.
 #[derive(Debug, Clone)]
@@ -27,47 +27,31 @@ pub struct ValidationRow {
     pub ratio: f64,
 }
 
-fn point(
-    label: &str,
-    cluster: harborsim_hw::ClusterSpec,
+fn point_scenario(
+    cluster: &harborsim_hw::ClusterSpec,
     env: Execution,
     nodes: u32,
     rpn: u32,
-) -> ValidationRow {
-    let mk = |engine| {
-        let case = workloads::artery_cfd_small();
-        Scenario::new(cluster.clone(), case)
-            .execution(env)
-            .nodes(nodes)
-            .ranks_per_node(rpn)
-            .engine(engine)
-            .run(7)
-            .elapsed
-            .as_secs_f64()
-    };
-    let analytic = mk(EngineKind::Analytic);
-    let des = mk(EngineKind::Des {
-        max_steps_per_kind: 5,
-    });
-    ValidationRow {
-        label: label.to_string(),
-        analytic_s: analytic,
-        des_s: des,
-        ratio: des / analytic,
-    }
+    engine: EngineKind,
+) -> Scenario {
+    Scenario::new(cluster.clone(), workloads::artery_cfd_small())
+        .execution(env)
+        .nodes(nodes)
+        .ranks_per_node(rpn)
+        .engine(engine)
 }
 
 /// Capture the same configuration through both engines: the per-rank DES
 /// trace (compute / protocol / recv-wait spans on `p` tracks) next to the
 /// analytic engine's closed-form phase spans on one track.
-pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     let mk = |label: &str, engine| {
         let scenario = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
             .execution(Execution::bare_metal())
             .nodes(2)
             .ranks_per_node(14)
             .engine(engine);
-        crate::experiments::capture(label, &scenario, seed)
+        crate::experiments::capture(lab, label, &scenario, seed)
     };
     vec![
         mk("analytic (Lenox bare 2x14)", EngineKind::Analytic),
@@ -80,8 +64,11 @@ pub fn traces(seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
     ]
 }
 
-/// Run the validation matrix.
-pub fn run() -> Vec<ValidationRow> {
+/// Run the validation matrix. Each configuration contributes two lab
+/// queries (one per engine — the engine kind is part of the plan key, so
+/// they never collide in the cache) and the whole matrix shards across
+/// the pool as one batch.
+pub fn run(lab: &QueryEngine) -> Vec<ValidationRow> {
     let points: Vec<(&str, harborsim_hw::ClusterSpec, Execution, u32, u32)> = vec![
         (
             "Lenox bare 2x14",
@@ -140,9 +127,31 @@ pub fn run() -> Vec<ValidationRow> {
             96,
         ),
     ];
+    let scenarios: Vec<Scenario> = points
+        .iter()
+        .flat_map(|(_, cluster, env, nodes, rpn)| {
+            [
+                EngineKind::Analytic,
+                EngineKind::Des {
+                    max_steps_per_kind: 5,
+                },
+            ]
+            .map(|engine| point_scenario(cluster, *env, *nodes, *rpn, engine))
+        })
+        .collect();
+    let times = lab.means(scenarios, &[7]);
     points
-        .into_par_iter()
-        .map(|(label, cluster, env, nodes, rpn)| point(label, cluster, env, nodes, rpn))
+        .iter()
+        .zip(times.chunks(2))
+        .map(|((label, ..), pair)| {
+            let (analytic, des) = (pair[0], pair[1]);
+            ValidationRow {
+                label: label.to_string(),
+                analytic_s: analytic,
+                des_s: des,
+                ratio: des / analytic,
+            }
+        })
         .collect()
 }
 
@@ -197,7 +206,7 @@ mod tests {
 
     #[test]
     fn engines_agree_across_the_matrix() {
-        let rows = run();
+        let rows = run(&QueryEngine::new());
         let report = check_shape(&rows);
         assert!(report.is_empty(), "{report:#?}");
     }

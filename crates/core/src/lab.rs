@@ -1,0 +1,662 @@
+//! The lab: a concurrent query engine over scenario plans.
+//!
+//! Every consumer of many scenario executions — the experiments, the
+//! `reproduce_all` binary, [`crate::runner::sweep`] — routes through one
+//! [`QueryEngine`]. A batch of [`Query`]s (scenario × seeds) is resolved
+//! in two concurrent phases:
+//!
+//! 1. **Plan resolution.** Each query's scenario is fingerprinted into a
+//!    canonical [`PlanKey`] and looked up in a [`PlanCache`]: an LRU of
+//!    `Arc<ScenarioPlan>` with *single-flight* deduplication, so N
+//!    concurrent identical queries trigger exactly one compile (and, for
+//!    deployment scenarios, one image build) while the other N−1 block on
+//!    the in-flight slot. Cache activity is exported through the trace
+//!    layer as [`SpanCategory::Cache`] spans plus `plan_cache_*` counters.
+//! 2. **Execution.** The resolved `(plan, seed)` work items are sharded
+//!    across the `harborsim-par` work-stealing pool and results return in
+//!    submission order; per-query trace attribution flows through the
+//!    caller's [`Recorder`].
+//!
+//! Fingerprinting is sound because plans are a pure function of the
+//! scenario builder plus the engine-level taper fallback (see
+//! [`Scenario::compile_with`]): there is no process-global state left to
+//! leak into a compiled plan. Workloads opt into fingerprinting via
+//! [`AlyaCase::memo_key`](harborsim_alya::workload::AlyaCase::memo_key);
+//! a case without one makes its queries *uncacheable* — compiled fresh
+//! every time, never a wrong-plan hit.
+
+use crate::error::HarborError;
+use crate::scenario::{EngineKind, Outcome, Scenario, ScenarioPlan};
+use harborsim_container::runtime::ExecutionEnvironment;
+use harborsim_des::trace::{Recorder, SpanCategory};
+use harborsim_des::{SimDuration, SimTime};
+use harborsim_mpi::Placement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of lab work: a scenario and the seeds to execute it under.
+pub struct Query {
+    /// The scenario (consumed: plans are cached by fingerprint, not by
+    /// scenario identity).
+    pub scenario: Scenario,
+    /// Seeds to execute, in order.
+    pub seeds: Vec<u64>,
+}
+
+impl Query {
+    /// A query over `scenario` for every seed in `seeds`.
+    pub fn new(scenario: Scenario, seeds: &[u64]) -> Query {
+        Query {
+            scenario,
+            seeds: seeds.to_vec(),
+        }
+    }
+}
+
+/// Canonical fingerprint of everything that can change a compiled plan.
+///
+/// Two scenarios with the same key compile to observably identical plans;
+/// two scenarios that differ in any behaviour-affecting knob — cluster,
+/// case, execution environment, shape, engine, deployment, placement,
+/// resolved taper, every degraded-link entry — differ in at least one
+/// field. Floats are fingerprinted as bit patterns; the degraded-link
+/// multiset is sorted (degradation is multiplicative, so order does not
+/// matter to the compiled route table).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    cluster: String,
+    case: String,
+    env: ExecutionEnvironment,
+    nodes: u32,
+    ranks_per_node: u32,
+    threads_per_rank: u32,
+    engine: (u8, u32),
+    deploy: bool,
+    placement: u8,
+    taper_bits: Option<u64>,
+    degraded: Vec<(u32, u64)>,
+}
+
+impl PlanKey {
+    /// Fingerprint `scenario` under an engine-level taper fallback.
+    /// `None` when the workload opted out of memoization (no
+    /// [`memo_key`](harborsim_alya::workload::AlyaCase::memo_key)).
+    pub fn of(scenario: &Scenario, fallback_taper: Option<f64>) -> Option<PlanKey> {
+        let case = scenario.case.memo_key()?;
+        let mut degraded: Vec<(u32, u64)> = scenario
+            .degraded_uplinks
+            .iter()
+            .map(|&(node, factor)| (node, factor.to_bits()))
+            .collect();
+        degraded.sort_unstable();
+        Some(PlanKey {
+            // ClusterSpec is plain data with a total Debug view and no
+            // Hash impl; its debug string covers every field (node model,
+            // interconnect, fabric layout, software, storage).
+            cluster: format!("{:?}", scenario.cluster),
+            case,
+            env: scenario.env,
+            nodes: scenario.nodes,
+            ranks_per_node: scenario.ranks_per_node,
+            threads_per_rank: scenario.threads_per_rank,
+            engine: match scenario.engine {
+                EngineKind::Analytic => (0, 0),
+                EngineKind::Des { max_steps_per_kind } => (1, max_steps_per_kind),
+            },
+            deploy: scenario.deploy,
+            placement: match scenario.placement {
+                Placement::Block => 0,
+                Placement::RoundRobin => 1,
+            },
+            taper_bits: scenario.spine_taper.or(fallback_taper).map(f64::to_bits),
+            degraded,
+        })
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served an already-compiled plan.
+    pub hits: u64,
+    /// Queries that compiled (and inserted) a plan.
+    pub misses: u64,
+    /// Queries that blocked on another query's in-flight compile.
+    pub waits: u64,
+    /// Queries whose workload opted out of fingerprinting (compiled
+    /// fresh, never cached).
+    pub uncached: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// The one-line form `reproduce_all` prints and CI asserts on.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "plan cache: {} hits, {} misses, {} in-flight waits, {} uncacheable ({} plans cached)",
+            self.hits, self.misses, self.waits, self.uncached, self.entries
+        )
+    }
+}
+
+/// How a query's plan was obtained, with the wall-clock cost.
+enum Resolution {
+    Hit,
+    Miss(std::time::Duration),
+    Wait(std::time::Duration),
+    Uncached(std::time::Duration),
+}
+
+enum Slot {
+    Ready(Arc<ScenarioPlan>),
+    InFlight(Arc<Flight>),
+}
+
+/// The rendezvous N−1 duplicate queries block on while the first compiles.
+struct Flight {
+    done: Mutex<Option<Result<Arc<ScenarioPlan>, HarborError>>>,
+    cv: Condvar,
+}
+
+struct CacheInner {
+    map: HashMap<PlanKey, (Slot, u64)>,
+    clock: u64,
+}
+
+/// LRU plan cache with single-flight deduplication. Usually used through
+/// [`QueryEngine`]; standalone only in tests and benches.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+    uncached: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` compiled plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "a zero-capacity cache cannot single-flight");
+        PlanCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            uncached: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolve `key` to a plan, compiling via `compile` on a miss. At most
+    /// one thread compiles any given key at a time; concurrent duplicates
+    /// block until the compile lands and then share its result (compile
+    /// errors included — [`HarborError`] is `Clone` for exactly this).
+    fn resolve(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<ScenarioPlan, HarborError>,
+    ) -> (Result<Arc<ScenarioPlan>, HarborError>, Resolution) {
+        let flight: Arc<Flight>;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            match inner.map.get_mut(&key) {
+                Some((Slot::Ready(plan), last_use)) => {
+                    *last_use = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(Arc::clone(plan)), Resolution::Hit);
+                }
+                Some((Slot::InFlight(f), _)) => {
+                    flight = Arc::clone(f);
+                    // fall through to wait, outside the cache lock
+                }
+                None => {
+                    let f = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inner
+                        .map
+                        .insert(key.clone(), (Slot::InFlight(Arc::clone(&f)), stamp));
+                    drop(inner);
+                    // compile outside the cache lock: other keys keep
+                    // resolving while this one builds
+                    let t0 = Instant::now();
+                    let compiled = compile().map(Arc::new);
+                    let took = t0.elapsed();
+                    let mut inner = self.inner.lock().unwrap();
+                    match &compiled {
+                        Ok(plan) => {
+                            let stamp = inner.clock;
+                            inner
+                                .map
+                                .insert(key, (Slot::Ready(Arc::clone(plan)), stamp));
+                            Self::evict_lru(&mut inner, self.capacity);
+                        }
+                        Err(_) => {
+                            inner.map.remove(&key);
+                        }
+                    }
+                    drop(inner);
+                    *f.done.lock().unwrap() = Some(compiled.clone());
+                    f.cv.notify_all();
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return (compiled, Resolution::Miss(took));
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let mut done = flight.done.lock().unwrap();
+        while done.is_none() {
+            done = flight.cv.wait(done).unwrap();
+        }
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        (done.clone().unwrap(), Resolution::Wait(t0.elapsed()))
+    }
+
+    /// Drop least-recently-used *ready* plans until the cache fits;
+    /// in-flight slots are never evicted (waiters hold their rendezvous).
+    fn evict_lru(inner: &mut CacheInner, capacity: usize) {
+        while inner.map.len() > capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, (slot, _))| matches!(slot, Slot::Ready(_)))
+                .min_by_key(|(_, (_, last_use))| *last_use)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            uncached: self.uncached.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+        }
+    }
+}
+
+/// The concurrent query engine every sweep routes through.
+///
+/// Holds the [`PlanCache`] and the engine-level spine-taper fallback (the
+/// explicit replacement for the old process-global override knob): the
+/// fallback applies to every query compiled here whose scenario did not
+/// pin its own taper, and is part of each [`PlanKey`], so engines with
+/// different fallbacks never share plans through a common cache.
+pub struct QueryEngine {
+    cache: PlanCache,
+    fallback_taper: Option<f64>,
+}
+
+impl Default for QueryEngine {
+    fn default() -> QueryEngine {
+        QueryEngine::new()
+    }
+}
+
+impl QueryEngine {
+    /// An engine with the default plan capacity (256) and no taper
+    /// fallback.
+    pub fn new() -> QueryEngine {
+        QueryEngine::with_capacity(256)
+    }
+
+    /// An engine whose cache holds at most `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> QueryEngine {
+        QueryEngine {
+            cache: PlanCache::new(capacity),
+            fallback_taper: None,
+        }
+    }
+
+    /// Set the engine-level spine-taper fallback (`reproduce_all
+    /// --ablate-taper` / `--oversub`). Scenario-pinned tapers still win;
+    /// see [`Scenario::compile_with`].
+    pub fn spine_taper_fallback(mut self, taper: Option<f64>) -> QueryEngine {
+        if let Some(t) = taper {
+            assert!(
+                t > 0.0 && t <= 1.0,
+                "taper is a fraction of injection bandwidth"
+            );
+        }
+        self.fallback_taper = taper;
+        self
+    }
+
+    /// The configured taper fallback.
+    pub fn taper(&self) -> Option<f64> {
+        self.fallback_taper
+    }
+
+    /// Resolve one scenario to its (possibly shared) compiled plan.
+    ///
+    /// # Errors
+    /// See [`Scenario::compile`].
+    pub fn plan(&self, scenario: &Scenario) -> Result<Arc<ScenarioPlan>, HarborError> {
+        self.resolve(scenario).0
+    }
+
+    fn resolve(&self, scenario: &Scenario) -> (Result<Arc<ScenarioPlan>, HarborError>, Resolution) {
+        match PlanKey::of(scenario, self.fallback_taper) {
+            Some(key) => self
+                .cache
+                .resolve(key, || scenario.compile_with(self.fallback_taper)),
+            None => {
+                self.cache.uncached.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let plan = scenario.compile_with(self.fallback_taper).map(Arc::new);
+                (plan, Resolution::Uncached(t0.elapsed()))
+            }
+        }
+    }
+
+    /// Run a batch of queries: plans resolve concurrently through the
+    /// cache, then every `(plan, seed)` item is sharded across the
+    /// work-stealing pool. Results come back in submission order, one
+    /// `Vec<Outcome>` (seed order) per query; a query whose scenario
+    /// fails to compile yields its error without sinking the batch.
+    ///
+    /// All trace attribution flows through `rec`: cache activity as
+    /// [`SpanCategory::Cache`] spans and `plan_cache_*` counters, then
+    /// each execution recorded into a [`Recorder::like`] sibling and
+    /// merged back in submission order — so an aggregating `rec` sees
+    /// every run and an off `rec` costs nothing.
+    pub fn run_batch(
+        &self,
+        queries: Vec<Query>,
+        rec: &mut Recorder,
+    ) -> Vec<Result<Vec<Outcome>, HarborError>> {
+        // Phase 1 — resolve every query's plan concurrently. Duplicate
+        // fingerprints collapse onto one compile via the single-flight
+        // cache; distinct ones compile in parallel.
+        let resolved = harborsim_par::run(queries, |q| {
+            let (plan, how) = self.resolve(&q.scenario);
+            (plan, how, q.seeds)
+        });
+        for (_, how, _) in &resolved {
+            let (name, dur) = match how {
+                Resolution::Hit => ("plan-cache-hit", std::time::Duration::ZERO),
+                Resolution::Miss(d) => ("plan-compile", *d),
+                Resolution::Wait(d) => ("plan-cache-wait", *d),
+                Resolution::Uncached(d) => ("plan-compile-uncached", *d),
+            };
+            let counter = match how {
+                Resolution::Hit => "plan_cache_hits",
+                Resolution::Miss(_) => "plan_cache_misses",
+                Resolution::Wait(_) => "plan_cache_waits",
+                Resolution::Uncached(_) => "plan_uncached",
+            };
+            rec.span(
+                SpanCategory::Cache,
+                name,
+                0,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs_f64(dur.as_secs_f64()),
+            );
+            rec.counter(counter, 1.0);
+        }
+        // Phase 2 — flatten to (query, seed) items and shard. Each item
+        // records into its own sibling recorder; merging back in item
+        // order keeps the roll-up deterministic regardless of stealing.
+        let mut failures: Vec<Option<HarborError>> = Vec::with_capacity(resolved.len());
+        let mut items: Vec<(usize, Arc<ScenarioPlan>, u64)> = Vec::new();
+        for (qi, (plan, _, seeds)) in resolved.into_iter().enumerate() {
+            match plan {
+                Ok(plan) => {
+                    failures.push(None);
+                    items.extend(seeds.iter().map(|&s| (qi, Arc::clone(&plan), s)));
+                }
+                Err(e) => failures.push(Some(e)),
+            }
+        }
+        let template = Recorder::like(rec);
+        let executed = harborsim_par::run(items, |(qi, plan, seed)| {
+            let mut local = template.clone();
+            let outcome = plan.execute(seed, &mut local);
+            (qi, outcome, local)
+        });
+        let mut results: Vec<Result<Vec<Outcome>, HarborError>> = failures
+            .into_iter()
+            .map(|f| match f {
+                Some(e) => Err(e),
+                None => Ok(Vec::new()),
+            })
+            .collect();
+        for (qi, outcome, local) in executed {
+            rec.merge(local);
+            if let Ok(outcomes) = &mut results[qi] {
+                outcomes.push(outcome);
+            }
+        }
+        results
+    }
+
+    /// Mean elapsed seconds of one scenario over `seeds` (untraced).
+    ///
+    /// # Panics
+    /// Panics on configuration errors, like [`Scenario::run`].
+    pub fn mean_elapsed_s(&self, scenario: Scenario, seeds: &[u64]) -> f64 {
+        self.means([scenario], seeds)[0]
+    }
+
+    /// Mean elapsed seconds of many scenarios over the same seeds, in
+    /// input order, executed as one sharded batch (untraced).
+    ///
+    /// # Panics
+    /// Panics on configuration errors, like [`Scenario::run`].
+    pub fn means(&self, scenarios: impl IntoIterator<Item = Scenario>, seeds: &[u64]) -> Vec<f64> {
+        let queries = scenarios
+            .into_iter()
+            .map(|s| Query::new(s, seeds))
+            .collect();
+        self.run_batch(queries, &mut Recorder::off())
+            .into_iter()
+            .map(|r| match r {
+                Ok(outcomes) => {
+                    let n = outcomes.len().max(1) as f64;
+                    outcomes
+                        .iter()
+                        .map(|o| o.elapsed.as_secs_f64())
+                        .sum::<f64>()
+                        / n
+                }
+                Err(e) => panic!("scenario configuration: {e}"),
+            })
+            .collect()
+    }
+
+    /// One cached execution with full attribution (aggregating recorder)
+    /// — the lab-routed equivalent of [`Scenario::run`].
+    ///
+    /// # Panics
+    /// Panics on configuration errors, like [`Scenario::run`].
+    pub fn outcome(&self, scenario: Scenario, seed: u64) -> Outcome {
+        let mut rec = Recorder::aggregating();
+        let mut batch = self.run_batch(vec![Query::new(scenario, &[seed])], &mut rec);
+        match batch.remove(0) {
+            Ok(mut outcomes) => outcomes.remove(0),
+            Err(e) => panic!("scenario configuration: {e}"),
+        }
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Execution;
+    use crate::workloads;
+    use harborsim_hw::presets;
+
+    fn scenario(nodes: u32) -> Scenario {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(nodes)
+            .ranks_per_node(14)
+    }
+
+    #[test]
+    fn batch_matches_direct_execution_in_order() {
+        let lab = QueryEngine::new();
+        let seeds = [3u64, 5];
+        let batch = lab.run_batch(
+            vec![
+                Query::new(scenario(1), &seeds),
+                Query::new(scenario(2), &seeds),
+            ],
+            &mut Recorder::off(),
+        );
+        assert_eq!(batch.len(), 2);
+        for (qi, nodes) in [1u32, 2].iter().enumerate() {
+            let outcomes = batch[qi].as_ref().expect("compiles");
+            assert_eq!(outcomes.len(), seeds.len());
+            for (si, &seed) in seeds.iter().enumerate() {
+                let direct = scenario(*nodes).run(seed);
+                assert_eq!(
+                    outcomes[si].elapsed, direct.elapsed,
+                    "query {qi} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_queries_share_one_plan() {
+        let lab = QueryEngine::new();
+        let before = crate::scenario::plans_compiled();
+        let queries = (0..8).map(|_| Query::new(scenario(2), &[1, 2])).collect();
+        let results = lab.run_batch(queries, &mut Recorder::off());
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(
+            crate::scenario::plans_compiled() - before,
+            1,
+            "8 identical queries must share one compile"
+        );
+        let stats = lab.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.waits, 7);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_shared_not_cached() {
+        let lab = QueryEngine::new();
+        let bad = || scenario(9); // lenox has 8 nodes
+        let results = lab.run_batch(
+            vec![Query::new(bad(), &[1]), Query::new(bad(), &[1])],
+            &mut Recorder::off(),
+        );
+        for r in &results {
+            assert!(matches!(r, Err(HarborError::Placement(_))), "{r:?}");
+        }
+        // the failed key is not resident: a later resolve retries
+        assert_eq!(lab.stats().entries, 0);
+        assert!(lab.plan(&bad()).is_err());
+    }
+
+    #[test]
+    fn cache_counters_flow_into_the_trace_rollup() {
+        let lab = QueryEngine::new();
+        let mut rec = Recorder::aggregating();
+        let queries = (0..3).map(|_| Query::new(scenario(1), &[7])).collect();
+        lab.run_batch(queries, &mut rec);
+        let ru = rec.rollup();
+        assert_eq!(ru.counter("plan_cache_misses"), 1.0);
+        assert_eq!(
+            ru.counter("plan_cache_hits") + ru.counter("plan_cache_waits"),
+            2.0
+        );
+        assert_eq!(ru.count(SpanCategory::Cache), 3);
+        // the run itself was attributed through the same recorder
+        assert!(ru.count(SpanCategory::Run) == 3);
+    }
+
+    #[test]
+    fn uncacheable_cases_compile_fresh_every_time() {
+        struct Anon;
+        impl harborsim_alya::workload::AlyaCase for Anon {
+            fn name(&self) -> &str {
+                "anonymous"
+            }
+            fn job_profile(&self, _ranks: u32) -> harborsim_mpi::JobProfile {
+                use harborsim_mpi::{JobProfile, StepProfile};
+                JobProfile::uniform(
+                    StepProfile {
+                        flops_per_rank: 1e7,
+                        imbalance: 1.0,
+                        regions: 1.0,
+                        comm: vec![],
+                    },
+                    3,
+                )
+            }
+        }
+        let lab = QueryEngine::new();
+        let mk = || {
+            Scenario::new(presets::lenox(), Anon)
+                .nodes(1)
+                .ranks_per_node(4)
+        };
+        let before = crate::scenario::plans_compiled();
+        lab.run_batch(
+            vec![Query::new(mk(), &[1]), Query::new(mk(), &[1])],
+            &mut Recorder::off(),
+        );
+        assert_eq!(crate::scenario::plans_compiled() - before, 2);
+        let stats = lab.stats();
+        assert_eq!(stats.uncached, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_plan() {
+        let lab = QueryEngine::with_capacity(2);
+        for nodes in [1u32, 2, 4] {
+            lab.plan(&scenario(nodes)).unwrap();
+        }
+        assert_eq!(lab.stats().entries, 2);
+        // node-1 was coldest; re-resolving it is a miss, node-4 a hit
+        let before = lab.stats();
+        lab.plan(&scenario(4)).unwrap();
+        assert_eq!(lab.stats().hits, before.hits + 1);
+        lab.plan(&scenario(1)).unwrap();
+        assert_eq!(lab.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn taper_fallback_is_part_of_the_key() {
+        let mk = || {
+            Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+                .nodes(2)
+                .ranks_per_node(48)
+        };
+        let plain = PlanKey::of(&mk(), None).unwrap();
+        let ablated = PlanKey::of(&mk(), Some(1.0)).unwrap();
+        assert_ne!(plain, ablated, "fallback must split the key");
+        // a builder-pinned taper absorbs the fallback
+        let pinned_a = PlanKey::of(&mk().spine_taper(0.5), None).unwrap();
+        let pinned_b = PlanKey::of(&mk().spine_taper(0.5), Some(1.0)).unwrap();
+        assert_eq!(pinned_a, pinned_b, "builder taper wins over fallback");
+    }
+}

@@ -9,8 +9,11 @@
 //!   execute many seeds).
 //! - [`error`] — [`HarborError`], the typed study-level error wrapping the
 //!   substrate errors.
+//! - [`lab`] — the concurrent query engine: batched queries fingerprinted
+//!   into a single-flight LRU plan cache and sharded across the
+//!   work-stealing pool. Every sweep routes through it.
 //! - [`runner`] — repetition, averaging, and parallel parameter sweeps,
-//!   built on compile-once plans.
+//!   built on compile-once plans and routed through the lab.
 //! - [`workloads`] — the Alya case presets re-exported for convenience.
 //! - [`experiments`] — one function per figure/table of the paper
 //!   (Fig. 1 containerization, Fig. 2 portability, Fig. 3 scalability,
@@ -24,6 +27,7 @@
 pub mod calibration;
 pub mod error;
 pub mod experiments;
+pub mod lab;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -60,5 +64,6 @@ pub mod workloads {
 }
 
 pub use error::HarborError;
+pub use lab::{CacheStats, PlanCache, PlanKey, Query, QueryEngine};
 pub use report::{FigureData, Series, TableData};
 pub use scenario::{EngineKind, Execution, Outcome, Scenario, ScenarioPlan};

@@ -5,11 +5,14 @@
 //! scenario is compiled into a [`ScenarioPlan`] exactly once, then the
 //! plan executes every seed — validation, job-profile construction and
 //! (for deployment scenarios) the image build are never repeated per
-//! seed. Independent sweep points run in parallel.
+//! seed. Sweeps route through the [`QueryEngine`](crate::lab::QueryEngine),
+//! so identical points dedup to one compile and the (plan, seed) grid
+//! shards across the work-stealing pool.
 
+use crate::lab::QueryEngine;
 use crate::scenario::{Scenario, ScenarioPlan};
 use harborsim_des::stats::Summary;
-use harborsim_par::prelude::*;
+use harborsim_des::trace::Recorder;
 
 /// Default seeds — "five repetitions", as typical for the cluster runs.
 pub fn default_seeds() -> &'static [u64] {
@@ -35,25 +38,37 @@ pub fn summarize_elapsed(scenario: &Scenario, seeds: &[u64]) -> Summary {
 pub fn summarize_plan(plan: &ScenarioPlan, seeds: &[u64]) -> Summary {
     let mut s = Summary::new();
     for &seed in seeds {
-        s.record(plan.execute(seed).elapsed.as_secs_f64());
+        s.record(
+            plan.execute(seed, &mut Recorder::off())
+                .elapsed
+                .as_secs_f64(),
+        );
     }
     s
 }
 
-/// Run a set of independent scenario constructors in parallel and collect
-/// their mean elapsed times, preserving order. Accepts any iterable of
-/// closures — a `Vec`, an array, `iter::map` output — without boxing.
+/// Run a set of independent scenario constructors through a fresh
+/// [`QueryEngine`] and collect their mean elapsed times, preserving
+/// order. Accepts any iterable of closures — a `Vec`, an array,
+/// `iter::map` output — without boxing. Identical points share one
+/// compiled plan; use [`sweep_with`] to also share the cache with other
+/// sweeps.
 pub fn sweep<C, F>(points: C, seeds: &[u64]) -> Vec<f64>
 where
     C: IntoIterator<Item = F>,
     F: Fn() -> Scenario + Send + Sync,
 {
-    points
-        .into_iter()
-        .collect::<Vec<F>>()
-        .into_par_iter()
-        .map(|mk| mean_elapsed_s(&mk(), seeds))
-        .collect()
+    sweep_with(&QueryEngine::new(), points, seeds)
+}
+
+/// [`sweep`] against a caller-owned engine, so consecutive sweeps hit
+/// each other's cached plans.
+pub fn sweep_with<C, F>(lab: &QueryEngine, points: C, seeds: &[u64]) -> Vec<f64>
+where
+    C: IntoIterator<Item = F>,
+    F: Fn() -> Scenario + Send + Sync,
+{
+    lab.means(points.into_iter().map(|mk| mk()), seeds)
 }
 
 #[cfg(test)]
@@ -116,6 +131,23 @@ mod tests {
         let a = mean_elapsed_s(&scenario(), &[9, 8, 7]);
         let b = mean_elapsed_s(&scenario(), &[9, 8, 7]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_matches_one_off_runs() {
+        let direct = mean_elapsed_s(&scenario(), &[5, 6]);
+        let swept = sweep([scenario], &[5, 6]);
+        assert_eq!(swept, vec![direct]);
+    }
+
+    #[test]
+    fn sweep_with_shares_the_cache_across_sweeps() {
+        let lab = QueryEngine::new();
+        let a = sweep_with(&lab, [scenario], &[1]);
+        let b = sweep_with(&lab, [scenario], &[1]);
+        assert_eq!(a, b);
+        let stats = lab.stats();
+        assert!(stats.hits >= 1, "second sweep should hit: {stats:?}");
     }
 
     #[test]

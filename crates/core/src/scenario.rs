@@ -11,7 +11,7 @@
 use crate::error::HarborError;
 use harborsim_alya::memo::job_profile_cached;
 use harborsim_alya::workload::AlyaCase;
-use harborsim_container::deploy::deployment_overhead_traced;
+use harborsim_container::deploy::deployment_overhead;
 use harborsim_container::image::ImageManifest;
 use harborsim_container::{BuildEngine, BuildError, DeploymentReport};
 use harborsim_des::trace::{AttrValue, Recorder, SpanCategory, TraceBuffer};
@@ -51,34 +51,15 @@ pub fn topology_for(cluster: &ClusterSpec) -> Topology {
     Topology::from_layout(&cluster.fabric_layout)
 }
 
-/// Process-wide spine-taper override, stored as `f64` bits with
-/// `u64::MAX` (a NaN pattern no caller can set) meaning "no override".
-static TAPER_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
-
-/// Override the spine taper of every fat-tree scenario compiled after this
-/// call (`None` restores the machines' declared layouts). This is the
-/// process-level knob behind `reproduce_all --ablate-taper` / `--oversub`;
-/// a per-scenario [`Scenario::spine_taper`] still wins over it. Flat
-/// single-switch fabrics have no spine and ignore the override.
-pub fn set_spine_taper_override(taper: Option<f64>) {
-    let bits = match taper {
-        Some(t) => {
-            assert!(
-                t > 0.0 && t <= 1.0,
-                "taper is a fraction of injection bandwidth"
-            );
-            t.to_bits()
-        }
-        None => u64::MAX,
-    };
-    TAPER_OVERRIDE.store(bits, Ordering::Relaxed);
+/// Number of [`ScenarioPlan`]s compiled by this process so far. Plans are
+/// the expensive, cacheable unit of the lab layer; tests assert around
+/// this counter (in the style of `builds_executed`) that a sweep of N
+/// identical queries compiles exactly one plan.
+pub fn plans_compiled() -> u64 {
+    PLANS_COMPILED.load(Ordering::Relaxed)
 }
 
-/// The current process-wide spine-taper override, if any.
-pub fn spine_taper_override() -> Option<f64> {
-    let bits = TAPER_OVERRIDE.load(Ordering::Relaxed);
-    (bits != u64::MAX).then(|| f64::from_bits(bits))
-}
+static PLANS_COMPILED: AtomicU64 = AtomicU64::new(0);
 
 /// What a scenario run produces.
 #[derive(Debug, Clone)]
@@ -111,8 +92,8 @@ pub struct Scenario {
     pub deploy: bool,
     /// Layout of ranks over nodes.
     pub placement: Placement,
-    /// Per-scenario spine-taper override (beats the global
-    /// [`set_spine_taper_override`] knob, which beats the machine's
+    /// Per-scenario spine-taper override (beats any engine-level fallback
+    /// passed to [`Scenario::compile_with`], which beats the machine's
     /// declared layout).
     pub spine_taper: Option<f64>,
     /// Node uplinks to degrade: `(node, factor)` multiplies that node's
@@ -204,13 +185,25 @@ impl Scenario {
         self
     }
 
-    /// The fabric layout after taper overrides are resolved: this
-    /// scenario's [`Scenario::spine_taper`] beats the process-wide
-    /// [`set_spine_taper_override`] knob, which beats the machine's
-    /// declared layout.
+    /// The fabric layout with this scenario's own taper override resolved
+    /// (no engine-level fallback): [`Scenario::fabric_layout_with`] with
+    /// `None`.
     pub fn fabric_layout(&self) -> FabricLayout {
+        self.fabric_layout_with(None)
+    }
+
+    /// The fabric layout after taper overrides are resolved: this
+    /// scenario's [`Scenario::spine_taper`] beats `fallback_taper` (the
+    /// engine-level knob behind `reproduce_all --ablate-taper` /
+    /// `--oversub`), which beats the machine's declared layout. Flat
+    /// single-switch fabrics have no spine and ignore both.
+    pub fn fabric_layout_with(&self, fallback_taper: Option<f64>) -> FabricLayout {
         let mut layout = self.cluster.fabric_layout;
-        if let Some(t) = self.spine_taper.or_else(spine_taper_override) {
+        if let Some(t) = self.spine_taper.or(fallback_taper) {
+            assert!(
+                t > 0.0 && t <= 1.0,
+                "taper is a fraction of injection bandwidth"
+            );
             layout.spine_taper = t;
         }
         layout
@@ -218,9 +211,14 @@ impl Scenario {
 
     /// The composed network model this scenario observes.
     pub fn network_model(&self) -> NetworkModel {
+        self.network_model_with(None)
+    }
+
+    /// The composed network model under an engine-level taper fallback.
+    pub fn network_model_with(&self, fallback_taper: Option<f64>) -> NetworkModel {
         self.env.network_model(
             self.cluster.interconnect,
-            Topology::from_layout(&self.fabric_layout()),
+            Topology::from_layout(&self.fabric_layout_with(fallback_taper)),
         )
     }
 
@@ -234,6 +232,19 @@ impl Scenario {
     /// installed there, [`HarborError::Build`] if deployment was requested
     /// and the image build fails.
     pub fn compile(&self) -> Result<ScenarioPlan, HarborError> {
+        self.compile_with(None)
+    }
+
+    /// [`Scenario::compile`] under an engine-level spine-taper fallback:
+    /// the scenario's own [`Scenario::spine_taper`] wins, the fallback
+    /// applies otherwise, the declared layout last. Plans are a pure
+    /// function of the builder and this argument — there is no process
+    /// state involved, which is what makes lab [`crate::lab::PlanKey`]
+    /// fingerprints sound.
+    ///
+    /// # Errors
+    /// See [`Scenario::compile`].
+    pub fn compile_with(&self, fallback_taper: Option<f64>) -> Result<ScenarioPlan, HarborError> {
         self.cluster
             .validate_placement(self.nodes, self.ranks_per_node, self.threads_per_rank)?;
         if !self.env.runtime.available_on(&self.cluster.software) {
@@ -249,7 +260,7 @@ impl Scenario {
             placement: self.placement,
         };
         let job = job_profile_cached(self.case.as_ref(), map.ranks());
-        let network = self.network_model();
+        let network = self.network_model_with(fallback_taper);
         let config = EngineConfig {
             compute_tax: self.env.runtime.compute_tax(),
             ..EngineConfig::default()
@@ -291,7 +302,7 @@ impl Scenario {
             // capture the deployment spans once at compile time; executes
             // replay them into any enabled recorder
             let mut dep_rec = Recorder::capturing();
-            let report = deployment_overhead_traced(
+            let report = deployment_overhead(
                 self.nodes,
                 self.env,
                 &image,
@@ -325,6 +336,7 @@ impl Scenario {
                 ),
             ),
         ];
+        PLANS_COMPILED.fetch_add(1, Ordering::Relaxed);
         Ok(ScenarioPlan {
             map,
             job,
@@ -336,13 +348,15 @@ impl Scenario {
     }
 
     /// Validate and run; `seed` drives run-to-run jitter. One-shot
-    /// convenience for [`Scenario::compile`] + [`ScenarioPlan::execute`] —
-    /// callers running many seeds should compile once and reuse the plan.
+    /// convenience for [`Scenario::compile`] + [`ScenarioPlan::execute`]
+    /// with an aggregating recorder (so the outcome's breakdowns are
+    /// populated) — callers running many seeds should compile once and
+    /// reuse the plan, or go through [`crate::lab::QueryEngine`].
     ///
     /// # Errors
     /// See [`Scenario::compile`].
     pub fn try_run(&self, seed: u64) -> Result<Outcome, HarborError> {
-        Ok(self.compile()?.execute(seed))
+        Ok(self.compile()?.execute(seed, &mut Recorder::aggregating()))
     }
 
     /// Like [`Scenario::try_run`] but panics on configuration errors.
@@ -371,18 +385,17 @@ pub struct ScenarioPlan {
 }
 
 impl ScenarioPlan {
-    /// Execute one seed. Deterministic: the same plan and seed always
-    /// produce the same [`Outcome`].
-    pub fn execute(&self, seed: u64) -> Outcome {
-        // aggregating, not off: the result's breakdown is a trace roll-up
-        self.execute_traced(seed, &mut Recorder::aggregating())
-    }
-
     /// Execute one seed, emitting the full trace through `rec`: the
     /// deployment spans captured at compile time (if any), the engine's
     /// spans, and a top-level `Run` span carrying the scenario attributes
-    /// and the seed.
-    pub fn execute_traced(&self, seed: u64, rec: &mut Recorder) -> Outcome {
+    /// and the seed. Deterministic: the same plan and seed always produce
+    /// the same [`Outcome`].
+    ///
+    /// The recorder *is* the attribution path: with
+    /// [`Recorder::aggregating`] the outcome's breakdowns are populated,
+    /// with [`Recorder::off`] elapsed time and traffic counters stay
+    /// exact but compute/comm attribution comes out zero.
+    pub fn execute(&self, seed: u64, rec: &mut Recorder) -> Outcome {
         if rec.is_enabled() {
             if let Some(buf) = &self.deployment_trace {
                 rec.absorb(buf);
@@ -411,7 +424,7 @@ impl ScenarioPlan {
     /// the engine's spans plus the top-level run span.
     pub fn capture_trace(&self, seed: u64) -> TraceBuffer {
         let mut rec = Recorder::capturing();
-        self.execute_traced(seed, &mut rec);
+        self.execute(seed, &mut rec);
         rec.take_buffer()
     }
 
@@ -512,7 +525,7 @@ mod tests {
             .ranks_per_node(8);
         let plan = scenario.compile().expect("compiles");
         for seed in [1u64, 7, 42] {
-            let a = plan.execute(seed);
+            let a = plan.execute(seed, &mut Recorder::aggregating());
             let b = scenario.try_run(seed).unwrap();
             assert_eq!(a.elapsed, b.elapsed, "seed {seed}");
             assert_eq!(a.result.compute, b.result.compute);
@@ -603,24 +616,27 @@ mod tests {
     }
 
     #[test]
-    fn scenario_taper_beats_global_override_beats_layout() {
+    fn scenario_taper_beats_fallback_beats_layout() {
         let base = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small());
         let declared = base.fabric_layout().spine_taper;
         assert!((declared - 0.8).abs() < 1e-12, "mn4 declares 0.8");
         let pinned = base.spine_taper(0.25);
         assert!((pinned.fabric_layout().spine_taper - 0.25).abs() < 1e-12);
-        // the per-scenario value survives a global override underneath it,
-        // while a scenario without one picks the override up
-        set_spine_taper_override(Some(0.5));
-        let plain = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small());
-        let seen = (
-            pinned.fabric_layout().spine_taper,
-            plain.fabric_layout().spine_taper,
+        // a builder-pinned value survives an engine-level fallback
+        // underneath it, while a scenario without one picks the fallback up
+        assert!(
+            (pinned.fabric_layout_with(Some(0.5)).spine_taper - 0.25).abs() < 1e-12,
+            "builder beats fallback"
         );
-        set_spine_taper_override(None);
-        assert!((seen.0 - 0.25).abs() < 1e-12, "builder beats override");
-        assert!((seen.1 - 0.5).abs() < 1e-12, "override beats layout");
-        assert_eq!(spine_taper_override(), None);
+        let plain = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small());
+        assert!(
+            (plain.fabric_layout_with(Some(0.5)).spine_taper - 0.5).abs() < 1e-12,
+            "fallback beats layout"
+        );
+        assert!(
+            (plain.fabric_layout_with(None).spine_taper - declared).abs() < 1e-12,
+            "no fallback restores the declared layout"
+        );
     }
 
     #[test]

@@ -63,11 +63,15 @@ pub enum SpanCategory {
     Launch,
     /// Top-level scenario run.
     Run,
+    /// Plan-cache activity in the lab query engine: compiles on a miss,
+    /// zero-length hit markers, and waits on another query's in-flight
+    /// compile.
+    Cache,
 }
 
 impl SpanCategory {
     /// Number of categories (array dimension for [`Rollup`]).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// All categories, in declaration order.
     pub const ALL: [SpanCategory; Self::COUNT] = [
@@ -87,6 +91,7 @@ impl SpanCategory {
         SpanCategory::Backfill,
         SpanCategory::Launch,
         SpanCategory::Run,
+        SpanCategory::Cache,
     ];
 
     /// Dense index, usable into `[T; SpanCategory::COUNT]`.
@@ -114,6 +119,7 @@ impl SpanCategory {
             SpanCategory::Backfill => "backfill",
             SpanCategory::Launch => "launch",
             SpanCategory::Run => "run",
+            SpanCategory::Cache => "cache",
         }
     }
 }

@@ -5,14 +5,24 @@
 //! over slices and vectors, and mutable chunk iteration for the solver
 //! kernels (`par_chunks_mut` + `zip`/`enumerate`/`filter`/`for_each`).
 //!
-//! Work is split into one contiguous batch per available core; every
-//! adapter is eager, so the item list is materialized before the parallel
-//! stage runs. That is a deliberate trade: the workloads here are coarse
-//! (whole scenario executions, whole mesh planes), so batch scheduling
-//! costs nothing measurable and the implementation stays dependency-free
-//! and obviously deterministic in output order.
+//! Execution is a **work-stealing pool**: every worker owns a deque
+//! seeded with a contiguous block of item indices, pops its own work from
+//! the back, and — once drained — steals from the *front* of its
+//! neighbours. Scenario sweeps are skewed (a 256-node plan costs orders
+//! of magnitude more than a 2-node plan), and the old one-fixed-chunk-
+//! per-core split left most cores idle behind whichever chunk drew the
+//! big points; stealing keeps them busy without giving up order: results
+//! carry their index and are reassembled in input order at the end.
+//! Every adapter is eager, so the item list is materialized before the
+//! parallel stage runs; the implementation stays dependency-free and
+//! deterministic in output order. The old fixed-chunk strategy survives
+//! as [`run_chunked`] — the baseline the `engine_micro` bench compares
+//! against.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// Everything call sites need: the three extension traits.
@@ -30,8 +40,84 @@ fn worker_count(items: usize) -> usize {
         .min(items)
 }
 
-/// Apply `f` to every item in parallel, returning results in input order.
+/// Apply `f` to every item in parallel on the work-stealing pool,
+/// returning results in input order.
 pub fn run<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items live in index-addressed slots so a worker holding only a
+    // shared reference can move one out once it has claimed the index.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    // Per-worker deques, block-seeded: worker w starts with a contiguous
+    // index range, so the no-contention fast path preserves the locality
+    // of the old fixed-chunk split.
+    let per = n.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * per..((w + 1) * per).min(n)).collect()))
+        .collect();
+    // Unclaimed-item count: workers exit once every index is claimed,
+    // even while the final items are still executing elsewhere.
+    let unclaimed = AtomicUsize::new(n);
+    let (slots, deques, unclaimed, f) = (&slots, &deques, &unclaimed, &f);
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        // Own deque first (pop back: LIFO keeps the block
+                        // warm), then steal from the front of the others
+                        // (FIFO: take the victim's coldest work).
+                        let idx = deques[w].lock().unwrap().pop_back().or_else(|| {
+                            (1..workers)
+                                .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_front())
+                        });
+                        match idx {
+                            Some(i) => {
+                                unclaimed.fetch_sub(1, Ordering::AcqRel);
+                                let item = slots[i]
+                                    .lock()
+                                    .unwrap()
+                                    .take()
+                                    .expect("index dequeued twice");
+                                done.push((i, f(item)));
+                            }
+                            None if unclaimed.load(Ordering::Acquire) == 0 => break,
+                            // Queues momentarily empty mid-claim: let the
+                            // claimant finish its pop before re-scanning.
+                            None => thread::yield_now(),
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, u) in h.join().expect("parallel worker panicked") {
+                results[i] = Some(u);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|u| u.expect("every index executes exactly once"))
+        .collect()
+}
+
+/// The pre-stealing strategy: split items into one contiguous fixed chunk
+/// per core, one thread per chunk, no load balancing. Kept as the
+/// benchmark baseline for the work-stealing pool (see the `engine_micro`
+/// bench's skewed-workload comparison); sweeps should use [`run`].
+pub fn run_chunked<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
 where
     I: Send,
     U: Send,
@@ -223,6 +309,32 @@ mod tests {
         // interior written
         assert_eq!(a[plane + 3], (plane + 3) as f64);
         assert_eq!(b[plane + 3], -((plane + 3) as f64));
+    }
+
+    #[test]
+    fn skewed_workload_preserves_order() {
+        // One item orders of magnitude heavier than the rest — the shape
+        // that starves a fixed-chunk split. Output order must still be
+        // input order, every item exactly once.
+        let xs: Vec<u64> = (0..257).collect();
+        let ys: Vec<u64> = run(xs, |x| {
+            let spins = if x == 0 { 200_000 } else { 50 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x * 3
+        });
+        assert_eq!(ys, (0..257).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stealing_and_chunked_agree() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let a = run(xs.clone(), |x| x * x + 1);
+        let b = run_chunked(xs, |x| x * x + 1);
+        assert_eq!(a, b);
     }
 
     #[test]

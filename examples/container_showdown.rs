@@ -7,11 +7,12 @@
 //! ```
 
 use harborsim::study::experiments::fig1;
+use harborsim::study::lab::QueryEngine;
 use harborsim::study::report::TableData;
 
 fn main() {
     println!("Reproducing Fig. 1 (artery CFD on Lenox, 112 cores)...\n");
-    let fig = fig1::run(&[1, 2, 3]);
+    let fig = fig1::run(&QueryEngine::new(), &[1, 2, 3]);
 
     // table form
     let mut rows = Vec::new();

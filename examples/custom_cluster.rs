@@ -12,6 +12,7 @@ use harborsim::hw::{
     ClusterSpec, CpuArch, CpuModel, FabricLayout, InterconnectKind, NodeSpec, SoftwareStack,
     StorageSpec,
 };
+use harborsim::study::lab::QueryEngine;
 use harborsim::study::report::fmt_seconds;
 use harborsim::study::scenario::{Execution, Scenario};
 use harborsim::study::workloads;
@@ -42,6 +43,7 @@ fn my_cluster(fabric: InterconnectKind) -> ClusterSpec {
 }
 
 fn main() {
+    let lab = QueryEngine::new();
     let case = workloads::artery_cfd_cte();
     println!(
         "Workload: {} on 16 nodes x 64 ranks\n",
@@ -57,18 +59,16 @@ fn main() {
         InterconnectKind::InfinibandEdr,
         InterconnectKind::OmniPath100,
     ] {
-        // compile each environment's plan once; `execute` is the only
-        // per-seed work
+        // the lab compiles each environment's plan once; the per-seed
+        // execution is the only repeated work
         let run = |env: Execution| {
-            Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
-                .execution(env)
-                .nodes(16)
-                .ranks_per_node(64)
-                .compile()
-                .expect("valid placement")
-                .execute(7)
-                .elapsed
-                .as_secs_f64()
+            lab.mean_elapsed_s(
+                Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
+                    .execution(env)
+                    .nodes(16)
+                    .ranks_per_node(64),
+                &[7],
+            )
         };
         let bare = run(Execution::bare_metal());
         let ss = run(Execution::singularity_system_specific());

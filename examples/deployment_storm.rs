@@ -8,6 +8,7 @@
 
 use harborsim::container::build::{alya_recipe, BuildEngine};
 use harborsim::container::deploy::DeployPlan;
+use harborsim::des::trace::Recorder;
 use harborsim::hw::{presets, StorageSpec};
 use harborsim::study::experiments::ext_io;
 use harborsim::study::scenario::Execution;
@@ -36,7 +37,7 @@ fn main() {
             shifter_udi_cached: cached,
             docker_layers_cached: false,
         }
-        .run();
+        .run(&mut Recorder::off());
         println!(
             "  cached={cached}: makespan {:.1}s (gateway {:.1}s, {} MB pulled)",
             rep.makespan.as_secs_f64(),

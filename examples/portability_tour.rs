@@ -12,6 +12,7 @@ use harborsim::container::containment::check_compat;
 use harborsim::container::Containment;
 use harborsim::hw::presets;
 use harborsim::study::experiments::tables;
+use harborsim::study::lab::QueryEngine;
 use harborsim::study::report::fmt_bytes;
 
 fn main() {
@@ -71,7 +72,7 @@ fn main() {
     }
 
     println!("\n== The full §B.2 table (2-node runs on each machine) ==\n");
-    let t = tables::portability(&[1]);
+    let t = tables::portability(&QueryEngine::new(), &[1]);
     println!("{}", t.to_ascii());
     let report = tables::check_portability_shape(&t);
     assert!(report.is_empty(), "shape violations: {report:#?}");

@@ -6,7 +6,9 @@
 //! ```
 
 use harborsim::container::build::{alya_recipe, BuildEngine};
+use harborsim::des::trace::Recorder;
 use harborsim::hw::presets;
+use harborsim::study::lab::QueryEngine;
 use harborsim::study::report::{fmt_bytes, fmt_seconds};
 use harborsim::study::scenario::{Execution, Scenario};
 use harborsim::study::workloads;
@@ -36,15 +38,19 @@ fn main() {
     );
     println!("Manifest digest: {}", build.manifest.digest().short());
 
-    // 2. compile the scenario once (placement validation, job profile,
-    //    network model, deployment), then execute it under several seeds —
-    //    only the solver run repeats
-    let plan = Scenario::new(cluster, workloads::artery_cfd_small())
-        .execution(Execution::singularity_system_specific())
-        .nodes(2)
-        .ranks_per_node(48)
-        .with_deployment()
-        .compile()
+    // 2. resolve the scenario through the lab: the query engine compiles
+    //    it into a plan exactly once (placement validation, job profile,
+    //    network model, deployment) and caches it by fingerprint — only
+    //    the solver run repeats per seed
+    let lab = QueryEngine::new();
+    let plan = lab
+        .plan(
+            &Scenario::new(cluster, workloads::artery_cfd_small())
+                .execution(Execution::singularity_system_specific())
+                .nodes(2)
+                .ranks_per_node(48)
+                .with_deployment(),
+        )
         .expect("valid scenario");
     println!(
         "\nCompiled plan: {} ranks, engine={}",
@@ -52,9 +58,12 @@ fn main() {
         plan.engine_name()
     );
     for seed in [7, 21] {
-        println!("  seed {seed}: {}", plan.execute(seed).elapsed);
+        println!(
+            "  seed {seed}: {}",
+            plan.execute(seed, &mut Recorder::off()).elapsed
+        );
     }
-    let outcome = plan.execute(42);
+    let outcome = plan.execute(42, &mut Recorder::aggregating());
 
     let dep = outcome.deployment.expect("deployment requested");
     println!(
@@ -74,15 +83,19 @@ fn main() {
     );
 
     // 3. the same job inside a *self-contained* image loses the Omni-Path
-    //    native transport — the paper's whole portability story
-    let portable = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
-        .execution(Execution::singularity_self_contained())
-        .nodes(2)
-        .ranks_per_node(48)
-        .run(42);
+    //    native transport — the paper's whole portability story. Routed
+    //    through the same lab: a new fingerprint, so a second compile.
+    let portable = lab.outcome(
+        Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(2)
+            .ranks_per_node(48),
+        42,
+    );
     println!(
         "\nSame job, self-contained image: {} ({:.2}x slower — IPoFabric instead of PSM2)",
         portable.elapsed,
         portable.elapsed.as_secs_f64() / outcome.elapsed.as_secs_f64()
     );
+    println!("{}", lab.stats().summary_line());
 }

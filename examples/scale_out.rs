@@ -7,10 +7,11 @@
 //! ```
 
 use harborsim::study::experiments::fig3;
+use harborsim::study::lab::QueryEngine;
 
 fn main() {
     println!("Reproducing Fig. 3 (Alya artery FSI on MareNostrum4)...\n");
-    let fig = fig3::run(&[1, 2, 3]);
+    let fig = fig3::run(&QueryEngine::new(), &[1, 2, 3]);
 
     println!(
         "{:>6} {:>12} {:>18} {:>18} {:>8}",

@@ -26,18 +26,23 @@
 //! ## Quickstart
 //!
 //! ```
+//! use harborsim::study::lab::QueryEngine;
 //! use harborsim::study::scenario::{Scenario, Execution};
 //! use harborsim::study::workloads;
 //! use harborsim::hw::presets;
 //!
 //! // Run the artery CFD case inside a Singularity container on a model of
-//! // the MareNostrum4 supercomputer, using 2 nodes x 48 ranks.
+//! // the MareNostrum4 supercomputer, using 2 nodes x 48 ranks. The lab
+//! // compiles the scenario into a plan once (cached by fingerprint) and
+//! // executes every seed across the work-stealing pool.
+//! let lab = QueryEngine::new();
 //! let scenario = Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
 //!     .execution(Execution::singularity_system_specific())
 //!     .nodes(2)
 //!     .ranks_per_node(48);
-//! let outcome = scenario.run(42);
-//! assert!(outcome.elapsed.as_secs_f64() > 0.0);
+//! let mean_s = lab.mean_elapsed_s(scenario, &[42, 43]);
+//! assert!(mean_s > 0.0);
+//! assert_eq!(lab.stats().misses, 1);
 //! ```
 
 pub use harborsim_alya as alya;

@@ -210,6 +210,9 @@ fn run(args: &[String]) {
 
 fn reproduce(which: &str) {
     let seeds = harborsim::study::runner::default_seeds();
+    // one lab for the whole subcommand: figures and tables that revisit a
+    // configuration (e.g. the 2-node portability points) share its plans
+    let lab = harborsim::study::lab::QueryEngine::new();
     let mut failures = Vec::new();
     let want = |name: &str| which == name || which == "all";
     let check = |name: &str, violations: Vec<String>, failures: &mut Vec<String>| {
@@ -223,29 +226,29 @@ fn reproduce(which: &str) {
         }
     };
     if want("fig1") {
-        let f = fig1::run(seeds);
+        let f = fig1::run(&lab, seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig1", fig1::check_shape(&f), &mut failures);
     }
     if want("fig2") {
-        let f = fig2::run(seeds);
+        let f = fig2::run(&lab, seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig2", fig2::check_shape(&f), &mut failures);
     }
     if want("fig3") {
-        let f = fig3::run(seeds);
+        let f = fig3::run(&lab, seeds);
         println!("{}", f.to_ascii(72, 18));
         check("fig3", fig3::check_shape(&f), &mut failures);
     }
     if want("tables") {
-        let d = tables::deployment(seeds);
+        let d = tables::deployment(&lab, seeds);
         println!("{}", d.to_ascii());
         check(
             "table-deployment",
             tables::check_deployment_shape(&d),
             &mut failures,
         );
-        let p = tables::portability(seeds);
+        let p = tables::portability(&lab, seeds);
         println!("{}", p.to_ascii());
         check(
             "table-portability",

@@ -2,6 +2,7 @@
 //! [`ScenarioPlan`] must produce bit-identical results to the one-shot
 //! `try_run` path, for both engines, across seeds and repeated executions.
 
+use harborsim::des::trace::Recorder;
 use harborsim::hw::presets;
 use harborsim::study::scenario::{EngineKind, Execution, Scenario};
 use harborsim::study::workloads;
@@ -26,7 +27,7 @@ fn plan_execution_is_bit_identical_to_try_run() {
         let sc = scenario(engine);
         let plan = sc.compile().expect("compiles");
         for seed in [0u64, 1, 42, 1 << 40, u64::MAX] {
-            let via_plan = plan.execute(seed);
+            let via_plan = plan.execute(seed, &mut Recorder::aggregating());
             let via_run = sc.try_run(seed).expect("runs");
             assert_eq!(
                 via_plan.elapsed.as_secs_f64().to_bits(),
@@ -53,9 +54,19 @@ fn plan_execution_is_bit_identical_to_try_run() {
 #[test]
 fn repeated_plan_executions_do_not_drift() {
     let plan = scenario(EngineKind::Analytic).compile().expect("compiles");
-    let first = plan.execute(9).elapsed.as_secs_f64().to_bits();
+    let first = plan
+        .execute(9, &mut Recorder::off())
+        .elapsed
+        .as_secs_f64()
+        .to_bits();
     for _ in 0..10 {
-        assert_eq!(plan.execute(9).elapsed.as_secs_f64().to_bits(), first);
+        assert_eq!(
+            plan.execute(9, &mut Recorder::off())
+                .elapsed
+                .as_secs_f64()
+                .to_bits(),
+            first
+        );
     }
 }
 
@@ -64,7 +75,7 @@ fn distinct_seeds_still_vary() {
     // determinism must not collapse into seed-independence: the jitter
     // model has to see the seed
     let plan = scenario(EngineKind::Analytic).compile().expect("compiles");
-    let a = plan.execute(1).elapsed.as_secs_f64();
-    let b = plan.execute(2).elapsed.as_secs_f64();
+    let a = plan.execute(1, &mut Recorder::off()).elapsed.as_secs_f64();
+    let b = plan.execute(2, &mut Recorder::off()).elapsed.as_secs_f64();
     assert_ne!(a.to_bits(), b.to_bits());
 }

@@ -6,6 +6,7 @@
 //! counter ([`harborsim::net::route_tables_built`]) sees no unrelated
 //! tables.
 
+use harborsim::des::trace::Recorder;
 use harborsim::hw::presets;
 use harborsim::net::route_tables_built;
 use harborsim::study::runner::{default_seeds, sweep};
@@ -36,7 +37,12 @@ fn one_route_table_per_plan_zero_per_execute() {
             "{engine:?}: compile builds the table exactly once"
         );
         for seed in default_seeds() {
-            assert!(plan.execute(*seed).elapsed.as_secs_f64() > 0.0);
+            assert!(
+                plan.execute(*seed, &mut Recorder::off())
+                    .elapsed
+                    .as_secs_f64()
+                    > 0.0
+            );
         }
         assert_eq!(
             route_tables_built() - before,

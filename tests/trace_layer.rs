@@ -115,7 +115,7 @@ fn comm_breakdown_is_the_trace_rollup() {
     ] {
         let plan = small_plan(engine);
         let mut rec = Recorder::capturing();
-        let outcome = plan.execute_traced(3, &mut rec);
+        let outcome = plan.execute(3, &mut rec);
         // the DES plan truncates nothing at 20 steps/kind, so the recorder
         // roll-up and the result's derived view coincide exactly
         assert_eq!(
@@ -133,9 +133,9 @@ fn comm_breakdown_is_the_trace_rollup() {
 #[test]
 fn recorder_off_preserves_elapsed_and_traffic() {
     let plan = small_plan(EngineKind::Analytic);
-    let on = plan.execute(5);
+    let on = plan.execute(5, &mut Recorder::aggregating());
     let mut off = Recorder::off();
-    let quiet = plan.execute_traced(5, &mut off);
+    let quiet = plan.execute(5, &mut off);
     assert_eq!(on.elapsed, quiet.elapsed);
     assert_eq!(
         on.result.inter_node_msgs + on.result.intra_node_msgs,
@@ -164,7 +164,7 @@ fn deployment_report_is_derived_from_its_trace() {
         docker_layers_cached: false,
     };
     let mut rec = Recorder::capturing();
-    let report = plan.run_traced(&mut rec);
+    let report = plan.run(&mut rec);
     let buf = rec.take_buffer();
     let start_ends: Vec<_> = buf
         .spans()
