@@ -15,10 +15,26 @@
 //! zero-gradient outflow at `z = nz-1`, no-slip at the tube wall (masked
 //! cells read as zero velocity).
 //!
+//! # Kernel structure
+//!
+//! The hot kernels iterate the mesh's precomputed cross-section list
+//! ([`TubeMesh::cross_cells`]) — only fluid cells, with in-plane neighbour
+//! activity read from precomputed bits instead of mask probes, and the `z`
+//! neighbours resolved structurally (the cylinder mask is z-invariant).
+//! Masked cells of every field are **never written**: they are zero from
+//! construction and stay zero, which is exactly what the old
+//! write-zero-every-sweep kernels produced, so the full-array dot products
+//! and axpy updates of the CG solve are untouched and every result is
+//! bit-for-bit identical. The serial path fuses each momentum plane with
+//! the divergence of the plane below it so the tentative field is consumed
+//! while still in cache; the parallel path runs plane-parallel momentum and
+//! a cache-blocked CG matvec through `harborsim-par` (dot products stay
+//! serial, keeping results independent of thread count).
+//!
 //! The solver counts its floating-point work; those counters are the ground
 //! truth behind [`crate::workload`]'s flop constants.
 
-use crate::mesh::TubeMesh;
+use crate::mesh::{TubeMesh, NB_XM, NB_XP, NB_YM, NB_YP};
 use harborsim_par::prelude::*;
 
 /// Flop cost per active interior cell of one momentum evaluation
@@ -31,6 +47,11 @@ pub const FLOPS_DIVERGENCE: f64 = 12.0;
 pub const FLOPS_CG_ITER: f64 = 27.0;
 /// Flop cost per active cell of the velocity correction.
 pub const FLOPS_CORRECTION: f64 = 18.0;
+
+/// Planes per task of the cache-blocked parallel CG matvec: adjacent planes
+/// share their z-neighbour reads, so a small block keeps them resident
+/// while amortizing per-task scheduling cost.
+const LAP_KBLOCK: usize = 4;
 
 /// Solver configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,7 +129,9 @@ pub struct CfdSolver {
     pub stats: SolverStats,
     /// Simulated physical time.
     pub time: f64,
-    // scratch
+    // Scratch fields. Invariant: masked cells of all of these are zero —
+    // kernels only ever write fluid cells, so the zeros from construction
+    // persist (and the wall boundary conditions depend on that).
     us: Vec<f64>,
     vs: Vec<f64>,
     ws: Vec<f64>,
@@ -116,6 +139,53 @@ pub struct CfdSolver {
     cg_r: Vec<f64>,
     cg_d: Vec<f64>,
     cg_ap: Vec<f64>,
+}
+
+/// Tentative-velocity kernel for one interior plane `k`, over the fluid
+/// cross-section only.
+#[allow(clippy::too_many_arguments)]
+fn momentum_plane_kernel(
+    mesh: &TubeMesh,
+    u: &[f64],
+    v: &[f64],
+    w: &[f64],
+    nu: f64,
+    dt: f64,
+    k: usize,
+    us_k: &mut [f64],
+    vs_k: &mut [f64],
+    ws_k: &mut [f64],
+) {
+    let nx = mesh.nx;
+    let plane = nx * mesh.ny;
+    let base = plane * k;
+    for c in mesh.cross_cells() {
+        let o = c.o as usize;
+        let idx = base + o;
+        let nb = c.nb;
+        let (uc, vc, wc) = (u[idx], v[idx], w[idx]);
+        // neighbour fetch with no-slip (0) ghosts at walls; z-neighbours of
+        // an interior-plane fluid cell are always fluid (z-invariant mask)
+        let upd = |f: &[f64]| -> f64 {
+            let cv = f[idx];
+            let xm = if nb & NB_XM != 0 { f[idx - 1] } else { 0.0 };
+            let xp = if nb & NB_XP != 0 { f[idx + 1] } else { 0.0 };
+            let ym = if nb & NB_YM != 0 { f[idx - nx] } else { 0.0 };
+            let yp = if nb & NB_YP != 0 { f[idx + nx] } else { 0.0 };
+            let zm = f[idx - plane];
+            let zp = f[idx + plane];
+            // upwind advection
+            let dfdx = if uc > 0.0 { cv - xm } else { xp - cv };
+            let dfdy = if vc > 0.0 { cv - ym } else { yp - cv };
+            let dfdz = if wc > 0.0 { cv - zm } else { zp - cv };
+            let adv = uc * dfdx + vc * dfdy + wc * dfdz;
+            let lap = xm + xp + ym + yp + zm + zp - 6.0 * cv;
+            cv + dt * (nu * lap - adv)
+        };
+        us_k[o] = upd(u);
+        vs_k[o] = upd(v);
+        ws_k[o] = upd(w);
+    }
 }
 
 impl CfdSolver {
@@ -152,8 +222,7 @@ impl CfdSolver {
     pub fn step(&mut self) {
         self.apply_inflow();
         self.apply_outflow_velocity();
-        self.momentum();
-        self.divergence_rhs();
+        self.tentative_and_rhs();
         let iters = self.pressure_solve();
         self.correct();
         self.stats.steps += 1;
@@ -178,16 +247,13 @@ impl CfdSolver {
     /// Fix the inflow plane (`k = 0`): parabolic axial velocity.
     fn apply_inflow(&mut self) {
         let peak = self.current_inflow_peak();
-        let (nx, ny) = (self.mesh.nx, self.mesh.ny);
-        for j in 0..ny {
-            for i in 0..nx {
-                let idx = self.mesh.idx(i, j, 0);
-                if self.mesh.active_flat(idx) {
-                    self.u[idx] = 0.0;
-                    self.v[idx] = 0.0;
-                    self.w[idx] = peak * self.mesh.inflow_profile(i, j);
-                }
-            }
+        let nx = self.mesh.nx;
+        let (u, v, w) = (&mut self.u, &mut self.v, &mut self.w);
+        for c in self.mesh.cross_cells() {
+            let o = c.o as usize;
+            u[o] = 0.0;
+            v[o] = 0.0;
+            w[o] = peak * self.mesh.inflow_profile(o % nx, o / nx);
         }
     }
 
@@ -203,131 +269,104 @@ impl CfdSolver {
         }
     }
 
-    /// Explicit tentative velocity for interior planes `1..nz-1`.
-    fn momentum(&mut self) {
-        let mesh = &self.mesh;
-        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
-        let plane = nx * ny;
-        let (u, v, w) = (&self.u, &self.v, &self.w);
-        let (nu, dt) = (self.cfg.nu, self.cfg.dt);
-
-        // one output plane at a time; the kernel reads only old fields
-        let kernel = |k: usize, us_k: &mut [f64], vs_k: &mut [f64], ws_k: &mut [f64]| {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let o = i + nx * j;
-                    let idx = o + plane * k;
-                    if !mesh.active_flat(idx) {
-                        us_k[o] = 0.0;
-                        vs_k[o] = 0.0;
-                        ws_k[o] = 0.0;
-                        continue;
-                    }
-                    // neighbour fetch with no-slip (0) ghosts at walls
-                    let get = |f: &[f64], di: isize, dj: isize, dk: isize| -> f64 {
-                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
-                        if mesh.is_active(ii, jj, kk) {
-                            f[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
-                        } else {
-                            0.0
-                        }
-                    };
-                    let (uc, vc, wc) = (u[idx], v[idx], w[idx]);
-                    let upd = |f: &[f64]| -> f64 {
-                        let c = f[idx];
-                        let (xm, xp) = (get(f, -1, 0, 0), get(f, 1, 0, 0));
-                        let (ym, yp) = (get(f, 0, -1, 0), get(f, 0, 1, 0));
-                        let (zm, zp) = (get(f, 0, 0, -1), get(f, 0, 0, 1));
-                        // upwind advection
-                        let dfdx = if uc > 0.0 { c - xm } else { xp - c };
-                        let dfdy = if vc > 0.0 { c - ym } else { yp - c };
-                        let dfdz = if wc > 0.0 { c - zm } else { zp - c };
-                        let adv = uc * dfdx + vc * dfdy + wc * dfdz;
-                        let lap = xm + xp + ym + yp + zm + zp - 6.0 * c;
-                        c + dt * (nu * lap - adv)
-                    };
-                    us_k[o] = upd(u);
-                    vs_k[o] = upd(v);
-                    ws_k[o] = upd(w);
-                }
-            }
-        };
-
-        let us = &mut self.us;
-        let vs = &mut self.vs;
-        let ws = &mut self.ws;
-        let interior = |k: usize| k >= 1 && k < nz - 1;
+    /// Tentative velocity for interior planes `1..nz-1` plus the Poisson
+    /// RHS `div(u*)/dt` for planes `0..nz-1`.
+    ///
+    /// Serial: a fused sweep — each momentum plane is followed immediately
+    /// by the divergence of the plane below it (its last dependency), so
+    /// the freshly written tentative planes are consumed while still hot.
+    /// Parallel: plane-parallel momentum, then the divergence sweep; each
+    /// cell's arithmetic is identical either way, so the two paths agree
+    /// bitwise.
+    fn tentative_and_rhs(&mut self) {
+        let (nz, plane) = (self.mesh.nz, self.mesh.nx * self.mesh.ny);
+        // inlet plane of the tentative field: keep BC values
+        self.us[..plane].copy_from_slice(&self.u[..plane]);
+        self.vs[..plane].copy_from_slice(&self.v[..plane]);
+        self.ws[..plane].copy_from_slice(&self.w[..plane]);
         if self.cfg.parallel {
-            us.par_chunks_mut(plane)
-                .zip(vs.par_chunks_mut(plane))
-                .zip(ws.par_chunks_mut(plane))
+            let mesh = &self.mesh;
+            let (u, v, w) = (&self.u, &self.v, &self.w);
+            let (nu, dt) = (self.cfg.nu, self.cfg.dt);
+            self.us
+                .par_chunks_mut(plane)
+                .zip(self.vs.par_chunks_mut(plane))
+                .zip(self.ws.par_chunks_mut(plane))
                 .enumerate()
-                .filter(|(k, _)| interior(*k))
-                .for_each(|(k, ((us_k, vs_k), ws_k))| kernel(k, us_k, vs_k, ws_k));
-        } else {
-            for k in 1..nz - 1 {
-                let (a, b, c) = (
-                    &mut us[k * plane..(k + 1) * plane],
-                    &mut vs[k * plane..(k + 1) * plane],
-                    &mut ws[k * plane..(k + 1) * plane],
-                );
-                // split borrows via raw slicing is fine: disjoint vectors
-                kernel(k, a, b, c);
+                .filter(|(k, _)| *k >= 1 && *k < nz - 1)
+                .for_each(|(k, ((us_k, vs_k), ws_k))| {
+                    momentum_plane_kernel(mesh, u, v, w, nu, dt, k, us_k, vs_k, ws_k)
+                });
+            self.copy_outflow_tentative();
+            for k in 0..nz - 1 {
+                self.divergence_plane(k);
             }
+        } else {
+            for m in 1..nz - 1 {
+                self.momentum_plane(m);
+                self.divergence_plane(m - 1);
+            }
+            self.copy_outflow_tentative();
+            self.divergence_plane(nz - 2);
         }
-        // boundary planes of the tentative field: keep BC values
-        us[..plane].copy_from_slice(&self.u[..plane]);
-        vs[..plane].copy_from_slice(&self.v[..plane]);
-        ws[..plane].copy_from_slice(&self.w[..plane]);
-        let last = (nz - 1) * plane;
-        let prev = (nz - 2) * plane;
-        let (lo, hi) = us.split_at_mut(last);
+    }
+
+    /// One serial momentum plane.
+    fn momentum_plane(&mut self, k: usize) {
+        let plane = self.mesh.nx * self.mesh.ny;
+        let range = k * plane..(k + 1) * plane;
+        momentum_plane_kernel(
+            &self.mesh,
+            &self.u,
+            &self.v,
+            &self.w,
+            self.cfg.nu,
+            self.cfg.dt,
+            k,
+            &mut self.us[range.clone()],
+            &mut self.vs[range.clone()],
+            &mut self.ws[range],
+        );
+    }
+
+    /// Zero-gradient outflow plane of the tentative field.
+    fn copy_outflow_tentative(&mut self) {
+        let plane = self.mesh.nx * self.mesh.ny;
+        let last = (self.mesh.nz - 1) * plane;
+        let prev = (self.mesh.nz - 2) * plane;
+        let (lo, hi) = self.us.split_at_mut(last);
         hi.copy_from_slice(&lo[prev..prev + plane]);
-        let (lo, hi) = vs.split_at_mut(last);
+        let (lo, hi) = self.vs.split_at_mut(last);
         hi.copy_from_slice(&lo[prev..prev + plane]);
-        let (lo, hi) = ws.split_at_mut(last);
+        let (lo, hi) = self.ws.split_at_mut(last);
         hi.copy_from_slice(&lo[prev..prev + plane]);
     }
 
-    /// RHS of the pressure Poisson equation: `div(u*) / dt` on unknown
-    /// cells (active, `k < nz-1`).
-    fn divergence_rhs(&mut self) {
-        let mesh = &self.mesh;
-        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
-        let plane = nx * ny;
+    /// Poisson RHS on the fluid cells of plane `k < nz-1`. Masked cells and
+    /// the outlet plane keep their zero-from-construction RHS (they are
+    /// not pressure unknowns).
+    fn divergence_plane(&mut self, k: usize) {
+        let nx = self.mesh.nx;
+        let plane = nx * self.mesh.ny;
+        let base = plane * k;
         let dt = self.cfg.dt;
         let (us, vs, ws) = (&self.us, &self.vs, &self.ws);
-        for x in self.rhs.iter_mut() {
-            *x = 0.0;
-        }
-        for k in 0..nz - 1 {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let idx = i + nx * j + plane * k;
-                    if !mesh.active_flat(idx) {
-                        continue;
-                    }
-                    let get = |f: &[f64], di: isize, dj: isize, dk: isize, fallback: f64| {
-                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
-                        if mesh.is_active(ii, jj, kk) {
-                            f[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
-                        } else {
-                            fallback
-                        }
-                    };
-                    // central differences; wall neighbours contribute 0
-                    // velocity, the upstream ghost repeats the inlet value
-                    let dudx = (get(us, 1, 0, 0, 0.0) - get(us, -1, 0, 0, 0.0)) / 2.0;
-                    let dvdy = (get(vs, 0, 1, 0, 0.0) - get(vs, 0, -1, 0, 0.0)) / 2.0;
-                    let wzm = if k == 0 {
-                        ws[idx]
-                    } else {
-                        get(ws, 0, 0, -1, 0.0)
-                    };
-                    let dwdz = (get(ws, 0, 0, 1, 0.0) - wzm) / 2.0;
-                    self.rhs[idx] = (dudx + dvdy + dwdz) / dt;
-                }
-            }
+        let rhs = &mut self.rhs;
+        for c in self.mesh.cross_cells() {
+            let o = c.o as usize;
+            let idx = base + o;
+            let nb = c.nb;
+            // central differences; wall neighbours contribute 0 velocity,
+            // the upstream ghost repeats the inlet value
+            let uxp = if nb & NB_XP != 0 { us[idx + 1] } else { 0.0 };
+            let uxm = if nb & NB_XM != 0 { us[idx - 1] } else { 0.0 };
+            let dudx = (uxp - uxm) / 2.0;
+            let vyp = if nb & NB_YP != 0 { vs[idx + nx] } else { 0.0 };
+            let vym = if nb & NB_YM != 0 { vs[idx - nx] } else { 0.0 };
+            let dvdy = (vyp - vym) / 2.0;
+            let wzm = if k == 0 { ws[idx] } else { ws[idx - plane] };
+            let dwdz = (ws[idx + plane] - wzm) / 2.0;
+            rhs[idx] = (dudx + dvdy + dwdz) / dt;
         }
     }
 
@@ -337,49 +376,61 @@ impl CfdSolver {
         k < self.mesh.nz - 1 && self.mesh.active_flat(self.mesh.idx(i, j, k))
     }
 
-    /// `y = A x` where `A` is the negated mask-aware Laplacian (SPD).
+    /// `y = A x` where `A` is the negated mask-aware Laplacian (SPD), over
+    /// the fluid cells of the unknown planes only. Masked cells and the
+    /// outlet plane of `y` are never written — zero from construction.
     fn apply_laplacian(mesh: &TubeMesh, x: &[f64], y: &mut [f64], parallel: bool) {
         let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
         let plane = nx * ny;
         let kernel = |k: usize, y_k: &mut [f64]| {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let o = i + nx * j;
-                    let idx = o + plane * k;
-                    if !mesh.active_flat(idx) || k == nz - 1 {
-                        y_k[o] = 0.0;
-                        continue;
-                    }
-                    let xc = x[idx];
-                    let mut acc = 0.0;
-                    let mut visit = |di: isize, dj: isize, dk: isize| {
-                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
-                        if mesh.is_active(ii, jj, kk) {
-                            let kk = kk as usize;
-                            if kk == nz - 1 {
-                                // Dirichlet p=0 ghost at the outlet
-                                acc += xc;
-                            } else {
-                                let nidx = (ii as usize) + nx * (jj as usize) + plane * kk;
-                                acc += xc - x[nidx];
-                            }
-                        }
-                        // inactive / out of domain: Neumann, contributes 0
-                    };
-                    visit(-1, 0, 0);
-                    visit(1, 0, 0);
-                    visit(0, -1, 0);
-                    visit(0, 1, 0);
-                    visit(0, 0, -1);
-                    visit(0, 0, 1);
-                    y_k[o] = acc;
+            if k >= nz - 1 {
+                return;
+            }
+            let base = plane * k;
+            let outlet_above = k + 1 == nz - 1;
+            for c in mesh.cross_cells() {
+                let o = c.o as usize;
+                let idx = base + o;
+                let nb = c.nb;
+                let xc = x[idx];
+                let mut acc = 0.0;
+                // same neighbour order as the 7-point stencil sweep:
+                // x−, x+, y−, y+, z−, z+; inactive / out of domain means
+                // Neumann and contributes 0; in-plane unknowns are never
+                // on the outlet plane, so only z+ can hit the Dirichlet
+                // p = 0 ghost
+                if nb & NB_XM != 0 {
+                    acc += xc - x[idx - 1];
                 }
+                if nb & NB_XP != 0 {
+                    acc += xc - x[idx + 1];
+                }
+                if nb & NB_YM != 0 {
+                    acc += xc - x[idx - nx];
+                }
+                if nb & NB_YP != 0 {
+                    acc += xc - x[idx + nx];
+                }
+                if k > 0 {
+                    acc += xc - x[idx - plane];
+                }
+                if outlet_above {
+                    acc += xc;
+                } else {
+                    acc += xc - x[idx + plane];
+                }
+                y_k[o] = acc;
             }
         };
         if parallel {
-            y.par_chunks_mut(plane)
+            // cache-blocked: LAP_KBLOCK adjacent planes per task
+            y.par_chunks_mut(plane * LAP_KBLOCK)
                 .enumerate()
-                .for_each(|(k, y_k)| kernel(k, y_k));
+                .for_each(|(b, y_b)| {
+                    for (dk, y_k) in y_b.chunks_mut(plane).enumerate() {
+                        kernel(b * LAP_KBLOCK + dk, y_k);
+                    }
+                });
         } else {
             for (k, y_k) in y.chunks_mut(plane).enumerate() {
                 kernel(k, y_k);
@@ -394,12 +445,12 @@ impl CfdSolver {
     /// CG on `A p = -rhs`; returns iterations used.
     fn pressure_solve(&mut self) -> usize {
         let parallel = self.cfg.parallel;
-        // b = -rhs on unknowns
-        let b: Vec<f64> = self.rhs.iter().map(|x| -x).collect();
-        // r = b - A p  (warm start from previous pressure)
+        // r = b - A p with b = -rhs, warm-started from the previous
+        // pressure; the negation happens term-by-term, exactly as the
+        // former explicit b vector
         Self::apply_laplacian(&self.mesh, &self.p, &mut self.cg_ap, parallel);
-        for (i, bi) in b.iter().enumerate() {
-            self.cg_r[i] = bi - self.cg_ap[i];
+        for i in 0..self.cg_r.len() {
+            self.cg_r[i] = -self.rhs[i] - self.cg_ap[i];
         }
         // mask r to unknowns (p may carry stale outlet values)
         let (nx, ny, nz) = (self.mesh.nx, self.mesh.ny, self.mesh.nz);
@@ -414,7 +465,8 @@ impl CfdSolver {
             }
         }
         self.cg_d.copy_from_slice(&self.cg_r);
-        let bnorm = Self::dot(&b, &b).sqrt().max(1e-300);
+        // ‖b‖ = ‖−rhs‖ term-by-term: (−x)·(−x) ≡ x·x
+        let bnorm = Self::dot(&self.rhs, &self.rhs).sqrt().max(1e-300);
         let mut rs = Self::dot(&self.cg_r, &self.cg_r);
         if rs.sqrt() <= self.cfg.cg_tol * bnorm {
             return 0;
@@ -443,38 +495,34 @@ impl CfdSolver {
         self.cfg.cg_max_iters
     }
 
-    /// Velocity correction `u = u* − dt ∇p` on interior active cells.
+    /// Velocity correction `u = u* − dt ∇p` on interior fluid cells.
     fn correct(&mut self) {
-        let mesh = &self.mesh;
-        let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
-        let plane = nx * ny;
+        let nx = self.mesh.nx;
+        let nz = self.mesh.nz;
+        let plane = nx * self.mesh.ny;
         let dt = self.cfg.dt;
         let p = &self.p;
+        let (us, vs, ws) = (&self.us, &self.vs, &self.ws);
+        let (u, v, w) = (&mut self.u, &mut self.v, &mut self.w);
         for k in 1..nz - 1 {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let idx = i + nx * j + plane * k;
-                    if !mesh.active_flat(idx) {
-                        continue;
-                    }
-                    let pc = p[idx];
-                    let get = |di: isize, dj: isize, dk: isize| -> f64 {
-                        let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
-                        if mesh.is_active(ii, jj, kk) {
-                            let kk = kk as usize;
-                            if kk == nz - 1 {
-                                0.0 // outlet Dirichlet pressure
-                            } else {
-                                p[(ii as usize) + nx * (jj as usize) + plane * kk]
-                            }
-                        } else {
-                            pc // Neumann ghost
-                        }
-                    };
-                    self.u[idx] = self.us[idx] - dt * (get(1, 0, 0) - get(-1, 0, 0)) / 2.0;
-                    self.v[idx] = self.vs[idx] - dt * (get(0, 1, 0) - get(0, -1, 0)) / 2.0;
-                    self.w[idx] = self.ws[idx] - dt * (get(0, 0, 1) - get(0, 0, -1)) / 2.0;
-                }
+            let base = plane * k;
+            let outlet_above = k + 1 == nz - 1;
+            for c in self.mesh.cross_cells() {
+                let o = c.o as usize;
+                let idx = base + o;
+                let nb = c.nb;
+                let pc = p[idx];
+                // wall neighbours: Neumann ghost repeats the centre value;
+                // outlet plane: Dirichlet p = 0
+                let xp = if nb & NB_XP != 0 { p[idx + 1] } else { pc };
+                let xm = if nb & NB_XM != 0 { p[idx - 1] } else { pc };
+                let yp = if nb & NB_YP != 0 { p[idx + nx] } else { pc };
+                let ym = if nb & NB_YM != 0 { p[idx - nx] } else { pc };
+                let zp = if outlet_above { 0.0 } else { p[idx + plane] };
+                let zm = p[idx - plane];
+                u[idx] = us[idx] - dt * (xp - xm) / 2.0;
+                v[idx] = vs[idx] - dt * (yp - ym) / 2.0;
+                w[idx] = ws[idx] - dt * (zp - zm) / 2.0;
             }
         }
         self.apply_outflow_velocity();
@@ -573,6 +621,24 @@ mod tests {
         let div = s.max_divergence();
         // divergence should be tiny relative to velocity scale / h
         assert!(div < 5e-3, "div={div}");
+    }
+
+    #[test]
+    fn masked_cells_stay_zero() {
+        // the never-write-masked invariant the cross-cell kernels rely on
+        let mut s = small_case();
+        s.run(15);
+        for idx in 0..s.mesh.total_cells() {
+            if !s.mesh.active_flat(idx) {
+                assert_eq!(s.u[idx], 0.0);
+                assert_eq!(s.v[idx], 0.0);
+                assert_eq!(s.w[idx], 0.0);
+                assert_eq!(s.p[idx], 0.0);
+                assert_eq!(s.us[idx], 0.0);
+                assert_eq!(s.rhs[idx], 0.0);
+                assert_eq!(s.cg_ap[idx], 0.0);
+            }
+        }
     }
 
     #[test]

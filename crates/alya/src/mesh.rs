@@ -4,6 +4,31 @@
 //! grid units. The tube axis runs along `z`; a cell is *active* (fluid) if
 //! its centre lies within the tube radius.
 
+/// `x−` in-plane neighbour is fluid (see [`CrossCell::nb`]).
+pub const NB_XM: u8 = 1;
+/// `x+` in-plane neighbour is fluid.
+pub const NB_XP: u8 = 2;
+/// `y−` in-plane neighbour is fluid.
+pub const NB_YM: u8 = 4;
+/// `y+` in-plane neighbour is fluid.
+pub const NB_YP: u8 = 8;
+
+/// One fluid cell of the tube cross-section.
+///
+/// Because the cylinder mask does not depend on `z`, a single list of these
+/// describes the fluid cells of *every* plane: solver kernels iterate the
+/// list instead of scanning (and branching on) the full `nx × ny` plane,
+/// and read the precomputed neighbour bits instead of re-testing the mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossCell {
+    /// In-plane flat offset `i + nx*j`.
+    pub o: u32,
+    /// Bitmask of which in-plane neighbours are fluid:
+    /// [`NB_XM`] | [`NB_XP`] | [`NB_YM`] | [`NB_YP`]. The `z` neighbours of
+    /// a fluid cell are always fluid (within the grid) and need no bits.
+    pub nb: u8,
+}
+
 /// A cylinder-masked structured mesh.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TubeMesh {
@@ -21,6 +46,8 @@ pub struct TubeMesh {
     active: usize,
     /// Active cells in one z-plane (the tube cross-section).
     cross_section: usize,
+    /// The fluid cells of one z-plane, in `i + nx*j` order.
+    cross_cells: Vec<CrossCell>,
 }
 
 impl TubeMesh {
@@ -51,6 +78,39 @@ impl TubeMesh {
             }
         }
         assert!(cross_section > 0, "empty cross-section");
+        let at = |i: isize, j: isize| -> bool {
+            i >= 0
+                && j >= 0
+                && (i as usize) < nx
+                && (j as usize) < ny
+                && mask[i as usize + nx * j as usize]
+        };
+        let mut cross_cells = Vec::with_capacity(cross_section);
+        for j in 0..ny {
+            for i in 0..nx {
+                if !mask[i + nx * j] {
+                    continue;
+                }
+                let (si, sj) = (i as isize, j as isize);
+                let mut nb = 0u8;
+                if at(si - 1, sj) {
+                    nb |= NB_XM;
+                }
+                if at(si + 1, sj) {
+                    nb |= NB_XP;
+                }
+                if at(si, sj - 1) {
+                    nb |= NB_YM;
+                }
+                if at(si, sj + 1) {
+                    nb |= NB_YP;
+                }
+                cross_cells.push(CrossCell {
+                    o: (i + nx * j) as u32,
+                    nb,
+                });
+            }
+        }
         TubeMesh {
             nx,
             ny,
@@ -59,7 +119,15 @@ impl TubeMesh {
             active: cross_section * nz,
             mask,
             cross_section,
+            cross_cells,
         }
+    }
+
+    /// The fluid cells of one z-plane with their in-plane neighbour bits,
+    /// in ascending `i + nx*j` order. Valid for every plane.
+    #[inline]
+    pub fn cross_cells(&self) -> &[CrossCell] {
+        &self.cross_cells
     }
 
     /// Flat index of `(i, j, k)`.
@@ -186,6 +254,32 @@ mod tests {
     #[should_panic(expected = "radius must fit")]
     fn oversized_radius_rejected() {
         TubeMesh::cylinder(8, 8, 8, 5.0);
+    }
+
+    #[test]
+    fn cross_cells_match_mask() {
+        let m = TubeMesh::cylinder(16, 16, 8, 6.0);
+        assert_eq!(m.cross_cells().len(), m.cross_section_cells());
+        let mut seen = 0;
+        for c in m.cross_cells() {
+            let o = c.o as usize;
+            let (i, j) = ((o % m.nx) as isize, (o / m.nx) as isize);
+            assert!(m.is_active(i, j, 0));
+            assert_eq!(c.nb & NB_XM != 0, m.is_active(i - 1, j, 0));
+            assert_eq!(c.nb & NB_XP != 0, m.is_active(i + 1, j, 0));
+            assert_eq!(c.nb & NB_YM != 0, m.is_active(i, j - 1, 0));
+            assert_eq!(c.nb & NB_YP != 0, m.is_active(i, j + 1, 0));
+            // and the same neighbour relations hold on every other plane
+            for k in 1..m.nz as isize {
+                assert!(m.is_active(i, j, k));
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, m.cross_section_cells());
+        // ascending in-plane order (the sweep order of the solver kernels)
+        for w in m.cross_cells().windows(2) {
+            assert!(w[0].o < w[1].o);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! work-stealing pool against the fixed-chunk baseline, and the lab's
 //! plan-cache hit path.
 
+use harborsim_bench::baseline::{churn_arena, churn_reference};
 use harborsim_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use harborsim_des::trace::Recorder;
 use harborsim_des::{Engine, FluidLink, RngStream, SimDuration};
@@ -40,6 +41,73 @@ fn bench_des_events(c: &mut Criterion) {
             let mut count = 0;
             eng.run(&mut count);
             black_box(count)
+        });
+    });
+    g.finish();
+}
+
+/// Schedule/cancel/pop churn — the access pattern the MPI protocol events
+/// produce — on the arena + 4-ary-heap engine versus the boxed-closure
+/// `BinaryHeap` + tombstone-set representation it replaced. The acceptance
+/// bar for the event-loop rework is ≥2x events/sec here.
+fn bench_event_churn(c: &mut Criterion) {
+    const ROUNDS: usize = 32;
+    const BATCH: usize = 512;
+    let mut g = c.benchmark_group("des_churn");
+    g.throughput(Throughput::Elements((ROUNDS * BATCH) as u64));
+    g.bench_function("arena_typed", |b| {
+        b.iter(|| black_box(churn_arena(ROUNDS, BATCH)));
+    });
+    g.bench_function("boxed_binaryheap", |b| {
+        b.iter(|| black_box(churn_reference(ROUNDS, BATCH)));
+    });
+    g.finish();
+}
+
+/// One full CFD solver step (momentum + divergence + CG projection +
+/// correction) at two mesh sizes, in cell-updates/sec.
+fn bench_cfd_step(c: &mut Criterion) {
+    use harborsim_alya::mesh::TubeMesh;
+    use harborsim_alya::{CfdConfig, CfdSolver};
+    let mut g = c.benchmark_group("cfd_step");
+    for (nx, ny, nz, r) in [(13usize, 13usize, 24usize, 5.0), (21, 21, 48, 8.0)] {
+        let mesh = TubeMesh::cylinder(nx, ny, nz, r);
+        let cfg = CfdConfig::stable(&mesh, 50.0, 0.1);
+        let active = mesh.active_cells() as u64;
+        let mut s = CfdSolver::new(mesh, cfg);
+        s.run(5); // settle the CG warm start
+        g.throughput(Throughput::Elements(active));
+        g.bench_function(format!("step_{nx}x{ny}x{nz}").as_str(), |b| {
+            b.iter(|| {
+                s.step();
+                black_box(s.stats.steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Execute-many on one cached plan: the per-seed hot path the query
+/// engine's sharded batches are made of (ties into the plan-cache benches
+/// below — this is the cost of each cache *hit*'s payload).
+fn bench_execute_many(c: &mut Criterion) {
+    use harborsim_core::lab::QueryEngine;
+    use harborsim_core::scenario::{Execution, Scenario};
+    let scenario = Scenario::new(
+        harborsim_hw::presets::lenox(),
+        harborsim_core::workloads::artery_cfd_small(),
+    )
+    .execution(Execution::singularity_self_contained())
+    .nodes(2)
+    .ranks_per_node(14);
+    let lab = QueryEngine::new();
+    let plan = lab.plan(&scenario).expect("scenario compiles");
+    let mut g = c.benchmark_group("plan_execute");
+    g.bench_function("cached_plan_one_seed", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(plan.execute(seed, &mut Recorder::off()).elapsed)
         });
     });
     g.finish();
@@ -277,12 +345,15 @@ fn bench_plan_cache(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_des_events,
+    bench_event_churn,
+    bench_cfd_step,
     bench_fluid,
     bench_rng,
     bench_route_table,
     bench_des_mpi,
     bench_recorder_modes,
     bench_pool_skew,
-    bench_plan_cache
+    bench_plan_cache,
+    bench_execute_many
 );
 criterion_main!(benches);

@@ -1,0 +1,451 @@
+//! The tracked performance baseline.
+//!
+//! `reproduce_all --bench-baseline` measures the simulator's three hot
+//! paths — DES event churn, the Alya CFD step, and cached-plan
+//! execute-many throughput — and writes them to
+//! `target/study/BENCH_baseline.json`. A copy committed at the repository
+//! root (`BENCH_baseline.json`) records the trajectory PR-over-PR; the CI
+//! smoke job re-measures and fails if DES events/sec regresses more than
+//! 20% against the committed numbers.
+//!
+//! Raw throughput is machine-dependent, so every run also measures a tiny
+//! integer-spin calibration loop; comparisons divide each rate by the spin
+//! rate of its own run, cancelling the machine out (the same normalization
+//! the paper's cross-machine tables rely on).
+
+use harborsim_alya::mesh::{TubeMesh, NB_XM, NB_XP, NB_YM, NB_YP};
+use harborsim_alya::{CfdConfig, CfdSolver};
+use harborsim_des::queue::EventQueue;
+use harborsim_des::trace::Recorder;
+use harborsim_des::{Engine, Event, RngStream, SimDuration};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Schedule/cancel/pop rounds of the churn workload.
+const CHURN_ROUNDS: usize = 64;
+/// Events scheduled per churn round.
+const CHURN_BATCH: usize = 512;
+/// Timing repetitions; the best (least-interfered) sample is kept.
+const TIMING_REPS: usize = 5;
+/// Allowed normalized events/sec regression before the gate fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// One measured baseline: absolute rates plus the calibration spin rate
+/// that makes them comparable across machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Calibration: wrapping-multiply spin loop, million ops/sec.
+    pub spin_mops: f64,
+    /// Arena + 4-ary-heap engine on the churn workload, events/sec.
+    pub des_churn_new_eps: f64,
+    /// Boxed-closure `BinaryHeap` + tombstone-set reference on the same
+    /// workload, events/sec.
+    pub des_churn_old_eps: f64,
+    /// `des_churn_new_eps / des_churn_old_eps`.
+    pub churn_speedup: f64,
+    /// CFD step at 13×13×24 (radius 5), cell-updates/sec.
+    pub cfd_small_cups: f64,
+    /// CFD step at 21×21×48 (radius 8), cell-updates/sec.
+    pub cfd_large_cups: f64,
+    /// Cross-section-list momentum sweep vs the branch-tested full-plane
+    /// scan it replaced, on identical data.
+    pub cfd_momentum_speedup: f64,
+    /// `ScenarioPlan::execute` on a cached plan, runs/sec.
+    pub execute_many_rps: f64,
+}
+
+/// Best-of-N wall-clock timing of `work`, returning `units / seconds`.
+fn rate_of<F: FnMut() -> u64>(units: f64, mut work: F) -> f64 {
+    black_box(work()); // warm-up: touch code, grow scratch to steady state
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_REPS {
+        let t0 = Instant::now();
+        black_box(work());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    units / best
+}
+
+fn spin(iters: u64) -> u64 {
+    let mut acc = 1u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// The calibration spin rate in million ops/sec.
+fn spin_mops() -> f64 {
+    const ITERS: u64 = 50_000_000;
+    rate_of(ITERS as f64, || spin(ITERS)) / 1e6
+}
+
+#[derive(Clone, Copy)]
+struct ChurnEv;
+
+impl Event<u64> for ChurnEv {
+    fn fire(self, _eng: &mut Engine<u64, ChurnEv>, fired: &mut u64) {
+        *fired += 1;
+    }
+}
+
+/// The churn workload on the arena engine: per round, schedule a batch of
+/// cancellable events at pseudo-random near-future times, cancel every
+/// third one, drain. Returns events fired (a determinism check more than a
+/// result).
+pub fn churn_arena(rounds: usize, batch: usize) -> u64 {
+    let mut eng: Engine<u64, ChurnEv> = Engine::new();
+    let mut rng = RngStream::new(0xC0DE);
+    let mut ids = Vec::with_capacity(batch);
+    let mut fired = 0u64;
+    for _ in 0..rounds {
+        ids.clear();
+        for _ in 0..batch {
+            ids.push(
+                eng.schedule_cancellable_event(SimDuration::from_nanos(rng.below(1000)), ChurnEv),
+            );
+        }
+        for id in ids.iter().skip(1).step_by(3) {
+            eng.cancel(*id);
+        }
+        eng.run(&mut fired);
+    }
+    fired
+}
+
+/// The same workload on the representation the engine replaced, replicated
+/// from the seed engine: per event an `id: Option<u64>` tag plus a boxed
+/// closure in the reference `BinaryHeap` queue, cancellation through a
+/// tombstone hash set probed on every cancellable pop, and a peek-then-pop
+/// event loop.
+pub fn churn_reference(rounds: usize, batch: usize) -> u64 {
+    struct Entry {
+        id: Option<u64>,
+        f: Box<dyn FnOnce(&mut u64)>,
+    }
+    let mut q: EventQueue<Entry> = EventQueue::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut next_id = 0u64;
+    let mut rng = RngStream::new(0xC0DE);
+    let mut ids = Vec::with_capacity(batch);
+    let mut now = harborsim_des::SimTime::ZERO;
+    let mut fired = 0u64;
+    for _ in 0..rounds {
+        ids.clear();
+        for _ in 0..batch {
+            let at = now + SimDuration::from_nanos(rng.below(1000));
+            let id = next_id;
+            next_id += 1;
+            // capture state, as the engine's protocol closures did — a
+            // captureless closure would box a ZST and skip the allocation
+            let step = 1u64;
+            q.push(
+                at,
+                Entry {
+                    id: Some(id),
+                    f: Box::new(move |fired: &mut u64| *fired += step),
+                },
+            );
+            ids.push(id);
+        }
+        for id in ids.iter().skip(1).step_by(3) {
+            cancelled.insert(*id);
+        }
+        while let Some(at) = q.peek_time() {
+            let s = q.pop().expect("peeked entry vanished");
+            debug_assert_eq!(s.at, at);
+            if let Some(id) = s.payload.id {
+                if cancelled.remove(&id) {
+                    continue;
+                }
+            }
+            now = s.at;
+            (s.payload.f)(&mut fired);
+        }
+    }
+    fired
+}
+
+/// CFD cell-updates/sec: `steps` full solver steps on an
+/// `nx × ny × nz` tube, after a short warm-up so the CG warm start is in
+/// its steady state.
+fn cfd_rate(nx: usize, ny: usize, nz: usize, radius: f64, steps: usize) -> f64 {
+    let mesh = TubeMesh::cylinder(nx, ny, nz, radius);
+    let cfg = CfdConfig::stable(&mesh, 50.0, 0.1);
+    let active = mesh.active_cells() as f64;
+    let mut s = CfdSolver::new(mesh, cfg);
+    s.run(5);
+    rate_of(active * steps as f64, || {
+        s.run(steps);
+        s.stats.steps
+    })
+}
+
+/// The branch-tested full-plane momentum sweep the cross-section list
+/// replaced: every cell of every interior plane is visited and the mask is
+/// probed per neighbour. Kept here as the measured "before" of the kernel
+/// restructuring.
+fn momentum_reference(mesh: &TubeMesh, u: &[f64], out: &mut [f64]) {
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let plane = nx * ny;
+    for k in 1..nz - 1 {
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = i + nx * j + plane * k;
+                if !mesh.active_flat(idx) {
+                    out[idx] = 0.0;
+                    continue;
+                }
+                let get = |di: isize, dj: isize, dk: isize| -> f64 {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                    if mesh.is_active(ii, jj, kk) {
+                        u[(ii as usize) + nx * (jj as usize) + plane * (kk as usize)]
+                    } else {
+                        0.0
+                    }
+                };
+                let c = u[idx];
+                let lap = get(-1, 0, 0)
+                    + get(1, 0, 0)
+                    + get(0, -1, 0)
+                    + get(0, 1, 0)
+                    + get(0, 0, -1)
+                    + get(0, 0, 1)
+                    - 6.0 * c;
+                out[idx] = c + 0.01 * lap;
+            }
+        }
+    }
+}
+
+/// The same diffusion sweep over the precomputed cross-section list.
+fn momentum_crosslist(mesh: &TubeMesh, u: &[f64], out: &mut [f64]) {
+    let nx = mesh.nx;
+    let plane = nx * mesh.ny;
+    for k in 1..mesh.nz - 1 {
+        let base = plane * k;
+        for c in mesh.cross_cells() {
+            let idx = base + c.o as usize;
+            let nb = c.nb;
+            let cv = u[idx];
+            let xm = if nb & NB_XM != 0 { u[idx - 1] } else { 0.0 };
+            let xp = if nb & NB_XP != 0 { u[idx + 1] } else { 0.0 };
+            let ym = if nb & NB_YM != 0 { u[idx - nx] } else { 0.0 };
+            let yp = if nb & NB_YP != 0 { u[idx + nx] } else { 0.0 };
+            let lap = xm + xp + ym + yp + u[idx - plane] + u[idx + plane] - 6.0 * cv;
+            out[idx] = cv + 0.01 * lap;
+        }
+    }
+}
+
+/// Measured speedup of the cross-section-list sweep over the full-plane
+/// branch-tested scan, on identical data (results are asserted equal).
+fn momentum_speedup() -> f64 {
+    let mesh = TubeMesh::cylinder(21, 21, 48, 8.0);
+    let n = mesh.total_cells();
+    let mut u = vec![0.0; n];
+    for (i, x) in u.iter_mut().enumerate() {
+        if mesh.active_flat(i) {
+            *x = (i % 97) as f64 * 0.013;
+        }
+    }
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    const SWEEPS: usize = 40;
+    let slow = rate_of(SWEEPS as f64, || {
+        for _ in 0..SWEEPS {
+            momentum_reference(&mesh, &u, &mut a);
+        }
+        SWEEPS as u64
+    });
+    let fast = rate_of(SWEEPS as f64, || {
+        for _ in 0..SWEEPS {
+            momentum_crosslist(&mesh, &u, &mut b);
+        }
+        SWEEPS as u64
+    });
+    assert_eq!(a, b, "reference and cross-list sweeps must agree exactly");
+    fast / slow
+}
+
+/// Cached-plan `execute` throughput, runs/sec (untraced, as the batch
+/// sharding of the query engine drives it).
+fn execute_many_rps() -> f64 {
+    use harborsim_core::lab::QueryEngine;
+    use harborsim_core::scenario::{Execution, Scenario};
+    let scenario = Scenario::new(
+        harborsim_hw::presets::lenox(),
+        harborsim_core::workloads::artery_cfd_small(),
+    )
+    .execution(Execution::singularity_self_contained())
+    .nodes(2)
+    .ranks_per_node(14);
+    let lab = QueryEngine::new();
+    let plan = lab.plan(&scenario).expect("scenario compiles");
+    const RUNS: u64 = 64;
+    rate_of(RUNS as f64, || {
+        let mut acc = 0u64;
+        for seed in 0..RUNS {
+            acc ^= plan.execute(seed, &mut Recorder::off()).elapsed.as_nanos();
+        }
+        acc
+    })
+}
+
+/// Measure the full baseline. Takes a few seconds; intended for
+/// `reproduce_all --bench-baseline` and the CI smoke job.
+pub fn measure() -> BenchBaseline {
+    let spin = spin_mops();
+    let churn_events = (CHURN_ROUNDS * CHURN_BATCH) as f64;
+    let new_eps = rate_of(churn_events, || churn_arena(CHURN_ROUNDS, CHURN_BATCH));
+    let old_eps = rate_of(churn_events, || churn_reference(CHURN_ROUNDS, CHURN_BATCH));
+    BenchBaseline {
+        spin_mops: spin,
+        des_churn_new_eps: new_eps,
+        des_churn_old_eps: old_eps,
+        churn_speedup: new_eps / old_eps,
+        cfd_small_cups: cfd_rate(13, 13, 24, 5.0, 20),
+        cfd_large_cups: cfd_rate(21, 21, 48, 8.0, 5),
+        cfd_momentum_speedup: momentum_speedup(),
+        execute_many_rps: execute_many_rps(),
+    }
+}
+
+impl BenchBaseline {
+    /// Serialize to the committed JSON shape.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": 1,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1}\n}}\n",
+            self.spin_mops,
+            self.des_churn_new_eps,
+            self.des_churn_old_eps,
+            self.churn_speedup,
+            self.cfd_small_cups,
+            self.cfd_large_cups,
+            self.cfd_momentum_speedup,
+            self.execute_many_rps,
+        )
+    }
+
+    /// Parse the committed JSON shape (tolerant of field order).
+    pub fn from_json(text: &str) -> Option<BenchBaseline> {
+        let field = |key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\"");
+            let at = text.find(&pat)? + pat.len();
+            let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        Some(BenchBaseline {
+            spin_mops: field("spin_mops")?,
+            des_churn_new_eps: field("des_churn_new_eps")?,
+            des_churn_old_eps: field("des_churn_old_eps")?,
+            churn_speedup: field("churn_speedup")?,
+            cfd_small_cups: field("cfd_small_cups")?,
+            cfd_large_cups: field("cfd_large_cups")?,
+            cfd_momentum_speedup: field("cfd_momentum_speedup")?,
+            execute_many_rps: field("execute_many_rps")?,
+        })
+    }
+
+    /// A human-readable report.
+    pub fn to_ascii(&self) -> String {
+        format!(
+            "  calibration spin        {:>12.1} Mops/s\n\
+             \x20 DES churn (arena)       {:>12.3e} events/s\n\
+             \x20 DES churn (reference)   {:>12.3e} events/s  (speedup {:.2}x)\n\
+             \x20 CFD step 13x13x24       {:>12.3e} cell-updates/s\n\
+             \x20 CFD step 21x21x48       {:>12.3e} cell-updates/s  (momentum sweep {:.2}x)\n\
+             \x20 cached-plan execute     {:>12.1} runs/s",
+            self.spin_mops,
+            self.des_churn_new_eps,
+            self.des_churn_old_eps,
+            self.churn_speedup,
+            self.cfd_small_cups,
+            self.cfd_large_cups,
+            self.cfd_momentum_speedup,
+            self.execute_many_rps,
+        )
+    }
+
+    /// Compare against a committed baseline, normalizing both sides by
+    /// their own calibration spin rate. Returns violations (empty = pass).
+    /// Only the DES events/sec rate gates; the other rates are tracked but
+    /// informational.
+    pub fn check_regression(&self, committed: &BenchBaseline) -> Vec<String> {
+        let mut violations = Vec::new();
+        let norm_now = self.des_churn_new_eps / self.spin_mops;
+        let norm_then = committed.des_churn_new_eps / committed.spin_mops;
+        let ratio = norm_now / norm_then;
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            violations.push(format!(
+                "DES events/sec regressed {:.0}% vs the committed baseline \
+                 (normalized {norm_now:.0} vs {norm_then:.0} events per Mspin)",
+                (1.0 - ratio) * 100.0
+            ));
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_workloads_fire_the_same_events() {
+        // both representations must execute the identical logical workload
+        let fired = churn_arena(4, 30);
+        assert_eq!(fired, churn_reference(4, 30));
+        // per round: 30 scheduled, every third of the tail cancelled
+        let cancelled_per_round = (1..30).step_by(3).count() as u64;
+        assert_eq!(fired, 4 * (30 - cancelled_per_round));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = BenchBaseline {
+            spin_mops: 1234.5,
+            des_churn_new_eps: 2.0e7,
+            des_churn_old_eps: 1.0e7,
+            churn_speedup: 2.0,
+            cfd_small_cups: 3.0e7,
+            cfd_large_cups: 2.5e7,
+            cfd_momentum_speedup: 1.4,
+            execute_many_rps: 800.0,
+        };
+        let parsed = BenchBaseline::from_json(&b.to_json()).expect("parses");
+        assert_eq!(parsed, b);
+        assert!(BenchBaseline::from_json("{}").is_none());
+    }
+
+    #[test]
+    fn regression_gate_normalizes_by_spin_rate() {
+        let base = BenchBaseline {
+            spin_mops: 1000.0,
+            des_churn_new_eps: 1.0e7,
+            des_churn_old_eps: 5.0e6,
+            churn_speedup: 2.0,
+            cfd_small_cups: 1.0,
+            cfd_large_cups: 1.0,
+            cfd_momentum_speedup: 1.0,
+            execute_many_rps: 1.0,
+        };
+        // a machine half as fast across the board is NOT a regression
+        let mut slower_machine = base.clone();
+        slower_machine.spin_mops = 500.0;
+        slower_machine.des_churn_new_eps = 5.0e6;
+        assert!(slower_machine.check_regression(&base).is_empty());
+        // same machine, 30% fewer events/sec IS one
+        let mut regressed = base.clone();
+        regressed.des_churn_new_eps = 0.7e7;
+        assert_eq!(regressed.check_regression(&base).len(), 1);
+        // 10% is inside the tolerance
+        let mut noise = base.clone();
+        noise.des_churn_new_eps = 0.9e7;
+        assert!(noise.check_regression(&base).is_empty());
+    }
+}

@@ -17,11 +17,18 @@
 //!   taper (e.g. `0.5` for 2:1 oversubscription). Mutually exclusive with
 //!   `--ablate-taper`; scenario-pinned tapers (the oversubscription sweep)
 //!   are unaffected.
+//! - `--bench-baseline` — measure the simulator's hot-path throughput (DES
+//!   event churn, CFD cell-updates, cached-plan execute-many), write it to
+//!   `target/study/BENCH_baseline.json`, and fail if DES events/sec
+//!   regresses more than 20% against the committed `BENCH_baseline.json`
+//!   at the repository root (spin-calibrated, so the gate is
+//!   machine-independent).
 //!
 //! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
 //! ASCII per table, plus a machine-readable `summary.json`), and every
 //! shape check — the paper's qualitative claims — is evaluated and printed.
 
+use harborsim_bench::baseline::BenchBaseline;
 use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table, write_trace};
 use harborsim_core::experiments::{
     ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_oversub, ext_weak, fig1,
@@ -46,12 +53,14 @@ fn report_shapes(name: &str, violations: &[String]) -> bool {
 
 fn main() {
     let mut quick = false;
+    let mut bench_baseline = false;
     let mut trace_dir: Option<PathBuf> = None;
     let mut taper: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--bench-baseline" => bench_baseline = true,
             "--trace" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--trace needs a directory argument");
@@ -75,7 +84,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (usage: reproduce_all [--quick] [--trace <dir>] [--ablate-taper | --oversub <taper>])"
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>])"
                 );
                 std::process::exit(2);
             }
@@ -101,6 +110,37 @@ fn main() {
     let t0 = Instant::now();
     let mut all_ok = true;
     let mut summary: Vec<(&str, String)> = Vec::new();
+
+    if bench_baseline {
+        println!("== Performance baseline (hot-path throughput) ==");
+        let measured = harborsim_bench::baseline::measure();
+        println!("{}", measured.to_ascii());
+        let path = out_dir().join("BENCH_baseline.json");
+        std::fs::write(&path, measured.to_json()).expect("write bench baseline");
+        println!("  written to {}", path.display());
+        let committed = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+        match std::fs::read_to_string(&committed)
+            .ok()
+            .and_then(|t| BenchBaseline::from_json(&t))
+        {
+            Some(base) => {
+                let violations = measured.check_regression(&base);
+                if violations.is_empty() {
+                    println!("  [ok] no regression vs the committed baseline (spin-normalized)");
+                } else {
+                    for v in &violations {
+                        println!("  [!!] {v}");
+                    }
+                    all_ok = false;
+                }
+            }
+            None => println!(
+                "  [--] no committed BENCH_baseline.json to compare against ({})",
+                committed.display()
+            ),
+        }
+        println!();
+    }
 
     println!("== Machine calibration (model constants, derived) ==");
     println!(

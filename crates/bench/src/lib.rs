@@ -5,6 +5,7 @@
 //! `reproduce_all` binary that regenerates every artifact of the paper into
 //! `target/study/`.
 
+pub mod baseline;
 pub mod harness;
 
 use harborsim_core::report::{FigureData, TableData};

@@ -19,52 +19,108 @@
 //! assert_eq!(count, 11);
 //! assert_eq!(engine.now().as_secs_f64(), 1.5);
 //! ```
+//!
+//! # Two event representations
+//!
+//! The engine is generic over the event payload `E`. The default,
+//! [`BoxedEvent<S>`], is a boxed `FnOnce` — maximally convenient, one heap
+//! allocation per event. Hot loops (the message-level MPI engine) instead
+//! define a plain `enum` of their event kinds, implement [`Event`] for it,
+//! and schedule through [`Engine::schedule_event`]: payloads then live in a
+//! slab arena with free-list reuse, the heap orders packed `(time, seq)`
+//! integers, and the steady-state loop performs **zero** heap allocations.
+//! Cancellation is an O(1) generation bump in the arena — no tombstone set
+//! to grow or drain.
 
-use crate::queue::EventQueue;
+use crate::arena::EventArena;
+use crate::heap::EventHeap;
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashSet;
+use std::marker::PhantomData;
 
 /// Handle to a cancellable event, returned by
-/// [`Engine::schedule_cancellable`].
+/// [`Engine::schedule_cancellable`]. The handle is `(slot, generation)`
+/// into the engine's event arena; cancelling a fired or already-cancelled
+/// event fails the generation check and is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    generation: u32,
+}
 
+/// A typed event: fired by value, with the engine and user state in hand.
+///
+/// Implementors are usually small `Copy` enums; the trait consumes `self`
+/// so closures-captured-by-value (via [`BoxedEvent`]) fit the same shape.
+pub trait Event<S>: Sized {
+    /// Execute the event.
+    fn fire(self, eng: &mut Engine<S, Self>, state: &mut S);
+}
+
+/// The callback type carried by a [`BoxedEvent`].
 type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
 
-struct Entry<S> {
-    /// `Some(id)` for cancellable events; checked against the tombstone set
-    /// at pop time.
-    id: Option<u64>,
-    f: EventFn<S>,
+/// The fallback event representation: a boxed `FnOnce` callback. This is
+/// the default type parameter of [`Engine`], so `Engine<S>` keeps the
+/// closure-based API unchanged.
+pub struct BoxedEvent<S>(EventFn<S>);
+
+impl<S> Event<S> for BoxedEvent<S> {
+    fn fire(self, eng: &mut Engine<S>, state: &mut S) {
+        (self.0)(eng, state)
+    }
 }
 
 /// A deterministic discrete-event simulation engine over user state `S`.
-pub struct Engine<S> {
+pub struct Engine<S, E = BoxedEvent<S>> {
     now: SimTime,
-    queue: EventQueue<Entry<S>>,
-    cancelled: HashSet<u64>,
-    next_id: u64,
+    heap: EventHeap,
+    arena: EventArena<E>,
     executed: u64,
     horizon: SimTime,
+    _state: PhantomData<fn(&mut S)>,
 }
 
-impl<S> Default for Engine<S> {
+impl<S, E: Event<S>> Default for Engine<S, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S> Engine<S> {
+impl<S, E: Event<S>> Engine<S, E> {
     /// A fresh engine with the clock at zero and no horizon.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            heap: EventHeap::new(),
+            arena: EventArena::new(),
             executed: 0,
             horizon: SimTime::MAX,
+            _state: PhantomData,
         }
+    }
+
+    /// A fresh engine with room for `n` pending events before the heap or
+    /// arena reallocate.
+    pub fn with_capacity(n: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: EventHeap::with_capacity(n),
+            arena: EventArena::with_capacity(n),
+            executed: 0,
+            horizon: SimTime::MAX,
+            _state: PhantomData,
+        }
+    }
+
+    /// Return the engine to its initial state — clock at zero, no pending
+    /// events, no horizon — while keeping the heap and arena allocations.
+    /// Outstanding [`EventId`] handles are invalidated.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.heap.clear();
+        self.arena.clear();
+        self.executed = 0;
+        self.horizon = SimTime::MAX;
     }
 
     /// The current simulated time.
@@ -80,7 +136,7 @@ impl<S> Engine<S> {
 
     /// Number of events still pending (including cancelled tombstones).
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.heap.len()
     }
 
     /// Stop the run loop once the clock would pass `at`. Events scheduled
@@ -89,72 +145,49 @@ impl<S> Engine<S> {
         self.horizon = at;
     }
 
-    /// Schedule `f` to run after `delay` from the current time.
-    pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
-    where
-        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
-    {
-        self.schedule_at(self.now + delay, f);
+    /// Schedule a typed event after `delay` from the current time.
+    #[inline]
+    pub fn schedule_event(&mut self, delay: SimDuration, event: E) {
+        self.schedule_event_at(self.now + delay, event);
     }
 
-    /// Schedule `f` at an absolute time `at` (must not be in the past).
-    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
-    where
-        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
-    {
+    /// Schedule a typed event at an absolute time `at` (not in the past).
+    #[inline]
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.queue.push(
-            at,
-            Entry {
-                id: None,
-                f: Box::new(f),
-            },
-        );
+        let (slot, _) = self.arena.insert(event);
+        self.heap.push(at, slot);
     }
 
-    /// Schedule `f` after `delay`, returning a handle that can cancel it
-    /// before it fires (used by the fluid-link model to retract completion
-    /// estimates when the set of competing flows changes).
-    pub fn schedule_cancellable<F>(&mut self, delay: SimDuration, f: F) -> EventId
-    where
-        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
-    {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.queue.push(
-            self.now + delay,
-            Entry {
-                id: Some(id),
-                f: Box::new(f),
-            },
-        );
-        EventId(id)
+    /// Schedule a typed event after `delay`, returning a handle that can
+    /// cancel it before it fires.
+    #[inline]
+    pub fn schedule_cancellable_event(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let (slot, generation) = self.arena.insert(event);
+        self.heap.push(at, slot);
+        EventId { slot, generation }
     }
 
     /// Cancel a previously scheduled cancellable event. Cancelling an event
     /// that already fired is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        self.arena.cancel(id.slot, id.generation);
     }
 
     /// Run until the event set is exhausted or the horizon is reached.
     /// Returns the number of events executed during this call.
     pub fn run(&mut self, state: &mut S) -> u64 {
         let before = self.executed;
-        while let Some(at) = self.queue.peek_time() {
-            if at > self.horizon {
-                break;
-            }
-            let entry = self.queue.pop().expect("peeked entry vanished");
-            if let Some(id) = entry.payload.id {
-                if self.cancelled.remove(&id) {
-                    continue;
-                }
-            }
-            debug_assert!(entry.at >= self.now, "event queue went backwards");
-            self.now = entry.at;
+        while let Some((at, slot)) = self.heap.pop_within(self.horizon) {
+            let Some(event) = self.arena.take(slot) else {
+                continue; // cancelled tombstone
+            };
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
             self.executed += 1;
-            (entry.payload.f)(self, state);
+            event.fire(self, state);
         }
         self.executed - before
     }
@@ -164,25 +197,52 @@ impl<S> Engine<S> {
     /// set was exhausted within the budget.
     pub fn run_bounded(&mut self, state: &mut S, limit: u64) -> bool {
         let mut n = 0;
-        while let Some(at) = self.queue.peek_time() {
-            if at > self.horizon {
-                return true;
-            }
+        loop {
             if n >= limit {
-                return false;
+                return match self.heap.peek_time() {
+                    Some(at) => at > self.horizon,
+                    None => true,
+                };
             }
-            let entry = self.queue.pop().expect("peeked entry vanished");
-            if let Some(id) = entry.payload.id {
-                if self.cancelled.remove(&id) {
-                    continue;
-                }
-            }
-            self.now = entry.at;
+            let Some((at, slot)) = self.heap.pop_within(self.horizon) else {
+                return true;
+            };
+            let Some(event) = self.arena.take(slot) else {
+                continue;
+            };
+            self.now = at;
             self.executed += 1;
             n += 1;
-            (entry.payload.f)(self, state);
+            event.fire(self, state);
         }
-        true
+    }
+}
+
+impl<S> Engine<S, BoxedEvent<S>> {
+    /// Schedule `f` to run after `delay` from the current time.
+    pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        self.schedule_event(delay, BoxedEvent(Box::new(f)));
+    }
+
+    /// Schedule `f` at an absolute time `at` (must not be in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        self.schedule_event_at(at, BoxedEvent(Box::new(f)));
+    }
+
+    /// Schedule `f` after `delay`, returning a handle that can cancel it
+    /// before it fires (used by the fluid-link model to retract completion
+    /// estimates when the set of competing flows changes).
+    pub fn schedule_cancellable<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Engine<S>, &mut S) + 'static,
+    {
+        self.schedule_cancellable_event(delay, BoxedEvent(Box::new(f)))
     }
 }
 
@@ -243,6 +303,19 @@ mod tests {
     }
 
     #[test]
+    fn cancel_does_not_hit_recycled_slot() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_cancellable(SimDuration::from_millis(1), |_, c| *c += 1);
+        let mut count = 0;
+        eng.run(&mut count);
+        // the fired event's slot is recycled by the next schedule
+        let _id2 = eng.schedule_cancellable(SimDuration::from_millis(1), |_, c| *c += 10);
+        eng.cancel(id); // stale handle must not cancel the new event
+        eng.run(&mut count);
+        assert_eq!(count, 11);
+    }
+
+    #[test]
     fn horizon_stops_execution() {
         let mut eng: Engine<u32> = Engine::new();
         for i in 1..=10 {
@@ -277,5 +350,52 @@ mod tests {
         let mut log = Vec::new();
         eng.run(&mut log);
         assert_eq!(log, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn typed_events_fire_without_boxing() {
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Tick(u64),
+            Stop,
+        }
+        impl Event<u64> for Ev {
+            fn fire(self, eng: &mut Engine<u64, Ev>, count: &mut u64) {
+                match self {
+                    Ev::Tick(left) => {
+                        *count += 1;
+                        if left > 1 {
+                            eng.schedule_event(SimDuration::from_nanos(5), Ev::Tick(left - 1));
+                        } else {
+                            eng.schedule_event(SimDuration::ZERO, Ev::Stop);
+                        }
+                    }
+                    Ev::Stop => {}
+                }
+            }
+        }
+        let mut eng: Engine<u64, Ev> = Engine::with_capacity(4);
+        eng.schedule_event(SimDuration::from_nanos(5), Ev::Tick(100));
+        let mut count = 0;
+        eng.run(&mut count);
+        assert_eq!(count, 100);
+        assert_eq!(eng.events_executed(), 101);
+        assert_eq!(eng.now().as_nanos(), 500);
+    }
+
+    #[test]
+    fn reset_reuses_engine_and_invalidates_handles() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_cancellable(SimDuration::from_secs(1), |_, c| *c += 1);
+        eng.set_horizon(SimTime::ZERO);
+        eng.reset();
+        assert_eq!(eng.events_pending(), 0);
+        assert_eq!(eng.events_executed(), 0);
+        eng.schedule(SimDuration::from_secs(1), |_, c| *c += 10);
+        eng.cancel(id); // pre-reset handle must not touch the new event
+        let mut count = 0;
+        eng.run(&mut count);
+        assert_eq!(count, 10);
+        assert_eq!(eng.now().as_secs_f64(), 1.0);
     }
 }

@@ -2,10 +2,13 @@
 //!
 //! A small, fast, **deterministic** discrete-event simulation (DES) kernel.
 //!
-//! The kernel is deliberately process-less: events are boxed `FnOnce`
-//! callbacks scheduled at absolute simulated times, executed in
-//! `(time, sequence)` order so that simultaneous events always fire in the
-//! order they were scheduled. Determinism is a hard requirement for the
+//! The kernel is deliberately process-less: events are values scheduled at
+//! absolute simulated times, executed in `(time, sequence)` order so that
+//! simultaneous events always fire in the order they were scheduled.
+//! Payloads live in a slab arena indexed by a 4-ary min-heap of packed
+//! `(time, seq)` keys; convenience callers use boxed `FnOnce` callbacks
+//! ([`BoxedEvent`], the default), hot loops implement [`Event`] on a plain
+//! enum and run allocation-free. Determinism is a hard requirement for the
 //! HarborSim study — the same seed must regenerate byte-identical figures.
 //!
 //! Building blocks:
@@ -23,8 +26,10 @@
 //! - [`trace`] — typed spans, counters, and deterministic roll-ups: the
 //!   [`Recorder`] every simulation layer reports through.
 
+mod arena;
 pub mod engine;
 pub mod fluid;
+mod heap;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -33,9 +38,9 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
-pub use engine::{Engine, EventId};
+pub use engine::{BoxedEvent, Engine, Event, EventId};
 pub use fluid::FluidLink;
-pub use resource::Resource;
+pub use resource::{Resource, TypedResource};
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};
 pub use timeline::Timeline;

@@ -1,8 +1,14 @@
-//! The pending-event set: a binary heap ordered by `(time, sequence)`.
+//! A binary-heap event queue ordered by `(time, sequence)`.
 //!
 //! The sequence number breaks ties between simultaneous events in scheduling
 //! order, which makes the whole simulation deterministic: two events scheduled
 //! for the same instant always fire in the order `schedule` was called.
+//!
+//! This is the original pending-event set of the [`Engine`](crate::Engine);
+//! the engine itself now runs on the arena + 4-ary heap representation, and
+//! this queue is retained as the independently-simple *reference
+//! implementation* that differential tests (and the old-vs-new churn bench)
+//! compare against.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -69,8 +75,17 @@ impl<T> EventQueue<T> {
     }
 
     /// Remove and return the earliest entry.
+    ///
+    /// When the pop fully drains the queue, the sequence counter restarts
+    /// from zero: only coexisting entries need distinct sequence numbers,
+    /// so long campaigns reusing one queue cannot creep toward overflow and
+    /// replays restart from an identical sequence stream.
     pub fn pop(&mut self) -> Option<Scheduled<T>> {
-        self.heap.pop()
+        let popped = self.heap.pop();
+        if popped.is_some() && self.heap.is_empty() {
+            self.next_seq = 0;
+        }
+        popped
     }
 
     /// The time of the earliest pending entry.
@@ -113,6 +128,18 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_counter_resets_when_queue_drains() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.push(SimTime(1), "a"), 0);
+        assert_eq!(q.push(SimTime(2), "b"), 1);
+        q.pop();
+        assert_eq!(q.push(SimTime(3), "c"), 2, "non-empty: counter keeps going");
+        q.pop();
+        q.pop();
+        assert_eq!(q.push(SimTime(4), "d"), 0, "drained: counter restarts");
     }
 
     #[test]

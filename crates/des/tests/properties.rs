@@ -133,6 +133,100 @@ fn rng_substreams_stable() {
     }
 }
 
+/// Differential test of the arena + 4-ary-heap engine against the retained
+/// reference queue (the original `BinaryHeap` + tombstone-set design):
+/// interleaved schedule/cancel/pop sequences must match event-for-event —
+/// same labels, same fire times, same pending counts, same clock.
+#[test]
+fn arena_engine_matches_reference_queue() {
+    use harborsim_des::queue::EventQueue;
+    use harborsim_des::{EventId, SimTime};
+    use std::collections::HashSet;
+
+    for mut rng in cases("differential", 64) {
+        // Reference model: the pre-arena engine semantics, spelled out.
+        let mut refq: EventQueue<(u64, Option<u64>)> = EventQueue::new();
+        let mut ref_cancelled: HashSet<u64> = HashSet::new();
+        let mut ref_now = SimTime::ZERO;
+        let mut ref_log: Vec<(u64, u64)> = Vec::new();
+        let mut next_cid = 0u64;
+
+        // Subject: the production engine.
+        let mut eng: Engine<Vec<(u64, u64)>> = Engine::new();
+        let mut eng_log: Vec<(u64, u64)> = Vec::new();
+        let mut handles: Vec<(u64, EventId)> = Vec::new();
+
+        let ref_pop = |refq: &mut EventQueue<(u64, Option<u64>)>,
+                       ref_cancelled: &mut HashSet<u64>,
+                       ref_now: &mut SimTime,
+                       ref_log: &mut Vec<(u64, u64)>| {
+            while let Some(s) = refq.pop() {
+                let (label, cid) = s.payload;
+                if let Some(c) = cid {
+                    if ref_cancelled.remove(&c) {
+                        continue; // tombstone
+                    }
+                }
+                *ref_now = s.at;
+                ref_log.push((label, s.at.as_nanos()));
+                break;
+            }
+        };
+
+        let steps = 50 + rng.below(150);
+        let mut label = 0u64;
+        for _ in 0..steps {
+            match rng.below(4) {
+                0 => {
+                    let d = SimDuration::from_nanos(rng.below(1_000));
+                    let l = label;
+                    label += 1;
+                    refq.push(ref_now + d, (l, None));
+                    eng.schedule(d, move |e, log: &mut Vec<(u64, u64)>| {
+                        log.push((l, e.now().as_nanos()))
+                    });
+                }
+                1 => {
+                    let d = SimDuration::from_nanos(rng.below(1_000));
+                    let l = label;
+                    label += 1;
+                    let cid = next_cid;
+                    next_cid += 1;
+                    refq.push(ref_now + d, (l, Some(cid)));
+                    let id = eng.schedule_cancellable(d, move |e, log: &mut Vec<(u64, u64)>| {
+                        log.push((l, e.now().as_nanos()))
+                    });
+                    handles.push((cid, id));
+                }
+                2 => {
+                    // cancel a random handle — possibly one that already
+                    // fired or was already cancelled; both must no-op
+                    if !handles.is_empty() {
+                        let k = rng.below(handles.len() as u64) as usize;
+                        let (cid, id) = handles[k];
+                        ref_cancelled.insert(cid);
+                        eng.cancel(id);
+                    }
+                }
+                _ => {
+                    ref_pop(&mut refq, &mut ref_cancelled, &mut ref_now, &mut ref_log);
+                    eng.run_bounded(&mut eng_log, 1);
+                }
+            }
+            assert_eq!(eng_log, ref_log);
+            assert_eq!(eng.now(), ref_now);
+            assert_eq!(eng.events_pending(), refq.len());
+        }
+        // drain both to the end
+        while !refq.is_empty() {
+            ref_pop(&mut refq, &mut ref_cancelled, &mut ref_now, &mut ref_log);
+        }
+        eng.run(&mut eng_log);
+        assert_eq!(eng_log, ref_log);
+        assert_eq!(eng.now(), ref_now);
+    }
+}
+
 /// Engine determinism: identical schedules produce identical histories.
 #[test]
 fn engine_is_deterministic() {

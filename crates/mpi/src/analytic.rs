@@ -9,6 +9,14 @@
 //! has (steps are run-length encoded), which is what lets HarborSim sweep
 //! the MareNostrum4 FSI case to 12,288 ranks in microseconds.
 //!
+//! All per-run working state — the link schedule, per-node round tallies,
+//! per-phase and per-run link accumulators — lives in a pooled [`Scratch`]
+//! reused across runs, so repeated `execute(seed)` on a cached plan
+//! allocates nothing here. Phase costs proper are plain scalars
+//! ([`PhaseCost`] is `Copy`); the per-link vectors that used to ride along
+//! in it accumulate in place in the scratch instead, with the identical
+//! floating-point operation order, so results are bit-for-bit unchanged.
+//!
 //! Modelling decisions (shared with the DES engine where applicable):
 //!
 //! - Per-rank protocol CPU costs parallelize across ranks; payload bytes
@@ -28,7 +36,7 @@ use crate::workload::{CommPhase, JobProfile, StepProfile};
 use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
-use harborsim_net::{LinkId, LinkSchedule, NetworkModel, RouteTable};
+use harborsim_net::{LinkId, LinkSchedule, NetworkModel, RouteTable, ScratchPool};
 use std::sync::Arc;
 
 /// Knobs common to both engines.
@@ -53,8 +61,9 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cost of one communication phase.
-#[derive(Debug, Clone, Default)]
+/// Scalar cost of one communication phase. The per-link tallies the phase
+/// deposits accumulate in the run [`Scratch`], not here.
+#[derive(Debug, Clone, Copy, Default)]
 struct PhaseCost {
     seconds: f64,
     /// Share of `seconds` spent in the serialized container-bridge path
@@ -63,11 +72,6 @@ struct PhaseCost {
     inter_msgs: u64,
     intra_msgs: u64,
     inter_bytes: u64,
-    /// Per-link busy seconds deposited by this phase (dense by link id;
-    /// empty when the phase put nothing on the fabric).
-    link_busy: Vec<f64>,
-    /// Per-link payload bytes deposited by this phase.
-    link_bytes: Vec<u64>,
 }
 
 impl PhaseCost {
@@ -77,16 +81,6 @@ impl PhaseCost {
         self.inter_msgs += other.inter_msgs;
         self.intra_msgs += other.intra_msgs;
         self.inter_bytes += other.inter_bytes;
-        if self.link_busy.len() < other.link_busy.len() {
-            self.link_busy.resize(other.link_busy.len(), 0.0);
-            self.link_bytes.resize(other.link_bytes.len(), 0);
-        }
-        for (i, b) in other.link_busy.iter().enumerate() {
-            self.link_busy[i] += b;
-        }
-        for (i, b) in other.link_bytes.iter().enumerate() {
-            self.link_bytes[i] += b;
-        }
     }
 
     fn times(mut self, k: u64) -> PhaseCost {
@@ -95,49 +89,90 @@ impl PhaseCost {
         self.inter_msgs *= k;
         self.intra_msgs *= k;
         self.inter_bytes *= k;
-        for b in &mut self.link_busy {
-            *b *= k as f64;
-        }
-        for b in &mut self.link_bytes {
-            *b *= k;
-        }
         self
     }
 }
 
-/// One communication round being counted: per-node message tallies (for the
-/// bridge/intra terms) plus the fluid link schedule (for the wire term).
-struct RoundAccum<'a> {
-    routes: &'a RouteTable,
+/// Pooled per-run working state: the round being counted (per-node message
+/// tallies + the fluid link schedule), the current phase's per-link
+/// accumulators, and the whole run's per-link accumulators.
+#[derive(Debug)]
+struct Scratch {
+    /// Fluid schedule of the round being counted.
+    sched: LinkSchedule,
+    /// Outbound inter-node messages per source node, this round.
     out: Vec<u32>,
+    /// Intra-node messages per node, this round.
     intra: Vec<u32>,
     total_cut: u64,
     total_intra: u64,
-    sched: LinkSchedule,
+    /// Per-link busy seconds deposited by the current phase.
+    phase_busy: Vec<f64>,
+    /// Per-link payload bytes deposited by the current phase.
+    phase_bytes: Vec<u64>,
+    /// Per-link busy seconds over the whole run.
+    link_busy: Vec<f64>,
+    /// Per-link payload bytes over the whole run.
+    link_bytes: Vec<u64>,
 }
 
-impl<'a> RoundAccum<'a> {
-    fn new(routes: &'a RouteTable, nodes: u32) -> RoundAccum<'a> {
-        RoundAccum {
-            routes,
-            out: vec![0; nodes as usize],
-            intra: vec![0; nodes as usize],
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch {
+            sched: LinkSchedule::new(0),
+            out: Vec::new(),
+            intra: Vec::new(),
             total_cut: 0,
             total_intra: 0,
-            sched: LinkSchedule::new(routes.graph().len()),
+            phase_busy: Vec::new(),
+            phase_bytes: Vec::new(),
+            link_busy: Vec::new(),
+            link_bytes: Vec::new(),
         }
     }
+}
 
-    fn add(&mut self, src: u32, dst: u32, bytes: u64) {
-        let route = self.routes.route(src, dst);
-        let n = self.routes.node_of(src) as usize;
-        if route.is_local() {
-            self.intra[n] += 1;
-            self.total_intra += 1;
+impl Scratch {
+    /// Size for this plan and zero everything, keeping allocations.
+    fn reset(&mut self, links: usize, nodes: usize) {
+        if self.sched.busy_s().len() == links {
+            self.sched.reset();
         } else {
-            self.out[n] += 1;
-            self.total_cut += 1;
-            self.sched.add(self.routes.graph(), &route, bytes);
+            self.sched = LinkSchedule::new(links);
+        }
+        self.out.clear();
+        self.out.resize(nodes, 0);
+        self.intra.clear();
+        self.intra.resize(nodes, 0);
+        self.total_cut = 0;
+        self.total_intra = 0;
+        self.phase_busy.clear();
+        self.phase_busy.resize(links, 0.0);
+        self.phase_bytes.clear();
+        self.phase_bytes.resize(links, 0);
+        self.link_busy.clear();
+        self.link_busy.resize(links, 0.0);
+        self.link_bytes.clear();
+        self.link_bytes.resize(links, 0);
+    }
+
+    /// Start counting a fresh communication round.
+    fn begin_round(&mut self) {
+        self.out.fill(0);
+        self.intra.fill(0);
+        self.total_cut = 0;
+        self.total_intra = 0;
+        self.sched.reset();
+    }
+
+    /// Multiply the current phase's link tallies by a repeat count.
+    fn scale_phase(&mut self, k: u64) {
+        let kf = k as f64;
+        for b in &mut self.phase_busy {
+            *b *= kf;
+        }
+        for b in &mut self.phase_bytes {
+            *b *= k;
         }
     }
 }
@@ -154,6 +189,7 @@ pub struct AnalyticEngine {
     /// Engine knobs.
     pub config: EngineConfig,
     routes: Arc<RouteTable>,
+    scratch: ScratchPool<Scratch>,
 }
 
 impl AnalyticEngine {
@@ -190,6 +226,7 @@ impl AnalyticEngine {
             map,
             config,
             routes,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -221,10 +258,9 @@ impl AnalyticEngine {
         let mut inter_msgs = 0u64;
         let mut intra_msgs = 0u64;
         let mut inter_bytes = 0u64;
-        // per-link tallies stay structural (no jitter): they report what the
-        // fabric carried, not when
-        let mut link_busy = vec![0.0f64; self.routes.graph().len()];
-        let mut link_bytes = vec![0u64; self.routes.graph().len()];
+        let nlinks = self.routes.graph().len();
+        let mut s = self.scratch.take().unwrap_or_default();
+        s.reset(nlinks, self.map.nodes as usize);
 
         for (step, reps) in &job.steps {
             let reps = *reps as u64;
@@ -234,16 +270,17 @@ impl AnalyticEngine {
             local.span(SpanCategory::Compute, "solver-compute", 0, t, t + compute_d);
             t += compute_d;
             for phase in &step.comm {
-                let (cost, cat, name) = self.phase_cost(phase);
+                let (cost, cat, name) = self.phase_cost(&mut s, phase);
                 let cost = cost.times(reps);
+                s.scale_phase(reps);
                 inter_msgs += cost.inter_msgs;
                 intra_msgs += cost.intra_msgs;
                 inter_bytes += cost.inter_bytes;
-                for (i, b) in cost.link_busy.iter().enumerate() {
-                    link_busy[i] += b;
-                }
-                for (i, b) in cost.link_bytes.iter().enumerate() {
-                    link_bytes[i] += b;
+                // per-link tallies stay structural (no jitter): they report
+                // what the fabric carried, not when
+                for i in 0..nlinks {
+                    s.link_busy[i] += s.phase_busy[i];
+                    s.link_bytes[i] += s.phase_bytes[i];
                 }
                 let d = SimDuration::from_secs_f64(cost.seconds * run_factor);
                 local.span(cat, name, 0, t, t + d);
@@ -262,8 +299,8 @@ impl AnalyticEngine {
             (0..g.len())
                 .map(|i| LinkUsage {
                     label: g.label(LinkId(i as u32)),
-                    busy_s: link_busy[i],
-                    bytes: link_bytes[i],
+                    busy_s: s.link_busy[i],
+                    bytes: s.link_bytes[i],
                 })
                 .collect()
         } else {
@@ -280,6 +317,7 @@ impl AnalyticEngine {
             engine: "analytic",
         };
         rec.merge(local);
+        self.scratch.put(s);
         result
     }
 
@@ -293,58 +331,88 @@ impl AnalyticEngine {
             .rank_compute_seconds(worst_rank_flops, self.map.threads_per_rank, step.regions)
     }
 
-    fn phase_cost(&self, phase: &CommPhase) -> (PhaseCost, SpanCategory, &'static str) {
+    /// Cost one phase. On return the phase's per-link tallies sit in
+    /// `s.phase_busy` / `s.phase_bytes` (including any internal repeat
+    /// multipliers); the caller applies the step repeat count and folds
+    /// them into the run accumulators.
+    fn phase_cost(
+        &self,
+        s: &mut Scratch,
+        phase: &CommPhase,
+    ) -> (PhaseCost, SpanCategory, &'static str) {
+        s.phase_busy.fill(0.0);
+        s.phase_bytes.fill(0);
         match phase {
-            CommPhase::Halo1D { bytes, repeats } => (
-                self.halo_cost(*bytes).times(*repeats as u64),
-                SpanCategory::Halo,
-                "halo1d",
-            ),
+            CommPhase::Halo1D { bytes, repeats } => {
+                let c = self.halo_cost(s, *bytes);
+                s.scale_phase(*repeats as u64);
+                (c.times(*repeats as u64), SpanCategory::Halo, "halo1d")
+            }
             CommPhase::Halo3D {
                 dims,
                 bytes,
                 repeats,
-            } => (
-                self.halo3d_cost(*dims, *bytes).times(*repeats as u64),
-                SpanCategory::Halo,
-                "halo3d",
-            ),
-            CommPhase::Allreduce { bytes, repeats } => (
-                self.allreduce_cost(*bytes).times(*repeats as u64),
-                SpanCategory::Allreduce,
-                "allreduce",
-            ),
-            CommPhase::Pairs { pairs, bytes } => {
-                (self.pairs_cost(pairs, *bytes), SpanCategory::Pairs, "pairs")
+            } => {
+                let c = self.halo3d_cost(s, *dims, *bytes);
+                s.scale_phase(*repeats as u64);
+                (c.times(*repeats as u64), SpanCategory::Halo, "halo3d")
             }
-            CommPhase::Bcast { bytes } => (self.bcast_cost(*bytes), SpanCategory::Other, "bcast"),
+            CommPhase::Allreduce { bytes, repeats } => {
+                let c = self.allreduce_cost(s, *bytes);
+                s.scale_phase(*repeats as u64);
+                (
+                    c.times(*repeats as u64),
+                    SpanCategory::Allreduce,
+                    "allreduce",
+                )
+            }
+            CommPhase::Pairs { pairs, bytes } => (
+                self.pairs_cost(s, pairs, *bytes),
+                SpanCategory::Pairs,
+                "pairs",
+            ),
+            CommPhase::Bcast { bytes } => {
+                (self.bcast_cost(s, *bytes), SpanCategory::Other, "bcast")
+            }
             CommPhase::Gather { bytes_per_rank } => (
-                self.gather_cost(*bytes_per_rank),
+                self.gather_cost(s, *bytes_per_rank),
                 SpanCategory::Other,
                 "gather",
             ),
-            CommPhase::Barrier => (self.barrier_cost(), SpanCategory::Other, "barrier"),
+            CommPhase::Barrier => (self.barrier_cost(s), SpanCategory::Other, "barrier"),
         }
     }
 
-    fn accum(&self) -> RoundAccum<'_> {
-        RoundAccum::new(&self.routes, self.map.nodes)
+    /// Deposit one message on the round being counted in `s`.
+    fn round_add(&self, s: &mut Scratch, src: u32, dst: u32, bytes: u64) {
+        let route = self.routes.route(src, dst);
+        let n = self.routes.node_of(src) as usize;
+        if route.is_local() {
+            s.intra[n] += 1;
+            s.total_intra += 1;
+        } else {
+            s.out[n] += 1;
+            s.total_cut += 1;
+            s.sched.add(self.routes.graph(), &route, bytes);
+        }
     }
 
-    /// Cost of one counted round of `bytes`-sized messages: the inter-node
-    /// part is LogGP alpha + the schedule's busiest-link drain time + the
-    /// longest route's switch latency; the intra-node part shares the node
-    /// pipe; the two overlap. The serialized container-bridge term (every
-    /// message of the busiest node queuing through one softirq path) does
-    /// not overlap with either.
-    fn round_cost(&self, acc: &RoundAccum<'_>, bytes: u64) -> PhaseCost {
-        let out_max = acc.out.iter().copied().max().unwrap_or(0);
-        let intra_max = acc.intra.iter().copied().max().unwrap_or(0);
+    /// Cost the round counted in `s`, scaled by `mult` identical repeats,
+    /// and fold its link tallies (×`mult`) into the phase accumulators.
+    ///
+    /// The inter-node part is LogGP alpha + the schedule's busiest-link
+    /// drain time + the longest route's switch latency; the intra-node part
+    /// shares the node pipe; the two overlap. The serialized
+    /// container-bridge term (every message of the busiest node queuing
+    /// through one softirq path) does not overlap with either.
+    fn round_cost(&self, s: &mut Scratch, bytes: u64, mult: u64) -> PhaseCost {
+        let out_max = s.out.iter().copied().max().unwrap_or(0);
+        let intra_max = s.intra.iter().copied().max().unwrap_or(0);
         let mut seconds: f64 = 0.0;
-        if acc.total_cut > 0 {
+        if s.total_cut > 0 {
             let t = self.network.inter.alpha_seconds(bytes)
-                + acc.sched.wire_seconds()
-                + acc.sched.max_latency_s();
+                + s.sched.wire_seconds()
+                + s.sched.max_latency_s();
             seconds = seconds.max(t);
         }
         if intra_max > 0 {
@@ -356,32 +424,38 @@ impl AnalyticEngine {
         let serialized =
             self.network.node_serialized_per_msg_s * (out_max as f64 + intra_max as f64);
         seconds += serialized;
+        let mf = mult as f64;
+        for (pb, &b) in s.phase_busy.iter_mut().zip(s.sched.busy_s()) {
+            *pb += b * mf;
+        }
+        for (pb, &b) in s.phase_bytes.iter_mut().zip(s.sched.bytes()) {
+            *pb += b * mult;
+        }
         PhaseCost {
             seconds,
             bridge_s: serialized,
-            inter_msgs: acc.total_cut,
-            intra_msgs: acc.total_intra,
-            inter_bytes: acc.total_cut * bytes,
-            link_busy: acc.sched.busy_s().to_vec(),
-            link_bytes: acc.sched.bytes().to_vec(),
+            inter_msgs: s.total_cut,
+            intra_msgs: s.total_intra,
+            inter_bytes: s.total_cut * bytes,
         }
+        .times(mult)
     }
 
-    fn halo_cost(&self, bytes: u64) -> PhaseCost {
+    fn halo_cost(&self, s: &mut Scratch, bytes: u64) -> PhaseCost {
         let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
         }
         // directed messages along the chain: r -> r+1 and r+1 -> r
-        let mut acc = self.accum();
+        s.begin_round();
         for r in 0..p - 1 {
-            acc.add(r, r + 1, bytes);
-            acc.add(r + 1, r, bytes);
+            self.round_add(s, r, r + 1, bytes);
+            self.round_add(s, r + 1, r, bytes);
         }
-        self.round_cost(&acc, bytes)
+        self.round_cost(s, bytes, 1)
     }
 
-    fn halo3d_cost(&self, dims: (u32, u32, u32), bytes: u64) -> PhaseCost {
+    fn halo3d_cost(&self, s: &mut Scratch, dims: (u32, u32, u32), bytes: u64) -> PhaseCost {
         let p = self.map.ranks();
         debug_assert_eq!(
             dims.0 * dims.1 * dims.2,
@@ -391,29 +465,29 @@ impl AnalyticEngine {
         if p <= 1 {
             return PhaseCost::default();
         }
-        let mut acc = self.accum();
+        s.begin_round();
         for r in 0..p {
             for nb in crate::workload::grid_neighbors(r, dims) {
-                acc.add(r, nb, bytes);
+                self.round_add(s, r, nb, bytes);
             }
         }
-        self.round_cost(&acc, bytes)
+        self.round_cost(s, bytes, 1)
     }
 
-    /// One pairwise-exchange round at XOR distance `dist`.
-    fn pairwise_round_cost(&self, dist: u32, bytes: u64) -> PhaseCost {
+    /// One pairwise-exchange round at XOR distance `dist`, ×`mult`.
+    fn pairwise_round_cost(&self, s: &mut Scratch, dist: u32, bytes: u64, mult: u64) -> PhaseCost {
         let p = self.map.ranks();
-        let mut acc = self.accum();
+        s.begin_round();
         for r in 0..p {
             let partner = r ^ dist;
             if partner < p {
-                acc.add(r, partner, bytes);
+                self.round_add(s, r, partner, bytes);
             }
         }
-        self.round_cost(&acc, bytes)
+        self.round_cost(s, bytes, mult)
     }
 
-    fn allreduce_cost(&self, bytes: u64) -> PhaseCost {
+    fn allreduce_cost(&self, s: &mut Scratch, bytes: u64) -> PhaseCost {
         let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
@@ -422,43 +496,43 @@ impl AnalyticEngine {
         match self.config.allreduce_algo {
             AllreduceAlgo::RecursiveDoubling => {
                 for k in 0..log2_rounds(p) {
-                    total.accumulate(self.pairwise_round_cost(1 << k, bytes));
+                    total.accumulate(self.pairwise_round_cost(s, 1 << k, bytes, 1));
                 }
             }
             AllreduceAlgo::Ring => {
                 // every round identical: ring neighbour sends of bytes/p
                 let chunk = bytes.div_ceil(p as u64).max(1);
-                let mut acc = self.accum();
+                s.begin_round();
                 for r in 0..p {
-                    acc.add(r, (r + 1) % p, chunk);
+                    self.round_add(s, r, (r + 1) % p, chunk);
                 }
                 let rounds = 2 * (p as u64 - 1);
-                total.accumulate(self.round_cost(&acc, chunk).times(rounds));
+                total.accumulate(self.round_cost(s, chunk, rounds));
             }
             AllreduceAlgo::Rabenseifner => {
                 for k in 0..log2_rounds(p) {
                     let vol = (bytes >> (k + 1)).max(1);
                     // reduce-scatter + mirrored allgather round
-                    total.accumulate(self.pairwise_round_cost(1 << k, vol).times(2));
+                    total.accumulate(self.pairwise_round_cost(s, 1 << k, vol, 2));
                 }
             }
         }
         total
     }
 
-    fn pairs_cost(&self, pairs: &[(u32, u32)], bytes: u64) -> PhaseCost {
+    fn pairs_cost(&self, s: &mut Scratch, pairs: &[(u32, u32)], bytes: u64) -> PhaseCost {
         if pairs.is_empty() {
             return PhaseCost::default();
         }
-        let mut acc = self.accum();
+        s.begin_round();
         for &(a, b) in pairs {
-            acc.add(a, b, bytes);
-            acc.add(b, a, bytes);
+            self.round_add(s, a, b, bytes);
+            self.round_add(s, b, a, bytes);
         }
-        self.round_cost(&acc, bytes)
+        self.round_cost(s, bytes, 1)
     }
 
-    fn bcast_cost(&self, bytes: u64) -> PhaseCost {
+    fn bcast_cost(&self, s: &mut Scratch, bytes: u64) -> PhaseCost {
         let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
@@ -467,29 +541,29 @@ impl AnalyticEngine {
         // matches the DES engine exactly
         let mut total = PhaseCost::default();
         for round in crate::collectives::bcast_rounds(p, bytes) {
-            let mut acc = self.accum();
+            s.begin_round();
             for m in &round {
-                acc.add(m.src, m.dst, bytes);
+                self.round_add(s, m.src, m.dst, bytes);
             }
-            total.accumulate(self.round_cost(&acc, bytes));
+            total.accumulate(self.round_cost(s, bytes, 1));
         }
         total
     }
 
-    fn gather_cost(&self, bytes_per_rank: u64) -> PhaseCost {
+    fn gather_cost(&self, s: &mut Scratch, bytes_per_rank: u64) -> PhaseCost {
         let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
         }
         // everyone sends to rank 0; the root's downlink serializes the incast
-        let mut acc = self.accum();
+        s.begin_round();
         for r in 1..p {
-            acc.add(r, 0, bytes_per_rank);
+            self.round_add(s, r, 0, bytes_per_rank);
         }
-        self.round_cost(&acc, bytes_per_rank)
+        self.round_cost(s, bytes_per_rank, 1)
     }
 
-    fn barrier_cost(&self) -> PhaseCost {
+    fn barrier_cost(&self, s: &mut Scratch) -> PhaseCost {
         let p = self.map.ranks();
         if p <= 1 {
             return PhaseCost::default();
@@ -498,11 +572,11 @@ impl AnalyticEngine {
         for k in 0..log2_rounds(p) {
             let dist = 1u32 << k;
             // dissemination round: r -> (r + dist) % p
-            let mut acc = self.accum();
+            s.begin_round();
             for r in 0..p {
-                acc.add(r, (r + dist) % p, 8);
+                self.round_add(s, r, (r + dist) % p, 8);
             }
-            total.accumulate(self.round_cost(&acc, 8));
+            total.accumulate(self.round_cost(s, 8, 1));
         }
         total
     }
@@ -560,6 +634,18 @@ mod tests {
         let rel =
             (a.elapsed.as_secs_f64() - c.elapsed.as_secs_f64()).abs() / a.elapsed.as_secs_f64();
         assert!(rel < 0.05, "rel={rel}");
+    }
+
+    #[test]
+    fn repeated_runs_reuse_pooled_scratch() {
+        let e = engine(4, 28, 1, DataPath::Host);
+        let job = JobProfile::uniform(cfd_like_step(), 10);
+        let first = e.run(&job, 3);
+        assert_eq!(e.scratch.idle(), 1, "run must return its scratch");
+        for _ in 0..3 {
+            assert_eq!(e.run(&job, 3), first, "pooled scratch must not leak state");
+        }
+        assert_eq!(e.scratch.idle(), 1);
     }
 
     #[test]

@@ -8,13 +8,21 @@
 //! - sends are *posted* (Isend semantics): the rank pays the per-message CPU
 //!   overhead and moves on, while the payload claims every link of its
 //!   route — node uplink, spine crossing, receiver downlink — as FIFO
-//!   [`Resource`]s carved into node-stream slots, the same routed graph the
-//!   analytic engine costs with its fluid schedule;
+//!   [`TypedResource`]s carved into node-stream slots, the same routed graph
+//!   the analytic engine costs with its fluid schedule;
 //! - intra-node messages serialize through a per-node memory/bridge pipe;
 //! - messages above the eager threshold use a rendezvous handshake: the
 //!   payload may only enter the NIC once the receiver has posted the
 //!   matching receive and a request/ack round-trip has elapsed;
 //! - receives block the rank until arrival (+ receive overhead).
+//!
+//! The protocol state machine is a typed event enum ([`Ev`]) over the
+//! allocation-free DES kernel: event payloads are `Copy` values in the
+//! engine's slab arena, instruction queues / resources / per-link tallies
+//! live in a pooled [`DesScratch`] reused across runs, so the steady-state
+//! event loop of `plan.execute(seed)` performs no heap allocation. The
+//! event ordering is identical — schedule-for-schedule — to the original
+//! boxed-closure implementation, so results are bit-for-bit unchanged.
 //!
 //! The engine is deterministic for a given seed and cross-validated against
 //! the analytic engine in `tests/engines_agree.rs`.
@@ -25,9 +33,9 @@ use crate::mapping::{route_table, RankMap};
 use crate::result::{CommBreakdown, LinkUsage, SimResult};
 use crate::workload::{CommPhase, JobProfile};
 use harborsim_des::trace::{Recorder, SpanCategory};
-use harborsim_des::{Engine, Resource, RngStream, SimDuration, SimTime};
+use harborsim_des::{Engine, Event, RngStream, SimDuration, SimTime, TypedResource};
 use harborsim_hw::NodeSpec;
-use harborsim_net::{LinkId, NetworkModel, Route, RouteTable, TransportParams};
+use harborsim_net::{LinkId, NetworkModel, Route, RouteTable, ScratchPool, TransportParams};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -117,16 +125,16 @@ struct JobCtx {
     config: EngineConfig,
     routes: Arc<RouteTable>,
     /// Per-slot drain rate of each link (bytes/s), dense by link id.
-    link_rate: Vec<f64>,
+    link_rate: Arc<[f64]>,
 }
 
 struct Sim {
     ctx: Arc<JobCtx>,
     ranks: Vec<RankState>,
     /// One FIFO resource per fabric link, `capacity / node-stream` slots each.
-    links: Vec<Resource<Sim>>,
-    pipes: Vec<Resource<Sim>>,
-    bridges: Vec<Resource<Sim>>,
+    links: Vec<TypedResource<Ev>>,
+    pipes: Vec<TypedResource<Ev>>,
+    bridges: Vec<TypedResource<Ev>>,
     msgs: HashMap<u64, MsgState>,
     live_ranks: u32,
     inter_msgs: u64,
@@ -138,6 +146,215 @@ struct Sim {
     link_bytes: Vec<u64>,
     /// Trace sink; compute/wait attribution is derived from it after the run.
     rec: Recorder,
+}
+
+type Eng = Engine<Sim, Ev>;
+
+/// The protocol state machine as a typed, `Copy` event payload — the
+/// allocation-free replacement for the boxed continuation closures. Each
+/// variant corresponds 1:1 to one closure of the original implementation,
+/// scheduled at exactly the same points, so the `(time, seq)` event order
+/// (and therefore every simulation output) is bit-identical.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Drive `rank`'s interpreter forward.
+    Advance { rank: u32 },
+    /// Rendezvous handshake finished: move the payload onto the node path.
+    Transfer {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+    },
+    /// The node's serialized bridge granted one message slot.
+    BridgeGranted {
+        node: u32,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+    },
+    /// The bridge hold elapsed: release it and hit the wire.
+    BridgeDone {
+        node: u32,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+    },
+    /// The intra-node pipe granted; hold it for the serialization time.
+    PipeGranted {
+        node: u32,
+        ser: SimDuration,
+        lat: SimDuration,
+        mid: u64,
+    },
+    /// Payload fully through the pipe: release, then deliver after latency.
+    PipeSerDone {
+        node: u32,
+        lat: SimDuration,
+        mid: u64,
+    },
+    /// Link `idx - 1` of the route granted; claim the next one.
+    RouteGranted {
+        route: Route,
+        idx: u8,
+        ser: SimDuration,
+        lat: SimDuration,
+        mid: u64,
+    },
+    /// Payload streamed across all held links: release them, deliver later.
+    RouteSerDone {
+        route: Route,
+        lat: SimDuration,
+        mid: u64,
+    },
+    /// Message arrived at the receiver.
+    Deliver { mid: u64 },
+}
+
+impl Event<Sim> for Ev {
+    fn fire(self, eng: &mut Eng, sim: &mut Sim) {
+        match self {
+            Ev::Advance { rank } => advance(eng, sim, rank),
+            Ev::Transfer {
+                src,
+                dst,
+                bytes,
+                mid,
+            } => enqueue_transfer(eng, sim, src, dst, bytes, mid),
+            Ev::BridgeGranted {
+                node,
+                src,
+                dst,
+                bytes,
+                mid,
+            } => {
+                let hold = SimDuration::from_secs_f64(sim.ctx.bridge_serial_s);
+                // bridge tracks sit above the rank tracks: ranks + node
+                let track = sim.ctx.map.ranks() + node;
+                let t0 = eng.now();
+                sim.rec.span(
+                    SpanCategory::Bridge,
+                    "bridge-serialization",
+                    track,
+                    t0,
+                    t0 + hold,
+                );
+                eng.schedule_event(
+                    hold,
+                    Ev::BridgeDone {
+                        node,
+                        src,
+                        dst,
+                        bytes,
+                        mid,
+                    },
+                );
+            }
+            Ev::BridgeDone {
+                node,
+                src,
+                dst,
+                bytes,
+                mid,
+            } => {
+                sim.bridges[node as usize].release(eng);
+                enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
+            }
+            Ev::PipeGranted {
+                node,
+                ser,
+                lat,
+                mid,
+            } => {
+                // hold the pipe for the serialization time
+                eng.schedule_event(ser, Ev::PipeSerDone { node, lat, mid });
+            }
+            Ev::PipeSerDone { node, lat, mid } => {
+                sim.pipes[node as usize].release(eng);
+                // payload fully through; delivery after the latency
+                eng.schedule_event(lat, Ev::Deliver { mid });
+            }
+            Ev::RouteGranted {
+                route,
+                idx,
+                ser,
+                lat,
+                mid,
+            } => acquire_route(eng, sim, route, idx as usize, ser, lat, mid),
+            Ev::RouteSerDone { route, lat, mid } => {
+                for &l in route.links() {
+                    sim.links[l.index()].release(eng);
+                }
+                // payload fully on the wire; delivery after transport +
+                // switch latency
+                eng.schedule_event(lat, Ev::Deliver { mid });
+            }
+            Ev::Deliver { mid } => deliver(eng, sim, mid),
+        }
+    }
+}
+
+/// Per-run working state, pooled across `run_traced` calls so a cached
+/// plan's execute-many loop reuses every allocation: the event arena and
+/// heap, rank instruction queues, link/pipe/bridge resources, the message
+/// table, and the per-link tally vectors.
+#[derive(Default)]
+struct DesScratch {
+    eng: Eng,
+    ranks: Vec<RankState>,
+    links: Vec<TypedResource<Ev>>,
+    pipes: Vec<TypedResource<Ev>>,
+    bridges: Vec<TypedResource<Ev>>,
+    msgs: HashMap<u64, MsgState>,
+    link_busy: Vec<f64>,
+    link_bytes: Vec<u64>,
+}
+
+impl DesScratch {
+    fn reset(&mut self, p: u32, root: &RngStream, slots: &[u32], nodes: u32, nlinks: usize) {
+        self.eng.reset();
+        self.ranks.truncate(p as usize);
+        for (r, rs) in self.ranks.iter_mut().enumerate() {
+            rs.queue.clear();
+            rs.cursor = Cursor::default();
+            rs.rng = root.derive_idx(r as u64);
+            rs.finished = false;
+        }
+        for r in self.ranks.len() as u64..p as u64 {
+            self.ranks.push(RankState {
+                queue: VecDeque::new(),
+                cursor: Cursor::default(),
+                rng: root.derive_idx(r),
+                finished: false,
+            });
+        }
+        if self.links.len() == slots.len() {
+            for (res, &s) in self.links.iter_mut().zip(slots) {
+                res.reset(s);
+            }
+        } else {
+            self.links.clear();
+            self.links
+                .extend(slots.iter().map(|&s| TypedResource::new(s)));
+        }
+        for pool in [&mut self.pipes, &mut self.bridges] {
+            if pool.len() == nodes as usize {
+                for res in pool.iter_mut() {
+                    res.reset(1);
+                }
+            } else {
+                pool.clear();
+                pool.extend((0..nodes).map(|_| TypedResource::new(1)));
+            }
+        }
+        self.msgs.clear();
+        self.link_busy.clear();
+        self.link_busy.resize(nlinks, 0.0);
+        self.link_bytes.clear();
+        self.link_bytes.resize(nlinks, 0);
+    }
 }
 
 /// The message-level engine.
@@ -152,6 +369,11 @@ pub struct DesEngine {
     /// Engine knobs (shared type with the analytic engine).
     pub config: EngineConfig,
     routes: Arc<RouteTable>,
+    /// Per-link slot counts, precomputed once per engine.
+    slots: Arc<[u32]>,
+    /// Per-slot drain rate of each link (bytes/s), precomputed once.
+    link_rate: Arc<[f64]>,
+    scratch: ScratchPool<DesScratch>,
 }
 
 impl DesEngine {
@@ -181,12 +403,29 @@ impl DesEngine {
             map.ranks(),
             "route table must match placement"
         );
+        // each link is carved into slots of the node stream rate: a node
+        // uplink is one slot (one kernel-fed wire), a healthy leaf uplink is
+        // taper × nodes_per_leaf slots — messages serialize only where the
+        // fabric is actually narrower than the offered streams
+        let graph = routes.graph();
+        let stream = network.inter.bandwidth_bps.min(network.nic_bw_bps);
+        let mut slots = Vec::with_capacity(graph.len());
+        let mut link_rate = Vec::with_capacity(graph.len());
+        for i in 0..graph.len() {
+            let cap = graph.capacity_bps(LinkId(i as u32));
+            let s = ((cap / stream).floor() as u32).max(1);
+            slots.push(s);
+            link_rate.push(cap / s as f64);
+        }
         DesEngine {
             node,
             network,
             map,
             config,
             routes,
+            slots: slots.into(),
+            link_rate: link_rate.into(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -210,24 +449,6 @@ impl DesEngine {
     pub fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
         let p = self.map.ranks();
         let graph = self.routes.graph();
-        // each link is carved into slots of the node stream rate: a node
-        // uplink is one slot (one kernel-fed wire), a healthy leaf uplink is
-        // taper × nodes_per_leaf slots — messages serialize only where the
-        // fabric is actually narrower than the offered streams
-        let stream = self
-            .network
-            .inter
-            .bandwidth_bps
-            .min(self.network.nic_bw_bps);
-        let mut slots = Vec::with_capacity(graph.len());
-        let mut link_rate = Vec::with_capacity(graph.len());
-        for i in 0..graph.len() {
-            let cap = graph.capacity_bps(LinkId(i as u32));
-            let s = ((cap / stream).floor() as u32).max(1);
-            slots.push(s);
-            link_rate.push(cap / s as f64);
-        }
-
         let root = RngStream::new(seed).derive("des-run");
         let ctx = Arc::new(JobCtx {
             job: job.clone(),
@@ -238,38 +459,35 @@ impl DesEngine {
             bridge_serial_s: self.network.node_serialized_per_msg_s,
             config: self.config.clone(),
             routes: self.routes.clone(),
-            link_rate,
+            link_rate: self.link_rate.clone(),
         });
         let mut local = Recorder::like(rec);
         local.declare_tracks(p);
+
+        let mut scratch = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(DesScratch::default()));
+        scratch.reset(p, &root, &self.slots, self.map.nodes, graph.len());
+        let mut eng = std::mem::take(&mut scratch.eng);
         let mut sim = Sim {
-            ctx: ctx.clone(),
-            ranks: (0..p)
-                .map(|r| RankState {
-                    queue: VecDeque::new(),
-                    cursor: Cursor::default(),
-                    rng: root.derive_idx(r as u64),
-                    finished: false,
-                })
-                .collect(),
-            links: slots.iter().map(|&s| Resource::new(s)).collect(),
-            pipes: (0..self.map.nodes).map(|_| Resource::new(1)).collect(),
-            bridges: (0..self.map.nodes).map(|_| Resource::new(1)).collect(),
-            msgs: HashMap::new(),
+            ctx,
+            ranks: std::mem::take(&mut scratch.ranks),
+            links: std::mem::take(&mut scratch.links),
+            pipes: std::mem::take(&mut scratch.pipes),
+            bridges: std::mem::take(&mut scratch.bridges),
+            msgs: std::mem::take(&mut scratch.msgs),
             live_ranks: p,
             inter_msgs: 0,
             intra_msgs: 0,
             inter_bytes: 0,
-            link_busy: vec![0.0; graph.len()],
-            link_bytes: vec![0; graph.len()],
+            link_busy: std::mem::take(&mut scratch.link_busy),
+            link_bytes: std::mem::take(&mut scratch.link_bytes),
             rec: local,
         };
 
-        let mut eng: Engine<Sim> = Engine::new();
         for r in 0..p {
-            eng.schedule(SimDuration::ZERO, move |eng, sim: &mut Sim| {
-                advance(eng, sim, r);
-            });
+            eng.schedule_event(SimDuration::ZERO, Ev::Advance { rank: r });
         }
         eng.run(&mut sim);
         assert_eq!(
@@ -301,12 +519,24 @@ impl DesEngine {
             engine: "des",
         };
         rec.merge(sim.rec);
+
+        // hand the working state back for the next run
+        scratch.eng = eng;
+        scratch.ranks = sim.ranks;
+        scratch.links = sim.links;
+        scratch.pipes = sim.pipes;
+        scratch.bridges = sim.bridges;
+        scratch.msgs = sim.msgs;
+        scratch.link_busy = sim.link_busy;
+        scratch.link_bytes = sim.link_bytes;
+        self.scratch.put(scratch);
         result
     }
 }
 
-/// Refill `rank`'s instruction queue from the next program item.
-/// Returns `false` when the program is exhausted.
+/// Refill `rank`'s instruction queue from the next program item, pushing
+/// directly into the rank's (pooled) queue. Returns `false` when the
+/// program is exhausted.
 fn refill(sim: &mut Sim, rank: u32) -> bool {
     let ctx = sim.ctx.clone();
     let p = ctx.map.ranks();
@@ -350,10 +580,10 @@ fn refill(sim: &mut Sim, rank: u32) -> bool {
         }
         sim.ranks[rank as usize].cursor.item += 1;
         let uid = uid | (phase_idx as u64 + 1);
-        let mut ops = Vec::new();
-        expand_phase(&ctx, rank, p, &step.comm[phase_idx], uid, &mut ops);
-        if !ops.is_empty() {
-            sim.ranks[rank as usize].queue.extend(ops);
+        let queue = &mut sim.ranks[rank as usize].queue;
+        let before = queue.len();
+        expand_phase(&ctx, rank, p, &step.comm[phase_idx], uid, queue);
+        if queue.len() > before {
             return true;
         }
     }
@@ -366,7 +596,7 @@ fn expand_phase(
     p: u32,
     phase: &CommPhase,
     uid: u64,
-    ops: &mut Vec<PrimOp>,
+    ops: &mut VecDeque<PrimOp>,
 ) {
     if p <= 1 {
         return;
@@ -378,14 +608,14 @@ fn expand_phase(
             let right = (r + 1 < p).then_some(r + 1);
             for k in 0..*repeats {
                 for nb in [left, right].into_iter().flatten() {
-                    ops.push(PrimOp::Send {
+                    ops.push_back(PrimOp::Send {
                         dst: nb,
                         bytes: *bytes,
                         mid: match_id(uid, 0, k, r, nb),
                     });
                 }
                 for nb in [left, right].into_iter().flatten() {
-                    ops.push(PrimOp::Recv {
+                    ops.push_back(PrimOp::Recv {
                         src: nb,
                         mid: match_id(uid, 0, k, nb, r),
                         family: Family::Halo,
@@ -402,14 +632,14 @@ fn expand_phase(
             let neighbors = crate::workload::grid_neighbors(r, *dims);
             for k in 0..*repeats {
                 for &nb in &neighbors {
-                    ops.push(PrimOp::Send {
+                    ops.push_back(PrimOp::Send {
                         dst: nb,
                         bytes: *bytes,
                         mid: match_id(uid, 0, k, r, nb),
                     });
                 }
                 for &nb in &neighbors {
-                    ops.push(PrimOp::Recv {
+                    ops.push_back(PrimOp::Recv {
                         src: nb,
                         mid: match_id(uid, 0, k, nb, r),
                         family: Family::Halo,
@@ -431,12 +661,12 @@ fn expand_phase(
                 } else {
                     continue;
                 };
-                ops.push(PrimOp::Send {
+                ops.push_back(PrimOp::Send {
                     dst: other,
                     bytes: *bytes,
                     mid: match_id(uid, i as u32, 0, r, other),
                 });
-                ops.push(PrimOp::Recv {
+                ops.push_back(PrimOp::Recv {
                     src: other,
                     mid: match_id(uid, i as u32, 0, other, r),
                     family: Family::Pairs,
@@ -448,7 +678,7 @@ fn expand_phase(
             if r > 0 {
                 let level = 31 - r.leading_zeros(); // round in which r receives
                 let src = r - (1 << level);
-                ops.push(PrimOp::Recv {
+                ops.push_back(PrimOp::Recv {
                     src,
                     mid: match_id(uid, level, 0, src, r),
                     family: Family::Other,
@@ -456,7 +686,7 @@ fn expand_phase(
                 for k in (level + 1)..rounds {
                     let dst = r + (1 << k);
                     if dst < p {
-                        ops.push(PrimOp::Send {
+                        ops.push_back(PrimOp::Send {
                             dst,
                             bytes: *bytes,
                             mid: match_id(uid, k, 0, r, dst),
@@ -467,7 +697,7 @@ fn expand_phase(
                 for k in 0..rounds {
                     let dst = 1u32 << k;
                     if dst < p {
-                        ops.push(PrimOp::Send {
+                        ops.push_back(PrimOp::Send {
                             dst,
                             bytes: *bytes,
                             mid: match_id(uid, k, 0, 0, dst),
@@ -479,14 +709,14 @@ fn expand_phase(
         CommPhase::Gather { bytes_per_rank } => {
             if r == 0 {
                 for src in 1..p {
-                    ops.push(PrimOp::Recv {
+                    ops.push_back(PrimOp::Recv {
                         src,
                         mid: match_id(uid, 0, 0, src, 0),
                         family: Family::Other,
                     });
                 }
             } else {
-                ops.push(PrimOp::Send {
+                ops.push_back(PrimOp::Send {
                     dst: 0,
                     bytes: *bytes_per_rank,
                     mid: match_id(uid, 0, 0, r, 0),
@@ -498,12 +728,12 @@ fn expand_phase(
                 let dist = 1u32 << k;
                 let dst = (r + dist) % p;
                 let src = (r + p - dist) % p;
-                ops.push(PrimOp::Send {
+                ops.push_back(PrimOp::Send {
                     dst,
                     bytes: 8,
                     mid: match_id(uid, k, 0, r, dst),
                 });
-                ops.push(PrimOp::Recv {
+                ops.push_back(PrimOp::Recv {
                     src,
                     mid: match_id(uid, k, 0, src, r),
                     family: Family::Other,
@@ -520,19 +750,19 @@ fn expand_allreduce(
     bytes: u64,
     uid: u64,
     rep: u32,
-    ops: &mut Vec<PrimOp>,
+    ops: &mut VecDeque<PrimOp>,
 ) {
     match algo {
         AllreduceAlgo::RecursiveDoubling => {
             for k in 0..log2_rounds(p) {
                 let partner = r ^ (1 << k);
                 if partner < p {
-                    ops.push(PrimOp::Send {
+                    ops.push_back(PrimOp::Send {
                         dst: partner,
                         bytes,
                         mid: match_id(uid, k, rep, r, partner),
                     });
-                    ops.push(PrimOp::Recv {
+                    ops.push_back(PrimOp::Recv {
                         src: partner,
                         mid: match_id(uid, k, rep, partner, r),
                         family: Family::Allreduce,
@@ -545,12 +775,12 @@ fn expand_allreduce(
             let right = (r + 1) % p;
             let left = (r + p - 1) % p;
             for j in 0..2 * (p - 1) {
-                ops.push(PrimOp::Send {
+                ops.push_back(PrimOp::Send {
                     dst: right,
                     bytes: chunk,
                     mid: match_id(uid, j, rep, r, right),
                 });
-                ops.push(PrimOp::Recv {
+                ops.push_back(PrimOp::Recv {
                     src: left,
                     mid: match_id(uid, j, rep, left, r),
                     family: Family::Allreduce,
@@ -583,16 +813,16 @@ fn push_pairwise(
     uid: u64,
     rep: u32,
     round_no: u32,
-    ops: &mut Vec<PrimOp>,
+    ops: &mut VecDeque<PrimOp>,
 ) {
     let partner = r ^ (1 << k);
     if partner < p {
-        ops.push(PrimOp::Send {
+        ops.push_back(PrimOp::Send {
             dst: partner,
             bytes,
             mid: match_id(uid, round_no, rep, r, partner),
         });
-        ops.push(PrimOp::Recv {
+        ops.push_back(PrimOp::Recv {
             src: partner,
             mid: match_id(uid, round_no, rep, partner, r),
             family: Family::Allreduce,
@@ -601,7 +831,7 @@ fn push_pairwise(
 }
 
 /// Drive `rank` forward until it blocks, computes, or finishes.
-fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
+fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
     loop {
         let op = match sim.ranks[rank as usize].queue.pop_front() {
             Some(op) => op,
@@ -623,9 +853,7 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                 let now = eng.now();
                 sim.rec
                     .span(SpanCategory::Compute, "solver-compute", rank, now, now + d);
-                eng.schedule(d, move |eng, sim| {
-                    advance(eng, sim, rank);
-                });
+                eng.schedule_event(d, Ev::Advance { rank });
                 return;
             }
             PrimOp::Send { dst, bytes, mid } => {
@@ -634,9 +862,7 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                 let now = eng.now();
                 sim.rec
                     .span(SpanCategory::Protocol, "send-overhead", rank, now, now + d);
-                eng.schedule(d, move |eng, sim| {
-                    advance(eng, sim, rank);
-                });
+                eng.schedule_event(d, Ev::Advance { rank });
                 return;
             }
             PrimOp::Recv {
@@ -654,16 +880,14 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                     let d = SimDuration::from_secs_f64(o);
                     sim.rec
                         .span(SpanCategory::Protocol, "recv-overhead", rank, now, now + d);
-                    eng.schedule(d, move |eng, sim| {
-                        advance(eng, sim, rank);
-                    });
+                    eng.schedule_event(d, Ev::Advance { rank });
                     return;
                 }
                 m.recv_posted = true;
                 m.waiting = Some((rank, now, family));
                 if let Some((src, dst, bytes)) = m.rdv_sender.take() {
                     // rendezvous partner was parked: run the handshake now
-                    let t = &transport_for(sim, src, dst).clone();
+                    let t = transport_for(sim, src, dst);
                     let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
                     let hd = SimDuration::from_secs_f64(handshake);
                     sim.rec.span(
@@ -673,9 +897,15 @@ fn advance(eng: &mut Engine<Sim>, sim: &mut Sim, rank: u32) {
                         now,
                         now + hd,
                     );
-                    eng.schedule(hd, move |eng, sim| {
-                        enqueue_transfer(eng, sim, src, dst, bytes, mid);
-                    });
+                    eng.schedule_event(
+                        hd,
+                        Ev::Transfer {
+                            src,
+                            dst,
+                            bytes,
+                            mid,
+                        },
+                    );
                 }
                 return;
             }
@@ -692,14 +922,7 @@ fn transport_for(sim: &Sim, src: u32, dst: u32) -> &TransportParams {
 }
 
 /// Post a message; returns the sender-side CPU overhead to charge.
-fn start_send(
-    eng: &mut Engine<Sim>,
-    sim: &mut Sim,
-    src: u32,
-    dst: u32,
-    bytes: u64,
-    mid: u64,
-) -> f64 {
+fn start_send(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) -> f64 {
     let same = sim.ctx.map.same_node(src, dst);
     if same {
         sim.intra_msgs += 1;
@@ -722,9 +945,15 @@ fn start_send(
                 now,
                 now + hd,
             );
-            eng.schedule(hd, move |eng, sim| {
-                enqueue_transfer(eng, sim, src, dst, bytes, mid);
-            });
+            eng.schedule_event(
+                hd,
+                Ev::Transfer {
+                    src,
+                    dst,
+                    bytes,
+                    mid,
+                },
+            );
         } else {
             m.rdv_sender = Some((src, dst, bytes));
         }
@@ -737,34 +966,20 @@ fn start_send(
 /// Queue the payload on the sending node's wire (NIC or intra pipe),
 /// passing first through the node's serialized bridge path if the job
 /// runs under Docker networking.
-fn enqueue_transfer(
-    eng: &mut Engine<Sim>,
-    sim: &mut Sim,
-    src: u32,
-    dst: u32,
-    bytes: u64,
-    mid: u64,
-) {
+fn enqueue_transfer(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
     let serial = sim.ctx.bridge_serial_s;
     if serial > 0.0 {
-        let node = sim.ctx.map.node_of(src) as usize;
-        let hold = SimDuration::from_secs_f64(serial);
-        sim.bridges[node].acquire(eng, move |eng, sim: &mut Sim| {
-            // bridge tracks sit above the rank tracks: ranks + node
-            let track = sim.ctx.map.ranks() + node as u32;
-            let t0 = eng.now();
-            sim.rec.span(
-                SpanCategory::Bridge,
-                "bridge-serialization",
-                track,
-                t0,
-                t0 + hold,
-            );
-            eng.schedule(hold, move |eng, sim| {
-                sim.bridges[node].release(eng);
-                enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
-            });
-        });
+        let node = sim.ctx.map.node_of(src);
+        sim.bridges[node as usize].acquire(
+            eng,
+            Ev::BridgeGranted {
+                node,
+                src,
+                dst,
+                bytes,
+                mid,
+            },
+        );
     } else {
         enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
     }
@@ -772,29 +987,21 @@ fn enqueue_transfer(
 
 /// Queue the payload directly on the wire: the intra-node pipe, or every
 /// link of the message's route.
-fn enqueue_transfer_wire(
-    eng: &mut Engine<Sim>,
-    sim: &mut Sim,
-    src: u32,
-    dst: u32,
-    bytes: u64,
-    mid: u64,
-) {
+fn enqueue_transfer_wire(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
     let t = *transport_for(sim, src, dst);
     if sim.ctx.map.same_node(src, dst) {
-        let node = sim.ctx.map.node_of(src) as usize;
+        let node = sim.ctx.map.node_of(src);
         let ser = SimDuration::from_secs_f64(t.serialization_seconds(bytes));
         let lat = SimDuration::from_secs_f64(t.latency_s);
-        sim.pipes[node].acquire(eng, move |eng, _sim| {
-            // hold the pipe for the serialization time
-            eng.schedule(ser, move |eng, sim: &mut Sim| {
-                sim.pipes[node].release(eng);
-                // payload fully through; delivery after the latency
-                eng.schedule(lat, move |eng, sim| {
-                    deliver(eng, sim, mid);
-                });
-            });
-        });
+        sim.pipes[node as usize].acquire(
+            eng,
+            Ev::PipeGranted {
+                node,
+                ser,
+                lat,
+                mid,
+            },
+        );
         return;
     }
     let route = sim.ctx.routes.route(src, dst);
@@ -816,7 +1023,7 @@ fn enqueue_transfer_wire(
 /// leaf-down, node-down — a fixed class order, so chained holds cannot
 /// deadlock), then hold them all for the serialization time.
 fn acquire_route(
-    eng: &mut Engine<Sim>,
+    eng: &mut Eng,
     sim: &mut Sim,
     route: Route,
     idx: usize,
@@ -825,9 +1032,16 @@ fn acquire_route(
     mid: u64,
 ) {
     if let Some(&link) = route.links().get(idx) {
-        sim.links[link.index()].acquire(eng, move |eng, sim: &mut Sim| {
-            acquire_route(eng, sim, route, idx + 1, ser, lat, mid);
-        });
+        sim.links[link.index()].acquire(
+            eng,
+            Ev::RouteGranted {
+                route,
+                idx: (idx + 1) as u8,
+                ser,
+                lat,
+                mid,
+            },
+        );
         return;
     }
     // all links held: the payload streams across the whole route at the
@@ -843,19 +1057,11 @@ fn acquire_route(
             now + ser,
         );
     }
-    eng.schedule(ser, move |eng, sim: &mut Sim| {
-        for &l in route.links() {
-            sim.links[l.index()].release(eng);
-        }
-        // payload fully on the wire; delivery after transport + switch latency
-        eng.schedule(lat, move |eng, sim| {
-            deliver(eng, sim, mid);
-        });
-    });
+    eng.schedule_event(ser, Ev::RouteSerDone { route, lat, mid });
 }
 
 /// Message arrived at the receiver.
-fn deliver(eng: &mut Engine<Sim>, sim: &mut Sim, mid: u64) {
+fn deliver(eng: &mut Eng, sim: &mut Sim, mid: u64) {
     let m = sim.msgs.entry(mid).or_default();
     if let Some((rank, posted_at, family)) = m.waiting.take() {
         sim.msgs.remove(&mid);
@@ -865,9 +1071,7 @@ fn deliver(eng: &mut Engine<Sim>, sim: &mut Sim, mid: u64) {
         // blocked-wait span: from the posted receive to delivery + overhead
         sim.rec
             .span(family.category(), "recv-wait", rank, posted_at, now + od);
-        eng.schedule(od, move |eng, sim| {
-            advance(eng, sim, rank);
-        });
+        eng.schedule_event(od, Ev::Advance { rank });
     } else {
         m.arrived = true;
     }
@@ -1029,6 +1233,26 @@ mod tests {
         let a = e.run(&job, 11);
         let b = e.run(&job, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_pooled_scratch() {
+        let e = des(2, 4, DataPath::Host);
+        let job = JobProfile::uniform(
+            step(vec![CommPhase::Halo1D {
+                bytes: 10_000,
+                repeats: 2,
+            }]),
+            2,
+        );
+        let first = e.run(&job, 7);
+        assert_eq!(e.scratch.idle(), 1, "run must return its scratch");
+        for seed in 0..4 {
+            let again = e.run(&job, 7);
+            assert_eq!(first, again, "pooled scratch must not leak state");
+            let _ = e.run(&job, seed); // interleave other seeds
+        }
+        assert_eq!(e.scratch.idle(), 1);
     }
 
     #[test]

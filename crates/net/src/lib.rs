@@ -24,6 +24,7 @@ pub mod fabric;
 pub mod link;
 pub mod model;
 pub mod route;
+pub mod scratch;
 pub mod topology;
 pub mod transport;
 
@@ -31,5 +32,6 @@ pub use fabric::{fabric_transports, shm_transport, FabricTransports};
 pub use link::{Link, LinkClass, LinkGraph, LinkId};
 pub use model::{DataPath, NetworkModel, TransportSelection};
 pub use route::{route_tables_built, LinkSchedule, Route, RouteTable};
+pub use scratch::ScratchPool;
 pub use topology::Topology;
 pub use transport::TransportParams;

@@ -1,0 +1,171 @@
+//! The cached-plan hot path performs no per-step heap allocations.
+//!
+//! Two guarantees, asserted with a counting global allocator:
+//!
+//! 1. `LinkSchedule` round costing reuses its buffers — a reset + deposit
+//!    cycle on a warmed schedule allocates **exactly zero**.
+//! 2. Both engines' `run_traced` cost is constant in the step count: a run
+//!    with 10x the steps performs the *same number* of allocations as a
+//!    short run, because everything that scales with steps (events, link
+//!    tallies, per-rank queues, message state) lives in pooled scratch.
+//!    Per-run setup (taking the scratch box, assembling `SimResult`) may
+//!    allocate, but only O(1) per run.
+
+use harborsim_des::trace::Recorder;
+use harborsim_mpi::analytic::EngineConfig;
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::{AnalyticEngine, DesEngine, RankMap};
+use harborsim_net::{DataPath, LinkGraph, LinkSchedule, NetworkModel, RouteTable};
+use harborsim_net::{Topology, TransportSelection};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn link_schedule_round_costing_allocates_exactly_zero() {
+    let graph = LinkGraph::build(
+        &Topology::FatTree {
+            nodes_per_leaf: 2,
+            hop_latency_s: 1e-6,
+            taper: 0.5,
+        },
+        8,
+        1e9,
+        1e9,
+    );
+    let table = RouteTable::build(graph, (0..16).map(|r| r / 2).collect());
+    let mut sched = LinkSchedule::new(table.graph().len());
+    let round = |sched: &mut LinkSchedule| {
+        sched.reset();
+        for src in 0..16u32 {
+            let dst = (src + 2) % 16;
+            sched.add(table.graph(), &table.route(src, dst), 64 * 1024);
+        }
+        sched.wire_seconds()
+    };
+    let warm = round(&mut sched);
+    let before = allocations();
+    let mut acc = 0.0;
+    for _ in 0..1000 {
+        acc += round(&mut sched);
+    }
+    let during = allocations() - before;
+    assert!(acc > 0.0 && warm > 0.0);
+    assert_eq!(
+        during, 0,
+        "LinkSchedule reset+deposit must reuse its buffers (saw {during} allocations)"
+    );
+}
+
+fn job(reps: u32) -> JobProfile {
+    JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 1e7,
+            imbalance: 1.02,
+            regions: 4.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 10_000,
+                    repeats: 4,
+                },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 8,
+                },
+            ],
+        },
+        reps,
+    )
+}
+
+fn network() -> NetworkModel {
+    NetworkModel::compose(
+        harborsim_hw::InterconnectKind::GigabitEthernet,
+        TransportSelection::Native,
+        DataPath::Host,
+        Topology::small_cluster(),
+    )
+}
+
+/// Allocation count of one untraced run.
+fn count_run(run: &dyn Fn(&JobProfile) -> harborsim_mpi::SimResult, job: &JobProfile) -> u64 {
+    let before = allocations();
+    let r = run(job);
+    assert!(r.elapsed.as_nanos() > 0);
+    allocations() - before
+}
+
+#[test]
+fn des_engine_allocations_are_constant_in_step_count() {
+    let engine = DesEngine::new(
+        harborsim_hw::presets::lenox().node,
+        network(),
+        RankMap::block(4, 28, 1),
+        EngineConfig::default(),
+    );
+    let run = |j: &JobProfile| engine.run_traced(j, 1, &mut Recorder::off());
+    let (short, long) = (job(2), job(20));
+    // warm the scratch pool (and every lazily-grown buffer) with the
+    // larger variant first
+    run(&long);
+    run(&short);
+    let a_short = count_run(&run, &short);
+    let a_long = count_run(&run, &long);
+    assert_eq!(
+        a_short, a_long,
+        "10x the steps must not change the DES engine's allocation count \
+         (short={a_short}, long={a_long}): the event loop is leaking \
+         per-step allocations"
+    );
+}
+
+#[test]
+fn analytic_engine_allocations_are_constant_in_step_count() {
+    let engine = AnalyticEngine::new(
+        harborsim_hw::presets::lenox().node,
+        network(),
+        RankMap::block(4, 28, 1),
+        EngineConfig::default(),
+    );
+    let run = |j: &JobProfile| engine.run_traced(j, 1, &mut Recorder::off());
+    let (short, long) = (job(2), job(20));
+    run(&long);
+    run(&short);
+    let a_short = count_run(&run, &short);
+    let a_long = count_run(&run, &long);
+    assert_eq!(
+        a_short, a_long,
+        "10x the steps must not change the analytic engine's allocation \
+         count (short={a_short}, long={a_long}): round costing is leaking \
+         per-step allocations"
+    );
+}
