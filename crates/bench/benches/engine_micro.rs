@@ -342,6 +342,28 @@ fn bench_plan_cache(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scenario-DSL front end: parse-only and parse+compile of the
+/// largest committed campaign (Fig. 3's 21-run grid), in scripts/sec.
+/// Compilation expands the full grid and builds every scenario, so this
+/// also bounds the fixed cost `reproduce_all --script` adds per run.
+fn bench_script_front_end(c: &mut Criterion) {
+    use harborsim_core::script::{self, parse};
+    let src = harborsim_core::experiments::fig3::SCRIPT;
+    parse(src).expect("committed script parses");
+    let mut g = c.benchmark_group("script");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("parse_fig3", |b| {
+        b.iter(|| black_box(parse(black_box(src)).unwrap().items.len()));
+    });
+    g.bench_function("parse_and_compile_fig3", |b| {
+        b.iter(|| {
+            let compiled = script::compile_str(black_box(src)).unwrap();
+            black_box(compiled.campaigns[0].runs.len())
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_des_events,
@@ -354,6 +376,7 @@ criterion_group!(
     bench_recorder_modes,
     bench_pool_skew,
     bench_plan_cache,
-    bench_execute_many
+    bench_execute_many,
+    bench_script_front_end
 );
 criterion_main!(benches);

@@ -8,6 +8,14 @@
 //!
 //! - `--quick` — one seed instead of the paper's five-repetition protocol
 //!   (fast smoke run; numbers shift slightly, shapes must still hold).
+//! - `--script <file>` — drive the run from a `.hsim` campaign script
+//!   instead of flags: the script's `seeds`/`taper`/`trace`/`experiments`
+//!   directives replace `--quick`/`--ablate-taper`/`--oversub`/`--trace`,
+//!   and every `campaign` block runs through the generic campaign runner
+//!   (labels, means, canonical plan-key fingerprints). Mutually exclusive
+//!   with `--quick`, `--ablate-taper` and `--oversub` — those flags *are*
+//!   a script (see `harborsim_core::script::flags_script` and the
+//!   committed equivalents under `scripts/`).
 //! - `--trace <dir>` — additionally export one chrome://tracing JSON per
 //!   experiment into `<dir>` (`fig1.trace.json`, …), capturing
 //!   representative configurations through the simulation trace layer.
@@ -29,12 +37,14 @@
 //! shape check — the paper's qualitative claims — is evaluated and printed.
 
 use harborsim_bench::baseline::BenchBaseline;
-use harborsim_bench::{out_dir, repro_seeds, write_figure, write_table, write_trace};
+use harborsim_bench::{out_dir, write_figure, write_table, write_trace};
 use harborsim_core::experiments::{
     ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_oversub, ext_weak, fig1,
     fig2, fig3, tables, validation,
 };
 use harborsim_core::lab::QueryEngine;
+use harborsim_core::script::ast::ExperimentsSpec;
+use harborsim_core::script::{compile_str, flags_script, CompiledScript};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -56,6 +66,7 @@ fn main() {
     let mut bench_baseline = false;
     let mut trace_dir: Option<PathBuf> = None;
     let mut taper: Option<f64> = None;
+    let mut script_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,14 +93,55 @@ fn main() {
                     }
                 }
             }
+            "--script" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--script needs a .hsim file argument");
+                    std::process::exit(2);
+                });
+                script_path = Some(PathBuf::from(path));
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>])"
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--script <file>])"
                 );
                 std::process::exit(2);
             }
         }
     }
+
+    // Flags and scripts are one front end: a flag combination is exactly
+    // the one-line script `flags_script` renders, so both paths compile
+    // the same way and fingerprint to the same plan keys.
+    let compiled: CompiledScript = match &script_path {
+        Some(path) => {
+            if quick || taper.is_some() {
+                eprintln!(
+                    "--script replaces --quick/--ablate-taper/--oversub: put `seeds quick` / `taper <t>` in the script instead"
+                );
+                std::process::exit(2);
+            }
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            compile_str(&src).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+        None => compile_str(&flags_script(quick, taper))
+            .expect("the flag front end always renders a valid script"),
+    };
+
+    let taper = compiled.taper;
+    let seeds: &[u64] = &compiled.seeds;
+    let trace_dir = trace_dir.or_else(|| compiled.trace_dir.clone().map(PathBuf::from));
+    let selected = |name: &str| match &compiled.experiments {
+        None => false,
+        Some(ExperimentsSpec::All) => true,
+        Some(ExperimentsSpec::Named(names)) => names.iter().any(|n| n.value == name),
+    };
+
     // The taper override is plumbed explicitly: one engine, one fallback,
     // shared by every experiment — so cached plans carry the ablation in
     // their keys instead of reading process-global state.
@@ -97,11 +149,6 @@ fn main() {
     if let Some(t) = taper {
         println!("NOTE: spine taper forced to {t} on every fat-tree fabric for this run.\n");
     }
-    let seeds = if quick {
-        &repro_seeds()[..1]
-    } else {
-        repro_seeds()
-    };
     let trace = |name: &str, parts: &[(String, harborsim_des::trace::TraceBuffer)]| {
         if let Some(dir) = &trace_dir {
             write_trace(dir, name, parts);
@@ -142,128 +189,182 @@ fn main() {
         println!();
     }
 
-    println!("== Machine calibration (model constants, derived) ==");
-    println!(
-        "{:<14} {:>16} {:>16} {:>12} {:>10}",
-        "cluster", "node GF/s (CG)", "machine TF/s", "8B msg [us]", "BW [GB/s]"
-    );
-    for m in harborsim_core::calibration::all_machines() {
+    if compiled.experiments.is_some() {
+        println!("== Machine calibration (model constants, derived) ==");
         println!(
-            "{:<14} {:>16.0} {:>16.1} {:>12.1} {:>10.1}",
-            m.name,
-            m.node_sustained_gflops,
-            m.machine_sustained_tflops,
-            m.small_message_us,
-            m.fabric_gbs
+            "{:<14} {:>16} {:>16} {:>12} {:>10}",
+            "cluster", "node GF/s (CG)", "machine TF/s", "8B msg [us]", "BW [GB/s]"
         );
+        for m in harborsim_core::calibration::all_machines() {
+            println!(
+                "{:<14} {:>16.0} {:>16.1} {:>12.1} {:>10.1}",
+                m.name,
+                m.node_sustained_gflops,
+                m.machine_sustained_tflops,
+                m.small_message_us,
+                m.fabric_gbs
+            );
+        }
+        println!();
     }
-    println!();
 
-    println!("== Fig. 1: containerization solutions (Lenox) ==");
-    let f1 = fig1::run(&lab, seeds);
-    write_figure(&f1);
-    println!("{}", f1.to_ascii(72, 18));
-    all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
-    summary.push(("fig1", f1.to_json()));
-    trace("fig1", &fig1::traces(&lab, seeds[0]));
+    if selected("fig1") {
+        println!("== Fig. 1: containerization solutions (Lenox) ==");
+        let f1 = fig1::run(&lab, seeds);
+        write_figure(&f1);
+        println!("{}", f1.to_ascii(72, 18));
+        all_ok &= report_shapes("fig1", &fig1::check_shape(&f1));
+        summary.push(("fig1", f1.to_json()));
+        trace("fig1", &fig1::traces(&lab, seeds[0]));
+    }
 
-    println!("\n== Fig. 2: portability (CTE-POWER) ==");
-    let f2 = fig2::run(&lab, seeds);
-    write_figure(&f2);
-    println!("{}", f2.to_ascii(72, 18));
-    all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
-    summary.push(("fig2", f2.to_json()));
-    trace("fig2", &fig2::traces(&lab, seeds[0]));
+    if selected("fig2") {
+        println!("\n== Fig. 2: portability (CTE-POWER) ==");
+        let f2 = fig2::run(&lab, seeds);
+        write_figure(&f2);
+        println!("{}", f2.to_ascii(72, 18));
+        all_ok &= report_shapes("fig2", &fig2::check_shape(&f2));
+        summary.push(("fig2", f2.to_json()));
+        trace("fig2", &fig2::traces(&lab, seeds[0]));
+    }
 
-    println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
-    let f3 = fig3::run(&lab, seeds);
-    write_figure(&f3);
-    println!("{}", f3.to_ascii(72, 18));
-    all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
-    summary.push(("fig3", f3.to_json()));
-    trace("fig3", &fig3::traces(&lab, seeds[0]));
+    if selected("fig3") {
+        println!("\n== Fig. 3: scalability (MareNostrum4, up to 12,288 cores) ==");
+        let f3 = fig3::run(&lab, seeds);
+        write_figure(&f3);
+        println!("{}", f3.to_ascii(72, 18));
+        all_ok &= report_shapes("fig3", &fig3::check_shape(&f3));
+        summary.push(("fig3", f3.to_json()));
+        trace("fig3", &fig3::traces(&lab, seeds[0]));
+    }
 
-    println!("\n== Table: deployment overhead / image size / execution time ==");
-    let td = tables::deployment(&lab, seeds);
-    write_table(&td);
-    println!("{}", td.to_ascii());
-    all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
-    summary.push(("table_deployment", td.to_json()));
-    trace("table-deployment", &tables::deployment_traces());
+    if selected("tables") {
+        println!("\n== Table: deployment overhead / image size / execution time ==");
+        let td = tables::deployment(&lab, seeds);
+        write_table(&td);
+        println!("{}", td.to_ascii());
+        all_ok &= report_shapes("table-deployment", &tables::check_deployment_shape(&td));
+        summary.push(("table_deployment", td.to_json()));
+        trace("table-deployment", &tables::deployment_traces());
 
-    println!("\n== Table: portability across three architectures ==");
-    let tp = tables::portability(&lab, seeds);
-    write_table(&tp);
-    println!("{}", tp.to_ascii());
-    all_ok &= report_shapes("table-portability", &tables::check_portability_shape(&tp));
-    summary.push(("table_portability", tp.to_json()));
+        println!("\n== Table: portability across three architectures ==");
+        let tp = tables::portability(&lab, seeds);
+        write_table(&tp);
+        println!("{}", tp.to_ascii());
+        all_ok &= report_shapes("table-portability", &tables::check_portability_shape(&tp));
+        summary.push(("table_portability", tp.to_json()));
+    }
 
-    println!("\n== Extension: I/O & distributed storage (image-startup storm) ==");
-    let fe = ext_io::run();
-    write_figure(&fe);
-    println!("{}", fe.to_ascii(72, 18));
-    all_ok &= report_shapes("ext-io", &ext_io::check_shape(&fe));
-    summary.push(("ext_io", fe.to_json()));
-    trace("ext-io", &ext_io::traces());
+    if selected("ext-io") {
+        println!("\n== Extension: I/O & distributed storage (image-startup storm) ==");
+        let fe = ext_io::run();
+        write_figure(&fe);
+        println!("{}", fe.to_ascii(72, 18));
+        all_ok &= report_shapes("ext-io", &ext_io::check_shape(&fe));
+        summary.push(("ext_io", fe.to_json()));
+        trace("ext-io", &ext_io::traces());
+    }
 
-    println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
-    let rows = ext_breakdown::run(&lab, seeds[0]);
-    let tb = ext_breakdown::table(&rows);
-    write_table(&tb);
-    println!("{}", tb.to_ascii());
-    all_ok &= report_shapes("ext-breakdown", &ext_breakdown::check_shape(&rows));
-    summary.push(("ext_breakdown", tb.to_json()));
-    trace("ext-breakdown", &ext_breakdown::traces(&rows));
+    if selected("ext-breakdown") {
+        println!("\n== Extension: time decomposition + Docker --net=host ablation ==");
+        let rows = ext_breakdown::run(&lab, seeds[0]);
+        let tb = ext_breakdown::table(&rows);
+        write_table(&tb);
+        println!("{}", tb.to_ascii());
+        all_ok &= report_shapes("ext-breakdown", &ext_breakdown::check_shape(&rows));
+        summary.push(("ext_breakdown", tb.to_json()));
+        trace("ext-breakdown", &ext_breakdown::traces(&rows));
+    }
 
-    println!("\n== Extension: campaign turnaround under the batch scheduler ==");
-    let rows = ext_campaign::run(&lab, seeds);
-    let tc = ext_campaign::table(&rows);
-    write_table(&tc);
-    println!("{}", tc.to_ascii());
-    all_ok &= report_shapes("ext-campaign", &ext_campaign::check_shape(&rows));
-    summary.push(("ext_campaign", tc.to_json()));
-    trace("ext-campaign", &ext_campaign::traces());
+    if selected("ext-campaign") {
+        println!("\n== Extension: campaign turnaround under the batch scheduler ==");
+        let rows = ext_campaign::run(&lab, seeds);
+        let tc = ext_campaign::table(&rows);
+        write_table(&tc);
+        println!("{}", tc.to_ascii());
+        all_ok &= report_shapes("ext-campaign", &ext_campaign::check_shape(&rows));
+        summary.push(("ext_campaign", tc.to_json()));
+        trace("ext-campaign", &ext_campaign::traces());
+    }
 
-    println!("\n== Extension: weak scaling ==");
-    let fw = ext_weak::run(&lab, seeds);
-    write_figure(&fw);
-    println!("{}", fw.to_ascii(72, 18));
-    all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
-    summary.push(("ext_weak", fw.to_json()));
-    trace("ext-weak", &ext_weak::traces(&lab, seeds[0]));
+    if selected("ext-weak") {
+        println!("\n== Extension: weak scaling ==");
+        let fw = ext_weak::run(&lab, seeds);
+        write_figure(&fw);
+        println!("{}", fw.to_ascii(72, 18));
+        all_ok &= report_shapes("ext-weak", &ext_weak::check_shape(&fw));
+        summary.push(("ext_weak", fw.to_json()));
+        trace("ext-weak", &ext_weak::traces(&lab, seeds[0]));
+    }
 
-    println!("\n== Extension: spine oversubscription ==");
-    let study = ext_oversub::run(&lab, seeds);
-    write_figure(&study.fig);
-    println!("{}", study.fig.to_ascii(72, 18));
-    let tl = ext_oversub::table(&study);
-    write_table(&tl);
-    println!("{}", tl.to_ascii());
-    all_ok &= report_shapes("ext-oversub", &ext_oversub::check_shape(&study));
-    summary.push(("ext_oversub", study.fig.to_json()));
+    if selected("ext-oversub") {
+        println!("\n== Extension: spine oversubscription ==");
+        let study = ext_oversub::run(&lab, seeds);
+        write_figure(&study.fig);
+        println!("{}", study.fig.to_ascii(72, 18));
+        let tl = ext_oversub::table(&study);
+        write_table(&tl);
+        println!("{}", tl.to_ascii());
+        all_ok &= report_shapes("ext-oversub", &ext_oversub::check_shape(&study));
+        summary.push(("ext_oversub", study.fig.to_json()));
+    }
 
-    println!("\n== Extension: degraded-link robustness ==");
-    let fd = ext_degraded::run(&lab, seeds);
-    write_figure(&fd);
-    println!("{}", fd.to_ascii(72, 18));
-    all_ok &= report_shapes("ext-degraded", &ext_degraded::check_shape(&fd));
-    summary.push(("ext_degraded", fd.to_json()));
+    if selected("ext-degraded") {
+        println!("\n== Extension: degraded-link robustness ==");
+        let fd = ext_degraded::run(&lab, seeds);
+        write_figure(&fd);
+        println!("{}", fd.to_ascii(72, 18));
+        all_ok &= report_shapes("ext-degraded", &ext_degraded::check_shape(&fd));
+        summary.push(("ext_degraded", fd.to_json()));
+    }
 
-    println!("\n== Extension: placement locality on the fat tree ==");
-    let fl = ext_locality::run(&lab, seeds);
-    write_figure(&fl);
-    println!("{}", fl.to_ascii(72, 18));
-    all_ok &= report_shapes("ext-locality", &ext_locality::check_shape(&fl));
-    summary.push(("ext_locality", fl.to_json()));
+    if selected("ext-locality") {
+        println!("\n== Extension: placement locality on the fat tree ==");
+        let fl = ext_locality::run(&lab, seeds);
+        write_figure(&fl);
+        println!("{}", fl.to_ascii(72, 18));
+        all_ok &= report_shapes("ext-locality", &ext_locality::check_shape(&fl));
+        summary.push(("ext_locality", fl.to_json()));
+    }
 
-    println!("\n== Engine cross-validation (DES vs analytic) ==");
-    let vrows = validation::run(&lab);
-    let tv = validation::table(&vrows);
-    write_table(&tv);
-    println!("{}", tv.to_ascii());
-    all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
-    summary.push(("validation", tv.to_json()));
-    trace("validation", &validation::traces(&lab, seeds[0]));
+    if selected("validation") {
+        println!("\n== Engine cross-validation (DES vs analytic) ==");
+        let vrows = validation::run(&lab);
+        let tv = validation::table(&vrows);
+        write_table(&tv);
+        println!("{}", tv.to_ascii());
+        all_ok &= report_shapes("ext-validation", &validation::check_shape(&vrows));
+        summary.push(("validation", tv.to_json()));
+        trace("validation", &validation::traces(&lab, seeds[0]));
+    }
+
+    // The generic campaign runner: every `campaign` block in the script
+    // becomes a labelled grid of (mean elapsed, canonical plan-key
+    // fingerprint) rows, executed through the same lab and plan cache as
+    // the paper experiments.
+    let fallback_seeds = compiled.seeds.clone();
+    for campaign in compiled.campaigns {
+        println!("\n== Campaign: {} ==", campaign.name);
+        let campaign_seeds: Vec<u64> = campaign.seeds_or(&fallback_seeds).to_vec();
+        let mut labels = Vec::with_capacity(campaign.runs.len());
+        let mut prints = Vec::with_capacity(campaign.runs.len());
+        let mut scenarios = Vec::with_capacity(campaign.runs.len());
+        for run in campaign.runs {
+            let label = if run.labels.is_empty() {
+                "(base)".to_string()
+            } else {
+                run.labels.join(" / ")
+            };
+            labels.push(label);
+            prints.push(run.fingerprint(taper));
+            scenarios.push(run.scenario);
+        }
+        let means = lab.means(scenarios, &campaign_seeds);
+        println!("{:<44} {:>12}   {:<16}", "run", "mean [s]", "plan key");
+        for ((label, mean), print) in labels.iter().zip(&means).zip(&prints) {
+            println!("{label:<44} {mean:>12.2}   {print:016x}");
+        }
+    }
 
     let body: Vec<String> = summary
         .iter()

@@ -7,6 +7,7 @@
 //! flattening them to strings, so callers can match on the cause while
 //! `Display` still renders the familiar one-line diagnostics.
 
+use crate::script::ScriptError;
 use harborsim_container::BuildError;
 use harborsim_hw::PlacementError;
 use std::error::Error;
@@ -26,6 +27,9 @@ pub enum HarborError {
     },
     /// Deployment was requested and the image build failed.
     Build(BuildError),
+    /// A campaign script was rejected (lex, parse, or compile stage);
+    /// the inner error carries the offending line and column.
+    Script(ScriptError),
 }
 
 impl fmt::Display for HarborError {
@@ -36,6 +40,7 @@ impl fmt::Display for HarborError {
                 write!(f, "{runtime} is not installed on {cluster}")
             }
             HarborError::Build(e) => e.fmt(f),
+            HarborError::Script(e) => e.fmt(f),
         }
     }
 }
@@ -45,6 +50,7 @@ impl Error for HarborError {
         match self {
             HarborError::Placement(e) => Some(e),
             HarborError::Build(e) => Some(e),
+            HarborError::Script(e) => Some(e),
             HarborError::RuntimeUnavailable { .. } => None,
         }
     }
@@ -59,6 +65,12 @@ impl From<PlacementError> for HarborError {
 impl From<BuildError> for HarborError {
     fn from(e: BuildError) -> HarborError {
         HarborError::Build(e)
+    }
+}
+
+impl From<ScriptError> for HarborError {
+    fn from(e: ScriptError) -> HarborError {
+        HarborError::Script(e)
     }
 }
 

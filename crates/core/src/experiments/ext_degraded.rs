@@ -8,11 +8,13 @@
 //! CTE-POWER CFD case at 16 nodes with node 3's uplink at full, half,
 //! quarter and tenth capacity.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{expect, load_campaign, ShapeReport};
 use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::scenario::{Execution, Scenario};
-use crate::workloads;
+use crate::script::CompiledCampaign;
+
+/// The committed campaign script this extension runs from.
+pub const SCRIPT: &str = include_str!("ext_degraded.hsim");
 
 /// Uplink capacity factors of the sweep, healthy first.
 pub const FACTORS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
@@ -20,24 +22,17 @@ pub const FACTORS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
 /// The node whose uplink degrades.
 pub const VICTIM: u32 = 3;
 
-fn scenario(factor: f64) -> Scenario {
-    let base = Scenario::new(
-        harborsim_hw::presets::cte_power(),
-        workloads::artery_cfd_cte(),
-    )
-    .execution(Execution::singularity_system_specific())
-    .nodes(16)
-    .ranks_per_node(40);
-    if factor < 1.0 {
-        base.degrade_node_uplink(VICTIM, factor)
-    } else {
-        base
-    }
+/// The extension's scenario sweep, compiled from [`SCRIPT`]: one run per
+/// capacity factor, healthy (no degraded entry) first.
+pub fn campaign() -> CompiledCampaign {
+    load_campaign(SCRIPT)
 }
 
 /// Regenerate: x = uplink capacity factor, y = slowdown vs healthy.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
-    let means = lab.means(FACTORS.iter().map(|&f| scenario(f)), seeds);
+    let campaign = campaign();
+    let scenarios = campaign.runs.into_iter().map(|r| r.scenario);
+    let means = lab.means(scenarios, seeds);
     let times: Vec<(f64, f64)> = FACTORS.iter().copied().zip(means).collect();
     let healthy = times[0].1;
     FigureData {
@@ -96,6 +91,21 @@ pub fn check_shape(fig: &FigureData) -> ShapeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn script_matches_the_sweep_constants() {
+        let c = campaign();
+        assert_eq!(c.sweep_lens, vec![FACTORS.len()]);
+        let sc = &c.runs[0].scenario;
+        assert!(
+            sc.degraded_uplinks.is_empty(),
+            "the healthy factor-1.0 point compiles to no degraded entry"
+        );
+        assert_eq!((sc.nodes, sc.ranks_per_node), (16, 40));
+        for (run, &f) in c.runs.iter().zip(FACTORS.iter()).skip(1) {
+            assert_eq!(run.scenario.degraded_uplinks, vec![(VICTIM, f)]);
+        }
+    }
 
     #[test]
     fn degraded_link_shape() {

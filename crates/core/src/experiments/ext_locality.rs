@@ -7,76 +7,28 @@
 //! route table — this extension quantifies them on a bandwidth-heavy
 //! chain-halo job at up to 64 nodes.
 
-use crate::experiments::{expect, ShapeReport};
+use crate::experiments::{campaign_series, expect, load_campaign, ShapeReport};
 use crate::lab::QueryEngine;
-use crate::report::{FigureData, Series};
-use crate::scenario::{Execution, Scenario};
-use harborsim_alya::workload::AlyaCase;
-use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
-use harborsim_mpi::Placement;
+use crate::report::FigureData;
+use crate::script::CompiledCampaign;
+pub use crate::workloads::ChainHaloCase;
+
+/// The committed campaign script this extension runs from.
+pub const SCRIPT: &str = include_str!("ext_locality.hsim");
 
 /// Node counts of the sweep.
 pub const NODES: [u32; 3] = [16, 32, 64];
 
-/// A 1D chain-halo case with enough bytes per edge that placement decides
-/// how much traffic hits the wire (the 3D CFD partitions can tie under
-/// stride aliasing; see the `ablate_mapping` bench).
-pub struct ChainHaloCase;
-
-impl AlyaCase for ChainHaloCase {
-    fn name(&self) -> &str {
-        "chain-halo-locality"
-    }
-
-    fn memo_key(&self) -> Option<String> {
-        // the profile is rank-independent, so a constant key is exact
-        Some("chain-halo-locality".into())
-    }
-
-    fn job_profile(&self, _ranks: u32) -> JobProfile {
-        JobProfile::uniform(
-            StepProfile {
-                flops_per_rank: 2e8,
-                imbalance: 1.0,
-                regions: 1.0,
-                comm: vec![CommPhase::Halo1D {
-                    bytes: 200_000,
-                    repeats: 20,
-                }],
-            },
-            50,
-        )
-    }
-}
-
-fn scenario(placement: Placement, nodes: u32) -> Scenario {
-    Scenario::new(harborsim_hw::presets::marenostrum4(), ChainHaloCase)
-        .execution(Execution::bare_metal())
-        .nodes(nodes)
-        .ranks_per_node(48)
-        .placement(placement)
+/// The extension's scenario grid, compiled from [`SCRIPT`]: placements
+/// outermost, node counts inner.
+pub fn campaign() -> CompiledCampaign {
+    load_campaign(SCRIPT)
 }
 
 /// Regenerate: x = nodes, y = elapsed seconds, one series per placement.
 /// Both placements' node sweeps run as one lab batch.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
-    let placements = [
-        ("Block", Placement::Block),
-        ("Round-robin", Placement::RoundRobin),
-    ];
-    let scenarios: Vec<Scenario> = placements
-        .iter()
-        .flat_map(|&(_, p)| NODES.iter().map(move |&n| scenario(p, n)))
-        .collect();
-    let means = lab.means(scenarios, seeds);
-    let series: Vec<Series> = placements
-        .iter()
-        .zip(means.chunks(NODES.len()))
-        .map(|(&(label, _), ts)| {
-            let points = NODES.iter().zip(ts).map(|(&n, &t)| (n as f64, t)).collect();
-            Series::new(label, points)
-        })
-        .collect();
+    let series = campaign_series(lab, seeds, campaign(), |s| s.nodes as f64);
     FigureData {
         id: "ext-locality".into(),
         title: "Rank placement vs halo locality, chain halos (MareNostrum4)".into(),

@@ -9,11 +9,14 @@
 //!   performance at every configuration;
 //! - Docker degrades as the job scales in MPI ranks.
 
-use crate::experiments::{capture, expect, ShapeReport};
+use crate::experiments::{campaign_series, campaign_traces, expect, load_campaign, ShapeReport};
 use crate::lab::QueryEngine;
-use crate::report::{FigureData, Series};
-use crate::scenario::{Execution, Scenario};
-use crate::workloads;
+use crate::report::FigureData;
+use crate::scenario::Execution;
+use crate::script::CompiledCampaign;
+
+/// The committed campaign script this figure runs from.
+pub const SCRIPT: &str = include_str!("fig1.hsim");
 
 /// The paper's five `ranks × threads-per-rank` configurations.
 pub const CONFIGS: [(u32, u32); 5] = [(8, 14), (16, 7), (28, 4), (56, 2), (112, 1)];
@@ -28,52 +31,25 @@ pub fn environments() -> Vec<(&'static str, Execution)> {
     ]
 }
 
-fn scenario(env: Execution, ranks: u32, threads: u32) -> Scenario {
-    Scenario::new(
-        harborsim_hw::presets::lenox(),
-        workloads::artery_cfd_lenox(),
-    )
-    .execution(env)
-    .nodes(4)
-    .ranks_per_node(ranks / 4)
-    .threads_per_rank(threads)
+/// The figure's scenario grid, compiled from [`SCRIPT`]: environments
+/// outermost, the five configurations inner.
+pub fn campaign() -> CompiledCampaign {
+    load_campaign(SCRIPT)
 }
 
 /// Capture one trace per technology at the pure-MPI 112x1 point — the
 /// configuration where the mechanisms differ most (Docker's bridge spans
 /// are emitted for every inter-node message).
 pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
-    environments()
-        .iter()
-        .map(|(label, env)| capture(lab, label, &scenario(*env, 112, 1), seed))
-        .collect()
+    campaign_traces(lab, &campaign(), CONFIGS.len() - 1, seed)
 }
 
 /// Regenerate the figure: x = total MPI ranks, y = elapsed seconds. All
 /// 20 (environment × configuration) points run as one lab batch.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
-    let envs = environments();
-    let scenarios: Vec<Scenario> = envs
-        .iter()
-        .flat_map(|(_, env)| {
-            CONFIGS
-                .iter()
-                .map(|&(ranks, threads)| scenario(*env, ranks, threads))
-        })
-        .collect();
-    let means = lab.means(scenarios, seeds);
-    let series: Vec<Series> = envs
-        .iter()
-        .zip(means.chunks(CONFIGS.len()))
-        .map(|((label, _), ys)| {
-            let points = CONFIGS
-                .iter()
-                .zip(ys)
-                .map(|(&(ranks, _), &y)| (ranks as f64, y))
-                .collect();
-            Series::new(label, points)
-        })
-        .collect();
+    let series = campaign_series(lab, seeds, campaign(), |s| {
+        (s.ranks_per_node * s.nodes) as f64
+    });
     FigureData {
         id: "fig1".into(),
         title: "Average elapsed time of the artery CFD case in Lenox".into(),
@@ -149,6 +125,21 @@ mod tests {
         }
         let report = check_shape(&fig);
         assert!(report.is_empty(), "shape violations: {report:#?}");
+    }
+
+    #[test]
+    fn script_matches_the_paper_constants() {
+        let c = campaign();
+        assert_eq!(c.sweep_lens, vec![4, 5]);
+        let envs = environments();
+        for (i, run) in c.runs.iter().enumerate() {
+            let (label, env) = &envs[i / CONFIGS.len()];
+            assert_eq!(run.labels[0], *label);
+            assert_eq!(run.scenario.env, *env);
+            let (ranks, threads) = CONFIGS[i % CONFIGS.len()];
+            assert_eq!(run.scenario.ranks_per_node * run.scenario.nodes, ranks);
+            assert_eq!(run.scenario.threads_per_rank, threads);
+        }
     }
 
     #[test]

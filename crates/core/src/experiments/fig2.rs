@@ -10,11 +10,14 @@
 //! - the *self-contained* container cannot use the Mellanox EDR network
 //!   (it falls back to IPoIB) and falls behind, increasingly with scale.
 
-use crate::experiments::{capture, expect, ShapeReport};
+use crate::experiments::{campaign_series, campaign_traces, expect, load_campaign, ShapeReport};
 use crate::lab::QueryEngine;
-use crate::report::{FigureData, Series};
-use crate::scenario::{Execution, Scenario};
-use crate::workloads;
+use crate::report::FigureData;
+use crate::scenario::Execution;
+use crate::script::CompiledCampaign;
+
+/// The committed campaign script this figure runs from.
+pub const SCRIPT: &str = include_str!("fig2.hsim");
 
 /// Node counts of the figure (the paper samples every integer 2..16).
 pub fn node_counts() -> Vec<u32> {
@@ -36,43 +39,23 @@ pub fn environments() -> Vec<(&'static str, Execution)> {
     ]
 }
 
-fn scenario(env: Execution, nodes: u32) -> Scenario {
-    Scenario::new(
-        harborsim_hw::presets::cte_power(),
-        workloads::artery_cfd_cte(),
-    )
-    .execution(env)
-    .nodes(nodes)
-    .ranks_per_node(40)
+/// The figure's scenario grid, compiled from [`SCRIPT`]: environments
+/// outermost, node counts inner.
+pub fn campaign() -> CompiledCampaign {
+    load_campaign(SCRIPT)
 }
 
 /// Capture one trace per curve at the 4-node point (the self-contained
 /// image is already on TCP fallback there).
 pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
-    environments()
-        .iter()
-        .map(|(label, env)| capture(lab, label, &scenario(*env, 4), seed))
-        .collect()
+    // nodes sweep is 2..16, so grid index 2 is the 4-node point
+    campaign_traces(lab, &campaign(), 2, seed)
 }
 
 /// Regenerate the figure: x = nodes, y = elapsed seconds. All 45
 /// (environment × node-count) points run as one lab batch.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
-    let envs = environments();
-    let nodes = node_counts();
-    let scenarios: Vec<Scenario> = envs
-        .iter()
-        .flat_map(|(_, env)| nodes.iter().map(|&n| scenario(*env, n)))
-        .collect();
-    let means = lab.means(scenarios, seeds);
-    let series: Vec<Series> = envs
-        .iter()
-        .zip(means.chunks(nodes.len()))
-        .map(|((label, _), ys)| {
-            let points = nodes.iter().zip(ys).map(|(&n, &y)| (n as f64, y)).collect();
-            Series::new(label, points)
-        })
-        .collect();
+    let series = campaign_series(lab, seeds, campaign(), |s| s.nodes as f64);
     FigureData {
         id: "fig2".into(),
         title: "Average elapsed time of the artery CFD case in CTE-POWER".into(),
@@ -164,6 +147,21 @@ mod tests {
         }
         let report = check_shape(&fig);
         assert!(report.is_empty(), "shape violations: {report:#?}");
+    }
+
+    #[test]
+    fn script_matches_the_paper_grid() {
+        let c = campaign();
+        assert_eq!(c.sweep_lens, vec![3, 15]);
+        let envs = environments();
+        let nodes = node_counts();
+        for (i, run) in c.runs.iter().enumerate() {
+            let (label, env) = &envs[i / nodes.len()];
+            assert_eq!(run.labels[0], *label);
+            assert_eq!(run.scenario.env, *env);
+            assert_eq!(run.scenario.nodes, nodes[i % nodes.len()]);
+            assert_eq!(run.scenario.ranks_per_node, 40);
+        }
     }
 
     #[test]

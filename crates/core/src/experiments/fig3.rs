@@ -11,11 +11,14 @@
 //! - the self-contained container cannot, and its curve breaks away and
 //!   plateaus at a small fraction of the ideal speedup.
 
-use crate::experiments::{capture, expect, ShapeReport};
+use crate::experiments::{campaign_series, campaign_traces, expect, load_campaign, ShapeReport};
 use crate::lab::QueryEngine;
 use crate::report::{FigureData, Series};
-use crate::scenario::{Execution, Scenario};
-use crate::workloads;
+use crate::scenario::Execution;
+use crate::script::CompiledCampaign;
+
+/// The committed campaign script this figure runs from.
+pub const SCRIPT: &str = include_str!("fig3.hsim");
 
 /// Node counts of the figure.
 pub const NODES: [u32; 7] = [4, 8, 16, 32, 64, 128, 256];
@@ -35,46 +38,31 @@ pub fn environments() -> Vec<(&'static str, Execution)> {
     ]
 }
 
-fn scenario(env: Execution, nodes: u32) -> Scenario {
-    Scenario::new(
-        harborsim_hw::presets::marenostrum4(),
-        workloads::artery_fsi_mn4(),
-    )
-    .execution(env)
-    .nodes(nodes)
-    .ranks_per_node(48)
+/// The figure's scenario grid, compiled from [`SCRIPT`]: environments
+/// outermost, node counts inner.
+pub fn campaign() -> CompiledCampaign {
+    load_campaign(SCRIPT)
 }
 
 /// Capture one trace per curve at the 16-node point, where the
 /// self-contained curve has visibly broken away.
 pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
-    environments()
-        .iter()
-        .map(|(label, env)| capture(lab, label, &scenario(*env, 16), seed))
-        .collect()
+    campaign_traces(lab, &campaign(), 2, seed)
 }
 
 /// Regenerate the figure: x = nodes, y = speedup vs 4-node bare metal.
 /// All 21 (environment × node-count) points run as one lab batch; the
-/// 4-node bare-metal baseline is a cache hit from inside that batch.
+/// 4-node bare-metal baseline is the grid's first run, so dividing by it
+/// is a cache hit from inside that batch.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
-    let envs = environments();
-    let scenarios: Vec<Scenario> = envs
-        .iter()
-        .flat_map(|(_, env)| NODES.iter().map(|&n| scenario(*env, n)))
-        .collect();
-    let means = lab.means(scenarios, seeds);
-    let baseline = lab.mean_elapsed_s(scenario(Execution::bare_metal(), 4), seeds);
-    let mut series: Vec<Series> = envs
-        .iter()
-        .zip(means.chunks(NODES.len()))
-        .map(|((label, _), ts)| {
-            let points = NODES
-                .iter()
-                .zip(ts)
-                .map(|(&n, &t)| (n as f64, baseline / t))
-                .collect();
-            Series::new(label, points)
+    let time_series = campaign_series(lab, seeds, campaign(), |s| s.nodes as f64);
+    // the first series' first point is 4-node bare metal — the baseline
+    let baseline = time_series[0].points[0].1;
+    let mut series: Vec<Series> = time_series
+        .into_iter()
+        .map(|s| {
+            let points = s.points.iter().map(|&(x, t)| (x, baseline / t)).collect();
+            Series::new(&s.label, points)
         })
         .collect();
     series.push(Series::new(
@@ -169,10 +157,21 @@ mod tests {
 
     #[test]
     fn job_uses_12288_cores_at_full_scale() {
-        let sc = scenario(Execution::bare_metal(), 256);
+        let c = campaign();
+        assert_eq!(c.sweep_lens, vec![3, NODES.len()]);
+        let sc = &c.runs[NODES.len() - 1].scenario;
+        assert_eq!(sc.nodes, 256);
         assert_eq!(
             sc.nodes as u64 * sc.ranks_per_node as u64 * sc.threads_per_rank as u64,
             12_288
         );
+        // series order in the script matches the legend order
+        let envs = environments();
+        for (i, run) in c.runs.iter().enumerate() {
+            let (label, env) = &envs[i / NODES.len()];
+            assert_eq!(run.labels[0], *label);
+            assert_eq!(run.scenario.env, *env);
+            assert_eq!(run.scenario.nodes, NODES[i % NODES.len()]);
+        }
     }
 }

@@ -62,3 +62,67 @@ pub(crate) fn capture(
     let plan = lab.plan(scenario).expect("trace scenario compiles");
     (label.to_string(), plan.capture_trace(seed))
 }
+
+/// Compile a committed experiment script and take its (single) campaign.
+/// The `.hsim` files live next to their runners and are checked in; a
+/// script that fails to compile is a build artifact gone bad, so this
+/// panics rather than propagating.
+pub(crate) fn load_campaign(src: &str) -> crate::script::CompiledCampaign {
+    let mut compiled =
+        crate::script::compile_str(src).expect("committed experiment script compiles");
+    assert_eq!(
+        compiled.campaigns.len(),
+        1,
+        "experiment scripts hold exactly one campaign"
+    );
+    compiled.campaigns.remove(0)
+}
+
+/// Run a two-sweep campaign grid as one lab batch and chunk it into
+/// figure series: the outer sweep's labels name the series, `x_of` maps
+/// each run's scenario to its x coordinate.
+pub(crate) fn campaign_series(
+    lab: &crate::lab::QueryEngine,
+    seeds: &[u64],
+    campaign: crate::script::CompiledCampaign,
+    x_of: impl Fn(&crate::scenario::Scenario) -> f64,
+) -> Vec<crate::report::Series> {
+    let inner: usize = campaign.sweep_lens[1..].iter().product();
+    let mut labels = Vec::with_capacity(campaign.runs.len());
+    let mut xs = Vec::with_capacity(campaign.runs.len());
+    let mut scenarios = Vec::with_capacity(campaign.runs.len());
+    for run in campaign.runs {
+        labels.push(run.labels[0].clone());
+        xs.push(x_of(&run.scenario));
+        scenarios.push(run.scenario);
+    }
+    let means = lab.means(scenarios, seeds);
+    labels
+        .chunks(inner)
+        .zip(xs.chunks(inner).zip(means.chunks(inner)))
+        .map(|(labels, (xs, ys))| {
+            crate::report::Series::new(
+                &labels[0],
+                xs.iter().copied().zip(ys.iter().copied()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Capture one trace per outer-sweep value of a campaign, at inner grid
+/// index `inner_idx` (the representative configuration).
+pub(crate) fn campaign_traces(
+    lab: &crate::lab::QueryEngine,
+    campaign: &crate::script::CompiledCampaign,
+    inner_idx: usize,
+    seed: u64,
+) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let inner: usize = campaign.sweep_lens[1..].iter().product();
+    campaign
+        .runs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % inner == inner_idx)
+        .map(|(_, run)| capture(lab, &run.labels[0], &run.scenario, seed))
+        .collect()
+}

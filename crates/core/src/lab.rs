@@ -114,6 +114,20 @@ impl PlanKey {
             degraded,
         })
     }
+
+    /// A stable 64-bit digest of this key: FNV-1a over the canonical
+    /// `Debug` rendering, which covers every field. This is what the
+    /// script layer's golden tests compare — two scenarios fingerprint
+    /// identically exactly when they compile to observably identical
+    /// plans.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Point-in-time cache statistics.

@@ -31,11 +31,46 @@ pub mod lab;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod script;
 pub mod traceviz;
 
 /// The Alya case presets, re-exported for harness users.
 pub mod workloads {
     pub use harborsim_alya::workload::{AlyaCase, ArteryCfd, ArteryFsi};
+    use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+
+    /// A 1D chain-halo case with enough bytes per edge that placement
+    /// decides how much traffic hits the wire (the 3D CFD partitions can
+    /// tie under stride aliasing; see the `ablate_mapping` bench). Used
+    /// by the `ext-locality` experiment and addressable from scripts as
+    /// `workload chain-halo`.
+    pub struct ChainHaloCase;
+
+    impl AlyaCase for ChainHaloCase {
+        fn name(&self) -> &str {
+            "chain-halo-locality"
+        }
+
+        fn memo_key(&self) -> Option<String> {
+            // the profile is rank-independent, so a constant key is exact
+            Some("chain-halo-locality".into())
+        }
+
+        fn job_profile(&self, _ranks: u32) -> JobProfile {
+            JobProfile::uniform(
+                StepProfile {
+                    flops_per_rank: 2e8,
+                    imbalance: 1.0,
+                    regions: 1.0,
+                    comm: vec![CommPhase::Halo1D {
+                        bytes: 200_000,
+                        repeats: 20,
+                    }],
+                },
+                50,
+            )
+        }
+    }
 
     /// The small CFD case used by the quickstart example and tests.
     pub fn artery_cfd_small() -> ArteryCfd {
@@ -67,3 +102,4 @@ pub use error::HarborError;
 pub use lab::{CacheStats, PlanCache, PlanKey, Query, QueryEngine};
 pub use report::{FigureData, Series, TableData};
 pub use scenario::{EngineKind, Execution, Outcome, Scenario, ScenarioPlan};
+pub use script::{CompiledCampaign, CompiledRun, CompiledScript, ScriptError};

@@ -5,7 +5,7 @@
 //! scenario is compiled into a [`ScenarioPlan`] exactly once, then the
 //! plan executes every seed — validation, job-profile construction and
 //! (for deployment scenarios) the image build are never repeated per
-//! seed. Sweeps route through the [`QueryEngine`](crate::lab::QueryEngine),
+//! seed. Sweeps route through the [`QueryEngine`],
 //! so identical points dedup to one compile and the (plan, seed) grid
 //! shards across the work-stealing pool.
 

@@ -1,0 +1,269 @@
+//! Tokenizer for `.hsim` scripts.
+//!
+//! Hand-rolled single-pass scanner: every token carries the 1-based
+//! line/column it starts at, which the parser and compiler thread into
+//! [`ScriptError`] diagnostics. Newlines are
+//! not tokens — the grammar is keyword-directed, so statements need no
+//! terminators and a whole script can legally sit on one line.
+
+use crate::script::{ScriptError, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare identifier: keywords, cluster/workload/runtime names. Words
+    /// start with a letter and may contain letters, digits, `-` and `_`.
+    Word(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Float literal (`0.5`, `1.0`).
+    Float(f64),
+    /// Double-quoted string (no escape sequences; may not span lines).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `..` (inclusive integer range)
+    DotDot,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "`{w}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Float(x) => write!(f, "`{x:?}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::DotDot => f.write_str("`..`"),
+        }
+    }
+}
+
+/// A token plus where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line/column of its first character.
+    pub span: Span,
+}
+
+/// Tokenize `src`.
+///
+/// # Errors
+/// [`ScriptError`] (stage `Lex`) on an unterminated string, a malformed
+/// number, or a character outside the alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' => {
+                out.push(Token {
+                    tok: match c {
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        _ => Tok::Comma,
+                    },
+                    span,
+                });
+                bump!();
+            }
+            '.' => {
+                if i + 1 < chars.len() && chars[i + 1] == '.' {
+                    bump!();
+                    bump!();
+                    out.push(Token {
+                        tok: Tok::DotDot,
+                        span,
+                    });
+                } else {
+                    return Err(ScriptError::lex(span, "stray `.` (did you mean `..`?)"));
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(ScriptError::lex(span, "unterminated string"));
+                    }
+                    if chars[i] == '"' {
+                        bump!();
+                        break;
+                    }
+                    s.push(chars[i]);
+                    bump!();
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span,
+                });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                // a `.` introduces a float only when followed by a digit;
+                // `2..16` stays Int DotDot Int
+                let is_float =
+                    i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit();
+                if is_float {
+                    text.push('.');
+                    bump!();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    let x: f64 = text
+                        .parse()
+                        .map_err(|_| ScriptError::lex(span, format!("bad float `{text}`")))?;
+                    out.push(Token {
+                        tok: Tok::Float(x),
+                        span,
+                    });
+                } else {
+                    let n: u64 = text.parse().map_err(|_| {
+                        ScriptError::lex(span, format!("integer `{text}` overflows"))
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(n),
+                        span,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut w = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '-' || chars[i] == '_')
+                {
+                    w.push(chars[i]);
+                    bump!();
+                }
+                out.push(Token {
+                    tok: Tok::Word(w),
+                    span,
+                });
+            }
+            other => {
+                return Err(ScriptError::lex(
+                    span,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::ScriptStage;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_numbers_and_punctuation() {
+        assert_eq!(
+            toks("campaign \"x\" { nodes 4 spine-taper 0.5 }"),
+            vec![
+                Tok::Word("campaign".into()),
+                Tok::Str("x".into()),
+                Tok::LBrace,
+                Tok::Word("nodes".into()),
+                Tok::Int(4),
+                Tok::Word("spine-taper".into()),
+                Tok::Float(0.5),
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        assert_eq!(
+            toks("2..16 1.0"),
+            vec![Tok::Int(2), Tok::DotDot, Tok::Int(16), Tok::Float(1.0)]
+        );
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(
+            toks("nodes 4 # the whole machine\nrpn 8"),
+            vec![
+                Tok::Word("nodes".into()),
+                Tok::Int(4),
+                Tok::Word("rpn".into()),
+                Tok::Int(8),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_line_and_column() {
+        let tokens = lex("nodes 4\n  rpn 8").unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, col: 1 });
+        assert_eq!(tokens[1].span, Span { line: 1, col: 7 });
+        assert_eq!(tokens[2].span, Span { line: 2, col: 3 });
+        assert_eq!(tokens[3].span, Span { line: 2, col: 7 });
+    }
+
+    #[test]
+    fn bad_input_reports_lex_stage_and_position() {
+        let e = lex("nodes @").unwrap_err();
+        assert_eq!(e.stage, ScriptStage::Lex);
+        assert_eq!(e.span, Span { line: 1, col: 7 });
+        let e = lex("trace \"unterminated").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The scenario DSL: campaign scripts compiled to canonical plan keys.
+//!
+//! A `.hsim` script is a compact text description of a measurement
+//! campaign — which cluster, which workload, which container runtime,
+//! the job shape, the fabric knobs, the seeds, and sweeps over any of
+//! them. Scripts are *data*: they compile into the same
+//! [`Scenario`](crate::scenario::Scenario) builders every hand-written
+//! experiment uses, fingerprint into the same canonical
+//! [`PlanKey`](crate::lab::PlanKey)s, and execute through the same
+//! [`QueryEngine`](crate::lab::QueryEngine)/plan-cache path — so a
+//! campaign that used to be a Rust closure is now one committed file.
+//!
+//! The pipeline is the classic four stages, all hand-rolled and fully
+//! in-tree:
+//!
+//! 1. [`lexer`] — source text to spanned tokens (`line:col` on every
+//!    token, `#` comments, quoted strings, `..` ranges);
+//! 2. [`parser`] — tokens to the [`ast`] (directives and campaign
+//!    blocks; every resolvable name keeps its span);
+//! 3. [`ast`] — the syntax tree plus the pretty-printer, whose output
+//!    re-parses to an identical tree (the round-trip property the tests
+//!    pin);
+//! 4. [`mod@compile`] — AST to [`compile::CompiledScript`]: sweeps expand
+//!    to a scenario grid (first sweep outermost), names resolve against
+//!    the cluster/workload registries, every knob is range-checked, and
+//!    each grid point fingerprints to a [`PlanKey`](crate::lab::PlanKey).
+//!
+//! Failures at any stage are a [`ScriptError`] carrying the offending
+//! span; [`HarborError`](crate::error::HarborError) wraps it, so script
+//! problems flow through the same typed error surface as placement and
+//! build failures.
+//!
+//! [`generator`] produces deterministic random scripts from an
+//! [`RngStream`](harborsim_des::RngStream) — the fuzz surface driving
+//! the parse→compile→fingerprint property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use harborsim_core::script;
+//!
+//! let compiled = script::compile_str(
+//!     r#"
+//!     campaign "portability" {
+//!       cluster cte-power
+//!       workload cfd-small
+//!       rpn 40
+//!       sweep env [singularity system-specific, singularity self-contained]
+//!       sweep nodes [2, 4]
+//!     }
+//!     "#,
+//! )
+//! .expect("parses and compiles");
+//! assert_eq!(compiled.campaigns[0].runs.len(), 4);
+//! // every grid point has a canonical PlanKey fingerprint
+//! assert_eq!(compiled.fingerprints().len(), 4);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod generator;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, compile_str, CompiledCampaign, CompiledRun, CompiledScript};
+pub use parser::parse;
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in script source: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// The span used by synthesized (non-parsed) AST nodes.
+    pub const ZERO: Span = Span { line: 0, col: 0 };
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A value plus the source span it was parsed from.
+///
+/// Equality ignores the span: two ASTs that differ only in layout (the
+/// pretty-printed round trip, for instance) compare equal, while error
+/// reporting still has a position for every resolvable name.
+#[derive(Debug, Clone, Copy)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wrap `value` with a span.
+    pub fn new(value: T, span: Span) -> Spanned<T> {
+        Spanned { value, span }
+    }
+
+    /// Wrap a synthesized value with [`Span::ZERO`].
+    pub fn synth(value: T) -> Spanned<T> {
+        Spanned {
+            value,
+            span: Span::ZERO,
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Spanned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+
+impl<T: Eq> Eq for Spanned<T> {}
+
+/// Which stage of the script pipeline rejected the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptStage {
+    /// The lexer hit a malformed token.
+    Lex,
+    /// The parser hit an unexpected token.
+    Parse,
+    /// The compiler rejected a resolved value (unknown name, bad range,
+    /// inconsistent sweep).
+    Compile,
+}
+
+impl fmt::Display for ScriptStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScriptStage::Lex => "lex",
+            ScriptStage::Parse => "parse",
+            ScriptStage::Compile => "compile",
+        })
+    }
+}
+
+/// Why a script cannot become a campaign, with the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// The pipeline stage that failed.
+    pub stage: ScriptStage,
+    /// Line/column of the offending token or statement.
+    pub span: Span,
+    /// Human-readable diagnosis.
+    pub msg: String,
+}
+
+impl ScriptError {
+    pub(crate) fn lex(span: Span, msg: impl Into<String>) -> ScriptError {
+        ScriptError {
+            stage: ScriptStage::Lex,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn parse(span: Span, msg: impl Into<String>) -> ScriptError {
+        ScriptError {
+            stage: ScriptStage::Parse,
+            span,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn compile(span: Span, msg: impl Into<String>) -> ScriptError {
+        ScriptError {
+            stage: ScriptStage::Compile,
+            span,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "script {} error at {}: {}",
+            self.stage, self.span, self.msg
+        )
+    }
+}
+
+impl Error for ScriptError {}
+
+/// The canonical script equivalent of a `reproduce_all` flag
+/// combination: `--quick` picks the one-seed protocol, `--ablate-taper`
+/// / `--oversub <t>` become the engine-level `taper` directive, and the
+/// full experiment suite runs. `reproduce_all` itself routes its flags
+/// through this, so "flags" and "script" are one front end — the golden
+/// fingerprint test holds the committed `scripts/repro_*.hsim` files
+/// against exactly this text.
+pub fn flags_script(quick: bool, taper: Option<f64>) -> String {
+    let seeds = if quick { "quick" } else { "default" };
+    match taper {
+        Some(t) => format!("seeds {seeds} taper {t:?} experiments all\n"),
+        None => format!("seeds {seeds} experiments all\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanned_equality_ignores_spans() {
+        let a = Spanned::new("x", Span { line: 1, col: 2 });
+        let b = Spanned::new("x", Span { line: 9, col: 9 });
+        assert_eq!(a, b);
+        let c = Spanned::new("y", Span { line: 1, col: 2 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn errors_render_the_span() {
+        let e = ScriptError::parse(Span { line: 3, col: 7 }, "expected a knob");
+        assert_eq!(e.to_string(), "script parse error at 3:7: expected a knob");
+    }
+
+    #[test]
+    fn flag_combinations_are_one_line_scripts() {
+        assert_eq!(flags_script(false, None), "seeds default experiments all\n");
+        assert_eq!(
+            flags_script(true, Some(1.0)),
+            "seeds quick taper 1.0 experiments all\n"
+        );
+        assert_eq!(
+            flags_script(false, Some(0.5)),
+            "seeds default taper 0.5 experiments all\n"
+        );
+    }
+}

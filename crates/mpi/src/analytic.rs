@@ -10,10 +10,10 @@
 //! the MareNostrum4 FSI case to 12,288 ranks in microseconds.
 //!
 //! All per-run working state — the link schedule, per-node round tallies,
-//! per-phase and per-run link accumulators — lives in a pooled [`Scratch`]
+//! per-phase and per-run link accumulators — lives in a pooled `Scratch`
 //! reused across runs, so repeated `execute(seed)` on a cached plan
 //! allocates nothing here. Phase costs proper are plain scalars
-//! ([`PhaseCost`] is `Copy`); the per-link vectors that used to ride along
+//! (`PhaseCost` is `Copy`); the per-link vectors that used to ride along
 //! in it accumulate in place in the scratch instead, with the identical
 //! floating-point operation order, so results are bit-for-bit unchanged.
 //!

@@ -16,10 +16,10 @@
 //!   matching receive and a request/ack round-trip has elapsed;
 //! - receives block the rank until arrival (+ receive overhead).
 //!
-//! The protocol state machine is a typed event enum ([`Ev`]) over the
+//! The protocol state machine is a typed event enum (`Ev`) over the
 //! allocation-free DES kernel: event payloads are `Copy` values in the
 //! engine's slab arena, instruction queues / resources / per-link tallies
-//! live in a pooled [`DesScratch`] reused across runs, so the steady-state
+//! live in a pooled `DesScratch` reused across runs, so the steady-state
 //! event loop of `plan.execute(seed)` performs no heap allocation. The
 //! event ordering is identical — schedule-for-schedule — to the original
 //! boxed-closure implementation, so results are bit-for-bit unchanged.

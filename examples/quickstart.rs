@@ -1,8 +1,16 @@
-//! Quickstart: build an Alya container image, deploy it with Singularity on
-//! a model of MareNostrum4, and run the artery CFD case on 2 nodes.
+//! Quickstart: build an Alya container image, then run the committed
+//! `examples/quickstart.hsim` campaign — the artery CFD case deployed on
+//! two MareNostrum4 nodes under both Singularity image techniques.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! ```
+//!
+//! The same script drives the reproduction binary directly:
+//!
+//! ```sh
+//! cargo run --release -p harborsim-bench --bin reproduce_all -- \
+//!     --script examples/quickstart.hsim
 //! ```
 
 use harborsim::container::build::{alya_recipe, BuildEngine};
@@ -10,8 +18,10 @@ use harborsim::des::trace::Recorder;
 use harborsim::hw::presets;
 use harborsim::study::lab::QueryEngine;
 use harborsim::study::report::{fmt_bytes, fmt_seconds};
-use harborsim::study::scenario::{Execution, Scenario};
-use harborsim::study::workloads;
+use harborsim::study::script;
+
+/// The campaign this example runs, committed next to it.
+const SCRIPT: &str = include_str!("quickstart.hsim");
 
 fn main() {
     let cluster = presets::marenostrum4();
@@ -38,64 +48,56 @@ fn main() {
     );
     println!("Manifest digest: {}", build.manifest.digest().short());
 
-    // 2. resolve the scenario through the lab: the query engine compiles
-    //    it into a plan exactly once (placement validation, job profile,
-    //    network model, deployment) and caches it by fingerprint — only
-    //    the solver run repeats per seed
+    // 2. compile the committed campaign script: every run is a full
+    //    scenario with a canonical plan-key fingerprint, resolved through
+    //    the lab's plan cache exactly like the paper experiments
+    let compiled = script::compile_str(SCRIPT).expect("quickstart.hsim compiles");
+    let campaign = &compiled.campaigns[0];
+    println!(
+        "\nScript: campaign {:?}, {} runs, seeds {:?}",
+        campaign.name,
+        campaign.runs.len(),
+        compiled.seeds
+    );
+
     let lab = QueryEngine::new();
-    let plan = lab
-        .plan(
-            &Scenario::new(cluster, workloads::artery_cfd_small())
-                .execution(Execution::singularity_system_specific())
-                .nodes(2)
-                .ranks_per_node(48)
-                .with_deployment(),
-        )
-        .expect("valid scenario");
-    println!(
-        "\nCompiled plan: {} ranks, engine={}",
-        plan.rank_map().ranks(),
-        plan.engine_name()
-    );
-    for seed in [7, 21] {
+    let mut elapsed = Vec::new();
+    for run in &campaign.runs {
+        let plan = lab.plan(&run.scenario).expect("valid scenario");
         println!(
-            "  seed {seed}: {}",
-            plan.execute(seed, &mut Recorder::off()).elapsed
+            "\n[{}] {} ranks, engine={}, plan key {:016x}",
+            run.labels[0],
+            plan.rank_map().ranks(),
+            plan.engine_name(),
+            run.fingerprint(compiled.taper)
         );
+        let outcome = plan.execute(compiled.seeds[0], &mut Recorder::aggregating());
+        if let Some(dep) = &outcome.deployment {
+            println!(
+                "  deployment: all nodes ready in {}",
+                fmt_seconds(dep.makespan.as_secs_f64())
+            );
+        }
+        println!(
+            "  solver: {} elapsed ({} compute, {:.1}% communication)",
+            outcome.elapsed,
+            outcome.result.compute,
+            outcome.result.comm_fraction() * 100.0
+        );
+        println!(
+            "  traffic: {} inter-node messages, {} over the wire",
+            outcome.result.inter_node_msgs,
+            fmt_bytes(outcome.result.inter_node_bytes)
+        );
+        elapsed.push(outcome.elapsed.as_secs_f64());
     }
-    let outcome = plan.execute(42, &mut Recorder::aggregating());
 
-    let dep = outcome.deployment.expect("deployment requested");
+    // 3. the self-contained image loses the Omni-Path native transport —
+    //    the paper's whole portability story, visible as the ratio of the
+    //    two script runs
     println!(
-        "\nDeployment: all 2 nodes ready in {}",
-        fmt_seconds(dep.makespan.as_secs_f64())
-    );
-    println!(
-        "Solver: {} elapsed ({} compute, {:.1}% communication)",
-        outcome.elapsed,
-        outcome.result.compute,
-        outcome.result.comm_fraction() * 100.0
-    );
-    println!(
-        "Traffic: {} inter-node messages, {} over the wire",
-        outcome.result.inter_node_msgs,
-        fmt_bytes(outcome.result.inter_node_bytes)
-    );
-
-    // 3. the same job inside a *self-contained* image loses the Omni-Path
-    //    native transport — the paper's whole portability story. Routed
-    //    through the same lab: a new fingerprint, so a second compile.
-    let portable = lab.outcome(
-        Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
-            .execution(Execution::singularity_self_contained())
-            .nodes(2)
-            .ranks_per_node(48),
-        42,
-    );
-    println!(
-        "\nSame job, self-contained image: {} ({:.2}x slower — IPoFabric instead of PSM2)",
-        portable.elapsed,
-        portable.elapsed.as_secs_f64() / outcome.elapsed.as_secs_f64()
+        "\nSelf-contained vs system-specific: {:.2}x slower (IPoFabric instead of PSM2)",
+        elapsed[1] / elapsed[0]
     );
     println!("{}", lab.stats().summary_line());
 }

@@ -1,6 +1,11 @@
-//! Scale-out: the paper's Figure 3 — strong scaling of the FSI artery case
-//! on the MareNostrum4 model from 4 to 256 nodes (12,288 cores), bare metal
-//! vs system-specific vs self-contained Singularity.
+//! Scale-out: the paper's Figure 3 from a committed campaign script —
+//! strong scaling of the FSI artery case on the MareNostrum4 model from
+//! 4 to 256 nodes (12,288 cores), bare metal vs system-specific vs
+//! self-contained Singularity.
+//!
+//! The grid lives in `examples/scale_out.hsim`; this stub compiles it,
+//! runs it through the lab, folds the times into speedups, and holds the
+//! result against the same shape checks the reproduction binary uses.
 //!
 //! ```sh
 //! cargo run --release --example scale_out
@@ -8,19 +13,63 @@
 
 use harborsim::study::experiments::fig3;
 use harborsim::study::lab::QueryEngine;
+use harborsim::study::report::{FigureData, Series};
+use harborsim::study::script;
+
+/// The campaign this example runs, committed next to it.
+const SCRIPT: &str = include_str!("scale_out.hsim");
 
 fn main() {
-    println!("Reproducing Fig. 3 (Alya artery FSI on MareNostrum4)...\n");
-    let fig = fig3::run(&QueryEngine::new(), &[1, 2, 3]);
+    println!("Reproducing Fig. 3 (Alya artery FSI on MareNostrum4) from scale_out.hsim...\n");
+    let mut compiled = script::compile_str(SCRIPT).expect("scale_out.hsim compiles");
+    let campaign = compiled.campaigns.remove(0);
+    let nodes_per_env = campaign.sweep_lens[1];
+
+    let mut labels = Vec::new();
+    let mut xs = Vec::new();
+    let mut scenarios = Vec::new();
+    for run in campaign.runs {
+        labels.push(run.labels[0].clone());
+        xs.push(run.scenario.nodes as f64);
+        scenarios.push(run.scenario);
+    }
+    let lab = QueryEngine::new();
+    let means = lab.means(scenarios, &compiled.seeds);
+
+    // speedup vs the grid's first run (4-node bare metal), plus the ideal
+    let baseline = means[0];
+    let mut series: Vec<Series> = labels
+        .chunks(nodes_per_env)
+        .zip(xs.chunks(nodes_per_env).zip(means.chunks(nodes_per_env)))
+        .map(|(labels, (xs, ts))| {
+            let points = xs
+                .iter()
+                .zip(ts)
+                .map(|(&x, &t)| (x, baseline / t))
+                .collect();
+            Series::new(&labels[0], points)
+        })
+        .collect();
+    series.push(Series::new(
+        "Ideal",
+        xs[..nodes_per_env].iter().map(|&x| (x, x / 4.0)).collect(),
+    ));
+    let fig = FigureData {
+        id: "fig3".into(),
+        title: "Scalability of the Alya artery FSI case in MareNostrum4".into(),
+        x_label: "Nodes".into(),
+        y_label: "Speedup (vs 4-node bare-metal)".into(),
+        series,
+    };
 
     println!(
         "{:>6} {:>12} {:>18} {:>18} {:>8}",
         "Nodes", "Bare-metal", "system-specific", "self-contained", "Ideal"
     );
-    for &n in &fig3::NODES {
+    for &n in &xs[..nodes_per_env] {
         let g = |label: &str| {
             fig.series_named(label)
-                .and_then(|s| s.y_at(n as f64))
+                .and_then(|s| s.y_at(n))
                 .unwrap_or(f64::NAN)
         };
         println!(

@@ -1,0 +1,177 @@
+//! Golden equivalence between the scenario DSL and the builder API.
+//!
+//! Every committed `.hsim` campaign must compile to **bit-identical**
+//! [`PlanKey`] fingerprints as a hand-built replica of the grid it
+//! replaced, and every CI-exercised `reproduce_all` flag combination must
+//! have an equivalent committed script under `scripts/`. If a script and
+//! its replica ever drift, the figure silently stops measuring what the
+//! paper measured — these tests make that a loud failure.
+
+use harborsim::hw::presets;
+use harborsim::mpi::Placement;
+use harborsim::study::experiments::{ext_degraded, ext_locality, fig1, fig2, fig3};
+use harborsim::study::lab::PlanKey;
+use harborsim::study::scenario::{Execution, Scenario};
+use harborsim::study::script::ast::ExperimentsSpec;
+use harborsim::study::script::{compile_str, flags_script, CompiledCampaign};
+use harborsim::study::workloads;
+
+/// Canonical fingerprint of a hand-built scenario, no fallback taper.
+fn fp(s: Scenario) -> u64 {
+    PlanKey::of(&s, None)
+        .expect("replica scenarios are memoizable")
+        .fingerprint()
+}
+
+/// Assert the compiled campaign's grid equals the replica, in order.
+fn assert_grid(campaign: &CompiledCampaign, replica: Vec<Scenario>, what: &str) {
+    assert_eq!(campaign.runs.len(), replica.len(), "{what}: grid size");
+    for (i, (run, hand)) in campaign.runs.iter().zip(replica).enumerate() {
+        assert_eq!(
+            run.fingerprint(None),
+            fp(hand),
+            "{what}: run {i} ({:?}) diverged from the hand-built grid",
+            run.labels
+        );
+    }
+}
+
+#[test]
+fn fig1_script_matches_hand_built_grid() {
+    let mut replica = Vec::new();
+    for (_, env) in fig1::environments() {
+        for &(ranks, threads) in &fig1::CONFIGS {
+            replica.push(
+                Scenario::new(presets::lenox(), workloads::artery_cfd_lenox())
+                    .execution(env)
+                    .nodes(4)
+                    .ranks_per_node(ranks / 4)
+                    .threads_per_rank(threads),
+            );
+        }
+    }
+    assert_grid(&fig1::campaign(), replica, "fig1");
+}
+
+#[test]
+fn fig2_script_matches_hand_built_grid() {
+    let mut replica = Vec::new();
+    for (_, env) in fig2::environments() {
+        for nodes in 2..=16 {
+            replica.push(
+                Scenario::new(presets::cte_power(), workloads::artery_cfd_cte())
+                    .execution(env)
+                    .nodes(nodes)
+                    .ranks_per_node(40),
+            );
+        }
+    }
+    assert_grid(&fig2::campaign(), replica, "fig2");
+}
+
+#[test]
+fn fig3_script_matches_hand_built_grid() {
+    let mut replica = Vec::new();
+    for (_, env) in fig3::environments() {
+        for &nodes in &fig3::NODES {
+            replica.push(
+                Scenario::new(presets::marenostrum4(), workloads::artery_fsi_mn4())
+                    .execution(env)
+                    .nodes(nodes)
+                    .ranks_per_node(48),
+            );
+        }
+    }
+    assert_grid(&fig3::campaign(), replica, "fig3");
+}
+
+#[test]
+fn ext_locality_script_matches_hand_built_grid() {
+    let mut replica = Vec::new();
+    for placement in [Placement::Block, Placement::RoundRobin] {
+        for &nodes in &ext_locality::NODES {
+            replica.push(
+                Scenario::new(presets::marenostrum4(), ext_locality::ChainHaloCase)
+                    .execution(Execution::bare_metal())
+                    .nodes(nodes)
+                    .ranks_per_node(48)
+                    .placement(placement),
+            );
+        }
+    }
+    assert_grid(&ext_locality::campaign(), replica, "ext_locality");
+}
+
+#[test]
+fn ext_degraded_script_matches_hand_built_grid() {
+    let mut replica = Vec::new();
+    for &factor in &ext_degraded::FACTORS {
+        let base = Scenario::new(presets::cte_power(), workloads::artery_cfd_cte())
+            .execution(Execution::singularity_system_specific())
+            .nodes(16)
+            .ranks_per_node(40);
+        replica.push(if factor < 1.0 {
+            base.degrade_node_uplink(ext_degraded::VICTIM, factor)
+        } else {
+            base
+        });
+    }
+    assert_grid(&ext_degraded::campaign(), replica, "ext_degraded");
+}
+
+/// Every flag combination CI drives through `reproduce_all` has a
+/// committed script that compiles to the same seeds, taper, and
+/// experiment selection as the flag front end — and the shared fallback
+/// taper yields identical fingerprints on every experiment grid.
+#[test]
+fn repro_scripts_match_the_flag_front_end() {
+    let combos = [
+        ("scripts/repro_full.hsim", false, None),
+        ("scripts/repro_quick.hsim", true, None),
+        ("scripts/repro_quick_ablate_taper.hsim", true, Some(1.0)),
+        ("scripts/repro_oversub_2to1.hsim", false, Some(0.5)),
+    ];
+    for (path, quick, taper) in combos {
+        let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
+        let src = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let scripted = compile_str(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let flagged = compile_str(&flags_script(quick, taper)).unwrap();
+        assert_eq!(scripted.seeds, flagged.seeds, "{path}: seeds");
+        assert_eq!(scripted.taper, flagged.taper, "{path}: taper");
+        assert_eq!(scripted.taper, taper, "{path}: taper vs flags");
+        assert!(
+            matches!(scripted.experiments, Some(ExperimentsSpec::All)),
+            "{path}: must select every experiment"
+        );
+        assert!(matches!(flagged.experiments, Some(ExperimentsSpec::All)));
+        assert!(scripted.campaigns.is_empty(), "{path}: no extra campaigns");
+        for campaign in [
+            fig1::campaign(),
+            fig2::campaign(),
+            fig3::campaign(),
+            ext_locality::campaign(),
+            ext_degraded::campaign(),
+        ] {
+            for run in &campaign.runs {
+                assert_eq!(
+                    run.fingerprint(scripted.taper),
+                    run.fingerprint(flagged.taper),
+                    "{path}: {} fingerprints diverge under the shared taper",
+                    campaign.name
+                );
+            }
+        }
+    }
+}
+
+/// The ablated and oversubscribed tapers genuinely re-key the plans —
+/// the flag combos are distinct campaigns, not aliases of each other.
+#[test]
+fn distinct_tapers_rekey_the_experiment_grids() {
+    let campaign = fig2::campaign();
+    let base: Vec<u64> = campaign.runs.iter().map(|r| r.fingerprint(None)).collect();
+    for taper in [Some(1.0), Some(0.5)] {
+        let keyed: Vec<u64> = campaign.runs.iter().map(|r| r.fingerprint(taper)).collect();
+        assert_ne!(base, keyed, "taper {taper:?} must change fabric plan keys");
+    }
+}

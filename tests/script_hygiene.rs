@@ -1,0 +1,87 @@
+//! Hygiene for every committed `.hsim` campaign script: each file must
+//! parse clean, carry no trailing whitespace, and end with a newline —
+//! the same bar CI holds Rust sources to.
+
+use std::path::{Path, PathBuf};
+
+use harborsim::study::script::parse;
+
+/// Every directory that may hold committed `.hsim` files.
+const SCRIPT_DIRS: [&str; 3] = ["crates/core/src/experiments", "scripts", "examples"];
+
+fn hsim_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in SCRIPT_DIRS {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "hsim") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn the_expected_scripts_are_committed() {
+    let names: Vec<String> = hsim_files()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for expected in [
+        "fig1.hsim",
+        "fig2.hsim",
+        "fig3.hsim",
+        "ext_locality.hsim",
+        "ext_degraded.hsim",
+        "repro_full.hsim",
+        "repro_quick.hsim",
+        "repro_quick_ablate_taper.hsim",
+        "repro_oversub_2to1.hsim",
+        "quickstart.hsim",
+        "scale_out.hsim",
+    ] {
+        assert!(names.contains(&expected.to_string()), "missing {expected}");
+    }
+}
+
+#[test]
+fn every_committed_script_parses_clean() {
+    for path in hsim_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        if let Err(e) = parse(&src) {
+            panic!("{}: {e}", path.display());
+        }
+    }
+}
+
+#[test]
+fn scripts_have_no_trailing_whitespace_and_end_with_newline() {
+    for path in hsim_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            src.ends_with('\n') && !src.ends_with("\n\n"),
+            "{}: must end with exactly one newline",
+            path.display()
+        );
+        for (i, line) in src.lines().enumerate() {
+            assert!(
+                line == line.trim_end(),
+                "{}:{}: trailing whitespace",
+                path.display(),
+                i + 1
+            );
+            assert!(
+                !line.contains('\t'),
+                "{}:{}: tabs are not used in scripts",
+                path.display(),
+                i + 1
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@ use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim::mpi::workload::{factor3, grid_coords, grid_neighbors, JobProfile, StepProfile};
 use harborsim::mpi::RankMap;
 use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
+use harborsim::study::script::{self, generator, parse};
 
 fn cases(label: &str, n: u64) -> impl Iterator<Item = RngStream> {
     let root = RngStream::new(0x3089_0005).derive(label);
@@ -131,6 +132,50 @@ fn fallback_never_faster_than_native() {
             .run(&job, seed)
             .elapsed;
         assert!(fallback >= native);
+    }
+}
+
+#[test]
+fn random_scripts_round_trip_through_the_printer() {
+    for mut rng in cases("script-roundtrip", 64) {
+        let ast = generator::random_script(&mut rng);
+        let printed = ast.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        assert_eq!(ast, reparsed, "pretty-print must be a parser fixpoint");
+        let a = script::compile(&ast).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        let b = script::compile(&reparsed).unwrap();
+        assert_eq!(
+            a.fingerprints(),
+            b.fingerprints(),
+            "round-trip changed plan keys:\n{printed}"
+        );
+    }
+}
+
+#[test]
+fn random_scripts_compile_without_panicking() {
+    for mut rng in cases("script-compile", 128) {
+        let ast = generator::random_script(&mut rng);
+        let src = ast.to_string();
+        // generated scripts are well-formed by construction: they must
+        // compile, and every run must carry a real plan-key fingerprint
+        let compiled = script::compile_str(&src).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        for fp in compiled.fingerprints() {
+            assert_ne!(fp, 0, "generated run lost its memo key:\n{src}");
+        }
+    }
+}
+
+#[test]
+fn mutated_scripts_never_panic_the_front_end() {
+    for mut rng in cases("script-mutate", 128) {
+        let src = generator::random_script(&mut rng).to_string();
+        let mut broken = src;
+        for _ in 0..4 {
+            broken = generator::mutate(&broken, &mut rng);
+            // errors are fine — panics and hangs are not
+            let _ = script::compile_str(&broken);
+        }
     }
 }
 
