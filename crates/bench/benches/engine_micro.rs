@@ -220,6 +220,34 @@ fn bench_des_mpi(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-shard scaling of the conservative parallel DES on the 256-node
+/// fat-tree campaign (the `par_des_eps` baseline workload). Every row
+/// computes the identical result — shard count is an execution knob —
+/// so the rows read as a scaling curve for the host's parallelism; on a
+/// single-hardware-thread host the sharded rows only show the
+/// synchronization overhead.
+fn bench_par_des(c: &mut Criterion) {
+    use harborsim_bench::baseline::par_des_campaign;
+    let (engine, job) = par_des_campaign();
+    let (probe, events) = engine.run_counted(&job, 1, &mut Recorder::off());
+    let mut g = c.benchmark_group("par_des");
+    g.throughput(Throughput::Elements(events));
+    for shards in [1u32, 2, 4, 8] {
+        let sharded = {
+            let (e, _) = par_des_campaign();
+            e.with_shards(shards)
+        };
+        // every shard count must re-execute the identical campaign
+        let (check, check_events) = sharded.run_counted(&job, 1, &mut Recorder::off());
+        assert_eq!(check, probe, "{shards} shards drifted from serial");
+        assert_eq!(check_events, events);
+        g.bench_function(format!("campaign_256n_{shards}shards").as_str(), |b| {
+            b.iter(|| black_box(sharded.run_counted(&job, 1, &mut Recorder::off()).1));
+        });
+    }
+    g.finish();
+}
+
 fn bench_recorder_modes(c: &mut Criterion) {
     let (engine, job) = micro_engine_and_job();
     let mut g = c.benchmark_group("recorder");
@@ -373,6 +401,7 @@ criterion_group!(
     bench_rng,
     bench_route_table,
     bench_des_mpi,
+    bench_par_des,
     bench_recorder_modes,
     bench_pool_skew,
     bench_plan_cache,

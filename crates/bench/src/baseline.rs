@@ -18,6 +18,10 @@ use harborsim_alya::{CfdConfig, CfdSolver};
 use harborsim_des::queue::EventQueue;
 use harborsim_des::trace::Recorder;
 use harborsim_des::{Engine, Event, RngStream, SimDuration};
+use harborsim_mpi::analytic::EngineConfig;
+use harborsim_mpi::workload::{CommPhase, JobProfile, StepProfile};
+use harborsim_mpi::{DesEngine, RankMap};
+use harborsim_net::{DataPath, NetworkModel, Topology, TransportSelection};
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::time::Instant;
@@ -53,6 +57,20 @@ pub struct BenchBaseline {
     pub cfd_momentum_speedup: f64,
     /// `ScenarioPlan::execute` on a cached plan, runs/sec.
     pub execute_many_rps: f64,
+    /// Serial DES on the 256-node fat-tree campaign, events/sec.
+    pub par_des_serial_eps: f64,
+    /// Sharded DES (4 shards) on the same campaign, events/sec. The
+    /// shard count is an execution knob, not a model knob — the sharded
+    /// run is bit-identical to serial.
+    pub par_des_eps: f64,
+    /// `par_des_eps / par_des_serial_eps`. Only meaningful next to
+    /// [`BenchBaseline::host_threads`]: on a single-hardware-thread host
+    /// the shards time-slice one core and the ratio sits at or below
+    /// 1.0; the speedup materializes with the hardware parallelism.
+    pub par_des_speedup: f64,
+    /// Hardware threads available to the measuring process — the honest
+    /// context for `par_des_speedup`.
+    pub host_threads: f64,
 }
 
 /// Best-of-N wall-clock timing of `work`, returning `units / seconds`.
@@ -269,6 +287,56 @@ fn momentum_speedup() -> f64 {
     fast / slow
 }
 
+/// The 256-node parallel-DES campaign: MareNostrum4's tapered fat tree
+/// crossed by halos and allreduces from 512 ranks — large enough that
+/// the domain decomposition spans every leaf group, small enough that
+/// `--bench-baseline` stays a few seconds. Shared by the baseline and
+/// the `engine_micro` per-shard scaling rows.
+pub fn par_des_campaign() -> (DesEngine, JobProfile) {
+    let cluster = harborsim_hw::presets::marenostrum4();
+    let engine = DesEngine::new(
+        cluster.node,
+        NetworkModel::compose(
+            cluster.interconnect,
+            TransportSelection::Native,
+            DataPath::Host,
+            Topology::mn4_fat_tree(),
+        ),
+        RankMap::block(256, 2, 1),
+        EngineConfig::default(),
+    );
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 5e7,
+            imbalance: 1.01,
+            regions: 2.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 50_000,
+                    repeats: 2,
+                },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 4,
+                },
+            ],
+        },
+        2,
+    );
+    (engine, job)
+}
+
+/// Events/sec of the 256-node campaign at `shards` (1 = the serial
+/// event loop).
+pub fn par_des_eps(shards: u32) -> f64 {
+    let (engine, job) = par_des_campaign();
+    let engine = engine.with_shards(shards);
+    let (_, events) = engine.run_counted(&job, 1, &mut Recorder::off());
+    rate_of(events as f64, || {
+        engine.run_counted(&job, 1, &mut Recorder::off()).1
+    })
+}
+
 /// Cached-plan `execute` throughput, runs/sec (untraced, as the batch
 /// sharding of the query engine drives it).
 fn execute_many_rps() -> f64 {
@@ -300,6 +368,8 @@ pub fn measure() -> BenchBaseline {
     let churn_events = (CHURN_ROUNDS * CHURN_BATCH) as f64;
     let new_eps = rate_of(churn_events, || churn_arena(CHURN_ROUNDS, CHURN_BATCH));
     let old_eps = rate_of(churn_events, || churn_reference(CHURN_ROUNDS, CHURN_BATCH));
+    let serial_eps = par_des_eps(1);
+    let sharded_eps = par_des_eps(4);
     BenchBaseline {
         spin_mops: spin,
         des_churn_new_eps: new_eps,
@@ -309,6 +379,12 @@ pub fn measure() -> BenchBaseline {
         cfd_large_cups: cfd_rate(21, 21, 48, 8.0, 5),
         cfd_momentum_speedup: momentum_speedup(),
         execute_many_rps: execute_many_rps(),
+        par_des_serial_eps: serial_eps,
+        par_des_eps: sharded_eps,
+        par_des_speedup: sharded_eps / serial_eps,
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get() as f64)
+            .unwrap_or(1.0),
     }
 }
 
@@ -316,7 +392,7 @@ impl BenchBaseline {
     /// Serialize to the committed JSON shape.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": 1,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1}\n}}\n",
+            "{{\n  \"schema\": 2,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1},\n  \"par_des_serial_eps\": {:.0},\n  \"par_des_eps\": {:.0},\n  \"par_des_speedup\": {:.2},\n  \"host_threads\": {:.0}\n}}\n",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -325,6 +401,10 @@ impl BenchBaseline {
             self.cfd_large_cups,
             self.cfd_momentum_speedup,
             self.execute_many_rps,
+            self.par_des_serial_eps,
+            self.par_des_eps,
+            self.par_des_speedup,
+            self.host_threads,
         )
     }
 
@@ -348,6 +428,10 @@ impl BenchBaseline {
             cfd_large_cups: field("cfd_large_cups")?,
             cfd_momentum_speedup: field("cfd_momentum_speedup")?,
             execute_many_rps: field("execute_many_rps")?,
+            par_des_serial_eps: field("par_des_serial_eps")?,
+            par_des_eps: field("par_des_eps")?,
+            par_des_speedup: field("par_des_speedup")?,
+            host_threads: field("host_threads")?,
         })
     }
 
@@ -359,7 +443,9 @@ impl BenchBaseline {
              \x20 DES churn (reference)   {:>12.3e} events/s  (speedup {:.2}x)\n\
              \x20 CFD step 13x13x24       {:>12.3e} cell-updates/s\n\
              \x20 CFD step 21x21x48       {:>12.3e} cell-updates/s  (momentum sweep {:.2}x)\n\
-             \x20 cached-plan execute     {:>12.1} runs/s",
+             \x20 cached-plan execute     {:>12.1} runs/s\n\
+             \x20 DES 256n campaign (1)   {:>12.3e} events/s\n\
+             \x20 DES 256n campaign (4)   {:>12.3e} events/s  ({:.2}x on {:.0} host thread(s))",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -368,6 +454,10 @@ impl BenchBaseline {
             self.cfd_large_cups,
             self.cfd_momentum_speedup,
             self.execute_many_rps,
+            self.par_des_serial_eps,
+            self.par_des_eps,
+            self.par_des_speedup,
+            self.host_threads,
         )
     }
 
@@ -416,6 +506,10 @@ mod tests {
             cfd_large_cups: 2.5e7,
             cfd_momentum_speedup: 1.4,
             execute_many_rps: 800.0,
+            par_des_serial_eps: 1.0e6,
+            par_des_eps: 3.0e6,
+            par_des_speedup: 3.0,
+            host_threads: 8.0,
         };
         let parsed = BenchBaseline::from_json(&b.to_json()).expect("parses");
         assert_eq!(parsed, b);
@@ -433,6 +527,10 @@ mod tests {
             cfd_large_cups: 1.0,
             cfd_momentum_speedup: 1.0,
             execute_many_rps: 1.0,
+            par_des_serial_eps: 1.0e6,
+            par_des_eps: 2.0e6,
+            par_des_speedup: 2.0,
+            host_threads: 4.0,
         };
         // a machine half as fast across the board is NOT a regression
         let mut slower_machine = base.clone();

@@ -25,6 +25,10 @@
 //!   taper (e.g. `0.5` for 2:1 oversubscription). Mutually exclusive with
 //!   `--ablate-taper`; scenario-pinned tapers (the oversubscription sweep)
 //!   are unaffected.
+//! - `--shards <n>` — run every DES-engine experiment on `n` event-engine
+//!   shards (conservative parallel DES). Results are bit-identical to the
+//!   serial engine at any shard count; the knob only changes how the event
+//!   loop is executed. Equivalent to the `shards <n>` script directive.
 //! - `--bench-baseline` — measure the simulator's hot-path throughput (DES
 //!   event churn, CFD cell-updates, cached-plan execute-many), write it to
 //!   `target/study/BENCH_baseline.json`, and fail if DES events/sec
@@ -66,6 +70,7 @@ fn main() {
     let mut bench_baseline = false;
     let mut trace_dir: Option<PathBuf> = None;
     let mut taper: Option<f64> = None;
+    let mut shards: u32 = 1;
     let mut script_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,6 +98,16 @@ fn main() {
                     }
                 }
             }
+            "--shards" => {
+                let n = args.next().and_then(|v| v.parse::<u32>().ok());
+                match n {
+                    Some(n) if n >= 1 => shards = n,
+                    _ => {
+                        eprintln!("--shards needs a count of at least 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--script" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("--script needs a .hsim file argument");
@@ -102,7 +117,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--script <file>])"
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--shards <n>] [--script <file>])"
                 );
                 std::process::exit(2);
             }
@@ -114,9 +129,9 @@ fn main() {
     // the same way and fingerprint to the same plan keys.
     let compiled: CompiledScript = match &script_path {
         Some(path) => {
-            if quick || taper.is_some() {
+            if quick || taper.is_some() || shards != 1 {
                 eprintln!(
-                    "--script replaces --quick/--ablate-taper/--oversub: put `seeds quick` / `taper <t>` in the script instead"
+                    "--script replaces --quick/--ablate-taper/--oversub/--shards: put `seeds quick` / `taper <t>` / `shards <n>` in the script instead"
                 );
                 std::process::exit(2);
             }
@@ -129,7 +144,7 @@ fn main() {
                 std::process::exit(2);
             })
         }
-        None => compile_str(&flags_script(quick, taper))
+        None => compile_str(&flags_script(quick, taper, shards))
             .expect("the flag front end always renders a valid script"),
     };
 
@@ -328,8 +343,15 @@ fn main() {
     }
 
     if selected("validation") {
-        println!("\n== Engine cross-validation (DES vs analytic) ==");
-        let vrows = validation::run(&lab);
+        if compiled.shards > 1 {
+            println!(
+                "\n== Engine cross-validation (DES on {} shards vs analytic) ==",
+                compiled.shards
+            );
+        } else {
+            println!("\n== Engine cross-validation (DES vs analytic) ==");
+        }
+        let vrows = validation::run_with_shards(&lab, compiled.shards);
         let tv = validation::table(&vrows);
         write_table(&tv);
         println!("{}", tv.to_ascii());

@@ -33,12 +33,14 @@ fn point_scenario(
     nodes: u32,
     rpn: u32,
     engine: EngineKind,
+    shards: u32,
 ) -> Scenario {
     Scenario::new(cluster.clone(), workloads::artery_cfd_small())
         .execution(env)
         .nodes(nodes)
         .ranks_per_node(rpn)
         .engine(engine)
+        .shards(shards)
 }
 
 /// Capture the same configuration through both engines: the per-rank DES
@@ -64,11 +66,19 @@ pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace
     ]
 }
 
+/// Run the validation matrix with the serial DES engine.
+pub fn run(lab: &QueryEngine) -> Vec<ValidationRow> {
+    run_with_shards(lab, 1)
+}
+
 /// Run the validation matrix. Each configuration contributes two lab
 /// queries (one per engine — the engine kind is part of the plan key, so
 /// they never collide in the cache) and the whole matrix shards across
-/// the pool as one batch.
-pub fn run(lab: &QueryEngine) -> Vec<ValidationRow> {
+/// the pool as one batch. `shards` selects the DES engine's shard count
+/// (the analytic engine has no event loop to shard, so it keeps the
+/// serial default); the sharded engine is bit-identical to serial, so
+/// the table is the same either way — only the wall clock moves.
+pub fn run_with_shards(lab: &QueryEngine, shards: u32) -> Vec<ValidationRow> {
     let points: Vec<(&str, harborsim_hw::ClusterSpec, Execution, u32, u32)> = vec![
         (
             "Lenox bare 2x14",
@@ -131,12 +141,15 @@ pub fn run(lab: &QueryEngine) -> Vec<ValidationRow> {
         .iter()
         .flat_map(|(_, cluster, env, nodes, rpn)| {
             [
-                EngineKind::Analytic,
-                EngineKind::Des {
-                    max_steps_per_kind: 5,
-                },
+                (EngineKind::Analytic, 1),
+                (
+                    EngineKind::Des {
+                        max_steps_per_kind: 5,
+                    },
+                    shards,
+                ),
             ]
-            .map(|engine| point_scenario(cluster, *env, *nodes, *rpn, engine))
+            .map(|(engine, s)| point_scenario(cluster, *env, *nodes, *rpn, engine, s))
         })
         .collect();
     let times = lab.means(scenarios, &[7]);
@@ -209,5 +222,21 @@ mod tests {
         let rows = run(&QueryEngine::new());
         let report = check_shape(&rows);
         assert!(report.is_empty(), "{report:#?}");
+    }
+
+    #[test]
+    fn sharded_matrix_is_bit_identical_to_serial() {
+        let lab = QueryEngine::new();
+        let serial = run(&lab);
+        let sharded = run_with_shards(&lab, 4);
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                a.des_s.to_bits(),
+                b.des_s.to_bits(),
+                "{}: sharded DES drifted from serial",
+                a.label
+            );
+        }
     }
 }

@@ -60,7 +60,8 @@ impl Query {
 /// Two scenarios with the same key compile to observably identical plans;
 /// two scenarios that differ in any behaviour-affecting knob — cluster,
 /// case, execution environment, shape, engine, deployment, placement,
-/// resolved taper, every degraded-link entry — differ in at least one
+/// resolved taper, every degraded-link entry, DES shard count — differ
+/// in at least one
 /// field. Floats are fingerprinted as bit patterns; the degraded-link
 /// multiset is sorted (degradation is multiplicative, so order does not
 /// matter to the compiled route table).
@@ -77,6 +78,7 @@ pub struct PlanKey {
     placement: u8,
     taper_bits: Option<u64>,
     degraded: Vec<(u32, u64)>,
+    shards: u32,
 }
 
 impl PlanKey {
@@ -112,6 +114,7 @@ impl PlanKey {
             },
             taper_bits: scenario.spine_taper.or(fallback_taper).map(f64::to_bits),
             degraded,
+            shards: scenario.shards,
         })
     }
 

@@ -99,6 +99,10 @@ pub struct Scenario {
     /// Node uplinks to degrade: `(node, factor)` multiplies that node's
     /// injection capacity by `factor` in the compiled route table.
     pub degraded_uplinks: Vec<(u32, f64)>,
+    /// DES shard count (1 = serial event loop). Only the message-level
+    /// engine reads it; the sharded run is bit-identical to serial, so
+    /// this is a throughput knob, not a model knob.
+    pub shards: u32,
 }
 
 impl Scenario {
@@ -118,6 +122,7 @@ impl Scenario {
             placement: Placement::Block,
             spine_taper: None,
             degraded_uplinks: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -148,6 +153,15 @@ impl Scenario {
     /// Select the performance engine.
     pub fn engine(mut self, engine: EngineKind) -> Scenario {
         self.engine = engine;
+        self
+    }
+
+    /// Run the DES engine over this many shards (ignored by the analytic
+    /// engine; clamped to the fabric's leaf count at run time). The result
+    /// is bit-identical at every shard count.
+    pub fn shards(mut self, shards: u32) -> Scenario {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
         self
     }
 
@@ -293,7 +307,8 @@ impl Scenario {
                     map,
                     config,
                     routes,
-                ),
+                )
+                .with_shards(self.shards),
                 max_steps_per_kind,
             }),
         };

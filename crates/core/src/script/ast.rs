@@ -27,6 +27,10 @@ pub enum Item {
     /// `taper 0.5` — the engine-level spine-taper fallback (the script
     /// equivalent of `reproduce_all --ablate-taper` / `--oversub`).
     Taper(f64),
+    /// `shards 4` — the DES shard-count fallback (the script equivalent
+    /// of `reproduce_all --shards`): campaigns whose engine directive did
+    /// not pin its own shard count pick this up.
+    Shards(u64),
     /// `trace "dir"` — export chrome://tracing JSON per experiment.
     Trace(String),
     /// `experiments all | experiments fig1 fig2` — which of the paper's
@@ -118,8 +122,14 @@ pub enum EnvSpec {
 pub enum EngineSpec {
     /// `analytic`
     Analytic,
-    /// `des <max-steps-per-kind>`
-    Des(u64),
+    /// `engine des <max-steps-per-kind> [shards <n>]` — `shards` is the
+    /// DES shard count (0 = inherit the script-level `shards` directive).
+    Des {
+        /// Steps of each kind to actually simulate.
+        steps: u64,
+        /// Pinned shard count; 0 means "not pinned here".
+        shards: u64,
+    },
 }
 
 /// Rank layout over nodes.
@@ -300,7 +310,12 @@ impl fmt::Display for Setting {
             Setting::Rpn(n) => write!(f, "rpn {n}"),
             Setting::Threads(n) => write!(f, "threads {n}"),
             Setting::Engine(EngineSpec::Analytic) => f.write_str("engine analytic"),
-            Setting::Engine(EngineSpec::Des(steps)) => write!(f, "engine des {steps}"),
+            Setting::Engine(EngineSpec::Des { steps, shards: 0 }) => {
+                write!(f, "engine des {steps}")
+            }
+            Setting::Engine(EngineSpec::Des { steps, shards }) => {
+                write!(f, "engine des {steps} shards {shards}")
+            }
             Setting::Deploy => f.write_str("deploy"),
             Setting::Placement(PlacementSpec::Block) => f.write_str("placement block"),
             Setting::Placement(PlacementSpec::RoundRobin) => f.write_str("placement round-robin"),
@@ -321,6 +336,7 @@ impl fmt::Display for Item {
             Item::Seeds(SeedsSpec::Default) => f.write_str("seeds default"),
             Item::Seeds(SeedsSpec::List(seeds)) => write!(f, "seeds {}", fmt_ints(seeds)),
             Item::Taper(t) => write!(f, "taper {t:?}"),
+            Item::Shards(n) => write!(f, "shards {n}"),
             Item::Trace(dir) => write!(f, "trace {dir:?}"),
             Item::Experiments(ExperimentsSpec::All) => f.write_str("experiments all"),
             Item::Experiments(ExperimentsSpec::Named(names)) => write!(

@@ -74,6 +74,10 @@ pub struct CompiledScript {
     /// Engine-level spine-taper fallback (the `taper` directive — the
     /// script form of `--ablate-taper`/`--oversub`).
     pub taper: Option<f64>,
+    /// DES shard-count fallback (the `shards` directive — the script form
+    /// of `--shards`). Campaign runs whose engine directive did not pin
+    /// its own count compile with this; 1 when absent.
+    pub shards: u32,
     /// Trace output directory, if the script asks for traces.
     pub trace_dir: Option<String>,
     /// Which paper experiments to run, if the script selects any.
@@ -89,6 +93,7 @@ impl std::fmt::Debug for CompiledScript {
         f.debug_struct("CompiledScript")
             .field("seeds", &self.seeds)
             .field("taper", &self.taper)
+            .field("shards", &self.shards)
             .field("trace_dir", &self.trace_dir)
             .field("experiments", &self.experiments)
             .field("campaigns", &self.campaigns)
@@ -178,9 +183,11 @@ pub fn compile_str(src: &str) -> Result<CompiledScript, ScriptError> {
 pub fn compile(script: &Script) -> Result<CompiledScript, ScriptError> {
     let mut seeds = default_seeds().to_vec();
     let mut taper = None;
+    let mut shards: u32 = 1;
     let mut trace_dir = None;
     let mut experiments = None;
-    let mut campaigns = Vec::new();
+    // pass 1 — directives, so a script-level `shards` reaches every
+    // campaign no matter where it appears in the file
     for item in &script.items {
         match &item.value {
             Item::Seeds(spec) => seeds = resolve_seeds(spec, item.span)?,
@@ -188,6 +195,7 @@ pub fn compile(script: &Script) -> Result<CompiledScript, ScriptError> {
                 check_fraction(*t, item.span, "taper")?;
                 taper = Some(*t);
             }
+            Item::Shards(n) => shards = checked_shards(*n, item.span)?,
             Item::Trace(dir) => trace_dir = Some(dir.clone()),
             Item::Experiments(spec) => {
                 if let ExperimentsSpec::Named(names) = spec {
@@ -206,12 +214,20 @@ pub fn compile(script: &Script) -> Result<CompiledScript, ScriptError> {
                 }
                 experiments = Some(spec.clone());
             }
-            Item::Campaign(campaign) => campaigns.push(compile_campaign(campaign, item.span)?),
+            Item::Campaign(_) => {}
+        }
+    }
+    // pass 2 — campaigns, compiled under the script-level shard fallback
+    let mut campaigns = Vec::new();
+    for item in &script.items {
+        if let Item::Campaign(campaign) = &item.value {
+            campaigns.push(compile_campaign(campaign, item.span, shards)?);
         }
     }
     Ok(CompiledScript {
         seeds,
         taper,
+        shards,
         trace_dir,
         experiments,
         campaigns,
@@ -243,6 +259,9 @@ struct Cfg {
     rpn: Option<u32>,
     threads: u32,
     engine: EngineKind,
+    /// DES shard count; starts at the script-level fallback, overridden
+    /// by an `engine des ... shards N` directive.
+    shards: u32,
     deploy: bool,
     placement: Placement,
     spine_taper: Option<f64>,
@@ -250,7 +269,7 @@ struct Cfg {
 }
 
 impl Cfg {
-    fn fresh() -> Cfg {
+    fn fresh(shards: u32) -> Cfg {
         Cfg {
             cluster: None,
             workload: None,
@@ -259,6 +278,7 @@ impl Cfg {
             rpn: None,
             threads: 1,
             engine: EngineKind::Analytic,
+            shards,
             deploy: false,
             placement: Placement::Block,
             spine_taper: None,
@@ -267,8 +287,12 @@ impl Cfg {
     }
 }
 
-fn compile_campaign(campaign: &Campaign, span: Span) -> Result<CompiledCampaign, ScriptError> {
-    let mut base = Cfg::fresh();
+fn compile_campaign(
+    campaign: &Campaign,
+    span: Span,
+    fallback_shards: u32,
+) -> Result<CompiledCampaign, ScriptError> {
+    let mut base = Cfg::fresh(fallback_shards);
     let mut seeds = None;
     let mut sweeps: Vec<(&Sweep, Span)> = Vec::new();
     for setting in &campaign.body {
@@ -286,7 +310,14 @@ fn compile_campaign(campaign: &Campaign, span: Span) -> Result<CompiledCampaign,
             Setting::Nodes(n) => base.nodes = checked_u32(*n, at, "nodes")?,
             Setting::Rpn(n) => base.rpn = Some(checked_u32(*n, at, "rpn")?),
             Setting::Threads(n) => base.threads = checked_u32(*n, at, "threads")?,
-            Setting::Engine(spec) => base.engine = engine_kind(spec, at)?,
+            Setting::Engine(spec) => {
+                base.engine = engine_kind(spec, at)?;
+                if let EngineSpec::Des { shards, .. } = spec {
+                    if *shards != 0 {
+                        base.shards = checked_shards(*shards, at)?;
+                    }
+                }
+            }
             Setting::Deploy => base.deploy = true,
             Setting::Placement(p) => base.placement = placement(p),
             Setting::SpineTaper(t) => {
@@ -505,6 +536,7 @@ fn build_scenario(cfg: &Cfg, span: Span) -> Result<Scenario, ScriptError> {
         placement: cfg.placement,
         spine_taper: cfg.spine_taper,
         degraded_uplinks: cfg.degraded.clone(),
+        shards: cfg.shards,
     })
 }
 
@@ -562,7 +594,7 @@ fn execution(env: EnvSpec) -> Execution {
 fn engine_kind(spec: &EngineSpec, span: Span) -> Result<EngineKind, ScriptError> {
     match spec {
         EngineSpec::Analytic => Ok(EngineKind::Analytic),
-        EngineSpec::Des(steps) => Ok(EngineKind::Des {
+        EngineSpec::Des { steps, .. } => Ok(EngineKind::Des {
             max_steps_per_kind: checked_u32(*steps, span, "des steps")?,
         }),
     }
@@ -612,6 +644,13 @@ fn check_fraction(x: f64, span: Span, what: &str) -> Result<(), ScriptError> {
             format!("{what} must be in (0, 1], got {x:?}"),
         ))
     }
+}
+
+fn checked_shards(n: u64, span: Span) -> Result<u32, ScriptError> {
+    if n == 0 {
+        return Err(ScriptError::compile(span, "shards must be at least 1"));
+    }
+    checked_u32(n, span, "shards")
 }
 
 fn checked_u32(n: u64, span: Span, what: &str) -> Result<u32, ScriptError> {
@@ -790,6 +829,11 @@ mod tests {
                 "needs a containment",
             ),
             ("experiments fig9", "unknown experiment"),
+            ("shards 0", "shards must be at least 1"),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small engine des 5 shards 4294967296 }",
+                "32 bits",
+            ),
         ];
         for (src, needle) in cases {
             let e = compile_str(src).unwrap_err();
@@ -809,9 +853,63 @@ mod tests {
             }
             other => panic!("expected named experiments, got {other:?}"),
         }
-        let all = compile_str(&crate::script::flags_script(true, Some(1.0))).unwrap();
+        let all = compile_str(&crate::script::flags_script(true, Some(1.0), 1)).unwrap();
         assert_eq!(all.experiments, Some(ExperimentsSpec::All));
         assert_eq!(all.taper, Some(1.0));
         assert_eq!(all.seeds, default_seeds()[..1]);
+    }
+
+    #[test]
+    fn shards_directive_reaches_every_campaign_wherever_it_appears() {
+        let src = r#"
+            campaign "before" { cluster lenox workload cfd-small engine des 5 }
+            shards 4
+            campaign "after" { cluster lenox workload cfd-small engine des 5 }
+            "#;
+        let compiled = compile_str(src).unwrap();
+        assert_eq!(compiled.shards, 4);
+        for campaign in &compiled.campaigns {
+            assert_eq!(
+                campaign.runs[0].scenario.shards, 4,
+                "{}: directive order must not matter",
+                campaign.name
+            );
+        }
+    }
+
+    #[test]
+    fn engine_pin_overrides_the_shards_fallback() {
+        let compiled = compile_str(
+            r#"
+            shards 2
+            campaign "inherit" { cluster lenox workload cfd-small engine des 5 }
+            campaign "pinned" { cluster lenox workload cfd-small engine des 5 shards 8 }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(compiled.campaigns[0].runs[0].scenario.shards, 2);
+        assert_eq!(compiled.campaigns[1].runs[0].scenario.shards, 8);
+        // no directive at all: the serial default
+        let serial =
+            compile_str("campaign \"s\" { cluster lenox workload cfd-small engine des 5 }")
+                .unwrap();
+        assert_eq!(serial.shards, 1);
+        assert_eq!(serial.campaigns[0].runs[0].scenario.shards, 1);
+    }
+
+    #[test]
+    fn shards_split_the_plan_key() {
+        let serial =
+            compile_str("campaign \"k\" { cluster lenox workload cfd-small engine des 5 }")
+                .unwrap();
+        let sharded = compile_str(
+            "shards 4\ncampaign \"k\" { cluster lenox workload cfd-small engine des 5 }",
+        )
+        .unwrap();
+        assert_ne!(
+            serial.fingerprints(),
+            sharded.fingerprints(),
+            "shard count must re-key the plan"
+        );
     }
 }

@@ -14,8 +14,8 @@
 //! compile it — never panic.
 
 use crate::script::ast::{
-    synth, Atom, Campaign, EnvSpec, ExperimentsSpec, Item, PlacementSpec, Script, SeedsSpec,
-    Setting, Sweep, SweepPoint, SweepValues,
+    synth, Atom, Campaign, EngineSpec, EnvSpec, ExperimentsSpec, Item, PlacementSpec, Script,
+    SeedsSpec, Setting, Sweep, SweepPoint, SweepValues,
 };
 use crate::script::compile::EXPERIMENT_NAMES;
 use harborsim_des::RngStream;
@@ -60,6 +60,9 @@ pub fn random_script(rng: &mut RngStream) -> Script {
     }
     if rng.below(4) == 0 {
         items.push(synth(Item::Trace(format!("target/gen-{}", rng.below(100)))));
+    }
+    if rng.below(4) == 0 {
+        items.push(synth(Item::Shards(rng.below(7) + 1)));
     }
     if rng.below(4) == 0 {
         let spec = if rng.below(2) == 0 {
@@ -114,6 +117,22 @@ fn random_campaign(rng: &mut RngStream, idx: u64) -> Campaign {
     }
     if rng.below(4) == 0 {
         body.push(synth(Setting::Seeds(vec![rng.below(100) + 1])));
+    }
+    if rng.below(3) == 0 {
+        // a des engine pin, with or without its own shard count (0 means
+        // "inherit the top-level shards directive")
+        body.push(synth(Setting::Engine(if rng.below(3) == 0 {
+            EngineSpec::Analytic
+        } else {
+            EngineSpec::Des {
+                steps: rng.below(6) + 2,
+                shards: if rng.below(2) == 0 {
+                    0
+                } else {
+                    rng.below(7) + 1
+                },
+            }
+        })));
     }
     for s in 0..rng.below(3) {
         body.push(synth(Setting::Sweep(random_sweep(rng, s))));

@@ -197,17 +197,24 @@ impl Error for ScriptError {}
 
 /// The canonical script equivalent of a `reproduce_all` flag
 /// combination: `--quick` picks the one-seed protocol, `--ablate-taper`
-/// / `--oversub <t>` become the engine-level `taper` directive, and the
+/// / `--oversub <t>` become the engine-level `taper` directive,
+/// `--shards <n>` becomes the engine-level `shards` directive (omitted
+/// at the serial default of 1, so older scripts stay canonical), and the
 /// full experiment suite runs. `reproduce_all` itself routes its flags
 /// through this, so "flags" and "script" are one front end — the golden
 /// fingerprint test holds the committed `scripts/repro_*.hsim` files
 /// against exactly this text.
-pub fn flags_script(quick: bool, taper: Option<f64>) -> String {
+pub fn flags_script(quick: bool, taper: Option<f64>, shards: u32) -> String {
     let seeds = if quick { "quick" } else { "default" };
-    match taper {
-        Some(t) => format!("seeds {seeds} taper {t:?} experiments all\n"),
-        None => format!("seeds {seeds} experiments all\n"),
+    let mut line = format!("seeds {seeds}");
+    if let Some(t) = taper {
+        line.push_str(&format!(" taper {t:?}"));
     }
+    if shards > 1 {
+        line.push_str(&format!(" shards {shards}"));
+    }
+    line.push_str(" experiments all\n");
+    line
 }
 
 #[cfg(test)]
@@ -231,14 +238,25 @@ mod tests {
 
     #[test]
     fn flag_combinations_are_one_line_scripts() {
-        assert_eq!(flags_script(false, None), "seeds default experiments all\n");
         assert_eq!(
-            flags_script(true, Some(1.0)),
+            flags_script(false, None, 1),
+            "seeds default experiments all\n"
+        );
+        assert_eq!(
+            flags_script(true, Some(1.0), 1),
             "seeds quick taper 1.0 experiments all\n"
         );
         assert_eq!(
-            flags_script(false, Some(0.5)),
+            flags_script(false, Some(0.5), 1),
             "seeds default taper 0.5 experiments all\n"
+        );
+        assert_eq!(
+            flags_script(true, None, 4),
+            "seeds quick shards 4 experiments all\n"
+        );
+        assert_eq!(
+            flags_script(false, Some(0.5), 8),
+            "seeds default taper 0.5 shards 8 experiments all\n"
         );
     }
 }

@@ -152,10 +152,12 @@ impl Parser {
     }
 
     fn item(&mut self) -> Result<Spanned<Item>, ScriptError> {
-        let (word, span) = self.word("a directive (seeds, taper, trace, experiments, campaign)")?;
+        let (word, span) =
+            self.word("a directive (seeds, taper, shards, trace, experiments, campaign)")?;
         let item = match word.as_str() {
             "seeds" => Item::Seeds(self.seeds_spec()?),
             "taper" => Item::Taper(self.number("a taper value")?.0),
+            "shards" => Item::Shards(self.int("a shard count")?.0),
             "trace" => Item::Trace(self.string("a quoted trace directory")?.0),
             "experiments" => Item::Experiments(self.experiments_spec()?),
             "campaign" => Item::Campaign(self.campaign()?),
@@ -163,7 +165,7 @@ impl Parser {
                 return Err(ScriptError::parse(
                     span,
                     format!(
-                        "unknown directive `{other}` (expected seeds, taper, trace, experiments, or campaign)"
+                        "unknown directive `{other}` (expected seeds, taper, shards, trace, experiments, or campaign)"
                     ),
                 ))
             }
@@ -269,7 +271,16 @@ impl Parser {
         let (word, span) = self.word("an engine (analytic, des)")?;
         match word.as_str() {
             "analytic" => Ok(EngineSpec::Analytic),
-            "des" => Ok(EngineSpec::Des(self.int("max steps per kind")?.0)),
+            "des" => {
+                let steps = self.int("max steps per kind")?.0;
+                let shards = if self.peek_word("shards") {
+                    self.pos += 1;
+                    self.int("a shard count")?.0
+                } else {
+                    0
+                };
+                Ok(EngineSpec::Des { steps, shards })
+            }
             other => Err(ScriptError::parse(
                 span,
                 format!("unknown engine `{other}` (expected analytic or des)"),
@@ -423,7 +434,10 @@ impl Parser {
 /// Words that start a statement — the boundary tokens for greedy lists
 /// like experiment-name sequences.
 fn is_keyword(w: &str) -> bool {
-    matches!(w, "seeds" | "taper" | "trace" | "experiments" | "campaign")
+    matches!(
+        w,
+        "seeds" | "taper" | "shards" | "trace" | "experiments" | "campaign"
+    )
 }
 
 /// Resolve 1–2 words into an [`EnvSpec`]; `second` is only called when the

@@ -1,0 +1,150 @@
+//! The per-shard event core: slab + keyed 4-ary heap + clock.
+//!
+//! [`EventCore`] is the piece of the monolithic [`Engine`](crate::Engine)
+//! that a parallel discrete-event simulation needs *per shard*: an event
+//! arena, a min-heap, and a local clock — without the boxed-closure API,
+//! cancellation handles, or a run loop. The caller owns the loop, which is
+//! what conservative synchronization needs: each shard pops only events
+//! inside the current safe horizon via [`EventCore::pop_within`] and parks
+//! at a barrier until a new horizon is agreed.
+//!
+//! Ordering is by a caller-packed key, not an engine-local sequence
+//! number: `(time, tie)` with the tie-breaker carrying a layout-invariant
+//! `(source domain, per-domain sequence)` pair. Because the key is a pure
+//! function of *which domain scheduled the event and in what order*, the
+//! global pop order of the union of all shards' cores is identical for
+//! every shard count — the property the serial-vs-sharded differential
+//! test pins.
+
+use crate::arena::EventArena;
+use crate::heap::EventHeap;
+use crate::time::SimTime;
+
+/// One shard's pending-event set and clock.
+///
+/// Events are plain values (`E`); scheduling stores them in a slab and
+/// orders bare slot indices, so the hot loop never moves payloads.
+#[derive(Debug)]
+pub struct EventCore<E> {
+    now: SimTime,
+    heap: EventHeap,
+    arena: EventArena<E>,
+}
+
+impl<E> Default for EventCore<E> {
+    fn default() -> Self {
+        EventCore::new()
+    }
+}
+
+impl<E> EventCore<E> {
+    /// An empty core at time zero.
+    pub fn new() -> Self {
+        EventCore {
+            now: SimTime::ZERO,
+            heap: EventHeap::new(),
+            arena: EventArena::new(),
+        }
+    }
+
+    /// Current shard-local simulation time: the timestamp of the last
+    /// event popped (zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == 0
+    }
+
+    /// Schedule `ev` at absolute time `at`, tie-broken by `tie` (smaller
+    /// fires first among equal times). Coexisting `(at, tie)` pairs must
+    /// be distinct; the sharded engine guarantees this by packing
+    /// `(domain, per-domain sequence)` into the tie.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: SimTime, tie: u64, ev: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let (slot, _gen) = self.arena.insert(ev);
+        let key = ((at.0 as u128) << 64) | tie as u128;
+        self.heap.push_keyed(key, slot);
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn min_time(&self) -> Option<SimTime> {
+        self.heap.peek_time()
+    }
+
+    /// Pop the earliest event if it fires at or before `horizon`,
+    /// advancing the clock to its timestamp. `None` means the next event
+    /// (if any) lies beyond the horizon — the shard must re-synchronize
+    /// before it may process further.
+    #[inline]
+    pub fn pop_within(&mut self, horizon: SimTime) -> Option<E> {
+        let (at, slot) = self.heap.pop_within(horizon)?;
+        let ev = self.arena.take(slot).expect("keyed event slot is live");
+        self.now = at;
+        Some(ev)
+    }
+
+    /// Drop all pending events and rewind the clock, keeping allocations
+    /// (shard reuse across runs).
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.heap.clear();
+        self.arena.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_tie_order() {
+        let mut c: EventCore<u32> = EventCore::new();
+        c.schedule_keyed(SimTime(20), 1, 0);
+        c.schedule_keyed(SimTime(10), 9, 1);
+        c.schedule_keyed(SimTime(10), 2, 2);
+        c.schedule_keyed(SimTime(30), 0, 3);
+        let mut got = Vec::new();
+        while let Some(ev) = c.pop_within(SimTime::MAX) {
+            got.push((c.now().0, ev));
+        }
+        assert_eq!(got, vec![(10, 2), (10, 1), (20, 0), (30, 3)]);
+    }
+
+    #[test]
+    fn horizon_blocks_later_events() {
+        let mut c: EventCore<&'static str> = EventCore::new();
+        c.schedule_keyed(SimTime(5), 0, "early");
+        c.schedule_keyed(SimTime(50), 0, "late");
+        assert_eq!(c.pop_within(SimTime(10)), Some("early"));
+        assert_eq!(c.pop_within(SimTime(10)), None);
+        assert_eq!(c.now(), SimTime(5), "a refused pop must not advance time");
+        assert_eq!(c.min_time(), Some(SimTime(50)));
+        assert_eq!(c.pop_within(SimTime(50)), Some("late"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reset_rewinds_and_clears() {
+        let mut c: EventCore<u8> = EventCore::new();
+        c.schedule_keyed(SimTime(7), 0, 1);
+        assert_eq!(c.pop_within(SimTime::MAX), Some(1));
+        c.schedule_keyed(SimTime(9), 0, 2);
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.min_time(), None);
+        c.schedule_keyed(SimTime(1), 0, 3);
+        assert_eq!(c.pop_within(SimTime::MAX), Some(3));
+    }
+}

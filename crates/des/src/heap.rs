@@ -67,6 +67,19 @@ impl EventHeap {
         self.sift_up(self.keys.len() - 1);
     }
 
+    /// Insert `slot` under a caller-packed key (time in the high 64 bits,
+    /// an arbitrary tie-breaker in the low 64). The sharded
+    /// [`EventCore`](crate::core::EventCore) uses this to order events by a
+    /// layout-invariant `(time, domain, sequence)` key instead of the
+    /// engine-local insertion sequence; callers must keep coexisting keys
+    /// distinct.
+    #[inline]
+    pub(crate) fn push_keyed(&mut self, key: u128, slot: u32) {
+        self.keys.push(key);
+        self.slots.push(slot);
+        self.sift_up(self.keys.len() - 1);
+    }
+
     /// Time of the earliest entry.
     #[inline]
     pub(crate) fn peek_time(&self) -> Option<SimTime> {

@@ -16,6 +16,9 @@
 //! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated clock.
 //! - [`Engine`] — the event loop; schedule with [`Engine::schedule`] or the
 //!   cancellable [`Engine::schedule_cancellable`].
+//! - [`EventCore`] — the engine's slab + heap + clock as a standalone
+//!   per-shard unit with caller-packed keys and a caller-owned loop, for
+//!   conservatively synchronized parallel simulations.
 //! - [`Resource`] — a FIFO server pool with finite capacity (models NICs,
 //!   registry connections, filesystem servers, daemons...).
 //! - [`FluidLink`] — a fair-share ("fluid flow") bandwidth model for shared
@@ -27,6 +30,7 @@
 //!   [`Recorder`] every simulation layer reports through.
 
 mod arena;
+pub mod core;
 pub mod engine;
 pub mod fluid;
 mod heap;
@@ -38,9 +42,10 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
+pub use crate::core::EventCore;
 pub use engine::{BoxedEvent, Engine, Event, EventId};
 pub use fluid::FluidLink;
-pub use resource::{Resource, TypedResource};
+pub use resource::{CoreResource, Resource, TypedResource};
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};
 pub use timeline::Timeline;

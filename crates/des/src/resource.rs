@@ -137,6 +137,87 @@ impl<E> TypedResource<E> {
     }
 }
 
+/// A finite-capacity FIFO resource decoupled from any engine.
+///
+/// The shard-aware variant of [`TypedResource`]: `acquire`/`release` return
+/// the continuation to grant instead of scheduling it, so the same resource
+/// works inside a per-shard [`EventCore`](crate::EventCore) loop where
+/// scheduling needs a shard-assigned event key the resource cannot know.
+/// `Some(cont)` means the caller must schedule `cont` now with zero delay
+/// (preserving the deterministic same-instant interleaving the engine-bound
+/// resources have); `None` from `acquire` means the request was queued.
+#[derive(Debug)]
+pub struct CoreResource<E> {
+    capacity: u32,
+    in_use: u32,
+    waiters: VecDeque<E>,
+}
+
+impl<E> CoreResource<E> {
+    /// A resource with `capacity` simultaneous servers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        CoreResource {
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Return the resource to its initial state with `capacity` servers,
+    /// keeping the waiter queue's allocation (scratch-pool reuse).
+    pub fn reset(&mut self, capacity: u32) {
+        assert!(capacity > 0, "resource capacity must be positive");
+        self.capacity = capacity;
+        self.in_use = 0;
+        self.waiters.clear();
+    }
+
+    /// Request one server. `Some(cont)` hands the continuation back for
+    /// the caller to schedule immediately (a server was free); `None`
+    /// means it was queued and will come back out of a later `release`.
+    #[inline]
+    #[must_use = "a granted continuation must be scheduled"]
+    pub fn acquire(&mut self, cont: E) -> Option<E> {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            Some(cont)
+        } else {
+            self.waiters.push_back(cont);
+            None
+        }
+    }
+
+    /// Return one server. `Some(cont)` is the oldest waiter, now granted,
+    /// for the caller to schedule immediately.
+    ///
+    /// # Panics
+    /// Panics if no server is currently held.
+    #[inline]
+    #[must_use = "a granted continuation must be scheduled"]
+    pub fn release(&mut self) -> Option<E> {
+        assert!(self.in_use > 0, "release without matching acquire");
+        let granted = self.waiters.pop_front();
+        if granted.is_none() {
+            self.in_use -= 1;
+        }
+        granted
+    }
+
+    /// Servers currently held.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
 /// A finite-capacity FIFO resource.
 ///
 /// The resource does not know which state field it lives in; callers hold it
@@ -339,5 +420,34 @@ mod tests {
         let mut eng: Engine<St> = Engine::new();
         let mut res: Resource<St> = Resource::new(1);
         res.release(&mut eng);
+    }
+
+    #[test]
+    fn core_resource_fifo_and_reset() {
+        let mut r: CoreResource<u32> = CoreResource::new(2);
+        assert_eq!(r.acquire(0), Some(0));
+        assert_eq!(r.acquire(1), Some(1));
+        assert_eq!(r.acquire(2), None, "at capacity: queued");
+        assert_eq!(r.acquire(3), None);
+        assert_eq!(r.queue_len(), 2);
+        assert_eq!(r.in_use(), 2);
+        // releases grant the waiters oldest-first, keeping servers busy
+        assert_eq!(r.release(), Some(2));
+        assert_eq!(r.in_use(), 2);
+        assert_eq!(r.release(), Some(3));
+        assert_eq!(r.release(), None);
+        assert_eq!(r.in_use(), 1);
+        r.reset(1);
+        assert_eq!(r.in_use(), 0);
+        assert_eq!(r.queue_len(), 0);
+        assert_eq!(r.acquire(9), Some(9));
+        assert_eq!(r.acquire(10), None, "reset capacity applies");
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching acquire")]
+    fn core_resource_release_without_acquire_panics() {
+        let mut r: CoreResource<u32> = CoreResource::new(1);
+        let _ = r.release();
     }
 }

@@ -209,6 +209,41 @@ impl TraceBuffer {
         self.spans.iter().filter(|s| s.category == cat).count()
     }
 
+    /// Order-insensitive content fingerprint: the wrapping sum of one
+    /// FNV-1a hash per span. Two buffers holding the same *multiset* of
+    /// spans fingerprint identically no matter the emission order — the
+    /// comparison the serial-vs-sharded DES differential needs, since
+    /// shard layouts interleave (but never change) the emitted spans.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut sum = 0u64;
+        for s in &self.spans {
+            let mut h = OFFSET;
+            mix(&mut h, &(s.category.index() as u64).to_le_bytes());
+            mix(&mut h, s.name.as_bytes());
+            mix(&mut h, &s.track.to_le_bytes());
+            mix(&mut h, &s.start.0.to_le_bytes());
+            mix(&mut h, &s.end.0.to_le_bytes());
+            for (k, v) in &s.attrs {
+                mix(&mut h, k.as_bytes());
+                match v {
+                    AttrValue::Text(t) => mix(&mut h, t.as_bytes()),
+                    AttrValue::Int(i) => mix(&mut h, &i.to_le_bytes()),
+                    AttrValue::Num(n) => mix(&mut h, &n.to_bits().to_le_bytes()),
+                }
+            }
+            sum = sum.wrapping_add(h);
+        }
+        sum
+    }
+
     fn push(&mut self, span: Span) {
         self.spans.push(span);
     }
@@ -626,5 +661,25 @@ mod tests {
             assert_eq!(cat.index(), i);
             assert!(!cat.label().is_empty());
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_order_but_not_content() {
+        let mut a = Recorder::capturing();
+        a.span(SpanCategory::Compute, "burst", 0, t(0), t(10));
+        a.span(SpanCategory::Halo, "wait", 1, t(10), t(30));
+        let mut b = Recorder::capturing();
+        b.span(SpanCategory::Halo, "wait", 1, t(10), t(30));
+        b.span(SpanCategory::Compute, "burst", 0, t(0), t(10));
+        assert_eq!(
+            a.buffer().fingerprint(),
+            b.buffer().fingerprint(),
+            "emission order must not matter"
+        );
+        let mut c = Recorder::capturing();
+        c.span(SpanCategory::Compute, "burst", 0, t(0), t(10));
+        c.span(SpanCategory::Halo, "wait", 2, t(10), t(30)); // track differs
+        assert_ne!(a.buffer().fingerprint(), c.buffer().fingerprint());
+        assert_eq!(Recorder::capturing().buffer().fingerprint(), 0);
     }
 }

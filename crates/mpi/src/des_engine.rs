@@ -1,4 +1,4 @@
-//! The message-level discrete-event performance engine.
+//! The message-level discrete-event performance engine, shard-parallel.
 //!
 //! Every point-to-point message and every collective round of the workload
 //! becomes simulated wire traffic:
@@ -6,9 +6,9 @@
 //! - each rank is a little interpreter over its private instruction stream
 //!   (compute / send / recv), generated lazily from the [`JobProfile`];
 //! - sends are *posted* (Isend semantics): the rank pays the per-message CPU
-//!   overhead and moves on, while the payload claims every link of its
+//!   overhead and moves on, while the payload claims the links of its
 //!   route — node uplink, spine crossing, receiver downlink — as FIFO
-//!   [`TypedResource`]s carved into node-stream slots, the same routed graph
+//!   [`CoreResource`]s carved into node-stream slots, the same routed graph
 //!   the analytic engine costs with its fluid schedule;
 //! - intra-node messages serialize through a per-node memory/bridge pipe;
 //! - messages above the eager threshold use a rendezvous handshake: the
@@ -16,13 +16,40 @@
 //!   matching receive and a request/ack round-trip has elapsed;
 //! - receives block the rank until arrival (+ receive overhead).
 //!
-//! The protocol state machine is a typed event enum (`Ev`) over the
-//! allocation-free DES kernel: event payloads are `Copy` values in the
-//! engine's slab arena, instruction queues / resources / per-link tallies
-//! live in a pooled `DesScratch` reused across runs, so the steady-state
-//! event loop of `plan.execute(seed)` performs no heap allocation. The
-//! event ordering is identical — schedule-for-schedule — to the original
-//! boxed-closure implementation, so results are bit-for-bit unchanged.
+//! # Sharding
+//!
+//! The simulation is partitioned by *domain* — the leaf group of the fabric
+//! ([`LinkGraph::leaf_of`](harborsim_net::LinkGraph::leaf_of)) — and domains
+//! are dealt out to shards as contiguous blocks. Each shard owns a private
+//! [`EventCore`] (slab + keyed heap + clock), the rank interpreters, link /
+//! pipe / bridge resources, and message table of its domains; nothing it
+//! touches is shared. All intra-domain protocol (same node, same leaf) is
+//! the exact serial state machine. Cross-leaf traffic crosses shards over
+//! three typed mailbox events, each carrying at least the *lookahead*
+//! `λ = latency + min(3·hop, 2·overhead)` of simulated delay:
+//!
+//! - `SegArrive` — the payload finished its source-side segment (node-up +
+//!   leaf-up held for `h0`) and hops to the destination leaf, where it
+//!   claims leaf-down + node-down for `h1`; `h0 + h1` equals the full
+//!   serialization time, split by inverse segment rate so a degraded
+//!   uplink still dominates.
+//! - `RdvProbe` / `RdvGrant` — the rendezvous handshake as an explicit
+//!   request/ack pair so the receiver's message table stays receiver-local.
+//!
+//! Shards run conservatively synchronized windows: agree on the global
+//! minimum pending time `M`, process events strictly below `M + λ`, flush
+//! outboxes, repeat. Determinism does not depend on thread timing: every
+//! event is keyed `(time, scheduling domain, per-domain sequence)`, a pure
+//! function of the (deterministic) per-domain schedule order, so the
+//! per-domain pop order — and with it every result and span — is identical
+//! for *any* shard count. `tests/shards_differential.rs` pins serial vs
+//! sharded bit-equality; `shards = 1` (the default) skips threads and
+//! barriers entirely.
+//!
+//! Event payloads are `Copy` values in per-shard slab arenas; instruction
+//! queues, resources, and tallies live in pooled `DesScratch` reused across
+//! runs, so the steady-state event loop of `plan.execute(seed)` performs no
+//! heap allocation.
 //!
 //! The engine is deterministic for a given seed and cross-validated against
 //! the analytic engine in `tests/engines_agree.rs`.
@@ -33,11 +60,12 @@ use crate::mapping::{route_table, RankMap};
 use crate::result::{CommBreakdown, LinkUsage, SimResult};
 use crate::workload::{CommPhase, JobProfile};
 use harborsim_des::trace::{Recorder, SpanCategory};
-use harborsim_des::{Engine, Event, RngStream, SimDuration, SimTime, TypedResource};
+use harborsim_des::{CoreResource, EventCore, RngStream, SimDuration, SimTime};
 use harborsim_hw::NodeSpec;
 use harborsim_net::{LinkId, NetworkModel, Route, RouteTable, ScratchPool, TransportParams};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Communication family, for wait-time attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,35 +154,58 @@ struct JobCtx {
     routes: Arc<RouteTable>,
     /// Per-slot drain rate of each link (bytes/s), dense by link id.
     link_rate: Arc<[f64]>,
+    /// Owning shard of each domain (leaf group), dense by leaf id.
+    shard_of_domain: Box<[u32]>,
 }
 
-struct Sim {
-    ctx: Arc<JobCtx>,
-    ranks: Vec<RankState>,
-    /// One FIFO resource per fabric link, `capacity / node-stream` slots each.
-    links: Vec<TypedResource<Ev>>,
-    pipes: Vec<TypedResource<Ev>>,
-    bridges: Vec<TypedResource<Ev>>,
-    msgs: HashMap<u64, MsgState>,
-    live_ranks: u32,
-    inter_msgs: u64,
-    intra_msgs: u64,
-    inter_bytes: u64,
-    /// Fluid per-link tallies (`bytes / capacity`), kept engine-comparable
-    /// with the analytic schedule — queueing time is *not* counted here.
-    link_busy: Vec<f64>,
-    link_bytes: Vec<u64>,
-    /// Trace sink; compute/wait attribution is derived from it after the run.
-    rec: Recorder,
+impl JobCtx {
+    /// The domain (leaf group) that owns `rank`'s protocol state.
+    #[inline]
+    fn domain_of_rank(&self, rank: u32) -> u32 {
+        self.routes.graph().leaf_of(self.map.node_of(rank))
+    }
+
+    #[inline]
+    fn domain_of_node(&self, node: u32) -> u32 {
+        self.routes.graph().leaf_of(node)
+    }
+
+    #[inline]
+    fn same_domain(&self, a: u32, b: u32) -> bool {
+        self.domain_of_rank(a) == self.domain_of_rank(b)
+    }
+
+    /// The domain whose shard must process `ev`. Every resource and every
+    /// message-table entry is touched by exactly one domain: node links and
+    /// pipes by their node's leaf, leaf links by their own leaf, message
+    /// state by the *receiver's* leaf.
+    fn domain_of_ev(&self, ev: &Ev) -> u32 {
+        match *ev {
+            Ev::Advance { rank } => self.domain_of_rank(rank),
+            Ev::Transfer { src, .. } => self.domain_of_rank(src),
+            Ev::BridgeGranted { node, .. }
+            | Ev::BridgeDone { node, .. }
+            | Ev::PipeGranted { node, .. }
+            | Ev::PipeSerDone { node, .. } => self.domain_of_node(node),
+            Ev::RouteGranted { dst, .. } | Ev::RouteSerDone { dst, .. } => self.domain_of_rank(dst),
+            Ev::SegGranted { src, dst, seg, .. } | Ev::SegSerDone { src, dst, seg, .. } => {
+                if seg == 0 {
+                    self.domain_of_rank(src)
+                } else {
+                    self.domain_of_rank(dst)
+                }
+            }
+            Ev::SegArrive { dst, .. } => self.domain_of_rank(dst),
+            Ev::RdvProbe { dst, .. } => self.domain_of_rank(dst),
+            Ev::RdvGrant { src, .. } => self.domain_of_rank(src),
+            Ev::Deliver { dst, .. } => self.domain_of_rank(dst),
+        }
+    }
 }
 
-type Eng = Engine<Sim, Ev>;
-
-/// The protocol state machine as a typed, `Copy` event payload — the
-/// allocation-free replacement for the boxed continuation closures. Each
-/// variant corresponds 1:1 to one closure of the original implementation,
-/// scheduled at exactly the same points, so the `(time, seq)` event order
-/// (and therefore every simulation output) is bit-identical.
+/// The protocol state machine as a typed, `Copy` event payload. Intra-leaf
+/// variants are 1:1 with the serial implementation; `Seg*` and `Rdv*` carry
+/// cross-leaf traffic between shards.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Drive `rank`'s interpreter forward.
@@ -185,6 +236,7 @@ enum Ev {
     /// The intra-node pipe granted; hold it for the serialization time.
     PipeGranted {
         node: u32,
+        dst: u32,
         ser: SimDuration,
         lat: SimDuration,
         mid: u64,
@@ -192,129 +244,370 @@ enum Ev {
     /// Payload fully through the pipe: release, then deliver after latency.
     PipeSerDone {
         node: u32,
+        dst: u32,
         lat: SimDuration,
         mid: u64,
     },
-    /// Link `idx - 1` of the route granted; claim the next one.
+    /// Link `idx - 1` of a same-leaf route granted; claim the next one.
     RouteGranted {
         route: Route,
         idx: u8,
         ser: SimDuration,
         lat: SimDuration,
+        dst: u32,
         mid: u64,
     },
     /// Payload streamed across all held links: release them, deliver later.
     RouteSerDone {
         route: Route,
         lat: SimDuration,
+        dst: u32,
         mid: u64,
     },
+    /// Link `idx - 1` of a cross-leaf segment granted; claim the next one.
+    /// `seg` 0 holds node-up + leaf-up at the source leaf, `seg` 1 holds
+    /// leaf-down + node-down at the destination leaf.
+    SegGranted {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        seg: u8,
+        idx: u8,
+        mid: u64,
+    },
+    /// A segment's hold elapsed: release its links; segment 0 hops across
+    /// the spine, segment 1 delivers.
+    SegSerDone {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        seg: u8,
+        mid: u64,
+    },
+    /// Cross-leaf payload reached the destination leaf (mailbox event,
+    /// carries the full transport + switch latency).
+    SegArrive {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+    },
+    /// Cross-leaf rendezvous request at the receiver's leaf (mailbox).
+    RdvProbe {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+        sent_at: SimTime,
+    },
+    /// Cross-leaf rendezvous ack back at the sender's leaf (mailbox);
+    /// `sent_at` anchors the handshake span on the sender's track.
+    RdvGrant {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        mid: u64,
+        sent_at: SimTime,
+    },
     /// Message arrived at the receiver.
-    Deliver { mid: u64 },
+    Deliver { dst: u32, mid: u64 },
 }
 
-impl Event<Sim> for Ev {
-    fn fire(self, eng: &mut Eng, sim: &mut Sim) {
-        match self {
-            Ev::Advance { rank } => advance(eng, sim, rank),
-            Ev::Transfer {
-                src,
-                dst,
-                bytes,
-                mid,
-            } => enqueue_transfer(eng, sim, src, dst, bytes, mid),
-            Ev::BridgeGranted {
-                node,
-                src,
-                dst,
-                bytes,
-                mid,
-            } => {
-                let hold = SimDuration::from_secs_f64(sim.ctx.bridge_serial_s);
-                // bridge tracks sit above the rank tracks: ranks + node
-                let track = sim.ctx.map.ranks() + node;
-                let t0 = eng.now();
-                sim.rec.span(
-                    SpanCategory::Bridge,
-                    "bridge-serialization",
-                    track,
-                    t0,
-                    t0 + hold,
-                );
-                eng.schedule_event(
-                    hold,
-                    Ev::BridgeDone {
-                        node,
+/// Domain bits of the event key tie-breaker; 40 bits of per-domain
+/// sequence below, 24 bits of domain above.
+const DOMAIN_SHIFT: u32 = 40;
+const SEQ_MASK: u64 = (1 << DOMAIN_SHIFT) - 1;
+
+/// One shard's complete working state. Vectors are full-length and
+/// globally indexed (rank, node, link id) — each shard only ever touches
+/// the entries its domains own, and full-length indexing keeps every code
+/// path identical to the serial engine.
+struct ShardSim {
+    id: u32,
+    ctx: Arc<JobCtx>,
+    core: EventCore<Ev>,
+    ranks: Vec<RankState>,
+    /// One FIFO resource per fabric link, `capacity / node-stream` slots each.
+    links: Vec<CoreResource<Ev>>,
+    pipes: Vec<CoreResource<Ev>>,
+    bridges: Vec<CoreResource<Ev>>,
+    msgs: HashMap<u64, MsgState>,
+    /// Per-domain schedule counters — the event key tie-breakers.
+    dseq: Vec<u64>,
+    /// Domain of the event currently firing; keys every schedule it makes.
+    cause: u32,
+    live_ranks: u32,
+    events: u64,
+    inter_msgs: u64,
+    intra_msgs: u64,
+    inter_bytes: u64,
+    /// Integer per-link byte tallies (summed across shards; `busy_s` is
+    /// derived by one division at the end so f64 accumulation order can
+    /// never differ between shard layouts).
+    link_bytes: Vec<u64>,
+    /// Cross-shard sends staged during a window, flushed at its end.
+    outboxes: Vec<Vec<(u128, Ev)>>,
+    /// Trace sink; compute/wait attribution is derived from it after the run.
+    rec: Recorder,
+}
+
+impl ShardSim {
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Schedule `ev` after `d`, keyed by the firing domain and its schedule
+    /// counter. Cross-shard targets go to the outbox instead of the heap.
+    fn sched_after(&mut self, d: SimDuration, ev: Ev) {
+        let at = self.now() + d;
+        let seq = self.dseq[self.cause as usize];
+        self.dseq[self.cause as usize] = seq + 1;
+        debug_assert!(seq <= SEQ_MASK, "per-domain schedule counter overflow");
+        let tie = ((self.cause as u64) << DOMAIN_SHIFT) | (seq & SEQ_MASK);
+        let target = self.ctx.domain_of_ev(&ev);
+        let shard = self.ctx.shard_of_domain[target as usize];
+        if shard == self.id {
+            self.core.schedule_keyed(at, tie, ev);
+        } else {
+            let key = ((at.0 as u128) << 64) | tie as u128;
+            self.outboxes[shard as usize].push((key, ev));
+        }
+    }
+
+    fn release_link(&mut self, l: LinkId) {
+        if let Some(ev) = self.links[l.index()].release() {
+            self.sched_after(SimDuration::ZERO, ev);
+        }
+    }
+
+    fn release_pipe(&mut self, node: u32) {
+        if let Some(ev) = self.pipes[node as usize].release() {
+            self.sched_after(SimDuration::ZERO, ev);
+        }
+    }
+
+    fn release_bridge(&mut self, node: u32) {
+        if let Some(ev) = self.bridges[node as usize].release() {
+            self.sched_after(SimDuration::ZERO, ev);
+        }
+    }
+}
+
+fn fire(sim: &mut ShardSim, ev: Ev) {
+    match ev {
+        Ev::Advance { rank } => advance(sim, rank),
+        Ev::Transfer {
+            src,
+            dst,
+            bytes,
+            mid,
+        } => enqueue_transfer(sim, src, dst, bytes, mid),
+        Ev::BridgeGranted {
+            node,
+            src,
+            dst,
+            bytes,
+            mid,
+        } => {
+            let hold = SimDuration::from_secs_f64(sim.ctx.bridge_serial_s);
+            // bridge tracks sit above the rank tracks: ranks + node
+            let track = sim.ctx.map.ranks() + node;
+            let t0 = sim.now();
+            sim.rec.span(
+                SpanCategory::Bridge,
+                "bridge-serialization",
+                track,
+                t0,
+                t0 + hold,
+            );
+            sim.sched_after(
+                hold,
+                Ev::BridgeDone {
+                    node,
+                    src,
+                    dst,
+                    bytes,
+                    mid,
+                },
+            );
+        }
+        Ev::BridgeDone {
+            node,
+            src,
+            dst,
+            bytes,
+            mid,
+        } => {
+            sim.release_bridge(node);
+            enqueue_transfer_wire(sim, src, dst, bytes, mid);
+        }
+        Ev::PipeGranted {
+            node,
+            dst,
+            ser,
+            lat,
+            mid,
+        } => {
+            // hold the pipe for the serialization time
+            sim.sched_after(
+                ser,
+                Ev::PipeSerDone {
+                    node,
+                    dst,
+                    lat,
+                    mid,
+                },
+            );
+        }
+        Ev::PipeSerDone {
+            node,
+            dst,
+            lat,
+            mid,
+        } => {
+            sim.release_pipe(node);
+            // payload fully through; delivery after the latency
+            sim.sched_after(lat, Ev::Deliver { dst, mid });
+        }
+        Ev::RouteGranted {
+            route,
+            idx,
+            ser,
+            lat,
+            dst,
+            mid,
+        } => acquire_route(sim, route, idx as usize, ser, lat, dst, mid),
+        Ev::RouteSerDone {
+            route,
+            lat,
+            dst,
+            mid,
+        } => {
+            for &l in route.links() {
+                sim.release_link(l);
+            }
+            // payload fully on the wire; delivery after transport +
+            // switch latency
+            sim.sched_after(lat, Ev::Deliver { dst, mid });
+        }
+        Ev::SegGranted {
+            src,
+            dst,
+            bytes,
+            seg,
+            idx,
+            mid,
+        } => acquire_seg(sim, src, dst, bytes, seg, idx as usize, mid),
+        Ev::SegSerDone {
+            src,
+            dst,
+            bytes,
+            seg,
+            mid,
+        } => {
+            let route = sim.ctx.routes.route(src, dst);
+            let (lo, hi) = if seg == 0 { (0, 2) } else { (2, 4) };
+            for &l in &route.links()[lo..hi] {
+                sim.release_link(l);
+            }
+            if seg == 0 {
+                // hop to the destination leaf: transport + switch latency
+                let t = sim.ctx.inter;
+                let lat = SimDuration::from_secs_f64(t.latency_s + route.latency_s());
+                sim.sched_after(
+                    lat,
+                    Ev::SegArrive {
                         src,
                         dst,
                         bytes,
                         mid,
                     },
                 );
+            } else {
+                deliver(sim, mid);
             }
-            Ev::BridgeDone {
-                node,
-                src,
-                dst,
-                bytes,
-                mid,
-            } => {
-                sim.bridges[node as usize].release(eng);
-                enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
-            }
-            Ev::PipeGranted {
-                node,
-                ser,
-                lat,
-                mid,
-            } => {
-                // hold the pipe for the serialization time
-                eng.schedule_event(ser, Ev::PipeSerDone { node, lat, mid });
-            }
-            Ev::PipeSerDone { node, lat, mid } => {
-                sim.pipes[node as usize].release(eng);
-                // payload fully through; delivery after the latency
-                eng.schedule_event(lat, Ev::Deliver { mid });
-            }
-            Ev::RouteGranted {
-                route,
-                idx,
-                ser,
-                lat,
-                mid,
-            } => acquire_route(eng, sim, route, idx as usize, ser, lat, mid),
-            Ev::RouteSerDone { route, lat, mid } => {
-                for &l in route.links() {
-                    sim.links[l.index()].release(eng);
-                }
-                // payload fully on the wire; delivery after transport +
-                // switch latency
-                eng.schedule_event(lat, Ev::Deliver { mid });
-            }
-            Ev::Deliver { mid } => deliver(eng, sim, mid),
         }
+        Ev::SegArrive {
+            src,
+            dst,
+            bytes,
+            mid,
+        } => acquire_seg(sim, src, dst, bytes, 1, 2, mid),
+        Ev::RdvProbe {
+            src,
+            dst,
+            bytes,
+            mid,
+            sent_at,
+        } => {
+            let m = sim.msgs.entry(mid).or_default();
+            if m.recv_posted {
+                // receiver ready: ack back to the sender's leaf
+                let t = sim.ctx.inter;
+                let g = SimDuration::from_secs_f64(t.latency_s + 2.0 * t.overhead_s);
+                sim.sched_after(
+                    g,
+                    Ev::RdvGrant {
+                        src,
+                        dst,
+                        bytes,
+                        mid,
+                        sent_at,
+                    },
+                );
+            } else {
+                m.rdv_sender = Some((src, dst, bytes));
+            }
+        }
+        Ev::RdvGrant {
+            src,
+            dst,
+            bytes,
+            mid,
+            sent_at,
+        } => {
+            let now = sim.now();
+            sim.rec.span(
+                SpanCategory::Protocol,
+                "rendezvous-handshake",
+                src,
+                sent_at,
+                now,
+            );
+            enqueue_transfer(sim, src, dst, bytes, mid);
+        }
+        Ev::Deliver { dst: _, mid } => deliver(sim, mid),
     }
 }
 
-/// Per-run working state, pooled across `run_traced` calls so a cached
-/// plan's execute-many loop reuses every allocation: the event arena and
-/// heap, rank instruction queues, link/pipe/bridge resources, the message
-/// table, and the per-link tally vectors.
+/// Per-shard pooled working state.
 #[derive(Default)]
-struct DesScratch {
-    eng: Eng,
+struct ShardScratch {
+    core: EventCore<Ev>,
     ranks: Vec<RankState>,
-    links: Vec<TypedResource<Ev>>,
-    pipes: Vec<TypedResource<Ev>>,
-    bridges: Vec<TypedResource<Ev>>,
+    links: Vec<CoreResource<Ev>>,
+    pipes: Vec<CoreResource<Ev>>,
+    bridges: Vec<CoreResource<Ev>>,
     msgs: HashMap<u64, MsgState>,
-    link_busy: Vec<f64>,
     link_bytes: Vec<u64>,
+    dseq: Vec<u64>,
+    outboxes: Vec<Vec<(u128, Ev)>>,
 }
 
-impl DesScratch {
-    fn reset(&mut self, p: u32, root: &RngStream, slots: &[u32], nodes: u32, nlinks: usize) {
-        self.eng.reset();
+impl ShardScratch {
+    #[allow(clippy::too_many_arguments)]
+    fn reset(
+        &mut self,
+        p: u32,
+        root: &RngStream,
+        slots: &[u32],
+        nodes: u32,
+        nlinks: usize,
+        domains: u32,
+        shards: usize,
+    ) {
+        self.core.reset();
         self.ranks.truncate(p as usize);
         for (r, rs) in self.ranks.iter_mut().enumerate() {
             rs.queue.clear();
@@ -337,7 +630,7 @@ impl DesScratch {
         } else {
             self.links.clear();
             self.links
-                .extend(slots.iter().map(|&s| TypedResource::new(s)));
+                .extend(slots.iter().map(|&s| CoreResource::new(s)));
         }
         for pool in [&mut self.pipes, &mut self.bridges] {
             if pool.len() == nodes as usize {
@@ -346,14 +639,113 @@ impl DesScratch {
                 }
             } else {
                 pool.clear();
-                pool.extend((0..nodes).map(|_| TypedResource::new(1)));
+                pool.extend((0..nodes).map(|_| CoreResource::new(1)));
             }
         }
         self.msgs.clear();
-        self.link_busy.clear();
-        self.link_busy.resize(nlinks, 0.0);
         self.link_bytes.clear();
         self.link_bytes.resize(nlinks, 0);
+        self.dseq.clear();
+        self.dseq.resize(domains as usize, 0);
+        for ob in &mut self.outboxes {
+            ob.clear();
+        }
+        self.outboxes.resize_with(shards, Vec::new);
+        self.outboxes.truncate(shards);
+    }
+}
+
+/// Pooled across `run_traced` calls so a cached plan's execute-many loop
+/// reuses every allocation: per-shard event arenas and heaps, rank
+/// instruction queues, link/pipe/bridge resources, message tables, and
+/// per-link tally vectors.
+#[derive(Default)]
+struct DesScratch {
+    shards: Vec<ShardScratch>,
+}
+
+/// Sense-reversing spinning barrier. Waiters yield to the scheduler, so
+/// gang-scheduled shard threads make progress even with fewer cores than
+/// shards (time-slicing, not deadlock).
+struct SpinBarrier {
+    n: u32,
+    count: AtomicU32,
+    generation: AtomicU32,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            n: n as u32,
+            count: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Shared window-synchronization state of one multi-shard run.
+struct WindowSync {
+    barrier: SpinBarrier,
+    /// Each shard's minimum pending event time (ns; `u64::MAX` = empty).
+    mins: Vec<AtomicU64>,
+    /// Cross-shard mailboxes, indexed by receiving shard.
+    inboxes: Vec<Mutex<Vec<(u128, Ev)>>>,
+    /// Events strictly within `M + horizon_ns` are safe to process —
+    /// `horizon_ns` is the lookahead minus a nanosecond of rounding margin.
+    horizon_ns: u64,
+}
+
+/// Conservative synchronous-window loop of one shard.
+fn drive_windowed(sim: &mut ShardSim, sync: &WindowSync) {
+    loop {
+        // A: every shard has flushed its previous window's outboxes
+        sync.barrier.wait();
+        {
+            let mut inbox = sync.inboxes[sim.id as usize].lock().unwrap();
+            for (key, ev) in inbox.drain(..) {
+                sim.core
+                    .schedule_keyed(SimTime((key >> 64) as u64), key as u64, ev);
+            }
+        }
+        let min = sim.core.min_time().map_or(u64::MAX, |t| t.0);
+        sync.mins[sim.id as usize].store(min, Ordering::Release);
+        // B: every shard has published its minimum; the array is stable
+        // until the next A because minima are only written between A and B
+        sync.barrier.wait();
+        let m = sync
+            .mins
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .min()
+            .expect("at least one shard");
+        if m == u64::MAX {
+            return;
+        }
+        let horizon = SimTime(m.saturating_add(sync.horizon_ns));
+        while let Some(ev) = sim.core.pop_within(horizon) {
+            sim.events += 1;
+            sim.cause = sim.ctx.domain_of_ev(&ev);
+            fire(sim, ev);
+        }
+        for dst in 0..sim.outboxes.len() {
+            if !sim.outboxes[dst].is_empty() {
+                let mut inbox = sync.inboxes[dst].lock().unwrap();
+                let ob = &mut sim.outboxes[dst];
+                inbox.append(ob);
+            }
+        }
     }
 }
 
@@ -368,6 +760,11 @@ pub struct DesEngine {
     pub map: RankMap,
     /// Engine knobs (shared type with the analytic engine).
     pub config: EngineConfig,
+    /// Requested shard count. Clamped to the number of fabric leaves at run
+    /// time (a single-switch fabric always runs serial), and forced to 1
+    /// when the transport's lookahead vanishes. `1` — the default — runs
+    /// the loop inline with no threads or barriers.
+    pub shards: u32,
     routes: Arc<RouteTable>,
     /// Per-link slot counts, precomputed once per engine.
     slots: Arc<[u32]>,
@@ -422,6 +819,7 @@ impl DesEngine {
             network,
             map,
             config,
+            shards: 1,
             routes,
             slots: slots.into(),
             link_rate: link_rate.into(),
@@ -429,9 +827,39 @@ impl DesEngine {
         }
     }
 
+    /// The same engine with a different requested shard count.
+    pub fn with_shards(mut self, shards: u32) -> DesEngine {
+        self.shards = shards;
+        self
+    }
+
     /// The route table all inter-node traffic flows over.
     pub fn routes(&self) -> &Arc<RouteTable> {
         &self.routes
+    }
+
+    /// The smallest simulated delay any cross-leaf (and therefore any
+    /// cross-shard) event carries, in nanoseconds: the transport latency
+    /// plus the lesser of the spine crossing (3 switch hops) and the
+    /// rendezvous request/ack CPU legs (2 overheads).
+    fn lookahead_ns(&self) -> u64 {
+        let t = self.network.inter;
+        let hop = self.routes.graph().hop_latency_s();
+        let floor = t.latency_s + (3.0 * hop).min(2.0 * t.overhead_s);
+        SimDuration::from_secs_f64(floor).0
+    }
+
+    /// The shard count a run would actually use for this engine.
+    pub fn effective_shards(&self) -> u32 {
+        let domains = self.routes.graph().leaves();
+        let s = self.shards.max(1).min(domains);
+        // without at least 3 ns of lookahead there is no usable window
+        // beyond the margin; fall back to the serial loop
+        if s > 1 && self.lookahead_ns() < 3 {
+            1
+        } else {
+            s
+        }
     }
 
     /// Execute `job`, simulating every message. `seed` drives compute
@@ -447,8 +875,18 @@ impl DesEngine {
     /// the recorded spans; with a disabled recorder `elapsed` and the
     /// traffic counters are still exact but the attribution comes out zero.
     pub fn run_traced(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> SimResult {
+        self.run_counted(job, seed, rec).0
+    }
+
+    /// [`DesEngine::run_traced`], also returning the number of events the
+    /// run fired across all shards — the unit the throughput benchmarks
+    /// report as events/s.
+    pub fn run_counted(&self, job: &JobProfile, seed: u64, rec: &mut Recorder) -> (SimResult, u64) {
         let p = self.map.ranks();
         let graph = self.routes.graph();
+        let domains = graph.leaves();
+        let shards = self.effective_shards() as usize;
+        let shard_of_domain = partition_domains(domains, shards as u32);
         let root = RngStream::new(seed).derive("des-run");
         let ctx = Arc::new(JobCtx {
             job: job.clone(),
@@ -460,84 +898,165 @@ impl DesEngine {
             config: self.config.clone(),
             routes: self.routes.clone(),
             link_rate: self.link_rate.clone(),
+            shard_of_domain,
         });
-        let mut local = Recorder::like(rec);
-        local.declare_tracks(p);
 
         let mut scratch = self
             .scratch
             .take()
             .unwrap_or_else(|| Box::new(DesScratch::default()));
-        scratch.reset(p, &root, &self.slots, self.map.nodes, graph.len());
-        let mut eng = std::mem::take(&mut scratch.eng);
-        let mut sim = Sim {
-            ctx,
-            ranks: std::mem::take(&mut scratch.ranks),
-            links: std::mem::take(&mut scratch.links),
-            pipes: std::mem::take(&mut scratch.pipes),
-            bridges: std::mem::take(&mut scratch.bridges),
-            msgs: std::mem::take(&mut scratch.msgs),
-            live_ranks: p,
-            inter_msgs: 0,
-            intra_msgs: 0,
-            inter_bytes: 0,
-            link_busy: std::mem::take(&mut scratch.link_busy),
-            link_bytes: std::mem::take(&mut scratch.link_bytes),
-            rec: local,
-        };
+        scratch.shards.resize_with(shards, ShardScratch::default);
+        scratch.shards.truncate(shards);
+        let mut sims: Vec<ShardSim> = scratch
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(id, sc)| {
+                sc.reset(
+                    p,
+                    &root,
+                    &self.slots,
+                    self.map.nodes,
+                    graph.len(),
+                    domains,
+                    shards,
+                );
+                let mut local = Recorder::like(rec);
+                local.declare_tracks(p);
+                ShardSim {
+                    id: id as u32,
+                    ctx: ctx.clone(),
+                    core: std::mem::take(&mut sc.core),
+                    ranks: std::mem::take(&mut sc.ranks),
+                    links: std::mem::take(&mut sc.links),
+                    pipes: std::mem::take(&mut sc.pipes),
+                    bridges: std::mem::take(&mut sc.bridges),
+                    msgs: std::mem::take(&mut sc.msgs),
+                    dseq: std::mem::take(&mut sc.dseq),
+                    cause: 0,
+                    live_ranks: 0,
+                    events: 0,
+                    inter_msgs: 0,
+                    intra_msgs: 0,
+                    inter_bytes: 0,
+                    link_bytes: std::mem::take(&mut sc.link_bytes),
+                    outboxes: std::mem::take(&mut sc.outboxes),
+                    rec: local,
+                }
+            })
+            .collect();
 
+        // seed the interpreters in global rank order, so every domain's
+        // schedule counter assigns the same keys at every shard count
         for r in 0..p {
-            eng.schedule_event(SimDuration::ZERO, Ev::Advance { rank: r });
+            let dom = ctx.domain_of_rank(r);
+            let sim = &mut sims[ctx.shard_of_domain[dom as usize] as usize];
+            sim.live_ranks += 1;
+            sim.cause = dom;
+            sim.sched_after(SimDuration::ZERO, Ev::Advance { rank: r });
         }
-        eng.run(&mut sim);
-        assert_eq!(
-            sim.live_ranks, 0,
-            "ranks deadlocked: {} still live",
-            sim.live_ranks
-        );
 
-        let links = if sim.inter_bytes > 0 {
-            let g = self.routes.graph();
-            (0..g.len())
-                .map(|i| LinkUsage {
-                    label: g.label(LinkId(i as u32)),
-                    busy_s: sim.link_busy[i],
-                    bytes: sim.link_bytes[i],
+        if shards == 1 {
+            let sim = &mut sims[0];
+            while let Some(ev) = sim.core.pop_within(SimTime::MAX) {
+                sim.events += 1;
+                sim.cause = sim.ctx.domain_of_ev(&ev);
+                fire(sim, ev);
+            }
+        } else {
+            let sync = WindowSync {
+                barrier: SpinBarrier::new(shards),
+                mins: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+                inboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+                horizon_ns: self.lookahead_ns() - 2,
+            };
+            let sync = &sync;
+            sims = harborsim_par::gang(sims, |mut sim| {
+                drive_windowed(&mut sim, sync);
+                sim
+            });
+        }
+
+        let mut local = Recorder::like(rec);
+        local.declare_tracks(p);
+        let mut live = 0u32;
+        let mut events = 0u64;
+        let mut elapsed = SimTime::ZERO;
+        let mut inter_msgs = 0u64;
+        let mut intra_msgs = 0u64;
+        let mut inter_bytes = 0u64;
+        let mut link_bytes = vec![0u64; graph.len()];
+        for (sim, sc) in sims.into_iter().zip(scratch.shards.iter_mut()) {
+            live += sim.live_ranks;
+            events += sim.events;
+            elapsed = elapsed.max(sim.now());
+            inter_msgs += sim.inter_msgs;
+            intra_msgs += sim.intra_msgs;
+            inter_bytes += sim.inter_bytes;
+            for (total, &b) in link_bytes.iter_mut().zip(&sim.link_bytes) {
+                *total += b;
+            }
+            local.merge(sim.rec);
+            // hand the working state back for the next run
+            sc.core = sim.core;
+            sc.ranks = sim.ranks;
+            sc.links = sim.links;
+            sc.pipes = sim.pipes;
+            sc.bridges = sim.bridges;
+            sc.msgs = sim.msgs;
+            sc.link_bytes = sim.link_bytes;
+            sc.dseq = sim.dseq;
+            sc.outboxes = sim.outboxes;
+        }
+        assert_eq!(live, 0, "ranks deadlocked: {live} still live");
+
+        let links = if inter_bytes > 0 {
+            (0..graph.len())
+                .map(|i| {
+                    let id = LinkId(i as u32);
+                    LinkUsage {
+                        label: graph.label(id),
+                        busy_s: link_bytes[i] as f64 / graph.capacity_bps(id),
+                        bytes: link_bytes[i],
+                    }
                 })
                 .collect()
         } else {
             Vec::new()
         };
         let result = SimResult {
-            elapsed: eng.now() - SimTime::ZERO,
-            compute: sim.rec.rollup().max_track(SpanCategory::Compute),
-            comm: CommBreakdown::from_trace(sim.rec.rollup()),
-            inter_node_msgs: sim.inter_msgs,
-            intra_node_msgs: sim.intra_msgs,
-            inter_node_bytes: sim.inter_bytes,
+            elapsed: elapsed - SimTime::ZERO,
+            compute: local.rollup().max_track(SpanCategory::Compute),
+            comm: CommBreakdown::from_trace(local.rollup()),
+            inter_node_msgs: inter_msgs,
+            intra_node_msgs: intra_msgs,
+            inter_node_bytes: inter_bytes,
             links,
             engine: "des",
         };
-        rec.merge(sim.rec);
-
-        // hand the working state back for the next run
-        scratch.eng = eng;
-        scratch.ranks = sim.ranks;
-        scratch.links = sim.links;
-        scratch.pipes = sim.pipes;
-        scratch.bridges = sim.bridges;
-        scratch.msgs = sim.msgs;
-        scratch.link_busy = sim.link_busy;
-        scratch.link_bytes = sim.link_bytes;
+        rec.merge(local);
         self.scratch.put(scratch);
-        result
+        (result, events)
     }
+}
+
+/// Deal `domains` leaves to `shards` shards as contiguous blocks, the
+/// first `domains % shards` shards holding one extra.
+fn partition_domains(domains: u32, shards: u32) -> Box<[u32]> {
+    let base = domains / shards;
+    let rem = domains % shards;
+    let mut owner = Vec::with_capacity(domains as usize);
+    for s in 0..shards {
+        let n = base + u32::from(s < rem);
+        owner.extend(std::iter::repeat_n(s, n as usize));
+    }
+    owner.into_boxed_slice()
 }
 
 /// Refill `rank`'s instruction queue from the next program item, pushing
 /// directly into the rank's (pooled) queue. Returns `false` when the
 /// program is exhausted.
-fn refill(sim: &mut Sim, rank: u32) -> bool {
+fn refill(sim: &mut ShardSim, rank: u32) -> bool {
     let ctx = sim.ctx.clone();
     let p = ctx.map.ranks();
     loop {
@@ -831,7 +1350,7 @@ fn push_pairwise(
 }
 
 /// Drive `rank` forward until it blocks, computes, or finishes.
-fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
+fn advance(sim: &mut ShardSim, rank: u32) {
     loop {
         let op = match sim.ranks[rank as usize].queue.pop_front() {
             Some(op) => op,
@@ -850,19 +1369,19 @@ fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
         match op {
             PrimOp::Compute(secs) => {
                 let d = SimDuration::from_secs_f64(secs);
-                let now = eng.now();
+                let now = sim.now();
                 sim.rec
                     .span(SpanCategory::Compute, "solver-compute", rank, now, now + d);
-                eng.schedule_event(d, Ev::Advance { rank });
+                sim.sched_after(d, Ev::Advance { rank });
                 return;
             }
             PrimOp::Send { dst, bytes, mid } => {
-                let overhead = start_send(eng, sim, rank, dst, bytes, mid);
+                let overhead = start_send(sim, rank, dst, bytes, mid);
                 let d = SimDuration::from_secs_f64(overhead);
-                let now = eng.now();
+                let now = sim.now();
                 sim.rec
                     .span(SpanCategory::Protocol, "send-overhead", rank, now, now + d);
-                eng.schedule_event(d, Ev::Advance { rank });
+                sim.sched_after(d, Ev::Advance { rank });
                 return;
             }
             PrimOp::Recv {
@@ -870,7 +1389,7 @@ fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
                 mid,
                 family,
             } => {
-                let now = eng.now();
+                let now = sim.now();
                 let m = sim.msgs.entry(mid).or_default();
                 if m.arrived {
                     sim.msgs.remove(&mid);
@@ -880,32 +1399,47 @@ fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
                     let d = SimDuration::from_secs_f64(o);
                     sim.rec
                         .span(SpanCategory::Protocol, "recv-overhead", rank, now, now + d);
-                    eng.schedule_event(d, Ev::Advance { rank });
+                    sim.sched_after(d, Ev::Advance { rank });
                     return;
                 }
                 m.recv_posted = true;
                 m.waiting = Some((rank, now, family));
                 if let Some((src, dst, bytes)) = m.rdv_sender.take() {
                     // rendezvous partner was parked: run the handshake now
-                    let t = transport_for(sim, src, dst);
+                    let t = *transport_for(sim, src, dst);
                     let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
                     let hd = SimDuration::from_secs_f64(handshake);
-                    sim.rec.span(
-                        SpanCategory::Protocol,
-                        "rendezvous-handshake",
-                        src,
-                        now,
-                        now + hd,
-                    );
-                    eng.schedule_event(
-                        hd,
-                        Ev::Transfer {
+                    if sim.ctx.same_domain(src, dst) {
+                        sim.rec.span(
+                            SpanCategory::Protocol,
+                            "rendezvous-handshake",
                             src,
-                            dst,
-                            bytes,
-                            mid,
-                        },
-                    );
+                            now,
+                            now + hd,
+                        );
+                        sim.sched_after(
+                            hd,
+                            Ev::Transfer {
+                                src,
+                                dst,
+                                bytes,
+                                mid,
+                            },
+                        );
+                    } else {
+                        // the sender parked at a probe: grant across the
+                        // fabric, it stamps the handshake span on arrival
+                        sim.sched_after(
+                            hd,
+                            Ev::RdvGrant {
+                                src,
+                                dst,
+                                bytes,
+                                mid,
+                                sent_at: now,
+                            },
+                        );
+                    }
                 }
                 return;
             }
@@ -913,7 +1447,7 @@ fn advance(eng: &mut Eng, sim: &mut Sim, rank: u32) {
     }
 }
 
-fn transport_for(sim: &Sim, src: u32, dst: u32) -> &TransportParams {
+fn transport_for(sim: &ShardSim, src: u32, dst: u32) -> &TransportParams {
     if sim.ctx.map.same_node(src, dst) {
         &sim.ctx.intra
     } else {
@@ -922,7 +1456,7 @@ fn transport_for(sim: &Sim, src: u32, dst: u32) -> &TransportParams {
 }
 
 /// Post a message; returns the sender-side CPU overhead to charge.
-fn start_send(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) -> f64 {
+fn start_send(sim: &mut ShardSim, src: u32, dst: u32, bytes: u64, mid: u64) -> f64 {
     let same = sim.ctx.map.same_node(src, dst);
     if same {
         sim.intra_msgs += 1;
@@ -933,32 +1467,48 @@ fn start_send(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid:
     let t = *transport_for(sim, src, dst);
     if bytes > t.eager_threshold {
         // rendezvous: the payload may move only once the receiver is ready
-        let m = sim.msgs.entry(mid).or_default();
-        if m.recv_posted {
-            let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
-            let hd = SimDuration::from_secs_f64(handshake);
-            let now = eng.now();
-            sim.rec.span(
-                SpanCategory::Protocol,
-                "rendezvous-handshake",
-                src,
-                now,
-                now + hd,
-            );
-            eng.schedule_event(
-                hd,
-                Ev::Transfer {
+        if sim.ctx.same_domain(src, dst) {
+            let m = sim.msgs.entry(mid).or_default();
+            if m.recv_posted {
+                let handshake = 2.0 * (t.latency_s + 2.0 * t.overhead_s);
+                let hd = SimDuration::from_secs_f64(handshake);
+                let now = sim.now();
+                sim.rec.span(
+                    SpanCategory::Protocol,
+                    "rendezvous-handshake",
+                    src,
+                    now,
+                    now + hd,
+                );
+                sim.sched_after(
+                    hd,
+                    Ev::Transfer {
+                        src,
+                        dst,
+                        bytes,
+                        mid,
+                    },
+                );
+            } else {
+                m.rdv_sender = Some((src, dst, bytes));
+            }
+        } else {
+            // the receiver's message table lives on another shard: probe it
+            let probe = SimDuration::from_secs_f64(t.latency_s + 2.0 * t.overhead_s);
+            let sent_at = sim.now();
+            sim.sched_after(
+                probe,
+                Ev::RdvProbe {
                     src,
                     dst,
                     bytes,
                     mid,
+                    sent_at,
                 },
             );
-        } else {
-            m.rdv_sender = Some((src, dst, bytes));
         }
     } else {
-        enqueue_transfer(eng, sim, src, dst, bytes, mid);
+        enqueue_transfer(sim, src, dst, bytes, mid);
     }
     t.overhead_s
 }
@@ -966,87 +1516,93 @@ fn start_send(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid:
 /// Queue the payload on the sending node's wire (NIC or intra pipe),
 /// passing first through the node's serialized bridge path if the job
 /// runs under Docker networking.
-fn enqueue_transfer(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
+fn enqueue_transfer(sim: &mut ShardSim, src: u32, dst: u32, bytes: u64, mid: u64) {
     let serial = sim.ctx.bridge_serial_s;
     if serial > 0.0 {
         let node = sim.ctx.map.node_of(src);
-        sim.bridges[node as usize].acquire(
-            eng,
-            Ev::BridgeGranted {
-                node,
-                src,
-                dst,
-                bytes,
-                mid,
-            },
-        );
+        if let Some(ev) = sim.bridges[node as usize].acquire(Ev::BridgeGranted {
+            node,
+            src,
+            dst,
+            bytes,
+            mid,
+        }) {
+            sim.sched_after(SimDuration::ZERO, ev);
+        }
     } else {
-        enqueue_transfer_wire(eng, sim, src, dst, bytes, mid);
+        enqueue_transfer_wire(sim, src, dst, bytes, mid);
     }
 }
 
-/// Queue the payload directly on the wire: the intra-node pipe, or every
-/// link of the message's route.
-fn enqueue_transfer_wire(eng: &mut Eng, sim: &mut Sim, src: u32, dst: u32, bytes: u64, mid: u64) {
+/// Queue the payload directly on the wire: the intra-node pipe, the whole
+/// same-leaf route, or the source segment of a cross-leaf route.
+fn enqueue_transfer_wire(sim: &mut ShardSim, src: u32, dst: u32, bytes: u64, mid: u64) {
     let t = *transport_for(sim, src, dst);
     if sim.ctx.map.same_node(src, dst) {
         let node = sim.ctx.map.node_of(src);
         let ser = SimDuration::from_secs_f64(t.serialization_seconds(bytes));
         let lat = SimDuration::from_secs_f64(t.latency_s);
-        sim.pipes[node as usize].acquire(
-            eng,
-            Ev::PipeGranted {
-                node,
-                ser,
-                lat,
-                mid,
-            },
-        );
+        if let Some(ev) = sim.pipes[node as usize].acquire(Ev::PipeGranted {
+            node,
+            dst,
+            ser,
+            lat,
+            mid,
+        }) {
+            sim.sched_after(SimDuration::ZERO, ev);
+        }
         return;
     }
     let route = sim.ctx.routes.route(src, dst);
-    // fluid tallies for the utilization table (queueing excluded, so the
-    // numbers stay directly comparable with the analytic schedule)
-    let graph = sim.ctx.routes.graph();
-    let mut rate = f64::INFINITY;
+    // integer byte tallies for the utilization table; all four links are
+    // tallied at the sender so the sums are layout-independent
     for &l in route.links() {
-        sim.link_busy[l.index()] += bytes as f64 / graph.capacity_bps(l);
         sim.link_bytes[l.index()] += bytes;
-        rate = rate.min(sim.ctx.link_rate[l.index()]);
     }
-    let ser = SimDuration::from_secs_f64(bytes as f64 / rate);
-    let lat = SimDuration::from_secs_f64(t.latency_s + route.latency_s());
-    acquire_route(eng, sim, route, 0, ser, lat, mid);
+    if route.links().len() < 4 {
+        // same leaf: claim the whole route and stream across it at once
+        let mut rate = f64::INFINITY;
+        for &l in route.links() {
+            rate = rate.min(sim.ctx.link_rate[l.index()]);
+        }
+        let ser = SimDuration::from_secs_f64(bytes as f64 / rate);
+        let lat = SimDuration::from_secs_f64(t.latency_s + route.latency_s());
+        acquire_route(sim, route, 0, ser, lat, dst, mid);
+    } else {
+        // cross-leaf: store-and-forward over two shard-local segments
+        acquire_seg(sim, src, dst, bytes, 0, 0, mid);
+    }
 }
 
-/// Claim the route's links one by one in traversal order (node-up, leaf-up,
-/// leaf-down, node-down — a fixed class order, so chained holds cannot
-/// deadlock), then hold them all for the serialization time.
+/// Claim a same-leaf route's links one by one in traversal order (node-up,
+/// node-down — a fixed class order, so chained holds cannot deadlock), then
+/// hold them all for the serialization time.
+#[allow(clippy::too_many_arguments)]
 fn acquire_route(
-    eng: &mut Eng,
-    sim: &mut Sim,
+    sim: &mut ShardSim,
     route: Route,
     idx: usize,
     ser: SimDuration,
     lat: SimDuration,
+    dst: u32,
     mid: u64,
 ) {
     if let Some(&link) = route.links().get(idx) {
-        sim.links[link.index()].acquire(
-            eng,
-            Ev::RouteGranted {
-                route,
-                idx: (idx + 1) as u8,
-                ser,
-                lat,
-                mid,
-            },
-        );
+        if let Some(ev) = sim.links[link.index()].acquire(Ev::RouteGranted {
+            route,
+            idx: (idx + 1) as u8,
+            ser,
+            lat,
+            dst,
+            mid,
+        }) {
+            sim.sched_after(SimDuration::ZERO, ev);
+        }
         return;
     }
     // all links held: the payload streams across the whole route at the
     // narrowest per-slot rate
-    let now = eng.now();
+    let now = sim.now();
     let link_track_base = sim.ctx.map.ranks() + sim.ctx.map.nodes;
     for &l in route.links() {
         sim.rec.span(
@@ -1057,21 +1613,89 @@ fn acquire_route(
             now + ser,
         );
     }
-    eng.schedule_event(ser, Ev::RouteSerDone { route, lat, mid });
+    sim.sched_after(
+        ser,
+        Ev::RouteSerDone {
+            route,
+            lat,
+            dst,
+            mid,
+        },
+    );
+}
+
+/// The per-segment hold times of a cross-leaf route: the full serialization
+/// time at the narrowest per-slot rate, split between the source segment
+/// (node-up + leaf-up) and the destination segment (leaf-down + node-down)
+/// in proportion to inverse segment rate. Both shards recompute this from
+/// `(src, dst, bytes)` alone, so the split never has to cross the fabric.
+fn seg_holds(ctx: &JobCtx, route: &Route, bytes: u64) -> (f64, f64) {
+    let ls = route.links();
+    let r0 = ctx.link_rate[ls[0].index()].min(ctx.link_rate[ls[1].index()]);
+    let r1 = ctx.link_rate[ls[2].index()].min(ctx.link_rate[ls[3].index()]);
+    let ser = bytes as f64 / r0.min(r1);
+    // w0 / (w0 + w1) with weights w = 1/r simplifies to r1 / (r0 + r1)
+    let h0 = ser * (r1 / (r0 + r1));
+    (h0, ser - h0)
+}
+
+/// Claim one cross-leaf segment's links in traversal order, then hold them
+/// for the segment's share of the serialization time.
+fn acquire_seg(sim: &mut ShardSim, src: u32, dst: u32, bytes: u64, seg: u8, idx: usize, mid: u64) {
+    let route = sim.ctx.routes.route(src, dst);
+    let end = if seg == 0 { 2 } else { 4 };
+    if idx < end {
+        let link = route.links()[idx];
+        if let Some(ev) = sim.links[link.index()].acquire(Ev::SegGranted {
+            src,
+            dst,
+            bytes,
+            seg,
+            idx: (idx + 1) as u8,
+            mid,
+        }) {
+            sim.sched_after(SimDuration::ZERO, ev);
+        }
+        return;
+    }
+    // both segment links held: stream the payload through them
+    let (h0, h1) = seg_holds(&sim.ctx, &route, bytes);
+    let hold = SimDuration::from_secs_f64(if seg == 0 { h0 } else { h1 });
+    let now = sim.now();
+    let link_track_base = sim.ctx.map.ranks() + sim.ctx.map.nodes;
+    for &l in &route.links()[end - 2..end] {
+        sim.rec.span(
+            SpanCategory::Link,
+            "link-busy",
+            link_track_base + l.0,
+            now,
+            now + hold,
+        );
+    }
+    sim.sched_after(
+        hold,
+        Ev::SegSerDone {
+            src,
+            dst,
+            bytes,
+            seg,
+            mid,
+        },
+    );
 }
 
 /// Message arrived at the receiver.
-fn deliver(eng: &mut Eng, sim: &mut Sim, mid: u64) {
+fn deliver(sim: &mut ShardSim, mid: u64) {
     let m = sim.msgs.entry(mid).or_default();
     if let Some((rank, posted_at, family)) = m.waiting.take() {
         sim.msgs.remove(&mid);
         let o = sim.ctx.intra.overhead_s.max(sim.ctx.inter.overhead_s);
         let od = SimDuration::from_secs_f64(o);
-        let now = eng.now();
+        let now = sim.now();
         // blocked-wait span: from the posted receive to delivery + overhead
         sim.rec
             .span(family.category(), "recv-wait", rank, posted_at, now + od);
-        eng.schedule_event(od, Ev::Advance { rank });
+        sim.sched_after(od, Ev::Advance { rank });
     } else {
         m.arrived = true;
     }
@@ -1092,6 +1716,24 @@ mod tests {
                 TransportSelection::Native,
                 path,
                 Topology::small_cluster(),
+            ),
+            RankMap::block(nodes, rpn, 1),
+            EngineConfig::default(),
+        )
+    }
+
+    fn fat_des(nodes: u32, rpn: u32, nodes_per_leaf: u32, path: DataPath) -> DesEngine {
+        DesEngine::new(
+            NodeSpec::dual_socket(CpuModel::xeon_e5_2697v3(), 128),
+            NetworkModel::compose(
+                InterconnectKind::GigabitEthernet,
+                TransportSelection::Native,
+                path,
+                Topology::FatTree {
+                    nodes_per_leaf,
+                    hop_latency_s: 0.4e-6,
+                    taper: 0.8,
+                },
             ),
             RankMap::block(nodes, rpn, 1),
             EngineConfig::default(),
@@ -1328,5 +1970,92 @@ mod tests {
         );
         let r = e.run(&job, 1);
         assert!(r.elapsed > SimDuration::ZERO);
+    }
+
+    // -- sharding --
+
+    fn mixed_job() -> JobProfile {
+        JobProfile::uniform(
+            step(vec![
+                CommPhase::Halo1D {
+                    bytes: 20_000,
+                    repeats: 2,
+                },
+                // above the GigE eager threshold: cross-leaf rendezvous
+                CommPhase::Halo1D {
+                    bytes: 256 * 1024,
+                    repeats: 1,
+                },
+                CommPhase::Allreduce {
+                    bytes: 64,
+                    repeats: 3,
+                },
+                CommPhase::Barrier,
+            ]),
+            3,
+        )
+    }
+
+    /// Run traced with a capturing recorder, returning the result and the
+    /// order-insensitive span fingerprint.
+    fn run_fingerprinted(e: &DesEngine, job: &JobProfile, seed: u64) -> (SimResult, u64) {
+        let mut rec = Recorder::capturing();
+        let r = e.run_traced(job, seed, &mut rec);
+        let fp = rec.take_buffer().fingerprint();
+        (r, fp)
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_bit_for_bit() {
+        // 8 nodes on 2-node leaves: 4 domains; shard counts that divide the
+        // leaves evenly, unevenly, and overshoot (clamped to 4)
+        let job = mixed_job();
+        let serial = fat_des(8, 4, 2, DataPath::Host);
+        assert_eq!(serial.effective_shards(), 1);
+        for shards in [2u32, 3, 4, 8] {
+            let sharded = fat_des(8, 4, 2, DataPath::Host).with_shards(shards);
+            assert!(sharded.effective_shards() > 1, "shards={shards}");
+            for seed in [1u64, 7] {
+                let (a, fa) = run_fingerprinted(&serial, &job, seed);
+                let (b, fb) = run_fingerprinted(&sharded, &job, seed);
+                assert_eq!(a, b, "shards={shards} seed={seed}");
+                assert_eq!(fa, fb, "trace diverged: shards={shards} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_docker_bridge() {
+        let job = mixed_job();
+        let serial = fat_des(8, 4, 2, DataPath::docker_default_bridge());
+        let sharded = fat_des(8, 4, 2, DataPath::docker_default_bridge()).with_shards(4);
+        let (a, fa) = run_fingerprinted(&serial, &job, 3);
+        let (b, fb) = run_fingerprinted(&sharded, &job, 3);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn single_leaf_topology_forces_serial() {
+        let e = des(2, 4, DataPath::Host).with_shards(8);
+        assert_eq!(e.effective_shards(), 1, "one leaf -> one domain");
+        let job = mixed_job();
+        assert_eq!(e.run(&job, 2), des(2, 4, DataPath::Host).run(&job, 2));
+    }
+
+    #[test]
+    fn run_counted_reports_fired_events() {
+        let e = fat_des(4, 2, 2, DataPath::Host);
+        let job = mixed_job();
+        let (r, events) = e.run_counted(&job, 1, &mut Recorder::aggregating());
+        assert!(r.elapsed > SimDuration::ZERO);
+        // at the very least every rank fires its seed Advance
+        assert!(events >= u64::from(e.map.ranks()), "events={events}");
+        let (_, sharded_events) = fat_des(4, 2, 2, DataPath::Host).with_shards(2).run_counted(
+            &job,
+            1,
+            &mut Recorder::aggregating(),
+        );
+        assert_eq!(events, sharded_events, "event count is layout-invariant");
     }
 }

@@ -38,9 +38,11 @@ impl CommBreakdown {
 }
 
 /// How busy one fabric link was over a run. Both engines fill these with
-/// the same fluid accounting — `busy_s += bytes / capacity` per message —
+/// the same fluid accounting — total payload bytes over link capacity —
 /// so the utilization table is engine-comparable even though the DES
-/// engine additionally queues messages on the links.
+/// engine additionally queues messages on the links. (The DES engine sums
+/// integer byte tallies and divides once at the end, so the figure is
+/// bit-identical at every shard count.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkUsage {
     /// Link label from the graph, e.g. `node3:up`, `leaf0:spine-up`.

@@ -113,6 +113,40 @@ where
         .collect()
 }
 
+/// Run every item on its own dedicated OS thread, returning results in
+/// input order.
+///
+/// Unlike [`run`], which multiplexes items over at most one worker per
+/// core, `gang` guarantees one thread per item — the contract tasks that
+/// *synchronize with each other* need. The sharded DES driver blocks its
+/// shard tasks on window barriers: under [`run`] on a small machine two
+/// shards can land on one worker, and the first would park at a barrier
+/// the second (never started) can never reach. Gangs are expected to be
+/// small — one item per shard, not one per work unit. With fewer cores
+/// than items the threads time-slice; that is slower but correct as long
+/// as the tasks' synchronization spins politely (yields).
+pub fn gang<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gang worker panicked"))
+            .collect()
+    })
+}
+
 /// The pre-stealing strategy: split items into one contiguous fixed chunk
 /// per core, one thread per chunk, no load balancing. Kept as the
 /// benchmark baseline for the work-stealing pool (see the `engine_micro`
@@ -335,6 +369,25 @@ mod tests {
         let a = run(xs.clone(), |x| x * x + 1);
         let b = run_chunked(xs, |x| x * x + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gang_runs_mutually_blocking_tasks() {
+        // Tasks that rendezvous at a barrier: correct only if every task
+        // gets its own thread (run() would serialize them onto the
+        // available workers and deadlock). Must hold on any core count.
+        use std::sync::atomic::AtomicUsize;
+        const N: usize = 4;
+        let arrived = AtomicUsize::new(0);
+        let arrived = &arrived;
+        let out = gang((0..N).collect(), |i| {
+            arrived.fetch_add(1, Ordering::AcqRel);
+            while arrived.load(Ordering::Acquire) < N {
+                thread::yield_now();
+            }
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
     }
 
     #[test]

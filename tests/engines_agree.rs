@@ -5,12 +5,16 @@
 //! jitter the closed forms summarize), so agreement means "within a factor
 //! band" — tight for compute-bound jobs, looser for contention-heavy ones.
 
+use harborsim::des::{Recorder, RngStream};
 use harborsim::hw::presets;
 use harborsim::mpi::analytic::{AnalyticEngine, EngineConfig};
 use harborsim::mpi::mapping::Placement;
 use harborsim::mpi::workload::{factor3, CommPhase, JobProfile, StepProfile};
-use harborsim::mpi::{DesEngine, RankMap};
+use harborsim::mpi::{DesEngine, RankMap, SimResult};
 use harborsim::net::{DataPath, NetworkModel, Topology, TransportSelection};
+use harborsim::study::scenario::EngineKind;
+use harborsim::study::script::compile::compile;
+use harborsim::study::script::generator::random_script;
 
 fn engines_on(
     map: RankMap,
@@ -254,4 +258,110 @@ fn message_counters_match_exactly() {
     let rd = d.run(&job, 1);
     assert_eq!(ra.inter_node_msgs, rd.inter_node_msgs);
     assert_eq!(ra.inter_node_bytes, rd.inter_node_bytes);
+}
+
+/// Run a DES engine capturing its trace, returning the result and the
+/// order-insensitive trace fingerprint.
+fn run_printed(engine: &DesEngine, job: &JobProfile, seed: u64) -> (SimResult, u64) {
+    let mut rec = Recorder::capturing();
+    let result = engine.run_traced(job, seed, &mut rec);
+    (result, rec.take_buffer().fingerprint())
+}
+
+#[test]
+fn sharded_des_agrees_at_256_nodes() {
+    // The paper's largest validation scale: 256 nodes crossing six leaf
+    // switches of MareNostrum4's tapered fat tree. The sharded engine
+    // must reproduce the serial engine bit for bit — results AND trace
+    // fingerprints — at every shard count, under a workload exercising
+    // halos, allreduces, and collectives together.
+    let job = JobProfile::uniform(
+        StepProfile {
+            flops_per_rank: 5e7,
+            imbalance: 1.01,
+            regions: 2.0,
+            comm: vec![
+                CommPhase::Halo1D {
+                    bytes: 50_000,
+                    repeats: 2,
+                },
+                CommPhase::Allreduce {
+                    bytes: 8,
+                    repeats: 4,
+                },
+                CommPhase::Bcast { bytes: 4096 },
+            ],
+        },
+        2,
+    );
+    let seed = 7;
+    let (_, serial) = mn4_engines(256, 4, Placement::Block);
+    let (want, want_print) = run_printed(&serial, &job, seed);
+    for shards in [2, 4, 8] {
+        let (_, d) = mn4_engines(256, 4, Placement::Block);
+        let d = d.with_shards(shards);
+        let (got, got_print) = run_printed(&d, &job, seed);
+        assert_eq!(want, got, "{shards} shards: result drifted from serial");
+        assert_eq!(
+            want_print, got_print,
+            "{shards} shards: trace fingerprint drifted from serial"
+        );
+    }
+}
+
+#[test]
+fn sharded_des_agrees_on_generated_scenarios() {
+    // Property test: whatever scenario the script fuzzer produces, the
+    // DES engine is bit-identical at shards 1, 2, 4, and 8 — full
+    // SimResult (elapsed, breakdowns, counters, per-link usage) and the
+    // order-insensitive trace fingerprint. Scenarios the compiler
+    // accepts but the plan layer rejects (placement violations, runtimes
+    // the cluster lacks) fail identically at every shard count, so they
+    // are skipped rather than compared.
+    let mut compared = 0;
+    for i in 0..12u64 {
+        let script = random_script(&mut RngStream::new(0x5AD).derive_idx(i));
+        let compiled = compile(&script).unwrap_or_else(|e| panic!("fuzz script {i}: {e}"));
+        let taper = compiled.taper;
+        for campaign in compiled.campaigns {
+            let name = campaign.name.clone();
+            // two grid points per campaign keep the sweep cross-products
+            // from blowing up the runtime; the points still cover every
+            // knob the generator can emit
+            for mut run in campaign.runs.into_iter().take(2) {
+                run.scenario.engine = EngineKind::Des {
+                    max_steps_per_kind: 2,
+                };
+                run.scenario.shards = 1;
+                let serial = match run.scenario.compile_with(taper) {
+                    Ok(plan) => plan,
+                    Err(_) => continue,
+                };
+                let seed = 11 + i;
+                let mut rec = Recorder::capturing();
+                let want = serial.execute(seed, &mut rec);
+                let want_print = rec.take_buffer().fingerprint();
+                for shards in [2, 4, 8] {
+                    run.scenario.shards = shards;
+                    let plan = run.scenario.compile_with(taper).expect("serial compiled");
+                    let mut rec = Recorder::capturing();
+                    let got = plan.execute(seed, &mut rec);
+                    let got_print = rec.take_buffer().fingerprint();
+                    assert_eq!(
+                        want.result, got.result,
+                        "fuzz script {i}, campaign {name}, {shards} shards"
+                    );
+                    assert_eq!(
+                        want_print, got_print,
+                        "fuzz script {i}, campaign {name}, {shards} shards: trace fingerprint"
+                    );
+                }
+                compared += 1;
+            }
+        }
+    }
+    assert!(
+        compared >= 8,
+        "fuzzer produced too few runnable DES scenarios ({compared})"
+    );
 }

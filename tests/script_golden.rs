@@ -135,9 +135,10 @@ fn repro_scripts_match_the_flag_front_end() {
         let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
         let src = std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("{path}: {e}"));
         let scripted = compile_str(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
-        let flagged = compile_str(&flags_script(quick, taper)).unwrap();
+        let flagged = compile_str(&flags_script(quick, taper, 1)).unwrap();
         assert_eq!(scripted.seeds, flagged.seeds, "{path}: seeds");
         assert_eq!(scripted.taper, flagged.taper, "{path}: taper");
+        assert_eq!(scripted.shards, flagged.shards, "{path}: shards");
         assert_eq!(scripted.taper, taper, "{path}: taper vs flags");
         assert!(
             matches!(scripted.experiments, Some(ExperimentsSpec::All)),
