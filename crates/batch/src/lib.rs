@@ -13,12 +13,17 @@
 //!   it);
 //! - [`campaign`] — containerized campaign modelling: a sequence of jobs
 //!   under one technology, with cross-job cache effects (Shifter's gateway
-//!   conversion and Docker's node-layer caches pay once).
+//!   conversion and Docker's node-layer caches pay once);
+//! - [`open`] — the open-system engine: sampled arrivals drive the same
+//!   FIFO + EASY core, and each job stages its container through shared
+//!   registry/filesystem pipes before solving (deployment storms).
 
 pub mod campaign;
 pub mod job;
+pub mod open;
 pub mod scheduler;
 
 pub use campaign::{Campaign, CampaignReport};
 pub use job::{Job, JobOutcome};
+pub use open::{run_open, OpenCluster, OpenJob, OpenJobRecord, OpenOutcome};
 pub use scheduler::Scheduler;

@@ -6,38 +6,159 @@
 //! later jobs may start out of order ("backfill") only if doing so cannot
 //! delay that reservation — either they finish before it (by their
 //! walltime estimate), or they fit in nodes the head will not need.
+//!
+//! Job *arrival* is an event source, not a pre-enqueued list: each
+//! arrival event enqueues its job, runs a scheduling pass, and schedules
+//! the next arrival — so jobs may materialize mid-simulation. The closed
+//! [`Scheduler`] drains a submitted list through that chain; the
+//! open-system engine ([`crate::open`]) drives the same decision core,
+//! `SchedCore`, from a sampled arrival process instead.
 
 use crate::job::{Job, JobOutcome};
 use harborsim_des::trace::{Recorder, SpanCategory};
 use harborsim_des::{Engine, SimTime};
 use std::collections::VecDeque;
 
-struct Running {
-    #[allow(dead_code)]
-    id: u32,
-    nodes: u32,
+pub(crate) struct Running {
+    pub(crate) id: u32,
+    pub(crate) nodes: u32,
     /// When the scheduler may count these nodes free (walltime-based for
     /// planning; the actual release event uses the true runtime).
-    est_end: SimTime,
+    pub(crate) est_end: SimTime,
 }
 
-struct State {
-    total_nodes: u32,
-    free: u32,
-    queue: VecDeque<Job>,
-    running: Vec<Running>,
-    outcomes: Vec<JobOutcome>,
-    busy_node_seconds: f64,
+/// The engine-agnostic scheduling core: node accounting, the pending
+/// queue, and the FIFO + EASY grant decision. Both the closed
+/// [`Scheduler`] and the open-system engine drive their event loops
+/// through it — enqueue on arrival, [`SchedCore::grants`] after every
+/// state change, [`SchedCore::release`] when a job's nodes come back.
+pub(crate) struct SchedCore {
+    pub(crate) total_nodes: u32,
+    pub(crate) free: u32,
+    pub(crate) queue: VecDeque<Job>,
+    pub(crate) running: Vec<Running>,
+    pub(crate) busy_node_seconds: f64,
     last_change: SimTime,
-    rec: Recorder,
 }
 
-impl State {
-    fn account(&mut self, now: SimTime) {
+impl SchedCore {
+    pub(crate) fn new(total_nodes: u32) -> SchedCore {
+        assert!(total_nodes > 0);
+        SchedCore {
+            total_nodes,
+            free: total_nodes,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            busy_node_seconds: 0.0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    /// Integrate busy-node-seconds up to `now`; call before any change
+    /// to `free`.
+    pub(crate) fn account(&mut self, now: SimTime) {
         let dt = now.since(self.last_change).as_secs_f64();
         self.busy_node_seconds += dt * (self.total_nodes - self.free) as f64;
         self.last_change = now;
     }
+
+    pub(crate) fn enqueue(&mut self, job: Job) {
+        debug_assert!(job.nodes <= self.total_nodes);
+        self.queue.push_back(job);
+    }
+
+    fn allocate(&mut self, job: &Job, now: SimTime) {
+        self.account(now);
+        debug_assert!(self.free >= job.nodes);
+        self.free -= job.nodes;
+        self.running.push(Running {
+            id: job.id,
+            nodes: job.nodes,
+            est_end: now + job.walltime,
+        });
+    }
+
+    /// Return a job's nodes to the pool.
+    pub(crate) fn release(&mut self, id: u32, nodes: u32, now: SimTime) {
+        self.account(now);
+        self.free += nodes;
+        self.running.retain(|r| r.id != id);
+    }
+
+    /// One FIFO + EASY pass at `now`: pop every job that may start,
+    /// allocate its nodes, and return it with its backfill flag, in
+    /// grant order (FIFO heads first, then backfill candidates in queue
+    /// order).
+    pub(crate) fn grants(&mut self, now: SimTime) -> Vec<(Job, bool)> {
+        let mut granted = Vec::new();
+        // start the head (and successive heads) while they fit
+        while let Some(head) = self.queue.front() {
+            if head.nodes <= self.free {
+                let job = self.queue.pop_front().expect("head exists");
+                self.allocate(&job, now);
+                granted.push((job, false));
+            } else {
+                break;
+            }
+        }
+        let Some(head) = self.queue.front() else {
+            return granted;
+        };
+        let head_nodes = head.nodes;
+        // reservation for the head: walk running jobs by estimated end
+        // until enough nodes accumulate
+        let mut ends: Vec<(SimTime, u32)> =
+            self.running.iter().map(|r| (r.est_end, r.nodes)).collect();
+        ends.sort();
+        let mut avail = self.free;
+        let mut shadow = SimTime::MAX;
+        for (t, n) in &ends {
+            avail += n;
+            if avail >= head_nodes {
+                shadow = *t;
+                break;
+            }
+        }
+        debug_assert!(shadow != SimTime::MAX, "head can never run?");
+        // nodes not claimed by the head at the shadow time
+        let spare_at_shadow = avail.saturating_sub(head_nodes);
+        // backfill pass over the rest of the queue
+        let mut i = 1;
+        while i < self.queue.len() {
+            let cand = &self.queue[i];
+            let fits_now = cand.nodes <= self.free;
+            let ends_before_shadow = now + cand.walltime <= shadow;
+            let uses_spare = cand.nodes <= spare_at_shadow;
+            if fits_now && (ends_before_shadow || uses_spare) {
+                let job = self.queue.remove(i).expect("index checked");
+                self.allocate(&job, now);
+                granted.push((job, true));
+                // free changed; the head still cannot start (its
+                // requirement exceeded free before, and backfilled jobs
+                // only shrank free)
+            } else {
+                i += 1;
+            }
+        }
+        granted
+    }
+
+    /// Mean node utilization over `makespan` (0..1).
+    pub(crate) fn utilization(&self, makespan: SimTime) -> f64 {
+        if makespan == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_node_seconds / (makespan.as_secs_f64() * self.total_nodes as f64)
+        }
+    }
+}
+
+struct State {
+    core: SchedCore,
+    /// Pending arrivals, soonest last (popped by the arrival chain).
+    arrivals: Vec<Job>,
+    outcomes: Vec<JobOutcome>,
+    rec: Recorder,
 }
 
 /// The scheduler: submit jobs, then [`Scheduler::run`].
@@ -60,10 +181,12 @@ pub struct ScheduleResult {
 impl Scheduler {
     /// A scheduler over a machine of `total_nodes` nodes.
     pub fn new(total_nodes: u32) -> Scheduler {
-        assert!(total_nodes > 0);
         Scheduler {
             jobs: Vec::new(),
-            total_nodes,
+            total_nodes: {
+                assert!(total_nodes > 0);
+                total_nodes
+            },
         }
     }
 
@@ -84,41 +207,32 @@ impl Scheduler {
 
     /// Run to completion, emitting one wait span (queue or backfill) and
     /// one launch span per job through `rec`, on track `job.id`. Pass
-    /// [`Recorder::off`] for the untraced path.
+    /// [`Recorder::off`] for the untraced path. Arrivals enter the
+    /// simulation as a chained event source: only the next pending
+    /// arrival is ever scheduled.
     pub fn run(self, rec: &mut Recorder) -> ScheduleResult {
         let mut eng: Engine<State> = Engine::new();
-        let mut state = State {
-            total_nodes: self.total_nodes,
-            free: self.total_nodes,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            outcomes: Vec::new(),
-            busy_node_seconds: 0.0,
-            last_change: SimTime::ZERO,
-            rec: Recorder::like(rec),
-        };
         let mut jobs = self.jobs;
         jobs.sort_by_key(|j| (j.submit, j.id));
+        let mut state = State {
+            core: SchedCore::new(self.total_nodes),
+            arrivals: Vec::new(),
+            outcomes: Vec::new(),
+            rec: Recorder::like(rec),
+        };
         state
             .rec
             .declare_tracks(jobs.iter().map(|j| j.id + 1).max().unwrap_or(0));
-        for job in jobs {
-            let at = job.submit;
-            eng.schedule_at(at, move |eng, st: &mut State| {
-                st.queue.push_back(job.clone());
-                try_schedule(eng, st);
-            });
-        }
+        jobs.reverse();
+        state.arrivals = jobs;
+        next_arrival(&mut eng, &mut state);
         eng.run(&mut state);
-        assert!(state.queue.is_empty(), "scheduler left jobs queued");
-        assert!(state.running.is_empty(), "scheduler left jobs running");
-        state.account(eng.now());
+        assert!(state.arrivals.is_empty(), "scheduler left arrivals pending");
+        assert!(state.core.queue.is_empty(), "scheduler left jobs queued");
+        assert!(state.core.running.is_empty(), "scheduler left jobs running");
+        state.core.account(eng.now());
         let makespan = eng.now();
-        let util = if makespan == SimTime::ZERO {
-            0.0
-        } else {
-            state.busy_node_seconds / (makespan.as_secs_f64() * self.total_nodes as f64)
-        };
+        let util = state.core.utilization(makespan);
         rec.merge(state.rec);
         let mut outcomes = state.outcomes;
         outcomes.sort_by_key(|o| o.id);
@@ -130,9 +244,33 @@ impl Scheduler {
     }
 }
 
+/// Schedule the next pending arrival (if any): it enqueues its job, runs
+/// a grant pass, and chains the arrival after it.
+fn next_arrival(eng: &mut Engine<State>, st: &mut State) {
+    let Some(next) = st.arrivals.last() else {
+        return;
+    };
+    eng.schedule_at(next.submit, move |eng, st: &mut State| {
+        let job = st
+            .arrivals
+            .pop()
+            .expect("arrival event with no job pending");
+        st.core.enqueue(job);
+        dispatch(eng, st);
+        next_arrival(eng, st);
+    });
+}
+
+/// Run a grant pass and start everything it returns.
+fn dispatch(eng: &mut Engine<State>, st: &mut State) {
+    let now = eng.now();
+    for (job, backfilled) in st.core.grants(now) {
+        start_job(eng, st, job, backfilled);
+    }
+}
+
 fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job, backfilled: bool) {
     let now = eng.now();
-    st.account(now);
     let (cat, name) = if backfilled {
         (SpanCategory::Backfill, "backfill-wait")
     } else {
@@ -146,13 +284,6 @@ fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job, backfilled: bool
         now,
         now + job.runtime,
     );
-    debug_assert!(st.free >= job.nodes);
-    st.free -= job.nodes;
-    st.running.push(Running {
-        id: job.id,
-        nodes: job.nodes,
-        est_end: now + job.walltime,
-    });
     st.outcomes.push(JobOutcome {
         id: job.id,
         start: now,
@@ -162,65 +293,12 @@ fn start_job(eng: &mut Engine<State>, st: &mut State, job: Job, backfilled: bool
     let (id, nodes, runtime) = (job.id, job.nodes, job.runtime);
     eng.schedule(runtime, move |eng, st: &mut State| {
         let now = eng.now();
-        st.account(now);
-        st.free += nodes;
-        st.running.retain(|r| r.id != id);
+        st.core.release(id, nodes, now);
         if let Some(o) = st.outcomes.iter_mut().find(|o| o.id == id) {
             o.end = now;
         }
-        try_schedule(eng, st);
+        dispatch(eng, st);
     });
-}
-
-/// FIFO start + EASY backfill pass.
-fn try_schedule(eng: &mut Engine<State>, st: &mut State) {
-    // start the head (and successive heads) while they fit
-    while let Some(head) = st.queue.front() {
-        if head.nodes <= st.free {
-            let job = st.queue.pop_front().expect("head exists");
-            start_job(eng, st, job, false);
-        } else {
-            break;
-        }
-    }
-    let Some(head) = st.queue.front() else {
-        return;
-    };
-    // reservation for the head: walk running jobs by estimated end until
-    // enough nodes accumulate
-    let mut ends: Vec<(SimTime, u32)> = st.running.iter().map(|r| (r.est_end, r.nodes)).collect();
-    ends.sort();
-    let mut avail = st.free;
-    let mut shadow = SimTime::MAX;
-    for (t, n) in &ends {
-        avail += n;
-        if avail >= head.nodes {
-            shadow = *t;
-            break;
-        }
-    }
-    debug_assert!(shadow != SimTime::MAX, "head can never run?");
-    // nodes not claimed by the head at the shadow time
-    let spare_at_shadow = avail.saturating_sub(head.nodes);
-    let head_nodes = head.nodes;
-    let _ = head_nodes;
-    // backfill pass over the rest of the queue
-    let now = eng.now();
-    let mut i = 1;
-    while i < st.queue.len() {
-        let cand = &st.queue[i];
-        let fits_now = cand.nodes <= st.free;
-        let ends_before_shadow = now + cand.walltime <= shadow;
-        let uses_spare = cand.nodes <= spare_at_shadow;
-        if fits_now && (ends_before_shadow || uses_spare) {
-            let job = st.queue.remove(i).expect("index checked");
-            start_job(eng, st, job, true);
-            // free changed; the head still cannot start (its requirement
-            // exceeded free before, and backfilled jobs only shrank free)
-        } else {
-            i += 1;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -301,6 +379,18 @@ mod tests {
         let res = s.run(&mut Recorder::off());
         assert!((outcome(&res, 2).start.as_secs_f64() - 100.0).abs() < 1e-9);
         assert_eq!(outcome(&res, 2).wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arrivals_materialize_mid_simulation() {
+        // the machine drains completely, then a late job arrives: the
+        // arrival chain must still be alive to deliver it
+        let mut s = Scheduler::new(4);
+        s.submit(Job::new(1, 4, 50.0, 50.0, 0.0));
+        s.submit(Job::new(2, 4, 50.0, 50.0, 500.0)); // long idle gap first
+        let res = s.run(&mut Recorder::off());
+        assert!((outcome(&res, 2).start.as_secs_f64() - 500.0).abs() < 1e-9);
+        assert!((res.makespan.as_secs_f64() - 550.0).abs() < 1e-9);
     }
 
     #[test]

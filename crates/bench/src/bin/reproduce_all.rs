@@ -12,10 +12,13 @@
 //!   instead of flags: the script's `seeds`/`taper`/`trace`/`experiments`
 //!   directives replace `--quick`/`--ablate-taper`/`--oversub`/`--trace`,
 //!   and every `campaign` block runs through the generic campaign runner
-//!   (labels, means, canonical plan-key fingerprints). Mutually exclusive
-//!   with `--quick`, `--ablate-taper` and `--oversub` — those flags *are*
-//!   a script (see `harborsim_core::script::flags_script` and the
-//!   committed equivalents under `scripts/`).
+//!   (labels, means, canonical plan-key fingerprints; campaigns with
+//!   `arrivals` run through the open-system engine and report queue-wait
+//!   tails). Mutually exclusive with `--ablate-taper` and `--oversub` —
+//!   those flags *are* a script (see
+//!   `harborsim_core::script::flags_script` and the committed equivalents
+//!   under `scripts/`). `--quick` combines with `--script`: it truncates
+//!   the script's seed lists to one (the CI smoke mode).
 //! - `--trace <dir>` — additionally export one chrome://tracing JSON per
 //!   experiment into `<dir>` (`fig1.trace.json`, …), capturing
 //!   representative configurations through the simulation trace layer.
@@ -43,8 +46,8 @@
 use harborsim_bench::baseline::BenchBaseline;
 use harborsim_bench::{out_dir, write_figure, write_table, write_trace};
 use harborsim_core::experiments::{
-    ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_oversub, ext_weak, fig1,
-    fig2, fig3, tables, validation,
+    ext_breakdown, ext_campaign, ext_degraded, ext_io, ext_locality, ext_open_system, ext_oversub,
+    ext_weak, fig1, fig2, fig3, tables, validation,
 };
 use harborsim_core::lab::QueryEngine;
 use harborsim_core::script::ast::ExperimentsSpec;
@@ -127,11 +130,11 @@ fn main() {
     // Flags and scripts are one front end: a flag combination is exactly
     // the one-line script `flags_script` renders, so both paths compile
     // the same way and fingerprint to the same plan keys.
-    let compiled: CompiledScript = match &script_path {
+    let mut compiled: CompiledScript = match &script_path {
         Some(path) => {
-            if quick || taper.is_some() || shards != 1 {
+            if taper.is_some() || shards != 1 {
                 eprintln!(
-                    "--script replaces --quick/--ablate-taper/--oversub/--shards: put `seeds quick` / `taper <t>` / `shards <n>` in the script instead"
+                    "--script replaces --ablate-taper/--oversub/--shards: put `taper <t>` / `shards <n>` in the script instead"
                 );
                 std::process::exit(2);
             }
@@ -147,6 +150,15 @@ fn main() {
         None => compile_str(&flags_script(quick, taper, shards))
             .expect("the flag front end always renders a valid script"),
     };
+    // `--script X --quick` = run X's grid on one seed (the CI smoke mode)
+    if script_path.is_some() && quick {
+        compiled.seeds.truncate(1);
+        for campaign in &mut compiled.campaigns {
+            if let Some(seeds) = &mut campaign.seeds {
+                seeds.truncate(1);
+            }
+        }
+    }
 
     let taper = compiled.taper;
     let seeds: &[u64] = &compiled.seeds;
@@ -186,7 +198,10 @@ fn main() {
             .and_then(|t| BenchBaseline::from_json(&t))
         {
             Some(base) => {
-                let violations = measured.check_regression(&base);
+                let (violations, warnings) = measured.check_regression(&base);
+                for w in &warnings {
+                    println!("  [--] {w}");
+                }
                 if violations.is_empty() {
                     println!("  [ok] no regression vs the committed baseline (spin-normalized)");
                 } else {
@@ -302,6 +317,17 @@ fn main() {
         trace("ext-campaign", &ext_campaign::traces());
     }
 
+    if selected("ext-open-system") {
+        println!("\n== Extension: open-system campaign (arrivals, mix, storms) ==");
+        let data = ext_open_system::run(&lab, seeds);
+        let to = ext_open_system::table(&data);
+        write_table(&to);
+        println!("{}", to.to_ascii());
+        all_ok &= report_shapes("ext-open-system", &ext_open_system::check_shape(&data));
+        summary.push(("ext_open_system", to.to_json()));
+        trace("ext-open-system", &ext_open_system::traces(&lab, seeds[0]));
+    }
+
     if selected("ext-weak") {
         println!("\n== Extension: weak scaling ==");
         let fw = ext_weak::run(&lab, seeds);
@@ -381,10 +407,49 @@ fn main() {
             prints.push(run.fingerprint(taper));
             scenarios.push(run.scenario);
         }
-        let means = lab.means(scenarios, &campaign_seeds);
-        println!("{:<44} {:>12}   {:<16}", "run", "mean [s]", "plan key");
-        for ((label, mean), print) in labels.iter().zip(&means).zip(&prints) {
-            println!("{label:<44} {mean:>12.2}   {print:016x}");
+        // An open campaign (`arrivals poisson …`) is not a grid of solver
+        // runs but a stochastic arrival process: route it through the
+        // open-system engine and report tail latency instead of means.
+        if scenarios.iter().any(|s| s.open.is_some()) {
+            println!(
+                "{:<44} {:>7} {:>7} {:>10} {:>10}   {:<16}",
+                "open run", "jobs", "util", "wait p50", "wait p99", "plan key"
+            );
+            for ((label, scenario), print) in labels.iter().zip(&scenarios).zip(&prints) {
+                let mut wait = harborsim_core::QuantileSketch::new();
+                let mut jobs = 0u64;
+                let mut util = 0.0;
+                for &seed in &campaign_seeds {
+                    let report = harborsim_core::run_open_campaign(
+                        &lab,
+                        scenario,
+                        seed,
+                        &mut harborsim_des::trace::Recorder::off(),
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("open campaign {label} failed: {e}");
+                        std::process::exit(1);
+                    });
+                    jobs += report.jobs;
+                    util += report.utilization;
+                    for s in &report.per_runtime {
+                        wait.merge(&s.wait);
+                    }
+                }
+                util /= campaign_seeds.len().max(1) as f64;
+                println!(
+                    "{label:<44} {jobs:>7} {:>6.0}% {:>9.1}s {:>9.1}s   {print:016x}",
+                    util * 100.0,
+                    wait.p50(),
+                    wait.p99()
+                );
+            }
+        } else {
+            let means = lab.means(scenarios, &campaign_seeds);
+            println!("{:<44} {:>12}   {:<16}", "run", "mean [s]", "plan key");
+            for ((label, mean), print) in labels.iter().zip(&means).zip(&prints) {
+                println!("{label:<44} {mean:>12.2}   {print:016x}");
+            }
         }
     }
 

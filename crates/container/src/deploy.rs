@@ -21,15 +21,16 @@ use harborsim_des::{Engine, FluidLink, SimDuration, SimTime};
 use harborsim_hw::StorageSpec;
 
 /// Bytes of the image a starting container actually reads (binary + shared
-/// libraries page in; the rest of the rootfs stays cold).
-const WORKING_SET_BYTES: u64 = 260_000_000;
+/// libraries page in; the rest of the rootfs stays cold). Shared with the
+/// open-system staging model in [`crate::storm`].
+pub(crate) const WORKING_SET_BYTES: u64 = 260_000_000;
 /// Local unpack (gunzip + untar to overlayfs) throughput, bytes/s of
 /// uncompressed output.
-const UNPACK_BPS: f64 = 180e6;
+pub(crate) const UNPACK_BPS: f64 = 180e6;
 /// Gateway squashfs pack throughput, bytes/s of input.
-const GATEWAY_PACK_BPS: f64 = 80e6;
+pub(crate) const GATEWAY_PACK_BPS: f64 = 80e6;
 /// Metadata round-trips to a registry before bytes flow.
-const REGISTRY_METADATA_S: f64 = 0.35;
+pub(crate) const REGISTRY_METADATA_S: f64 = 0.35;
 
 /// A deployment to run.
 #[derive(Debug, Clone)]

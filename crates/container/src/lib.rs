@@ -28,6 +28,9 @@
 //! - [`launch`] — the job-launch model: launcher-tree fanout plus per-rank
 //!   container spawn costs (the Docker daemon serializes them; SUID
 //!   runtimes barely notice).
+//! - [`storm`] — per-job staging demands for open-system deployment
+//!   storms: registry bytes, filesystem bytes, and fixed latency per
+//!   runtime, cold vs warm.
 
 pub mod build;
 pub mod containment;
@@ -38,6 +41,7 @@ pub mod launch;
 pub mod recipe;
 pub mod registry;
 pub mod runtime;
+pub mod storm;
 
 pub use build::{builds_executed, BuildEngine, BuildError, BuildOutput};
 pub use containment::Containment;
@@ -48,3 +52,4 @@ pub use launch::LaunchModel;
 pub use recipe::{ImageRecipe, Instruction};
 pub use registry::Registry;
 pub use runtime::{ExecutionEnvironment, RuntimeKind};
+pub use storm::StagePlan;

@@ -1,0 +1,188 @@
+//! Per-job staging demand for open-system deployment storms.
+//!
+//! The closed-world [`crate::deploy`] pipeline simulates *one* job's
+//! deployment in isolation. Open campaigns need the opposite cut: many
+//! jobs arriving at once, each bringing a staging demand that contends
+//! with every co-arriving job for the same two shared pipes — the
+//! registry uplink and the parallel filesystem. [`StagePlan`] is that
+//! demand, reduced to three numbers the open scheduler
+//! (`harborsim-batch`) feeds into its fair-share [`FluidLink`]s:
+//! registry bytes, filesystem bytes, and a fixed serial latency
+//! (metadata round-trips, unpack, gateway conversion, launcher fan-out).
+//! The constants are the deploy pipeline's own, so a solo job's staging
+//! estimate stays consistent with [`crate::deploy::DeployPlan`].
+//!
+//! Cold vs warm is the deployment-storm axis: a tenant's *first* job per
+//! runtime pulls the image (Docker: every node pulls compressed layers;
+//! Shifter: the gateway converts once), later jobs hit node-local layer
+//! caches or the converted UDI.
+//!
+//! [`FluidLink`]: harborsim_des::FluidLink
+
+use crate::deploy::{GATEWAY_PACK_BPS, REGISTRY_METADATA_S, UNPACK_BPS, WORKING_SET_BYTES};
+use crate::image::{ImageFormat, ImageManifest};
+use crate::launch::LaunchModel;
+use crate::runtime::{ExecutionEnvironment, RuntimeKind};
+
+/// A job's staging demand: what must move through the shared pipes and
+/// what is paid serially, between node grant and the first solver
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePlan {
+    /// Bytes pulled through the shared registry uplink.
+    pub registry_bytes: f64,
+    /// Bytes through the shared parallel filesystem (working-set reads,
+    /// plus the gateway's UDI write for a cold Shifter pull).
+    pub pfs_bytes: f64,
+    /// Fixed serial seconds: registry metadata, local unpack, gateway
+    /// squashfs pack, and the launcher fanning ranks out over the nodes.
+    pub fixed_s: f64,
+}
+
+impl StagePlan {
+    /// The staging demand of a `nodes`-node, `rpn`-ranks-per-node job in
+    /// `env`. `warm` means this tenant already staged `image` under this
+    /// runtime (node-local layer caches / converted UDI are hot).
+    pub fn for_job(
+        env: ExecutionEnvironment,
+        image: &ImageManifest,
+        nodes: u32,
+        rpn: u32,
+        warm: bool,
+    ) -> StagePlan {
+        let launch = LaunchModel::default().launch_seconds(env.runtime, nodes, rpn);
+        let compressed: f64 = image
+            .layers
+            .iter()
+            .map(|l| l.compressed_bytes() as f64)
+            .sum();
+        let uncompressed = image.uncompressed_bytes() as f64;
+        let n = nodes as f64;
+        match env.runtime {
+            RuntimeKind::BareMetal => StagePlan {
+                registry_bytes: 0.0,
+                pfs_bytes: WORKING_SET_BYTES.min(170_000_000) as f64 * n,
+                fixed_s: launch,
+            },
+            RuntimeKind::Docker => {
+                if warm {
+                    StagePlan {
+                        registry_bytes: 0.0,
+                        pfs_bytes: 0.0,
+                        fixed_s: REGISTRY_METADATA_S + launch,
+                    }
+                } else {
+                    // every node pulls the full compressed image, then
+                    // unpacks it into its local overlayfs
+                    StagePlan {
+                        registry_bytes: compressed * n,
+                        pfs_bytes: 0.0,
+                        fixed_s: REGISTRY_METADATA_S + uncompressed / UNPACK_BPS + launch,
+                    }
+                }
+            }
+            RuntimeKind::Singularity => {
+                let sif = image.size_bytes(ImageFormat::SingularitySif).max(1);
+                StagePlan {
+                    registry_bytes: 0.0,
+                    pfs_bytes: WORKING_SET_BYTES.min(sif) as f64 * n,
+                    fixed_s: launch,
+                }
+            }
+            RuntimeKind::Shifter => {
+                let udi = image.size_bytes(ImageFormat::ShifterUdi).max(1);
+                let ws = WORKING_SET_BYTES.min(udi) as f64 * n;
+                if warm {
+                    StagePlan {
+                        registry_bytes: 0.0,
+                        pfs_bytes: ws,
+                        fixed_s: launch,
+                    }
+                } else {
+                    // the gateway pulls one compressed copy, packs the
+                    // squashfs UDI, and writes it to the parallel FS
+                    StagePlan {
+                        registry_bytes: compressed,
+                        pfs_bytes: udi as f64 + ws,
+                        fixed_s: REGISTRY_METADATA_S + uncompressed / GATEWAY_PACK_BPS + launch,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Uncontended staging estimate in seconds, given the two pipes'
+    /// full capacities — the basis for a walltime request.
+    pub fn solo_seconds(&self, registry_bps: f64, pfs_bps: f64) -> f64 {
+        self.fixed_s + self.registry_bytes / registry_bps + self.pfs_bytes / pfs_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{alya_recipe, BuildEngine};
+    use crate::containment::Containment;
+    use harborsim_hw::CpuModel;
+
+    fn image() -> ImageManifest {
+        BuildEngine::self_contained(CpuModel::xeon_e5_2697v3())
+            .build(&alya_recipe())
+            .unwrap()
+            .manifest
+    }
+
+    fn env(r: RuntimeKind) -> ExecutionEnvironment {
+        ExecutionEnvironment {
+            runtime: r,
+            containment: Containment::SelfContained,
+        }
+    }
+
+    #[test]
+    fn docker_cold_registry_demand_scales_with_nodes() {
+        let img = image();
+        let two = StagePlan::for_job(env(RuntimeKind::Docker), &img, 2, 14, false);
+        let eight = StagePlan::for_job(env(RuntimeKind::Docker), &img, 8, 14, false);
+        assert!((eight.registry_bytes / two.registry_bytes - 4.0).abs() < 1e-9);
+        // Shifter pulls once through the gateway whatever the node count
+        let shifter = StagePlan::for_job(env(RuntimeKind::Shifter), &img, 8, 14, false);
+        assert!(shifter.registry_bytes < eight.registry_bytes / 4.0);
+    }
+
+    #[test]
+    fn warm_stages_are_cheaper_than_cold() {
+        let img = image();
+        for r in [RuntimeKind::Docker, RuntimeKind::Shifter] {
+            let cold = StagePlan::for_job(env(r), &img, 4, 14, false);
+            let warm = StagePlan::for_job(env(r), &img, 4, 14, true);
+            assert!(
+                warm.solo_seconds(117e6, 1e9) < cold.solo_seconds(117e6, 1e9),
+                "{r:?}"
+            );
+            assert_eq!(warm.registry_bytes, 0.0);
+        }
+    }
+
+    #[test]
+    fn shifter_pays_the_gateway_serially_docker_pays_the_registry() {
+        let img = image();
+        let docker = StagePlan::for_job(env(RuntimeKind::Docker), &img, 4, 1, false);
+        let shifter = StagePlan::for_job(env(RuntimeKind::Shifter), &img, 4, 1, false);
+        // the gateway squashfs pack is fixed serial time...
+        assert!(shifter.fixed_s > docker.fixed_s);
+        // ...but Docker moves ~4x the bytes through the shared uplink
+        assert!(docker.registry_bytes > 3.0 * shifter.registry_bytes);
+    }
+
+    #[test]
+    fn bare_metal_never_touches_the_registry() {
+        let img = image();
+        for warm in [false, true] {
+            let p = StagePlan::for_job(env(RuntimeKind::BareMetal), &img, 4, 28, warm);
+            assert_eq!(p.registry_bytes, 0.0);
+            assert!(p.pfs_bytes > 0.0);
+            assert!(p.solo_seconds(117e6, 1e9) > 0.0);
+        }
+    }
+}

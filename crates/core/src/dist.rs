@@ -1,0 +1,197 @@
+//! Seed-deterministic sampling distributions for open-system campaigns.
+//!
+//! Open campaigns model the batch system the way berserker-style load
+//! generators model process churn: job arrivals are a Poisson process
+//! and the job mix is heavy-tailed ([`Zipf`] over a small rank table).
+//! Both samplers draw exclusively from a caller-supplied
+//! [`RngStream`] (splitmix64), so a campaign's job list is a pure
+//! function of its seed — byte-identical on any host, at any DES shard
+//! count, in any build mode.
+
+use harborsim_des::RngStream;
+
+/// A Poisson arrival process: independent exponential interarrival gaps
+/// with mean `1 / rate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poisson {
+    rate_per_s: f64,
+}
+
+impl Poisson {
+    /// A process producing `rate_per_s` expected arrivals per simulated
+    /// second. Panics unless the rate is finite and positive — the DSL
+    /// compiler rejects such scripts before they get here.
+    pub fn new(rate_per_s: f64) -> Poisson {
+        assert!(
+            rate_per_s.is_finite() && rate_per_s > 0.0,
+            "arrival rate must be positive and finite, got {rate_per_s}"
+        );
+        Poisson { rate_per_s }
+    }
+
+    /// Expected arrivals per second.
+    pub fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// Mean interarrival gap, seconds.
+    pub fn mean_gap_s(&self) -> f64 {
+        1.0 / self.rate_per_s
+    }
+
+    /// The next interarrival gap in seconds (inverse-CDF exponential).
+    pub fn next_gap_s(&self, rng: &mut RngStream) -> f64 {
+        rng.exponential(self.mean_gap_s())
+    }
+}
+
+/// A Zipf distribution over ranks `0..n`: rank `k` carries weight
+/// `1 / (k + 1)^s`. Sampling inverts the precomputed CDF, so a draw is
+/// one uniform plus a binary search — no rejection loop, no
+/// seed-dependent iteration count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    s: f64,
+    /// `cum[k] = P(X <= k)`; the last entry is exactly 1.0.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf law with exponent `s` over `n` ranks. Panics unless `s`
+    /// is finite and positive and `n >= 1`.
+    pub fn new(s: f64, n: usize) -> Zipf {
+        assert!(
+            s.is_finite() && s > 0.0,
+            "zipf exponent must be positive and finite, got {s}"
+        );
+        assert!(n >= 1, "a zipf distribution needs at least one rank");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cum: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        *cum.last_mut().expect("n >= 1") = 1.0;
+        Zipf { s, cum }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Always false — the constructor requires at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cum[0]
+        } else {
+            self.cum[k] - self.cum[k - 1]
+        }
+    }
+
+    /// Analytic mean of the sampled rank index.
+    pub fn mean_rank(&self) -> f64 {
+        (0..self.len()).map(|k| k as f64 * self.pmf(k)).sum()
+    }
+
+    /// Draw a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut RngStream) -> usize {
+        let u = rng.uniform();
+        // first rank whose cumulative probability covers u; the final
+        // clamp is unreachable (cum ends at exactly 1.0 > u) but keeps
+        // the indexing robust against rounding.
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samplers_are_bit_identical_per_seed() {
+        let p = Poisson::new(0.2);
+        let z = Zipf::new(1.1, 7);
+        let draw = |seed: u64| -> (Vec<u64>, Vec<usize>) {
+            let mut rng = RngStream::new(seed).derive("dist");
+            let gaps = (0..200).map(|_| p.next_gap_s(&mut rng).to_bits()).collect();
+            let ranks = (0..200).map(|_| z.sample(&mut rng)).collect();
+            (gaps, ranks)
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn poisson_gaps_match_the_analytic_mean_and_skew() {
+        // the exponential distribution has mean 1/rate and skewness
+        // exactly 2; 40k samples put both within a few percent
+        let p = Poisson::new(0.25);
+        let mut rng = RngStream::new(0xA5).derive("poisson-moments");
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.next_gap_s(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - p.mean_gap_s()).abs() / p.mean_gap_s() < 0.03,
+            "empirical mean {mean} vs analytic {}",
+            p.mean_gap_s()
+        );
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let m3 = samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+        let skew = m3 / var.powf(1.5);
+        assert!((skew - 2.0).abs() < 0.25, "empirical skew {skew} vs 2");
+    }
+
+    #[test]
+    fn zipf_matches_the_analytic_pmf_and_mean() {
+        let z = Zipf::new(1.3, 5);
+        let mut rng = RngStream::new(0x21F).derive("zipf-moments");
+        let n = 50_000usize;
+        let mut counts = [0u64; 5];
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            counts[k] += 1;
+            sum += k as f64;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs analytic {}",
+                z.pmf(k)
+            );
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - z.mean_rank()).abs() < 0.02,
+            "empirical mean rank {mean} vs analytic {}",
+            z.mean_rank()
+        );
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_monotone_in_s() {
+        let flatter = Zipf::new(0.8, 10);
+        let steeper = Zipf::new(2.0, 10);
+        assert!(steeper.pmf(0) > flatter.pmf(0));
+        for z in [&flatter, &steeper] {
+            for k in 1..z.len() {
+                assert!(z.pmf(k) < z.pmf(k - 1), "pmf must decay with rank");
+            }
+            let total: f64 = (0..z.len()).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Extension — open-system campaign: what the *tail* looks like.
+//!
+//! The closed campaign experiment ([`super::ext_campaign`]) measures mean
+//! turnaround of a fixed job sequence. Production machines are open
+//! systems: jobs arrive at random, in a heavy-tailed mix of sizes and
+//! runtimes, and co-arriving container pulls contend for the registry
+//! uplink and the parallel filesystem (deployment storms). This
+//! experiment runs the committed [`SCRIPT`] — Poisson arrivals, Zipf
+//! mixes over node count and runtime, six tenants — and reports
+//! per-runtime queue-wait and bounded-slowdown quantiles (p50/p99/p999)
+//! from streaming sketches, plus the EASY-backfill node-second share.
+
+use crate::experiments::{expect, load_campaign, ShapeReport};
+use crate::lab::QueryEngine;
+use crate::open::{run_open_campaign, OpenReport, RuntimeOpenStats};
+use crate::report::{fmt_seconds, TableData};
+use harborsim_container::runtime::RuntimeKind;
+use harborsim_des::trace::Recorder;
+
+/// The committed open-system campaign script.
+pub const SCRIPT: &str = include_str!("ext_open_system.hsim");
+
+/// The experiment's outcome: one report per seed plus the cross-seed
+/// merged per-runtime sketches.
+#[derive(Debug, Clone)]
+pub struct OpenSystemData {
+    /// One full report per seed, in seed order.
+    pub runs: Vec<OpenReport>,
+    /// Per-runtime stats merged across all seeds (sketches merge
+    /// losslessly).
+    pub per_runtime: Vec<RuntimeOpenStats>,
+    /// Mean node utilization across seeds.
+    pub mean_utilization: f64,
+    /// Mean backfilled node-second share across seeds.
+    pub mean_backfill_share: f64,
+    /// Jobs completed across all seeds.
+    pub total_jobs: u64,
+}
+
+/// Run the open campaign once per seed and merge the tails.
+pub fn run(lab: &QueryEngine, seeds: &[u64]) -> OpenSystemData {
+    let scenario = load_campaign(SCRIPT).runs.remove(0).scenario;
+    let mut runs = Vec::with_capacity(seeds.len());
+    let mut per_runtime: Vec<RuntimeOpenStats> = Vec::new();
+    for &seed in seeds {
+        let report = run_open_campaign(lab, &scenario, seed, &mut Recorder::off())
+            .expect("the committed open campaign runs");
+        for stats in &report.per_runtime {
+            match per_runtime.iter_mut().find(|s| s.runtime == stats.runtime) {
+                Some(s) => s.merge(stats),
+                None => per_runtime.push(stats.clone()),
+            }
+        }
+        runs.push(report);
+    }
+    let n = runs.len().max(1) as f64;
+    OpenSystemData {
+        mean_utilization: runs.iter().map(|r| r.utilization).sum::<f64>() / n,
+        mean_backfill_share: runs.iter().map(|r| r.backfill_node_share).sum::<f64>() / n,
+        total_jobs: runs.iter().map(|r| r.jobs).sum(),
+        per_runtime,
+        runs,
+    }
+}
+
+/// Capture the full open-campaign trace (arrival, queue/backfill, staging
+/// flows, solver spans on per-job tracks) for one seed.
+pub fn traces(lab: &QueryEngine, seed: u64) -> Vec<(String, harborsim_des::trace::TraceBuffer)> {
+    let scenario = load_campaign(SCRIPT).runs.remove(0).scenario;
+    let mut rec = Recorder::capturing();
+    run_open_campaign(lab, &scenario, seed, &mut rec).expect("the committed open campaign runs");
+    vec![("open-system".to_string(), rec.take_buffer())]
+}
+
+/// Render the per-runtime tails as a table.
+pub fn table(data: &OpenSystemData) -> TableData {
+    TableData {
+        id: "ext-open-system".into(),
+        title: format!(
+            "Open-system campaign on Lenox ({} jobs, {:.0}% utilization, {:.0}% of node-seconds backfilled)",
+            data.total_jobs,
+            data.mean_utilization * 100.0,
+            data.mean_backfill_share * 100.0
+        ),
+        headers: vec![
+            "Runtime".into(),
+            "Jobs".into(),
+            "Cold pulls".into(),
+            "Wait p50".into(),
+            "Wait p99".into(),
+            "Wait p999".into(),
+            "Stage p50".into(),
+            "Stage p99".into(),
+            "Slowdown p50".into(),
+            "Slowdown p99".into(),
+        ],
+        rows: data
+            .per_runtime
+            .iter()
+            .map(|s| {
+                vec![
+                    s.runtime.label().to_string(),
+                    s.jobs.to_string(),
+                    s.cold_pulls.to_string(),
+                    fmt_seconds(s.wait.p50()),
+                    fmt_seconds(s.wait.p99()),
+                    fmt_seconds(s.wait.p999()),
+                    fmt_seconds(s.stage.p50()),
+                    fmt_seconds(s.stage.p99()),
+                    format!("{:.2}x", s.slowdown.p50()),
+                    format!("{:.2}x", s.slowdown.p99()),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// The open-system claims.
+pub fn check_shape(data: &OpenSystemData) -> ShapeReport {
+    let mut report = ShapeReport::new();
+    expect(
+        &mut report,
+        data.total_jobs > 0,
+        "the campaign must sample jobs".into(),
+    );
+    expect(
+        &mut report,
+        data.mean_utilization > 0.0 && data.mean_utilization <= 1.0,
+        format!("utilization out of range: {}", data.mean_utilization),
+    );
+    let find = |rt: RuntimeKind| data.per_runtime.iter().find(|s| s.runtime == rt);
+    let (Some(docker), Some(shifter), Some(singularity)) = (
+        find(RuntimeKind::Docker),
+        find(RuntimeKind::Shifter),
+        find(RuntimeKind::Singularity),
+    ) else {
+        report.push("all three mixed runtimes must appear".into());
+        return report;
+    };
+    for s in [docker, shifter, singularity] {
+        expect(
+            &mut report,
+            s.wait.p999() >= s.wait.p99() && s.wait.p99() >= s.wait.p50(),
+            format!("{}: wait quantiles out of order", s.runtime.label()),
+        );
+        expect(
+            &mut report,
+            s.slowdown.p50() >= 1.0 - crate::sketch::QuantileSketch::relative_error() - 1e-9,
+            format!(
+                "{}: bounded slowdown sits above 1 by construction",
+                s.runtime.label()
+            ),
+        );
+    }
+    // the deployment-storm separation: Docker's registry pulls put more
+    // weight in the staging tail than Shifter's gateway conversion
+    expect(
+        &mut report,
+        docker.stage.p99() > shifter.stage.p99(),
+        format!(
+            "Docker's staging tail should exceed Shifter's: {:.1}s vs {:.1}s",
+            docker.stage.p99(),
+            shifter.stage.p99()
+        ),
+    );
+    expect(
+        &mut report,
+        docker.cold_pulls >= 1,
+        "at least one tenant cold-pulls Docker".into(),
+    );
+    expect(
+        &mut report,
+        data.runs.iter().any(|r| r.peak_pfs_flows >= 2),
+        "co-arriving jobs should overlap on the parallel filesystem".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_system_shape_holds() {
+        let data = run(&QueryEngine::new(), &[1, 2]);
+        let report = check_shape(&data);
+        assert!(report.is_empty(), "{report:#?}");
+        let t = table(&data);
+        assert!(t.to_ascii().contains("Docker"));
+        assert_eq!(data.runs.len(), 2);
+    }
+
+    #[test]
+    fn traces_capture_per_job_spans() {
+        let lab = QueryEngine::new();
+        let traces = traces(&lab, 1);
+        assert_eq!(traces.len(), 1);
+        assert!(!traces[0].1.is_empty(), "spans were captured");
+    }
+}

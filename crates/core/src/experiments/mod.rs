@@ -12,6 +12,7 @@
 //! | [`ext_breakdown`] | extension: compute/halo/allreduce decomposition + the Docker `--net=host` mechanism ablation |
 //! | [`ext_weak`] | extension: weak scaling of the FSI case at fixed cells/rank |
 //! | [`ext_campaign`] | extension: multi-job campaign turnaround under FIFO + EASY backfill, with cross-job cache effects |
+//! | [`ext_open_system`] | extension: open-system campaign — Poisson arrivals, Zipf job mix, per-runtime queue-wait/slowdown tails under deployment storms |
 //! | [`ext_oversub`] | extension: spine oversubscription sweep with the per-link utilization table |
 //! | [`ext_degraded`] | extension: one degraded node uplink, end-to-end robustness |
 //! | [`ext_locality`] | extension: block vs round-robin placement against halo locality |
@@ -32,6 +33,7 @@ pub mod ext_campaign;
 pub mod ext_degraded;
 pub mod ext_io;
 pub mod ext_locality;
+pub mod ext_open_system;
 pub mod ext_oversub;
 pub mod ext_weak;
 pub mod fig1;

@@ -79,6 +79,36 @@ pub struct PlanKey {
     taper_bits: Option<u64>,
     degraded: Vec<(u32, u64)>,
     shards: u32,
+    open: Option<OpenKey>,
+}
+
+/// The open-campaign component of a [`PlanKey`]: every sampled-workload
+/// knob, floats as bit patterns, menus in declaration order (order is
+/// behaviour — Zipf weight follows rank).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OpenKey {
+    rate: u64,
+    horizon: u64,
+    tenants: u32,
+    node_mix: (u64, Vec<u32>),
+    workload_mix: (u64, Vec<String>),
+    env_mix: (u64, Vec<ExecutionEnvironment>),
+}
+
+impl OpenKey {
+    fn of(spec: &crate::open::OpenSpec) -> OpenKey {
+        OpenKey {
+            rate: spec.rate_per_s.to_bits(),
+            horizon: spec.horizon_s.to_bits(),
+            tenants: spec.tenants,
+            node_mix: (spec.node_mix.s.to_bits(), spec.node_mix.values.clone()),
+            workload_mix: (
+                spec.workload_mix.s.to_bits(),
+                spec.workload_mix.values.clone(),
+            ),
+            env_mix: (spec.env_mix.s.to_bits(), spec.env_mix.values.clone()),
+        }
+    }
 }
 
 impl PlanKey {
@@ -115,6 +145,7 @@ impl PlanKey {
             taper_bits: scenario.spine_taper.or(fallback_taper).map(f64::to_bits),
             degraded,
             shards: scenario.shards,
+            open: scenario.open.as_ref().map(OpenKey::of),
         })
     }
 

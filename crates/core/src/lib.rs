@@ -20,18 +20,27 @@
 //!   the deployment-overhead and cross-architecture tables, and the
 //!   future-work I/O storm study), each returning structured data plus
 //!   shape checks that encode the paper's qualitative claims.
+//! - [`dist`] — seed-deterministic sampling distributions (Poisson
+//!   interarrivals, Zipf-over-ranks) for open workloads.
+//! - [`open`] — open-system campaigns: Poisson arrivals, a Zipf job mix,
+//!   tenant-warm image staging, and per-runtime tail-latency sketches.
+//! - [`sketch`] — a mergeable streaming quantile sketch (DDSketch-style
+//!   relative-error buckets) for p50/p99/p999 tails.
 //! - [`report`] — aligned ASCII tables, ASCII charts, CSV and SVG writers.
 //! - [`traceviz`] — exporters for captured simulation traces:
 //!   chrome://tracing JSON and a per-category summary table.
 
 pub mod calibration;
+pub mod dist;
 pub mod error;
 pub mod experiments;
 pub mod lab;
+pub mod open;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod script;
+pub mod sketch;
 pub mod traceviz;
 
 /// The Alya case presets, re-exported for harness users.
@@ -96,10 +105,30 @@ pub mod workloads {
     pub fn artery_fsi_small() -> ArteryFsi {
         ArteryFsi::small()
     }
+
+    /// Look a preset up by its script-facing registry name (the same
+    /// names the `.hsim` `workload` directive accepts). `None` for
+    /// unknown names.
+    pub fn by_name(name: &str) -> Option<Box<dyn AlyaCase + Send + Sync>> {
+        match name {
+            "cfd-small" => Some(Box::new(artery_cfd_small())),
+            "cfd-lenox" => Some(Box::new(artery_cfd_lenox())),
+            "cfd-cte" => Some(Box::new(artery_cfd_cte())),
+            "fsi-small" => Some(Box::new(artery_fsi_small())),
+            "fsi-mn4" => Some(Box::new(artery_fsi_mn4())),
+            "chain-halo" => Some(Box::new(ChainHaloCase)),
+            _ => None,
+        }
+    }
 }
 
+pub use dist::{Poisson, Zipf};
 pub use error::HarborError;
 pub use lab::{CacheStats, PlanCache, PlanKey, Query, QueryEngine};
+pub use open::{
+    class_table, run_open_campaign, MixSpec, OpenClass, OpenReport, OpenSpec, RuntimeOpenStats,
+};
 pub use report::{FigureData, Series, TableData};
 pub use scenario::{EngineKind, Execution, Outcome, Scenario, ScenarioPlan};
 pub use script::{CompiledCampaign, CompiledRun, CompiledScript, ScriptError};
+pub use sketch::QuantileSketch;

@@ -9,6 +9,7 @@
 //! is what the repetition-and-sweep layer in [`crate::runner`] leans on.
 
 use crate::error::HarborError;
+use crate::open::OpenSpec;
 use harborsim_alya::memo::job_profile_cached;
 use harborsim_alya::workload::AlyaCase;
 use harborsim_container::deploy::deployment_overhead;
@@ -103,6 +104,11 @@ pub struct Scenario {
     /// engine reads it; the sharded run is bit-identical to serial, so
     /// this is a throughput knob, not a model knob.
     pub shards: u32,
+    /// Open-system campaign spec, if this scenario describes one
+    /// (arrival process, tenant count, job mix). Compiling the scenario
+    /// itself ignores it — the open engine [`crate::open`] reads it to
+    /// derive the per-class solver scenarios and the arrival sampler.
+    pub open: Option<OpenSpec>,
 }
 
 impl Scenario {
@@ -123,6 +129,7 @@ impl Scenario {
             spine_taper: None,
             degraded_uplinks: Vec::new(),
             shards: 1,
+            open: None,
         }
     }
 
@@ -168,6 +175,13 @@ impl Scenario {
     /// Also simulate deploying the image before the run.
     pub fn with_deployment(mut self) -> Scenario {
         self.deploy = true;
+        self
+    }
+
+    /// Attach an open-system campaign spec (arrival process, tenants,
+    /// job mix). Run it through [`crate::open::run_open_campaign`].
+    pub fn open_campaign(mut self, spec: OpenSpec) -> Scenario {
+        self.open = Some(spec);
         self
     }
 
@@ -467,8 +481,9 @@ impl ScenarioPlan {
 /// The study's Alya image, built at most once per build-host CPU for the
 /// whole process. Every scenario on the same cluster deploys the identical
 /// image, so sweeps (any number of points × seeds) share a single
-/// [`BuildEngine`] run.
-fn shared_alya_image(cpu: &CpuModel) -> Result<ImageManifest, BuildError> {
+/// [`BuildEngine`] run. Also the image every open-campaign job stages
+/// (see [`crate::open`]).
+pub(crate) fn shared_alya_image(cpu: &CpuModel) -> Result<ImageManifest, BuildError> {
     static IMAGES: OnceLock<Mutex<HashMap<String, ImageManifest>>> = OnceLock::new();
     let images = IMAGES.get_or_init(|| Mutex::new(HashMap::new()));
     let key = format!("{cpu:?}");

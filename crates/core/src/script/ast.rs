@@ -100,6 +100,26 @@ pub enum Setting {
     Seeds(Vec<u64>),
     /// `sweep <knobs> <values>` — one grid dimension.
     Sweep(Sweep),
+    /// `arrivals poisson rate=0.05` — turn the campaign into an
+    /// open-system one: jobs arrive as a Poisson stream at this rate
+    /// (jobs per simulated second).
+    Arrivals(f64),
+    /// `mix zipf s=1.1 over env [docker, shifter]` — one Zipf-weighted
+    /// menu an open campaign samples per job (knob: `nodes`, `workload`,
+    /// or `env`; most-popular value first).
+    Mix {
+        /// Zipf exponent.
+        s: f64,
+        /// Which per-job knob the menu feeds.
+        knob: String,
+        /// The menu values (multi-atom for `env` entries).
+        values: Vec<Vec<Atom>>,
+    },
+    /// `tenants 6` — submitting tenants of an open campaign (image
+    /// warmth is per tenant × runtime).
+    Tenants(u64),
+    /// `horizon 1200.0` — the open campaign's submission window, seconds.
+    Horizon(f64),
 }
 
 /// A container runtime + containment choice.
@@ -325,6 +345,18 @@ impl fmt::Display for Setting {
             }
             Setting::Seeds(seeds) => write!(f, "seeds {}", fmt_ints(seeds)),
             Setting::Sweep(sweep) => sweep.fmt(f),
+            Setting::Arrivals(rate) => write!(f, "arrivals poisson rate={rate:?}"),
+            Setting::Mix { s, knob, values } => write!(
+                f,
+                "mix zipf s={s:?} over {knob} [{}]",
+                values
+                    .iter()
+                    .map(|v| fmt_atoms(v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Setting::Tenants(n) => write!(f, "tenants {n}"),
+            Setting::Horizon(t) => write!(f, "horizon {t:?}"),
         }
     }
 }
@@ -434,6 +466,31 @@ mod tests {
                sweep (rpn, threads) [(2, 14) as \"2x14\", (4, 7)]\n\
              }\n"
         );
+    }
+
+    #[test]
+    fn open_campaign_settings_render_canonically() {
+        assert_eq!(
+            Setting::Arrivals(0.05).to_string(),
+            "arrivals poisson rate=0.05"
+        );
+        assert_eq!(
+            Setting::Mix {
+                s: 1.1,
+                knob: "env".into(),
+                values: vec![
+                    vec![Atom::Word("docker".into())],
+                    vec![
+                        Atom::Word("singularity".into()),
+                        Atom::Word("self-contained".into())
+                    ],
+                ],
+            }
+            .to_string(),
+            "mix zipf s=1.1 over env [docker, singularity self-contained]"
+        );
+        assert_eq!(Setting::Tenants(6).to_string(), "tenants 6");
+        assert_eq!(Setting::Horizon(1200.0).to_string(), "horizon 1200.0");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! [`ScriptError`] (stage `Compile`).
 
 use crate::lab::PlanKey;
+use crate::open::{MixSpec, OpenSpec};
 use crate::runner::default_seeds;
 use crate::scenario::{EngineKind, Execution, Scenario};
 use crate::script::ast::{
@@ -31,7 +32,7 @@ type SweepDim = Vec<(String, Vec<KnobBind>)>;
 
 /// The experiment names `experiments` may select, in `reproduce_all`'s
 /// execution order.
-pub const EXPERIMENT_NAMES: [&str; 12] = [
+pub const EXPERIMENT_NAMES: [&str; 13] = [
     "fig1",
     "fig2",
     "fig3",
@@ -44,6 +45,7 @@ pub const EXPERIMENT_NAMES: [&str; 12] = [
     "ext-oversub",
     "ext-degraded",
     "ext-locality",
+    "ext-open-system",
 ];
 
 /// The cluster registry: canonical name, aliases, constructor.
@@ -266,6 +268,19 @@ struct Cfg {
     placement: Placement,
     spine_taper: Option<f64>,
     degraded: Vec<(u32, f64)>,
+    open: OpenCfg,
+}
+
+/// The open-system directives of a campaign, collected before validation
+/// assembles them into an [`OpenSpec`] (or rejects the combination).
+#[derive(Clone, Default)]
+struct OpenCfg {
+    arrivals: Option<f64>,
+    horizon: Option<f64>,
+    tenants: Option<u32>,
+    node_mix: Option<(f64, Vec<u32>)>,
+    workload_mix: Option<(f64, Vec<String>)>,
+    env_mix: Option<(f64, Vec<EnvSpec>)>,
 }
 
 impl Cfg {
@@ -283,6 +298,7 @@ impl Cfg {
             placement: Placement::Block,
             spine_taper: None,
             degraded: Vec::new(),
+            open: OpenCfg::default(),
         }
     }
 }
@@ -338,6 +354,18 @@ fn compile_campaign(
                 seeds = Some(list.clone());
             }
             Setting::Sweep(sweep) => sweeps.push((sweep, at)),
+            Setting::Arrivals(rate) => {
+                check_positive(*rate, at, "arrival rate")?;
+                base.open.arrivals = Some(*rate);
+            }
+            Setting::Horizon(t) => {
+                check_positive(*t, at, "horizon")?;
+                base.open.horizon = Some(*t);
+            }
+            Setting::Tenants(n) => {
+                base.open.tenants = Some(checked_u32(*n, at, "tenants")?);
+            }
+            Setting::Mix { s, knob, values } => apply_mix(&mut base.open, *s, knob, values, at)?,
         }
     }
 
@@ -522,6 +550,7 @@ fn build_scenario(cfg: &Cfg, span: Span) -> Result<Scenario, ScriptError> {
             ));
         }
     }
+    let open = open_spec(cfg, workload_name, span)?;
     // built as a struct literal: the case is already boxed, and
     // Scenario::new would re-box the box and lose its memo key
     Ok(Scenario {
@@ -537,7 +566,138 @@ fn build_scenario(cfg: &Cfg, span: Span) -> Result<Scenario, ScriptError> {
         spine_taper: cfg.spine_taper,
         degraded_uplinks: cfg.degraded.clone(),
         shards: cfg.shards,
+        open,
     })
+}
+
+/// Apply one `mix` directive to the campaign's open configuration.
+fn apply_mix(
+    open: &mut OpenCfg,
+    s: f64,
+    knob: &str,
+    values: &[Vec<Atom>],
+    at: Span,
+) -> Result<(), ScriptError> {
+    check_positive(s, at, "zipf exponent")?;
+    let duplicate =
+        |knob: &str| ScriptError::compile(at, format!("this campaign already has a `{knob}` mix"));
+    match knob {
+        "nodes" => {
+            if open.node_mix.is_some() {
+                return Err(duplicate(knob));
+            }
+            let mut menu = Vec::with_capacity(values.len());
+            for atoms in values {
+                menu.push(one_u32(atoms, at, "nodes")?);
+            }
+            open.node_mix = Some((s, menu));
+        }
+        "workload" => {
+            if open.workload_mix.is_some() {
+                return Err(duplicate(knob));
+            }
+            let mut menu = Vec::with_capacity(values.len());
+            for atoms in values {
+                let name = one_word(atoms, at, "a workload name")?;
+                resolve_workload(&name, at)?;
+                menu.push(name);
+            }
+            open.workload_mix = Some((s, menu));
+        }
+        "env" => {
+            if open.env_mix.is_some() {
+                return Err(duplicate(knob));
+            }
+            let mut menu = Vec::with_capacity(values.len());
+            for atoms in values {
+                menu.push(env_from_atoms(atoms, at)?);
+            }
+            open.env_mix = Some((s, menu));
+        }
+        other => {
+            return Err(ScriptError::compile(
+                at,
+                format!("unknown mix knob `{other}` (expected nodes, workload, or env)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Ceiling on the expected job count (`rate × horizon`) of one open
+/// campaign — far above any sensible study, low enough that a typo cannot
+/// ask for millions of sampled jobs.
+const MAX_EXPECTED_JOBS: f64 = 100_000.0;
+
+/// Assemble the campaign's open directives into an [`OpenSpec`], filling
+/// unmixed dimensions from the plain settings — or reject inconsistent
+/// combinations.
+fn open_spec(cfg: &Cfg, workload: &str, span: Span) -> Result<Option<OpenSpec>, ScriptError> {
+    let o = &cfg.open;
+    let Some(rate) = o.arrivals else {
+        if o.horizon.is_some()
+            || o.tenants.is_some()
+            || o.node_mix.is_some()
+            || o.workload_mix.is_some()
+            || o.env_mix.is_some()
+        {
+            return Err(ScriptError::compile(
+                span,
+                "horizon/tenants/mix need `arrivals poisson rate=...` to open the campaign",
+            ));
+        }
+        return Ok(None);
+    };
+    let Some(horizon) = o.horizon else {
+        return Err(ScriptError::compile(
+            span,
+            "arrivals need a `horizon` (length of the submission window, seconds)",
+        ));
+    };
+    if cfg.deploy {
+        return Err(ScriptError::compile(
+            span,
+            "`deploy` and `arrivals` are mutually exclusive (open campaigns stage images themselves)",
+        ));
+    }
+    let expected = rate * horizon;
+    if expected > MAX_EXPECTED_JOBS {
+        return Err(ScriptError::compile(
+            span,
+            format!(
+                "arrivals sample {expected:.0} jobs on average (rate x horizon must stay at or below {MAX_EXPECTED_JOBS:.0})"
+            ),
+        ));
+    }
+    let node_mix = match &o.node_mix {
+        Some((s, menu)) => MixSpec {
+            s: *s,
+            values: menu.clone(),
+        },
+        None => MixSpec::single(cfg.nodes),
+    };
+    let workload_mix = match &o.workload_mix {
+        Some((s, menu)) => MixSpec {
+            s: *s,
+            values: menu.clone(),
+        },
+        None => MixSpec::single(workload.to_string()),
+    };
+    let env_mix = match &o.env_mix {
+        Some((s, menu)) => MixSpec {
+            s: *s,
+            values: menu.iter().map(|e| execution(*e)).collect(),
+        },
+        None => MixSpec::single(execution(cfg.env)),
+    };
+    Ok(Some(OpenSpec {
+        rate_per_s: rate,
+        horizon_s: horizon,
+        tenants: o.tenants.unwrap_or(1),
+        node_mix,
+        workload_mix,
+        env_mix,
+    }))
 }
 
 fn resolve_cluster(name: &str, span: Span) -> Result<harborsim_hw::ClusterSpec, ScriptError> {
@@ -635,6 +795,17 @@ fn env_from_atoms(atoms: &[Atom], span: Span) -> Result<EnvSpec, ScriptError> {
     }
 }
 
+fn check_positive(x: f64, span: Span, what: &str) -> Result<(), ScriptError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(())
+    } else {
+        Err(ScriptError::compile(
+            span,
+            format!("{what} must be positive and finite, got {x:?}"),
+        ))
+    }
+}
+
 fn check_fraction(x: f64, span: Span, what: &str) -> Result<(), ScriptError> {
     if x > 0.0 && x <= 1.0 {
         Ok(())
@@ -654,7 +825,7 @@ fn checked_shards(n: u64, span: Span) -> Result<u32, ScriptError> {
 }
 
 fn checked_u32(n: u64, span: Span, what: &str) -> Result<u32, ScriptError> {
-    if n == 0 && (what == "nodes" || what == "rpn" || what == "threads") {
+    if n == 0 && (what == "nodes" || what == "rpn" || what == "threads" || what == "tenants") {
         return Err(ScriptError::compile(
             span,
             format!("{what} must be at least 1"),
@@ -834,6 +1005,46 @@ mod tests {
                 "campaign \"x\" { cluster lenox workload cfd-small engine des 5 shards 4294967296 }",
                 "32 bits",
             ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small horizon 100 }",
+                "need `arrivals",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 }",
+                "need a `horizon`",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.0 horizon 100 }",
+                "must be positive",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small deploy arrivals poisson rate=0.1 horizon 100 }",
+                "mutually exclusive",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=1000.0 horizon 1000 }",
+                "at or below 100000",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 horizon 100 mix zipf s=1.1 over widgets [1, 2] }",
+                "unknown mix knob",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 horizon 100 mix zipf s=1.1 over nodes [1] mix zipf s=1.2 over nodes [2] }",
+                "already has a `nodes` mix",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 horizon 100 mix zipf s=1.1 over workload [nothing] }",
+                "unknown workload",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 horizon 100 mix zipf s=1.1 over nodes [0] }",
+                "at least 1",
+            ),
+            (
+                "campaign \"x\" { cluster lenox workload cfd-small arrivals poisson rate=0.1 horizon 100 tenants 0 }",
+                "at least 1",
+            ),
         ];
         for (src, needle) in cases {
             let e = compile_str(src).unwrap_err();
@@ -841,6 +1052,41 @@ mod tests {
             assert!(e.msg.contains(needle), "{src} -> {e}");
             assert_ne!(e.span, Span::ZERO, "{src} should carry a real span");
         }
+    }
+
+    #[test]
+    fn an_open_campaign_compiles_with_defaults_for_unmixed_dimensions() {
+        let compiled = compile_str(
+            r#"
+            campaign "open" {
+              cluster lenox
+              workload cfd-small
+              nodes 2
+              rpn 14
+              arrivals poisson rate=0.05
+              horizon 1200.0
+              tenants 6
+              mix zipf s=1.1 over env [docker, shifter]
+            }
+            "#,
+        )
+        .expect("compiles");
+        let scenario = &compiled.campaigns[0].runs[0].scenario;
+        let open = scenario.open.as_ref().expect("an open spec");
+        assert_eq!(open.rate_per_s, 0.05);
+        assert_eq!(open.horizon_s, 1200.0);
+        assert_eq!(open.tenants, 6);
+        // unmixed dimensions collapse to the plain settings
+        assert_eq!(open.node_mix.values, vec![2]);
+        assert_eq!(open.workload_mix.values, vec!["cfd-small".to_string()]);
+        assert_eq!(open.env_mix.values.len(), 2);
+        assert_eq!(open.env_mix.s, 1.1);
+
+        // opening a campaign re-keys the plan
+        let closed =
+            compile_str("campaign \"c\" { cluster lenox workload cfd-small nodes 2 rpn 14 }")
+                .expect("compiles");
+        assert_ne!(compiled.fingerprints(), closed.fingerprints());
     }
 
     #[test]

@@ -134,6 +134,42 @@ fn random_campaign(rng: &mut RngStream, idx: u64) -> Campaign {
             }
         })));
     }
+    if rng.below(4) == 0 {
+        // an open-system bundle: arrivals always brings its horizon, so
+        // the generated script stays valid by construction (and the
+        // expected job count stays far below the compile-time ceiling)
+        body.push(synth(Setting::Arrivals((rng.below(20) + 1) as f64 / 100.0)));
+        body.push(synth(Setting::Horizon(((rng.below(40) + 5) * 10) as f64)));
+        if rng.below(2) == 0 {
+            body.push(synth(Setting::Tenants(rng.below(8) + 1)));
+        }
+        if rng.below(2) == 0 {
+            // 1/2/4 nodes fit every cluster preset
+            body.push(synth(Setting::Mix {
+                s: (rng.below(15) + 5) as f64 / 10.0,
+                knob: "nodes".into(),
+                values: vec![vec![Atom::Int(1)], vec![Atom::Int(2)], vec![Atom::Int(4)]],
+            }));
+        }
+        if rng.below(2) == 0 {
+            let count = rng.below(2) + 2;
+            let offset = rng.below(ENVS.len() as u64);
+            let values = (0..count)
+                .map(|i| {
+                    ENVS[((offset + i) % ENVS.len() as u64) as usize]
+                        .words()
+                        .split_whitespace()
+                        .map(|w| Atom::Word(w.to_string()))
+                        .collect()
+                })
+                .collect();
+            body.push(synth(Setting::Mix {
+                s: (rng.below(15) + 5) as f64 / 10.0,
+                knob: "env".into(),
+                values,
+            }));
+        }
+    }
     for s in 0..rng.below(3) {
         body.push(synth(Setting::Sweep(random_sweep(rng, s))));
     }

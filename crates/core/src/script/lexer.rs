@@ -34,6 +34,8 @@ pub enum Tok {
     RParen,
     /// `,`
     Comma,
+    /// `=` (key=value directives like `rate=0.05`)
+    Eq,
     /// `..` (inclusive integer range)
     DotDot,
 }
@@ -52,6 +54,7 @@ impl std::fmt::Display for Tok {
             Tok::LParen => f.write_str("`(`"),
             Tok::RParen => f.write_str("`)`"),
             Tok::Comma => f.write_str("`,`"),
+            Tok::Eq => f.write_str("`=`"),
             Tok::DotDot => f.write_str("`..`"),
         }
     }
@@ -98,7 +101,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                     bump!();
                 }
             }
-            '{' | '}' | '[' | ']' | '(' | ')' | ',' => {
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' | '=' => {
                 out.push(Token {
                     tok: match c {
                         '{' => Tok::LBrace,
@@ -107,6 +110,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ScriptError> {
                         ']' => Tok::RBracket,
                         '(' => Tok::LParen,
                         ')' => Tok::RParen,
+                        '=' => Tok::Eq,
                         _ => Tok::Comma,
                     },
                     span,
@@ -224,6 +228,23 @@ mod tests {
                 Tok::Word("spine-taper".into()),
                 Tok::Float(0.5),
                 Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn key_value_directives_tokenize() {
+        assert_eq!(
+            toks("arrivals poisson rate=0.05 s=1.1"),
+            vec![
+                Tok::Word("arrivals".into()),
+                Tok::Word("poisson".into()),
+                Tok::Word("rate".into()),
+                Tok::Eq,
+                Tok::Float(0.05),
+                Tok::Word("s".into()),
+                Tok::Eq,
+                Tok::Float(1.1),
             ]
         );
     }

@@ -249,6 +249,14 @@ impl Parser {
             }
             "seeds" => Setting::Seeds(self.int_list("seed numbers")?),
             "sweep" => Setting::Sweep(self.sweep()?),
+            "arrivals" => {
+                self.literal_word("poisson", "arrival process")?;
+                self.keyed_number("rate", "an arrival rate (jobs per second)")
+                    .map(Setting::Arrivals)?
+            }
+            "mix" => self.mix()?,
+            "tenants" => Setting::Tenants(self.int("a tenant count")?.0),
+            "horizon" => Setting::Horizon(self.number("a horizon in seconds")?.0),
             other => {
                 return Err(ScriptError::parse(
                     span,
@@ -257,6 +265,51 @@ impl Parser {
             }
         };
         Ok(Spanned::new(setting, span))
+    }
+
+    /// Exactly the word `want`, e.g. the `poisson` in `arrivals poisson`.
+    fn literal_word(&mut self, want: &str, what: &str) -> Result<Span, ScriptError> {
+        let (word, span) = self.word(&format!("`{want}` ({what})"))?;
+        if word == want {
+            Ok(span)
+        } else {
+            Err(ScriptError::parse(
+                span,
+                format!("unknown {what} `{word}` (expected {want})"),
+            ))
+        }
+    }
+
+    /// A `key=<number>` pair, e.g. `rate=0.05` or `s=1.1`.
+    fn keyed_number(&mut self, key: &str, what: &str) -> Result<f64, ScriptError> {
+        self.literal_word(key, "parameter name")?;
+        self.expect(Tok::Eq, &format!("`=` after `{key}`"))?;
+        Ok(self.number(what)?.0)
+    }
+
+    /// `mix zipf s=<x> over <knob> [v, v, ...]` (the `mix` word is
+    /// already consumed).
+    fn mix(&mut self) -> Result<Setting, ScriptError> {
+        self.literal_word("zipf", "mix distribution")?;
+        let s = self.keyed_number("s", "a zipf exponent")?;
+        self.literal_word("over", "keyword")?;
+        let (knob, _) = self.word("a mix knob (nodes, workload, env)")?;
+        let open = self.expect(Tok::LBracket, "`[` opening the mix values")?;
+        let mut values = Vec::new();
+        loop {
+            if self.eat(&Tok::RBracket) {
+                break;
+            }
+            values.push(self.atoms("a mix value", &[Tok::Comma, Tok::RBracket])?);
+            if self.eat(&Tok::RBracket) {
+                break;
+            }
+            self.expect(Tok::Comma, "`,` or `]` between mix values")?;
+        }
+        if values.is_empty() {
+            return Err(ScriptError::parse(open, "a mix needs at least one value"));
+        }
+        Ok(Setting::Mix { s, knob, values })
     }
 
     fn env_spec(&mut self) -> Result<EnvSpec, ScriptError> {
@@ -552,6 +605,57 @@ mod tests {
         let printed = first.to_string();
         let second = parse(&printed).expect("canonical text re-parses");
         assert_eq!(first, second, "round trip must be identity:\n{printed}");
+    }
+
+    #[test]
+    fn open_campaign_directives_parse_and_round_trip() {
+        let src = r#"
+            campaign "open" {
+              cluster lenox
+              workload cfd-small
+              arrivals poisson rate=0.05
+              horizon 1200.0
+              tenants 6
+              mix zipf s=1.3 over nodes [1, 2, 4]
+              mix zipf s=1.1 over env [docker, shifter, singularity self-contained]
+            }
+        "#;
+        let first = parse(src).expect("parses");
+        let campaign = first.campaigns().next().unwrap();
+        assert_eq!(campaign.body.len(), 7);
+        assert_eq!(campaign.body[2].value, Setting::Arrivals(0.05));
+        assert_eq!(campaign.body[3].value, Setting::Horizon(1200.0));
+        assert_eq!(campaign.body[4].value, Setting::Tenants(6));
+        match &campaign.body[6].value {
+            Setting::Mix { s, knob, values } => {
+                assert_eq!(*s, 1.1);
+                assert_eq!(knob, "env");
+                assert_eq!(values.len(), 3);
+                assert_eq!(
+                    values[2],
+                    vec![
+                        Atom::Word("singularity".into()),
+                        Atom::Word("self-contained".into())
+                    ]
+                );
+            }
+            other => panic!("expected a mix, got {other:?}"),
+        }
+        let printed = first.to_string();
+        let second = parse(&printed).expect("canonical text re-parses");
+        assert_eq!(first, second, "round trip must be identity:\n{printed}");
+    }
+
+    #[test]
+    fn malformed_open_directives_are_rejected() {
+        let e = parse("campaign \"x\" { arrivals uniform rate=0.1 }").unwrap_err();
+        assert!(e.msg.contains("expected poisson"), "{e}");
+        let e = parse("campaign \"x\" { arrivals poisson rate 0.1 }").unwrap_err();
+        assert!(e.msg.contains("`=`"), "{e}");
+        let e = parse("campaign \"x\" { mix zipf s=1.1 over nodes [] }").unwrap_err();
+        assert!(e.msg.contains("at least one value"), "{e}");
+        let e = parse("campaign \"x\" { mix normal s=1.1 over nodes [1] }").unwrap_err();
+        assert!(e.msg.contains("expected zipf"), "{e}");
     }
 
     #[test]

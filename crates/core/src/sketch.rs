@@ -1,0 +1,219 @@
+//! Streaming quantile sketch for open-campaign latency distributions.
+//!
+//! Log-binned in the DDSketch style: positive values land in bucket
+//! `ceil(ln(x) / ln γ)` with γ = [`GAMMA`], and a quantile query returns
+//! the bucket midpoint `2γ^i / (γ + 1)` — guaranteed within
+//! [`QuantileSketch::relative_error`] (≈1%) of the exact order
+//! statistic, at any stream length, in O(log range) memory. Open
+//! campaigns push one queue-wait, one staging time, and one bounded
+//! slowdown per job; per-runtime sketches merge losslessly across seeds
+//! because binning is deterministic.
+
+use std::collections::BTreeMap;
+
+/// Bucket growth factor. γ = 1.02 bounds the relative quantile error
+/// at (γ − 1)/(γ + 1) ≈ 0.99%, with ~1,160 buckets per 10 decades.
+pub const GAMMA: f64 = 1.02;
+
+/// Values at or below this are counted in the zero bucket: queue waits
+/// of exactly zero are common and must not produce `-inf` bucket keys.
+const MIN_VALUE: f64 = 1e-9;
+
+/// A mergeable streaming quantile sketch over non-negative samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantileSketch {
+    /// Log-bucket index → sample count.
+    bins: BTreeMap<i32, u64>,
+    /// Samples at or below [`MIN_VALUE`] (exact zeros, mostly).
+    zero: u64,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::default()
+    }
+
+    /// The worst-case relative error of any quantile answer:
+    /// (γ − 1)/(γ + 1).
+    pub fn relative_error() -> f64 {
+        (GAMMA - 1.0) / (GAMMA + 1.0)
+    }
+
+    /// Record one sample. Negative and non-finite samples are clamped
+    /// into the zero bucket — the open campaign never produces them,
+    /// but a sketch must not panic mid-simulation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if x.is_finite() && x > MIN_VALUE {
+            let key = (x.ln() / GAMMA.ln()).ceil() as i32;
+            *self.bins.entry(key).or_insert(0) += 1;
+            self.sum += x;
+            self.max = self.max.max(x);
+        } else {
+            self.zero += 1;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (exact, not binned); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (exact); 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) of the recorded stream, within
+    /// [`QuantileSketch::relative_error`] of the exact order statistic
+    /// at rank `ceil(q·count)`. Returns 0 for an empty sketch.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target <= self.zero {
+            return 0.0;
+        }
+        let mut seen = self.zero;
+        for (&key, &n) in &self.bins {
+            seen += n;
+            if seen >= target {
+                // bucket (γ^(i-1), γ^i]: the midpoint is within
+                // (γ-1)/(γ+1) of every value in the bucket
+                return 2.0 * GAMMA.powi(key) / (GAMMA + 1.0);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Fold another sketch in. Binning is deterministic, so merging
+    /// per-seed sketches equals sketching the concatenated stream.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (&key, &n) in &other.bins {
+            *self.bins.entry(key).or_insert(0) += n;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_des::RngStream;
+
+    /// Exact order statistic at rank ceil(q·n) on a sorted slice.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[target - 1]
+    }
+
+    fn heavy_tailed_samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = RngStream::new(seed).derive("sketch");
+        (0..n)
+            .map(|_| rng.exponential(40.0) * rng.lognormal_factor(0.8))
+            .collect()
+    }
+
+    #[test]
+    fn quantiles_stay_inside_the_relative_error_bound() {
+        let samples = heavy_tailed_samples(20_000, 0x5E7C);
+        let mut sketch = QuantileSketch::new();
+        for &x in &samples {
+            sketch.observe(x);
+        }
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tol = QuantileSketch::relative_error() * 1.001;
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile(q);
+            assert!(
+                (est - exact).abs() / exact <= tol,
+                "q={q}: estimate {est} vs exact {exact} (tol {tol})"
+            );
+        }
+        assert_eq!(sketch.count(), 20_000);
+        assert!(sketch.p999() >= sketch.p99() && sketch.p99() >= sketch.p50());
+    }
+
+    #[test]
+    fn merging_equals_sketching_the_concatenation() {
+        let a = heavy_tailed_samples(5_000, 1);
+        let b = heavy_tailed_samples(7_000, 2);
+        let mut whole = QuantileSketch::new();
+        for &x in a.iter().chain(&b) {
+            whole.observe(x);
+        }
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        for &x in &a {
+            left.observe(x);
+        }
+        for &x in &b {
+            right.observe(x);
+        }
+        left.merge(&right);
+        // bins are integer counts, so every quantile answer matches
+        // exactly; only the running sum depends on accumulation order
+        for q in [0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.max(), whole.max());
+        assert!((left.mean() - whole.mean()).abs() / whole.mean() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_and_empties_are_well_behaved() {
+        let empty = QuantileSketch::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.99), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut s = QuantileSketch::new();
+        for _ in 0..99 {
+            s.observe(0.0);
+        }
+        s.observe(1000.0);
+        assert_eq!(s.p50(), 0.0);
+        assert!(s.quantile(1.0) > 900.0);
+        assert!((s.mean() - 10.0).abs() < 1e-9);
+    }
+}

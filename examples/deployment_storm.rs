@@ -1,6 +1,9 @@
 //! Deployment storm: the paper's future-work item made concrete — what
-//! happens when 4 … 256 nodes all stage a container image at job start,
-//! for each staging strategy.
+//! happens when a whole machine stages container images at once, both as
+//! a one-shot sweep (4 … 256 nodes per strategy) and as an *open system*:
+//! a committed `.hsim` campaign where Poisson-arriving, Zipf-mixed jobs
+//! pull images through the shared registry uplink and parallel
+//! filesystem, throttling each other.
 //!
 //! ```sh
 //! cargo run --release --example deployment_storm
@@ -11,7 +14,14 @@ use harborsim::container::deploy::DeployPlan;
 use harborsim::des::trace::Recorder;
 use harborsim::hw::{presets, StorageSpec};
 use harborsim::study::experiments::ext_io;
+use harborsim::study::lab::QueryEngine;
+use harborsim::study::run_open_campaign;
 use harborsim::study::scenario::Execution;
+use harborsim::study::script::compile_str;
+
+/// The committed storm campaign: arrivals, mixes, and tenants live in
+/// the script, not in code.
+const STORM_SCRIPT: &str = include_str!("deployment_storm.hsim");
 
 fn main() {
     let cluster = presets::marenostrum4();
@@ -59,6 +69,77 @@ fn main() {
     } else {
         for r in report {
             println!("unexpected: {r}");
+        }
+        std::process::exit(1);
+    }
+
+    // The open-system view: the same storm as an arrival process, driven
+    // entirely by the committed campaign script.
+    let mut compiled = compile_str(STORM_SCRIPT).expect("committed storm script compiles");
+    let scenario = compiled.campaigns.remove(0).runs.remove(0).scenario;
+    let lab = QueryEngine::new();
+    let storm =
+        run_open_campaign(&lab, &scenario, 42, &mut Recorder::off()).expect("storm campaign runs");
+
+    println!(
+        "\nOpen-system storm (scripted: Poisson arrivals, Zipf mix, 8 tenants):\n\
+         \x20 {} jobs over {:.0} simulated minutes, {:.0}% node utilization",
+        storm.jobs,
+        storm.makespan_s / 60.0,
+        storm.utilization * 100.0
+    );
+    println!(
+        "  peak concurrency: {} registry pulls, {} parallel-FS streams",
+        storm.peak_registry_flows, storm.peak_pfs_flows
+    );
+    for s in &storm.per_runtime {
+        println!(
+            "  {:<12} {:>3} jobs, {:>2} cold pulls: stage p50 {:>6.1}s  p99 {:>6.1}s  wait p99 {:>6.1}s",
+            s.runtime.label(),
+            s.jobs,
+            s.cold_pulls,
+            s.stage.p50(),
+            s.stage.p99(),
+            s.wait.p99()
+        );
+    }
+
+    // printed shape checks, same contract as the sweep above
+    let docker = storm
+        .per_runtime
+        .iter()
+        .find(|s| s.runtime.label() == "Docker");
+    let shifter = storm
+        .per_runtime
+        .iter()
+        .find(|s| s.runtime.label() == "Shifter");
+    let mut bad = Vec::new();
+    if storm.jobs == 0 {
+        bad.push("the storm campaign sampled no jobs".to_string());
+    }
+    if storm.peak_pfs_flows < 2 {
+        bad.push("no co-arriving jobs ever overlapped on the parallel FS".to_string());
+    }
+    match (docker, shifter) {
+        (Some(d), Some(s)) => {
+            if d.stage.p99() <= s.stage.p99() {
+                bad.push(format!(
+                    "Docker's staging tail should exceed Shifter's: {:.1}s vs {:.1}s",
+                    d.stage.p99(),
+                    s.stage.p99()
+                ));
+            }
+        }
+        _ => bad.push("Docker and Shifter must both appear in the mix".to_string()),
+    }
+    if bad.is_empty() {
+        println!("Findings:");
+        println!(" - cold (tenant, runtime) pairs pay the pull; warm arrivals stage in seconds");
+        println!(" - Docker's per-node registry pulls dominate the staging tail");
+        println!(" - backfill keeps utilization up while wide jobs wait out the storm");
+    } else {
+        for b in bad {
+            println!("unexpected: {b}");
         }
         std::process::exit(1);
     }

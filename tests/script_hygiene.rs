@@ -43,8 +43,11 @@ fn the_expected_scripts_are_committed() {
         "repro_quick.hsim",
         "repro_quick_ablate_taper.hsim",
         "repro_oversub_2to1.hsim",
+        "repro_open_quick.hsim",
         "quickstart.hsim",
         "scale_out.hsim",
+        "deployment_storm.hsim",
+        "ext_open_system.hsim",
     ] {
         assert!(names.contains(&expected.to_string()), "missing {expected}");
     }
