@@ -2,8 +2,9 @@
 //!
 //! `reproduce_all --bench-baseline` measures the simulator's hot
 //! paths — DES event churn, the Alya CFD step, cached-plan
-//! execute-many throughput, the sharded 256-node campaign, and the
-//! open-system campaign engine — and writes them to
+//! execute-many throughput, the sharded 256-node campaign, the
+//! open-system campaign engine, and the lab daemon under its built-in
+//! load generator — and writes them to
 //! `target/study/BENCH_baseline.json`. A copy committed at the repository
 //! root (`BENCH_baseline.json`) records the trajectory PR-over-PR; the CI
 //! smoke job re-measures and fails if DES events/sec regresses more than
@@ -77,6 +78,14 @@ pub struct BenchBaseline {
     /// Open-system campaign engine (arrivals + EASY backfill + staging
     /// flows) on the canned storm workload, events/sec.
     pub open_system_eps: f64,
+    /// Lab daemon under the closed-loop load generator (4 clients, Zipf
+    /// query mix over the scenario menu, seeds cycling mod 3), answered
+    /// queries/sec over the loopback socket.
+    pub daemon_qps: f64,
+    /// 99th-percentile request latency of the same run, milliseconds.
+    /// Tracked as a warning (tail latency on a shared CI runner is too
+    /// noisy to gate hard).
+    pub daemon_p99_ms: f64,
 }
 
 /// Best-of-N wall-clock timing of `work`, returning `units / seconds`.
@@ -389,6 +398,25 @@ fn open_system_eps() -> f64 {
     })
 }
 
+/// Daemon throughput and tail latency under the built-in load
+/// generator: bind a warm-started daemon on a loopback port, drive it
+/// closed-loop (no think time — the regression gate wants the
+/// throughput ceiling, not an arrival-rate echo), and read qps + p99
+/// off the report. `--serve-bench` runs the same generator with Poisson
+/// pacing for the arrival-process view.
+fn daemon_rates() -> (f64, f64) {
+    use harborsim_core::lab::daemon::LabDaemon;
+    use harborsim_core::lab::QueryEngine;
+    use std::sync::Arc;
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 4)
+        .expect("bind the baseline daemon on loopback");
+    let handle = daemon.spawn();
+    let report = crate::loadgen::run(handle.addr(), 4, 96, f64::INFINITY);
+    handle.shutdown();
+    assert_eq!(report.errors, 0, "baseline loadgen run errored: {report:?}");
+    (report.qps, report.p99_ms)
+}
+
 /// Cached-plan `execute` throughput, runs/sec (untraced, as the batch
 /// sharding of the query engine drives it).
 fn execute_many_rps() -> f64 {
@@ -417,6 +445,7 @@ fn execute_many_rps() -> f64 {
 /// `reproduce_all --bench-baseline` and the CI smoke job.
 pub fn measure() -> BenchBaseline {
     let spin = spin_mops();
+    let (daemon_qps, daemon_p99_ms) = daemon_rates();
     let churn_events = (CHURN_ROUNDS * CHURN_BATCH) as f64;
     let new_eps = rate_of(churn_events, || churn_arena(CHURN_ROUNDS, CHURN_BATCH));
     let old_eps = rate_of(churn_events, || churn_reference(CHURN_ROUNDS, CHURN_BATCH));
@@ -438,6 +467,8 @@ pub fn measure() -> BenchBaseline {
             .map(|n| n.get() as f64)
             .unwrap_or(1.0),
         open_system_eps: open_system_eps(),
+        daemon_qps,
+        daemon_p99_ms,
     }
 }
 
@@ -445,7 +476,7 @@ impl BenchBaseline {
     /// Serialize to the committed JSON shape.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": 3,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1},\n  \"par_des_serial_eps\": {:.0},\n  \"par_des_eps\": {:.0},\n  \"par_des_speedup\": {:.2},\n  \"host_threads\": {:.0},\n  \"open_system_eps\": {:.0}\n}}\n",
+            "{{\n  \"schema\": 4,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1},\n  \"par_des_serial_eps\": {:.0},\n  \"par_des_eps\": {:.0},\n  \"par_des_speedup\": {:.2},\n  \"host_threads\": {:.0},\n  \"open_system_eps\": {:.0},\n  \"daemon_qps\": {:.1},\n  \"daemon_p99_ms\": {:.2}\n}}\n",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -459,6 +490,8 @@ impl BenchBaseline {
             self.par_des_speedup,
             self.host_threads,
             self.open_system_eps,
+            self.daemon_qps,
+            self.daemon_p99_ms,
         )
     }
 
@@ -486,9 +519,12 @@ impl BenchBaseline {
             par_des_eps: field("par_des_eps")?,
             par_des_speedup: field("par_des_speedup")?,
             host_threads: field("host_threads")?,
-            // schema 2 baselines predate the open engine; parse them with
-            // the metric absent rather than discarding the whole file
+            // schema 2 baselines predate the open engine, schema 3 the
+            // daemon; parse them with the metrics absent rather than
+            // discarding the whole file
             open_system_eps: field("open_system_eps").unwrap_or(0.0),
+            daemon_qps: field("daemon_qps").unwrap_or(0.0),
+            daemon_p99_ms: field("daemon_p99_ms").unwrap_or(0.0),
         })
     }
 
@@ -503,7 +539,8 @@ impl BenchBaseline {
              \x20 cached-plan execute     {:>12.1} runs/s\n\
              \x20 DES 256n campaign (1)   {:>12.3e} events/s\n\
              \x20 DES 256n campaign (4)   {:>12.3e} events/s  ({:.2}x on {:.0} host thread(s))\n\
-             \x20 open-system storm       {:>12.3e} events/s",
+             \x20 open-system storm       {:>12.3e} events/s\n\
+             \x20 lab daemon              {:>12.1} queries/s  (p99 {:.2} ms)",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -517,6 +554,8 @@ impl BenchBaseline {
             self.par_des_speedup,
             self.host_threads,
             self.open_system_eps,
+            self.daemon_qps,
+            self.daemon_p99_ms,
         )
     }
 
@@ -540,6 +579,33 @@ impl BenchBaseline {
                  (normalized {norm_now:.0} vs {norm_then:.0} events per Mspin)",
                 (1.0 - ratio) * 100.0
             ));
+        }
+        if committed.daemon_qps == 0.0 {
+            warnings.push(
+                "skipping the daemon_qps comparison: the committed baseline predates \
+                 the lab daemon (schema < 4)"
+                    .to_string(),
+            );
+        } else {
+            let norm_now = self.daemon_qps / self.spin_mops;
+            let norm_then = committed.daemon_qps / committed.spin_mops;
+            let ratio = norm_now / norm_then;
+            if ratio < 1.0 - REGRESSION_TOLERANCE {
+                violations.push(format!(
+                    "daemon queries/sec regressed {:.0}% vs the committed baseline \
+                     (normalized {norm_now:.2} vs {norm_then:.2} queries per Mspin)",
+                    (1.0 - ratio) * 100.0
+                ));
+            }
+            // tail latency is informational: CI runners share cores and
+            // the p99 of a loopback socket is scheduler noise as much as
+            // code — surface big shifts, never fail on them
+            if committed.daemon_p99_ms > 0.0 && self.daemon_p99_ms > 3.0 * committed.daemon_p99_ms {
+                warnings.push(format!(
+                    "daemon p99 latency moved {:.2} ms -> {:.2} ms (tracked, not gated)",
+                    committed.daemon_p99_ms, self.daemon_p99_ms
+                ));
+            }
         }
         if self.host_threads != committed.host_threads {
             warnings.push(format!(
@@ -594,14 +660,21 @@ mod tests {
             par_des_speedup: 3.0,
             host_threads: 8.0,
             open_system_eps: 5.0e5,
+            daemon_qps: 250.0,
+            daemon_p99_ms: 12.5,
         };
         let parsed = BenchBaseline::from_json(&b.to_json()).expect("parses");
         assert_eq!(parsed, b);
         assert!(BenchBaseline::from_json("{}").is_none());
         // a schema-2 file (no open_system_eps) still parses, metric zeroed
-        let legacy = b.to_json().replace("  \"open_system_eps\": 500000\n", "");
+        let legacy = b
+            .to_json()
+            .replace("  \"open_system_eps\": 500000,\n", "")
+            .replace("  \"daemon_qps\": 250.0,\n", "")
+            .replace("  \"daemon_p99_ms\": 12.50\n", "");
         let parsed = BenchBaseline::from_json(&legacy).expect("schema 2 parses");
         assert_eq!(parsed.open_system_eps, 0.0);
+        assert_eq!(parsed.daemon_qps, 0.0);
         assert_eq!(parsed.par_des_speedup, 3.0);
     }
 
@@ -621,6 +694,8 @@ mod tests {
             par_des_speedup: 2.0,
             host_threads: 4.0,
             open_system_eps: 1.0e5,
+            daemon_qps: 300.0,
+            daemon_p99_ms: 10.0,
         };
         // a machine half as fast across the board is NOT a regression
         let mut slower_machine = base.clone();
@@ -654,6 +729,8 @@ mod tests {
             par_des_speedup: 3.0,
             host_threads: 8.0,
             open_system_eps: 1.0e5,
+            daemon_qps: 300.0,
+            daemon_p99_ms: 10.0,
         };
         // same thread count, speedup collapsed: a violation, no warning
         let mut collapsed = base.clone();
@@ -672,5 +749,53 @@ mod tests {
         assert!(violations.is_empty(), "{violations:?}");
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("skipping the par_des_speedup"));
+    }
+
+    #[test]
+    fn daemon_gate_normalizes_skips_legacy_and_warns_on_tails() {
+        let base = BenchBaseline {
+            spin_mops: 1000.0,
+            des_churn_new_eps: 1.0e7,
+            des_churn_old_eps: 5.0e6,
+            churn_speedup: 2.0,
+            cfd_small_cups: 1.0,
+            cfd_large_cups: 1.0,
+            cfd_momentum_speedup: 1.0,
+            execute_many_rps: 1.0,
+            par_des_serial_eps: 1.0e6,
+            par_des_eps: 2.0e6,
+            par_des_speedup: 2.0,
+            host_threads: 4.0,
+            open_system_eps: 1.0e5,
+            daemon_qps: 400.0,
+            daemon_p99_ms: 10.0,
+        };
+        // 30% fewer queries/sec on the same machine: a violation
+        let mut slow = base.clone();
+        slow.daemon_qps = 280.0;
+        let (violations, _) = slow.check_regression(&base);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("daemon queries/sec"));
+        // a machine half as fast across the board is not one
+        let mut slower_machine = base.clone();
+        slower_machine.spin_mops = 500.0;
+        slower_machine.daemon_qps = 200.0;
+        assert!(slower_machine.check_regression(&base).0.is_empty());
+        // a schema-3 committed baseline (no daemon numbers) skips with a
+        // warning instead of dividing by zero
+        let mut legacy = base.clone();
+        legacy.daemon_qps = 0.0;
+        legacy.daemon_p99_ms = 0.0;
+        let (violations, warnings) = base.check_regression(&legacy);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(warnings
+            .iter()
+            .any(|w| w.contains("skipping the daemon_qps")));
+        // a 4x tail-latency move is a warning, never a violation
+        let mut spiky = base.clone();
+        spiky.daemon_p99_ms = 40.0;
+        let (violations, warnings) = spiky.check_regression(&base);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(warnings.iter().any(|w| w.contains("daemon p99")));
     }
 }

@@ -33,11 +33,21 @@
 //!   serial engine at any shard count; the knob only changes how the event
 //!   loop is executed. Equivalent to the `shards <n>` script directive.
 //! - `--bench-baseline` — measure the simulator's hot-path throughput (DES
-//!   event churn, CFD cell-updates, cached-plan execute-many), write it to
-//!   `target/study/BENCH_baseline.json`, and fail if DES events/sec
-//!   regresses more than 20% against the committed `BENCH_baseline.json`
-//!   at the repository root (spin-calibrated, so the gate is
-//!   machine-independent).
+//!   event churn, CFD cell-updates, cached-plan execute-many, lab-daemon
+//!   queries/sec under the built-in load generator), write it to
+//!   `target/study/BENCH_baseline.json`, and fail if DES events/sec or
+//!   daemon queries/sec regress more than 20% against the committed
+//!   `BENCH_baseline.json` at the repository root (spin-calibrated, so the
+//!   gate is machine-independent).
+//! - `--serve <addr>` — skip the reproduction and run the lab as a
+//!   resident daemon on `addr` (e.g. `127.0.0.1:7878`): plan cache
+//!   warm-started for the four paper clusters, queries answered over the
+//!   versioned JSON wire protocol (`POST /v1/lab`, `GET /v1/stats`,
+//!   `POST /v1/shutdown`). Runs until a shutdown request arrives.
+//! - `--serve-bench` — start a daemon on an ephemeral loopback port and
+//!   turn the built-in load generator on it (Poisson arrivals, Zipf over
+//!   the scenario menu), then print throughput, latency tails, and the
+//!   per-shard cache counters.
 //!
 //! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
 //! ASCII per table, plus a machine-readable `summary.json`), and every
@@ -68,9 +78,63 @@ fn report_shapes(name: &str, violations: &[String]) -> bool {
     }
 }
 
+/// `--serve-bench`: daemon + load generator in one process, reporting
+/// throughput, latency tails, and the per-shard cache counters (the
+/// Zipf hot-head skew made visible).
+fn serve_bench_run() {
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: u64 = 64;
+    const POISSON_RATE_PER_S: f64 = 2000.0;
+    let engine = std::sync::Arc::new(QueryEngine::new());
+    let daemon = harborsim_core::lab::daemon::LabDaemon::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&engine),
+        CLIENTS,
+    )
+    .expect("bind the serve-bench daemon on loopback");
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+    println!("== Lab daemon under the built-in load generator ==");
+    println!(
+        "daemon on http://{addr}, {CLIENTS} clients x {REQUESTS_PER_CLIENT} queries, \
+         Poisson arrivals at {POISSON_RATE_PER_S}/s, Zipf query mix over {} scenarios",
+        harborsim_bench::loadgen::MENU_LEN
+    );
+    let report =
+        harborsim_bench::loadgen::run(addr, CLIENTS, REQUESTS_PER_CLIENT, POISSON_RATE_PER_S);
+    println!(
+        "  {} answered, {} errors, {:.1}s wall: {:.1} queries/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.requests, report.errors, report.wall_s, report.qps, report.p50_ms, report.p99_ms
+    );
+    println!("  {}", engine.stats().summary_line());
+    println!(
+        "  admission batching: {} executes answered from an in-flight twin",
+        engine.batched_executes()
+    );
+    print_shard_skew(&engine);
+    handle.shutdown();
+    if report.errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Per-shard cache counters: the skew a Zipf-over-plan-keys workload
+/// leaves behind (hot shards pile up hits, cold shards stay near-empty).
+fn print_shard_skew(lab: &QueryEngine) {
+    println!("  per-shard plan cache (hits/misses/waits/entries):");
+    for (i, s) in lab.shard_stats().iter().enumerate() {
+        println!(
+            "    shard {i}: {:>6} hits {:>4} misses {:>4} waits {:>4} entries",
+            s.hits, s.misses, s.waits, s.entries
+        );
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut bench_baseline = false;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_bench = false;
     let mut trace_dir: Option<PathBuf> = None;
     let mut taper: Option<f64> = None;
     let mut shards: u32 = 1;
@@ -80,6 +144,14 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--bench-baseline" => bench_baseline = true,
+            "--serve" => {
+                let addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--serve needs a listen address argument (e.g. 127.0.0.1:7878)");
+                    std::process::exit(2);
+                });
+                serve_addr = Some(addr);
+            }
+            "--serve-bench" => serve_bench = true,
             "--trace" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--trace needs a directory argument");
@@ -120,11 +192,33 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--shards <n>] [--script <file>])"
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--serve <addr>] [--serve-bench] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--shards <n>] [--script <file>])"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    // Daemon modes replace the reproduction entirely: the lab *is* the
+    // artifact.
+    if let Some(addr) = serve_addr {
+        let engine = std::sync::Arc::new(QueryEngine::new());
+        let daemon =
+            harborsim_core::lab::daemon::LabDaemon::bind(&addr, engine, 8).unwrap_or_else(|e| {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(2);
+            });
+        println!(
+            "lab daemon serving on http://{} (plan cache warm-started; POST /v1/lab, GET /v1/stats, POST /v1/shutdown)",
+            daemon.local_addr()
+        );
+        daemon.serve();
+        println!("lab daemon: shutdown request received, drained, exiting.");
+        return;
+    }
+    if serve_bench {
+        serve_bench_run();
+        return;
     }
 
     // Flags and scripts are one front end: a flag combination is exactly
@@ -445,7 +539,12 @@ fn main() {
                 );
             }
         } else {
-            let means = lab.means(scenarios, &campaign_seeds);
+            let means = lab
+                .handle(harborsim_core::lab::LabRequest::batch(
+                    scenarios,
+                    &campaign_seeds,
+                ))
+                .means();
             println!("{:<44} {:>12}   {:<16}", "run", "mean [s]", "plan key");
             for ((label, mean), print) in labels.iter().zip(&means).zip(&prints) {
                 println!("{label:<44} {mean:>12.2}   {print:016x}");
@@ -462,6 +561,9 @@ fn main() {
         .expect("write summary");
 
     println!("\n{}", lab.stats().summary_line());
+    if trace_dir.is_some() {
+        print_shard_skew(&lab);
+    }
     println!(
         "Done in {:.1}s. Artifacts in {} (summary.json, per-figure csv/svg/txt).",
         t0.elapsed().as_secs_f64(),

@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod harness;
+pub mod loadgen;
 
 use harborsim_core::report::{FigureData, TableData};
 use std::fs;

@@ -1,0 +1,213 @@
+//! The daemon load generator: the lab benchmarking itself.
+//!
+//! `reproduce_all --serve-bench` starts a [`LabDaemon`](harborsim_core::lab::daemon::LabDaemon) on a loopback
+//! port and turns this generator on it: `clients` concurrent
+//! connections, each pacing its sends by Poisson interarrivals (the
+//! open-system model's own arrival process, aimed at the lab) and
+//! drawing *which* query to send from a Zipf distribution over a fixed
+//! menu of scenarios spanning the four paper clusters — so a hot head
+//! of plan keys hammers a few cache shards while a long tail keeps
+//! compiling, exactly the skew the sharded cache and admission batching
+//! exist for. Seeds cycle `i % 3`, so concurrent clients regularly
+//! collide on the same `(plan, seed)` and the daemon's batched-execute
+//! rendezvous gets real traffic.
+//!
+//! Per-request wall-clock latencies stream into the same
+//! [`QuantileSketch`] the open-system campaigns use for queue waits;
+//! the report's `qps` and `p99_ms` land in `BENCH_baseline.json`
+//! (schema 4) next to the solver hot paths.
+
+use harborsim_core::lab::daemon::LabClient;
+use harborsim_core::lab::{LabRequest, LabResponse};
+use harborsim_core::scenario::{Execution, Scenario};
+use harborsim_core::{Poisson, QuantileSketch, Zipf};
+use harborsim_des::RngStream;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Zipf exponent of the query mix: a strong hot head (the first menu
+/// entry draws ~30% of the traffic) with a compiling tail.
+const ZIPF_S: f64 = 1.1;
+/// Seeds cycle this modulus, forcing same-`(plan, seed)` collisions.
+const SEED_CYCLE: u64 = 3;
+
+/// What one load-generation run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests that failed (socket or protocol errors).
+    pub errors: u64,
+    /// Wall-clock seconds from first send to last response.
+    pub wall_s: f64,
+    /// Answered requests per wall-clock second.
+    pub qps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Menu size; [`menu_scenario`] accepts indices `0..MENU_LEN`.
+pub const MENU_LEN: usize = 12;
+
+/// The `i`-th menu entry: small-but-distinct scenarios across the four
+/// paper clusters. Every entry compiles to its own plan key, so Zipf
+/// over indices is Zipf over plan keys. (`Scenario` is not `Clone` —
+/// workloads are boxed traits — so the menu is a constructor, not a
+/// table.)
+pub fn menu_scenario(i: usize) -> Scenario {
+    let lenox = harborsim_hw::presets::lenox;
+    let mn4 = harborsim_hw::presets::marenostrum4;
+    let cte = harborsim_hw::presets::cte_power;
+    let tx = harborsim_hw::presets::thunderx;
+    let cfd = harborsim_core::workloads::artery_cfd_small;
+    match i {
+        // the hot head: the warm-start set itself, one per cluster
+        0 => Scenario::new(lenox(), cfd()),
+        1 => Scenario::new(mn4(), cfd()),
+        2 => Scenario::new(cte(), cfd()),
+        3 => Scenario::new(tx(), cfd()),
+        // containerized variants
+        4 => Scenario::new(lenox(), cfd())
+            .execution(Execution::singularity_self_contained())
+            .nodes(2)
+            .ranks_per_node(14),
+        5 => Scenario::new(lenox(), cfd())
+            .execution(Execution::docker())
+            .nodes(2)
+            .ranks_per_node(14),
+        6 => Scenario::new(mn4(), cfd())
+            .execution(Execution::singularity_system_specific())
+            .nodes(2)
+            .ranks_per_node(48),
+        7 => Scenario::new(cte(), cfd())
+            .execution(Execution::singularity_system_specific())
+            .nodes(2)
+            .ranks_per_node(20),
+        // scale-out tail
+        8 => Scenario::new(mn4(), cfd())
+            .execution(Execution::bare_metal())
+            .nodes(4)
+            .ranks_per_node(48),
+        9 => Scenario::new(lenox(), cfd())
+            .execution(Execution::singularity_self_contained())
+            .nodes(4)
+            .ranks_per_node(14),
+        10 => Scenario::new(tx(), cfd())
+            .execution(Execution::singularity_self_contained())
+            .nodes(2)
+            .ranks_per_node(48),
+        11 => Scenario::new(lenox(), harborsim_core::workloads::ChainHaloCase)
+            .nodes(2)
+            .ranks_per_node(14),
+        _ => panic!("menu index {i} out of range (menu has {MENU_LEN} entries)"),
+    }
+}
+
+/// Drive a serving daemon at `addr` with `clients` concurrent
+/// connections, `requests_per_client` queries each, at an aggregate
+/// Poisson arrival rate of `rate_per_s` (split evenly across clients;
+/// `f64::INFINITY` for a closed loop with no think time).
+pub fn run(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: u64,
+    rate_per_s: f64,
+) -> LoadgenReport {
+    let clients = clients.max(1);
+    let per_client_rate = rate_per_s / clients as f64;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut rng = RngStream::new(0x10AD).derive(&format!("client-{c}"));
+                let zipf = Zipf::new(ZIPF_S, MENU_LEN);
+                // closed loop (infinite rate) has no arrival process
+                let arrivals = per_client_rate
+                    .is_finite()
+                    .then(|| Poisson::new(per_client_rate.max(1e-9)));
+                let mut client = match LabClient::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        return (0u64, requests_per_client, QuantileSketch::new());
+                    }
+                };
+                let mut ok = 0u64;
+                let mut errors = 0u64;
+                let mut lat = QuantileSketch::new();
+                for i in 0..requests_per_client {
+                    if let Some(arrivals) = &arrivals {
+                        let gap = arrivals.next_gap_s(&mut rng);
+                        std::thread::sleep(Duration::from_secs_f64(gap.min(0.050)));
+                    }
+                    let scenario = menu_scenario(zipf.sample(&mut rng));
+                    let req = LabRequest::execute(scenario, i % SEED_CYCLE);
+                    let sent = Instant::now();
+                    match client.query(&req) {
+                        Ok(LabResponse::Execute(_)) => {
+                            lat.observe(sent.elapsed().as_secs_f64() * 1e3);
+                            ok += 1;
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (ok, errors, lat)
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut lat = QuantileSketch::new();
+    for h in handles {
+        let (ok, err, sketch) = h.join().expect("loadgen client panicked");
+        requests += ok;
+        errors += err;
+        lat.merge(&sketch);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    LoadgenReport {
+        requests,
+        errors,
+        wall_s,
+        qps: requests as f64 / wall_s.max(1e-9),
+        p50_ms: lat.p50(),
+        p99_ms: lat.p99(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harborsim_core::lab::daemon::LabDaemon;
+    use harborsim_core::lab::QueryEngine;
+    use std::sync::Arc;
+
+    #[test]
+    fn menu_entries_have_distinct_plan_keys() {
+        use harborsim_core::lab::PlanKey;
+        let keys: Vec<u64> = (0..MENU_LEN)
+            .map(|i| {
+                PlanKey::of(&menu_scenario(i), None)
+                    .expect("menu scenarios are cacheable")
+                    .fingerprint()
+            })
+            .collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "menu keys collide: {keys:?}");
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_daemon() {
+        let daemon =
+            LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 4).expect("bind loopback");
+        let handle = daemon.spawn();
+        let report = run(handle.addr(), 4, 8, f64::INFINITY);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.requests, 32);
+        assert!(report.qps > 0.0 && report.p99_ms >= report.p50_ms);
+        handle.shutdown();
+    }
+}

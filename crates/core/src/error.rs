@@ -30,6 +30,17 @@ pub enum HarborError {
     /// A campaign script was rejected (lex, parse, or compile stage);
     /// the inner error carries the offending line and column.
     Script(ScriptError),
+    /// An error reported by a remote lab daemon whose typed cause does
+    /// not round-trip the wire structurally (placement and build errors
+    /// travel as `kind` + rendered message; script and
+    /// runtime-unavailable errors travel fully typed and never use
+    /// this).
+    Remote {
+        /// The remote error's wire kind (`"placement"`, `"build"`, ...).
+        kind: String,
+        /// The remote error's rendered one-line diagnostic.
+        msg: String,
+    },
 }
 
 impl fmt::Display for HarborError {
@@ -41,6 +52,7 @@ impl fmt::Display for HarborError {
             }
             HarborError::Build(e) => e.fmt(f),
             HarborError::Script(e) => e.fmt(f),
+            HarborError::Remote { msg, .. } => f.write_str(msg),
         }
     }
 }
@@ -51,7 +63,7 @@ impl Error for HarborError {
             HarborError::Placement(e) => Some(e),
             HarborError::Build(e) => Some(e),
             HarborError::Script(e) => Some(e),
-            HarborError::RuntimeUnavailable { .. } => None,
+            HarborError::RuntimeUnavailable { .. } | HarborError::Remote { .. } => None,
         }
     }
 }

@@ -72,13 +72,14 @@ pub fn run(lab: &QueryEngine, seeds: &[u64]) -> Vec<CampaignRow> {
             let mut c = cluster.clone();
             c.software.docker = Some("modelled".into());
             c.software.shifter = Some("modelled".into());
-            lab.mean_elapsed_s(
-                Scenario::new(c, campaign_case())
+            lab.handle(crate::lab::LabRequest::batch(
+                [Scenario::new(c, campaign_case())
                     .execution(env)
                     .nodes(NODES_PER_JOB)
-                    .ranks_per_node(40),
+                    .ranks_per_node(40)],
                 seeds,
-            )
+            ))
+            .means()[0]
         };
         let report = Campaign {
             cluster: cluster.clone(),

@@ -32,7 +32,9 @@ pub fn campaign() -> CompiledCampaign {
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
     let campaign = campaign();
     let scenarios = campaign.runs.into_iter().map(|r| r.scenario);
-    let means = lab.means(scenarios, seeds);
+    let means = lab
+        .handle(crate::lab::LabRequest::batch(scenarios, seeds))
+        .means();
     let times: Vec<(f64, f64)> = FACTORS.iter().copied().zip(means).collect();
     let healthy = times[0].1;
     FigureData {

@@ -77,7 +77,12 @@ pub struct OversubStudy {
 
 /// Regenerate the sweep.
 pub fn run(lab: &QueryEngine, seeds: &[u64]) -> OversubStudy {
-    let means = lab.means(TAPERS.iter().map(|&t| scenario(t)), seeds);
+    let means = lab
+        .handle(crate::lab::LabRequest::batch(
+            TAPERS.iter().map(|&t| scenario(t)),
+            seeds,
+        ))
+        .means();
     let times: Vec<(f64, f64)> = TAPERS.iter().copied().zip(means).collect();
     let t_full = times[0].1;
     let fig = FigureData {
@@ -91,14 +96,15 @@ pub fn run(lab: &QueryEngine, seeds: &[u64]) -> OversubStudy {
         )],
     };
     let worst = lab
-        .outcome(
+        .handle(crate::lab::LabRequest::execute(
             Scenario::new(harborsim_hw::presets::marenostrum4(), TransposeCase)
                 .execution(Execution::bare_metal())
                 .nodes(256)
                 .ranks_per_node(48)
                 .spine_taper(*TAPERS.last().unwrap()),
             seeds[0],
-        )
+        ))
+        .into_outcome()
         .result;
     OversubStudy { fig, worst }
 }

@@ -81,7 +81,9 @@ pub fn run(lab: &QueryEngine, seeds: &[u64]) -> FigureData {
             })
         })
         .collect();
-    let means = lab.means(scenarios, seeds);
+    let means = lab
+        .handle(crate::lab::LabRequest::batch(scenarios, seeds))
+        .means();
     let series: Vec<Series> = envs
         .iter()
         .zip(means.chunks(NODES.len()))

@@ -98,7 +98,9 @@ pub(crate) fn campaign_series(
         xs.push(x_of(&run.scenario));
         scenarios.push(run.scenario);
     }
-    let means = lab.means(scenarios, seeds);
+    let means = lab
+        .handle(crate::lab::LabRequest::batch(scenarios, seeds))
+        .means();
     labels
         .chunks(inner)
         .zip(xs.chunks(inner).zip(means.chunks(inner)))

@@ -60,14 +60,18 @@ pub fn deployment(lab: &QueryEngine, seeds: &[u64]) -> TableData {
         // job launch at the pure-MPI 112x1 configuration (per-rank spawns)
         let launch = LaunchModel::default().launch_seconds(env.runtime, 4, 28);
         // execution time at the paper's 28x4 configuration
-        let exec = lab.mean_elapsed_s(
-            Scenario::new(cluster.clone(), workloads::artery_cfd_lenox())
-                .execution(env)
-                .nodes(4)
-                .ranks_per_node(7)
-                .threads_per_rank(4),
-            seeds,
-        );
+        let exec = lab
+            .handle(crate::lab::LabRequest::batch(
+                [
+                    Scenario::new(cluster.clone(), workloads::artery_cfd_lenox())
+                        .execution(env)
+                        .nodes(4)
+                        .ranks_per_node(7)
+                        .threads_per_rank(4),
+                ],
+                seeds,
+            ))
+            .means()[0];
         rows.push(vec![
             env.runtime.label().to_string(),
             fmt_name,
@@ -177,13 +181,14 @@ pub fn portability(lab: &QueryEngine, seeds: &[u64]) -> TableData {
             };
             let time = match &compat {
                 Ok(()) => fmt_seconds(
-                    lab.mean_elapsed_s(
-                        Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+                    lab.handle(crate::lab::LabRequest::batch(
+                        [Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
                             .execution(env)
                             .nodes(2)
-                            .ranks_per_node(cluster.node.cores()),
+                            .ranks_per_node(cluster.node.cores())],
                         seeds,
-                    ),
+                    ))
+                    .means()[0],
                 ),
                 Err(e) => format!("fails: {e}"),
             };
@@ -321,13 +326,14 @@ mod tests {
         // mini-cluster's weak cores lose (as the Mont-Blanc papers report)
         let lab = QueryEngine::new();
         let t = |cluster: harborsim_hw::ClusterSpec| {
-            lab.mean_elapsed_s(
-                Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
+            lab.handle(crate::lab::LabRequest::batch(
+                [Scenario::new(cluster.clone(), workloads::artery_cfd_cte())
                     .execution(Execution::singularity_system_specific())
                     .nodes(2)
-                    .ranks_per_node(cluster.node.cores()),
+                    .ranks_per_node(cluster.node.cores())],
                 &[1],
-            )
+            ))
+            .means()[0]
         };
         let mn4 = t(presets::marenostrum4());
         let tx = t(presets::thunderx());

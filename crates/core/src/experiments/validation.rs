@@ -152,7 +152,9 @@ pub fn run_with_shards(lab: &QueryEngine, shards: u32) -> Vec<ValidationRow> {
             .map(|(engine, s)| point_scenario(cluster, *env, *nodes, *rpn, engine, s))
         })
         .collect();
-    let times = lab.means(scenarios, &[7]);
+    let times = lab
+        .handle(crate::lab::LabRequest::batch(scenarios, &[7]))
+        .means();
     points
         .iter()
         .zip(times.chunks(2))

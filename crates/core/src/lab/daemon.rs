@@ -1,0 +1,383 @@
+//! The resident lab daemon: a hand-rolled HTTP/1.1 front end over the
+//! [`wire`] protocol.
+//!
+//! Fully in-tree like the rest of the vendored stack — a
+//! [`std::net::TcpListener`], a resident
+//! [`WorkerPool`] of connection handlers,
+//! and a minimal HTTP/1.1 server loop (keep-alive, `Content-Length`
+//! framing, bounded header/body sizes, per-connection read timeouts).
+//! Three routes:
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `POST /v1/lab` | a wire-encoded [`LabRequest`] | the wire-encoded [`LabResponse`] |
+//! | `GET /v1/stats` | — | the wire-encoded stats response |
+//! | `POST /v1/shutdown` | — | final stats; then the daemon drains and exits |
+//!
+//! Binding [`warm_starts`](super::QueryEngine::warm_start) the engine —
+//! route tables and job profiles for the four paper clusters are
+//! compiled before the first request arrives — and shutdown is
+//! cooperative: the handler sets a flag and self-connects to unblock
+//! the accept loop, so no thread is ever killed mid-request.
+//!
+//! [`LabClient`] is the matching blocking client (one keep-alive
+//! connection); the load generator and the integration tests drive the
+//! daemon through it, exercising the same code path as any external
+//! HTTP client.
+
+use super::protocol::{LabRequest, LabResponse};
+use super::{wire, QueryEngine};
+use harborsim_par::WorkerPool;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Most bytes a request head (request line + headers) may occupy.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Most bytes a request or response body may occupy (a big batch of
+/// outcomes fits comfortably; a runaway client does not).
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flag the accept loop down and self-connect to unblock it.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound-but-not-yet-serving lab daemon.
+pub struct LabDaemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// A handle to a daemon serving on a background thread.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl LabDaemon {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// warm-start `engine`'s plan cache for the four paper clusters.
+    /// `workers` is the resident connection-handler pool size.
+    ///
+    /// # Errors
+    /// Socket errors from bind.
+    pub fn bind(addr: &str, engine: Arc<QueryEngine>, workers: usize) -> io::Result<LabDaemon> {
+        engine.warm_start();
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(LabDaemon {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                stop: AtomicBool::new(false),
+                addr,
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serve until a `POST /v1/shutdown` arrives (or
+    /// [`DaemonHandle::shutdown`] is called on a spawned daemon).
+    /// Consumes the daemon; queued requests drain before return.
+    pub fn serve(self) {
+        let pool = WorkerPool::new(self.workers);
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => continue,
+            };
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = Arc::clone(&self.shared);
+            pool.submit(move || handle_connection(stream, &shared));
+        }
+        drop(pool); // joins: every accepted connection finishes
+    }
+
+    /// Serve on a background thread; the handle shuts it down.
+    pub fn spawn(self) -> DaemonHandle {
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.serve());
+        DaemonHandle { shared, thread }
+    }
+}
+
+impl DaemonHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine behind the daemon (for in-process counter assertions).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Stop accepting, drain in-flight connections, and join.
+    pub fn shutdown(self) {
+        self.shared.request_stop();
+        let _ = self.thread.join();
+    }
+}
+
+/// Serve one connection: HTTP/1.1 requests until the peer closes, asks
+/// to close, errors, or times out.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let (request_line, headers, body) = match read_request(&mut reader) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // clean close between requests
+            Err(_) => return,
+        };
+        let keep_alive =
+            !header(&headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let mut parts = request_line.split_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let (status, response_body) = route(method, path, &body, shared);
+        if write_response(&mut writer, status, &response_body).is_err() {
+            return;
+        }
+        if !keep_alive || shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request to the engine; the response body is always a
+/// wire-encoded [`LabResponse`].
+fn route(method: &str, path: &str, body: &[u8], shared: &Shared) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/v1/lab") => {
+            let text = match std::str::from_utf8(body) {
+                Ok(text) => text,
+                Err(_) => return (400, wire_error("request body is not UTF-8")),
+            };
+            match wire::decode_request(text) {
+                Ok(req) => (200, wire::encode_response(&shared.engine.handle(req))),
+                Err(e) => (400, wire_error(&e.msg)),
+            }
+        }
+        ("GET", "/v1/stats") => (
+            200,
+            wire::encode_response(&shared.engine.handle(LabRequest::Stats)),
+        ),
+        ("POST", "/v1/shutdown") => {
+            let stats = wire::encode_response(&shared.engine.handle(LabRequest::Stats));
+            shared.request_stop();
+            (200, stats)
+        }
+        _ => (404, wire_error(&format!("no route {method} {path}"))),
+    }
+}
+
+/// A wire-encoded error response (decodes to
+/// [`HarborError::Remote`](crate::error::HarborError::Remote) with kind
+/// `"wire"`).
+fn wire_error(msg: &str) -> String {
+    wire::encode_response(&LabResponse::Error(crate::error::HarborError::Remote {
+        kind: "wire".to_string(),
+        msg: msg.to_string(),
+    }))
+}
+
+/// Read one HTTP message head + body. `Ok(None)` on clean EOF before
+/// the first byte (keep-alive peer went away).
+#[allow(clippy::type_complexity)]
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<Option<(String, Vec<(String, String)>, Vec<u8>)>> {
+    let mut head_bytes = 0usize;
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    head_bytes += request_line.len();
+    let request_line = request_line.trim_end().to_string();
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof in headers",
+            ));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header too large",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = header(&headers, "content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(Some((request_line, headers, body)))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn write_response(writer: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// A blocking lab client over one keep-alive connection — what the load
+/// generator, the CI smoke probe, and the integration tests speak.
+pub struct LabClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl LabClient {
+    /// Connect to a serving daemon.
+    ///
+    /// # Errors
+    /// Socket errors from connect.
+    pub fn connect(addr: SocketAddr) -> io::Result<LabClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(LabClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            addr,
+        })
+    }
+
+    /// Send one typed request and wait for the typed response.
+    ///
+    /// # Errors
+    /// Socket errors, non-encodable requests, and undecodable responses
+    /// (all as [`io::Error`] — a wire daemon is an I/O device).
+    pub fn query(&mut self, req: &LabRequest) -> io::Result<LabResponse> {
+        let body = wire::encode_request(req).map_err(io::Error::other)?;
+        self.post("/v1/lab", &body)
+    }
+
+    /// Fetch engine statistics.
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn stats(&mut self) -> io::Result<LabResponse> {
+        write!(
+            self.writer,
+            "GET /v1/stats HTTP/1.1\r\nHost: {}\r\n\r\n",
+            self.addr
+        )?;
+        self.writer.flush()?;
+        self.read_body()
+    }
+
+    /// Ask the daemon to shut down; returns its final stats response.
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn shutdown(mut self) -> io::Result<LabResponse> {
+        self.post("/v1/shutdown", "")
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> io::Result<LabResponse> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_body()
+    }
+
+    fn read_body(&mut self) -> io::Result<LabResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed",
+            ));
+        }
+        let mut length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    length = value.trim().parse().map_err(io::Error::other)?;
+                }
+            }
+        }
+        if length > MAX_BODY_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(io::Error::other)?;
+        wire::decode_response(&text).map_err(io::Error::other)
+    }
+}

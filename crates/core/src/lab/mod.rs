@@ -1,0 +1,1249 @@
+//! The lab: a concurrent query engine over scenario plans.
+//!
+//! Every consumer of many scenario executions — the experiments, the
+//! `reproduce_all` binary, [`crate::runner::sweep`], a remote client of
+//! the [`daemon`] — routes through one [`QueryEngine`] and its single
+//! typed entry point, [`QueryEngine::handle`]: a [`LabRequest`] goes in
+//! (plan / execute / batch / campaign / stats), a [`LabResponse`] comes
+//! out. The [`wire`] module serializes exactly these types, so the
+//! in-process call and the socket query are one code path.
+//!
+//! A batch request is resolved in two concurrent phases:
+//!
+//! 1. **Plan resolution.** Each query's scenario is fingerprinted into a
+//!    canonical [`PlanKey`] and looked up in a [`PlanCache`]: an LRU of
+//!    `Arc<ScenarioPlan>` *sharded N ways by key fingerprint* (so
+//!    concurrent resolves of different keys rarely share a mutex), with
+//!    *single-flight* deduplication per key — N concurrent identical
+//!    queries trigger exactly one compile (and, for deployment
+//!    scenarios, one image build) while the other N−1 block on the
+//!    in-flight slot. Cache activity is exported through the trace layer
+//!    as [`SpanCategory::Cache`] spans plus `plan_cache_*` counters.
+//! 2. **Execution.** The resolved `(plan, seed)` work items are sharded
+//!    across the `harborsim-par` work-stealing pool, with *admission
+//!    batching* on top: identical `(plan, seed)` items in flight at the
+//!    same moment share one execute — the winner runs the simulation,
+//!    the rest clone its outcome and trace (sound because execution is
+//!    deterministic). Results return in submission order; per-query
+//!    trace attribution flows through the caller's [`Recorder`].
+//!
+//! Fingerprinting is sound because plans are a pure function of the
+//! scenario builder plus the engine-level taper fallback (see
+//! [`Scenario::compile_with`]): there is no process-global state left to
+//! leak into a compiled plan. Workloads opt into fingerprinting via
+//! [`AlyaCase::memo_key`](harborsim_alya::workload::AlyaCase::memo_key);
+//! a case without one makes its queries *uncacheable* — compiled fresh
+//! every time, never a wrong-plan hit.
+
+pub mod daemon;
+pub mod protocol;
+pub mod wire;
+
+pub use protocol::{
+    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, EngineStats, LabRequest,
+    LabResponse, PlanInfo,
+};
+
+use crate::error::HarborError;
+use crate::scenario::{EngineKind, Outcome, Scenario, ScenarioPlan};
+use harborsim_container::runtime::ExecutionEnvironment;
+use harborsim_des::trace::{Recorder, SpanCategory};
+use harborsim_des::{SimDuration, SimTime};
+use harborsim_mpi::Placement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of lab work: a scenario and the seeds to execute it under.
+pub struct Query {
+    /// The scenario (consumed: plans are cached by fingerprint, not by
+    /// scenario identity).
+    pub scenario: Scenario,
+    /// Seeds to execute, in order.
+    pub seeds: Vec<u64>,
+}
+
+impl Query {
+    /// A query over `scenario` for every seed in `seeds`.
+    pub fn new(scenario: Scenario, seeds: &[u64]) -> Query {
+        Query {
+            scenario,
+            seeds: seeds.to_vec(),
+        }
+    }
+}
+
+/// Canonical fingerprint of everything that can change a compiled plan.
+///
+/// Two scenarios with the same key compile to observably identical plans;
+/// two scenarios that differ in any behaviour-affecting knob — cluster,
+/// case, execution environment, shape, engine, deployment, placement,
+/// resolved taper, every degraded-link entry, DES shard count — differ
+/// in at least one
+/// field. Floats are fingerprinted as bit patterns; the degraded-link
+/// multiset is sorted (degradation is multiplicative, so order does not
+/// matter to the compiled route table).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    cluster: String,
+    case: String,
+    env: ExecutionEnvironment,
+    nodes: u32,
+    ranks_per_node: u32,
+    threads_per_rank: u32,
+    engine: (u8, u32),
+    deploy: bool,
+    placement: u8,
+    taper_bits: Option<u64>,
+    degraded: Vec<(u32, u64)>,
+    shards: u32,
+    open: Option<OpenKey>,
+}
+
+/// The open-campaign component of a [`PlanKey`]: every sampled-workload
+/// knob, floats as bit patterns, menus in declaration order (order is
+/// behaviour — Zipf weight follows rank).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OpenKey {
+    rate: u64,
+    horizon: u64,
+    tenants: u32,
+    node_mix: (u64, Vec<u32>),
+    workload_mix: (u64, Vec<String>),
+    env_mix: (u64, Vec<ExecutionEnvironment>),
+}
+
+impl OpenKey {
+    fn of(spec: &crate::open::OpenSpec) -> OpenKey {
+        OpenKey {
+            rate: spec.rate_per_s.to_bits(),
+            horizon: spec.horizon_s.to_bits(),
+            tenants: spec.tenants,
+            node_mix: (spec.node_mix.s.to_bits(), spec.node_mix.values.clone()),
+            workload_mix: (
+                spec.workload_mix.s.to_bits(),
+                spec.workload_mix.values.clone(),
+            ),
+            env_mix: (spec.env_mix.s.to_bits(), spec.env_mix.values.clone()),
+        }
+    }
+}
+
+impl PlanKey {
+    /// Fingerprint `scenario` under an engine-level taper fallback.
+    /// `None` when the workload opted out of memoization (no
+    /// [`memo_key`](harborsim_alya::workload::AlyaCase::memo_key)).
+    pub fn of(scenario: &Scenario, fallback_taper: Option<f64>) -> Option<PlanKey> {
+        let case = scenario.case.memo_key()?;
+        let mut degraded: Vec<(u32, u64)> = scenario
+            .degraded_uplinks
+            .iter()
+            .map(|&(node, factor)| (node, factor.to_bits()))
+            .collect();
+        degraded.sort_unstable();
+        Some(PlanKey {
+            // ClusterSpec is plain data with a total Debug view and no
+            // Hash impl; its debug string covers every field (node model,
+            // interconnect, fabric layout, software, storage).
+            cluster: format!("{:?}", scenario.cluster),
+            case,
+            env: scenario.env,
+            nodes: scenario.nodes,
+            ranks_per_node: scenario.ranks_per_node,
+            threads_per_rank: scenario.threads_per_rank,
+            engine: match scenario.engine {
+                EngineKind::Analytic => (0, 0),
+                EngineKind::Des { max_steps_per_kind } => (1, max_steps_per_kind),
+            },
+            deploy: scenario.deploy,
+            placement: match scenario.placement {
+                Placement::Block => 0,
+                Placement::RoundRobin => 1,
+            },
+            taper_bits: scenario.spine_taper.or(fallback_taper).map(f64::to_bits),
+            degraded,
+            shards: scenario.shards,
+            open: scenario.open.as_ref().map(OpenKey::of),
+        })
+    }
+
+    /// A stable 64-bit digest of this key: FNV-1a over the canonical
+    /// `Debug` rendering, which covers every field. This is what the
+    /// script layer's golden tests compare — two scenarios fingerprint
+    /// identically exactly when they compile to observably identical
+    /// plans. It is also the cache's shard selector, so one hot key only
+    /// ever contends on its own shard.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Point-in-time cache statistics — one shard's (via
+/// [`PlanCache::shard_stats`]) or the aggregate over all shards (via
+/// [`PlanCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served an already-compiled plan.
+    pub hits: u64,
+    /// Queries that compiled (and inserted) a plan.
+    pub misses: u64,
+    /// Queries that blocked on another query's in-flight compile.
+    pub waits: u64,
+    /// Queries whose workload opted out of fingerprinting (compiled
+    /// fresh, never cached). Always attributed to the aggregate — a
+    /// keyless query touches no shard.
+    pub uncached: u64,
+    /// Lock acquisitions that found the shard mutex already held (a
+    /// `try_lock` failed and the caller had to block). The sharding
+    /// exists to drive this toward zero.
+    pub contended: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// The one-line form `reproduce_all` prints and CI asserts on,
+    /// aggregated across every shard.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "plan cache: {} hits, {} misses, {} in-flight waits, {} uncacheable ({} plans cached)",
+            self.hits, self.misses, self.waits, self.uncached, self.entries
+        )
+    }
+
+    fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.waits += other.waits;
+        self.uncached += other.uncached;
+        self.contended += other.contended;
+        self.entries += other.entries;
+    }
+}
+
+/// How a query's plan was obtained, with the wall-clock cost.
+enum Resolution {
+    Hit,
+    Miss(std::time::Duration),
+    Wait(std::time::Duration),
+    Uncached(std::time::Duration),
+}
+
+enum Slot {
+    Ready(Arc<ScenarioPlan>),
+    InFlight(Arc<Flight>),
+}
+
+/// The rendezvous N−1 duplicate queries block on while the first compiles.
+struct Flight {
+    done: Mutex<Option<Result<Arc<ScenarioPlan>, HarborError>>>,
+    cv: Condvar,
+}
+
+/// One cache shard: its own mutex, map, and traffic counters. A key
+/// belongs to shard `fingerprint % n_shards`, so the per-shard counters
+/// double as a map of where the Zipf-hot keys land.
+struct CacheShard {
+    map: Mutex<HashMap<PlanKey, (Slot, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl CacheShard {
+    fn new() -> CacheShard {
+        CacheShard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock this shard's map, counting acquisitions that had to block
+    /// behind another holder.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, (Slot, u64)>> {
+        match self.map.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.map.lock().unwrap()
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => panic!("poisoned cache shard: {e}"),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            uncached: 0,
+            contended: self.contended.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len(),
+        }
+    }
+}
+
+/// Default shard count: enough that the four paper clusters' hot keys
+/// spread out, small enough that an eviction sweep stays cheap.
+const DEFAULT_SHARDS: usize = 8;
+
+/// Sharded LRU plan cache with single-flight deduplication. Usually used
+/// through [`QueryEngine`]; standalone only in tests and benches.
+///
+/// Keys are distributed over shards by [`PlanKey::fingerprint`]; each
+/// shard has its own mutex, so resolves of different keys contend only
+/// when their fingerprints collide modulo the shard count. The LRU
+/// *budget* stays global: one capacity, one logical clock, and eviction
+/// scans every shard for the globally coldest ready plan — so capacity
+/// semantics are identical to the old single-mutex cache.
+pub struct PlanCache {
+    capacity: usize,
+    shards: Vec<CacheShard>,
+    /// Global LRU clock: stamps are comparable across shards.
+    clock: AtomicU64,
+    uncached: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` compiled plans, over
+    /// the default shard count.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (1 = the old
+    /// single-mutex layout; tests compare against it).
+    pub fn with_shards(capacity: usize, n_shards: usize) -> PlanCache {
+        assert!(capacity > 0, "a zero-capacity cache cannot single-flight");
+        assert!(n_shards > 0, "a cache needs at least one shard");
+        PlanCache {
+            capacity,
+            shards: (0..n_shards).map(|_| CacheShard::new()).collect(),
+            clock: AtomicU64::new(0),
+            uncached: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, fingerprint: u64) -> &CacheShard {
+        &self.shards[(fingerprint % self.shards.len() as u64) as usize]
+    }
+
+    /// Resolve `key` to a plan, compiling via `compile` on a miss. At most
+    /// one thread compiles any given key at a time; concurrent duplicates
+    /// block until the compile lands and then share its result (compile
+    /// errors included — [`HarborError`] is `Clone` for exactly this).
+    fn resolve(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<ScenarioPlan, HarborError>,
+    ) -> (Result<Arc<ScenarioPlan>, HarborError>, Resolution) {
+        let shard = self.shard_of(key.fingerprint());
+        let flight: Arc<Flight>;
+        {
+            let mut map = shard.lock();
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            match map.get_mut(&key) {
+                Some((Slot::Ready(plan), last_use)) => {
+                    *last_use = stamp;
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(Arc::clone(plan)), Resolution::Hit);
+                }
+                Some((Slot::InFlight(f), _)) => {
+                    flight = Arc::clone(f);
+                    // fall through to wait, outside the shard lock
+                }
+                None => {
+                    let f = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key.clone(), (Slot::InFlight(Arc::clone(&f)), stamp));
+                    drop(map);
+                    // compile outside any lock: every shard keeps
+                    // resolving other keys while this one builds
+                    let t0 = Instant::now();
+                    let compiled = compile().map(Arc::new);
+                    let took = t0.elapsed();
+                    let mut map = shard.lock();
+                    match &compiled {
+                        Ok(plan) => {
+                            let stamp = self.clock.load(Ordering::Relaxed);
+                            map.insert(key, (Slot::Ready(Arc::clone(plan)), stamp));
+                        }
+                        Err(_) => {
+                            map.remove(&key);
+                        }
+                    }
+                    drop(map);
+                    if compiled.is_ok() {
+                        self.enforce_capacity();
+                    }
+                    *f.done.lock().unwrap() = Some(compiled.clone());
+                    f.cv.notify_all();
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    return (compiled, Resolution::Miss(took));
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let mut done = flight.done.lock().unwrap();
+        while done.is_none() {
+            done = flight.cv.wait(done).unwrap();
+        }
+        shard.waits.fetch_add(1, Ordering::Relaxed);
+        (done.clone().unwrap(), Resolution::Wait(t0.elapsed()))
+    }
+
+    /// Evict least-recently-used *ready* plans until the global residency
+    /// fits the capacity; in-flight slots are never evicted (waiters hold
+    /// their rendezvous). Takes the shard locks in index order — this is
+    /// the only multi-shard lock path, so the fixed order is a total
+    /// deadlock-freedom argument.
+    fn enforce_capacity(&self) {
+        let mut maps: Vec<_> = self.shards.iter().map(|s| s.map.lock().unwrap()).collect();
+        loop {
+            let total: usize = maps.iter().map(|m| m.len()).sum();
+            if total <= self.capacity {
+                return;
+            }
+            let victim = maps
+                .iter()
+                .enumerate()
+                .flat_map(|(si, m)| m.iter().map(move |(k, (slot, stamp))| (si, k, slot, stamp)))
+                .filter(|(_, _, slot, _)| matches!(slot, Slot::Ready(_)))
+                .min_by_key(|(_, _, _, stamp)| **stamp)
+                .map(|(si, k, _, _)| (si, k.clone()));
+            match victim {
+                Some((si, k)) => {
+                    maps[si].remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Aggregated counters and residency over every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            uncached: self.uncached.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            total.absorb(&shard.stats());
+        }
+        total
+    }
+
+    /// Per-shard counters and residency, in shard order. The spread of
+    /// `hits` across entries is the Zipf hot-head skew that
+    /// `reproduce_all --trace` prints.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(CacheShard::stats).collect()
+    }
+}
+
+/// The key identical in-flight executions rendezvous on: the plan's
+/// allocation address (identical queries share one `Arc` through the
+/// cache, so pointer identity *is* plan identity — and the winner holds
+/// the `Arc` alive for as long as the key is registered, so the address
+/// cannot be recycled underneath a waiter), the seed, and the recorder
+/// mode (an off-mode waiter must not inherit a capture-mode trace).
+type ExecKey = (usize, u64, u8);
+
+/// The rendezvous duplicate `(plan, seed)` executions block on while the
+/// first runs the simulation. Deterministic execution makes the clone
+/// indistinguishable from a replay — outcome *and* trace.
+struct ExecFlight {
+    done: Mutex<Option<(Outcome, Recorder)>>,
+    cv: Condvar,
+    /// Duplicates currently blocked on this flight (tests rendezvous on
+    /// it to make the sharing deterministic rather than timing-lucky).
+    waiters: AtomicU64,
+}
+
+/// The concurrent query engine every sweep routes through.
+///
+/// The one entry point is [`QueryEngine::handle`] (or
+/// [`QueryEngine::handle_traced`] to attribute trace spans): a typed
+/// [`LabRequest`] in, a typed [`LabResponse`] out, identically callable
+/// in-process or over the [`daemon`]'s wire protocol.
+///
+/// Holds the sharded [`PlanCache`] and the engine-level spine-taper
+/// fallback (the explicit replacement for the old process-global
+/// override knob): the fallback applies to every query compiled here
+/// whose scenario did not pin its own taper, and is part of each
+/// [`PlanKey`], so engines with different fallbacks never share plans
+/// through a common cache.
+pub struct QueryEngine {
+    cache: PlanCache,
+    fallback_taper: Option<f64>,
+    /// Admission batching: in-flight `(plan, seed, mode)` executions.
+    exec_flights: Mutex<HashMap<ExecKey, Arc<ExecFlight>>>,
+    /// Executions served by cloning another execution's result.
+    batched: AtomicU64,
+}
+
+impl Default for QueryEngine {
+    fn default() -> QueryEngine {
+        QueryEngine::new()
+    }
+}
+
+impl QueryEngine {
+    /// An engine with the default plan capacity (256), the default shard
+    /// count, and no taper fallback.
+    pub fn new() -> QueryEngine {
+        QueryEngine::with_capacity(256)
+    }
+
+    /// An engine whose cache holds at most `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> QueryEngine {
+        QueryEngine::with_cache(PlanCache::new(capacity))
+    }
+
+    /// An engine over an explicitly configured cache (shard count,
+    /// capacity) — the constructor the sharding tests drive.
+    pub fn with_cache(cache: PlanCache) -> QueryEngine {
+        QueryEngine {
+            cache,
+            fallback_taper: None,
+            exec_flights: Mutex::new(HashMap::new()),
+            batched: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the engine-level spine-taper fallback (`reproduce_all
+    /// --ablate-taper` / `--oversub`). Scenario-pinned tapers still win;
+    /// see [`Scenario::compile_with`].
+    pub fn spine_taper_fallback(mut self, taper: Option<f64>) -> QueryEngine {
+        if let Some(t) = taper {
+            assert!(
+                t > 0.0 && t <= 1.0,
+                "taper is a fraction of injection bandwidth"
+            );
+        }
+        self.fallback_taper = taper;
+        self
+    }
+
+    /// The configured taper fallback.
+    pub fn taper(&self) -> Option<f64> {
+        self.fallback_taper
+    }
+
+    /// Compile one canonical scenario per paper cluster so a resident
+    /// engine answers its first interactive queries from a warm cache —
+    /// route tables, job profiles, and calibration for all four machines
+    /// are resolved before the first request arrives. Returns how many
+    /// clusters were primed. Idempotent (re-priming is all cache hits).
+    pub fn warm_start(&self) -> usize {
+        let mut primed = 0;
+        for cluster in harborsim_hw::presets::all() {
+            let scenario = Scenario::new(cluster, crate::workloads::artery_cfd_small());
+            if self.plan(&scenario).is_ok() {
+                primed += 1;
+            }
+        }
+        primed
+    }
+
+    /// Handle one typed request. `Execute` runs with a private
+    /// aggregating recorder so its outcome carries full attribution (the
+    /// lab-routed equivalent of [`Scenario::run`]); every other kind runs
+    /// untraced. Use [`QueryEngine::handle_traced`] to attribute spans
+    /// to a caller-owned recorder instead.
+    pub fn handle(&self, req: LabRequest) -> LabResponse {
+        match req {
+            LabRequest::Execute { .. } => self.handle_traced(req, &mut Recorder::aggregating()),
+            req => self.handle_traced(req, &mut Recorder::off()),
+        }
+    }
+
+    /// [`QueryEngine::handle`] with explicit trace attribution: cache
+    /// activity lands in `rec` as [`SpanCategory::Cache`] spans and
+    /// `plan_cache_*` counters, and each execution records into a
+    /// [`Recorder::like`] sibling merged back in submission order — so
+    /// an aggregating `rec` sees every run and an off `rec` costs
+    /// nothing.
+    pub fn handle_traced(&self, req: LabRequest, rec: &mut Recorder) -> LabResponse {
+        match req {
+            LabRequest::Plan { scenario } => match self.plan(&scenario) {
+                Ok(plan) => LabResponse::Plan(PlanInfo {
+                    fingerprint: PlanKey::of(&scenario, self.fallback_taper)
+                        .map(|k| k.fingerprint()),
+                    engine: plan.engine_name().to_string(),
+                    ranks: plan.rank_map().ranks(),
+                    deployment: plan.deployment().is_some(),
+                }),
+                Err(e) => LabResponse::Error(e),
+            },
+            LabRequest::Execute { scenario, seed } => {
+                let mut batch = self.run_batch(vec![Query::new(*scenario, &[seed])], rec);
+                match batch.remove(0) {
+                    Ok(mut outcomes) => LabResponse::Execute(Box::new(outcomes.remove(0))),
+                    Err(e) => LabResponse::Error(e),
+                }
+            }
+            LabRequest::Batch { queries } => LabResponse::Batch(self.run_batch(queries, rec)),
+            LabRequest::Campaign { script } => match self.run_campaign(&script, rec) {
+                Ok(report) => LabResponse::Campaign(report),
+                Err(e) => LabResponse::Error(e),
+            },
+            LabRequest::Stats => LabResponse::Stats(EngineStats {
+                cache: self.stats(),
+                per_shard: self.shard_stats(),
+                batched_executes: self.batched_executes(),
+            }),
+        }
+    }
+
+    /// Resolve one scenario to its (possibly shared) compiled plan — the
+    /// in-process primitive under [`LabRequest::Plan`], kept public for
+    /// benches and trace capture.
+    ///
+    /// # Errors
+    /// See [`Scenario::compile`].
+    pub fn plan(&self, scenario: &Scenario) -> Result<Arc<ScenarioPlan>, HarborError> {
+        self.resolve(scenario).0
+    }
+
+    fn resolve(&self, scenario: &Scenario) -> (Result<Arc<ScenarioPlan>, HarborError>, Resolution) {
+        match PlanKey::of(scenario, self.fallback_taper) {
+            Some(key) => self
+                .cache
+                .resolve(key, || scenario.compile_with(self.fallback_taper)),
+            None => {
+                self.cache.uncached.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let plan = scenario.compile_with(self.fallback_taper).map(Arc::new);
+                (plan, Resolution::Uncached(t0.elapsed()))
+            }
+        }
+    }
+
+    /// Run a batch of queries: plans resolve concurrently through the
+    /// sharded cache, then every `(plan, seed)` item runs on the
+    /// work-stealing pool with admission batching. Results come back in
+    /// submission order, one `Vec<Outcome>` (seed order) per query; a
+    /// query whose scenario fails to compile yields its error without
+    /// sinking the batch. The engine behind [`LabRequest::Batch`].
+    pub(crate) fn run_batch(
+        &self,
+        queries: Vec<Query>,
+        rec: &mut Recorder,
+    ) -> Vec<Result<Vec<Outcome>, HarborError>> {
+        // Phase 1 — resolve every query's plan concurrently. Duplicate
+        // fingerprints collapse onto one compile via the single-flight
+        // cache; distinct ones compile in parallel.
+        let resolved = harborsim_par::run(queries, |q| {
+            let (plan, how) = self.resolve(&q.scenario);
+            (plan, how, q.seeds)
+        });
+        for (_, how, _) in &resolved {
+            let (name, dur) = match how {
+                Resolution::Hit => ("plan-cache-hit", std::time::Duration::ZERO),
+                Resolution::Miss(d) => ("plan-compile", *d),
+                Resolution::Wait(d) => ("plan-cache-wait", *d),
+                Resolution::Uncached(d) => ("plan-compile-uncached", *d),
+            };
+            let counter = match how {
+                Resolution::Hit => "plan_cache_hits",
+                Resolution::Miss(_) => "plan_cache_misses",
+                Resolution::Wait(_) => "plan_cache_waits",
+                Resolution::Uncached(_) => "plan_uncached",
+            };
+            rec.span(
+                SpanCategory::Cache,
+                name,
+                0,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs_f64(dur.as_secs_f64()),
+            );
+            rec.counter(counter, 1.0);
+        }
+        // Phase 2 — flatten to (query, seed) items and shard. Each item
+        // records into its own sibling recorder; merging back in item
+        // order keeps the roll-up deterministic regardless of stealing.
+        // Identical (plan, seed) items in flight at the same moment
+        // share one execute via the admission-batching rendezvous.
+        let mut failures: Vec<Option<HarborError>> = Vec::with_capacity(resolved.len());
+        let mut items: Vec<(usize, Arc<ScenarioPlan>, u64)> = Vec::new();
+        for (qi, (plan, _, seeds)) in resolved.into_iter().enumerate() {
+            match plan {
+                Ok(plan) => {
+                    failures.push(None);
+                    items.extend(seeds.iter().map(|&s| (qi, Arc::clone(&plan), s)));
+                }
+                Err(e) => failures.push(Some(e)),
+            }
+        }
+        let template = Recorder::like(rec);
+        let mode = recorder_mode_tag(&template);
+        let executed = harborsim_par::run(items, |(qi, plan, seed)| {
+            let (outcome, local) = self.execute_shared(&plan, seed, mode, || {
+                let mut local = template.clone();
+                let outcome = plan.execute(seed, &mut local);
+                (outcome, local)
+            });
+            (qi, outcome, local)
+        });
+        let mut results: Vec<Result<Vec<Outcome>, HarborError>> = failures
+            .into_iter()
+            .map(|f| match f {
+                Some(e) => Err(e),
+                None => Ok(Vec::new()),
+            })
+            .collect();
+        for (qi, outcome, local) in executed {
+            rec.merge(local);
+            if let Ok(outcomes) = &mut results[qi] {
+                outcomes.push(outcome);
+            }
+        }
+        results
+    }
+
+    /// Admission batching: if an identical `(plan, seed, mode)` execution
+    /// is already in flight, wait for it and clone its outcome and trace
+    /// instead of executing again; otherwise run `execute` and publish
+    /// the result to any duplicates that arrive before it finishes. The
+    /// batching window is exactly the in-flight duration — nothing is
+    /// retained once the winner finishes, so this is a rendezvous, not a
+    /// result cache (the plan cache already de-duplicates compiles;
+    /// executions stay seed-exact).
+    fn execute_shared(
+        &self,
+        plan: &Arc<ScenarioPlan>,
+        seed: u64,
+        mode: u8,
+        execute: impl FnOnce() -> (Outcome, Recorder),
+    ) -> (Outcome, Recorder) {
+        let key: ExecKey = (Arc::as_ptr(plan) as usize, seed, mode);
+        let flight = {
+            let mut flights = self.exec_flights.lock().unwrap();
+            match flights.get(&key) {
+                Some(f) => {
+                    let f = Arc::clone(f);
+                    drop(flights);
+                    f.waiters.fetch_add(1, Ordering::Relaxed);
+                    let mut done = f.done.lock().unwrap();
+                    while done.is_none() {
+                        done = f.cv.wait(done).unwrap();
+                    }
+                    self.batched.fetch_add(1, Ordering::Relaxed);
+                    let (outcome, local) = done.clone().unwrap();
+                    return (outcome, local);
+                }
+                None => {
+                    let f = Arc::new(ExecFlight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                        waiters: AtomicU64::new(0),
+                    });
+                    flights.insert(key, Arc::clone(&f));
+                    f
+                }
+            }
+        };
+        let (outcome, local) = execute();
+        *flight.done.lock().unwrap() = Some((outcome.clone(), local.clone()));
+        flight.cv.notify_all();
+        self.exec_flights.lock().unwrap().remove(&key);
+        (outcome, local)
+    }
+
+    /// Run a `.hsim` campaign script as a query: compile it server-side,
+    /// then run every campaign's grid through the same cache and pool as
+    /// a flag-driven run — closed grids as one batch per campaign, open
+    /// campaigns through the open-system engine. The script's own
+    /// `taper` directive is honoured by pinning it onto runs that did
+    /// not pin their own (sound because the *resolved* taper is what a
+    /// [`PlanKey`] fingerprints, not its provenance), so the reported
+    /// fingerprints match `reproduce_all --script` exactly.
+    fn run_campaign(
+        &self,
+        script: &str,
+        rec: &mut Recorder,
+    ) -> Result<CampaignReport, HarborError> {
+        let compiled = crate::script::compile_str(script)?;
+        let script_taper = compiled.taper;
+        let fallback_seeds = compiled.seeds.clone();
+        let mut campaigns = Vec::with_capacity(compiled.campaigns.len());
+        for campaign in compiled.campaigns {
+            let seeds: Vec<u64> = campaign.seeds_or(&fallback_seeds).to_vec();
+            let mut labels = Vec::with_capacity(campaign.runs.len());
+            let mut prints = Vec::with_capacity(campaign.runs.len());
+            let mut scenarios = Vec::with_capacity(campaign.runs.len());
+            for run in campaign.runs {
+                labels.push(if run.labels.is_empty() {
+                    "(base)".to_string()
+                } else {
+                    run.labels.join(" / ")
+                });
+                let mut scenario = run.scenario;
+                if scenario.spine_taper.is_none() {
+                    scenario.spine_taper = script_taper;
+                }
+                // the fingerprint of the key actually resolved below
+                prints.push(
+                    PlanKey::of(&scenario, self.fallback_taper)
+                        .map(|k| k.fingerprint())
+                        .unwrap_or(0),
+                );
+                scenarios.push(scenario);
+            }
+            let mut rows = Vec::with_capacity(scenarios.len());
+            if scenarios.iter().any(|s| s.open.is_some()) {
+                for ((label, scenario), print) in labels.into_iter().zip(scenarios).zip(prints) {
+                    let mut wait = crate::sketch::QuantileSketch::new();
+                    let mut jobs = 0u64;
+                    let mut utilization = 0.0;
+                    for &seed in &seeds {
+                        let report = crate::open::run_open_campaign(self, &scenario, seed, rec)?;
+                        jobs += report.jobs;
+                        utilization += report.utilization;
+                        for s in &report.per_runtime {
+                            wait.merge(&s.wait);
+                        }
+                    }
+                    utilization /= seeds.len().max(1) as f64;
+                    rows.push(CampaignRow {
+                        label,
+                        fingerprint: print,
+                        kind: CampaignRowKind::Open {
+                            jobs,
+                            utilization,
+                            wait_p50_s: wait.p50(),
+                            wait_p99_s: wait.p99(),
+                        },
+                    });
+                }
+            } else {
+                let queries = scenarios
+                    .into_iter()
+                    .map(|s| Query::new(s, &seeds))
+                    .collect();
+                for ((label, result), print) in labels
+                    .into_iter()
+                    .zip(self.run_batch(queries, rec))
+                    .zip(prints)
+                {
+                    let outcomes = result?;
+                    let n = outcomes.len().max(1) as f64;
+                    let mean = outcomes
+                        .iter()
+                        .map(|o| o.elapsed.as_secs_f64())
+                        .sum::<f64>()
+                        / n;
+                    rows.push(CampaignRow {
+                        label,
+                        fingerprint: print,
+                        kind: CampaignRowKind::Closed {
+                            mean_elapsed_s: mean,
+                        },
+                    });
+                }
+            }
+            campaigns.push(CampaignResult {
+                name: campaign.name,
+                rows,
+            });
+        }
+        Ok(CampaignReport { campaigns })
+    }
+
+    /// Current cache statistics, aggregated over every shard.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-shard cache statistics (see [`PlanCache::shard_stats`]).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Executions served by admission batching (cloned from a concurrent
+    /// identical execution instead of running the simulation again).
+    pub fn batched_executes(&self) -> u64 {
+        self.batched.load(Ordering::Relaxed)
+    }
+}
+
+/// Collapse a recorder's mode into the admission-batching key tag: off,
+/// aggregating, and capturing executions record different trace
+/// payloads, so only like-moded duplicates may share one.
+fn recorder_mode_tag(rec: &Recorder) -> u8 {
+    match (rec.is_enabled(), rec.is_capturing()) {
+        (false, _) => 0,
+        (true, false) => 1,
+        (true, true) => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Execution;
+    use crate::workloads;
+    use harborsim_hw::presets;
+
+    fn scenario(nodes: u32) -> Scenario {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(nodes)
+            .ranks_per_node(14)
+    }
+
+    #[test]
+    fn batch_matches_direct_execution_in_order() {
+        let lab = QueryEngine::new();
+        let seeds = [3u64, 5];
+        let batch = lab
+            .handle(LabRequest::Batch {
+                queries: vec![
+                    Query::new(scenario(1), &seeds),
+                    Query::new(scenario(2), &seeds),
+                ],
+            })
+            .into_batch();
+        assert_eq!(batch.len(), 2);
+        for (qi, nodes) in [1u32, 2].iter().enumerate() {
+            let outcomes = batch[qi].as_ref().expect("compiles");
+            assert_eq!(outcomes.len(), seeds.len());
+            for (si, &seed) in seeds.iter().enumerate() {
+                let direct = scenario(*nodes).run(seed);
+                assert_eq!(
+                    outcomes[si].elapsed, direct.elapsed,
+                    "query {qi} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_queries_share_one_plan() {
+        let lab = QueryEngine::new();
+        let before = crate::scenario::plans_compiled();
+        let queries = (0..8).map(|_| Query::new(scenario(2), &[1, 2])).collect();
+        let results = lab.handle(LabRequest::Batch { queries }).into_batch();
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(
+            crate::scenario::plans_compiled() - before,
+            1,
+            "8 identical queries must share one compile"
+        );
+        let stats = lab.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.waits, 7);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_shared_not_cached() {
+        let lab = QueryEngine::new();
+        let bad = || scenario(9); // lenox has 8 nodes
+        let results = lab
+            .handle(LabRequest::Batch {
+                queries: vec![Query::new(bad(), &[1]), Query::new(bad(), &[1])],
+            })
+            .into_batch();
+        for r in &results {
+            assert!(matches!(r, Err(HarborError::Placement(_))), "{r:?}");
+        }
+        // the failed key is not resident: a later resolve retries
+        assert_eq!(lab.stats().entries, 0);
+        assert!(lab.plan(&bad()).is_err());
+    }
+
+    #[test]
+    fn cache_counters_flow_into_the_trace_rollup() {
+        let lab = QueryEngine::new();
+        let mut rec = Recorder::aggregating();
+        let queries = (0..3).map(|_| Query::new(scenario(1), &[7])).collect();
+        lab.handle_traced(LabRequest::Batch { queries }, &mut rec);
+        let ru = rec.rollup();
+        assert_eq!(ru.counter("plan_cache_misses"), 1.0);
+        assert_eq!(
+            ru.counter("plan_cache_hits") + ru.counter("plan_cache_waits"),
+            2.0
+        );
+        assert_eq!(ru.count(SpanCategory::Cache), 3);
+        // every query run is attributed through the same recorder, even
+        // when admission batching collapsed the executions to one
+        assert!(ru.count(SpanCategory::Run) == 3);
+    }
+
+    #[test]
+    fn uncacheable_cases_compile_fresh_every_time() {
+        struct Anon;
+        impl harborsim_alya::workload::AlyaCase for Anon {
+            fn name(&self) -> &str {
+                "anonymous"
+            }
+            fn job_profile(&self, _ranks: u32) -> harborsim_mpi::JobProfile {
+                use harborsim_mpi::{JobProfile, StepProfile};
+                JobProfile::uniform(
+                    StepProfile {
+                        flops_per_rank: 1e7,
+                        imbalance: 1.0,
+                        regions: 1.0,
+                        comm: vec![],
+                    },
+                    3,
+                )
+            }
+        }
+        let lab = QueryEngine::new();
+        let mk = || {
+            Scenario::new(presets::lenox(), Anon)
+                .nodes(1)
+                .ranks_per_node(4)
+        };
+        let before = crate::scenario::plans_compiled();
+        lab.handle(LabRequest::Batch {
+            queries: vec![Query::new(mk(), &[1]), Query::new(mk(), &[1])],
+        });
+        assert_eq!(crate::scenario::plans_compiled() - before, 2);
+        let stats = lab.stats();
+        assert_eq!(stats.uncached, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_plan() {
+        // capacity is a *global* budget: sharding must not change what
+        // gets evicted, so this runs on the default multi-shard layout
+        let lab = QueryEngine::with_capacity(2);
+        for nodes in [1u32, 2, 4] {
+            lab.plan(&scenario(nodes)).unwrap();
+        }
+        assert_eq!(lab.stats().entries, 2);
+        // node-1 was coldest; re-resolving it is a miss, node-4 a hit
+        let before = lab.stats();
+        lab.plan(&scenario(4)).unwrap();
+        assert_eq!(lab.stats().hits, before.hits + 1);
+        lab.plan(&scenario(1)).unwrap();
+        assert_eq!(lab.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn taper_fallback_is_part_of_the_key() {
+        let mk = || {
+            Scenario::new(presets::marenostrum4(), workloads::artery_cfd_small())
+                .nodes(2)
+                .ranks_per_node(48)
+        };
+        let plain = PlanKey::of(&mk(), None).unwrap();
+        let ablated = PlanKey::of(&mk(), Some(1.0)).unwrap();
+        assert_ne!(plain, ablated, "fallback must split the key");
+        // a builder-pinned taper absorbs the fallback
+        let pinned_a = PlanKey::of(&mk().spine_taper(0.5), None).unwrap();
+        let pinned_b = PlanKey::of(&mk().spine_taper(0.5), Some(1.0)).unwrap();
+        assert_eq!(pinned_a, pinned_b, "builder taper wins over fallback");
+    }
+
+    /// The `i`-th of 8 distinct plan keys on Lenox (only 4 nodes, so
+    /// distinctness past 4 comes from the ranks-per-node axis).
+    fn keyed(i: usize) -> Scenario {
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes([1u32, 2, 3, 4][i % 4])
+            .ranks_per_node(if i < 4 { 14 } else { 7 })
+    }
+
+    #[test]
+    fn shard_counters_conserve_the_aggregate() {
+        let lab = QueryEngine::with_cache(PlanCache::with_shards(64, 4));
+        let queries = (0..6)
+            .flat_map(|i| (0..3).map(move |_| Query::new(keyed(i), &[1])))
+            .collect();
+        lab.handle(LabRequest::Batch { queries });
+        let total = lab.stats();
+        let per_shard = lab.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let sum = |f: fn(&CacheStats) -> u64| per_shard.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.hits), total.hits);
+        assert_eq!(sum(|s| s.misses), total.misses);
+        assert_eq!(sum(|s| s.waits), total.waits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.entries).sum::<usize>(),
+            total.entries
+        );
+        assert_eq!(total.hits + total.waits + total.misses, 18);
+        assert_eq!(total.misses, 6, "six distinct keys, one compile each");
+    }
+
+    #[test]
+    fn eviction_is_globally_coldest_across_shards() {
+        // 5 distinct keys into a 4-shard, capacity-3 cache: whichever
+        // shards they land on, residency must settle at 3 and the
+        // evicted plans must be exactly the least-recently-used ones.
+        let lab = QueryEngine::with_cache(PlanCache::with_shards(3, 4));
+        for i in 0..5 {
+            lab.plan(&keyed(i)).unwrap();
+        }
+        assert_eq!(lab.stats().entries, 3);
+        let before = lab.stats();
+        // the three hottest (most recent) keys are 2, 3, 4: all hits
+        for i in 2..5 {
+            lab.plan(&keyed(i)).unwrap();
+        }
+        assert_eq!(lab.stats().hits, before.hits + 3);
+        // the two coldest were evicted: both recompile
+        for i in 0..2 {
+            lab.plan(&keyed(i)).unwrap();
+        }
+        assert_eq!(lab.stats().misses, before.misses + 2);
+    }
+
+    #[test]
+    fn admission_batching_shares_an_in_flight_execute() {
+        use std::sync::mpsc;
+        let lab = Arc::new(QueryEngine::new());
+        let plan = lab.plan(&scenario(1)).unwrap();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let winner = {
+            let lab = Arc::clone(&lab);
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || {
+                lab.execute_shared(&plan, 7, 0, || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap(); // hold the flight open
+                    let mut rec = Recorder::off();
+                    (plan.execute(7, &mut rec), rec)
+                })
+            })
+        };
+        // wait until the winner is inside its execute (flight registered)
+        started_rx.recv().unwrap();
+        let follower = {
+            let lab = Arc::clone(&lab);
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || {
+                lab.execute_shared(&plan, 7, 0, || {
+                    panic!("the follower must share the in-flight execute, not run its own")
+                })
+            })
+        };
+        // wait until the follower is provably blocked on the rendezvous,
+        // then release the winner
+        loop {
+            let flights = lab.exec_flights.lock().unwrap();
+            let arrived = flights
+                .values()
+                .next()
+                .is_some_and(|f| f.waiters.load(Ordering::Relaxed) > 0);
+            drop(flights);
+            if arrived {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+        let (a, _) = winner.join().unwrap();
+        let (b, _) = follower.join().unwrap();
+        assert_eq!(a.elapsed, b.elapsed, "follower clones the winner's outcome");
+        assert_eq!(lab.batched_executes(), 1);
+        assert!(
+            lab.exec_flights.lock().unwrap().is_empty(),
+            "flights are a rendezvous, not a cache"
+        );
+    }
+
+    #[test]
+    fn admission_batching_is_invisible_in_results_and_traces() {
+        // same scenario, same seed, many times in one batch: outcomes
+        // and the merged trace must be identical whether or not
+        // executions were shared, and run-span counts stay per-query
+        let lab = QueryEngine::new();
+        let mut rec = Recorder::aggregating();
+        let queries = (0..4).map(|_| Query::new(scenario(2), &[9])).collect();
+        let batch = lab
+            .handle_traced(LabRequest::Batch { queries }, &mut rec)
+            .into_batch();
+        let direct = scenario(2).run(9);
+        for r in &batch {
+            let outcomes = r.as_ref().expect("compiles");
+            assert_eq!(outcomes[0].elapsed, direct.elapsed);
+            assert_eq!(outcomes[0].result.compute, direct.result.compute);
+        }
+        assert_eq!(rec.rollup().count(SpanCategory::Run), 4);
+    }
+
+    #[test]
+    fn warm_start_primes_every_paper_cluster() {
+        let lab = QueryEngine::new();
+        assert_eq!(lab.warm_start(), 4);
+        let stats = lab.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.misses, 4);
+        // idempotent: re-priming is pure hits
+        assert_eq!(lab.warm_start(), 4);
+        assert_eq!(lab.stats().hits, 4);
+        assert_eq!(lab.stats().entries, 4);
+    }
+
+    #[test]
+    fn campaign_requests_compile_and_run_scripts() {
+        let lab = QueryEngine::new();
+        let script = "\
+seeds quick
+campaign \"probe\" {
+  cluster lenox
+  workload cfd-small
+  env singularity self-contained
+  rpn 14
+  sweep nodes [1, 2]
+}
+";
+        let report = match lab.handle(LabRequest::Campaign {
+            script: script.into(),
+        }) {
+            LabResponse::Campaign(r) => r,
+            other => panic!("expected a campaign response, got {other:?}"),
+        };
+        assert_eq!(report.campaigns.len(), 1);
+        assert_eq!(report.campaigns[0].name, "probe");
+        let rows = &report.campaigns[0].rows;
+        assert_eq!(rows.len(), 2);
+        for (row, nodes) in rows.iter().zip([1u32, 2]) {
+            let expected = PlanKey::of(&scenario(nodes), None).unwrap().fingerprint();
+            assert_eq!(row.fingerprint, expected, "row {}", row.label);
+            match row.kind {
+                CampaignRowKind::Closed { mean_elapsed_s } => assert!(mean_elapsed_s > 0.0),
+                ref k => panic!("closed campaign produced {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_script_errors_are_typed_responses() {
+        let lab = QueryEngine::new();
+        let resp = lab.handle(LabRequest::Campaign {
+            script: "campaign \"x\" {\n  cluster atlantis\n}\n".into(),
+        });
+        match resp {
+            LabResponse::Error(HarborError::Script(e)) => {
+                assert!(e.span.line >= 2, "{e}");
+                assert!(e.to_string().contains("atlantis"), "{e}");
+            }
+            other => panic!("expected a script error, got {other:?}"),
+        }
+    }
+}

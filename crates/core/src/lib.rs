@@ -34,6 +34,7 @@ pub mod calibration;
 pub mod dist;
 pub mod error;
 pub mod experiments;
+pub mod json;
 pub mod lab;
 pub mod open;
 pub mod report;
@@ -124,7 +125,11 @@ pub mod workloads {
 
 pub use dist::{Poisson, Zipf};
 pub use error::HarborError;
-pub use lab::{CacheStats, PlanCache, PlanKey, Query, QueryEngine};
+pub use lab::daemon::{DaemonHandle, LabClient, LabDaemon};
+pub use lab::{
+    CacheStats, CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, EngineStats,
+    LabRequest, LabResponse, PlanCache, PlanInfo, PlanKey, Query, QueryEngine,
+};
 pub use open::{
     class_table, run_open_campaign, MixSpec, OpenClass, OpenReport, OpenSpec, RuntimeOpenStats,
 };

@@ -9,7 +9,7 @@
 //! so identical points dedup to one compile and the (plan, seed) grid
 //! shards across the work-stealing pool.
 
-use crate::lab::QueryEngine;
+use crate::lab::{LabRequest, QueryEngine};
 use crate::scenario::{Scenario, ScenarioPlan};
 use harborsim_des::stats::Summary;
 use harborsim_des::trace::Recorder;
@@ -68,7 +68,8 @@ where
     C: IntoIterator<Item = F>,
     F: Fn() -> Scenario + Send + Sync,
 {
-    lab.means(points.into_iter().map(|mk| mk()), seeds)
+    lab.handle(LabRequest::batch(points.into_iter().map(|mk| mk()), seeds))
+        .means()
 }
 
 #[cfg(test)]

@@ -293,6 +293,71 @@ impl<T: Send> ParChunksMutExt<T> for [T] {
     }
 }
 
+/// A resident pool of worker threads consuming boxed jobs from one
+/// shared queue — the long-lived sibling of the scoped [`run`] pool,
+/// for servers whose work arrives over time (the lab daemon's
+/// connection handlers) instead of as one materialized batch.
+///
+/// Jobs are `FnOnce() + Send + 'static` closures; submission never
+/// blocks (the queue is unbounded — admission control belongs to the
+/// caller, e.g. a bounded listener backlog). Dropping the pool closes
+/// the queue, lets every queued job finish, and joins the workers.
+pub struct WorkerPool {
+    tx: Option<std::sync::mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+impl WorkerPool {
+    /// A pool of exactly `workers` resident threads (min 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                thread::spawn(move || loop {
+                    // hold the lock only to receive: jobs run unlocked
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // queue closed: drain done
+                    };
+                    job();
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue one job; some idle worker will run it.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool queue lives as long as the pool")
+            .send(Box::new(job))
+            .expect("workers outlive the queue");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue: workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +464,31 @@ mod tests {
             hits.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for x in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move || {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins: every queued job has run
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn worker_pool_clamps_to_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(move || tx.send(42u8).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
     }
 }

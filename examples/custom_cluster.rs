@@ -12,7 +12,7 @@ use harborsim::hw::{
     ClusterSpec, CpuArch, CpuModel, FabricLayout, InterconnectKind, NodeSpec, SoftwareStack,
     StorageSpec,
 };
-use harborsim::study::lab::QueryEngine;
+use harborsim::study::lab::{LabRequest, QueryEngine};
 use harborsim::study::report::fmt_seconds;
 use harborsim::study::scenario::{Execution, Scenario};
 use harborsim::study::workloads;
@@ -62,13 +62,16 @@ fn main() {
         // the lab compiles each environment's plan once; the per-seed
         // execution is the only repeated work
         let run = |env: Execution| {
-            lab.mean_elapsed_s(
-                Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
-                    .execution(env)
-                    .nodes(16)
-                    .ranks_per_node(64),
+            lab.handle(LabRequest::batch(
+                [
+                    Scenario::new(my_cluster(fabric), workloads::artery_cfd_cte())
+                        .execution(env)
+                        .nodes(16)
+                        .ranks_per_node(64),
+                ],
                 &[7],
-            )
+            ))
+            .means()[0]
         };
         let bare = run(Execution::bare_metal());
         let ss = run(Execution::singularity_system_specific());

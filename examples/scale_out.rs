@@ -12,7 +12,7 @@
 //! ```
 
 use harborsim::study::experiments::fig3;
-use harborsim::study::lab::QueryEngine;
+use harborsim::study::lab::{LabRequest, QueryEngine};
 use harborsim::study::report::{FigureData, Series};
 use harborsim::study::script;
 
@@ -34,7 +34,9 @@ fn main() {
         scenarios.push(run.scenario);
     }
     let lab = QueryEngine::new();
-    let means = lab.means(scenarios, &compiled.seeds);
+    let means = lab
+        .handle(LabRequest::batch(scenarios, &compiled.seeds))
+        .means();
 
     // speedup vs the grid's first run (4-node bare metal), plus the ideal
     let baseline = means[0];

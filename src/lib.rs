@@ -26,7 +26,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use harborsim::study::lab::QueryEngine;
+//! use harborsim::study::lab::{LabRequest, QueryEngine};
 //! use harborsim::study::scenario::{Scenario, Execution};
 //! use harborsim::study::workloads;
 //! use harborsim::hw::presets;
@@ -40,7 +40,7 @@
 //!     .execution(Execution::singularity_system_specific())
 //!     .nodes(2)
 //!     .ranks_per_node(48);
-//! let mean_s = lab.mean_elapsed_s(scenario, &[42, 43]);
+//! let mean_s = lab.handle(LabRequest::batch([scenario], &[42, 43])).means()[0];
 //! assert!(mean_s > 0.0);
 //! assert_eq!(lab.stats().misses, 1);
 //! ```

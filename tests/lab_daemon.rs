@@ -1,0 +1,220 @@
+//! Integration tests for the lab daemon: concurrent socket clients must
+//! see exactly the results a serial in-process replay produces, the
+//! sharded cache counters must conserve the aggregate under the storm,
+//! and campaign scripts must run (and fail typed) over the wire.
+
+use harborsim::hw::presets;
+use harborsim::study::lab::daemon::{LabClient, LabDaemon};
+use harborsim::study::lab::{CampaignRowKind, LabRequest, LabResponse, PlanKey, QueryEngine};
+use harborsim::study::scenario::{Execution, Outcome, Scenario};
+use harborsim::study::workloads;
+use std::sync::{Arc, Barrier};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+
+/// A small grid of distinct scenarios; index i picks scenario and seed.
+fn grid_scenario(i: usize) -> (Scenario, u64) {
+    let nodes = [1u32, 2, 3, 4][i % 4];
+    let seed = (i / 4) as u64 % 3;
+    (
+        Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(nodes)
+            .ranks_per_node(14),
+        seed,
+    )
+}
+
+fn assert_same_outcome(label: &str, over_wire: &Outcome, direct: &Outcome) {
+    assert_eq!(
+        over_wire.elapsed, direct.elapsed,
+        "{label}: elapsed must be bit-identical over the wire"
+    );
+    assert_eq!(
+        over_wire.result, direct.result,
+        "{label}: the full result must survive the wire"
+    );
+    assert_eq!(over_wire.deployment.is_some(), direct.deployment.is_some());
+}
+
+/// The tentpole acceptance test: CLIENTS threads hammer one daemon over
+/// real sockets; every response must be bit-identical to a serial
+/// in-process replay of the same (scenario, seed) schedule, and the
+/// per-shard cache counters must add up exactly to the aggregate.
+#[test]
+fn concurrent_clients_match_the_serial_replay_bit_for_bit() {
+    let engine = Arc::new(QueryEngine::new());
+    let daemon =
+        LabDaemon::bind("127.0.0.1:0", Arc::clone(&engine), CLIENTS).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = LabClient::connect(addr).expect("connect");
+                barrier.wait();
+                (0..REQUESTS_PER_CLIENT)
+                    .map(|r| {
+                        // overlapping schedules: clients collide on both
+                        // plans and (plan, seed) pairs
+                        let i = (c + r) % (4 * 3);
+                        let (scenario, seed) = grid_scenario(i);
+                        let outcome = client
+                            .query(&LabRequest::execute(scenario, seed))
+                            .expect("query succeeds")
+                            .into_outcome();
+                        (i, outcome)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let answered: Vec<(usize, Outcome)> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread panics"))
+        .collect();
+
+    // serial replay on a fresh engine, same schedule, no daemon
+    let serial = QueryEngine::new();
+    for (i, over_wire) in &answered {
+        let (scenario, seed) = grid_scenario(*i);
+        let direct = serial
+            .handle(LabRequest::execute(scenario, seed))
+            .into_outcome();
+        assert_same_outcome(&format!("grid point {i}"), over_wire, &direct);
+    }
+    assert_eq!(answered.len(), CLIENTS * REQUESTS_PER_CLIENT);
+
+    // counter conservation across shards, fetched over the wire
+    let mut client = LabClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats query").into_stats();
+    let shard_sum =
+        |f: fn(&harborsim::study::CacheStats) -> u64| stats.per_shard.iter().map(f).sum::<u64>();
+    assert_eq!(shard_sum(|s| s.hits), stats.cache.hits);
+    assert_eq!(shard_sum(|s| s.misses), stats.cache.misses);
+    assert_eq!(shard_sum(|s| s.waits), stats.cache.waits);
+    assert_eq!(
+        stats.per_shard.iter().map(|s| s.entries).sum::<usize>(),
+        stats.cache.entries
+    );
+    // 4 grid plans + the 4 warm-started paper-cluster plans
+    assert_eq!(stats.cache.misses, 8, "{:?}", stats.cache);
+    assert_eq!(
+        stats.cache.hits + stats.cache.waits + stats.cache.misses,
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64 + 4,
+        "every request resolves through the cache exactly once \
+         (+4 warm-start compiles): {:?}",
+        stats.cache
+    );
+
+    handle.shutdown();
+    // in-process view agrees with the wire view
+    assert_eq!(engine.stats().hits, stats.cache.hits);
+}
+
+/// Campaigns run server-side: one `.hsim` script over the socket, rows
+/// come back labelled and fingerprinted exactly as a local compile
+/// computes them.
+#[test]
+fn campaign_scripts_run_over_the_socket() {
+    let daemon =
+        LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 2).expect("bind loopback");
+    let handle = daemon.spawn();
+    let mut client = LabClient::connect(handle.addr()).expect("connect");
+
+    let script = "seeds quick\n\
+                  campaign \"wire probe\" {\n\
+                  \x20 cluster lenox\n\
+                  \x20 workload cfd-small\n\
+                  \x20 env singularity self-contained\n\
+                  \x20 rpn 14\n\
+                  \x20 sweep nodes [1, 2]\n\
+                  }\n";
+    let report = client
+        .query(&LabRequest::Campaign {
+            script: script.into(),
+        })
+        .expect("campaign query")
+        .into_campaign();
+    assert_eq!(report.campaigns.len(), 1);
+    let result = &report.campaigns[0];
+    assert_eq!(result.name, "wire probe");
+    assert_eq!(result.rows.len(), 2);
+    for (row, nodes) in result.rows.iter().zip([1u32, 2]) {
+        let scenario = Scenario::new(presets::lenox(), workloads::artery_cfd_small())
+            .execution(Execution::singularity_self_contained())
+            .nodes(nodes)
+            .ranks_per_node(14);
+        let expect = PlanKey::of(&scenario, None)
+            .expect("cacheable")
+            .fingerprint();
+        assert_eq!(row.fingerprint, expect, "row {}", row.label);
+        match &row.kind {
+            CampaignRowKind::Closed { mean_elapsed_s } => assert!(*mean_elapsed_s > 0.0),
+            other => panic!("expected a closed row, got {other:?}"),
+        }
+    }
+
+    // a broken script comes back as a typed, positioned error
+    let err = client
+        .query(&LabRequest::Campaign {
+            script: "seeds quick\ncampaign \"x\" {\n  cluster atlantis\n}\n".into(),
+        })
+        .expect("transport succeeds");
+    match err {
+        LabResponse::Error(harborsim::study::HarborError::Script(e)) => {
+            assert_eq!(e.span.line, 3, "error carries the offending line: {e}");
+            assert!(e.to_string().contains("atlantis"), "{e}");
+        }
+        other => panic!("expected a typed script error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Admission batching is observable end-to-end: when concurrent socket
+/// clients ask for the same (plan, seed), the daemon executes once and
+/// every client still gets the full, identical outcome.
+#[test]
+fn identical_wire_queries_share_executes_without_changing_results() {
+    let engine = Arc::new(QueryEngine::new());
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::clone(&engine), 8).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let barrier = Arc::new(Barrier::new(8));
+    let outcomes: Vec<Outcome> = (0..8)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = LabClient::connect(addr).expect("connect");
+                barrier.wait();
+                // many rounds of the same (plan, seed) maximizes the
+                // chance of in-flight twins; correctness must hold at
+                // any batching rate, including zero
+                (0..6)
+                    .map(|_| {
+                        client
+                            .query(&LabRequest::execute(grid_scenario(0).0, 42))
+                            .expect("query")
+                            .into_outcome()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|w| w.join().expect("client panics"))
+        .collect();
+
+    let direct = QueryEngine::new()
+        .handle(LabRequest::execute(grid_scenario(0).0, 42))
+        .into_outcome();
+    for o in &outcomes {
+        assert_same_outcome("shared execute", o, &direct);
+    }
+    handle.shutdown();
+}
