@@ -78,14 +78,27 @@ pub struct BenchBaseline {
     /// Open-system campaign engine (arrivals + EASY backfill + staging
     /// flows) on the canned storm workload, events/sec.
     pub open_system_eps: f64,
-    /// Lab daemon under the closed-loop load generator (4 clients, Zipf
-    /// query mix over the scenario menu, seeds cycling mod 3), answered
-    /// queries/sec over the loopback socket.
+    /// Lab daemon (threaded front end) under the closed-loop load
+    /// generator (4 clients, Zipf query mix over the scenario menu,
+    /// seeds cycling mod 3), answered queries/sec over the loopback
+    /// socket.
     pub daemon_qps: f64,
     /// 99th-percentile request latency of the same run, milliseconds.
     /// Tracked as a warning (tail latency on a shared CI runner is too
     /// noisy to gate hard).
     pub daemon_p99_ms: f64,
+    /// Lab daemon (epoll reactor front end) under the same closed-loop
+    /// generator with 4 pipelined requests in flight per connection,
+    /// answered queries/sec.
+    pub daemon_mux_qps: f64,
+    /// 99th-percentile request latency of the mux run, milliseconds
+    /// (tracked, not gated, like `daemon_p99_ms`).
+    pub daemon_mux_p99_ms: f64,
+    /// Simultaneous keep-alive connections the reactor held over a
+    /// 4-worker pool, every one of them answering queries — the
+    /// concurrency headroom the reactor exists for (thread-per-
+    /// connection caps at the pool size). Gated as a floor, not a rate.
+    pub daemon_open_conns: f64,
 }
 
 /// Best-of-N wall-clock timing of `work`, returning `units / seconds`.
@@ -399,22 +412,65 @@ fn open_system_eps() -> f64 {
 }
 
 /// Daemon throughput and tail latency under the built-in load
-/// generator: bind a warm-started daemon on a loopback port, drive it
-/// closed-loop (no think time — the regression gate wants the
-/// throughput ceiling, not an arrival-rate echo), and read qps + p99
-/// off the report. `--serve-bench` runs the same generator with Poisson
-/// pacing for the arrival-process view.
-fn daemon_rates() -> (f64, f64) {
+/// generator, one serving model at a time: bind a warm-started daemon
+/// on a loopback port, drive it closed-loop (no think time — the
+/// regression gate wants the throughput ceiling, not an arrival-rate
+/// echo), and read qps + p99 off the report. The threaded run keeps
+/// `in_flight: 1` (the pre-reactor workload, so `daemon_qps` stays
+/// comparable PR-over-PR); the reactor run pipelines 4 per connection —
+/// the concurrency the mux front end exists for. `--serve-bench` runs
+/// the same generator with Poisson pacing for the arrival-process view.
+fn daemon_rates(mode: harborsim_core::lab::daemon::ServeMode, in_flight: usize) -> (f64, f64) {
     use harborsim_core::lab::daemon::LabDaemon;
     use harborsim_core::lab::QueryEngine;
     use std::sync::Arc;
     let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 4)
-        .expect("bind the baseline daemon on loopback");
+        .expect("bind the baseline daemon on loopback")
+        .mode(mode);
     let handle = daemon.spawn();
-    let report = crate::loadgen::run(handle.addr(), 4, 96, f64::INFINITY);
+    let report = crate::loadgen::run_with(
+        handle.addr(),
+        4,
+        96,
+        crate::loadgen::Drive::Closed { in_flight },
+    );
     handle.shutdown();
     assert_eq!(report.errors, 0, "baseline loadgen run errored: {report:?}");
     (report.qps, report.p99_ms)
+}
+
+/// How many simultaneous keep-alive connections the reactor holds over
+/// a 4-worker pool: open 256, query every one, then query every one
+/// *again* (proving none were dropped to make room), and read the
+/// daemon's own `open_conns` counter with all of them still connected.
+fn daemon_open_conns() -> f64 {
+    use harborsim_core::lab::daemon::{LabClient, LabDaemon, ServeMode};
+    use harborsim_core::lab::{LabRequest, QueryEngine};
+    use std::sync::Arc;
+    const CONNS: usize = 256;
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 4)
+        .expect("bind the baseline daemon on loopback")
+        .mode(ServeMode::Reactor);
+    let handle = daemon.spawn();
+    let mut clients: Vec<LabClient> = (0..CONNS)
+        .map(|i| LabClient::connect(handle.addr()).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    for pass in 0..2 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            let req = LabRequest::plan(crate::loadgen::menu_scenario(i % crate::loadgen::MENU_LEN));
+            client
+                .query(&req)
+                .unwrap_or_else(|e| panic!("pass {pass} conn {i}: {e}"));
+        }
+    }
+    let stats = clients[0]
+        .stats()
+        .expect("stats over a held connection")
+        .into_stats();
+    let open = stats.daemon.map_or(0, |d| d.open_conns);
+    drop(clients);
+    handle.shutdown();
+    open as f64
 }
 
 /// Cached-plan `execute` throughput, runs/sec (untraced, as the batch
@@ -444,8 +500,11 @@ fn execute_many_rps() -> f64 {
 /// Measure the full baseline. Takes a few seconds; intended for
 /// `reproduce_all --bench-baseline` and the CI smoke job.
 pub fn measure() -> BenchBaseline {
+    use harborsim_core::lab::daemon::ServeMode;
     let spin = spin_mops();
-    let (daemon_qps, daemon_p99_ms) = daemon_rates();
+    let (daemon_qps, daemon_p99_ms) = daemon_rates(ServeMode::Threaded, 1);
+    let (daemon_mux_qps, daemon_mux_p99_ms) = daemon_rates(ServeMode::Reactor, 4);
+    let daemon_open_conns = daemon_open_conns();
     let churn_events = (CHURN_ROUNDS * CHURN_BATCH) as f64;
     let new_eps = rate_of(churn_events, || churn_arena(CHURN_ROUNDS, CHURN_BATCH));
     let old_eps = rate_of(churn_events, || churn_reference(CHURN_ROUNDS, CHURN_BATCH));
@@ -469,6 +528,9 @@ pub fn measure() -> BenchBaseline {
         open_system_eps: open_system_eps(),
         daemon_qps,
         daemon_p99_ms,
+        daemon_mux_qps,
+        daemon_mux_p99_ms,
+        daemon_open_conns,
     }
 }
 
@@ -476,7 +538,7 @@ impl BenchBaseline {
     /// Serialize to the committed JSON shape.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": 4,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1},\n  \"par_des_serial_eps\": {:.0},\n  \"par_des_eps\": {:.0},\n  \"par_des_speedup\": {:.2},\n  \"host_threads\": {:.0},\n  \"open_system_eps\": {:.0},\n  \"daemon_qps\": {:.1},\n  \"daemon_p99_ms\": {:.2}\n}}\n",
+            "{{\n  \"schema\": 5,\n  \"spin_mops\": {:.1},\n  \"des_churn_new_eps\": {:.0},\n  \"des_churn_old_eps\": {:.0},\n  \"churn_speedup\": {:.2},\n  \"cfd_small_cups\": {:.0},\n  \"cfd_large_cups\": {:.0},\n  \"cfd_momentum_speedup\": {:.2},\n  \"execute_many_rps\": {:.1},\n  \"par_des_serial_eps\": {:.0},\n  \"par_des_eps\": {:.0},\n  \"par_des_speedup\": {:.2},\n  \"host_threads\": {:.0},\n  \"open_system_eps\": {:.0},\n  \"daemon_qps\": {:.1},\n  \"daemon_p99_ms\": {:.2},\n  \"daemon_mux_qps\": {:.1},\n  \"daemon_mux_p99_ms\": {:.2},\n  \"daemon_open_conns\": {:.0}\n}}\n",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -492,6 +554,9 @@ impl BenchBaseline {
             self.open_system_eps,
             self.daemon_qps,
             self.daemon_p99_ms,
+            self.daemon_mux_qps,
+            self.daemon_mux_p99_ms,
+            self.daemon_open_conns,
         )
     }
 
@@ -520,11 +585,14 @@ impl BenchBaseline {
             par_des_speedup: field("par_des_speedup")?,
             host_threads: field("host_threads")?,
             // schema 2 baselines predate the open engine, schema 3 the
-            // daemon; parse them with the metrics absent rather than
-            // discarding the whole file
+            // daemon, schema 4 the reactor; parse them with the metrics
+            // absent rather than discarding the whole file
             open_system_eps: field("open_system_eps").unwrap_or(0.0),
             daemon_qps: field("daemon_qps").unwrap_or(0.0),
             daemon_p99_ms: field("daemon_p99_ms").unwrap_or(0.0),
+            daemon_mux_qps: field("daemon_mux_qps").unwrap_or(0.0),
+            daemon_mux_p99_ms: field("daemon_mux_p99_ms").unwrap_or(0.0),
+            daemon_open_conns: field("daemon_open_conns").unwrap_or(0.0),
         })
     }
 
@@ -540,7 +608,9 @@ impl BenchBaseline {
              \x20 DES 256n campaign (1)   {:>12.3e} events/s\n\
              \x20 DES 256n campaign (4)   {:>12.3e} events/s  ({:.2}x on {:.0} host thread(s))\n\
              \x20 open-system storm       {:>12.3e} events/s\n\
-             \x20 lab daemon              {:>12.1} queries/s  (p99 {:.2} ms)",
+             \x20 lab daemon (threaded)   {:>12.1} queries/s  (p99 {:.2} ms)\n\
+             \x20 lab daemon (reactor)    {:>12.1} queries/s  (p99 {:.2} ms, pipeline depth 4)\n\
+             \x20 reactor open conns      {:>12.0} keep-alive sockets over 4 workers",
             self.spin_mops,
             self.des_churn_new_eps,
             self.des_churn_old_eps,
@@ -556,6 +626,9 @@ impl BenchBaseline {
             self.open_system_eps,
             self.daemon_qps,
             self.daemon_p99_ms,
+            self.daemon_mux_qps,
+            self.daemon_mux_p99_ms,
+            self.daemon_open_conns,
         )
     }
 
@@ -606,6 +679,41 @@ impl BenchBaseline {
                     committed.daemon_p99_ms, self.daemon_p99_ms
                 ));
             }
+        }
+        if committed.daemon_mux_qps == 0.0 {
+            warnings.push(
+                "skipping the daemon_mux_qps comparison: the committed baseline predates \
+                 the reactor front end (schema < 5)"
+                    .to_string(),
+            );
+        } else {
+            let norm_now = self.daemon_mux_qps / self.spin_mops;
+            let norm_then = committed.daemon_mux_qps / committed.spin_mops;
+            let ratio = norm_now / norm_then;
+            if ratio < 1.0 - REGRESSION_TOLERANCE {
+                violations.push(format!(
+                    "reactor daemon queries/sec regressed {:.0}% vs the committed baseline \
+                     (normalized {norm_now:.2} vs {norm_then:.2} queries per Mspin)",
+                    (1.0 - ratio) * 100.0
+                ));
+            }
+            if committed.daemon_mux_p99_ms > 0.0
+                && self.daemon_mux_p99_ms > 3.0 * committed.daemon_mux_p99_ms
+            {
+                warnings.push(format!(
+                    "reactor daemon p99 latency moved {:.2} ms -> {:.2} ms (tracked, not gated)",
+                    committed.daemon_mux_p99_ms, self.daemon_mux_p99_ms
+                ));
+            }
+        }
+        // The connection count is a capability floor, not a rate: no
+        // spin normalization, any shrink is a regression.
+        if committed.daemon_open_conns > 0.0 && self.daemon_open_conns < committed.daemon_open_conns
+        {
+            violations.push(format!(
+                "reactor held {:.0} simultaneous connections, the committed baseline held {:.0}",
+                self.daemon_open_conns, committed.daemon_open_conns
+            ));
         }
         if self.host_threads != committed.host_threads {
             warnings.push(format!(
@@ -662,6 +770,9 @@ mod tests {
             open_system_eps: 5.0e5,
             daemon_qps: 250.0,
             daemon_p99_ms: 12.5,
+            daemon_mux_qps: 410.0,
+            daemon_mux_p99_ms: 9.5,
+            daemon_open_conns: 256.0,
         };
         let parsed = BenchBaseline::from_json(&b.to_json()).expect("parses");
         assert_eq!(parsed, b);
@@ -671,10 +782,15 @@ mod tests {
             .to_json()
             .replace("  \"open_system_eps\": 500000,\n", "")
             .replace("  \"daemon_qps\": 250.0,\n", "")
-            .replace("  \"daemon_p99_ms\": 12.50\n", "");
+            .replace("  \"daemon_p99_ms\": 12.50,\n", "")
+            .replace("  \"daemon_mux_qps\": 410.0,\n", "")
+            .replace("  \"daemon_mux_p99_ms\": 9.50,\n", "")
+            .replace("  \"daemon_open_conns\": 256\n", "");
         let parsed = BenchBaseline::from_json(&legacy).expect("schema 2 parses");
         assert_eq!(parsed.open_system_eps, 0.0);
         assert_eq!(parsed.daemon_qps, 0.0);
+        assert_eq!(parsed.daemon_mux_qps, 0.0);
+        assert_eq!(parsed.daemon_open_conns, 0.0);
         assert_eq!(parsed.par_des_speedup, 3.0);
     }
 
@@ -696,6 +812,9 @@ mod tests {
             open_system_eps: 1.0e5,
             daemon_qps: 300.0,
             daemon_p99_ms: 10.0,
+            daemon_mux_qps: 600.0,
+            daemon_mux_p99_ms: 8.0,
+            daemon_open_conns: 256.0,
         };
         // a machine half as fast across the board is NOT a regression
         let mut slower_machine = base.clone();
@@ -731,6 +850,9 @@ mod tests {
             open_system_eps: 1.0e5,
             daemon_qps: 300.0,
             daemon_p99_ms: 10.0,
+            daemon_mux_qps: 600.0,
+            daemon_mux_p99_ms: 8.0,
+            daemon_open_conns: 256.0,
         };
         // same thread count, speedup collapsed: a violation, no warning
         let mut collapsed = base.clone();
@@ -769,6 +891,9 @@ mod tests {
             open_system_eps: 1.0e5,
             daemon_qps: 400.0,
             daemon_p99_ms: 10.0,
+            daemon_mux_qps: 800.0,
+            daemon_mux_p99_ms: 8.0,
+            daemon_open_conns: 256.0,
         };
         // 30% fewer queries/sec on the same machine: a violation
         let mut slow = base.clone();
@@ -786,16 +911,71 @@ mod tests {
         let mut legacy = base.clone();
         legacy.daemon_qps = 0.0;
         legacy.daemon_p99_ms = 0.0;
+        legacy.daemon_mux_qps = 0.0;
+        legacy.daemon_mux_p99_ms = 0.0;
+        legacy.daemon_open_conns = 0.0;
         let (violations, warnings) = base.check_regression(&legacy);
         assert!(violations.is_empty(), "{violations:?}");
         assert!(warnings
             .iter()
             .any(|w| w.contains("skipping the daemon_qps")));
+        assert!(warnings
+            .iter()
+            .any(|w| w.contains("skipping the daemon_mux_qps")));
         // a 4x tail-latency move is a warning, never a violation
         let mut spiky = base.clone();
         spiky.daemon_p99_ms = 40.0;
+        spiky.daemon_mux_p99_ms = 32.0;
         let (violations, warnings) = spiky.check_regression(&base);
         assert!(violations.is_empty(), "{violations:?}");
         assert!(warnings.iter().any(|w| w.contains("daemon p99")));
+        assert!(warnings.iter().any(|w| w.contains("reactor daemon p99")));
+    }
+
+    #[test]
+    fn reactor_gates_catch_mux_and_connection_regressions() {
+        let base = BenchBaseline {
+            spin_mops: 1000.0,
+            des_churn_new_eps: 1.0e7,
+            des_churn_old_eps: 5.0e6,
+            churn_speedup: 2.0,
+            cfd_small_cups: 1.0,
+            cfd_large_cups: 1.0,
+            cfd_momentum_speedup: 1.0,
+            execute_many_rps: 1.0,
+            par_des_serial_eps: 1.0e6,
+            par_des_eps: 2.0e6,
+            par_des_speedup: 2.0,
+            host_threads: 4.0,
+            open_system_eps: 1.0e5,
+            daemon_qps: 400.0,
+            daemon_p99_ms: 10.0,
+            daemon_mux_qps: 800.0,
+            daemon_mux_p99_ms: 8.0,
+            daemon_open_conns: 256.0,
+        };
+        // 30% fewer mux queries/sec on the same machine: a violation
+        let mut slow = base.clone();
+        slow.daemon_mux_qps = 560.0;
+        let (violations, _) = slow.check_regression(&base);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("reactor daemon queries/sec"));
+        // a machine half as fast across the board is not one
+        let mut slower_machine = base.clone();
+        slower_machine.spin_mops = 500.0;
+        slower_machine.daemon_mux_qps = 400.0;
+        assert!(slower_machine.check_regression(&base).0.is_empty());
+        // the connection floor is absolute: fewer sockets held is a
+        // violation even on a slower machine
+        let mut shrunk = base.clone();
+        shrunk.spin_mops = 500.0;
+        shrunk.daemon_open_conns = 64.0;
+        let (violations, _) = shrunk.check_regression(&base);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("simultaneous connections"));
+        // holding more than the committed floor passes
+        let mut grown = base.clone();
+        grown.daemon_open_conns = 512.0;
+        assert!(grown.check_regression(&base).0.is_empty());
     }
 }

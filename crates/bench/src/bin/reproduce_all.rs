@@ -44,10 +44,19 @@
 //!   warm-started for the four paper clusters, queries answered over the
 //!   versioned JSON wire protocol (`POST /v1/lab`, `GET /v1/stats`,
 //!   `POST /v1/shutdown`). Runs until a shutdown request arrives.
-//! - `--serve-bench` — start a daemon on an ephemeral loopback port and
-//!   turn the built-in load generator on it (Poisson arrivals, Zipf over
-//!   the scenario menu), then print throughput, latency tails, and the
-//!   per-shard cache counters.
+//! - `--serve-bench` — start daemons on ephemeral loopback ports and turn
+//!   the built-in load generator on them: the closed loop (fixed in-flight
+//!   pipelined requests per connection) against both front ends — the
+//!   thread-per-connection fallback and the epoll reactor — then an
+//!   open-loop Poisson run (latency-corrected, so slow responses cannot
+//!   hide behind coordinated omission) and a connection-count sweep on the
+//!   reactor. Prints throughput, latency tails (p50/p99/p999), the
+//!   per-connection error breakdown, and the per-shard cache counters.
+//! - `--burst <addr>` — pipelined burst against an *already running*
+//!   daemon at `addr`: 64 connections, pipeline depth 4, 16 queries each.
+//!   Exits nonzero on any error and never shuts the target down (the CI
+//!   smoke uses this to probe the reactor's multiplexing under a real
+//!   socket storm before asking it to shut down).
 //!
 //! Artifacts land in `target/study/` (CSV + SVG + ASCII per figure, CSV +
 //! ASCII per table, plus a machine-readable `summary.json`), and every
@@ -78,34 +87,97 @@ fn report_shapes(name: &str, violations: &[String]) -> bool {
     }
 }
 
-/// `--serve-bench`: daemon + load generator in one process, reporting
-/// throughput, latency tails, and the per-shard cache counters (the
-/// Zipf hot-head skew made visible).
+/// One labelled loadgen run, printed as a table row. Returns the error
+/// count so the caller can fail the process at the end.
+fn bench_row(label: &str, report: &harborsim_bench::loadgen::LoadgenReport) -> u64 {
+    println!(
+        "  {label:<34} {:>6} ok {:>4} err {:>9.1} q/s  p50 {:>7.2} ms  p99 {:>7.2} ms  p999 {:>7.2} ms",
+        report.requests, report.errors, report.qps, report.p50_ms, report.p99_ms, report.p999_ms
+    );
+    if report.errors > 0 || report.per_client.iter().any(|c| c.connect_failed) {
+        print!("{}", report.error_breakdown());
+    }
+    report.errors
+}
+
+/// `--serve-bench`: daemon + load generator in one process. Runs the
+/// closed loop against both front ends (thread-per-connection and the
+/// epoll reactor, pipeline depths 1 and 4), an open-loop Poisson run,
+/// and a connection-count sweep; reports throughput, latency tails
+/// (p50/p99/p999), the per-connection error breakdown, and the
+/// per-shard cache counters (the Zipf hot-head skew made visible).
 fn serve_bench_run() {
+    use harborsim_bench::loadgen::{connection_sweep, run_with, Drive};
+    use harborsim_core::lab::daemon::{LabDaemon, ServeMode};
     const CLIENTS: usize = 8;
     const REQUESTS_PER_CLIENT: u64 = 64;
     const POISSON_RATE_PER_S: f64 = 2000.0;
-    let engine = std::sync::Arc::new(QueryEngine::new());
-    let daemon = harborsim_core::lab::daemon::LabDaemon::bind(
-        "127.0.0.1:0",
-        std::sync::Arc::clone(&engine),
-        CLIENTS,
-    )
-    .expect("bind the serve-bench daemon on loopback");
-    let addr = daemon.local_addr();
-    let handle = daemon.spawn();
+    const WORKERS: usize = 4;
+    const SWEEP_CONNS: &[usize] = &[1, 8, 32, 64];
+    const SWEEP_REQUESTS_PER_CONN: u64 = 16;
+    let mut errors = 0u64;
+
     println!("== Lab daemon under the built-in load generator ==");
     println!(
-        "daemon on http://{addr}, {CLIENTS} clients x {REQUESTS_PER_CLIENT} queries, \
-         Poisson arrivals at {POISSON_RATE_PER_S}/s, Zipf query mix over {} scenarios",
+        "{CLIENTS} clients x {REQUESTS_PER_CLIENT} queries per run, Zipf query mix over {} \
+         scenarios, {WORKERS} compute workers",
         harborsim_bench::loadgen::MENU_LEN
     );
-    let report =
-        harborsim_bench::loadgen::run(addr, CLIENTS, REQUESTS_PER_CLIENT, POISSON_RATE_PER_S);
+
+    // Closed loop, both front ends: same offered load, the only change
+    // is how the daemon multiplexes connections.
+    println!("closed loop (fixed in-flight per connection):");
+    for (mode, in_flight) in [
+        (ServeMode::Threaded, 1),
+        (ServeMode::Reactor, 1),
+        (ServeMode::Reactor, 4),
+    ] {
+        let engine = std::sync::Arc::new(QueryEngine::new());
+        let daemon = LabDaemon::bind("127.0.0.1:0", engine, WORKERS)
+            .expect("bind the serve-bench daemon on loopback")
+            .mode(mode);
+        let addr = daemon.local_addr();
+        let handle = daemon.spawn();
+        let report = run_with(
+            addr,
+            CLIENTS,
+            REQUESTS_PER_CLIENT,
+            Drive::Closed { in_flight },
+        );
+        errors += bench_row(
+            &format!("{} / pipeline depth {in_flight}", mode.name()),
+            &report,
+        );
+        handle.shutdown();
+    }
+
+    // Open loop + sweep on one reactor daemon, whose engine then shows
+    // the accumulated shard skew.
+    let engine = std::sync::Arc::new(QueryEngine::new());
+    let daemon = LabDaemon::bind("127.0.0.1:0", std::sync::Arc::clone(&engine), WORKERS)
+        .expect("bind the serve-bench daemon on loopback")
+        .mode(ServeMode::Reactor);
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
     println!(
-        "  {} answered, {} errors, {:.1}s wall: {:.1} queries/s, p50 {:.2} ms, p99 {:.2} ms",
-        report.requests, report.errors, report.wall_s, report.qps, report.p50_ms, report.p99_ms
+        "open loop (Poisson arrivals at {POISSON_RATE_PER_S}/s aggregate, latency-corrected):"
     );
+    let report = run_with(
+        addr,
+        CLIENTS,
+        REQUESTS_PER_CLIENT,
+        Drive::Open {
+            rate_per_s: POISSON_RATE_PER_S,
+        },
+    );
+    errors += bench_row("reactor / open", &report);
+    println!(
+        "connection sweep (closed loop, {SWEEP_REQUESTS_PER_CONN} queries per connection, \
+         pipeline depth 2):"
+    );
+    for (conns, report) in connection_sweep(addr, SWEEP_CONNS, SWEEP_REQUESTS_PER_CONN, 2) {
+        errors += bench_row(&format!("reactor / {conns} connections"), &report);
+    }
     println!("  {}", engine.stats().summary_line());
     println!(
         "  admission batching: {} executes answered from an in-flight twin",
@@ -113,7 +185,49 @@ fn serve_bench_run() {
     );
     print_shard_skew(&engine);
     handle.shutdown();
-    if report.errors > 0 {
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `--burst <addr>`: pipelined burst against an already-running daemon
+/// (64 connections, pipeline depth 4, 16 queries each). Exits nonzero
+/// on any error; never shuts the target down — that stays the caller's
+/// decision. This is the CI smoke's concurrency probe.
+fn burst_run(addr_text: &str) {
+    use harborsim_bench::loadgen::{run_with, Drive};
+    const CONNS: usize = 64;
+    const REQUESTS_PER_CONN: u64 = 16;
+    const IN_FLIGHT: usize = 4;
+    let addr: std::net::SocketAddr = addr_text.parse().unwrap_or_else(|e| {
+        eprintln!("--burst needs a socket address (got {addr_text}: {e})");
+        std::process::exit(2);
+    });
+    println!(
+        "== Pipelined burst against http://{addr} ({CONNS} connections x \
+         {REQUESTS_PER_CONN} queries, pipeline depth {IN_FLIGHT}) =="
+    );
+    let report = run_with(
+        addr,
+        CONNS,
+        REQUESTS_PER_CONN,
+        Drive::Closed {
+            in_flight: IN_FLIGHT,
+        },
+    );
+    println!(
+        "  {} answered, {} errors, {:.1}s wall: {:.1} queries/s, p50 {:.2} ms, \
+         p99 {:.2} ms, p999 {:.2} ms",
+        report.requests,
+        report.errors,
+        report.wall_s,
+        report.qps,
+        report.p50_ms,
+        report.p99_ms,
+        report.p999_ms
+    );
+    print!("{}", report.error_breakdown());
+    if report.errors > 0 || report.per_client.iter().any(|c| c.connect_failed) {
         std::process::exit(1);
     }
 }
@@ -135,6 +249,7 @@ fn main() {
     let mut bench_baseline = false;
     let mut serve_addr: Option<String> = None;
     let mut serve_bench = false;
+    let mut burst_addr: Option<String> = None;
     let mut trace_dir: Option<PathBuf> = None;
     let mut taper: Option<f64> = None;
     let mut shards: u32 = 1;
@@ -152,6 +267,13 @@ fn main() {
                 serve_addr = Some(addr);
             }
             "--serve-bench" => serve_bench = true,
+            "--burst" => {
+                let addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--burst needs a target address argument (e.g. 127.0.0.1:7878)");
+                    std::process::exit(2);
+                });
+                burst_addr = Some(addr);
+            }
             "--trace" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--trace needs a directory argument");
@@ -192,7 +314,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--serve <addr>] [--serve-bench] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--shards <n>] [--script <file>])"
+                    "unknown flag {other} (usage: reproduce_all [--quick] [--bench-baseline] [--serve <addr>] [--serve-bench] [--burst <addr>] [--trace <dir>] [--ablate-taper | --oversub <taper>] [--shards <n>] [--script <file>])"
                 );
                 std::process::exit(2);
             }
@@ -218,6 +340,10 @@ fn main() {
     }
     if serve_bench {
         serve_bench_run();
+        return;
+    }
+    if let Some(addr) = burst_addr {
+        burst_run(&addr);
         return;
     }
 

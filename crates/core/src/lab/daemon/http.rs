@@ -1,0 +1,261 @@
+//! HTTP/1.1 request framing shared by both daemon front ends.
+//!
+//! The [`reactor`](super::reactor) parses heads incrementally out of a
+//! per-connection byte buffer (partial reads are the normal case on a
+//! nonblocking socket); the threaded fallback reads line-by-line off a
+//! blocking `BufReader`. Both classify hostile framing through one
+//! [`FrameError`], so a client sees the same clean status code — `431`
+//! for an oversized head, `413` for an oversized body, `400` for a
+//! garbled `Content-Length`, `408` for a head that never finishes
+//! arriving — no matter which server answered.
+
+use std::fmt;
+
+/// Most bytes a request head (request line + headers) may occupy.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Most bytes a request or response body may occupy (a big batch of
+/// outcomes fits comfortably; a runaway client does not).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Why a request could not be framed, each mapping to one clean HTTP
+/// status (except I/O, where the connection is simply gone).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Head exceeded [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge,
+    /// `Content-Length` present but not an unsigned integer → `400`.
+    BadContentLength,
+    /// The head did not complete within the read deadline → `408`
+    /// (the slow-loris case).
+    Timeout,
+    /// The peer vanished mid-message; nothing to answer.
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// The HTTP status this framing failure answers with (`None` for
+    /// I/O errors — there is no one left to answer).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            FrameError::HeadTooLarge => Some((431, "request head exceeds 8KB")),
+            FrameError::BodyTooLarge => Some((413, "request body exceeds 8MB")),
+            FrameError::BadContentLength => {
+                Some((400, "Content-Length is not an unsigned integer"))
+            }
+            FrameError::Timeout => Some((408, "request head timed out")),
+            FrameError::Io(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One parsed request head.
+#[derive(Debug)]
+pub struct Head {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (`/v1/lab`, ...).
+    pub path: String,
+    /// Declared body length (0 when the header is absent).
+    pub content_length: usize,
+    /// False iff the client sent `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// Try to parse one complete head from the front of `buf`.
+///
+/// Returns `Ok(Some((head, consumed)))` when a full head (terminated by
+/// a blank line) is present, `Ok(None)` when more bytes are needed, and
+/// a [`FrameError`] when the bytes can never become a valid head.
+pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, FrameError> {
+    let Some(end) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(FrameError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if end > MAX_HEAD_BYTES {
+        return Err(FrameError::HeadTooLarge);
+    }
+    // Heads are ASCII in practice; lossy decoding keeps a garbled one
+    // parseable enough to answer 400 instead of hanging up.
+    let text = String::from_utf8_lossy(&buf[..end]);
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = content_length(&headers)?;
+    let keep_alive =
+        !header(&headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    Ok(Some((
+        Head {
+            method,
+            path,
+            content_length,
+            keep_alive,
+        },
+        end,
+    )))
+}
+
+/// Byte offset one past the head terminator (`\r\n\r\n`, or the bare
+/// `\n\n` a sloppy client sends), if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if buf[i + 1..].starts_with(b"\n") {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The declared body length: absent = 0 (a GET), garbled = `400`,
+/// oversized = `413`.
+pub fn content_length(headers: &[(String, String)]) -> Result<usize, FrameError> {
+    let Some(raw) = header(headers, "content-length") else {
+        return Ok(0);
+    };
+    let length: usize = raw.parse().map_err(|_| FrameError::BadContentLength)?;
+    if length > MAX_BODY_BYTES {
+        return Err(FrameError::BodyTooLarge);
+    }
+    Ok(length)
+}
+
+/// First header with `name` (names are stored lowercased).
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Render a full response (status line + headers + body) into `out`.
+/// Both front ends emit exactly these bytes.
+pub fn render_response(out: &mut Vec<u8>, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heads_parse_incrementally() {
+        let msg = b"POST /v1/lab HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        // every proper prefix of the head is "need more bytes"
+        let head_len = msg.len() - 5;
+        for cut in 0..head_len {
+            assert!(
+                parse_head(&msg[..cut]).expect("prefix parses").is_none(),
+                "cut at {cut}"
+            );
+        }
+        let (head, consumed) = parse_head(msg).expect("parses").expect("complete");
+        assert_eq!(consumed, head_len);
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/v1/lab");
+        assert_eq!(head.content_length, 5);
+        assert!(head.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_terminators_and_close_are_recognized() {
+        let msg = b"GET /v1/stats HTTP/1.1\nConnection: close\n\n";
+        let (head, consumed) = parse_head(msg).expect("parses").expect("complete");
+        assert_eq!(consumed, msg.len());
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.content_length, 0);
+        assert!(!head.keep_alive);
+    }
+
+    #[test]
+    fn hostile_framing_classifies_to_clean_statuses() {
+        // oversized head: no terminator within the cap
+        let big = vec![b'a'; MAX_HEAD_BYTES + 2];
+        assert!(matches!(parse_head(&big), Err(FrameError::HeadTooLarge)));
+        // oversized declared body
+        let huge = format!(
+            "POST /v1/lab HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_head(huge.as_bytes()),
+            Err(FrameError::BodyTooLarge)
+        ));
+        // garbled Content-Length
+        let garbled = b"POST /v1/lab HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        assert!(matches!(
+            parse_head(garbled),
+            Err(FrameError::BadContentLength)
+        ));
+        assert_eq!(FrameError::HeadTooLarge.status().unwrap().0, 431);
+        assert_eq!(FrameError::BodyTooLarge.status().unwrap().0, 413);
+        assert_eq!(FrameError::BadContentLength.status().unwrap().0, 400);
+        assert_eq!(FrameError::Timeout.status().unwrap().0, 408);
+    }
+
+    #[test]
+    fn responses_render_with_exact_framing() {
+        let mut out = Vec::new();
+        render_response(&mut out, 200, "{\"v\":1}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"v\":1}"));
+        for (status, reason) in [
+            (400, "Bad Request"),
+            (408, "Request Timeout"),
+            (413, "Payload Too Large"),
+            (431, "Request Header Fields Too Large"),
+            (503, "Service Unavailable"),
+        ] {
+            let mut out = Vec::new();
+            render_response(&mut out, status, "");
+            assert!(String::from_utf8(out)
+                .unwrap()
+                .starts_with(&format!("HTTP/1.1 {status} {reason}\r\n")));
+        }
+    }
+}

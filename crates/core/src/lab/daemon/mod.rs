@@ -1,0 +1,604 @@
+//! The resident lab daemon: a hand-rolled HTTP/1.1 front end over the
+//! [`wire`] protocol, with two interchangeable serving models.
+//!
+//! Fully in-tree like the rest of the vendored stack. Three routes:
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `POST /v1/lab` | a wire-encoded [`LabRequest`] | the wire-encoded [`LabResponse`] |
+//! | `GET /v1/stats` | — | the wire-encoded stats response |
+//! | `POST /v1/shutdown` | — | final stats; then the daemon drains and exits |
+//!
+//! Two front ends share the framing layer in [`http`] and answer
+//! byte-identically:
+//!
+//! * [`ServeMode::Reactor`] (default on Linux) — one epoll reactor
+//!   thread multiplexes every connection over nonblocking sockets and
+//!   hands decoded requests to a [`WorkerPool`] of engine workers; see
+//!   [`reactor`]. Hundreds of idle keep-alive connections cost nothing.
+//! * [`ServeMode::Threaded`] (the portable fallback) — the pre-reactor
+//!   model: the accept loop parks each connection on a pool worker, so
+//!   open connections are bounded by pool size.
+//!
+//! Binding [`warm_starts`](super::QueryEngine::warm_start) the engine —
+//! route tables and job profiles for the four paper clusters are
+//! compiled before the first request arrives — and shutdown is
+//! cooperative: the handler sets a flag and self-connects to unblock
+//! the accept loop, in-flight work drains, and late arrivals are
+//! answered `503` rather than silently served or dropped.
+//!
+//! [`LabClient`] is the matching blocking client (one keep-alive
+//! connection, with an explicit [pipelined](LabClient::query_pipelined)
+//! mode); the load generator and the integration tests drive the
+//! daemon through it, exercising the same code path as any external
+//! HTTP client.
+
+pub mod http;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+
+use super::protocol::{DaemonStats, LabRequest, LabResponse};
+use super::{wire, QueryEngine};
+use harborsim_par::WorkerPool;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use http::FrameError;
+
+/// Default per-request read deadline (covers the whole head+body, so a
+/// slow-loris dribbling one byte per read still hits it).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a bound daemon serves its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One epoll reactor thread multiplexing every connection
+    /// (Linux-only; silently falls back to [`ServeMode::Threaded`]
+    /// elsewhere).
+    Reactor,
+    /// Thread-per-connection on the worker pool — the portable
+    /// fallback, and the pre-reactor behaviour.
+    Threaded,
+}
+
+impl ServeMode {
+    /// The platform default: the reactor where epoll exists.
+    pub fn auto() -> ServeMode {
+        if cfg!(target_os = "linux") {
+            ServeMode::Reactor
+        } else {
+            ServeMode::Threaded
+        }
+    }
+
+    /// Stable lowercase name, as reported in `GET /v1/stats`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::Reactor => "reactor",
+            ServeMode::Threaded => "threaded",
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<QueryEngine>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) mode: ServeMode,
+    pub(crate) read_timeout: Duration,
+    /// Accept-loop errors survived (EMFILE and friends).
+    pub(crate) accept_errors: AtomicU64,
+    /// Requests answered `503` because they arrived after the stop flag.
+    pub(crate) late_503s: AtomicU64,
+    /// Connections currently open (reactor: registered with epoll;
+    /// threaded: running on a pool worker).
+    pub(crate) open_conns: AtomicU64,
+}
+
+impl Shared {
+    /// Flag the accept loop down and self-connect to unblock it.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Snapshot of the daemon-side counters for `GET /v1/stats`.
+    fn daemon_stats(&self) -> DaemonStats {
+        DaemonStats {
+            mode: self.mode.name().to_string(),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            late_503s: self.late_503s.load(Ordering::Relaxed),
+            open_conns: self.open_conns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving lab daemon.
+pub struct LabDaemon {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    workers: usize,
+    mode: ServeMode,
+    read_timeout: Duration,
+    addr: SocketAddr,
+}
+
+/// A handle to a daemon serving on a background thread.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl LabDaemon {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// warm-start `engine`'s plan cache for the four paper clusters.
+    /// `workers` is the resident engine-worker pool size. The serve
+    /// mode defaults to [`ServeMode::auto`].
+    ///
+    /// # Errors
+    /// Socket errors from bind.
+    pub fn bind(addr: &str, engine: Arc<QueryEngine>, workers: usize) -> io::Result<LabDaemon> {
+        engine.warm_start();
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(LabDaemon {
+            listener,
+            engine,
+            workers,
+            mode: ServeMode::auto(),
+            read_timeout: READ_TIMEOUT,
+            addr,
+        })
+    }
+
+    /// Select the serving model (builder-style, before `serve`/`spawn`).
+    #[must_use]
+    pub fn mode(mut self, mode: ServeMode) -> LabDaemon {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the per-request read deadline (builder-style). The
+    /// deadline covers the whole request, not each read, so it also
+    /// bounds slow-loris clients.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> LabDaemon {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn into_parts(self) -> (TcpListener, Arc<Shared>, usize) {
+        let shared = Arc::new(Shared {
+            engine: self.engine,
+            stop: AtomicBool::new(false),
+            addr: self.addr,
+            mode: self.mode,
+            read_timeout: self.read_timeout,
+            accept_errors: AtomicU64::new(0),
+            late_503s: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+        });
+        (self.listener, shared, self.workers)
+    }
+
+    /// Serve until a `POST /v1/shutdown` arrives (or
+    /// [`DaemonHandle::shutdown`] is called on a spawned daemon).
+    /// Consumes the daemon; queued requests drain before return.
+    pub fn serve(self) {
+        let (listener, shared, workers) = self.into_parts();
+        serve_inner(listener, shared, workers);
+    }
+
+    /// Serve on a background thread; the handle shuts it down.
+    pub fn spawn(self) -> DaemonHandle {
+        let (listener, shared, workers) = self.into_parts();
+        let serving = Arc::clone(&shared);
+        let thread = std::thread::spawn(move || serve_inner(listener, serving, workers));
+        DaemonHandle { shared, thread }
+    }
+}
+
+fn serve_inner(listener: TcpListener, shared: Arc<Shared>, workers: usize) {
+    match shared.mode {
+        ServeMode::Threaded => serve_threaded(listener, shared, workers),
+        ServeMode::Reactor => {
+            #[cfg(target_os = "linux")]
+            reactor::serve(listener, shared, workers);
+            #[cfg(not(target_os = "linux"))]
+            serve_threaded(listener, shared, workers);
+        }
+    }
+}
+
+impl DaemonHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine behind the daemon (for in-process counter assertions).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Stop accepting, drain in-flight connections, and join.
+    pub fn shutdown(self) {
+        self.shared.request_stop();
+        let _ = self.thread.join();
+    }
+}
+
+/// The portable thread-per-connection front end.
+fn serve_threaded(listener: TcpListener, shared: Arc<Shared>, workers: usize) {
+    let pool = WorkerPool::new(workers);
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                stream
+            }
+            Err(_) => {
+                // A persistent accept error (EMFILE under connection
+                // pressure is the classic) must not spin the loop hot:
+                // count it and back off, bounded so recovery is quick.
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // Accepted concurrently with request_stop(): answer 503
+            // instead of silently serving (or silently dropping) it.
+            answer_late_503(stream, &shared);
+            break;
+        }
+        let shared = Arc::clone(&shared);
+        pool.submit(move || {
+            shared.open_conns.fetch_add(1, Ordering::Relaxed);
+            handle_connection(stream, &shared);
+            shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+    drop(pool); // joins: every accepted connection finishes
+}
+
+/// Best-effort `503` to a connection that arrived after the stop flag.
+/// (The wake-up self-connect from `request_stop` lands here too; it
+/// never reads the answer, which is fine.)
+fn answer_late_503(mut stream: TcpStream, shared: &Shared) {
+    shared.late_503s.fetch_add(1, Ordering::Relaxed);
+    let _ = write_response(&mut stream, 503, &wire_error("daemon is shutting down"));
+}
+
+/// Serve one connection: HTTP/1.1 requests until the peer closes, asks
+/// to close, errors, or times out. Leftover bytes after each request
+/// are kept, so pipelined requests are answered in order here too.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (head, body) = match read_request_framed(&mut reader, &mut buf, shared.read_timeout) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // clean close (or idle past the deadline)
+            Err(e) => {
+                if let Some((status, msg)) = e.status() {
+                    let _ = write_response(&mut writer, status, &wire_error(msg));
+                }
+                return;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The stop flag was set while this request was in flight
+            // (the shutdown request itself was already routed when it
+            // set the flag, so it cannot land here).
+            shared.late_503s.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut writer, 503, &wire_error("daemon is shutting down"));
+            return;
+        }
+        let (status, response_body) = route(&head.method, &head.path, &body, shared);
+        if write_response(&mut writer, status, &response_body).is_err() {
+            return;
+        }
+        if !head.keep_alive || shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Read one framed request off a blocking socket, carrying leftover
+/// bytes (pipelined successors) in `buf` across calls. The deadline
+/// covers the whole message. `Ok(None)` = the peer closed (or went
+/// idle past the deadline) *between* requests — a quiet close.
+fn read_request_framed(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    timeout: Duration,
+) -> Result<Option<(http::Head, Vec<u8>)>, FrameError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some((head, consumed)) = http::parse_head(buf)? {
+            let total = consumed + head.content_length;
+            while buf.len() < total {
+                match fill(stream, buf, deadline)? {
+                    0 => {
+                        return Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "eof in body",
+                        )))
+                    }
+                    _ => continue,
+                }
+            }
+            let body = buf[consumed..total].to_vec();
+            buf.drain(..total);
+            return Ok(Some((head, body)));
+        }
+        let mid_message = !buf.is_empty();
+        match fill(stream, buf, deadline) {
+            Ok(0) if mid_message => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in head",
+                )))
+            }
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            // Idle keep-alive peers just get closed; a half-sent head
+            // is the slow-loris case and earns a 408.
+            Err(FrameError::Timeout) if !mid_message => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One bounded read with the remaining deadline as the socket timeout.
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>, deadline: Instant) -> Result<usize, FrameError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(FrameError::Timeout);
+    }
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(FrameError::Io)?;
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(0),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(n)
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(FrameError::Timeout)
+        }
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+/// Dispatch one request to the engine; the response body is always a
+/// wire-encoded [`LabResponse`]. Stats responses are stamped with the
+/// daemon-side counters on the way out (the in-process engine path
+/// leaves them `None`).
+pub(crate) fn route(method: &str, path: &str, body: &[u8], shared: &Shared) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/v1/lab") => {
+            let text = match std::str::from_utf8(body) {
+                Ok(text) => text,
+                Err(_) => return (400, wire_error("request body is not UTF-8")),
+            };
+            match wire::decode_request(text) {
+                Ok(req) => (
+                    200,
+                    wire::encode_response(&with_daemon_stats(shared.engine.handle(req), shared)),
+                ),
+                Err(e) => (400, wire_error(&e.msg)),
+            }
+        }
+        ("GET", "/v1/stats") => (
+            200,
+            wire::encode_response(&with_daemon_stats(
+                shared.engine.handle(LabRequest::Stats),
+                shared,
+            )),
+        ),
+        ("POST", "/v1/shutdown") => {
+            let stats = wire::encode_response(&with_daemon_stats(
+                shared.engine.handle(LabRequest::Stats),
+                shared,
+            ));
+            shared.request_stop();
+            (200, stats)
+        }
+        _ => (404, wire_error(&format!("no route {method} {path}"))),
+    }
+}
+
+fn with_daemon_stats(mut resp: LabResponse, shared: &Shared) -> LabResponse {
+    if let LabResponse::Stats(ref mut stats) = resp {
+        stats.daemon = Some(shared.daemon_stats());
+    }
+    resp
+}
+
+/// A wire-encoded error response (decodes to
+/// [`HarborError::Remote`](crate::error::HarborError::Remote) with kind
+/// `"wire"`).
+pub(crate) fn wire_error(msg: &str) -> String {
+    wire::encode_response(&LabResponse::Error(crate::error::HarborError::Remote {
+        kind: "wire".to_string(),
+        msg: msg.to_string(),
+    }))
+}
+
+fn write_response(writer: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    http::render_response(&mut out, status, body);
+    writer.write_all(&out)?;
+    writer.flush()
+}
+
+/// A blocking lab client over one keep-alive connection — what the load
+/// generator, the CI smoke probe, and the integration tests speak.
+///
+/// Besides the one-at-a-time [`query`](LabClient::query), the client
+/// can pipeline: [`send`](LabClient::send) any number of requests
+/// without waiting, then [`recv`](LabClient::recv) the responses, which
+/// the daemon guarantees arrive in request order.
+pub struct LabClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl LabClient {
+    /// Connect to a serving daemon.
+    ///
+    /// # Errors
+    /// Socket errors from connect.
+    pub fn connect(addr: SocketAddr) -> io::Result<LabClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(LabClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            addr,
+        })
+    }
+
+    /// Send one typed request and wait for the typed response.
+    ///
+    /// # Errors
+    /// Socket errors, non-encodable requests, and undecodable responses
+    /// (all as [`io::Error`] — a wire daemon is an I/O device).
+    pub fn query(&mut self, req: &LabRequest) -> io::Result<LabResponse> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Write one request without waiting for its response (pipelining).
+    ///
+    /// # Errors
+    /// Socket errors and non-encodable requests.
+    pub fn send(&mut self, req: &LabRequest) -> io::Result<()> {
+        let body = wire::encode_request(req).map_err(io::Error::other)?;
+        write!(
+            self.writer,
+            "POST /v1/lab HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        self.writer.flush()
+    }
+
+    /// Read the next pipelined response (in request order).
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn recv(&mut self) -> io::Result<LabResponse> {
+        self.read_body()
+    }
+
+    /// Pipeline a batch: send every request back-to-back, then collect
+    /// the responses, which arrive in request order.
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn query_pipelined(&mut self, reqs: &[LabRequest]) -> io::Result<Vec<LabResponse>> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        reqs.iter().map(|_| self.recv()).collect()
+    }
+
+    /// Fetch engine statistics.
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn stats(&mut self) -> io::Result<LabResponse> {
+        write!(
+            self.writer,
+            "GET /v1/stats HTTP/1.1\r\nHost: {}\r\n\r\n",
+            self.addr
+        )?;
+        self.writer.flush()?;
+        self.read_body()
+    }
+
+    /// Ask the daemon to shut down; returns its final stats response.
+    ///
+    /// # Errors
+    /// As [`LabClient::query`].
+    pub fn shutdown(mut self) -> io::Result<LabResponse> {
+        self.post("/v1/shutdown", "")
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> io::Result<LabResponse> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_body()
+    }
+
+    fn read_body(&mut self) -> io::Result<LabResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed",
+            ));
+        }
+        let mut length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    length = value.trim().parse().map_err(io::Error::other)?;
+                }
+            }
+        }
+        if length > http::MAX_BODY_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(io::Error::other)?;
+        wire::decode_response(&text).map_err(io::Error::other)
+    }
+}

@@ -1,0 +1,773 @@
+//! The epoll reactor front end: one thread multiplexing every
+//! connection.
+//!
+//! ```text
+//!                    epoll_wait
+//!   listener ──────┐     │
+//!   wake pipe ─────┤     ▼                     ┌────────────────┐
+//!   conn 0..N ─────┴─► reactor ── LabRequest ─►│  WorkerPool    │
+//!                        ▲  │ parse/flush      │  (engine runs  │
+//!                        │  ▼                  │   off-thread)  │
+//!                   completions ◄── response ──┘────────────────┘
+//!                   (queue + 1 byte on the wake pipe)
+//! ```
+//!
+//! Per connection, a small state machine over two reused buffers:
+//! `rbuf` accumulates reads until [`http::parse_head`] yields a full
+//! head and the `Content-Length` body is present; each decoded request
+//! is stamped with a sequence number and dispatched to the pool; the
+//! worker routes it, renders the full HTTP response bytes, pushes them
+//! on the completion queue, and rings the wake pipe. The reactor
+//! reorders completions by sequence number so pipelined requests are
+//! answered strictly in request order, and `wbuf` drains to the socket
+//! under `EPOLLOUT` when a write would block (partial writes keep their
+//! position; interest is re-armed until the buffer empties).
+//!
+//! Backpressure is per connection: past `MAX_PIPELINE` outstanding
+//! requests or `MAX_WRITE_BACKLOG` unflushed response bytes the
+//! reactor drops `EPOLLIN` interest, letting TCP push back on the
+//! client; parsing resumes from the already-buffered bytes as
+//! completions drain. A head (or body) that stays incomplete past the
+//! daemon's read deadline is answered `408` and the connection closed —
+//! the slow-loris budget — while *idle* keep-alive connections with an
+//! empty `rbuf` are left open indefinitely, which is what lets one
+//! reactor hold hundreds of parked connections over a 4-worker pool.
+//!
+//! Shutdown is cooperative and level-triggered: once the stop flag is
+//! up, buffered requests are answered `503`, every connection is marked
+//! close-after-drain, accepts are answered `503` and closed, and the
+//! loop exits when no work is in flight and every write buffer has
+//! drained (with a bounded grace period for stuck peers). The pool is
+//! joined before the wake pipe is torn down, so a worker can never ring
+//! a closed fd.
+//!
+//! Everything is raw `epoll`/`pipe2` FFI — no new crates — and the
+//! module only exists on Linux; [`ServeMode`](super::ServeMode) falls
+//! back to the threaded server elsewhere.
+
+use super::http;
+use super::{route, wire_error, Shared};
+use harborsim_par::WorkerPool;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Most outstanding (dispatched or reordering) responses per
+/// connection before the reactor stops reading from it.
+const MAX_PIPELINE: usize = 256;
+/// Most unflushed response bytes per connection before the reactor
+/// stops reading from it.
+const MAX_WRITE_BACKLOG: usize = 256 * 1024;
+/// epoll_wait tick: bounds deadline-sweep and backoff granularity.
+const TICK_MS: i32 = 50;
+/// How long a stopping reactor waits for write buffers to drain.
+const STOP_GRACE: Duration = Duration::from_secs(5);
+/// Accept-error backoff bounds (EMFILE must not spin the loop hot).
+const BACKOFF_MIN: Duration = Duration::from_millis(1);
+const BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// Raw epoll/pipe FFI — the only syscall surface this module adds.
+mod sys {
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CLOEXEC: i32 = 0o2_000_000;
+    pub const O_NONBLOCK: i32 = 0o4_000;
+    pub const O_CLOEXEC: i32 = 0o2_000_000;
+
+    /// `struct epoll_event`; packed on x86-64, where the kernel ABI has
+    /// no padding between the 32-bit mask and the 64-bit payload.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+/// Token for the listener in epoll event payloads.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for the wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// The wakeup pipe: workers ring the write end after queueing a
+/// completion; the reactor drains the read end. Both ends nonblocking
+/// (a full pipe is still a wake-up; a spurious byte is harmless).
+struct WakePipe {
+    r: i32,
+    w: i32,
+}
+
+impl WakePipe {
+    fn new() -> Option<WakePipe> {
+        let mut fds = [0i32; 2];
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc != 0 {
+            return None;
+        }
+        Some(WakePipe {
+            r: fds[0],
+            w: fds[1],
+        })
+    }
+
+    /// One byte down the pipe; EAGAIN (pipe already full) is a wake-up
+    /// too, so the result is ignored.
+    fn ring(&self) {
+        let byte = 1u8;
+        unsafe {
+            let _ = sys::write(self.w, &byte, 1);
+        }
+    }
+
+    /// Swallow every pending wake byte.
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while unsafe { sys::read(self.r, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.r);
+            sys::close(self.w);
+        }
+    }
+}
+
+/// A finished request on its way back from a worker.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// Per-connection state. `rbuf`/`wbuf` persist across requests on the
+/// connection, so steady-state parsing reuses their capacity.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    /// Unparsed inbound bytes (partial head/body, pipelined successors).
+    rbuf: Vec<u8>,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Sequence number the next emitted response must have.
+    next_write_seq: u64,
+    /// Completed responses that arrived ahead of `next_write_seq`.
+    reorder: Vec<(u64, Vec<u8>)>,
+    /// In-order response bytes awaiting the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests dispatched to the pool, completion not yet seen.
+    in_flight: usize,
+    /// No further requests will be parsed; close once `wbuf` drains.
+    close_after_drain: bool,
+    /// Peer sent FIN; reads are done, writes may continue.
+    eof: bool,
+    /// When a partially received request must be complete (slow-loris
+    /// budget). `None` while the connection is idle between requests.
+    head_deadline: Option<Instant>,
+    /// Event mask currently registered with epoll.
+    armed: u32,
+}
+
+impl Conn {
+    fn outstanding(&self) -> usize {
+        self.in_flight + self.reorder.len()
+    }
+
+    fn write_backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Reading is paused while the connection is over its pipeline or
+    /// write-backlog budget.
+    fn over_budget(&self) -> bool {
+        self.outstanding() >= MAX_PIPELINE || self.write_backlog() >= MAX_WRITE_BACKLOG
+    }
+
+    fn drained(&self) -> bool {
+        self.outstanding() == 0 && self.write_backlog() == 0
+    }
+
+    /// File a completed response; contiguous sequence numbers flow into
+    /// `wbuf` immediately, gaps wait in the reorder buffer.
+    fn file_response(&mut self, seq: u64, bytes: Vec<u8>) {
+        if seq == self.next_write_seq {
+            self.wbuf.extend_from_slice(&bytes);
+            self.next_write_seq += 1;
+            while let Some(i) = self
+                .reorder
+                .iter()
+                .position(|&(s, _)| s == self.next_write_seq)
+            {
+                let (_, ready) = self.reorder.swap_remove(i);
+                self.wbuf.extend_from_slice(&ready);
+                self.next_write_seq += 1;
+            }
+        } else {
+            self.reorder.push((seq, bytes));
+        }
+    }
+}
+
+/// Serve the daemon through the reactor. Called from
+/// [`serve_inner`](super::serve_inner); falls back to the threaded
+/// server if epoll or the wake pipe cannot be created.
+pub(crate) fn serve(listener: TcpListener, shared: Arc<Shared>, workers: usize) {
+    match Reactor::new(listener, shared, workers) {
+        Ok(mut reactor) => reactor.run(),
+        Err((listener, shared, workers)) => super::serve_threaded(listener, shared, workers),
+    }
+}
+
+struct Reactor {
+    // Field order is drop order: the pool joins (workers may still
+    // ring the wake pipe) before the pipe's fds close.
+    pool: WorkerPool,
+    wake: Arc<WakePipe>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    epfd: i32,
+    conns: Vec<Option<Conn>>,
+    /// Last generation seen per slot; bumped on close so stale
+    /// completions for a recycled slot are dropped.
+    gens: Vec<u64>,
+    free: VecDeque<usize>,
+    /// Dispatched-but-not-completed requests across all connections.
+    total_in_flight: usize,
+    listener_armed: bool,
+    accept_backoff: Duration,
+    /// When a paused (accept-error backoff) listener re-arms.
+    accept_resume: Option<Instant>,
+    /// Grace deadline once the stop flag is observed.
+    stop_deadline: Option<Instant>,
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+impl Reactor {
+    /// Build the reactor; hand everything back on failure so the caller
+    /// can fall back to the threaded server.
+    #[allow(clippy::type_complexity)]
+    fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        workers: usize,
+    ) -> Result<Reactor, (TcpListener, Arc<Shared>, usize)> {
+        if listener.set_nonblocking(true).is_err() {
+            return Err((listener, shared, workers));
+        }
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            let _ = listener.set_nonblocking(false);
+            return Err((listener, shared, workers));
+        }
+        let Some(wake) = WakePipe::new() else {
+            unsafe { sys::close(epfd) };
+            let _ = listener.set_nonblocking(false);
+            return Err((listener, shared, workers));
+        };
+        let reactor = Reactor {
+            pool: WorkerPool::new(workers),
+            wake: Arc::new(wake),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            listener,
+            shared,
+            epfd,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: VecDeque::new(),
+            total_in_flight: 0,
+            listener_armed: false,
+            accept_backoff: BACKOFF_MIN,
+            accept_resume: None,
+            stop_deadline: None,
+        };
+        reactor.ctl(sys::EPOLL_CTL_ADD, reactor.wake.r, sys::EPOLLIN, TOKEN_WAKE);
+        Ok(reactor)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        unsafe {
+            let _ = sys::epoll_ctl(self.epfd, op, fd, &mut ev);
+        }
+    }
+
+    fn arm_listener(&mut self) {
+        if !self.listener_armed {
+            self.ctl(
+                sys::EPOLL_CTL_ADD,
+                self.listener.as_raw_fd(),
+                sys::EPOLLIN,
+                TOKEN_LISTENER,
+            );
+            self.listener_armed = true;
+        }
+    }
+
+    fn disarm_listener(&mut self) {
+        if self.listener_armed {
+            self.ctl(
+                sys::EPOLL_CTL_DEL,
+                self.listener.as_raw_fd(),
+                0,
+                TOKEN_LISTENER,
+            );
+            self.listener_armed = false;
+        }
+    }
+
+    fn run(&mut self) {
+        self.arm_listener();
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, TICK_MS)
+            };
+            if n < 0 {
+                // EINTR or worse; either way a short sleep beats a
+                // hot spin, and the tick keeps deadlines honest.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            for ev in &events[..n.max(0) as usize] {
+                let copied = *ev;
+                let (mask, token) = (copied.events, copied.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake.drain(),
+                    slot => self.conn_event(slot as usize, mask),
+                }
+            }
+            self.drain_completions();
+            self.sweep(Instant::now());
+            if self.stopping_and_drained() {
+                break;
+            }
+        }
+        // Close every socket, then (via drop order) join the pool and
+        // tear down the wake pipe.
+        self.conns.clear();
+    }
+
+    /// True once the stop flag is up and there is nothing left to
+    /// drain — or the grace period for stuck peers has expired.
+    fn stopping_and_drained(&mut self) -> bool {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now = Instant::now();
+        let deadline = *self.stop_deadline.get_or_insert(now + STOP_GRACE);
+        let idle = self.total_in_flight == 0 && self.conns.iter().flatten().count() == 0;
+        idle || now >= deadline
+    }
+
+    // ------------------------------------------------------------ accept
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = BACKOFF_MIN;
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // EMFILE and friends: count it and take the
+                    // listener out of the set for a bounded backoff
+                    // instead of spinning on a level-triggered event.
+                    self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    self.disarm_listener();
+                    self.accept_resume = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(BACKOFF_MAX);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = match self.free.pop_front() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let gen = self.gens[slot];
+        let mut conn = Conn {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            next_seq: 0,
+            next_write_seq: 0,
+            reorder: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: 0,
+            close_after_drain: false,
+            eof: false,
+            head_deadline: None,
+            armed: 0,
+        };
+        if self.shared.stop.load(Ordering::SeqCst) {
+            // Accepted concurrently with shutdown (satellite: the wake
+            // self-connect lands here too): answer 503 and drain out.
+            self.shared.late_503s.fetch_add(1, Ordering::Relaxed);
+            http::render_response(&mut conn.wbuf, 503, &wire_error("daemon is shutting down"));
+            conn.next_seq = 1;
+            conn.next_write_seq = 1;
+            conn.close_after_drain = true;
+        }
+        let fd = conn.stream.as_raw_fd();
+        self.ctl(sys::EPOLL_CTL_ADD, fd, sys::EPOLLRDHUP, slot as u64);
+        self.conns[slot] = Some(conn);
+        self.shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.try_flush(slot);
+        self.update_interest(slot);
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.ctl(sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, slot as u64);
+            self.gens[slot] += 1;
+            self.free.push_back(slot);
+            self.shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------ conn IO
+
+    fn conn_event(&mut self, slot: usize, mask: u32) {
+        if slot >= self.conns.len() || self.conns[slot].is_none() {
+            return;
+        }
+        if mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close_conn(slot);
+            return;
+        }
+        if mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            self.read_ready(slot);
+            if self.conns[slot].is_none() {
+                return;
+            }
+        }
+        if mask & sys::EPOLLOUT != 0 {
+            self.try_flush(slot);
+        }
+        self.update_interest(slot);
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live conn");
+            if conn.eof || conn.close_after_drain || conn.over_budget() {
+                break;
+            }
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    self.pump_parse(slot);
+                    if self.conns[slot].is_none() {
+                        return; // close-after-drain already flushed out
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.eof {
+            if conn.drained() {
+                self.close_conn(slot);
+            } else {
+                // Peer half-closed; finish writing what it asked for.
+                conn.rbuf.clear();
+                conn.head_deadline = None;
+                conn.close_after_drain = true;
+            }
+        }
+    }
+
+    /// Parse every complete request out of `rbuf`, dispatching each to
+    /// the pool (or answering 503 inline once stopping). Leaves partial
+    /// bytes for the next read and manages the slow-loris deadline.
+    fn pump_parse(&mut self, slot: usize) {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live conn");
+            if conn.close_after_drain {
+                conn.rbuf.clear();
+                conn.head_deadline = None;
+                return;
+            }
+            if conn.over_budget() {
+                // Paused on purpose: the buffered partial is not the
+                // peer's fault, so no slow-loris deadline.
+                conn.head_deadline = None;
+                return;
+            }
+            match http::parse_head(&conn.rbuf) {
+                Ok(Some((head, consumed))) => {
+                    let total = consumed + head.content_length;
+                    if conn.rbuf.len() < total {
+                        // Head complete, body still arriving.
+                        let deadline = Instant::now() + self.shared.read_timeout;
+                        conn.head_deadline.get_or_insert(deadline);
+                        return;
+                    }
+                    let body = conn.rbuf[consumed..total].to_vec();
+                    conn.rbuf.drain(..total);
+                    conn.head_deadline = None;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    if !head.keep_alive {
+                        conn.close_after_drain = true;
+                    }
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        // Late arrival after the stop flag: 503, never
+                        // the engine. (The shutdown request itself was
+                        // dispatched before the flag went up.)
+                        self.shared.late_503s.fetch_add(1, Ordering::Relaxed);
+                        let mut bytes = Vec::new();
+                        http::render_response(
+                            &mut bytes,
+                            503,
+                            &wire_error("daemon is shutting down"),
+                        );
+                        let conn = self.conns[slot].as_mut().expect("live conn");
+                        conn.file_response(seq, bytes);
+                        conn.close_after_drain = true;
+                    } else {
+                        self.dispatch(slot, seq, &head, body);
+                    }
+                    self.try_flush(slot);
+                    if self.conns[slot].is_none() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let conn = self.conns[slot].as_mut().expect("live conn");
+                    if conn.rbuf.is_empty() {
+                        conn.head_deadline = None;
+                    } else {
+                        let deadline = Instant::now() + self.shared.read_timeout;
+                        conn.head_deadline.get_or_insert(deadline);
+                    }
+                    return;
+                }
+                Err(e) => {
+                    // Hostile framing: answer the mapped status (431/
+                    // 413/400) in sequence, then drain and close.
+                    let (status, msg) = e.status().unwrap_or((400, "malformed request"));
+                    let mut bytes = Vec::new();
+                    http::render_response(&mut bytes, status, &wire_error(msg));
+                    let conn = self.conns[slot].as_mut().expect("live conn");
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.file_response(seq, bytes);
+                    conn.close_after_drain = true;
+                    conn.rbuf.clear();
+                    conn.head_deadline = None;
+                    self.try_flush(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand one decoded request to the pool; the worker routes it and
+    /// rings the wake pipe with the rendered response.
+    fn dispatch(&mut self, slot: usize, seq: u64, head: &http::Head, body: Vec<u8>) {
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        conn.in_flight += 1;
+        self.total_in_flight += 1;
+        let gen = conn.gen;
+        let method = head.method.clone();
+        let path = head.path.clone();
+        let shared = Arc::clone(&self.shared);
+        let completions = Arc::clone(&self.completions);
+        let wake = Arc::clone(&self.wake);
+        self.pool.submit(move || {
+            let (status, response) = route(&method, &path, &body, &shared);
+            let mut bytes = Vec::with_capacity(response.len() + 128);
+            http::render_response(&mut bytes, status, &response);
+            completions
+                .lock()
+                .expect("completion queue")
+                .push(Completion {
+                    slot,
+                    gen,
+                    seq,
+                    bytes,
+                });
+            wake.ring();
+        });
+    }
+
+    fn drain_completions(&mut self) {
+        let batch = std::mem::take(&mut *self.completions.lock().expect("completion queue"));
+        for c in batch {
+            self.total_in_flight -= 1;
+            let Some(conn) = self.conns.get_mut(c.slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != c.gen {
+                continue; // recycled slot; the response's conn is gone
+            }
+            conn.in_flight -= 1;
+            conn.file_response(c.seq, c.bytes);
+            self.try_flush(c.slot);
+            if self.conns[c.slot].is_some() {
+                // Capacity freed: resume parsing buffered pipeline.
+                self.pump_parse(c.slot);
+            }
+            self.update_interest(c.slot);
+        }
+    }
+
+    /// Write as much of `wbuf` as the socket takes; closes the
+    /// connection on write error or once drained with
+    /// `close_after_drain` set.
+    fn try_flush(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => break,
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.close_after_drain && conn.outstanding() == 0 {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    /// Re-arm epoll interest to match the connection's state.
+    fn update_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let mut want = sys::EPOLLRDHUP;
+        if !conn.eof && !conn.close_after_drain && !conn.over_budget() {
+            want |= sys::EPOLLIN;
+        }
+        if conn.write_backlog() > 0 {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.armed {
+            conn.armed = want;
+            let fd = conn.stream.as_raw_fd();
+            self.ctl(sys::EPOLL_CTL_MOD, fd, want, slot as u64);
+        }
+    }
+
+    // ------------------------------------------------------------ sweeps
+
+    /// Periodic housekeeping: listener re-arm after backoff, slow-loris
+    /// deadlines, and shutdown drain.
+    fn sweep(&mut self, now: Instant) {
+        if let Some(resume) = self.accept_resume {
+            if now >= resume && !self.shared.stop.load(Ordering::SeqCst) {
+                self.accept_resume = None;
+                self.arm_listener();
+                self.accept_ready();
+            }
+        }
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.head_deadline.is_some_and(|d| now >= d) {
+                // Slow loris: a request has been partial for the whole
+                // read budget. 408 in sequence, then drain and close.
+                let mut bytes = Vec::new();
+                http::render_response(&mut bytes, 408, &wire_error("request head timed out"));
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.file_response(seq, bytes);
+                conn.close_after_drain = true;
+                conn.rbuf.clear();
+                conn.head_deadline = None;
+                self.try_flush(slot);
+                self.update_interest(slot);
+            }
+        }
+        if self.shared.stop.load(Ordering::SeqCst) {
+            self.disarm_listener();
+            for slot in 0..self.conns.len() {
+                if self.conns[slot].is_none() {
+                    continue;
+                }
+                // Buffered requests get their 503s...
+                self.pump_parse(slot);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    // ...then everything drains out and closes.
+                    conn.close_after_drain = true;
+                    self.try_flush(slot);
+                    self.update_interest(slot);
+                }
+            }
+        }
+    }
+}

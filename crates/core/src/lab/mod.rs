@@ -40,8 +40,8 @@ pub mod protocol;
 pub mod wire;
 
 pub use protocol::{
-    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, EngineStats, LabRequest,
-    LabResponse, PlanInfo,
+    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, DaemonStats, EngineStats,
+    LabRequest, LabResponse, PlanInfo,
 };
 
 use crate::error::HarborError;
@@ -608,6 +608,7 @@ impl QueryEngine {
                 cache: self.stats(),
                 per_shard: self.shard_stats(),
                 batched_executes: self.batched_executes(),
+                daemon: None,
             }),
         }
     }

@@ -204,6 +204,25 @@ pub struct EngineStats {
     pub per_shard: Vec<CacheStats>,
     /// Executions served by admission batching.
     pub batched_executes: u64,
+    /// Daemon front-end counters — `Some` only when the stats were
+    /// served over the wire by a daemon (the in-process engine has no
+    /// front end, and leaves this `None`).
+    pub daemon: Option<DaemonStats>,
+}
+
+/// Front-end counters a serving daemon stamps onto wire-served
+/// [`EngineStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Serving model: `"reactor"` or `"threaded"`.
+    pub mode: String,
+    /// Accept-loop errors survived (EMFILE and friends).
+    pub accept_errors: u64,
+    /// Requests answered `503` because they arrived after shutdown
+    /// began.
+    pub late_503s: u64,
+    /// Connections open when the stats were taken.
+    pub open_conns: u64,
 }
 
 /// What [`LabRequest::Campaign`] answers: one result per `campaign`

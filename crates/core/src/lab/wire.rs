@@ -24,8 +24,8 @@
 //!   rendered message and decode to [`HarborError::Remote`].
 
 use super::protocol::{
-    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, EngineStats, LabRequest,
-    LabResponse, PlanInfo,
+    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, DaemonStats, EngineStats,
+    LabRequest, LabResponse, PlanInfo,
 };
 use super::{CacheStats, Query};
 use crate::error::HarborError;
@@ -182,14 +182,22 @@ pub fn encode_response(resp: &LabResponse) -> String {
             "campaigns",
             Json::Arr(report.campaigns.iter().map(encode_campaign).collect()),
         ),
-        LabResponse::Stats(stats) => envelope
-            .set("kind", "stats")
-            .set("cache", encode_cache_stats(&stats.cache))
-            .set(
-                "per_shard",
-                Json::Arr(stats.per_shard.iter().map(encode_cache_stats).collect()),
-            )
-            .set("batched_executes", stats.batched_executes),
+        LabResponse::Stats(stats) => {
+            let json = envelope
+                .set("kind", "stats")
+                .set("cache", encode_cache_stats(&stats.cache))
+                .set(
+                    "per_shard",
+                    Json::Arr(stats.per_shard.iter().map(encode_cache_stats).collect()),
+                )
+                .set("batched_executes", stats.batched_executes);
+            // The daemon field is optional on the wire: in-process
+            // stats omit it entirely, keeping their bytes pinned.
+            match &stats.daemon {
+                Some(d) => json.set("daemon", encode_daemon_stats(d)),
+                None => json,
+            }
+        }
         LabResponse::Error(e) => envelope.set("kind", "error").set("error", encode_error(e)),
     };
     json.write()
@@ -247,10 +255,15 @@ pub fn decode_response(src: &str) -> Result<LabResponse, WireError> {
             for s in get_arr(&json, "per_shard")? {
                 per_shard.push(decode_cache_stats(s)?);
             }
+            let daemon = match json.get("daemon") {
+                Some(d) => Some(decode_daemon_stats(d)?),
+                None => None,
+            };
             Ok(LabResponse::Stats(EngineStats {
                 cache: decode_cache_stats(get(&json, "cache")?)?,
                 per_shard,
                 batched_executes: get_u64(&json, "batched_executes")?,
+                daemon,
             }))
         }
         "error" => Ok(LabResponse::Error(decode_error(get(&json, "error")?)?)),
@@ -780,6 +793,23 @@ fn decode_cache_stats(json: &Json) -> Result<CacheStats, WireError> {
         uncached: get_u64(json, "uncached")?,
         contended: get_u64(json, "contended")?,
         entries: get_u64(json, "entries")? as usize,
+    })
+}
+
+fn encode_daemon_stats(d: &DaemonStats) -> Json {
+    Json::obj()
+        .set("mode", d.mode.as_str())
+        .set("accept_errors", d.accept_errors)
+        .set("late_503s", d.late_503s)
+        .set("open_conns", d.open_conns)
+}
+
+fn decode_daemon_stats(json: &Json) -> Result<DaemonStats, WireError> {
+    Ok(DaemonStats {
+        mode: get_str(json, "mode")?.to_string(),
+        accept_errors: get_u64(json, "accept_errors")?,
+        late_503s: get_u64(json, "late_503s")?,
+        open_conns: get_u64(json, "open_conns")?,
     })
 }
 

@@ -1,14 +1,22 @@
 //! Integration tests for the lab daemon: concurrent socket clients must
-//! see exactly the results a serial in-process replay produces, the
-//! sharded cache counters must conserve the aggregate under the storm,
-//! and campaign scripts must run (and fail typed) over the wire.
+//! see exactly the results a serial in-process replay produces — on both
+//! front ends (epoll reactor and the thread-per-connection fallback) —
+//! the sharded cache counters must conserve the aggregate under the
+//! storm, campaign scripts must run (and fail typed) over the wire, the
+//! reactor must hold hundreds of keep-alive connections over a small
+//! worker pool, and hostile framing (oversized heads and bodies, garbled
+//! lengths, slow-loris dribble) must be answered with the right status
+//! and a close, never a hang.
 
 use harborsim::hw::presets;
-use harborsim::study::lab::daemon::{LabClient, LabDaemon};
+use harborsim::study::lab::daemon::{LabClient, LabDaemon, ServeMode};
 use harborsim::study::lab::{CampaignRowKind, LabRequest, LabResponse, PlanKey, QueryEngine};
 use harborsim::study::scenario::{Execution, Outcome, Scenario};
 use harborsim::study::workloads;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 12;
@@ -41,12 +49,14 @@ fn assert_same_outcome(label: &str, over_wire: &Outcome, direct: &Outcome) {
 /// The tentpole acceptance test: CLIENTS threads hammer one daemon over
 /// real sockets; every response must be bit-identical to a serial
 /// in-process replay of the same (scenario, seed) schedule, and the
-/// per-shard cache counters must add up exactly to the aggregate.
-#[test]
-fn concurrent_clients_match_the_serial_replay_bit_for_bit() {
+/// per-shard cache counters must add up exactly to the aggregate. Runs
+/// against both front ends — the reactor and the threaded fallback must
+/// be indistinguishable at the protocol level.
+fn storm_matches_the_serial_replay(mode: ServeMode) {
     let engine = Arc::new(QueryEngine::new());
-    let daemon =
-        LabDaemon::bind("127.0.0.1:0", Arc::clone(&engine), CLIENTS).expect("bind loopback");
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::clone(&engine), CLIENTS)
+        .expect("bind loopback")
+        .mode(mode);
     let addr = daemon.local_addr();
     let handle = daemon.spawn();
 
@@ -111,9 +121,25 @@ fn concurrent_clients_match_the_serial_replay_bit_for_bit() {
         stats.cache
     );
 
+    // the wire view carries the daemon block the in-process view lacks
+    let d = stats.daemon.as_ref().expect("daemon stats over the wire");
+    assert_eq!(d.mode, mode.name());
+    assert_eq!(d.accept_errors, 0);
+    assert!(d.open_conns >= 1, "the stats connection itself is open");
+
     handle.shutdown();
     // in-process view agrees with the wire view
     assert_eq!(engine.stats().hits, stats.cache.hits);
+}
+
+#[test]
+fn concurrent_clients_match_the_serial_replay_on_the_reactor() {
+    storm_matches_the_serial_replay(ServeMode::Reactor);
+}
+
+#[test]
+fn concurrent_clients_match_the_serial_replay_on_the_threaded_fallback() {
+    storm_matches_the_serial_replay(ServeMode::Threaded);
 }
 
 /// Campaigns run server-side: one `.hsim` script over the socket, rows
@@ -217,4 +243,242 @@ fn identical_wire_queries_share_executes_without_changing_results() {
         assert_same_outcome("shared execute", o, &direct);
     }
     handle.shutdown();
+}
+
+/// The multiplexing acceptance test: 256 keep-alive connections stay
+/// open simultaneously over a 4-worker pool, every one of them
+/// answering queries, and the daemon's own stats report the count. The
+/// threaded fallback cannot pass this (open connections are bounded by
+/// pool size); the reactor exists so this holds.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_holds_256_simultaneous_keepalive_connections() {
+    const CONNS: usize = 256;
+    let engine = Arc::new(QueryEngine::new());
+    let daemon = LabDaemon::bind("127.0.0.1:0", engine, 4)
+        .expect("bind loopback")
+        .mode(ServeMode::Reactor);
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let mut clients: Vec<LabClient> = (0..CONNS)
+        .map(|i| LabClient::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    // two passes so every socket proves it survives between requests
+    for pass in 0..2 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            let (scenario, _) = grid_scenario(i % 12);
+            let response = client
+                .query(&LabRequest::plan(scenario))
+                .unwrap_or_else(|e| panic!("pass {pass} conn {i}: {e}"));
+            assert!(
+                matches!(response, LabResponse::Plan(_)),
+                "pass {pass} conn {i}: {response:?}"
+            );
+        }
+    }
+    let stats = clients[0].stats().expect("stats").into_stats();
+    let d = stats.daemon.expect("daemon stats over the wire");
+    assert_eq!(d.mode, "reactor");
+    assert!(
+        d.open_conns >= CONNS as u64,
+        "the reactor must hold all {CONNS} keep-alive connections at once, held {}",
+        d.open_conns
+    );
+    drop(clients);
+    handle.shutdown();
+}
+
+/// Write raw bytes, half-close, and collect whatever the daemon says
+/// before it closes the connection.
+fn raw_roundtrip(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write request bytes");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("daemon must close");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Hostile framing gets the right status and a close on both front
+/// ends: oversized heads 431, oversized declared bodies 413, garbled
+/// Content-Length 400 — never a hang, never a wedged worker.
+fn hostile_framing_is_rejected(mode: ServeMode) {
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 2)
+        .expect("bind loopback")
+        .mode(mode);
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let huge_head = format!(
+        "GET /v1/stats HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "a".repeat(9 * 1024)
+    );
+    let reply = raw_roundtrip(addr, huge_head.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 431"), "{mode:?}: {reply:?}");
+
+    let huge_body = "POST /v1/lab HTTP/1.1\r\nContent-Length: 9000000\r\n\r\n";
+    let reply = raw_roundtrip(addr, huge_body.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 413"), "{mode:?}: {reply:?}");
+
+    let garbled = "POST /v1/lab HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+    let reply = raw_roundtrip(addr, garbled.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 400"), "{mode:?}: {reply:?}");
+
+    // the daemon is still healthy afterwards
+    let mut client = LabClient::connect(addr).expect("connect after abuse");
+    let stats = client.stats().expect("stats after abuse").into_stats();
+    assert_eq!(stats.daemon.expect("daemon stats").accept_errors, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_framing_is_rejected_on_the_reactor() {
+    hostile_framing_is_rejected(ServeMode::Reactor);
+}
+
+#[test]
+fn hostile_framing_is_rejected_on_the_threaded_fallback() {
+    hostile_framing_is_rejected(ServeMode::Threaded);
+}
+
+/// A slow-loris connection dribbling a partial head times out with a
+/// 408 and a close — and while it dribbles, healthy clients keep
+/// getting served (the whole point of the per-request deadline).
+fn slow_loris_times_out_without_wedging(mode: ServeMode) {
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 2)
+        .expect("bind loopback")
+        .mode(mode)
+        .read_timeout(Duration::from_millis(300));
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let mut loris = TcpStream::connect(addr).expect("loris connects");
+    loris.write_all(b"GET /v1/st").expect("partial head");
+
+    // the daemon must serve this while the loris holds its socket open
+    let mut healthy = LabClient::connect(addr).expect("healthy client connects");
+    let stats = healthy
+        .stats()
+        .expect("healthy client served mid-loris")
+        .into_stats();
+    assert!(stats.daemon.is_some());
+
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut out = Vec::new();
+    loris.read_to_end(&mut out).expect("daemon must close");
+    let reply = String::from_utf8_lossy(&out);
+    assert!(reply.starts_with("HTTP/1.1 408"), "{mode:?}: {reply:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_times_out_without_wedging_the_reactor() {
+    slow_loris_times_out_without_wedging(ServeMode::Reactor);
+}
+
+#[test]
+fn slow_loris_times_out_without_wedging_the_threaded_fallback() {
+    slow_loris_times_out_without_wedging(ServeMode::Threaded);
+}
+
+/// Pipelined requests on one connection come back in request order,
+/// each a complete typed response — the framing layer may never
+/// interleave or reorder.
+fn pipelined_requests_come_back_in_order(mode: ServeMode) {
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 2)
+        .expect("bind loopback")
+        .mode(mode);
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let mut client = LabClient::connect(addr).expect("connect");
+    let (scenario, _) = grid_scenario(1);
+    let responses = client
+        .query_pipelined(&[LabRequest::plan(scenario), LabRequest::Stats])
+        .expect("pipelined batch");
+    assert_eq!(responses.len(), 2);
+    assert!(
+        matches!(responses[0], LabResponse::Plan(_)),
+        "first response answers the first request: {:?}",
+        responses[0]
+    );
+    assert!(
+        matches!(responses[1], LabResponse::Stats(_)),
+        "second response answers the second request: {:?}",
+        responses[1]
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order_on_the_reactor() {
+    pipelined_requests_come_back_in_order(ServeMode::Reactor);
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order_on_the_threaded_fallback() {
+    pipelined_requests_come_back_in_order(ServeMode::Threaded);
+}
+
+/// Shutdown under load drains instead of wedging: clients racing a
+/// shutdown either get a real answer or a typed 503/socket error, the
+/// shutdown completes promptly, and every in-flight answer is still
+/// bit-identical to the serial replay.
+fn shutdown_under_load_drains(mode: ServeMode) {
+    let daemon = LabDaemon::bind("127.0.0.1:0", Arc::new(QueryEngine::new()), 4)
+        .expect("bind loopback")
+        .mode(mode);
+    let addr = daemon.local_addr();
+    let handle = daemon.spawn();
+
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut answered = Vec::new();
+                for r in 0..60 {
+                    let Ok(mut client) = LabClient::connect(addr) else {
+                        break; // daemon gone: a clean refusal, not a hang
+                    };
+                    let i = (c + r) % 12;
+                    let (scenario, seed) = grid_scenario(i);
+                    match client.query(&LabRequest::execute(scenario, seed)) {
+                        Ok(LabResponse::Execute(outcome)) => answered.push((i, *outcome)),
+                        // late arrival: the daemon said 503 in a typed
+                        // error instead of silently dropping the socket
+                        Ok(LabResponse::Error(_)) | Err(_) => break,
+                        Ok(other) => panic!("unexpected response {other:?}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    handle.shutdown();
+
+    let serial = QueryEngine::new();
+    for worker in clients {
+        for (i, over_wire) in worker.join().expect("client thread panicked") {
+            let (scenario, seed) = grid_scenario(i);
+            let direct = serial
+                .handle(LabRequest::execute(scenario, seed))
+                .into_outcome();
+            assert_same_outcome(&format!("racing grid point {i}"), &over_wire, &direct);
+        }
+    }
+}
+
+#[test]
+fn shutdown_under_load_drains_on_the_reactor() {
+    shutdown_under_load_drains(ServeMode::Reactor);
+}
+
+#[test]
+fn shutdown_under_load_drains_on_the_threaded_fallback() {
+    shutdown_under_load_drains(ServeMode::Threaded);
 }

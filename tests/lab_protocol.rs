@@ -18,8 +18,8 @@ use harborsim::study::lab::wire::{
     decode_request, decode_response, encode_request, encode_response,
 };
 use harborsim::study::lab::{
-    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, EngineStats, LabRequest,
-    LabResponse, Query, QueryEngine,
+    CampaignReport, CampaignResult, CampaignRow, CampaignRowKind, DaemonStats, EngineStats,
+    LabRequest, LabResponse, Query, QueryEngine,
 };
 use harborsim::study::scenario::{Execution, Scenario};
 use harborsim::study::workloads;
@@ -175,8 +175,44 @@ fn response_stats_is_pinned() {
                 entries: 2,
             }],
             batched_executes: 4,
+            daemon: None,
         }),
         r#"{"v":1,"kind":"stats","cache":{"hits":5,"misses":2,"waits":1,"uncached":0,"contended":3,"entries":2},"per_shard":[{"hits":5,"misses":2,"waits":1,"uncached":0,"contended":3,"entries":2}],"batched_executes":4}"#,
+    );
+}
+
+/// The daemon block is additive: an in-process stats response (daemon
+/// `None`) pins to exactly the pre-reactor golden above, and a daemon-
+/// served one appends the block without touching any earlier byte.
+#[test]
+fn response_stats_with_daemon_block_is_pinned() {
+    pin_response(
+        &LabResponse::Stats(EngineStats {
+            cache: CacheStats {
+                hits: 5,
+                misses: 2,
+                waits: 1,
+                uncached: 0,
+                contended: 3,
+                entries: 2,
+            },
+            per_shard: vec![CacheStats {
+                hits: 5,
+                misses: 2,
+                waits: 1,
+                uncached: 0,
+                contended: 3,
+                entries: 2,
+            }],
+            batched_executes: 4,
+            daemon: Some(DaemonStats {
+                mode: "reactor".to_string(),
+                accept_errors: 1,
+                late_503s: 2,
+                open_conns: 256,
+            }),
+        }),
+        r#"{"v":1,"kind":"stats","cache":{"hits":5,"misses":2,"waits":1,"uncached":0,"contended":3,"entries":2},"per_shard":[{"hits":5,"misses":2,"waits":1,"uncached":0,"contended":3,"entries":2}],"batched_executes":4,"daemon":{"mode":"reactor","accept_errors":1,"late_503s":2,"open_conns":256}}"#,
     );
 }
 
